@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Microbenchmarks of the numeric execution engine (google-benchmark):
+ * the dense kernels behind the §3 validation and the overhead of
+ * partitioned execution relative to single-device execution on the
+ * same problem (the partitioned run does the same arithmetic plus
+ * shard management).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "exec/conv_partitioned.h"
+#include "exec/ops.h"
+#include "exec/partitioned.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::exec;
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    const auto n = state.range(0);
+    util::Rng rng(1);
+    Matrix a(n, n), b(n, n);
+    a.fillRandom(rng);
+    b.fillRandom(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matmul(a, b));
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_Matmul)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void
+BM_Conv2dForward(benchmark::State &state)
+{
+    const auto c = state.range(0);
+    util::Rng rng(2);
+    Tensor4 input(4, c, 12, 12);
+    input.fillRandom(rng);
+    Tensor4 weights(c, c, 3, 3);
+    weights.fillRandom(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            conv2dForward(input, weights, ConvParams{1, 1, 1, 1}));
+}
+BENCHMARK(BM_Conv2dForward)->DenseRange(2, 8, 2);
+
+void
+BM_ReferenceStep(benchmark::State &state)
+{
+    const MlpSpec spec{32, {64, 128, 64, 16}, true};
+    util::Rng rng(3);
+    Matrix input(spec.batch, spec.widths.front());
+    input.fillRandom(rng);
+    const auto weights = randomWeights(spec, rng);
+    Matrix grad(spec.batch, spec.widths.back());
+    grad.fillRandom(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            runReference(spec, input, weights, grad));
+}
+BENCHMARK(BM_ReferenceStep);
+
+void
+BM_PartitionedStep(benchmark::State &state)
+{
+    const MlpSpec spec{32, {64, 128, 64, 16}, true};
+    util::Rng rng(3);
+    Matrix input(spec.batch, spec.widths.front());
+    input.fillRandom(rng);
+    const auto weights = randomWeights(spec, rng);
+    Matrix grad(spec.batch, spec.widths.back());
+    grad.fillRandom(rng);
+    PartitionedOptions options;
+    options.alpha = 0.5;
+    options.types = {core::PartitionType::TypeI,
+                     core::PartitionType::TypeII,
+                     core::PartitionType::TypeIII};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            runPartitioned(spec, input, weights, grad, options));
+}
+BENCHMARK(BM_PartitionedStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

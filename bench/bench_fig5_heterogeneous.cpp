@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 5 reproduction: speedup of DP, OWT, HyPar and AccPar on the
+ * heterogeneous accelerator array (128 TPU-v2 + 128 TPU-v3), batch 512,
+ * bf16, normalized to DP. Paper reference: geomean 1.00 / 2.98 / 3.78 /
+ * 6.30; Vgg speedups up to 16.14x; ResNet AccPar 1.92-2.20x.
+ *
+ * Also prints Table 7 (the accelerator specifications used).
+ */
+
+#include <iostream>
+
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/report.h"
+#include "strategies/registry.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace accpar;
+
+    // Table 7: the accelerator specifications.
+    util::Table specs({"spec", "tpu-v2", "tpu-v3"});
+    const hw::AcceleratorSpec v2 = hw::tpuV2();
+    const hw::AcceleratorSpec v3 = hw::tpuV3();
+    specs.addRow({"FLOPS", util::humanFlops(v2.computeDensity) + "/s",
+                  util::humanFlops(v3.computeDensity) + "/s"});
+    specs.addRow({"HBM memory", util::humanBytes(v2.memoryCapacity),
+                  util::humanBytes(v3.memoryCapacity)});
+    specs.addRow({"memory bandwidth",
+                  util::humanBytes(v2.memoryBandwidth) + "/s",
+                  util::humanBytes(v3.memoryBandwidth) + "/s"});
+    specs.addRow({"network", util::humanBytes(v2.linkBandwidth) + "/s",
+                  util::humanBytes(v3.linkBandwidth) + "/s"});
+    specs.addRow({"# accelerators", "128", "128"});
+    std::cout << "Table 7: accelerator specifications\n";
+    specs.print(std::cout);
+    std::cout << '\n';
+
+    const sim::SpeedupTable table = sim::runSpeedupComparison(
+        models::modelNames(), 512, hw::heterogeneousTpuArray(),
+        strategies::defaultStrategies());
+    std::cout << sim::formatSpeedupTable(
+        table,
+        "Figure 5: speedup on the heterogeneous array (128 TPU-v2 + 128 "
+        "TPU-v3), normalized to DP");
+    sim::writeSpeedupCsv(table, "fig5_heterogeneous.csv");
+    std::cout << "\n[csv written to fig5_heterogeneous.csv]\n";
+    std::cout << "paper reference geomeans: DP 1.00, OWT 2.98, HyPar "
+                 "3.78, AccPar 6.30\n";
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 6 reproduction: speedup of DP, OWT, HyPar and AccPar on the
+ * homogeneous array (128 TPU-v3), batch 512, bf16, normalized to DP.
+ * Paper reference: geomean 1.00 / 2.94 / 3.51 / 3.86.
+ */
+
+#include <iostream>
+
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/report.h"
+#include "strategies/registry.h"
+
+int
+main()
+{
+    using namespace accpar;
+    const sim::SpeedupTable table = sim::runSpeedupComparison(
+        models::modelNames(), 512, hw::homogeneousTpuV3Array(),
+        strategies::defaultStrategies());
+    std::cout << sim::formatSpeedupTable(
+        table, "Figure 6: speedup on the homogeneous array (128 TPU-v3), "
+               "normalized to DP");
+    sim::writeSpeedupCsv(table, "fig6_homogeneous.csv");
+    std::cout << "\n[csv written to fig6_homogeneous.csv]\n";
+    std::cout << "paper reference geomeans: DP 1.00, OWT 2.94, HyPar "
+                 "3.51, AccPar 3.86\n";
+    return 0;
+}

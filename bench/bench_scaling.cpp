@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Scaling study (beyond the paper's Figure 8): how the four schemes'
+ * absolute throughput scales with array size (strong scaling at fixed
+ * batch 512) and how the AccPar advantage shifts with the mini-batch
+ * size (Type-I's communication amortizes over B, so smaller batches
+ * push the optimum further toward model partitioning).
+ */
+
+#include <iostream>
+
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/training_sim.h"
+#include "strategies/registry.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace accpar;
+    const auto strategies_list = strategies::defaultStrategies();
+
+    // Strong scaling: vgg16, batch 512, heterogeneous arrays 4..512.
+    {
+        std::vector<std::string> header = {"boards"};
+        for (const auto &s : strategies_list)
+            header.push_back(s->label() + " samples/s");
+        util::Table table(header);
+        util::CsvWriter csv(header);
+        const graph::Graph model = models::buildVgg(16, 512);
+        for (int levels = 2; levels <= 9; ++levels) {
+            const hw::Hierarchy hierarchy(
+                hw::heterogeneousTpuArrayForLevels(levels));
+            std::vector<double> throughput;
+            for (const auto &s : strategies_list)
+                throughput.push_back(
+                    sim::simulateStrategy(model, hierarchy, *s)
+                        .throughput);
+            const std::string label = std::to_string(2 << (levels - 1));
+            table.addRow(label, throughput, 5);
+            csv.addRow(label, throughput);
+        }
+        std::cout << "strong scaling: vgg16 throughput vs array size "
+                     "(batch 512, heterogeneous)\n";
+        table.print(std::cout);
+        csv.writeFile("scaling_strong.csv");
+    }
+
+    // Batch sweep: vgg16 on the 64-board heterogeneous array.
+    {
+        std::vector<std::string> header = {"batch"};
+        for (const auto &s : strategies_list)
+            header.push_back(s->label());
+        util::Table table(header);
+        util::CsvWriter csv(header);
+        const hw::Hierarchy hierarchy(
+            hw::heterogeneousTpuArrayForLevels(6));
+        for (std::int64_t batch : {64, 128, 256, 512, 1024, 2048}) {
+            const graph::Graph model = models::buildVgg(16, batch);
+            std::vector<double> speedup;
+            double base = 0.0;
+            for (const auto &s : strategies_list) {
+                const double t =
+                    sim::simulateStrategy(model, hierarchy, *s)
+                        .throughput;
+                if (speedup.empty())
+                    base = t;
+                speedup.push_back(t / base);
+            }
+            table.addRow(std::to_string(batch), speedup, 4);
+            csv.addRow(std::to_string(batch), speedup);
+        }
+        std::cout << "\nbatch sweep: vgg16 speedup over DP vs "
+                     "mini-batch size (64 boards)\n";
+        table.print(std::cout);
+        csv.writeFile("scaling_batch.csv");
+    }
+    std::cout << "\n[csv written to scaling_strong.csv, "
+                 "scaling_batch.csv]\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Analytical tables reproduction: prints Tables 3, 4, 5 and 6 of the
+ * paper as computed by the cost-model code (not hard-coded strings), on
+ * a representative FC layer, so a reader can check the implementation
+ * against the paper side by side.
+ */
+
+#include <iostream>
+
+#include "core/cost_model.h"
+#include "core/layer_dims.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace accpar;
+    using core::LayerDims;
+    using core::PairCostModel;
+    using PT = core::PartitionType;
+
+    // Representative FC layer: B = 8, D_i = 4, D_o = 6.
+    LayerDims d;
+    d.b = 8;
+    d.di = 4;
+    d.dOut = 6;
+
+    std::cout << "layer under test: FC with B=8, D_i=4, D_o=6\n"
+              << "A(F_l)=A(E_l)=" << d.sizeInput()
+              << "  A(F_l+1)=A(E_l+1)=" << d.sizeOutput()
+              << "  A(W_l)=" << d.sizeWeight() << "\n\n";
+
+    // Table 3: rotational symmetry — partition dim and psum shape of
+    // each multiplication.
+    util::Table t3({"multiplication", "partition dim", "psum tensor",
+                    "psum size", "basic type"});
+    t3.addRow({"F_{l+1} = F_l x W_l", "D_i", "F_{l+1}",
+               std::to_string(
+                   static_cast<long>(
+                       PairCostModel::intraCommElements(PT::TypeII, d))),
+               "Type-II"});
+    t3.addRow({"E_l = E_{l+1} x W_l^T", "D_o", "E_l",
+               std::to_string(
+                   static_cast<long>(
+                       PairCostModel::intraCommElements(PT::TypeIII,
+                                                        d))),
+               "Type-III"});
+    t3.addRow({"dW_l = F_l^T x E_{l+1}", "B", "dW_l",
+               std::to_string(
+                   static_cast<long>(
+                       PairCostModel::intraCommElements(PT::TypeI, d))),
+               "Type-I"});
+    std::cout << "Table 3: rotational symmetry of the three tensor "
+                 "multiplications\n";
+    t3.print(std::cout);
+
+    // Table 4: intra-layer communication amounts.
+    util::Table t4({"basic type", "intra-layer comm (elements)",
+                    "tensor"});
+    t4.addRow({"Type-I",
+               std::to_string(static_cast<long>(
+                   PairCostModel::intraCommElements(PT::TypeI, d))),
+               "A(W_l)"});
+    t4.addRow({"Type-II",
+               std::to_string(static_cast<long>(
+                   PairCostModel::intraCommElements(PT::TypeII, d))),
+               "A(F_{l+1})"});
+    t4.addRow({"Type-III",
+               std::to_string(static_cast<long>(
+                   PairCostModel::intraCommElements(PT::TypeIII, d))),
+               "A(E_l)"});
+    std::cout << "\nTable 4: intra-layer communication\n";
+    t4.print(std::cout);
+
+    // Table 5: inter-layer communication for alpha = 0.25.
+    const double alpha = 0.25;
+    const double a = d.sizeOutput();
+    util::Table t5({"layer l \\ l+1", "Type-I", "Type-II", "Type-III"});
+    for (PT from : core::kAllPartitionTypes) {
+        std::vector<std::string> row = {
+            core::partitionTypeName(from)};
+        for (PT to : core::kAllPartitionTypes) {
+            row.push_back(util::formatDouble(
+                PairCostModel::interCommElements(from, to, a, alpha,
+                                                 1.0 - alpha),
+                4));
+        }
+        t5.addRow(row);
+    }
+    std::cout << "\nTable 5: inter-layer communication elements paid by "
+                 "the alpha=0.25 side\n(boundary tensor A(F)=A(E)="
+              << a << ")\n";
+    t5.print(std::cout);
+
+    // Table 6: FLOP counts.
+    util::Table t6({"multiplication", "# FLOP", "formula"});
+    t6.addRow({"F_{l+1} = F_l x W_l",
+               util::formatDouble(d.flopsForward(), 6),
+               "A(F_{l+1}) * (2 D_i - 1)"});
+    t6.addRow({"E_l = E_{l+1} x W_l^T",
+               util::formatDouble(d.flopsBackward(), 6),
+               "A(E_l) * (2 D_o - 1)"});
+    t6.addRow({"dW_l = F_l^T x E_{l+1}",
+               util::formatDouble(d.flopsGradient(), 6),
+               "A(W_l) * (2 B - 1)"});
+    std::cout << "\nTable 6: floating point operations\n";
+    t6.print(std::cout);
+    return 0;
+}

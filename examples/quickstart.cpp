@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: plan and simulate one model on the paper's heterogeneous
+ * TPU array with all four strategies.
+ *
+ * Usage: quickstart [model] [batch]
+ *   model  one of lenet/alexnet/vgg11/vgg13/vgg16/vgg19/
+ *          resnet18/resnet34/resnet50 (default vgg16)
+ *   batch  mini-batch size (default 512, as in the paper)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "hw/hierarchy.h"
+#include "models/summary.h"
+#include "models/zoo.h"
+#include "sim/report.h"
+#include "strategies/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace accpar;
+
+    const std::string model_name = argc > 1 ? argv[1] : "vgg16";
+    const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 512;
+
+    try {
+        // 1. Build the DNN and show what we are training.
+        const graph::Graph model = models::buildModel(model_name, batch);
+        std::cout << models::formatSummary(models::summarizeModel(model))
+                  << '\n';
+
+        // 2. The paper's heterogeneous array: 128 TPU-v2 + 128 TPU-v3.
+        const hw::AcceleratorGroup array = hw::heterogeneousTpuArray();
+        std::cout << "array: " << array.toString() << "\n\n";
+
+        // 3. Plan with DP / OWT / HyPar / AccPar and simulate a step.
+        const sim::SpeedupTable table = sim::runSpeedupComparison(
+            {model_name}, batch, array, strategies::defaultStrategies());
+        std::cout << sim::formatSpeedupTable(
+            table, "speedup over data parallelism");
+
+        // 4. Show the AccPar plan itself (types per hierarchy level).
+        const hw::Hierarchy hierarchy(array);
+        const auto accpar_strategy = strategies::makeStrategy("accpar");
+        const core::PartitionPlan plan =
+            accpar_strategy->plan(model, hierarchy);
+        std::cout << '\n' << plan.toString(hierarchy);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

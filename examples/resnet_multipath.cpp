@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Multi-path partitioning on ResNet (paper §5.2).
+ *
+ * Walks through what makes ResNet hard for layer-wise partitioners:
+ * the condensed graph has fork/join blocks with identity shortcuts, so
+ * a chain DP alone cannot assign types. Shows the series-parallel
+ * decomposition AccPar searches over, the per-block type choices it
+ * makes, and the resulting gap to HyPar (which, per its paper, only
+ * handles linear structure and falls back to data parallelism inside
+ * the blocks).
+ */
+
+#include <iostream>
+
+#include "core/hierarchical_solver.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/training_sim.h"
+#include "strategies/registry.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace accpar;
+
+void
+printChain(const core::PartitionProblem &problem, const core::Chain &chain,
+           int indent)
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    for (const core::Element &e : chain.elements) {
+        const auto &node = problem.condensed().node(e.node);
+        if (!e.isParallel()) {
+            std::cout << pad << "- " << node.name << '\n';
+            continue;
+        }
+        std::cout << pad << "+ block joining at " << node.name << ":\n";
+        for (std::size_t p = 0; p < e.paths.size(); ++p) {
+            if (e.paths[p].elements.empty()) {
+                std::cout << pad << "  path " << p
+                          << ": (identity shortcut)\n";
+            } else {
+                std::cout << pad << "  path " << p << ":\n";
+                printChain(problem, e.paths[p], indent + 2);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace accpar;
+
+    try {
+        const graph::Graph model = models::buildResnet(18, 512);
+        const core::PartitionProblem problem(model);
+
+        std::cout << "resnet18 condensed graph: "
+                  << problem.condensed().size() << " nodes ("
+                  << problem.condensed().weightedNodes().size()
+                  << " weighted + junctions)\n\n";
+        std::cout << "series-parallel decomposition (first stage "
+                     "shown):\n";
+        // Print only the first few elements to keep the output short.
+        core::Chain head;
+        const auto &elements = problem.chain().elements;
+        for (std::size_t i = 0; i < std::min<std::size_t>(4,
+                                                          elements.size());
+             ++i)
+            head.elements.push_back(elements[i]);
+        printChain(problem, head, 1);
+        std::cout << "  ... (" << elements.size()
+                  << " top-level elements total)\n\n";
+
+        // Partition on the paper's heterogeneous array.
+        const hw::Hierarchy hierarchy(hw::heterogeneousTpuArray());
+        const auto accpar = strategies::makeStrategy("accpar");
+        const auto hypar = strategies::makeStrategy("hypar");
+        const core::PartitionPlan ap = accpar->plan(problem, hierarchy);
+        const core::PartitionPlan hp = hypar->plan(problem, hierarchy);
+
+        const auto path = ap.leftmostPath(hierarchy);
+        std::cout << "AccPar types at the root level (alpha="
+                  << util::formatDouble(path[0]->alpha, 4) << "):\n  "
+                  << core::formatTypeSequence(path[0]->types) << '\n';
+        std::cout << "AccPar types at the deepest level:\n  "
+                  << core::formatTypeSequence(path.back()->types)
+                  << "\n\n";
+
+        const auto run_ap =
+            sim::simulatePlan(problem, 512, hierarchy, ap);
+        const auto run_hp =
+            sim::simulatePlan(problem, 512, hierarchy, hp);
+        std::cout << "simulated step time: AccPar "
+                  << util::humanSeconds(run_ap.stepTime) << " vs HyPar "
+                  << util::humanSeconds(run_hp.stepTime) << "  ("
+                  << util::formatDouble(
+                         run_hp.stepTime / run_ap.stepTime, 3)
+                  << "x)\n";
+        std::cout << "\nHyPar cannot search inside the residual blocks "
+                     "(linear-structure limitation),\nso its ResNet "
+                     "plans collapse to data parallelism; AccPar's "
+                     "multi-path DP searches\neach path between the "
+                     "fork and join states (Figure 4).\n";
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

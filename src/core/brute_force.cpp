@@ -1,0 +1,55 @@
+#include "core/brute_force.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace accpar::core {
+
+BruteForceResult
+bruteForceSearch(const CondensedGraph &graph,
+                 const std::vector<LayerDims> &dims,
+                 const PairCostModel &model,
+                 const TypeRestrictions &allowed, std::size_t max_nodes)
+{
+    const std::size_t n = graph.size();
+    ACCPAR_REQUIRE(n <= max_nodes,
+                   "brute force limited to " << max_nodes
+                       << " nodes, model has " << n);
+    ACCPAR_REQUIRE(allowed.size() == n, "restriction size mismatch");
+
+    BruteForceResult best;
+    best.cost = std::numeric_limits<double>::infinity();
+
+    std::vector<PartitionType> current(n, PartitionType::TypeI);
+    std::vector<std::size_t> cursor(n, 0);
+
+    // Odometer enumeration over the per-node allowed sets.
+    for (std::size_t i = 0; i < n; ++i)
+        current[i] = allowed[i].front();
+
+    while (true) {
+        const double cost = evaluateAssignment(graph, dims, model,
+                                               current);
+        if (cost < best.cost) {
+            best.cost = cost;
+            best.types = current;
+        }
+
+        std::size_t pos = 0;
+        while (pos < n) {
+            if (++cursor[pos] < allowed[pos].size()) {
+                current[pos] = allowed[pos][cursor[pos]];
+                break;
+            }
+            cursor[pos] = 0;
+            current[pos] = allowed[pos].front();
+            ++pos;
+        }
+        if (pos == n)
+            break;
+    }
+    return best;
+}
+
+} // namespace accpar::core

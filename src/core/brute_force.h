@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Brute-force reference solver.
+ *
+ * Enumerates every type assignment over the condensed graph — the
+ * O(3^N) search the paper's DP avoids (§5.1) — and returns the exact
+ * optimum of the same objective the DP minimizes. Used by tests to prove
+ * the DP's optimality and by the search-cost microbenchmarks.
+ */
+
+#ifndef ACCPAR_CORE_BRUTE_FORCE_H
+#define ACCPAR_CORE_BRUTE_FORCE_H
+
+#include <vector>
+
+#include "core/chain_dp.h"
+#include "core/condensed_graph.h"
+#include "core/cost_model.h"
+
+namespace accpar::core {
+
+/** Result of an exhaustive search. */
+struct BruteForceResult
+{
+    double cost = 0.0;
+    std::vector<PartitionType> types;
+};
+
+/**
+ * Exhaustively minimizes evaluateAssignment over all allowed type
+ * assignments. Refuses graphs larger than @p max_nodes (the search is
+ * 3^N).
+ */
+BruteForceResult bruteForceSearch(const CondensedGraph &graph,
+                                  const std::vector<LayerDims> &dims,
+                                  const PairCostModel &model,
+                                  const TypeRestrictions &allowed,
+                                  std::size_t max_nodes = 16);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_BRUTE_FORCE_H

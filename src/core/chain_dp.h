@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Layer-wise dynamic-programming search (paper §5.1, Eq. 9) extended with
+ * the multi-path handling of §5.2.
+ *
+ * The DP runs over the series-parallel chain of the condensed graph. For
+ * linear segments it is exactly Eq. 9: the accumulated cost of layer
+ * L_{i+1} in state t is the minimum over the previous layer's states tt of
+ * accumulated cost + computation cost + (intra- and inter-layer)
+ * communication cost. At a parallel element, the transition cost from the
+ * fork state tt to the join state t is the sum over paths of each path's
+ * own minimal chain cost conditioned on the two endpoint states — the
+ * procedure of Figure 4. An empty path (identity shortcut) contributes the
+ * plain inter-layer conversion on the join tensor.
+ *
+ * The search is exact for the given cost model: on series-parallel
+ * condensed graphs it reproduces the brute-force optimum over all
+ * 3^N assignments (verified by tests/core_dp_test).
+ */
+
+#ifndef ACCPAR_CORE_CHAIN_DP_H
+#define ACCPAR_CORE_CHAIN_DP_H
+
+#include <vector>
+
+#include "core/condensed_graph.h"
+#include "core/cost_model.h"
+#include "core/segment.h"
+
+namespace accpar::core {
+
+/** Allowed partition types per condensed node (indexed by CNodeId). */
+using TypeRestrictions = std::vector<std::vector<PartitionType>>;
+
+/** Restriction allowing every type at every node (AccPar). */
+TypeRestrictions unrestrictedTypes(const CondensedGraph &graph);
+
+/** Result of one DP run at one hierarchy node. */
+struct ChainDpResult
+{
+    /** Total accumulated cost of the optimal assignment. */
+    double cost = 0.0;
+    /** Chosen type per condensed node, indexed by CNodeId. */
+    std::vector<PartitionType> types;
+};
+
+/**
+ * Solves the layer-wise partitioning DP.
+ *
+ * @param graph     the condensed model graph (junction flags, names)
+ * @param chain     its series-parallel decomposition
+ * @param dims      per-node dims, already scaled by ancestor hierarchy
+ *                  levels (indexed by CNodeId)
+ * @param model     pair cost model with the ratio already set
+ * @param allowed   per-node allowed types; must be non-empty per node
+ */
+ChainDpResult solveChainDp(const CondensedGraph &graph, const Chain &chain,
+                           const std::vector<LayerDims> &dims,
+                           const PairCostModel &model,
+                           const TypeRestrictions &allowed);
+
+/**
+ * Evaluates the cost of a fixed assignment directly on the condensed DAG
+ * (sum of node costs plus inter-layer costs over every condensed edge,
+ * with no charge into the source). solveChainDp minimizes exactly this
+ * quantity; brute-force search enumerates it.
+ */
+double evaluateAssignment(const CondensedGraph &graph,
+                          const std::vector<LayerDims> &dims,
+                          const PairCostModel &model,
+                          const std::vector<PartitionType> &types);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_CHAIN_DP_H

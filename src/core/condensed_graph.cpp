@@ -1,0 +1,128 @@
+#include "core/condensed_graph.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace accpar::core {
+
+CondensedGraph::CondensedGraph(const graph::Graph &graph)
+    : _modelName(graph.name())
+{
+    graph.validate();
+
+    // anchor[l]: condensed node representing the content of layer l's
+    // output, or -1 when the content traces back only to the input.
+    std::vector<CNodeId> anchor(graph.size(), -1);
+
+    auto add_node = [&](const graph::Layer &l, bool junction,
+                        const LayerDims &dims) {
+        CondensedNode node;
+        node.layer = l.id;
+        node.name = l.name;
+        node.kind = l.kind;
+        node.junction = junction;
+        node.dims = dims;
+        // Collect predecessor anchors (deduplicated, input dropped).
+        for (graph::LayerId in : l.inputs) {
+            const CNodeId p = anchor[in];
+            if (p < 0)
+                continue;
+            if (std::find(node.preds.begin(), node.preds.end(), p) ==
+                node.preds.end())
+                node.preds.push_back(p);
+        }
+        const CNodeId id = static_cast<CNodeId>(_nodes.size());
+        for (CNodeId p : node.preds)
+            _nodes[p].succs.push_back(id);
+        _nodes.push_back(std::move(node));
+        return id;
+    };
+
+    for (const graph::Layer &l : graph.layers()) {
+        switch (l.kind) {
+          case graph::LayerKind::Input:
+            anchor[l.id] = -1;
+            break;
+          case graph::LayerKind::Conv:
+          case graph::LayerKind::FullyConnected:
+            anchor[l.id] = add_node(l, false, layerDimsFor(graph, l.id));
+            break;
+          case graph::LayerKind::Add:
+          case graph::LayerKind::Concat:
+            anchor[l.id] = add_node(l, true,
+                                    junctionDims(l.outputShape));
+            break;
+          default:
+            // Partition-transparent layer: forward its operand's anchor.
+            ACCPAR_ASSERT(l.inputs.size() == 1,
+                          "transparent layer " << l.name
+                              << " must have one operand");
+            anchor[l.id] = anchor[l.inputs.front()];
+            break;
+        }
+    }
+
+    ACCPAR_REQUIRE(!_nodes.empty(),
+                   "model " << _modelName << " has no weighted layers");
+
+    // Structural sanity: one source, one sink.
+    std::size_t sources = 0;
+    std::size_t sinks = 0;
+    for (const CondensedNode &n : _nodes) {
+        sources += n.preds.empty();
+        sinks += n.succs.empty();
+    }
+    ACCPAR_REQUIRE(sources == 1, "condensed graph of " << _modelName
+                       << " has " << sources << " sources, expected 1");
+    ACCPAR_REQUIRE(sinks == 1, "condensed graph of " << _modelName
+                       << " has " << sinks << " sinks, expected 1");
+}
+
+const CondensedNode &
+CondensedGraph::node(CNodeId id) const
+{
+    ACCPAR_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < _nodes.size(),
+                   "invalid condensed node id " << id);
+    return _nodes[id];
+}
+
+CNodeId
+CondensedGraph::source() const
+{
+    for (std::size_t i = 0; i < _nodes.size(); ++i)
+        if (_nodes[i].preds.empty())
+            return static_cast<CNodeId>(i);
+    throw util::InternalError("condensed graph has no source");
+}
+
+CNodeId
+CondensedGraph::sink() const
+{
+    for (std::size_t i = 0; i < _nodes.size(); ++i)
+        if (_nodes[i].succs.empty())
+            return static_cast<CNodeId>(i);
+    throw util::InternalError("condensed graph has no sink");
+}
+
+std::vector<std::pair<CNodeId, CNodeId>>
+CondensedGraph::edges() const
+{
+    std::vector<std::pair<CNodeId, CNodeId>> out;
+    for (std::size_t v = 0; v < _nodes.size(); ++v)
+        for (CNodeId u : _nodes[v].preds)
+            out.emplace_back(u, static_cast<CNodeId>(v));
+    return out;
+}
+
+std::vector<CNodeId>
+CondensedGraph::weightedNodes() const
+{
+    std::vector<CNodeId> out;
+    for (std::size_t i = 0; i < _nodes.size(); ++i)
+        if (!_nodes[i].junction)
+            out.push_back(static_cast<CNodeId>(i));
+    return out;
+}
+
+} // namespace accpar::core

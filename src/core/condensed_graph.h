@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The condensed partition graph.
+ *
+ * The partition search runs over weighted layers only (as in the paper:
+ * Figure 7 enumerates AlexNet's cv1..cv5, fc1..fc3). This module condenses
+ * a full DNN graph to that view: nodes are CONV/FC layers plus *junction*
+ * pseudo-nodes for element-wise joins (residual Add), and an edge u -> v
+ * exists when v consumes u's output through partition-transparent layers
+ * only. Junction nodes carry a partition state like real layers but have
+ * no compute or intra-layer cost; they make chained identity shortcuts
+ * (ResNet) decompose into clean fork/join regions.
+ */
+
+#ifndef ACCPAR_CORE_CONDENSED_GRAPH_H
+#define ACCPAR_CORE_CONDENSED_GRAPH_H
+
+#include <string>
+#include <vector>
+
+#include "core/layer_dims.h"
+#include "graph/graph.h"
+
+namespace accpar::core {
+
+/** Index of a node inside a CondensedGraph. */
+using CNodeId = int;
+
+/** One node of the condensed graph. */
+struct CondensedNode
+{
+    /** Originating layer in the source graph. */
+    graph::LayerId layer = graph::kInvalidLayer;
+    std::string name;
+    /** Operator kind of the originating layer. */
+    graph::LayerKind kind = graph::LayerKind::Input;
+    /** True for junction pseudo-nodes (Add/Concat joins). */
+    bool junction = false;
+    /** Unscaled dimensions; junctions use junctionDims. */
+    LayerDims dims;
+    std::vector<CNodeId> preds;
+    std::vector<CNodeId> succs;
+};
+
+/**
+ * Weighted-layer condensation of a DNN graph.
+ *
+ * Nodes appear in topological order; the graph has exactly one source
+ * (the first weighted layer) and one sink.
+ */
+class CondensedGraph
+{
+  public:
+    /** Builds the condensation of validated @p graph. */
+    explicit CondensedGraph(const graph::Graph &graph);
+
+    std::size_t size() const { return _nodes.size(); }
+    const CondensedNode &node(CNodeId id) const;
+    const std::vector<CondensedNode> &nodes() const { return _nodes; }
+
+    /** The unique node without predecessors. */
+    CNodeId source() const;
+
+    /** The unique node without successors. */
+    CNodeId sink() const;
+
+    /** All (pred, succ) pairs, each condensed edge exactly once. */
+    std::vector<std::pair<CNodeId, CNodeId>> edges() const;
+
+    /** Ids of non-junction (weighted) nodes, in topological order. */
+    std::vector<CNodeId> weightedNodes() const;
+
+    /** Name of the source model. */
+    const std::string &modelName() const { return _modelName; }
+
+  private:
+    std::string _modelName;
+    std::vector<CondensedNode> _nodes;
+};
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_CONDENSED_GRAPH_H

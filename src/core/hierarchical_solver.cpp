@@ -1,0 +1,297 @@
+#include "core/hierarchical_solver.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace accpar::core {
+
+PartitionProblem::PartitionProblem(const graph::Graph &model)
+    : _condensed(model), _chain(decomposeSeriesParallel(_condensed))
+{
+    _baseDims.reserve(_condensed.size());
+    for (const CondensedNode &node : _condensed.nodes())
+        _baseDims.push_back(node.dims);
+}
+
+std::vector<std::string>
+PartitionProblem::nodeNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(_condensed.size());
+    for (const CondensedNode &node : _condensed.nodes())
+        names.push_back(node.name);
+    return names;
+}
+
+DimScales
+childScales(const DimScales &scales, bool junction, PartitionType type,
+            double ratio)
+{
+    ACCPAR_REQUIRE(ratio > 0.0 && ratio < 1.0,
+                   "child ratio must be in (0, 1), got " << ratio);
+    DimScales out = scales;
+    if (junction) {
+        // A junction holds one tensor: batch plus a single channel
+        // dimension, so Type-II and Type-III scale the same dim.
+        if (type == PartitionType::TypeI) {
+            out.b *= ratio;
+        } else {
+            out.di *= ratio;
+            out.dOut *= ratio;
+        }
+        return out;
+    }
+    switch (type) {
+      case PartitionType::TypeI:
+        out.b *= ratio;
+        break;
+      case PartitionType::TypeII:
+        out.di *= ratio;
+        break;
+      case PartitionType::TypeIII:
+        out.dOut *= ratio;
+        break;
+    }
+    return out;
+}
+
+std::vector<LayerDims>
+scaledDims(const PartitionProblem &problem,
+           const std::vector<DimScales> &scales)
+{
+    const CondensedGraph &graph = problem.condensed();
+    ACCPAR_REQUIRE(scales.size() == graph.size(),
+                   "scales size mismatch: " << scales.size() << " vs "
+                                            << graph.size());
+    std::vector<LayerDims> dims;
+    dims.reserve(graph.size());
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+        dims.push_back(problem.baseDims()[i].scaled(
+            scales[i].b, scales[i].di, scales[i].dOut));
+    }
+    return dims;
+}
+
+bool
+typeFeasible(const LayerDims &dims, bool junction, PartitionType t,
+             double min_share, double min_dim)
+{
+    // Batch partitioning (Type-I) tolerates per-board rounding — an
+    // uneven tail sample merely idles part of one board — so it is
+    // always feasible. Channel partitioning below one channel per side
+    // is structurally impossible for a kernel-wise trace, hence the
+    // granularity floor applies to Type-II/III only.
+    double dim;
+    switch (t) {
+      case PartitionType::TypeI:
+        return true;
+      case PartitionType::TypeII:
+        dim = dims.di;
+        break;
+      case PartitionType::TypeIII:
+        dim = junction ? dims.di : dims.dOut;
+        break;
+      default:
+        throw util::InternalError("unknown PartitionType");
+    }
+    return dim * min_share >= min_dim;
+}
+
+namespace {
+
+TypeRestrictions
+buildRestrictions(const CondensedGraph &graph,
+                  const AllowedTypesFn &allowed)
+{
+    if (!allowed)
+        return unrestrictedTypes(graph);
+    TypeRestrictions out(graph.size());
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+        out[i] = allowed(graph.node(static_cast<CNodeId>(i)));
+        ACCPAR_REQUIRE(!out[i].empty(),
+                       "allowedTypes returned an empty set for node "
+                           << graph.node(static_cast<CNodeId>(i)).name);
+    }
+    return out;
+}
+
+double
+initialAlpha(RatioPolicy policy, const GroupRates &left,
+             const GroupRates &right)
+{
+    switch (policy) {
+      case RatioPolicy::Fixed:
+        return 0.5;
+      case RatioPolicy::ComputeProportional:
+      case RatioPolicy::PaperLinear:
+      case RatioPolicy::ExactBalance:
+        return left.compute / (left.compute + right.compute);
+    }
+    throw util::InternalError("unknown RatioPolicy");
+}
+
+/** Recursive solver state shared across hierarchy nodes. */
+struct HierSolver
+{
+    const PartitionProblem &problem;
+    const hw::Hierarchy &hierarchy;
+    const SolverOptions &options;
+    const TypeRestrictions restrictions;
+    PartitionPlan plan;
+
+    HierSolver(const PartitionProblem &p, const hw::Hierarchy &h,
+               const SolverOptions &o)
+        : problem(p),
+          hierarchy(h),
+          options(o),
+          restrictions(buildRestrictions(p.condensed(), o.allowedTypes)),
+          plan(o.strategyName, p.condensed().modelName(), h.nodeCount(),
+               p.nodeNames())
+    {
+    }
+
+    /**
+     * Intersects the strategy's allowed types with the integer-
+     * granularity feasibility at the current dims and ratio; falls back
+     * to the largest-dimension allowed type when nothing is feasible.
+     */
+    TypeRestrictions
+    effectiveRestrictions(const std::vector<LayerDims> &dims,
+                          double alpha) const
+    {
+        if (options.minDimPerSide <= 0.0)
+            return restrictions;
+        const CondensedGraph &graph = problem.condensed();
+        const double min_share = std::min(alpha, 1.0 - alpha);
+        TypeRestrictions out(restrictions.size());
+        for (std::size_t v = 0; v < restrictions.size(); ++v) {
+            const CondensedNode &node =
+                graph.node(static_cast<CNodeId>(v));
+            for (PartitionType t : restrictions[v]) {
+                if (typeFeasible(dims[v], node.junction, t, min_share,
+                                 options.minDimPerSide))
+                    out[v].push_back(t);
+            }
+            if (out[v].empty()) {
+                // Nothing splits cleanly; keep the type whose dimension
+                // is largest so the distortion is smallest.
+                PartitionType best = restrictions[v].front();
+                double best_dim = -1.0;
+                for (PartitionType t : restrictions[v]) {
+                    const double dim =
+                        t == PartitionType::TypeI
+                            ? dims[v].b
+                            : (t == PartitionType::TypeII
+                                   ? dims[v].di
+                                   : (node.junction ? dims[v].di
+                                                    : dims[v].dOut));
+                    if (dim > best_dim) {
+                        best_dim = dim;
+                        best = t;
+                    }
+                }
+                out[v].push_back(best);
+            }
+        }
+        return out;
+    }
+
+    void
+    solveNode(hw::NodeId id, const std::vector<DimScales> &scales)
+    {
+        const hw::HierarchyNode &hn = hierarchy.node(id);
+        if (hn.isLeaf())
+            return;
+
+        const hw::AcceleratorGroup &left_group =
+            hierarchy.node(hn.left).group;
+        const hw::AcceleratorGroup &right_group =
+            hierarchy.node(hn.right).group;
+        const GroupRates left{left_group.computeDensity(),
+                              left_group.linkBandwidth()};
+        const GroupRates right{right_group.computeDensity(),
+                               right_group.linkBandwidth()};
+
+        PairCostModel model(left, right, options.cost);
+        double alpha = initialAlpha(options.ratioPolicy, left, right);
+        model.setAlpha(alpha);
+
+        const std::vector<LayerDims> dims = scaledDims(problem, scales);
+        const CondensedGraph &graph = problem.condensed();
+
+        ChainDpResult result =
+            solveChainDp(graph, problem.chain(), dims, model,
+                         effectiveRestrictions(dims, alpha));
+        const bool adaptive =
+            options.ratioPolicy == RatioPolicy::PaperLinear ||
+            options.ratioPolicy == RatioPolicy::ExactBalance;
+        if (adaptive) {
+            for (int iter = 0; iter < options.ratioIterations; ++iter) {
+                double next;
+                if (options.ratioPolicy == RatioPolicy::PaperLinear) {
+                    next = solveRatioLinear(graph, dims, model,
+                                            result.types);
+                } else {
+                    next = solveRatioExact(graph, dims, model,
+                                           result.types);
+                }
+                if (std::abs(next - alpha) < 1e-9)
+                    break;
+                alpha = next;
+                model.setAlpha(alpha);
+                result = solveChainDp(graph, problem.chain(), dims, model,
+                                      effectiveRestrictions(dims, alpha));
+            }
+        }
+
+        ACCPAR_DEBUG("hier node " << id << " alpha=" << alpha << " cost="
+                                  << result.cost << " types="
+                                  << formatTypeSequence(result.types));
+
+        NodePlan node_plan;
+        node_plan.alpha = alpha;
+        node_plan.types = result.types;
+        node_plan.cost = result.cost;
+        plan.setNodePlan(id, std::move(node_plan));
+
+        // Recurse with scaled dims: the left child sees alpha's share of
+        // each partitioned dimension, the right child the remainder.
+        std::vector<DimScales> left_scales(scales);
+        std::vector<DimScales> right_scales(scales);
+        for (std::size_t v = 0; v < graph.size(); ++v) {
+            const bool junction =
+                graph.node(static_cast<CNodeId>(v)).junction;
+            const PartitionType t = result.types[v];
+            left_scales[v] = childScales(scales[v], junction, t, alpha);
+            right_scales[v] =
+                childScales(scales[v], junction, t, 1.0 - alpha);
+        }
+        solveNode(hn.left, left_scales);
+        solveNode(hn.right, right_scales);
+    }
+};
+
+} // namespace
+
+PartitionPlan
+solveHierarchy(const PartitionProblem &problem,
+               const hw::Hierarchy &hierarchy,
+               const SolverOptions &options)
+{
+    HierSolver solver(problem, hierarchy, options);
+    const std::vector<DimScales> unit(problem.condensed().size());
+    solver.solveNode(hierarchy.root(), unit);
+    return std::move(solver.plan);
+}
+
+PartitionPlan
+solveHierarchy(const graph::Graph &model, const hw::Hierarchy &hierarchy,
+               const SolverOptions &options)
+{
+    const PartitionProblem problem(model);
+    return solveHierarchy(problem, hierarchy, options);
+}
+
+} // namespace accpar::core

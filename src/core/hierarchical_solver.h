@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The hierarchical partitioning solver: applies the layer-wise DP
+ * recursively over the bi-partition tree of the accelerator array
+ * (paper §5.1's hierarchical/recursive partitioning).
+ *
+ * At every internal hierarchy node the solver (1) builds the pair cost
+ * model from the two child groups' aggregate rates, (2) runs the chain DP
+ * for the current ratio, (3) re-solves the ratio per the configured
+ * policy, iterating (2)-(3) to a bounded fixed point, and (4) recurses
+ * into the children with the per-layer dimensions scaled by the chosen
+ * types and ratio (Type-I scales B, Type-II scales D_i, Type-III scales
+ * D_o; junctions scale their single channel dimension for both II and
+ * III).
+ */
+
+#ifndef ACCPAR_CORE_HIERARCHICAL_SOLVER_H
+#define ACCPAR_CORE_HIERARCHICAL_SOLVER_H
+
+#include <functional>
+
+#include "core/chain_dp.h"
+#include "core/condensed_graph.h"
+#include "core/cost_model.h"
+#include "core/plan.h"
+#include "core/ratio_solver.h"
+#include "core/segment.h"
+#include "graph/graph.h"
+#include "hw/hierarchy.h"
+
+namespace accpar::core {
+
+/** Per-node allowed-type policy; default allows all three types. */
+using AllowedTypesFn =
+    std::function<std::vector<PartitionType>(const CondensedNode &)>;
+
+/** Configuration of one hierarchical solve. */
+struct SolverOptions
+{
+    CostModelConfig cost;
+    RatioPolicy ratioPolicy = RatioPolicy::PaperLinear;
+    /** Bounded fixed-point iterations of (DP, ratio) per node. */
+    int ratioIterations = 3;
+    /** Allowed types per condensed node; null means unrestricted. */
+    AllowedTypesFn allowedTypes;
+    /**
+     * Integer-granularity constraint: a type is only searchable at a
+     * level while the dimension it partitions keeps at least this many
+     * units on each side after the split (a board cannot hold a fraction
+     * of a batch sample or channel). 0 disables the check. When no
+     * allowed type is feasible, the type with the largest partitionable
+     * dimension is kept.
+     */
+    double minDimPerSide = 1.0;
+    /** Strategy label recorded in the plan. */
+    std::string strategyName = "accpar";
+};
+
+/**
+ * True when splitting @p t's dimension of @p dims at @p min_share (the
+ * smaller of the two ratio shares) leaves at least @p min_dim units per
+ * side.
+ */
+bool typeFeasible(const LayerDims &dims, bool junction, PartitionType t,
+                  double min_share, double min_dim);
+
+/**
+ * A prepared partitioning problem: the condensed view of one model,
+ * reusable across hierarchies and solver options.
+ */
+class PartitionProblem
+{
+  public:
+    explicit PartitionProblem(const graph::Graph &model);
+
+    const CondensedGraph &condensed() const { return _condensed; }
+    const Chain &chain() const { return _chain; }
+
+    /** Unscaled dims per condensed node. */
+    const std::vector<LayerDims> &baseDims() const { return _baseDims; }
+
+    /** Condensed node names (for plan reporting). */
+    std::vector<std::string> nodeNames() const;
+
+  private:
+    CondensedGraph _condensed;
+    Chain _chain;
+    std::vector<LayerDims> _baseDims;
+};
+
+/** Solves the full hierarchy for @p problem. */
+PartitionPlan solveHierarchy(const PartitionProblem &problem,
+                             const hw::Hierarchy &hierarchy,
+                             const SolverOptions &options);
+
+/** Convenience wrapper building the problem from @p model. */
+PartitionPlan solveHierarchy(const graph::Graph &model,
+                             const hw::Hierarchy &hierarchy,
+                             const SolverOptions &options);
+
+/** The dimension scale factors a node's choice hands to a child group. */
+struct DimScales
+{
+    double b = 1.0;
+    double di = 1.0;
+    double dOut = 1.0;
+};
+
+/**
+ * Applies one level's (type, ratio) decision for one condensed node to
+ * the child-group scales. Exposed for tests and the trace generator.
+ */
+DimScales childScales(const DimScales &scales, bool junction,
+                      PartitionType type, double ratio);
+
+/** Scales the base dims of @p problem by per-node @p scales. */
+std::vector<LayerDims> scaledDims(const PartitionProblem &problem,
+                                  const std::vector<DimScales> &scales);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_HIERARCHICAL_SOLVER_H

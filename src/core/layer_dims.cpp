@@ -1,0 +1,90 @@
+#include "core/layer_dims.h"
+
+#include "util/error.h"
+
+namespace accpar::core {
+
+util::Flops
+LayerDims::flopsForward() const
+{
+    const double k = di * kernelArea;
+    if (k <= 0.0)
+        return 0.0;
+    return sizeOutput() * (2.0 * k - 1.0);
+}
+
+util::Flops
+LayerDims::flopsBackward() const
+{
+    const double k = dOut * kernelArea;
+    if (k <= 0.0)
+        return 0.0;
+    return sizeInput() * (2.0 * k - 1.0);
+}
+
+util::Flops
+LayerDims::flopsGradient() const
+{
+    const double k = b * spatialOut;
+    if (k <= 0.0)
+        return 0.0;
+    return sizeWeight() * (2.0 * k - 1.0);
+}
+
+util::Flops
+LayerDims::flopsTotal() const
+{
+    return flopsForward() + flopsBackward() + flopsGradient();
+}
+
+LayerDims
+LayerDims::scaled(double s_b, double s_di, double s_do) const
+{
+    ACCPAR_ASSERT(s_b > 0.0 && s_di > 0.0 && s_do > 0.0,
+                  "scale factors must be positive");
+    LayerDims out = *this;
+    out.b *= s_b;
+    out.di *= s_di;
+    out.dOut *= s_do;
+    return out;
+}
+
+LayerDims
+layerDimsFor(const graph::Graph &graph, graph::LayerId id)
+{
+    const graph::Layer &layer = graph.layer(id);
+    ACCPAR_REQUIRE(layer.hasWeights(),
+                   "layerDimsFor expects a weighted layer, got "
+                       << layer.name);
+    const graph::TensorShape &in = graph.inputShape(id);
+    const graph::TensorShape &out = layer.outputShape;
+
+    LayerDims d;
+    d.b = static_cast<double>(in.n);
+    d.di = static_cast<double>(in.c);
+    d.dOut = static_cast<double>(out.c);
+    d.spatialIn = static_cast<double>(in.spatialSize());
+    d.spatialOut = static_cast<double>(out.spatialSize());
+    if (layer.kind == graph::LayerKind::Conv) {
+        const graph::ConvAttrs &a = layer.conv();
+        d.kernelArea = static_cast<double>(a.kernelH * a.kernelW);
+    } else {
+        d.kernelArea = 1.0;
+    }
+    return d;
+}
+
+LayerDims
+junctionDims(const graph::TensorShape &shape)
+{
+    LayerDims d;
+    d.b = static_cast<double>(shape.n);
+    d.di = static_cast<double>(shape.c);
+    d.dOut = static_cast<double>(shape.c);
+    d.spatialIn = static_cast<double>(shape.spatialSize());
+    d.spatialOut = d.spatialIn;
+    d.kernelArea = 1.0;
+    return d;
+}
+
+} // namespace accpar::core

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The per-layer dimension tuple the cost model operates on.
+ *
+ * Following §3/§4.3 of the paper, a weighted layer is characterized by the
+ * three partitionable dimensions B, D_i, D_o plus the non-partitionable
+ * "meta" dimensions (spatial feature-map extents and the kernel window).
+ * Dimensions are doubles because hierarchical partitioning scales them by
+ * fractional ratios.
+ */
+
+#ifndef ACCPAR_CORE_LAYER_DIMS_H
+#define ACCPAR_CORE_LAYER_DIMS_H
+
+#include "graph/graph.h"
+#include "util/units.h"
+
+namespace accpar::core {
+
+/**
+ * Effective dimensions of one weighted layer (or junction pseudo-layer).
+ *
+ * For an FC layer the meta dimensions are 1; for a CONV layer spatialIn /
+ * spatialOut are the input/output feature-map areas and kernelArea is
+ * k_h * k_w (paper §4.3). A junction (element-wise join such as a residual
+ * Add) carries one tensor: di == do == channel count, kernelArea == 1,
+ * spatialIn == spatialOut, and contributes no compute or weights.
+ */
+struct LayerDims
+{
+    double b = 0.0;          ///< batch size B
+    double di = 0.0;         ///< input data size (channels) D_i
+    double dOut = 0.0;       ///< output data size (channels) D_o
+    double spatialIn = 1.0;  ///< input feature-map area (h*w)
+    double spatialOut = 1.0; ///< output feature-map area (h*w)
+    double kernelArea = 1.0; ///< kernel window area (k_h*k_w), 1 for FC
+
+    /** A(F_l) = A(E_l): input feature-map / error tensor size. */
+    double sizeInput() const { return b * di * spatialIn; }
+
+    /** A(F_{l+1}) = A(E_{l+1}): output feature-map / error tensor size. */
+    double sizeOutput() const { return b * dOut * spatialOut; }
+
+    /** A(W_l) = A(dW_l): kernel tensor size. */
+    double sizeWeight() const { return di * dOut * kernelArea; }
+
+    /**
+     * FLOPs of the forward multiplication (Table 6 with the CONV
+     * extension): A(F_{l+1}) * (2 * D_i * kernelArea - 1).
+     */
+    util::Flops flopsForward() const;
+
+    /** FLOPs of the backward multiplication. */
+    util::Flops flopsBackward() const;
+
+    /** FLOPs of the gradient multiplication. */
+    util::Flops flopsGradient() const;
+
+    /** Sum of the three phases. */
+    util::Flops flopsTotal() const;
+
+    /** Returns a copy with B, D_i, D_o multiplied by the given factors. */
+    LayerDims scaled(double s_b, double s_di, double s_do) const;
+};
+
+/** Extracts LayerDims for a weighted layer of @p graph. */
+LayerDims layerDimsFor(const graph::Graph &graph, graph::LayerId id);
+
+/** Builds junction pseudo-dims from the joined tensor's shape. */
+LayerDims junctionDims(const graph::TensorShape &shape);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_LAYER_DIMS_H

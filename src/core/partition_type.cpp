@@ -1,0 +1,55 @@
+#include "core/partition_type.h"
+
+#include "util/error.h"
+
+namespace accpar::core {
+
+PartitionType
+partitionTypeFromIndex(int index)
+{
+    ACCPAR_REQUIRE(index >= 0 && index < kPartitionTypeCount,
+                   "partition type index out of range: " << index);
+    return static_cast<PartitionType>(index);
+}
+
+const char *
+partitionTypeName(PartitionType t)
+{
+    switch (t) {
+      case PartitionType::TypeI:
+        return "Type-I";
+      case PartitionType::TypeII:
+        return "Type-II";
+      case PartitionType::TypeIII:
+        return "Type-III";
+    }
+    throw util::InternalError("unknown PartitionType");
+}
+
+const char *
+partitionTypeTag(PartitionType t)
+{
+    switch (t) {
+      case PartitionType::TypeI:
+        return "I";
+      case PartitionType::TypeII:
+        return "II";
+      case PartitionType::TypeIII:
+        return "III";
+    }
+    throw util::InternalError("unknown PartitionType");
+}
+
+std::string
+formatTypeSequence(const std::vector<PartitionType> &types)
+{
+    std::string out;
+    for (std::size_t i = 0; i < types.size(); ++i) {
+        if (i)
+            out += ',';
+        out += partitionTypeTag(types[i]);
+    }
+    return out;
+}
+
+} // namespace accpar::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The three basic tensor partitioning types of paper §3.2.
+ *
+ * Exactly one of the three dimensions appearing in the forward/backward/
+ * gradient multiplications can be free in a partition:
+ *  - Type-I   partitions B      (batch; classic data parallelism),
+ *  - Type-II  partitions D_i    (input channels; model parallelism),
+ *  - Type-III partitions D_o    (output channels; the configuration
+ *    overlooked by OWT and HyPar).
+ */
+
+#ifndef ACCPAR_CORE_PARTITION_TYPE_H
+#define ACCPAR_CORE_PARTITION_TYPE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace accpar::core {
+
+/** One of the three basic partitioning types. */
+enum class PartitionType : int { TypeI = 0, TypeII = 1, TypeIII = 2 };
+
+/** Number of basic types. */
+inline constexpr int kPartitionTypeCount = 3;
+
+/** All types, in paper order. */
+inline constexpr std::array<PartitionType, 3> kAllPartitionTypes = {
+    PartitionType::TypeI, PartitionType::TypeII, PartitionType::TypeIII};
+
+/** Dense index in [0, 3) of @p t. */
+constexpr int
+partitionTypeIndex(PartitionType t)
+{
+    return static_cast<int>(t);
+}
+
+/** Inverse of partitionTypeIndex; @p index must be in [0, 3). */
+PartitionType partitionTypeFromIndex(int index);
+
+/** "Type-I" / "Type-II" / "Type-III". */
+const char *partitionTypeName(PartitionType t);
+
+/** Short tag used in compact reports: "I" / "II" / "III". */
+const char *partitionTypeTag(PartitionType t);
+
+/** Renders a per-layer assignment as e.g. "I,I,II,III". */
+std::string formatTypeSequence(const std::vector<PartitionType> &types);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_PARTITION_TYPE_H

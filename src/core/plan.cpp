@@ -1,0 +1,72 @@
+#include "core/plan.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace accpar::core {
+
+PartitionPlan::PartitionPlan(std::string strategy, std::string model,
+                             std::size_t hierarchy_nodes,
+                             std::vector<std::string> node_names)
+    : _strategy(std::move(strategy)),
+      _model(std::move(model)),
+      _names(std::move(node_names)),
+      _nodes(hierarchy_nodes)
+{
+}
+
+void
+PartitionPlan::setNodePlan(hw::NodeId id, NodePlan plan)
+{
+    ACCPAR_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < _nodes.size(),
+                   "hierarchy node id out of range: " << id);
+    ACCPAR_REQUIRE(plan.types.size() == _names.size(),
+                   "node plan has " << plan.types.size()
+                                    << " types, expected "
+                                    << _names.size());
+    _nodes[id] = std::move(plan);
+}
+
+bool
+PartitionPlan::hasNodePlan(hw::NodeId id) const
+{
+    return id >= 0 && static_cast<std::size_t>(id) < _nodes.size() &&
+           _nodes[id].has_value();
+}
+
+const NodePlan &
+PartitionPlan::nodePlan(hw::NodeId id) const
+{
+    ACCPAR_REQUIRE(hasNodePlan(id),
+                   "no plan recorded for hierarchy node " << id);
+    return *_nodes[id];
+}
+
+std::vector<const NodePlan *>
+PartitionPlan::leftmostPath(const hw::Hierarchy &hierarchy) const
+{
+    std::vector<const NodePlan *> out;
+    hw::NodeId cur = hierarchy.root();
+    while (!hierarchy.node(cur).isLeaf()) {
+        out.push_back(&nodePlan(cur));
+        cur = hierarchy.node(cur).left;
+    }
+    return out;
+}
+
+std::string
+PartitionPlan::toString(const hw::Hierarchy &hierarchy) const
+{
+    std::ostringstream os;
+    os << _strategy << " plan for " << _model << ":\n";
+    const auto path = leftmostPath(hierarchy);
+    for (std::size_t level = 0; level < path.size(); ++level) {
+        os << "  level " << level << " (alpha="
+           << path[level]->alpha << "): "
+           << formatTypeSequence(path[level]->types) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace accpar::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Partition plans: the output of a partitioning strategy.
+ *
+ * A plan assigns, to every internal node of the accelerator hierarchy,
+ * a partitioning ratio (the left child group's share) and one basic
+ * partition type per condensed-graph node. Leaves carry no decisions.
+ */
+
+#ifndef ACCPAR_CORE_PLAN_H
+#define ACCPAR_CORE_PLAN_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/partition_type.h"
+#include "hw/hierarchy.h"
+
+namespace accpar::core {
+
+/** Decisions taken at one internal hierarchy node. */
+struct NodePlan
+{
+    /** Ratio of the left child group (the right gets 1 - alpha). */
+    double alpha = 0.5;
+    /** Chosen type per condensed node, indexed by CNodeId. */
+    std::vector<PartitionType> types;
+    /** Modeled pair cost of this node's assignment (solver units). */
+    double cost = 0.0;
+};
+
+/** A full hierarchical partition plan for one (model, array) pair. */
+class PartitionPlan
+{
+  public:
+    PartitionPlan() = default;
+    PartitionPlan(std::string strategy, std::string model,
+                  std::size_t hierarchy_nodes,
+                  std::vector<std::string> node_names);
+
+    const std::string &strategyName() const { return _strategy; }
+    const std::string &modelName() const { return _model; }
+
+    /** Condensed-node names (for reports), indexed by CNodeId. */
+    const std::vector<std::string> &nodeNames() const { return _names; }
+
+    /** Stores the decisions of hierarchy node @p id. */
+    void setNodePlan(hw::NodeId id, NodePlan plan);
+
+    /** True when hierarchy node @p id carries decisions. */
+    bool hasNodePlan(hw::NodeId id) const;
+
+    /** Decisions at hierarchy node @p id; must exist. */
+    const NodePlan &nodePlan(hw::NodeId id) const;
+
+    /**
+     * The per-level decisions along the leftmost root-to-leaf path of
+     * @p hierarchy — what Figure 7 plots. One entry per internal level.
+     */
+    std::vector<const NodePlan *>
+    leftmostPath(const hw::Hierarchy &hierarchy) const;
+
+    /** Human-readable rendering: per-level types along the left path. */
+    std::string toString(const hw::Hierarchy &hierarchy) const;
+
+  private:
+    std::string _strategy;
+    std::string _model;
+    std::vector<std::string> _names;
+    std::vector<std::optional<NodePlan>> _nodes;
+};
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_PLAN_H

@@ -1,0 +1,86 @@
+#include "core/plan_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace accpar::core {
+
+double
+PlanDiff::agreement() const
+{
+    if (decisions == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(typeDisagreements) /
+                     static_cast<double>(decisions);
+}
+
+PlanDiff
+diffPlans(const PartitionPlan &left, const PartitionPlan &right,
+          const hw::Hierarchy &hierarchy)
+{
+    ACCPAR_REQUIRE(left.nodeNames() == right.nodeNames(),
+                   "plans describe different models ("
+                       << left.modelName() << " vs "
+                       << right.modelName() << ")");
+
+    PlanDiff diff;
+    double alpha_delta_sum = 0.0;
+    std::size_t internal_nodes = 0;
+
+    for (hw::NodeId id : hierarchy.internalNodes()) {
+        const NodePlan &l = left.nodePlan(id);
+        const NodePlan &r = right.nodePlan(id);
+        ++internal_nodes;
+
+        const double delta = std::abs(l.alpha - r.alpha);
+        diff.maxAlphaDelta = std::max(diff.maxAlphaDelta, delta);
+        alpha_delta_sum += delta;
+
+        for (std::size_t v = 0; v < l.types.size(); ++v) {
+            ++diff.decisions;
+            if (l.types[v] == r.types[v])
+                continue;
+            ++diff.typeDisagreements;
+            diff.disagreements.push_back(
+                PlanDisagreement{id, static_cast<CNodeId>(v),
+                                 left.nodeNames()[v], l.types[v],
+                                 r.types[v]});
+        }
+    }
+    diff.meanAlphaDelta =
+        internal_nodes ? alpha_delta_sum /
+                             static_cast<double>(internal_nodes)
+                       : 0.0;
+    return diff;
+}
+
+std::string
+formatPlanDiff(const PlanDiff &diff, const std::string &left_label,
+               const std::string &right_label, std::size_t max_rows)
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << left_label << " vs " << right_label << ": "
+       << diff.typeDisagreements << "/" << diff.decisions
+       << " decisions differ (" << diff.agreement() * 100.0
+       << "% agreement), alpha delta mean " << diff.meanAlphaDelta
+       << " max " << diff.maxAlphaDelta << '\n';
+    const std::size_t shown =
+        std::min(max_rows, diff.disagreements.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        const PlanDisagreement &d = diff.disagreements[i];
+        os << "  node " << d.hierNode << " " << d.layerName << ": "
+           << partitionTypeTag(d.left) << " -> "
+           << partitionTypeTag(d.right) << '\n';
+    }
+    if (diff.disagreements.size() > shown) {
+        os << "  ... " << diff.disagreements.size() - shown
+           << " more\n";
+    }
+    return os.str();
+}
+
+} // namespace accpar::core

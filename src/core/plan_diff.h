@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Plan comparison: quantifies how two partition plans for the same
+ * (model, hierarchy) differ — which layers/levels disagree on type and
+ * how far the ratios diverge. Backs the `accpar diff` subcommand and
+ * the flexibility analysis of Table 8.
+ */
+
+#ifndef ACCPAR_CORE_PLAN_DIFF_H
+#define ACCPAR_CORE_PLAN_DIFF_H
+
+#include <string>
+#include <vector>
+
+#include "core/condensed_graph.h"
+#include "core/plan.h"
+#include "hw/hierarchy.h"
+
+namespace accpar::core {
+
+/** One disagreement between two plans. */
+struct PlanDisagreement
+{
+    hw::NodeId hierNode = hw::kInvalidNode;
+    CNodeId cnode = -1;
+    std::string layerName;
+    PartitionType left = PartitionType::TypeI;
+    PartitionType right = PartitionType::TypeI;
+};
+
+/** Summary of a plan comparison. */
+struct PlanDiff
+{
+    /** Total (hierarchy node, layer) decisions compared. */
+    std::size_t decisions = 0;
+    /** Decisions with differing types. */
+    std::size_t typeDisagreements = 0;
+    /** Largest |alpha_left - alpha_right| over hierarchy nodes. */
+    double maxAlphaDelta = 0.0;
+    /** Mean |alpha_left - alpha_right|. */
+    double meanAlphaDelta = 0.0;
+    /** The individual type disagreements, in hierarchy-node order. */
+    std::vector<PlanDisagreement> disagreements;
+
+    /** Fraction of decisions that agree, in [0, 1]. */
+    double agreement() const;
+};
+
+/**
+ * Compares two plans over the same hierarchy; throws ConfigError when
+ * the plans' layer sets differ.
+ */
+PlanDiff diffPlans(const PartitionPlan &left, const PartitionPlan &right,
+                   const hw::Hierarchy &hierarchy);
+
+/** Renders the diff for terminal output. */
+std::string formatPlanDiff(const PlanDiff &diff,
+                           const std::string &left_label,
+                           const std::string &right_label,
+                           std::size_t max_rows = 20);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_PLAN_DIFF_H

@@ -1,0 +1,78 @@
+#include "core/plan_evaluator.h"
+
+#include <algorithm>
+
+#include "core/chain_dp.h"
+#include "util/error.h"
+
+namespace accpar::core {
+
+namespace {
+
+struct Evaluator
+{
+    const PartitionProblem &problem;
+    const hw::Hierarchy &hierarchy;
+    const PartitionPlan &plan;
+    const CostModelConfig &config;
+    PlanEvaluation result;
+
+    /** Returns the worst accumulated cost in the subtree at @p id. */
+    double
+    walk(hw::NodeId id, const std::vector<DimScales> &scales)
+    {
+        const hw::HierarchyNode &hn = hierarchy.node(id);
+        if (hn.isLeaf())
+            return 0.0;
+
+        const NodePlan &np = plan.nodePlan(id);
+        const hw::AcceleratorGroup &left_group =
+            hierarchy.node(hn.left).group;
+        const hw::AcceleratorGroup &right_group =
+            hierarchy.node(hn.right).group;
+        PairCostModel model(
+            GroupRates{left_group.computeDensity(),
+                       left_group.linkBandwidth()},
+            GroupRates{right_group.computeDensity(),
+                       right_group.linkBandwidth()},
+            config);
+        model.setAlpha(np.alpha);
+
+        const std::vector<LayerDims> dims = scaledDims(problem, scales);
+        const double cost = evaluateAssignment(problem.condensed(), dims,
+                                               model, np.types);
+        result.nodeCosts[id] = cost;
+
+        const CondensedGraph &graph = problem.condensed();
+        std::vector<DimScales> left_scales(scales);
+        std::vector<DimScales> right_scales(scales);
+        for (std::size_t v = 0; v < graph.size(); ++v) {
+            const bool junction =
+                graph.node(static_cast<CNodeId>(v)).junction;
+            const PartitionType t = np.types[v];
+            left_scales[v] = childScales(scales[v], junction, t,
+                                         np.alpha);
+            right_scales[v] = childScales(scales[v], junction, t,
+                                          1.0 - np.alpha);
+        }
+        const double below = std::max(walk(hn.left, left_scales),
+                                      walk(hn.right, right_scales));
+        return cost + below;
+    }
+};
+
+} // namespace
+
+PlanEvaluation
+evaluatePlan(const PartitionProblem &problem,
+             const hw::Hierarchy &hierarchy, const PartitionPlan &plan,
+             const CostModelConfig &config)
+{
+    Evaluator ev{problem, hierarchy, plan, config, PlanEvaluation{}};
+    ev.result.nodeCosts.assign(hierarchy.nodeCount(), 0.0);
+    const std::vector<DimScales> unit(problem.condensed().size());
+    ev.result.worstPathCost = ev.walk(hierarchy.root(), unit);
+    return std::move(ev.result);
+}
+
+} // namespace accpar::core

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plan evaluation: recomputes the modeled cost of a recorded plan without
+ * searching. Used to cross-check the solver's bookkeeping, to compare
+ * plans produced under different objectives on equal footing, and to
+ * derive the worst root-to-leaf accumulated cost of a hierarchy.
+ */
+
+#ifndef ACCPAR_CORE_PLAN_EVALUATOR_H
+#define ACCPAR_CORE_PLAN_EVALUATOR_H
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/hierarchical_solver.h"
+#include "core/plan.h"
+#include "hw/hierarchy.h"
+
+namespace accpar::core {
+
+/** Per-hierarchy-node recomputed costs of a plan. */
+struct PlanEvaluation
+{
+    /** Pair-combined cost per hierarchy node (0 for leaves). */
+    std::vector<double> nodeCosts;
+    /** Max over leaves of the summed costs of all ancestor nodes. */
+    double worstPathCost = 0.0;
+};
+
+/**
+ * Walks @p hierarchy with the plan's recorded types and ratios, scaling
+ * dims exactly like the solver, and recomputes every node's cost under
+ * @p config. The config may differ from the one the plan was searched
+ * with (e.g. evaluate a CommAmount-searched HyPar plan under the Time
+ * objective).
+ */
+PlanEvaluation evaluatePlan(const PartitionProblem &problem,
+                            const hw::Hierarchy &hierarchy,
+                            const PartitionPlan &plan,
+                            const CostModelConfig &config);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_PLAN_EVALUATOR_H

@@ -1,0 +1,156 @@
+#include "core/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace accpar::core {
+
+namespace {
+
+/** Stable signature of a hierarchy (node structure + group makeup). */
+std::string
+hierarchySignature(const hw::Hierarchy &hierarchy)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < hierarchy.nodeCount(); ++i) {
+        const hw::HierarchyNode &n =
+            hierarchy.node(static_cast<hw::NodeId>(i));
+        os << i << ':' << n.group.toString() << ';';
+    }
+    return os.str();
+}
+
+} // namespace
+
+util::Json
+planToJson(const PartitionPlan &plan, const hw::Hierarchy &hierarchy)
+{
+    util::Json doc;
+    doc["format"] = "accpar-plan-v1";
+    doc["strategy"] = plan.strategyName();
+    doc["model"] = plan.modelName();
+    doc["hierarchySignature"] = hierarchySignature(hierarchy);
+
+    util::Json names;
+    for (const std::string &name : plan.nodeNames())
+        names.push(name);
+    doc["layers"] = std::move(names);
+
+    util::Json nodes;
+    for (std::size_t i = 0; i < hierarchy.nodeCount(); ++i) {
+        const auto id = static_cast<hw::NodeId>(i);
+        if (!plan.hasNodePlan(id))
+            continue;
+        const NodePlan &np = plan.nodePlan(id);
+        util::Json node;
+        node["node"] = static_cast<std::int64_t>(id);
+        node["alpha"] = np.alpha;
+        node["cost"] = np.cost;
+        util::Json types;
+        for (PartitionType t : np.types)
+            types.push(partitionTypeTag(t));
+        node["types"] = std::move(types);
+        nodes.push(std::move(node));
+    }
+    doc["nodes"] = std::move(nodes);
+    return doc;
+}
+
+namespace {
+
+PartitionType
+typeFromTag(const std::string &tag)
+{
+    for (PartitionType t : kAllPartitionTypes)
+        if (tag == partitionTypeTag(t))
+            return t;
+    throw util::ConfigError("unknown partition type tag '" + tag + "'");
+}
+
+} // namespace
+
+PartitionPlan
+planFromJson(const util::Json &json, const hw::Hierarchy &hierarchy)
+{
+    ACCPAR_REQUIRE(json.contains("format") &&
+                       json.at("format").asString() == "accpar-plan-v1",
+                   "not an accpar plan document");
+    ACCPAR_REQUIRE(json.at("hierarchySignature").asString() ==
+                       hierarchySignature(hierarchy),
+                   "plan was produced for a different accelerator "
+                   "hierarchy");
+
+    std::vector<std::string> names;
+    for (const util::Json &n : json.at("layers").asArray())
+        names.push_back(n.asString());
+
+    PartitionPlan plan(json.at("strategy").asString(),
+                       json.at("model").asString(),
+                       hierarchy.nodeCount(), names);
+
+    for (const util::Json &node : json.at("nodes").asArray()) {
+        const auto id =
+            static_cast<hw::NodeId>(node.at("node").asInt());
+        NodePlan np;
+        np.alpha = node.at("alpha").asNumber();
+        np.cost = node.at("cost").asNumber();
+        for (const util::Json &t : node.at("types").asArray())
+            np.types.push_back(typeFromTag(t.asString()));
+        plan.setNodePlan(id, std::move(np));
+    }
+
+    for (hw::NodeId id : hierarchy.internalNodes())
+        ACCPAR_REQUIRE(plan.hasNodePlan(id),
+                       "plan document misses hierarchy node " << id);
+    return plan;
+}
+
+void
+savePlan(const PartitionPlan &plan, const hw::Hierarchy &hierarchy,
+         const std::string &path)
+{
+    std::ofstream out(path);
+    ACCPAR_REQUIRE(out.is_open(), "cannot open " << path
+                                                 << " for writing");
+    out << planToJson(plan, hierarchy).dump(2) << '\n';
+}
+
+PartitionPlan
+loadPlan(const std::string &path, const hw::Hierarchy &hierarchy)
+{
+    std::ifstream in(path);
+    ACCPAR_REQUIRE(in.is_open(), "cannot open " << path
+                                                << " for reading");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return planFromJson(util::Json::parse(text.str()), hierarchy);
+}
+
+void
+writeTypeMatrixCsv(const PartitionPlan &plan,
+                   const hw::Hierarchy &hierarchy,
+                   const std::string &path)
+{
+    std::vector<std::string> header = {"level", "alpha"};
+    for (const std::string &name : plan.nodeNames())
+        header.push_back(name);
+    util::CsvWriter csv(header);
+
+    const auto levels = plan.leftmostPath(hierarchy);
+    for (std::size_t level = 0; level < levels.size(); ++level) {
+        std::vector<std::string> row = {std::to_string(level + 1)};
+        std::ostringstream alpha;
+        alpha.precision(6);
+        alpha << levels[level]->alpha;
+        row.push_back(alpha.str());
+        for (PartitionType t : levels[level]->types)
+            row.push_back(partitionTypeTag(t));
+        csv.addRow(std::move(row));
+    }
+    csv.writeFile(path);
+}
+
+} // namespace accpar::core

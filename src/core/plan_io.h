@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Partition-plan serialization: save a searched plan as JSON and load
+ * it back, so expensive searches can be cached, compared offline, or
+ * shipped to an execution system.
+ */
+
+#ifndef ACCPAR_CORE_PLAN_IO_H
+#define ACCPAR_CORE_PLAN_IO_H
+
+#include <string>
+
+#include "core/plan.h"
+#include "hw/hierarchy.h"
+#include "util/json.h"
+
+namespace accpar::core {
+
+/**
+ * Serializes @p plan. The hierarchy is identified by its node count
+ * and per-node group signatures so a load against a different array
+ * fails loudly instead of silently misapplying decisions.
+ */
+util::Json planToJson(const PartitionPlan &plan,
+                      const hw::Hierarchy &hierarchy);
+
+/**
+ * Restores a plan serialized by planToJson. Throws ConfigError when
+ * the document is malformed or does not match @p hierarchy.
+ */
+PartitionPlan planFromJson(const util::Json &json,
+                           const hw::Hierarchy &hierarchy);
+
+/** Writes @p plan to @p path (pretty-printed JSON). */
+void savePlan(const PartitionPlan &plan, const hw::Hierarchy &hierarchy,
+              const std::string &path);
+
+/** Reads a plan from @p path. */
+PartitionPlan loadPlan(const std::string &path,
+                       const hw::Hierarchy &hierarchy);
+
+/**
+ * Writes the Figure-7-style type matrix of @p plan as CSV: one row per
+ * hierarchy level (leftmost root-to-leaf path), one column per layer,
+ * cells I/II/III. Works for any model, not just AlexNet.
+ */
+void writeTypeMatrixCsv(const PartitionPlan &plan,
+                        const hw::Hierarchy &hierarchy,
+                        const std::string &path);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_PLAN_IO_H

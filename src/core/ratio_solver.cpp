@@ -1,0 +1,118 @@
+#include "core/ratio_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace accpar::core {
+
+namespace {
+
+/** Keep ratios strictly inside (0, 1) so no group starves. */
+constexpr double kRatioFloor = 1e-4;
+
+double
+clampRatio(double alpha)
+{
+    return std::min(1.0 - kRatioFloor, std::max(kRatioFloor, alpha));
+}
+
+} // namespace
+
+const char *
+ratioPolicyName(RatioPolicy policy)
+{
+    switch (policy) {
+      case RatioPolicy::Fixed:
+        return "fixed-0.5";
+      case RatioPolicy::ComputeProportional:
+        return "compute-proportional";
+      case RatioPolicy::PaperLinear:
+        return "paper-linear";
+      case RatioPolicy::ExactBalance:
+        return "exact-balance";
+    }
+    throw util::InternalError("unknown RatioPolicy");
+}
+
+double
+sideTotalCost(const CondensedGraph &graph,
+              const std::vector<LayerDims> &dims,
+              const PairCostModel &model,
+              const std::vector<PartitionType> &types, Side side)
+{
+    ACCPAR_REQUIRE(types.size() == graph.size(),
+                   "assignment size mismatch");
+    double total = 0.0;
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+        const CondensedNode &node = graph.node(static_cast<CNodeId>(v));
+        total += model.sideNodeCost(side, dims[v], node.junction,
+                                    types[v]);
+        for (CNodeId u : node.preds) {
+            const double boundary = std::min(dims[u].sizeOutput(),
+                                             dims[v].sizeInput());
+            total += model.sideTransitionCost(side, types[u], types[v],
+                                              boundary);
+        }
+    }
+    return total;
+}
+
+double
+solveRatioLinear(const CondensedGraph &graph,
+                 const std::vector<LayerDims> &dims,
+                 const PairCostModel &model,
+                 const std::vector<PartitionType> &types)
+{
+    const double alpha0 = model.alpha();
+    const double beta0 = 1.0 - alpha0;
+    const double t_left =
+        sideTotalCost(graph, dims, model, types, Side::Left);
+    const double t_right =
+        sideTotalCost(graph, dims, model, types, Side::Right);
+
+    // Linearization: T_L(a) = a * (T_L(a0) / a0), likewise for the right
+    // side in (1 - a). Eq. 10 balance T_L(a) = T_R(1 - a) gives:
+    const double k_left = t_left / alpha0;
+    const double k_right = t_right / beta0;
+    if (k_left + k_right <= 0.0)
+        return 0.5;
+    return clampRatio(k_right / (k_left + k_right));
+}
+
+double
+solveRatioExact(const CondensedGraph &graph,
+                const std::vector<LayerDims> &dims, PairCostModel model,
+                const std::vector<PartitionType> &types)
+{
+    auto difference = [&](double alpha) {
+        model.setAlpha(alpha);
+        return sideTotalCost(graph, dims, model, types, Side::Left) -
+               sideTotalCost(graph, dims, model, types, Side::Right);
+    };
+
+    // T_L grows and T_R shrinks with alpha whenever the computation
+    // term is present, so T_L - T_R is monotone increasing and the
+    // balanced ratio is its root; max(T_L, T_R) is V-shaped around it.
+    // (A ternary search on the max alone drifts to an arbitrary point
+    // when communication dominates and the max is nearly flat.)
+    double lo = kRatioFloor;
+    double hi = 1.0 - kRatioFloor;
+    const double f_lo = difference(lo);
+    const double f_hi = difference(hi);
+    if (f_lo >= 0.0)
+        return lo; // the left side is slower even with a minimal share
+    if (f_hi <= 0.0)
+        return hi;
+    for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (difference(mid) <= 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return clampRatio(0.5 * (lo + hi));
+}
+
+} // namespace accpar::core

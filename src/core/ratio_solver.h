@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Partitioning-ratio solving (paper §5.3).
+ *
+ * AccPar balances the sum of computation and communication cost between
+ * the two groups of a pair by solving Eq. 10 for the ratio alpha. The
+ * paper treats both cost terms as linear in alpha; we implement that
+ * linearized rebalance step (RatioPolicy::PaperLinear, iterated to a fixed
+ * point by the hierarchical solver) plus an exact numeric balance on the
+ * true piecewise cost as an ablation (RatioPolicy::ExactBalance).
+ */
+
+#ifndef ACCPAR_CORE_RATIO_SOLVER_H
+#define ACCPAR_CORE_RATIO_SOLVER_H
+
+#include <vector>
+
+#include "core/chain_dp.h"
+#include "core/condensed_graph.h"
+#include "core/cost_model.h"
+
+namespace accpar::core {
+
+/** How the partitioning ratio of a group pair is chosen. */
+enum class RatioPolicy
+{
+    /** Always 0.5 (DP, OWT, HyPar: equal partitioning). */
+    Fixed,
+    /** alpha = c_L / (c_L + c_R); compute-only heuristic. */
+    ComputeProportional,
+    /** Eq. 10 linearized rebalance, iterated with the DP (AccPar). */
+    PaperLinear,
+    /** Ternary search on the exact max(T_L, T_R) (ablation). */
+    ExactBalance,
+};
+
+/** Short name for reports. */
+const char *ratioPolicyName(RatioPolicy policy);
+
+/**
+ * Total cost of one side for a fixed type assignment under @p model's
+ * current ratio: sum of per-node and per-edge side costs.
+ */
+double sideTotalCost(const CondensedGraph &graph,
+                     const std::vector<LayerDims> &dims,
+                     const PairCostModel &model,
+                     const std::vector<PartitionType> &types, Side side);
+
+/**
+ * One linearized rebalance step (Eq. 10): assuming T_side(alpha) is
+ * proportional to the side's ratio, returns the alpha that equalizes the
+ * two sides' totals, starting from the model's current ratio. Result is
+ * clamped to (0, 1).
+ */
+double solveRatioLinear(const CondensedGraph &graph,
+                        const std::vector<LayerDims> &dims,
+                        const PairCostModel &model,
+                        const std::vector<PartitionType> &types);
+
+/**
+ * Exact balance: ternary search for the alpha minimizing
+ * max(T_L(alpha), T_R(alpha)) with the true (piecewise, partly quadratic)
+ * cost tables. @p model's alpha is used only as the starting point's
+ * configuration; the returned alpha is the optimum found.
+ */
+double solveRatioExact(const CondensedGraph &graph,
+                       const std::vector<LayerDims> &dims,
+                       PairCostModel model,
+                       const std::vector<PartitionType> &types);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_RATIO_SOLVER_H

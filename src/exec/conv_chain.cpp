@@ -1,0 +1,348 @@
+#include "exec/conv_chain.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace accpar::exec {
+
+using core::PartitionType;
+
+Sharded4
+makeSharded4(const Tensor4 &full, Layout layout, std::int64_t split)
+{
+    Sharded4 s;
+    s.layout = layout;
+    s.n = full.n();
+    s.c = full.c();
+    s.h = full.h();
+    s.w = full.w();
+    s.split = split;
+    switch (layout) {
+      case Layout::Replicated:
+        s.part[0] = full;
+        s.part[1] = full;
+        s.split = 0;
+        break;
+      case Layout::RowShard:
+        s.part[0] = full.sliceN(0, split);
+        s.part[1] = full.sliceN(split, full.n());
+        break;
+      case Layout::ColShard:
+        s.part[0] = full.sliceC(0, split);
+        s.part[1] = full.sliceC(split, full.c());
+        break;
+    }
+    return s;
+}
+
+Tensor4
+assemble4(const Sharded4 &s)
+{
+    switch (s.layout) {
+      case Layout::Replicated:
+        return s.part[0];
+      case Layout::RowShard: {
+        Tensor4 full(s.n, s.c, s.h, s.w);
+        full.pasteN(0, s.part[0]);
+        full.pasteN(s.split, s.part[1]);
+        return full;
+      }
+      case Layout::ColShard: {
+        Tensor4 full(s.n, s.c, s.h, s.w);
+        full.pasteC(0, s.part[0]);
+        full.pasteC(s.split, s.part[1]);
+        return full;
+      }
+    }
+    throw util::InternalError("unknown Layout");
+}
+
+namespace {
+
+std::int64_t
+splitOf(double alpha, std::int64_t dim)
+{
+    const auto split = static_cast<std::int64_t>(
+        std::llround(alpha * static_cast<double>(dim)));
+    return std::max<std::int64_t>(0, std::min(dim, split));
+}
+
+/** Redistributes @p s, counting elements each device fetches. */
+Sharded4
+convert4(const Sharded4 &s, Layout target, std::int64_t target_split,
+         double recv[2])
+{
+    if (s.layout == target) {
+        ACCPAR_ASSERT(target == Layout::Replicated ||
+                          s.split == target_split,
+                      "conversion between different splits");
+        return s;
+    }
+    const double spatial = static_cast<double>(s.h * s.w);
+    switch (s.layout) {
+      case Layout::Replicated:
+        break; // local slicing
+      case Layout::RowShard:
+        if (target == Layout::Replicated) {
+            recv[0] += static_cast<double>(s.part[1].size());
+            recv[1] += static_cast<double>(s.part[0].size());
+        } else { // -> ColShard
+            recv[0] += static_cast<double>(s.part[1].n()) *
+                       static_cast<double>(target_split) * spatial;
+            recv[1] += static_cast<double>(s.part[0].n()) *
+                       static_cast<double>(s.c - target_split) *
+                       spatial;
+        }
+        break;
+      case Layout::ColShard:
+        if (target == Layout::Replicated) {
+            recv[0] += static_cast<double>(s.part[1].size());
+            recv[1] += static_cast<double>(s.part[0].size());
+        } else { // -> RowShard
+            recv[0] += static_cast<double>(target_split) *
+                       static_cast<double>(s.part[1].c()) * spatial;
+            recv[1] += static_cast<double>(s.n - target_split) *
+                       static_cast<double>(s.part[0].c()) * spatial;
+        }
+        break;
+    }
+    return makeSharded4(assemble4(s), target, target_split);
+}
+
+Sharded4
+exchangePsum4(Tensor4 p0, const Tensor4 &p1, double recv[2])
+{
+    recv[0] += static_cast<double>(p1.size());
+    recv[1] += static_cast<double>(p0.size());
+    p0.accumulate(p1);
+    return makeSharded4(p0, Layout::Replicated, 0);
+}
+
+} // namespace
+
+ConvChainResult
+runConvChainReference(const Tensor4 &input,
+                      const std::vector<ConvChainLayer> &layers,
+                      const Tensor4 &output_error)
+{
+    ACCPAR_REQUIRE(!layers.empty(), "empty conv chain");
+    ConvChainResult result;
+    result.activations.push_back(input);
+    for (const ConvChainLayer &l : layers) {
+        result.activations.push_back(conv2dForward(
+            result.activations.back(), l.weights, l.params));
+    }
+    result.errors.resize(layers.size() + 1);
+    result.gradients.resize(layers.size());
+    result.comm.resize(layers.size());
+    result.errors[layers.size()] = output_error;
+    for (std::size_t l = layers.size(); l-- > 0;) {
+        const Tensor4 &f = result.activations[l];
+        const Tensor4 &e = result.errors[l + 1];
+        result.gradients[l] = conv2dBackwardWeight(
+            f, e, layers[l].weights.h(), layers[l].weights.w(),
+            layers[l].params);
+        result.errors[l] = conv2dBackwardData(
+            e, layers[l].weights, f.h(), f.w(), layers[l].params);
+    }
+    return result;
+}
+
+ConvChainResult
+runConvChainPartitioned(const Tensor4 &input,
+                        const std::vector<ConvChainLayer> &layers,
+                        const Tensor4 &output_error,
+                        const std::vector<PartitionType> &types,
+                        double alpha)
+{
+    ACCPAR_REQUIRE(types.size() == layers.size(),
+                   "need one type per conv layer");
+    ACCPAR_REQUIRE(alpha > 0.0 && alpha < 1.0,
+                   "alpha must be in (0, 1)");
+
+    const std::int64_t row_split = splitOf(alpha, input.n());
+    auto split_for = [&](Layout layout, std::int64_t channels) {
+        switch (layout) {
+          case Layout::RowShard:
+            return row_split;
+          case Layout::ColShard:
+            return splitOf(alpha, channels);
+          case Layout::Replicated:
+            return std::int64_t{0};
+        }
+        throw util::InternalError("unknown Layout");
+    };
+
+    ConvChainResult result;
+    result.comm.resize(layers.size());
+    result.activations.resize(layers.size() + 1);
+    result.errors.resize(layers.size() + 1);
+    result.gradients.resize(layers.size());
+
+    // Resident weight shards.
+    std::vector<Sharded4> w(layers.size());
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        const Layout layout = weightLayout(types[l]);
+        // Weight tensors are (C_i, C_o, kh, kw): Type-II slices the
+        // batch-like first axis (C_i), Type-III the channel axis (C_o).
+        const std::int64_t split =
+            layout == Layout::RowShard
+                ? splitOf(alpha, layers[l].weights.n())
+                : split_for(layout, layers[l].weights.c());
+        w[l] = makeSharded4(layers[l].weights, layout, split);
+    }
+
+    // ---------------- Forward ----------------
+    std::vector<Sharded4> f(layers.size() + 1);
+    f[0] = makeSharded4(input, inputLayout(types[0]),
+                        split_for(inputLayout(types[0]), input.c()));
+    result.activations[0] = input;
+
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        const PartitionType t = types[l];
+        const Layout in_layout = inputLayout(t);
+        f[l] = convert4(f[l], in_layout,
+                        split_for(in_layout, f[l].c),
+                        result.comm[l].interForward);
+
+        const ConvParams &p = layers[l].params;
+        const std::int64_t out_c = layers[l].weights.c();
+        const std::int64_t oh =
+            convOutExtent(f[l].h, layers[l].weights.h(), p.strideH,
+                          p.padH);
+        const std::int64_t ow =
+            convOutExtent(f[l].w, layers[l].weights.w(), p.strideW,
+                          p.padW);
+
+        Sharded4 out;
+        switch (t) {
+          case PartitionType::TypeI: {
+            out.layout = Layout::RowShard;
+            out.n = input.n();
+            out.c = out_c;
+            out.h = oh;
+            out.w = ow;
+            out.split = row_split;
+            for (int d = 0; d < 2; ++d)
+                out.part[d] =
+                    conv2dForward(f[l].part[d], w[l].part[d], p);
+            break;
+          }
+          case PartitionType::TypeII: {
+            const Tensor4 p0 =
+                conv2dForward(f[l].part[0], w[l].part[0], p);
+            const Tensor4 p1 =
+                conv2dForward(f[l].part[1], w[l].part[1], p);
+            out = exchangePsum4(p0, p1, result.comm[l].intra);
+            break;
+          }
+          case PartitionType::TypeIII: {
+            out.layout = Layout::ColShard;
+            out.n = input.n();
+            out.c = out_c;
+            out.h = oh;
+            out.w = ow;
+            out.split = splitOf(alpha, out_c);
+            for (int d = 0; d < 2; ++d)
+                out.part[d] =
+                    conv2dForward(f[l].part[d], w[l].part[d], p);
+            break;
+          }
+        }
+        f[l + 1] = std::move(out);
+        result.activations[l + 1] = assemble4(f[l + 1]);
+    }
+
+    // ---------------- Backward + gradient ----------------
+    Sharded4 e = makeSharded4(
+        output_error, errorInputLayout(types.back()),
+        split_for(errorInputLayout(types.back()), output_error.c()));
+    result.errors[layers.size()] = output_error;
+
+    for (std::size_t l = layers.size(); l-- > 0;) {
+        const PartitionType t = types[l];
+        const Layout e_in = errorInputLayout(t);
+        e = convert4(e, e_in, split_for(e_in, e.c),
+                     result.comm[l].interBackward);
+
+        const ConvParams &p = layers[l].params;
+        const std::int64_t kh = layers[l].weights.h();
+        const std::int64_t kw = layers[l].weights.w();
+
+        // Gradient phase.
+        Sharded4 g;
+        switch (t) {
+          case PartitionType::TypeI: {
+            const Tensor4 p0 = conv2dBackwardWeight(
+                f[l].part[0], e.part[0], kh, kw, p);
+            const Tensor4 p1 = conv2dBackwardWeight(
+                f[l].part[1], e.part[1], kh, kw, p);
+            g = exchangePsum4(p0, p1, result.comm[l].intra);
+            break;
+          }
+          case PartitionType::TypeII:
+          case PartitionType::TypeIII: {
+            g.layout = t == PartitionType::TypeII ? Layout::RowShard
+                                                  : Layout::ColShard;
+            g.n = layers[l].weights.n();
+            g.c = layers[l].weights.c();
+            g.h = kh;
+            g.w = kw;
+            g.split = t == PartitionType::TypeII
+                          ? splitOf(alpha, g.n)
+                          : splitOf(alpha, g.c);
+            for (int d = 0; d < 2; ++d)
+                g.part[d] = conv2dBackwardWeight(f[l].part[d],
+                                                 e.part[d], kh, kw, p);
+            break;
+          }
+        }
+        // The weight-gradient tensor splits its (C_i, C_o) axes, so
+        // assemble4 pastes along N (=C_i) for RowShard and C (=C_o)
+        // for ColShard — exactly the weight layout.
+        result.gradients[l] = assemble4(g);
+
+        // Backward phase.
+        Sharded4 e_out;
+        switch (t) {
+          case PartitionType::TypeI: {
+            e_out.layout = Layout::RowShard;
+            e_out.n = f[l].n;
+            e_out.c = f[l].c;
+            e_out.h = f[l].h;
+            e_out.w = f[l].w;
+            e_out.split = row_split;
+            for (int d = 0; d < 2; ++d)
+                e_out.part[d] = conv2dBackwardData(
+                    e.part[d], w[l].part[d], f[l].h, f[l].w, p);
+            break;
+          }
+          case PartitionType::TypeII: {
+            e_out.layout = Layout::ColShard;
+            e_out.n = f[l].n;
+            e_out.c = f[l].c;
+            e_out.h = f[l].h;
+            e_out.w = f[l].w;
+            e_out.split = splitOf(alpha, f[l].c);
+            for (int d = 0; d < 2; ++d)
+                e_out.part[d] = conv2dBackwardData(
+                    e.part[d], w[l].part[d], f[l].h, f[l].w, p);
+            break;
+          }
+          case PartitionType::TypeIII: {
+            const Tensor4 p0 = conv2dBackwardData(
+                e.part[0], w[l].part[0], f[l].h, f[l].w, p);
+            const Tensor4 p1 = conv2dBackwardData(
+                e.part[1], w[l].part[1], f[l].h, f[l].w, p);
+            e_out = exchangePsum4(p0, p1, result.comm[l].intra);
+            break;
+          }
+        }
+        result.errors[l] = assemble4(e_out);
+        e = std::move(e_out);
+    }
+    return result;
+}
+
+} // namespace accpar::exec

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Two-device partitioned execution of a CONV layer *chain* — completes
+ * the numeric validation of Tables 4 and 5 for convolutional layers:
+ * the inter-layer conversions between 4-D activation tensors (batch /
+ * channel shards / replication) must move exactly the Table-5 amounts
+ * with A(F) = B x C x H x W, and the resulting training step must match
+ * the single-device reference.
+ */
+
+#ifndef ACCPAR_EXEC_CONV_CHAIN_H
+#define ACCPAR_EXEC_CONV_CHAIN_H
+
+#include <vector>
+
+#include "core/partition_type.h"
+#include "exec/conv_ops.h"
+#include "exec/partitioned.h" // Layout, LayerComm
+
+namespace accpar::exec {
+
+/** A logical NCHW tensor split over two devices. */
+struct Sharded4
+{
+    Layout layout = Layout::Replicated;
+    Tensor4 part[2];
+    std::int64_t n = 0, c = 0, h = 0, w = 0;
+    /** Device 0's batch (RowShard) or channel (ColShard) count. */
+    std::int64_t split = 0;
+};
+
+/** Distributes @p full; RowShard splits N, ColShard splits C. */
+Sharded4 makeSharded4(const Tensor4 &full, Layout layout,
+                      std::int64_t split);
+
+/** Reassembles the logical tensor. */
+Tensor4 assemble4(const Sharded4 &sharded);
+
+/** One layer of the chain. */
+struct ConvChainLayer
+{
+    Tensor4 weights; ///< (C_i, C_o, k_h, k_w)
+    ConvParams params;
+};
+
+/** Result of a chain run. */
+struct ConvChainResult
+{
+    /** F_0..F_L reassembled. */
+    std::vector<Tensor4> activations;
+    /** E_0..E_L reassembled. */
+    std::vector<Tensor4> errors;
+    /** dW_0..dW_{L-1} reassembled. */
+    std::vector<Tensor4> gradients;
+    /** Measured communication per layer (FC semantics: interForward is
+     *  the F conversion into layer l, interBackward the E conversion
+     *  at layer l). */
+    std::vector<LayerComm> comm;
+};
+
+/** Single-device reference (no activations between layers). */
+ConvChainResult
+runConvChainReference(const Tensor4 &input,
+                      const std::vector<ConvChainLayer> &layers,
+                      const Tensor4 &output_error);
+
+/**
+ * Two-device partitioned run with one basic type per layer and device
+ * 0 taking the @p alpha share (rounded to whole samples/channels).
+ */
+ConvChainResult
+runConvChainPartitioned(const Tensor4 &input,
+                        const std::vector<ConvChainLayer> &layers,
+                        const Tensor4 &output_error,
+                        const std::vector<core::PartitionType> &types,
+                        double alpha);
+
+} // namespace accpar::exec
+
+#endif // ACCPAR_EXEC_CONV_CHAIN_H

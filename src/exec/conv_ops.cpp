@@ -1,0 +1,120 @@
+#include "exec/conv_ops.h"
+
+#include "util/error.h"
+
+namespace accpar::exec {
+
+std::int64_t
+convOutExtent(std::int64_t input, std::int64_t kernel,
+              std::int64_t stride, std::int64_t pad)
+{
+    ACCPAR_REQUIRE(stride >= 1 && kernel >= 1 && pad >= 0,
+                   "bad convolution geometry");
+    ACCPAR_REQUIRE(input + 2 * pad >= kernel,
+                   "kernel larger than padded input");
+    return (input + 2 * pad - kernel) / stride + 1;
+}
+
+Tensor4
+conv2dForward(const Tensor4 &input, const Tensor4 &weights,
+              const ConvParams &p)
+{
+    ACCPAR_REQUIRE(input.c() == weights.n(),
+                   "conv input channels (" << input.c()
+                       << ") do not match weights (" << weights.n()
+                       << ")");
+    const std::int64_t oh =
+        convOutExtent(input.h(), weights.h(), p.strideH, p.padH);
+    const std::int64_t ow =
+        convOutExtent(input.w(), weights.w(), p.strideW, p.padW);
+
+    Tensor4 out(input.n(), weights.c(), oh, ow);
+    for (std::int64_t n = 0; n < input.n(); ++n)
+        for (std::int64_t co = 0; co < weights.c(); ++co)
+            for (std::int64_t y = 0; y < oh; ++y)
+                for (std::int64_t x = 0; x < ow; ++x) {
+                    double sum = 0.0;
+                    for (std::int64_t ci = 0; ci < input.c(); ++ci)
+                        for (std::int64_t kh = 0; kh < weights.h();
+                             ++kh)
+                            for (std::int64_t kw = 0;
+                                 kw < weights.w(); ++kw) {
+                                const std::int64_t ih =
+                                    y * p.strideH + kh - p.padH;
+                                const std::int64_t iw =
+                                    x * p.strideW + kw - p.padW;
+                                if (ih < 0 || ih >= input.h() ||
+                                    iw < 0 || iw >= input.w())
+                                    continue;
+                                sum += input.at(n, ci, ih, iw) *
+                                       weights.at(ci, co, kh, kw);
+                            }
+                    out.at(n, co, y, x) = sum;
+                }
+    return out;
+}
+
+Tensor4
+conv2dBackwardData(const Tensor4 &grad_output, const Tensor4 &weights,
+                   std::int64_t input_h, std::int64_t input_w,
+                   const ConvParams &p)
+{
+    ACCPAR_REQUIRE(grad_output.c() == weights.c(),
+                   "grad-output channels do not match weights");
+    Tensor4 gin(grad_output.n(), weights.n(), input_h, input_w);
+    for (std::int64_t n = 0; n < grad_output.n(); ++n)
+        for (std::int64_t co = 0; co < weights.c(); ++co)
+            for (std::int64_t y = 0; y < grad_output.h(); ++y)
+                for (std::int64_t x = 0; x < grad_output.w(); ++x) {
+                    const double g = grad_output.at(n, co, y, x);
+                    for (std::int64_t ci = 0; ci < weights.n(); ++ci)
+                        for (std::int64_t kh = 0; kh < weights.h();
+                             ++kh)
+                            for (std::int64_t kw = 0;
+                                 kw < weights.w(); ++kw) {
+                                const std::int64_t ih =
+                                    y * p.strideH + kh - p.padH;
+                                const std::int64_t iw =
+                                    x * p.strideW + kw - p.padW;
+                                if (ih < 0 || ih >= input_h || iw < 0 ||
+                                    iw >= input_w)
+                                    continue;
+                                gin.at(n, ci, ih, iw) +=
+                                    g * weights.at(ci, co, kh, kw);
+                            }
+                }
+    return gin;
+}
+
+Tensor4
+conv2dBackwardWeight(const Tensor4 &input, const Tensor4 &grad_output,
+                     std::int64_t kernel_h, std::int64_t kernel_w,
+                     const ConvParams &p)
+{
+    ACCPAR_REQUIRE(input.n() == grad_output.n(),
+                   "batch mismatch in conv backward-weight");
+    Tensor4 gw(input.c(), grad_output.c(), kernel_h, kernel_w);
+    for (std::int64_t n = 0; n < input.n(); ++n)
+        for (std::int64_t co = 0; co < grad_output.c(); ++co)
+            for (std::int64_t y = 0; y < grad_output.h(); ++y)
+                for (std::int64_t x = 0; x < grad_output.w(); ++x) {
+                    const double g = grad_output.at(n, co, y, x);
+                    for (std::int64_t ci = 0; ci < input.c(); ++ci)
+                        for (std::int64_t kh = 0; kh < kernel_h; ++kh)
+                            for (std::int64_t kw = 0; kw < kernel_w;
+                                 ++kw) {
+                                const std::int64_t ih =
+                                    y * p.strideH + kh - p.padH;
+                                const std::int64_t iw =
+                                    x * p.strideW + kw - p.padW;
+                                if (ih < 0 || ih >= input.h() ||
+                                    iw < 0 || iw >= input.w())
+                                    continue;
+                                gw.at(ci, co, kh, kw) +=
+                                    input.at(n, ci, ih, iw) * g;
+                            }
+                }
+    return gw;
+}
+
+} // namespace accpar::exec

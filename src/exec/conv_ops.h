@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Convolution kernels for the numeric validation of §3.3: forward
+ * convolution, backward-data (the E_{l} computation) and
+ * backward-weight (the dW computation), with stride and zero padding.
+ *
+ * Weight tensors follow the paper's layout (D_i, D_o, k_h, k_w):
+ * Tensor4 axes (n=input channel, c=output channel, h, w), so Type-II
+ * slices weights along n and Type-III along c.
+ */
+
+#ifndef ACCPAR_EXEC_CONV_OPS_H
+#define ACCPAR_EXEC_CONV_OPS_H
+
+#include "exec/tensor4.h"
+
+namespace accpar::exec {
+
+/** Stride and padding of a convolution. */
+struct ConvParams
+{
+    std::int64_t strideH = 1;
+    std::int64_t strideW = 1;
+    std::int64_t padH = 0;
+    std::int64_t padW = 0;
+};
+
+/** Output spatial extent of a convolution. */
+std::int64_t convOutExtent(std::int64_t input, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t pad);
+
+/** F_{l+1} = F_l (*) W (no activation). */
+Tensor4 conv2dForward(const Tensor4 &input, const Tensor4 &weights,
+                      const ConvParams &params);
+
+/** E_l = E_{l+1} (*) W^T: gradient w.r.t. the layer input. */
+Tensor4 conv2dBackwardData(const Tensor4 &grad_output,
+                           const Tensor4 &weights,
+                           std::int64_t input_h, std::int64_t input_w,
+                           const ConvParams &params);
+
+/** dW = F_l^T (*) E_{l+1}: gradient w.r.t. the weights. */
+Tensor4 conv2dBackwardWeight(const Tensor4 &input,
+                             const Tensor4 &grad_output,
+                             std::int64_t kernel_h,
+                             std::int64_t kernel_w,
+                             const ConvParams &params);
+
+} // namespace accpar::exec
+
+#endif // ACCPAR_EXEC_CONV_OPS_H

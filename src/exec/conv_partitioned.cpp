@@ -1,0 +1,143 @@
+#include "exec/conv_partitioned.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace accpar::exec {
+
+using core::PartitionType;
+
+ConvStepResult
+runConvReference(const Tensor4 &input, const Tensor4 &weights,
+                 const Tensor4 &grad_output, const ConvParams &params)
+{
+    ConvStepResult result;
+    result.output = conv2dForward(input, weights, params);
+    ACCPAR_REQUIRE(grad_output.n() == result.output.n() &&
+                       grad_output.c() == result.output.c() &&
+                       grad_output.h() == result.output.h() &&
+                       grad_output.w() == result.output.w(),
+                   "grad-output shape does not match the forward "
+                   "output");
+    result.gradInput = conv2dBackwardData(grad_output, weights,
+                                          input.h(), input.w(), params);
+    result.gradWeight = conv2dBackwardWeight(
+        input, grad_output, weights.h(), weights.w(), params);
+    return result;
+}
+
+namespace {
+
+std::int64_t
+splitOf(double alpha, std::int64_t dim)
+{
+    const auto split = static_cast<std::int64_t>(
+        std::llround(alpha * static_cast<double>(dim)));
+    return std::max<std::int64_t>(0, std::min(dim, split));
+}
+
+} // namespace
+
+ConvPartitionedResult
+runConvPartitioned(const Tensor4 &input, const Tensor4 &weights,
+                   const Tensor4 &grad_output, const ConvParams &params,
+                   PartitionType type, double alpha)
+{
+    ACCPAR_REQUIRE(alpha > 0.0 && alpha < 1.0,
+                   "alpha must be in (0, 1)");
+
+    ConvPartitionedResult result;
+    result.step.output = Tensor4(grad_output.n(), grad_output.c(),
+                                 grad_output.h(), grad_output.w());
+    result.step.gradInput =
+        Tensor4(input.n(), input.c(), input.h(), input.w());
+    result.step.gradWeight =
+        Tensor4(weights.n(), weights.c(), weights.h(), weights.w());
+
+    switch (type) {
+      case PartitionType::TypeI: {
+        // Batch split, weights replicated on both devices.
+        const std::int64_t nb = splitOf(alpha, input.n());
+        const Tensor4 in[2] = {input.sliceN(0, nb),
+                               input.sliceN(nb, input.n())};
+        const Tensor4 go[2] = {grad_output.sliceN(0, nb),
+                               grad_output.sliceN(nb,
+                                                  grad_output.n())};
+        Tensor4 gw_psum[2];
+        for (int d = 0; d < 2; ++d) {
+            result.step.output.pasteN(
+                d == 0 ? 0 : nb, conv2dForward(in[d], weights, params));
+            result.step.gradInput.pasteN(
+                d == 0 ? 0 : nb,
+                conv2dBackwardData(go[d], weights, input.h(), input.w(),
+                                   params));
+            gw_psum[d] = conv2dBackwardWeight(
+                in[d], go[d], weights.h(), weights.w(), params);
+        }
+        // Gradient-phase partial-sum exchange (Table 4: A(W) each).
+        result.intraRecv[0] = static_cast<double>(gw_psum[1].size());
+        result.intraRecv[1] = static_cast<double>(gw_psum[0].size());
+        gw_psum[0].accumulate(gw_psum[1]);
+        result.step.gradWeight = std::move(gw_psum[0]);
+        break;
+      }
+      case PartitionType::TypeII: {
+        // Input-channel split: weights split along C_i, F_l split
+        // along channels, E_{l+1} replicated.
+        const std::int64_t nc = splitOf(alpha, input.c());
+        const Tensor4 in[2] = {input.sliceC(0, nc),
+                               input.sliceC(nc, input.c())};
+        const Tensor4 w[2] = {weights.sliceN(0, nc),
+                              weights.sliceN(nc, weights.n())};
+        Tensor4 out_psum[2];
+        for (int d = 0; d < 2; ++d) {
+            out_psum[d] = conv2dForward(in[d], w[d], params);
+            result.step.gradInput.pasteC(
+                d == 0 ? 0 : nc,
+                conv2dBackwardData(grad_output, w[d], input.h(),
+                                   input.w(), params));
+            result.step.gradWeight.pasteN(
+                d == 0 ? 0 : nc,
+                conv2dBackwardWeight(in[d], grad_output, weights.h(),
+                                     weights.w(), params));
+        }
+        // Forward-phase partial-sum exchange (Table 4: A(F_{l+1})).
+        result.intraRecv[0] = static_cast<double>(out_psum[1].size());
+        result.intraRecv[1] = static_cast<double>(out_psum[0].size());
+        out_psum[0].accumulate(out_psum[1]);
+        result.step.output = std::move(out_psum[0]);
+        break;
+      }
+      case PartitionType::TypeIII: {
+        // Output-channel split: weights split along C_o, F_l
+        // replicated, E_{l+1} split along channels.
+        const std::int64_t nc = splitOf(alpha, grad_output.c());
+        const Tensor4 go[2] = {grad_output.sliceC(0, nc),
+                               grad_output.sliceC(nc,
+                                                  grad_output.c())};
+        const Tensor4 w[2] = {weights.sliceC(0, nc),
+                              weights.sliceC(nc, weights.c())};
+        Tensor4 gin_psum[2];
+        for (int d = 0; d < 2; ++d) {
+            result.step.output.pasteC(
+                d == 0 ? 0 : nc, conv2dForward(input, w[d], params));
+            gin_psum[d] = conv2dBackwardData(go[d], w[d], input.h(),
+                                             input.w(), params);
+            result.step.gradWeight.pasteC(
+                d == 0 ? 0 : nc,
+                conv2dBackwardWeight(input, go[d], weights.h(),
+                                     weights.w(), params));
+        }
+        // Backward-phase partial-sum exchange (Table 4: A(E_l)).
+        result.intraRecv[0] = static_cast<double>(gin_psum[1].size());
+        result.intraRecv[1] = static_cast<double>(gin_psum[0].size());
+        gin_psum[0].accumulate(gin_psum[1]);
+        result.step.gradInput = std::move(gin_psum[0]);
+        break;
+      }
+    }
+    return result;
+}
+
+} // namespace accpar::exec

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Two-device partitioned execution of one CONV layer's three training
+ * phases — the numeric validation of the paper's §3.3 claim that the
+ * basic partition types extend unchanged from FC to CONV layers.
+ *
+ * Per type (layer maps (B, C_i, H, W) -> (B, C_o, H', W')):
+ *   Type-I   splits the batch; weights replicated; gradient phase needs
+ *            a partial-sum exchange of A(W) per device (Table 4);
+ *   Type-II  splits input channels; forward needs a partial-sum
+ *            exchange of A(F_{l+1});
+ *   Type-III splits output channels; backward needs a partial-sum
+ *            exchange of A(E_l).
+ */
+
+#ifndef ACCPAR_EXEC_CONV_PARTITIONED_H
+#define ACCPAR_EXEC_CONV_PARTITIONED_H
+
+#include "core/partition_type.h"
+#include "exec/conv_ops.h"
+
+namespace accpar::exec {
+
+/** All tensors of one CONV layer training step. */
+struct ConvStepResult
+{
+    Tensor4 output;     ///< F_{l+1}
+    Tensor4 gradInput;  ///< E_l
+    Tensor4 gradWeight; ///< dW_l
+};
+
+/** Single-device reference: the three phases of §3.1, convolved. */
+ConvStepResult runConvReference(const Tensor4 &input,
+                                const Tensor4 &weights,
+                                const Tensor4 &grad_output,
+                                const ConvParams &params);
+
+/** Result of a partitioned CONV run. */
+struct ConvPartitionedResult
+{
+    ConvStepResult step;
+    /** Table-4 partial-sum elements received, per device. */
+    double intraRecv[2] = {0.0, 0.0};
+};
+
+/**
+ * Executes the layer under basic type @p type with device 0 taking the
+ * ratio @p alpha share of the partitioned dimension (rounded to whole
+ * batch entries / channels).
+ */
+ConvPartitionedResult
+runConvPartitioned(const Tensor4 &input, const Tensor4 &weights,
+                   const Tensor4 &grad_output, const ConvParams &params,
+                   core::PartitionType type, double alpha);
+
+} // namespace accpar::exec
+
+#endif // ACCPAR_EXEC_CONV_PARTITIONED_H

@@ -1,0 +1,110 @@
+#include "exec/ops.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace accpar::exec {
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    ACCPAR_REQUIRE(a.cols() == b.rows(),
+                   "matmul shape mismatch: " << a.cols() << " vs "
+                                             << b.rows());
+    Matrix c(a.rows(), b.cols());
+    for (std::int64_t i = 0; i < a.rows(); ++i)
+        for (std::int64_t k = 0; k < a.cols(); ++k) {
+            const double aik = a.at(i, k);
+            for (std::int64_t j = 0; j < b.cols(); ++j)
+                c.at(i, j) += aik * b.at(k, j);
+        }
+    return c;
+}
+
+Matrix
+matmulTransA(const Matrix &a, const Matrix &b)
+{
+    ACCPAR_REQUIRE(a.rows() == b.rows(),
+                   "matmulTransA shape mismatch: " << a.rows() << " vs "
+                                                   << b.rows());
+    Matrix c(a.cols(), b.cols());
+    for (std::int64_t k = 0; k < a.rows(); ++k)
+        for (std::int64_t i = 0; i < a.cols(); ++i) {
+            const double aki = a.at(k, i);
+            for (std::int64_t j = 0; j < b.cols(); ++j)
+                c.at(i, j) += aki * b.at(k, j);
+        }
+    return c;
+}
+
+Matrix
+matmulTransB(const Matrix &a, const Matrix &b)
+{
+    ACCPAR_REQUIRE(a.cols() == b.cols(),
+                   "matmulTransB shape mismatch: " << a.cols() << " vs "
+                                                   << b.cols());
+    Matrix c(a.rows(), b.rows());
+    for (std::int64_t i = 0; i < a.rows(); ++i)
+        for (std::int64_t j = 0; j < b.rows(); ++j) {
+            double sum = 0.0;
+            for (std::int64_t k = 0; k < a.cols(); ++k)
+                sum += a.at(i, k) * b.at(j, k);
+            c.at(i, j) = sum;
+        }
+    return c;
+}
+
+void
+accumulate(Matrix &a, const Matrix &b)
+{
+    ACCPAR_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                   "accumulate shape mismatch");
+    for (std::int64_t i = 0; i < a.rows(); ++i)
+        for (std::int64_t j = 0; j < a.cols(); ++j)
+            a.at(i, j) += b.at(i, j);
+}
+
+Matrix
+hadamard(const Matrix &a, const Matrix &b)
+{
+    ACCPAR_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                   "hadamard shape mismatch");
+    Matrix c(a.rows(), a.cols());
+    for (std::int64_t i = 0; i < a.rows(); ++i)
+        for (std::int64_t j = 0; j < a.cols(); ++j)
+            c.at(i, j) = a.at(i, j) * b.at(i, j);
+    return c;
+}
+
+Matrix
+reluForward(const Matrix &x)
+{
+    Matrix y(x.rows(), x.cols());
+    for (std::int64_t i = 0; i < x.rows(); ++i)
+        for (std::int64_t j = 0; j < x.cols(); ++j)
+            y.at(i, j) = std::max(0.0, x.at(i, j));
+    return y;
+}
+
+Matrix
+reluMask(const Matrix &x)
+{
+    Matrix y(x.rows(), x.cols());
+    for (std::int64_t i = 0; i < x.rows(); ++i)
+        for (std::int64_t j = 0; j < x.cols(); ++j)
+            y.at(i, j) = x.at(i, j) > 0.0 ? 1.0 : 0.0;
+    return y;
+}
+
+void
+sgdUpdate(Matrix &w, const Matrix &g, double lr)
+{
+    ACCPAR_REQUIRE(w.rows() == g.rows() && w.cols() == g.cols(),
+                   "sgdUpdate shape mismatch");
+    for (std::int64_t i = 0; i < w.rows(); ++i)
+        for (std::int64_t j = 0; j < w.cols(); ++j)
+            w.at(i, j) -= lr * g.at(i, j);
+}
+
+} // namespace accpar::exec

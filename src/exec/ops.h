@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Dense linear-algebra kernels for the numeric execution engine: the
+ * three multiplications of §3.1 (plain, transpose-A, transpose-B) plus
+ * the element-wise pieces of DNN training (ReLU and its mask,
+ * accumulation, SGD update).
+ */
+
+#ifndef ACCPAR_EXEC_OPS_H
+#define ACCPAR_EXEC_OPS_H
+
+#include "exec/tensor.h"
+
+namespace accpar::exec {
+
+/** C = A x B. */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** C = A^T x B (the gradient multiplication dW = F^T x E). */
+Matrix matmulTransA(const Matrix &a, const Matrix &b);
+
+/** C = A x B^T (the backward multiplication E_l = E_{l+1} x W^T). */
+Matrix matmulTransB(const Matrix &a, const Matrix &b);
+
+/** a += b (element-wise; shapes must match). */
+void accumulate(Matrix &a, const Matrix &b);
+
+/** Element-wise product (the paper's ⊙). */
+Matrix hadamard(const Matrix &a, const Matrix &b);
+
+/** max(0, x) applied element-wise. */
+Matrix reluForward(const Matrix &x);
+
+/** f'(x) for ReLU: 1 where x > 0, else 0. */
+Matrix reluMask(const Matrix &x);
+
+/** w -= lr * g (SGD step; shapes must match). */
+void sgdUpdate(Matrix &w, const Matrix &g, double lr);
+
+} // namespace accpar::exec
+
+#endif // ACCPAR_EXEC_OPS_H

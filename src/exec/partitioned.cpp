@@ -1,0 +1,402 @@
+#include "exec/partitioned.h"
+
+#include <cmath>
+
+#include "exec/ops.h"
+#include "util/error.h"
+
+namespace accpar::exec {
+
+using core::PartitionType;
+
+const char *
+layoutName(Layout layout)
+{
+    switch (layout) {
+      case Layout::RowShard:
+        return "row-shard";
+      case Layout::ColShard:
+        return "col-shard";
+      case Layout::Replicated:
+        return "replicated";
+    }
+    throw util::InternalError("unknown Layout");
+}
+
+Sharded
+makeSharded(const Matrix &full, Layout layout, std::int64_t split)
+{
+    Sharded s;
+    s.layout = layout;
+    s.logicalRows = full.rows();
+    s.logicalCols = full.cols();
+    s.split = split;
+    switch (layout) {
+      case Layout::Replicated:
+        s.part[0] = full;
+        s.part[1] = full;
+        s.split = 0;
+        break;
+      case Layout::RowShard:
+        ACCPAR_REQUIRE(split >= 0 && split <= full.rows(),
+                       "bad row split " << split);
+        s.part[0] = full.sliceRows(0, split);
+        s.part[1] = full.sliceRows(split, full.rows());
+        break;
+      case Layout::ColShard:
+        ACCPAR_REQUIRE(split >= 0 && split <= full.cols(),
+                       "bad column split " << split);
+        s.part[0] = full.sliceCols(0, split);
+        s.part[1] = full.sliceCols(split, full.cols());
+        break;
+    }
+    return s;
+}
+
+Matrix
+assemble(const Sharded &s)
+{
+    switch (s.layout) {
+      case Layout::Replicated:
+        return s.part[0];
+      case Layout::RowShard: {
+        Matrix full(s.logicalRows, s.logicalCols);
+        full.pasteRows(0, s.part[0]);
+        full.pasteRows(s.split, s.part[1]);
+        return full;
+      }
+      case Layout::ColShard: {
+        Matrix full(s.logicalRows, s.logicalCols);
+        full.pasteCols(0, s.part[0]);
+        full.pasteCols(s.split, s.part[1]);
+        return full;
+      }
+    }
+    throw util::InternalError("unknown Layout");
+}
+
+Layout
+inputLayout(PartitionType t)
+{
+    switch (t) {
+      case PartitionType::TypeI:
+        return Layout::RowShard;
+      case PartitionType::TypeII:
+        return Layout::ColShard;
+      case PartitionType::TypeIII:
+        return Layout::Replicated;
+    }
+    throw util::InternalError("unknown PartitionType");
+}
+
+Layout
+forwardOutputLayout(PartitionType t)
+{
+    switch (t) {
+      case PartitionType::TypeI:
+        return Layout::RowShard;
+      case PartitionType::TypeII:
+        return Layout::Replicated; // after the partial-sum exchange
+      case PartitionType::TypeIII:
+        return Layout::ColShard;
+    }
+    throw util::InternalError("unknown PartitionType");
+}
+
+Layout
+errorInputLayout(PartitionType t)
+{
+    switch (t) {
+      case PartitionType::TypeI:
+        return Layout::RowShard;
+      case PartitionType::TypeII:
+        return Layout::Replicated;
+      case PartitionType::TypeIII:
+        return Layout::ColShard;
+    }
+    throw util::InternalError("unknown PartitionType");
+}
+
+Layout
+weightLayout(PartitionType t)
+{
+    switch (t) {
+      case PartitionType::TypeI:
+        return Layout::Replicated;
+      case PartitionType::TypeII:
+        return Layout::RowShard;
+      case PartitionType::TypeIII:
+        return Layout::ColShard;
+    }
+    throw util::InternalError("unknown PartitionType");
+}
+
+namespace {
+
+std::int64_t
+splitOf(double alpha, std::int64_t dim)
+{
+    const auto split = static_cast<std::int64_t>(
+        std::llround(alpha * static_cast<double>(dim)));
+    return std::max<std::int64_t>(0, std::min(dim, split));
+}
+
+/**
+ * Redistributes @p s into @p target layout, counting the elements each
+ * device must fetch from the other into @p recv.
+ */
+Sharded
+convert(const Sharded &s, Layout target, std::int64_t target_split,
+        double recv[2])
+{
+    if (s.layout == target) {
+        ACCPAR_ASSERT(target == Layout::Replicated ||
+                          s.split == target_split,
+                      "conversion between different splits of the same "
+                      "layout is not expected");
+        return s;
+    }
+
+    // Element counts each device is missing under the target layout.
+    switch (s.layout) {
+      case Layout::Replicated:
+        break; // slicing locally is free
+      case Layout::RowShard:
+        if (target == Layout::Replicated) {
+            recv[0] += static_cast<double>(s.part[1].size());
+            recv[1] += static_cast<double>(s.part[0].size());
+        } else { // -> ColShard
+            recv[0] += static_cast<double>(s.part[1].rows()) *
+                       static_cast<double>(target_split);
+            recv[1] += static_cast<double>(s.part[0].rows()) *
+                       static_cast<double>(s.logicalCols - target_split);
+        }
+        break;
+      case Layout::ColShard:
+        if (target == Layout::Replicated) {
+            recv[0] += static_cast<double>(s.part[1].size());
+            recv[1] += static_cast<double>(s.part[0].size());
+        } else { // -> RowShard
+            recv[0] += static_cast<double>(target_split) *
+                       static_cast<double>(s.part[1].cols());
+            recv[1] += static_cast<double>(s.logicalRows - target_split) *
+                       static_cast<double>(s.part[0].cols());
+        }
+        break;
+    }
+    return makeSharded(assemble(s), target, target_split);
+}
+
+/** Sums two full-size partials; each device fetches the other's. */
+Sharded
+exchangePsum(const Matrix &p0, const Matrix &p1, double recv[2])
+{
+    recv[0] += static_cast<double>(p1.size());
+    recv[1] += static_cast<double>(p0.size());
+    Matrix sum = p0;
+    accumulate(sum, p1);
+    return makeSharded(sum, Layout::Replicated, 0);
+}
+
+/** Applies h = h ⊙ relu'(f) shard-wise (layouts must already match). */
+void
+applyMask(Sharded &e, const Sharded &f)
+{
+    ACCPAR_ASSERT(e.layout == f.layout && e.split == f.split,
+                  "mask layout mismatch");
+    for (int d = 0; d < 2; ++d)
+        e.part[d] = hadamard(e.part[d], reluMask(f.part[d]));
+}
+
+} // namespace
+
+PartitionedResult
+runPartitioned(const MlpSpec &spec, const Matrix &input,
+               const std::vector<Matrix> &weights,
+               const Matrix &output_error,
+               const PartitionedOptions &options)
+{
+    spec.validate();
+    const std::size_t layers = spec.layerCount();
+    ACCPAR_REQUIRE(options.types.size() == layers,
+                   "need one partition type per layer");
+    ACCPAR_REQUIRE(options.alpha > 0.0 && options.alpha < 1.0,
+                   "alpha must be in (0, 1)");
+    ACCPAR_REQUIRE(weights.size() == layers, "weight count mismatch");
+
+    const double alpha = options.alpha;
+    const std::int64_t row_split = splitOf(alpha, spec.batch);
+
+    auto col_split_for = [&](std::int64_t dim) {
+        return splitOf(alpha, dim);
+    };
+    auto split_for = [&](Layout layout, std::int64_t cols) {
+        switch (layout) {
+          case Layout::RowShard:
+            return row_split;
+          case Layout::ColShard:
+            return col_split_for(cols);
+          case Layout::Replicated:
+            return std::int64_t{0};
+        }
+        throw util::InternalError("unknown Layout");
+    };
+
+    PartitionedResult result;
+    result.comm.resize(layers);
+    result.step.activations.resize(layers + 1);
+    result.step.errors.resize(layers + 1);
+    result.step.gradients.resize(layers);
+
+    // Resident weight shards (initial distribution is not communication).
+    std::vector<Sharded> w(layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+        const Layout layout = weightLayout(options.types[l]);
+        const std::int64_t split =
+            layout == Layout::RowShard
+                ? col_split_for(spec.widths[l])
+                : split_for(layout, spec.widths[l + 1]);
+        w[l] = makeSharded(weights[l], layout, split);
+    }
+
+    // ---------------- Forward ----------------
+    std::vector<Sharded> f(layers + 1);
+    {
+        const Layout layout = inputLayout(options.types[0]);
+        f[0] = makeSharded(input, layout,
+                           split_for(layout, spec.widths[0]));
+    }
+    result.step.activations[0] = input;
+
+    for (std::size_t l = 0; l < layers; ++l) {
+        const PartitionType t = options.types[l];
+        const Layout in_layout = inputLayout(t);
+        // Inter-layer F conversion (edge l-1 -> l); free for l = 0.
+        f[l] = convert(f[l], in_layout,
+                       split_for(in_layout, spec.widths[l]),
+                       result.comm[l].interForward);
+
+        Sharded out;
+        switch (t) {
+          case PartitionType::TypeI: {
+            out.layout = Layout::RowShard;
+            out.logicalRows = spec.batch;
+            out.logicalCols = spec.widths[l + 1];
+            out.split = row_split;
+            for (int d = 0; d < 2; ++d)
+                out.part[d] = matmul(f[l].part[d], w[l].part[d]);
+            break;
+          }
+          case PartitionType::TypeII: {
+            // Local partial products, then Table-4 psum exchange.
+            const Matrix p0 = matmul(f[l].part[0], w[l].part[0]);
+            const Matrix p1 = matmul(f[l].part[1], w[l].part[1]);
+            out = exchangePsum(p0, p1, result.comm[l].intra);
+            break;
+          }
+          case PartitionType::TypeIII: {
+            out.layout = Layout::ColShard;
+            out.logicalRows = spec.batch;
+            out.logicalCols = spec.widths[l + 1];
+            out.split = col_split_for(spec.widths[l + 1]);
+            for (int d = 0; d < 2; ++d)
+                out.part[d] = matmul(f[l].part[d], w[l].part[d]);
+            break;
+          }
+        }
+
+        const bool activated = spec.reluHidden && l != layers - 1;
+        if (activated)
+            for (int d = 0; d < 2; ++d)
+                out.part[d] = reluForward(out.part[d]);
+
+        f[l + 1] = std::move(out);
+        result.step.activations[l + 1] = assemble(f[l + 1]);
+    }
+
+    // ---------------- Backward + gradient ----------------
+    Sharded e;
+    {
+        const Layout layout = errorInputLayout(options.types[layers - 1]);
+        e = makeSharded(output_error, layout,
+                        split_for(layout, spec.widths[layers]));
+    }
+    result.step.errors[layers] = output_error;
+
+    for (std::size_t l = layers; l-- > 0;) {
+        const PartitionType t = options.types[l];
+        const Layout e_in = errorInputLayout(t);
+        // Inter-layer E conversion (edge l -> l+1); free for the top.
+        e = convert(e, e_in, split_for(e_in, spec.widths[l + 1]),
+                    result.comm[l].interBackward);
+
+        // Gradient phase: dW_l = F_l^T x E_{l+1}.
+        Sharded g;
+        switch (t) {
+          case PartitionType::TypeI: {
+            const Matrix p0 = matmulTransA(f[l].part[0], e.part[0]);
+            const Matrix p1 = matmulTransA(f[l].part[1], e.part[1]);
+            g = exchangePsum(p0, p1, result.comm[l].intra);
+            break;
+          }
+          case PartitionType::TypeII: {
+            g.layout = Layout::RowShard;
+            g.logicalRows = spec.widths[l];
+            g.logicalCols = spec.widths[l + 1];
+            g.split = col_split_for(spec.widths[l]);
+            for (int d = 0; d < 2; ++d)
+                g.part[d] = matmulTransA(f[l].part[d], e.part[d]);
+            break;
+          }
+          case PartitionType::TypeIII: {
+            g.layout = Layout::ColShard;
+            g.logicalRows = spec.widths[l];
+            g.logicalCols = spec.widths[l + 1];
+            g.split = col_split_for(spec.widths[l + 1]);
+            for (int d = 0; d < 2; ++d)
+                g.part[d] = matmulTransA(f[l].part[d], e.part[d]);
+            break;
+          }
+        }
+        result.step.gradients[l] = assemble(g);
+
+        // Backward phase: E_l = (E_{l+1} x W_l^T) ⊙ f'(F_l).
+        Sharded e_out;
+        switch (t) {
+          case PartitionType::TypeI: {
+            e_out.layout = Layout::RowShard;
+            e_out.logicalRows = spec.batch;
+            e_out.logicalCols = spec.widths[l];
+            e_out.split = row_split;
+            for (int d = 0; d < 2; ++d)
+                e_out.part[d] = matmulTransB(e.part[d], w[l].part[d]);
+            break;
+          }
+          case PartitionType::TypeII: {
+            e_out.layout = Layout::ColShard;
+            e_out.logicalRows = spec.batch;
+            e_out.logicalCols = spec.widths[l];
+            e_out.split = col_split_for(spec.widths[l]);
+            for (int d = 0; d < 2; ++d)
+                e_out.part[d] = matmulTransB(e.part[d], w[l].part[d]);
+            break;
+          }
+          case PartitionType::TypeIII: {
+            const Matrix p0 = matmulTransB(e.part[0], w[l].part[0]);
+            const Matrix p1 = matmulTransB(e.part[1], w[l].part[1]);
+            e_out = exchangePsum(p0, p1, result.comm[l].intra);
+            break;
+          }
+        }
+
+        const bool activated = spec.reluHidden && l >= 1;
+        if (activated)
+            applyMask(e_out, f[l]);
+        result.step.errors[l] = assemble(e_out);
+        e = std::move(e_out);
+    }
+
+    return result;
+}
+
+} // namespace accpar::exec

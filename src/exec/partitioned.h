@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Two-device partitioned execution of one MLP training step.
+ *
+ * This is the ground-truth validator of the partition space (§3): each
+ * layer runs under one of the three basic partition types with a
+ * partitioning ratio, on two *virtual accelerators* holding real tensor
+ * shards. Replications, partial-sum exchanges (Table 4) and inter-layer
+ * conversions (Table 5) are performed explicitly and the transferred
+ * elements are counted per device — so tests can check both that the
+ * numerics equal the single-device reference and that the measured
+ * communication equals the analytical cost model exactly.
+ *
+ * Layouts per type for layer l (B x D_l -> B x D_{l+1}, ratio alpha):
+ *
+ *   type  F_l in      W_l          F_{l+1} out    E_{l+1} in   E_l out
+ *   I     row-shard   replicated   row-shard      row-shard    row-shard
+ *   II    col-shard   row-shard    psum->repl.    replicated   col-shard
+ *   III   replicated  col-shard    col-shard      col-shard    psum->repl.
+ */
+
+#ifndef ACCPAR_EXEC_PARTITIONED_H
+#define ACCPAR_EXEC_PARTITIONED_H
+
+#include <vector>
+
+#include "core/partition_type.h"
+#include "exec/reference.h"
+#include "exec/tensor.h"
+
+namespace accpar::exec {
+
+/** How a logical matrix is distributed over the two devices. */
+enum class Layout { RowShard, ColShard, Replicated };
+
+/** Name of @p layout. */
+const char *layoutName(Layout layout);
+
+/** A logical matrix split over two devices. */
+struct Sharded
+{
+    Layout layout = Layout::Replicated;
+    /** Per-device pieces (both hold the full matrix when replicated). */
+    Matrix part[2];
+    std::int64_t logicalRows = 0;
+    std::int64_t logicalCols = 0;
+    /** Device 0's row (or column) count for sharded layouts. */
+    std::int64_t split = 0;
+};
+
+/** Distributes @p full into @p layout with device 0 taking @p split. */
+Sharded makeSharded(const Matrix &full, Layout layout,
+                    std::int64_t split);
+
+/** Reassembles the logical matrix. */
+Matrix assemble(const Sharded &sharded);
+
+/** Required layout of F_l for a layer of type @p t. */
+Layout inputLayout(core::PartitionType t);
+
+/** Layout of F_{l+1} right after the forward phase of type @p t. */
+Layout forwardOutputLayout(core::PartitionType t);
+
+/** Required layout of E_{l+1} for the backward/gradient phases. */
+Layout errorInputLayout(core::PartitionType t);
+
+/** Layout of W_l under type @p t. */
+Layout weightLayout(core::PartitionType t);
+
+/** Per-layer communication actually performed, in elements received. */
+struct LayerComm
+{
+    /** Table 4 partial-sum exchange, per device. */
+    double intra[2] = {0.0, 0.0};
+    /** Feature-map conversion INTO this layer (edge l-1 -> l, F part). */
+    double interForward[2] = {0.0, 0.0};
+    /** Error conversion at this layer (edge l -> l+1, E part). */
+    double interBackward[2] = {0.0, 0.0};
+};
+
+/** Partitioned run configuration. */
+struct PartitionedOptions
+{
+    /** Device 0's partitioning ratio. */
+    double alpha = 0.5;
+    /** Per-layer basic types (size = spec.layerCount()). */
+    std::vector<core::PartitionType> types;
+};
+
+/** Result of a partitioned run. */
+struct PartitionedResult
+{
+    /** Reassembled tensors, comparable against runReference. */
+    StepResult step;
+    /** Measured communication per layer. */
+    std::vector<LayerComm> comm;
+};
+
+/**
+ * Executes one training step under @p options. Ratio splits are
+ * rounded to whole rows/columns; pass dims divisible by the ratio for
+ * exact agreement with the analytical model.
+ */
+PartitionedResult runPartitioned(const MlpSpec &spec, const Matrix &input,
+                                 const std::vector<Matrix> &weights,
+                                 const Matrix &output_error,
+                                 const PartitionedOptions &options);
+
+} // namespace accpar::exec
+
+#endif // ACCPAR_EXEC_PARTITIONED_H

@@ -1,0 +1,50 @@
+#include "exec/quantize.h"
+
+#include "exec/ops.h"
+#include "util/bfloat16.h"
+#include "util/error.h"
+
+namespace accpar::exec {
+
+double
+quantizeBf16(double value)
+{
+    return static_cast<double>(
+        util::BFloat16(static_cast<float>(value)).toFloat());
+}
+
+Matrix
+quantizeBf16(const Matrix &m)
+{
+    Matrix out(m.rows(), m.cols());
+    for (std::int64_t i = 0; i < m.rows(); ++i)
+        for (std::int64_t j = 0; j < m.cols(); ++j)
+            out.at(i, j) = quantizeBf16(m.at(i, j));
+    return out;
+}
+
+StepResult
+runReferenceBf16(const MlpSpec &spec, const Matrix &input,
+                 const std::vector<Matrix> &weights,
+                 const Matrix &output_error)
+{
+    std::vector<Matrix> q_weights;
+    q_weights.reserve(weights.size());
+    for (const Matrix &w : weights)
+        q_weights.push_back(quantizeBf16(w));
+
+    StepResult result = runReference(spec, quantizeBf16(input),
+                                     q_weights,
+                                     quantizeBf16(output_error));
+    // Store every produced tensor in bf16 (activations, errors and
+    // gradients are written to HBM between phases).
+    for (Matrix &m : result.activations)
+        m = quantizeBf16(m);
+    for (Matrix &m : result.errors)
+        m = quantizeBf16(m);
+    for (Matrix &m : result.gradients)
+        m = quantizeBf16(m);
+    return result;
+}
+
+} // namespace accpar::exec

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * bfloat16 quantization of execution-engine tensors.
+ *
+ * The paper trains in Google's bfloat16 format (§6.1). The cost model
+ * only needs the 2-byte element size, but the execution engine can run
+ * *quantized* training steps — every tensor element rounded through
+ * bf16 — to check that the partition types remain exact under the
+ * paper's data format (partitioned and single-device execution see
+ * identical rounding because they perform identical local arithmetic),
+ * and to measure the quantization error bf16 itself introduces.
+ */
+
+#ifndef ACCPAR_EXEC_QUANTIZE_H
+#define ACCPAR_EXEC_QUANTIZE_H
+
+#include "exec/reference.h"
+#include "exec/tensor.h"
+
+namespace accpar::exec {
+
+/** Rounds every element of @p m through bfloat16. */
+Matrix quantizeBf16(const Matrix &m);
+
+/** Rounds one scalar through bfloat16. */
+double quantizeBf16(double value);
+
+/**
+ * Runs the single-device reference step with bf16 rounding applied to
+ * the inputs, the weights and every multiplication result (a "compute
+ * in fp32, store in bf16" model).
+ */
+StepResult runReferenceBf16(const MlpSpec &spec, const Matrix &input,
+                            const std::vector<Matrix> &weights,
+                            const Matrix &output_error);
+
+} // namespace accpar::exec
+
+#endif // ACCPAR_EXEC_QUANTIZE_H

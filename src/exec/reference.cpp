@@ -1,0 +1,79 @@
+#include "exec/reference.h"
+
+#include "exec/ops.h"
+#include "util/error.h"
+
+namespace accpar::exec {
+
+void
+MlpSpec::validate() const
+{
+    ACCPAR_REQUIRE(batch >= 1, "mlp batch must be positive");
+    ACCPAR_REQUIRE(widths.size() >= 2,
+                   "mlp needs at least one layer (two widths)");
+    for (std::int64_t w : widths)
+        ACCPAR_REQUIRE(w >= 1, "mlp widths must be positive");
+}
+
+StepResult
+runReference(const MlpSpec &spec, const Matrix &input,
+             const std::vector<Matrix> &weights,
+             const Matrix &output_error)
+{
+    spec.validate();
+    const std::size_t layers = spec.layerCount();
+    ACCPAR_REQUIRE(weights.size() == layers, "weight count mismatch");
+    ACCPAR_REQUIRE(input.rows() == spec.batch &&
+                       input.cols() == spec.widths.front(),
+                   "input shape mismatch");
+    ACCPAR_REQUIRE(output_error.rows() == spec.batch &&
+                       output_error.cols() == spec.widths.back(),
+                   "output error shape mismatch");
+
+    StepResult result;
+    result.activations.resize(layers + 1);
+    result.errors.resize(layers + 1);
+    result.gradients.resize(layers);
+
+    // Forward.
+    result.activations[0] = input;
+    for (std::size_t l = 0; l < layers; ++l) {
+        ACCPAR_REQUIRE(weights[l].rows() == spec.widths[l] &&
+                           weights[l].cols() == spec.widths[l + 1],
+                       "weight " << l << " shape mismatch");
+        Matrix out = matmul(result.activations[l], weights[l]);
+        const bool activated = spec.reluHidden && l + 1 < layers + 1 &&
+                               l != layers - 1;
+        result.activations[l + 1] =
+            activated ? reluForward(out) : std::move(out);
+    }
+
+    // Backward and gradient.
+    result.errors[layers] = output_error;
+    for (std::size_t l = layers; l-- > 0;) {
+        result.gradients[l] =
+            matmulTransA(result.activations[l], result.errors[l + 1]);
+        Matrix e = matmulTransB(result.errors[l + 1], weights[l]);
+        // F_l was produced by an activation iff it is a hidden output.
+        const bool activated = spec.reluHidden && l >= 1;
+        result.errors[l] =
+            activated ? hadamard(e, reluMask(result.activations[l]))
+                      : std::move(e);
+    }
+    return result;
+}
+
+std::vector<Matrix>
+randomWeights(const MlpSpec &spec, util::Rng &rng)
+{
+    spec.validate();
+    std::vector<Matrix> weights;
+    for (std::size_t l = 0; l < spec.layerCount(); ++l) {
+        Matrix w(spec.widths[l], spec.widths[l + 1]);
+        w.fillRandom(rng);
+        weights.push_back(std::move(w));
+    }
+    return weights;
+}
+
+} // namespace accpar::exec

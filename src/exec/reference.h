@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Single-device reference execution of one MLP training step — the
+ * ground truth the partitioned executor must reproduce bit-for-bit
+ * (§3.1's three phases, with ReLU activations on hidden layers).
+ */
+
+#ifndef ACCPAR_EXEC_REFERENCE_H
+#define ACCPAR_EXEC_REFERENCE_H
+
+#include <vector>
+
+#include "exec/tensor.h"
+
+namespace accpar::exec {
+
+/** Shape of the MLP under test. */
+struct MlpSpec
+{
+    std::int64_t batch = 0;
+    /** Feature widths D_0..D_L; layer l maps D_l -> D_{l+1}. */
+    std::vector<std::int64_t> widths;
+    /** Apply ReLU after every layer except the last. */
+    bool reluHidden = true;
+
+    std::size_t layerCount() const { return widths.size() - 1; }
+
+    /** Validates and throws ConfigError on malformed specs. */
+    void validate() const;
+};
+
+/** All tensors of one training step. */
+struct StepResult
+{
+    /** F_0..F_L (F_0 is the input, F_L the network output). */
+    std::vector<Matrix> activations;
+    /** E_0..E_L (E_L is the given output error). */
+    std::vector<Matrix> errors;
+    /** dW_0..dW_{L-1}. */
+    std::vector<Matrix> gradients;
+};
+
+/**
+ * Runs forward, backward and gradient phases on one device.
+ *
+ * Forward: F_{l+1} = f(F_l x W_l); backward:
+ * E_l = (E_{l+1} x W_l^T) ⊙ f'(F_l) (mask applied only where F_l was
+ * produced by an activation); gradient: dW_l = F_l^T x E_{l+1}.
+ */
+StepResult runReference(const MlpSpec &spec, const Matrix &input,
+                        const std::vector<Matrix> &weights,
+                        const Matrix &output_error);
+
+/** Builds random weights for @p spec from @p rng. */
+std::vector<Matrix> randomWeights(const MlpSpec &spec, util::Rng &rng);
+
+} // namespace accpar::exec
+
+#endif // ACCPAR_EXEC_REFERENCE_H

@@ -1,0 +1,126 @@
+#include "exec/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace accpar::exec {
+
+Matrix::Matrix(std::int64_t rows, std::int64_t cols)
+    : _rows(rows), _cols(cols),
+      _data(static_cast<std::size_t>(rows * cols), 0.0)
+{
+    ACCPAR_REQUIRE(rows >= 0 && cols >= 0,
+                   "matrix dimensions must be non-negative");
+}
+
+void
+Matrix::checkIndex(std::int64_t r, std::int64_t c) const
+{
+    ACCPAR_ASSERT(r >= 0 && r < _rows && c >= 0 && c < _cols,
+                  "matrix index (" << r << ", " << c
+                                   << ") out of bounds for " << _rows
+                                   << "x" << _cols);
+}
+
+double &
+Matrix::at(std::int64_t r, std::int64_t c)
+{
+    checkIndex(r, c);
+    return _data[static_cast<std::size_t>(r * _cols + c)];
+}
+
+double
+Matrix::at(std::int64_t r, std::int64_t c) const
+{
+    checkIndex(r, c);
+    return _data[static_cast<std::size_t>(r * _cols + c)];
+}
+
+void
+Matrix::fillRandom(util::Rng &rng)
+{
+    for (double &v : _data)
+        v = rng.uniformDouble(-1.0, 1.0);
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    ACCPAR_REQUIRE(_rows == other._rows && _cols == other._cols,
+                   "shape mismatch: " << _rows << "x" << _cols << " vs "
+                                      << other._rows << "x"
+                                      << other._cols);
+    double max = 0.0;
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        max = std::max(max, std::abs(_data[i] - other._data[i]));
+    return max;
+}
+
+bool
+Matrix::approxEqual(const Matrix &other, double tol) const
+{
+    return _rows == other._rows && _cols == other._cols &&
+           maxAbsDiff(other) < tol;
+}
+
+Matrix
+Matrix::sliceRows(std::int64_t r0, std::int64_t r1) const
+{
+    ACCPAR_REQUIRE(r0 >= 0 && r0 <= r1 && r1 <= _rows,
+                   "bad row slice [" << r0 << ", " << r1 << ")");
+    Matrix out(r1 - r0, _cols);
+    for (std::int64_t r = r0; r < r1; ++r)
+        for (std::int64_t c = 0; c < _cols; ++c)
+            out.at(r - r0, c) = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::sliceCols(std::int64_t c0, std::int64_t c1) const
+{
+    ACCPAR_REQUIRE(c0 >= 0 && c0 <= c1 && c1 <= _cols,
+                   "bad column slice [" << c0 << ", " << c1 << ")");
+    Matrix out(_rows, c1 - c0);
+    for (std::int64_t r = 0; r < _rows; ++r)
+        for (std::int64_t c = c0; c < c1; ++c)
+            out.at(r, c - c0) = at(r, c);
+    return out;
+}
+
+void
+Matrix::pasteRows(std::int64_t r0, const Matrix &part)
+{
+    ACCPAR_REQUIRE(part._cols == _cols && r0 >= 0 &&
+                       r0 + part._rows <= _rows,
+                   "pasteRows out of bounds");
+    for (std::int64_t r = 0; r < part._rows; ++r)
+        for (std::int64_t c = 0; c < _cols; ++c)
+            at(r0 + r, c) = part.at(r, c);
+}
+
+void
+Matrix::pasteCols(std::int64_t c0, const Matrix &part)
+{
+    ACCPAR_REQUIRE(part._rows == _rows && c0 >= 0 &&
+                       c0 + part._cols <= _cols,
+                   "pasteCols out of bounds");
+    for (std::int64_t r = 0; r < _rows; ++r)
+        for (std::int64_t c = 0; c < part._cols; ++c)
+            at(r, c0 + c) = part.at(r, c);
+}
+
+std::string
+Matrix::toString() const
+{
+    std::ostringstream os;
+    os << _rows << "x" << _cols << " [";
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        os << (i ? ", " : "") << _data[i];
+    os << ']';
+    return os.str();
+}
+
+} // namespace accpar::exec

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dense matrix type for the numeric execution engine.
+ *
+ * The exec module validates the partition space of §3 by actually
+ * running FC training steps: a plain row-major double matrix is all it
+ * needs. Performance is irrelevant here (matrices are tiny); clarity
+ * and exactness are what matter.
+ */
+
+#ifndef ACCPAR_EXEC_TENSOR_H
+#define ACCPAR_EXEC_TENSOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace accpar::exec {
+
+/** A row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-filled rows x cols matrix. */
+    Matrix(std::int64_t rows, std::int64_t cols);
+
+    std::int64_t rows() const { return _rows; }
+    std::int64_t cols() const { return _cols; }
+    std::int64_t size() const { return _rows * _cols; }
+    bool empty() const { return size() == 0; }
+
+    double &at(std::int64_t r, std::int64_t c);
+    double at(std::int64_t r, std::int64_t c) const;
+
+    /** Fills with uniform values in [-1, 1) from @p rng. */
+    void fillRandom(util::Rng &rng);
+
+    /** Max absolute element difference to @p other (shapes must match). */
+    double maxAbsDiff(const Matrix &other) const;
+
+    /** True when shapes match and every element differs by < tol. */
+    bool approxEqual(const Matrix &other, double tol = 1e-9) const;
+
+    /** Rows [r0, r1) as a new matrix. */
+    Matrix sliceRows(std::int64_t r0, std::int64_t r1) const;
+
+    /** Columns [c0, c1) as a new matrix. */
+    Matrix sliceCols(std::int64_t c0, std::int64_t c1) const;
+
+    /** Writes @p part into rows starting at @p r0. */
+    void pasteRows(std::int64_t r0, const Matrix &part);
+
+    /** Writes @p part into columns starting at @p c0. */
+    void pasteCols(std::int64_t c0, const Matrix &part);
+
+    /** "rows x cols" plus elements; for test failure messages. */
+    std::string toString() const;
+
+  private:
+    void checkIndex(std::int64_t r, std::int64_t c) const;
+
+    std::int64_t _rows = 0;
+    std::int64_t _cols = 0;
+    std::vector<double> _data;
+};
+
+} // namespace accpar::exec
+
+#endif // ACCPAR_EXEC_TENSOR_H

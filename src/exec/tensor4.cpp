@@ -1,0 +1,125 @@
+#include "exec/tensor4.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace accpar::exec {
+
+Tensor4::Tensor4(std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w)
+    : _n(n), _c(c), _h(h), _w(w),
+      _data(static_cast<std::size_t>(n * c * h * w), 0.0)
+{
+    ACCPAR_REQUIRE(n >= 0 && c >= 0 && h >= 0 && w >= 0,
+                   "tensor dimensions must be non-negative");
+}
+
+std::int64_t
+Tensor4::index(std::int64_t n, std::int64_t c, std::int64_t h,
+               std::int64_t w) const
+{
+    ACCPAR_ASSERT(n >= 0 && n < _n && c >= 0 && c < _c && h >= 0 &&
+                      h < _h && w >= 0 && w < _w,
+                  "tensor index out of bounds");
+    return ((n * _c + c) * _h + h) * _w + w;
+}
+
+double &
+Tensor4::at(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w)
+{
+    return _data[static_cast<std::size_t>(index(n, c, h, w))];
+}
+
+double
+Tensor4::at(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w) const
+{
+    return _data[static_cast<std::size_t>(index(n, c, h, w))];
+}
+
+void
+Tensor4::fillRandom(util::Rng &rng)
+{
+    for (double &v : _data)
+        v = rng.uniformDouble(-1.0, 1.0);
+}
+
+double
+Tensor4::maxAbsDiff(const Tensor4 &other) const
+{
+    ACCPAR_REQUIRE(_n == other._n && _c == other._c && _h == other._h &&
+                       _w == other._w,
+                   "tensor shape mismatch");
+    double max = 0.0;
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        max = std::max(max, std::abs(_data[i] - other._data[i]));
+    return max;
+}
+
+Tensor4
+Tensor4::sliceN(std::int64_t n0, std::int64_t n1) const
+{
+    ACCPAR_REQUIRE(n0 >= 0 && n0 <= n1 && n1 <= _n, "bad batch slice");
+    Tensor4 out(n1 - n0, _c, _h, _w);
+    for (std::int64_t n = n0; n < n1; ++n)
+        for (std::int64_t c = 0; c < _c; ++c)
+            for (std::int64_t h = 0; h < _h; ++h)
+                for (std::int64_t w = 0; w < _w; ++w)
+                    out.at(n - n0, c, h, w) = at(n, c, h, w);
+    return out;
+}
+
+Tensor4
+Tensor4::sliceC(std::int64_t c0, std::int64_t c1) const
+{
+    ACCPAR_REQUIRE(c0 >= 0 && c0 <= c1 && c1 <= _c,
+                   "bad channel slice");
+    Tensor4 out(_n, c1 - c0, _h, _w);
+    for (std::int64_t n = 0; n < _n; ++n)
+        for (std::int64_t c = c0; c < c1; ++c)
+            for (std::int64_t h = 0; h < _h; ++h)
+                for (std::int64_t w = 0; w < _w; ++w)
+                    out.at(n, c - c0, h, w) = at(n, c, h, w);
+    return out;
+}
+
+void
+Tensor4::pasteN(std::int64_t n0, const Tensor4 &part)
+{
+    ACCPAR_REQUIRE(part._c == _c && part._h == _h && part._w == _w &&
+                       n0 >= 0 && n0 + part._n <= _n,
+                   "pasteN out of bounds");
+    for (std::int64_t n = 0; n < part._n; ++n)
+        for (std::int64_t c = 0; c < _c; ++c)
+            for (std::int64_t h = 0; h < _h; ++h)
+                for (std::int64_t w = 0; w < _w; ++w)
+                    at(n0 + n, c, h, w) = part.at(n, c, h, w);
+}
+
+void
+Tensor4::pasteC(std::int64_t c0, const Tensor4 &part)
+{
+    ACCPAR_REQUIRE(part._n == _n && part._h == _h && part._w == _w &&
+                       c0 >= 0 && c0 + part._c <= _c,
+                   "pasteC out of bounds");
+    for (std::int64_t n = 0; n < _n; ++n)
+        for (std::int64_t c = 0; c < part._c; ++c)
+            for (std::int64_t h = 0; h < _h; ++h)
+                for (std::int64_t w = 0; w < _w; ++w)
+                    at(n, c0 + c, h, w) = part.at(n, c, h, w);
+}
+
+void
+Tensor4::accumulate(const Tensor4 &other)
+{
+    ACCPAR_REQUIRE(_n == other._n && _c == other._c && _h == other._h &&
+                       _w == other._w,
+                   "tensor shape mismatch");
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        _data[i] += other._data[i];
+}
+
+} // namespace accpar::exec

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Dense 4-D NCHW tensor for the convolutional execution engine.
+ *
+ * Validates the paper's §3.3 claim that the three basic partition types
+ * carry over to CONV layers: the partitionable dimensions are batch
+ * (N) and channels (C); the spatial extent is a meta dimension and is
+ * never split.
+ */
+
+#ifndef ACCPAR_EXEC_TENSOR4_H
+#define ACCPAR_EXEC_TENSOR4_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace accpar::exec {
+
+/** A dense NCHW tensor of doubles. */
+class Tensor4
+{
+  public:
+    Tensor4() = default;
+    Tensor4(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w);
+
+    std::int64_t n() const { return _n; }
+    std::int64_t c() const { return _c; }
+    std::int64_t h() const { return _h; }
+    std::int64_t w() const { return _w; }
+    std::int64_t size() const { return _n * _c * _h * _w; }
+
+    double &at(std::int64_t n, std::int64_t c, std::int64_t h,
+               std::int64_t w);
+    double at(std::int64_t n, std::int64_t c, std::int64_t h,
+              std::int64_t w) const;
+
+    /** Fills with uniform values in [-1, 1). */
+    void fillRandom(util::Rng &rng);
+
+    /** Max absolute element difference (shapes must match). */
+    double maxAbsDiff(const Tensor4 &other) const;
+
+    /** Batch entries [n0, n1) as a new tensor. */
+    Tensor4 sliceN(std::int64_t n0, std::int64_t n1) const;
+
+    /** Channels [c0, c1) as a new tensor. */
+    Tensor4 sliceC(std::int64_t c0, std::int64_t c1) const;
+
+    /** Writes @p part into batch entries starting at @p n0. */
+    void pasteN(std::int64_t n0, const Tensor4 &part);
+
+    /** Writes @p part into channels starting at @p c0. */
+    void pasteC(std::int64_t c0, const Tensor4 &part);
+
+    /** this += other (shapes must match). */
+    void accumulate(const Tensor4 &other);
+
+  private:
+    std::int64_t index(std::int64_t n, std::int64_t c, std::int64_t h,
+                       std::int64_t w) const;
+
+    std::int64_t _n = 0, _c = 0, _h = 0, _w = 0;
+    std::vector<double> _data;
+};
+
+} // namespace accpar::exec
+
+#endif // ACCPAR_EXEC_TENSOR4_H

@@ -1,0 +1,28 @@
+#include "graph/dot_export.h"
+
+#include <sstream>
+
+namespace accpar::graph {
+
+std::string
+toDot(const Graph &graph)
+{
+    std::ostringstream os;
+    os << "digraph \"" << graph.name() << "\" {\n";
+    os << "  rankdir=TB;\n";
+    for (const Layer &l : graph.layers()) {
+        os << "  n" << l.id << " [label=\"" << l.name << "\\n"
+           << layerKindName(l.kind) << "\" shape="
+           << (l.hasWeights() ? "box" : "ellipse") << "];\n";
+    }
+    for (const Layer &l : graph.layers()) {
+        for (LayerId in : l.inputs) {
+            os << "  n" << in << " -> n" << l.id << " [label=\""
+               << graph.layer(in).outputShape.toString() << "\"];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace accpar::graph

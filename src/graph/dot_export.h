@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Graphviz DOT export of a DNN graph, for documentation and debugging.
+ */
+
+#ifndef ACCPAR_GRAPH_DOT_EXPORT_H
+#define ACCPAR_GRAPH_DOT_EXPORT_H
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace accpar::graph {
+
+/**
+ * Renders @p graph in Graphviz DOT syntax. Weighted layers are drawn as
+ * boxes, everything else as ellipses; edges are annotated with the tensor
+ * shape flowing across them.
+ */
+std::string toDot(const Graph &graph);
+
+} // namespace accpar::graph
+
+#endif // ACCPAR_GRAPH_DOT_EXPORT_H

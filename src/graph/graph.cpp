@@ -1,0 +1,259 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "graph/shape_inference.h"
+#include "util/error.h"
+
+namespace accpar::graph {
+
+Graph::Graph(std::string name) : _name(std::move(name)) {}
+
+void
+Graph::checkId(LayerId id) const
+{
+    ACCPAR_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < _layers.size(),
+                   "invalid layer id " << id << " in graph " << _name);
+}
+
+LayerId
+Graph::addLayer(const std::string &name, LayerKind kind, LayerAttrs attrs,
+                std::vector<LayerId> inputs)
+{
+    for (LayerId in : inputs)
+        checkId(in);
+
+    Layer layer;
+    layer.id = static_cast<LayerId>(_layers.size());
+    layer.name = name;
+    layer.kind = kind;
+    layer.attrs = std::move(attrs);
+    layer.inputs = std::move(inputs);
+
+    if (kind != LayerKind::Input) {
+        std::vector<TensorShape> in_shapes;
+        in_shapes.reserve(layer.inputs.size());
+        for (LayerId in : layer.inputs)
+            in_shapes.push_back(_layers[in].outputShape);
+        layer.outputShape = inferShape(kind, layer.attrs, in_shapes);
+    }
+
+    for (LayerId in : layer.inputs)
+        _consumers[in].push_back(layer.id);
+    _consumers.emplace_back();
+    _layers.push_back(std::move(layer));
+    return _layers.back().id;
+}
+
+LayerId
+Graph::addInput(const std::string &name, const TensorShape &shape)
+{
+    LayerId id = addLayer(name, LayerKind::Input, std::monostate{}, {});
+    _layers[id].outputShape = shape;
+    return id;
+}
+
+LayerId
+Graph::addConv(const std::string &name, LayerId input,
+               const ConvAttrs &attrs)
+{
+    return addLayer(name, LayerKind::Conv, attrs, {input});
+}
+
+LayerId
+Graph::addFullyConnected(const std::string &name, LayerId input,
+                         std::int64_t out_features)
+{
+    return addLayer(name, LayerKind::FullyConnected,
+                    FcAttrs{out_features}, {input});
+}
+
+LayerId
+Graph::addMaxPool(const std::string &name, LayerId input,
+                  const PoolAttrs &attrs)
+{
+    return addLayer(name, LayerKind::MaxPool, attrs, {input});
+}
+
+LayerId
+Graph::addAvgPool(const std::string &name, LayerId input,
+                  const PoolAttrs &attrs)
+{
+    return addLayer(name, LayerKind::AvgPool, attrs, {input});
+}
+
+LayerId
+Graph::addGlobalAvgPool(const std::string &name, LayerId input)
+{
+    return addLayer(name, LayerKind::GlobalAvgPool, std::monostate{},
+                    {input});
+}
+
+LayerId
+Graph::addRelu(const std::string &name, LayerId input)
+{
+    return addLayer(name, LayerKind::ReLU, std::monostate{}, {input});
+}
+
+LayerId
+Graph::addBatchNorm(const std::string &name, LayerId input)
+{
+    return addLayer(name, LayerKind::BatchNorm, std::monostate{}, {input});
+}
+
+LayerId
+Graph::addLrn(const std::string &name, LayerId input)
+{
+    return addLayer(name, LayerKind::LRN, std::monostate{}, {input});
+}
+
+LayerId
+Graph::addDropout(const std::string &name, LayerId input)
+{
+    return addLayer(name, LayerKind::Dropout, std::monostate{}, {input});
+}
+
+LayerId
+Graph::addAdd(const std::string &name, LayerId lhs, LayerId rhs)
+{
+    return addLayer(name, LayerKind::Add, std::monostate{}, {lhs, rhs});
+}
+
+LayerId
+Graph::addConcat(const std::string &name, std::span<const LayerId> inputs)
+{
+    return addLayer(name, LayerKind::Concat, std::monostate{},
+                    std::vector<LayerId>(inputs.begin(), inputs.end()));
+}
+
+LayerId
+Graph::addFlatten(const std::string &name, LayerId input)
+{
+    return addLayer(name, LayerKind::Flatten, std::monostate{}, {input});
+}
+
+LayerId
+Graph::addSoftmax(const std::string &name, LayerId input)
+{
+    return addLayer(name, LayerKind::Softmax, std::monostate{}, {input});
+}
+
+const Layer &
+Graph::layer(LayerId id) const
+{
+    checkId(id);
+    return _layers[id];
+}
+
+const std::vector<LayerId> &
+Graph::consumers(LayerId id) const
+{
+    checkId(id);
+    return _consumers[id];
+}
+
+const TensorShape &
+Graph::inputShape(LayerId id) const
+{
+    const Layer &l = layer(id);
+    ACCPAR_REQUIRE(!l.inputs.empty(),
+                   "layer " << l.name << " has no operands");
+    return _layers[l.inputs.front()].outputShape;
+}
+
+std::vector<LayerId>
+Graph::weightedLayers() const
+{
+    std::vector<LayerId> out;
+    for (const Layer &l : _layers)
+        if (l.hasWeights())
+            out.push_back(l.id);
+    return out;
+}
+
+TensorShape
+Graph::weightShape(LayerId id) const
+{
+    const Layer &l = layer(id);
+    ACCPAR_REQUIRE(l.hasWeights(),
+                   "layer " << l.name << " has no weight tensor");
+    const TensorShape &in = inputShape(id);
+    if (l.kind == LayerKind::Conv) {
+        const ConvAttrs &a = l.conv();
+        return TensorShape(in.c, a.outChannels, a.kernelH, a.kernelW);
+    }
+    const FcAttrs &a = l.fc();
+    return TensorShape(in.c, a.outFeatures, 1, 1);
+}
+
+std::int64_t
+Graph::weightCount(LayerId id) const
+{
+    const Layer &l = layer(id);
+    if (!l.hasWeights())
+        return 0;
+    return weightShape(id).elementCount();
+}
+
+std::int64_t
+Graph::totalWeightCount() const
+{
+    std::int64_t total = 0;
+    for (const Layer &l : _layers)
+        total += weightCount(l.id);
+    return total;
+}
+
+void
+Graph::validate() const
+{
+    ACCPAR_REQUIRE(!_layers.empty(), "graph " << _name << " is empty");
+
+    std::size_t inputs = 0;
+    std::size_t sinks = 0;
+    for (const Layer &l : _layers) {
+        if (l.kind == LayerKind::Input)
+            ++inputs;
+        if (_consumers[l.id].empty())
+            ++sinks;
+    }
+    ACCPAR_REQUIRE(inputs == 1, "graph " << _name << " has " << inputs
+                                         << " inputs, expected exactly 1");
+    ACCPAR_REQUIRE(sinks == 1, "graph " << _name << " has " << sinks
+                                        << " sinks, expected exactly 1");
+
+    // Reachability from the input (construction order is topological).
+    std::vector<bool> reachable(_layers.size(), false);
+    reachable[inputLayer()] = true;
+    for (const Layer &l : _layers) {
+        if (l.kind == LayerKind::Input)
+            continue;
+        bool any = false;
+        for (LayerId in : l.inputs)
+            any = any || reachable[in];
+        reachable[l.id] = any;
+    }
+    for (const Layer &l : _layers)
+        ACCPAR_REQUIRE(reachable[l.id], "layer " << l.name
+                           << " is unreachable from the input");
+}
+
+LayerId
+Graph::inputLayer() const
+{
+    for (const Layer &l : _layers)
+        if (l.kind == LayerKind::Input)
+            return l.id;
+    throw util::ConfigError("graph " + _name + " has no input layer");
+}
+
+LayerId
+Graph::sinkLayer() const
+{
+    for (const Layer &l : _layers)
+        if (_consumers[l.id].empty())
+            return l.id;
+    throw util::ConfigError("graph " + _name + " has no sink layer");
+}
+
+} // namespace accpar::graph

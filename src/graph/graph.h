@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The DNN graph: a DAG of layers with builder-style construction.
+ *
+ * Construction order is a topological order by design — every operand must
+ * already exist when a layer is added — so the graph is acyclic by
+ * construction and shape inference runs incrementally.
+ */
+
+#ifndef ACCPAR_GRAPH_GRAPH_H
+#define ACCPAR_GRAPH_GRAPH_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/layer.h"
+#include "graph/tensor_shape.h"
+
+namespace accpar::graph {
+
+/**
+ * A directed acyclic graph of layers describing one DNN.
+ *
+ * The builder API returns LayerIds that later layers reference as
+ * operands. A well-formed model has exactly one Input layer and exactly
+ * one sink (a layer nobody consumes); validate() checks this.
+ */
+class Graph
+{
+  public:
+    explicit Graph(std::string name);
+
+    /// @name Builder API
+    /// @{
+    LayerId addInput(const std::string &name, const TensorShape &shape);
+    LayerId addConv(const std::string &name, LayerId input,
+                    const ConvAttrs &attrs);
+    LayerId addFullyConnected(const std::string &name, LayerId input,
+                              std::int64_t out_features);
+    LayerId addMaxPool(const std::string &name, LayerId input,
+                       const PoolAttrs &attrs);
+    LayerId addAvgPool(const std::string &name, LayerId input,
+                       const PoolAttrs &attrs);
+    LayerId addGlobalAvgPool(const std::string &name, LayerId input);
+    LayerId addRelu(const std::string &name, LayerId input);
+    LayerId addBatchNorm(const std::string &name, LayerId input);
+    LayerId addLrn(const std::string &name, LayerId input);
+    LayerId addDropout(const std::string &name, LayerId input);
+    LayerId addAdd(const std::string &name, LayerId lhs, LayerId rhs);
+    LayerId addConcat(const std::string &name,
+                      std::span<const LayerId> inputs);
+    LayerId addFlatten(const std::string &name, LayerId input);
+    LayerId addSoftmax(const std::string &name, LayerId input);
+    /// @}
+
+    const std::string &name() const { return _name; }
+    std::size_t size() const { return _layers.size(); }
+    bool empty() const { return _layers.empty(); }
+
+    /** Layer access; @p id must be valid. */
+    const Layer &layer(LayerId id) const;
+
+    /** All layers in construction (= topological) order. */
+    std::span<const Layer> layers() const { return _layers; }
+
+    /** Layers that consume the output of @p id, in id order. */
+    const std::vector<LayerId> &consumers(LayerId id) const;
+
+    /** Input feature-map shape of @p id (its first operand's output). */
+    const TensorShape &inputShape(LayerId id) const;
+
+    /** Ids of the weighted (Conv/FC) layers, in topological order. */
+    std::vector<LayerId> weightedLayers() const;
+
+    /**
+     * Weight tensor shape of a weighted layer: Conv layers report
+     * (D_i, D_o, k_h, k_w); FC layers report (D_i, D_o, 1, 1).
+     */
+    TensorShape weightShape(LayerId id) const;
+
+    /** Number of weight elements of @p id (0 for unweighted layers). */
+    std::int64_t weightCount(LayerId id) const;
+
+    /** Total weight elements across the model. */
+    std::int64_t totalWeightCount() const;
+
+    /**
+     * Checks structural well-formedness: exactly one Input, exactly one
+     * sink, every non-input layer reachable from the input.
+     * Throws ConfigError on violation.
+     */
+    void validate() const;
+
+    /** The unique Input layer id; requires a validated-shape graph. */
+    LayerId inputLayer() const;
+
+    /** The unique sink layer id (no consumers). */
+    LayerId sinkLayer() const;
+
+  private:
+    LayerId addLayer(const std::string &name, LayerKind kind,
+                     LayerAttrs attrs, std::vector<LayerId> inputs);
+
+    void checkId(LayerId id) const;
+
+    std::string _name;
+    std::vector<Layer> _layers;
+    std::vector<std::vector<LayerId>> _consumers;
+};
+
+} // namespace accpar::graph
+
+#endif // ACCPAR_GRAPH_GRAPH_H

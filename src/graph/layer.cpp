@@ -1,0 +1,73 @@
+#include "graph/layer.h"
+
+#include "util/error.h"
+
+namespace accpar::graph {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Input:
+        return "input";
+      case LayerKind::Conv:
+        return "conv";
+      case LayerKind::FullyConnected:
+        return "fc";
+      case LayerKind::MaxPool:
+        return "maxpool";
+      case LayerKind::AvgPool:
+        return "avgpool";
+      case LayerKind::GlobalAvgPool:
+        return "gavgpool";
+      case LayerKind::ReLU:
+        return "relu";
+      case LayerKind::BatchNorm:
+        return "bn";
+      case LayerKind::LRN:
+        return "lrn";
+      case LayerKind::Dropout:
+        return "dropout";
+      case LayerKind::Add:
+        return "add";
+      case LayerKind::Concat:
+        return "concat";
+      case LayerKind::Flatten:
+        return "flatten";
+      case LayerKind::Softmax:
+        return "softmax";
+    }
+    throw util::InternalError("unknown LayerKind");
+}
+
+bool
+layerKindHasWeights(LayerKind kind)
+{
+    return kind == LayerKind::Conv || kind == LayerKind::FullyConnected;
+}
+
+const ConvAttrs &
+Layer::conv() const
+{
+    ACCPAR_ASSERT(kind == LayerKind::Conv,
+                  "layer " << name << " is not a conv layer");
+    return std::get<ConvAttrs>(attrs);
+}
+
+const FcAttrs &
+Layer::fc() const
+{
+    ACCPAR_ASSERT(kind == LayerKind::FullyConnected,
+                  "layer " << name << " is not an fc layer");
+    return std::get<FcAttrs>(attrs);
+}
+
+const PoolAttrs &
+Layer::pool() const
+{
+    ACCPAR_ASSERT(kind == LayerKind::MaxPool || kind == LayerKind::AvgPool,
+                  "layer " << name << " is not a pooling layer");
+    return std::get<PoolAttrs>(attrs);
+}
+
+} // namespace accpar::graph

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Layer descriptors of the DNN intermediate representation.
+ *
+ * Only CONV and FC layers carry weights and participate in the partition
+ * search (as in the paper — Figure 7 enumerates cv1..cv5, fc1..fc3 for
+ * AlexNet). The remaining kinds are partition-transparent bookkeeping
+ * needed to compute the feature-map shapes that feed the cost model.
+ */
+
+#ifndef ACCPAR_GRAPH_LAYER_H
+#define ACCPAR_GRAPH_LAYER_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/tensor_shape.h"
+
+namespace accpar::graph {
+
+/** Dense identifier of a layer inside one Graph. */
+using LayerId = std::int32_t;
+
+/** Sentinel for "no layer". */
+inline constexpr LayerId kInvalidLayer = -1;
+
+/** Operator kind of a layer. */
+enum class LayerKind
+{
+    Input,          ///< network input placeholder
+    Conv,           ///< 2-D convolution (weighted)
+    FullyConnected, ///< dense matrix multiply (weighted)
+    MaxPool,
+    AvgPool,
+    GlobalAvgPool,
+    ReLU,
+    BatchNorm,
+    LRN,            ///< local response normalization (AlexNet)
+    Dropout,
+    Add,            ///< element-wise addition (residual join)
+    Concat,         ///< channel concatenation
+    Flatten,        ///< (N,C,H,W) -> (N, C*H*W, 1, 1)
+    Softmax,
+};
+
+/** Human-readable name of @p kind. */
+const char *layerKindName(LayerKind kind);
+
+/** True when layers of @p kind carry a weight tensor. */
+bool layerKindHasWeights(LayerKind kind);
+
+/** Attributes of a Conv layer. */
+struct ConvAttrs
+{
+    std::int64_t outChannels = 0;
+    std::int64_t kernelH = 0;
+    std::int64_t kernelW = 0;
+    std::int64_t strideH = 1;
+    std::int64_t strideW = 1;
+    std::int64_t padH = 0;
+    std::int64_t padW = 0;
+
+    bool operator==(const ConvAttrs &other) const = default;
+};
+
+/** Attributes of a FullyConnected layer. */
+struct FcAttrs
+{
+    std::int64_t outFeatures = 0;
+
+    bool operator==(const FcAttrs &other) const = default;
+};
+
+/** Attributes of Max/Avg pooling layers. */
+struct PoolAttrs
+{
+    std::int64_t kernelH = 0;
+    std::int64_t kernelW = 0;
+    std::int64_t strideH = 1;
+    std::int64_t strideW = 1;
+    std::int64_t padH = 0;
+    std::int64_t padW = 0;
+
+    bool operator==(const PoolAttrs &other) const = default;
+};
+
+/** Kind-specific attribute payload. */
+using LayerAttrs = std::variant<std::monostate, ConvAttrs, FcAttrs,
+                                PoolAttrs>;
+
+/**
+ * One node of the DNN graph. Layers are created through the Graph builder
+ * API, which fills in the identifier and the inferred output shape.
+ */
+struct Layer
+{
+    LayerId id = kInvalidLayer;
+    std::string name;
+    LayerKind kind = LayerKind::Input;
+    LayerAttrs attrs;
+    /** Producer layers (operands), in operand order. */
+    std::vector<LayerId> inputs;
+    /** Output feature-map shape (filled by shape inference). */
+    TensorShape outputShape;
+
+    bool hasWeights() const { return layerKindHasWeights(kind); }
+
+    /** Typed attribute access; throws InternalError on kind mismatch. */
+    const ConvAttrs &conv() const;
+    const FcAttrs &fc() const;
+    const PoolAttrs &pool() const;
+};
+
+} // namespace accpar::graph
+
+#endif // ACCPAR_GRAPH_LAYER_H

@@ -1,0 +1,123 @@
+#include "graph/shape_inference.h"
+
+#include "util/error.h"
+
+namespace accpar::graph {
+
+namespace {
+
+std::int64_t
+slidingWindowExtent(std::int64_t input, std::int64_t kernel,
+                    std::int64_t stride, std::int64_t pad,
+                    const char *what)
+{
+    ACCPAR_REQUIRE(kernel >= 1, what << ": kernel must be positive");
+    ACCPAR_REQUIRE(stride >= 1, what << ": stride must be positive");
+    ACCPAR_REQUIRE(pad >= 0, what << ": padding must be non-negative");
+    const std::int64_t padded = input + 2 * pad;
+    ACCPAR_REQUIRE(padded >= kernel,
+                   what << ": window (" << kernel << ") larger than padded "
+                        << "input (" << padded << ")");
+    return (padded - kernel) / stride + 1;
+}
+
+} // namespace
+
+TensorShape
+inferConvShape(const TensorShape &input, const ConvAttrs &attrs)
+{
+    ACCPAR_REQUIRE(attrs.outChannels >= 1,
+                   "conv: outChannels must be positive");
+    const std::int64_t oh = slidingWindowExtent(
+        input.h, attrs.kernelH, attrs.strideH, attrs.padH, "conv");
+    const std::int64_t ow = slidingWindowExtent(
+        input.w, attrs.kernelW, attrs.strideW, attrs.padW, "conv");
+    return TensorShape(input.n, attrs.outChannels, oh, ow);
+}
+
+TensorShape
+inferPoolShape(const TensorShape &input, const PoolAttrs &attrs)
+{
+    const std::int64_t oh = slidingWindowExtent(
+        input.h, attrs.kernelH, attrs.strideH, attrs.padH, "pool");
+    const std::int64_t ow = slidingWindowExtent(
+        input.w, attrs.kernelW, attrs.strideW, attrs.padW, "pool");
+    return TensorShape(input.n, input.c, oh, ow);
+}
+
+TensorShape
+inferFcShape(const TensorShape &input, const FcAttrs &attrs)
+{
+    ACCPAR_REQUIRE(attrs.outFeatures >= 1,
+                   "fc: outFeatures must be positive");
+    ACCPAR_REQUIRE(input.h == 1 && input.w == 1,
+                   "fc expects a flattened input, got "
+                       << input.toString() << "; insert a Flatten layer");
+    return TensorShape(input.n, attrs.outFeatures, 1, 1);
+}
+
+TensorShape
+inferShape(LayerKind kind, const LayerAttrs &attrs,
+           std::span<const TensorShape> inputs)
+{
+    auto require_arity = [&](std::size_t n) {
+        ACCPAR_REQUIRE(inputs.size() == n,
+                       layerKindName(kind) << " expects " << n
+                                           << " operand(s), got "
+                                           << inputs.size());
+    };
+
+    switch (kind) {
+      case LayerKind::Input:
+        throw util::InternalError("Input layers have no inferred shape");
+      case LayerKind::Conv:
+        require_arity(1);
+        return inferConvShape(inputs[0], std::get<ConvAttrs>(attrs));
+      case LayerKind::FullyConnected:
+        require_arity(1);
+        return inferFcShape(inputs[0], std::get<FcAttrs>(attrs));
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool:
+        require_arity(1);
+        return inferPoolShape(inputs[0], std::get<PoolAttrs>(attrs));
+      case LayerKind::GlobalAvgPool:
+        require_arity(1);
+        return TensorShape(inputs[0].n, inputs[0].c, 1, 1);
+      case LayerKind::ReLU:
+      case LayerKind::BatchNorm:
+      case LayerKind::LRN:
+      case LayerKind::Dropout:
+      case LayerKind::Softmax:
+        require_arity(1);
+        return inputs[0];
+      case LayerKind::Flatten:
+        require_arity(1);
+        return TensorShape(inputs[0].n,
+                           inputs[0].c * inputs[0].h * inputs[0].w, 1, 1);
+      case LayerKind::Add: {
+        require_arity(2);
+        ACCPAR_REQUIRE(inputs[0] == inputs[1],
+                       "add operands must match: "
+                           << inputs[0].toString() << " vs "
+                           << inputs[1].toString());
+        return inputs[0];
+      }
+      case LayerKind::Concat: {
+        ACCPAR_REQUIRE(inputs.size() >= 2,
+                       "concat needs at least two operands");
+        TensorShape out = inputs[0];
+        for (std::size_t i = 1; i < inputs.size(); ++i) {
+            const TensorShape &in = inputs[i];
+            ACCPAR_REQUIRE(in.n == out.n && in.h == out.h && in.w == out.w,
+                           "concat operands must share batch and spatial "
+                           "dims: " << out.toString() << " vs "
+                                    << in.toString());
+            out.c += in.c;
+        }
+        return out;
+      }
+    }
+    throw util::InternalError("unknown LayerKind in inferShape");
+}
+
+} // namespace accpar::graph

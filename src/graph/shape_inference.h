@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Per-kind output shape computation. Exposed separately from Graph so the
+ * rules are unit-testable in isolation.
+ */
+
+#ifndef ACCPAR_GRAPH_SHAPE_INFERENCE_H
+#define ACCPAR_GRAPH_SHAPE_INFERENCE_H
+
+#include <span>
+
+#include "graph/layer.h"
+#include "graph/tensor_shape.h"
+
+namespace accpar::graph {
+
+/** Output shape of a convolution over @p input with @p attrs. */
+TensorShape inferConvShape(const TensorShape &input, const ConvAttrs &attrs);
+
+/** Output shape of a pooling window over @p input with @p attrs. */
+TensorShape inferPoolShape(const TensorShape &input, const PoolAttrs &attrs);
+
+/** Output shape of a fully-connected layer over @p input. */
+TensorShape inferFcShape(const TensorShape &input, const FcAttrs &attrs);
+
+/**
+ * Output shape of any layer kind given its operand shapes.
+ * Element-wise kinds require one operand, Add requires two equal-shaped
+ * operands, Concat stacks channels of equal-spatial operands.
+ * Throws ConfigError on malformed operands.
+ */
+TensorShape inferShape(LayerKind kind, const LayerAttrs &attrs,
+                       std::span<const TensorShape> inputs);
+
+} // namespace accpar::graph
+
+#endif // ACCPAR_GRAPH_SHAPE_INFERENCE_H

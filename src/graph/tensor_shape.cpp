@@ -1,0 +1,63 @@
+#include "graph/tensor_shape.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace accpar::graph {
+
+int
+dataTypeByteSize(DataType type)
+{
+    switch (type) {
+      case DataType::BFloat16:
+      case DataType::Float16:
+        return 2;
+      case DataType::Float32:
+        return 4;
+      case DataType::Float64:
+        return 8;
+    }
+    throw util::InternalError("unknown DataType");
+}
+
+const char *
+dataTypeName(DataType type)
+{
+    switch (type) {
+      case DataType::BFloat16:
+        return "bf16";
+      case DataType::Float16:
+        return "fp16";
+      case DataType::Float32:
+        return "fp32";
+      case DataType::Float64:
+        return "fp64";
+    }
+    throw util::InternalError("unknown DataType");
+}
+
+TensorShape::TensorShape(std::int64_t n_, std::int64_t c_, std::int64_t h_,
+                         std::int64_t w_)
+    : n(n_), c(c_), h(h_), w(w_)
+{
+    ACCPAR_REQUIRE(n >= 1 && c >= 1 && h >= 1 && w >= 1,
+                   "tensor dimensions must be positive: " << toString());
+}
+
+util::Bytes
+TensorShape::byteSize(DataType type) const
+{
+    return static_cast<util::Bytes>(elementCount()) *
+           dataTypeByteSize(type);
+}
+
+std::string
+TensorShape::toString() const
+{
+    std::ostringstream os;
+    os << '(' << n << ", " << c << ", " << h << ", " << w << ')';
+    return os.str();
+}
+
+} // namespace accpar::graph

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tensor shapes and element data types.
+ *
+ * Feature maps are NCHW 4-D tensors (batch, channel, height, width);
+ * fully-connected activations use (batch, features, 1, 1). Kernel tensors
+ * are represented separately (see Graph::weightShape) as
+ * (in_channel, out_channel, kernel_h, kernel_w), matching §3.3 of the
+ * paper.
+ */
+
+#ifndef ACCPAR_GRAPH_TENSOR_SHAPE_H
+#define ACCPAR_GRAPH_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace accpar::graph {
+
+/** Element data type of a tensor. */
+enum class DataType { BFloat16, Float16, Float32, Float64 };
+
+/** Bytes per element of @p type. */
+int dataTypeByteSize(DataType type);
+
+/** Short lowercase name of @p type (e.g. "bf16"). */
+const char *dataTypeName(DataType type);
+
+/**
+ * A 4-D NCHW tensor shape. All dimensions are at least 1; a "2-D" matrix
+ * (B, D) is represented as (B, D, 1, 1).
+ */
+struct TensorShape
+{
+    std::int64_t n = 1; ///< batch
+    std::int64_t c = 1; ///< channels / features
+    std::int64_t h = 1; ///< spatial height
+    std::int64_t w = 1; ///< spatial width
+
+    TensorShape() = default;
+    TensorShape(std::int64_t n_, std::int64_t c_, std::int64_t h_ = 1,
+                std::int64_t w_ = 1);
+
+    /** A(T): product of all dimension lengths (paper §4.1). */
+    std::int64_t elementCount() const { return n * c * h * w; }
+
+    /** Spatial footprint h*w (the paper's "meta dimension", §4.3). */
+    std::int64_t spatialSize() const { return h * w; }
+
+    /** Storage size in bytes at element type @p type. */
+    util::Bytes byteSize(DataType type) const;
+
+    /** Renders as "(n, c, h, w)". */
+    std::string toString() const;
+
+    bool operator==(const TensorShape &other) const = default;
+};
+
+} // namespace accpar::graph
+
+#endif // ACCPAR_GRAPH_TENSOR_SHAPE_H

@@ -1,0 +1,51 @@
+#include "hw/accelerator.h"
+
+#include "util/error.h"
+
+namespace accpar::hw {
+
+void
+AcceleratorSpec::validate() const
+{
+    ACCPAR_REQUIRE(!name.empty(), "accelerator needs a name");
+    ACCPAR_REQUIRE(computeDensity > 0.0,
+                   "accelerator " << name << ": compute density must be "
+                                  << "positive");
+    ACCPAR_REQUIRE(memoryCapacity > 0.0,
+                   "accelerator " << name << ": memory capacity must be "
+                                  << "positive");
+    ACCPAR_REQUIRE(memoryBandwidth > 0.0,
+                   "accelerator " << name << ": memory bandwidth must be "
+                                  << "positive");
+    ACCPAR_REQUIRE(linkBandwidth > 0.0,
+                   "accelerator " << name << ": link bandwidth must be "
+                                  << "positive");
+}
+
+AcceleratorSpec
+tpuV2()
+{
+    return makeAccelerator("tpu-v2", 180.0, 64.0, 2400.0, 8.0);
+}
+
+AcceleratorSpec
+tpuV3()
+{
+    return makeAccelerator("tpu-v3", 420.0, 128.0, 4800.0, 16.0);
+}
+
+AcceleratorSpec
+makeAccelerator(const std::string &name, double tflops, double mem_gb,
+                double mem_gbps, double link_gbit)
+{
+    AcceleratorSpec spec;
+    spec.name = name;
+    spec.computeDensity = util::teraFlopsPerSecond(tflops);
+    spec.memoryCapacity = util::gbyte(mem_gb);
+    spec.memoryBandwidth = util::gbytePerSecond(mem_gbps);
+    spec.linkBandwidth = util::gbitPerSecond(link_gbit);
+    spec.validate();
+    return spec;
+}
+
+} // namespace accpar::hw

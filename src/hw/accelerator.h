@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Accelerator specifications.
+ *
+ * The paper models an accelerator board by four scalars (Table 7): peak
+ * compute density c_i (FLOP/s), HBM capacity, HBM bandwidth, and the
+ * network data rate b_i of its links. TPU-v2 and TPU-v3 boards are
+ * built in with the paper's §6.1 numbers.
+ */
+
+#ifndef ACCPAR_HW_ACCELERATOR_H
+#define ACCPAR_HW_ACCELERATOR_H
+
+#include <string>
+
+#include "util/units.h"
+
+namespace accpar::hw {
+
+/** Static description of one accelerator board. */
+struct AcceleratorSpec
+{
+    std::string name;
+    /** Peak compute density c_i (FLOP per second). */
+    util::FlopsPerSecond computeDensity = 0.0;
+    /** On-board memory capacity in bytes. */
+    util::Bytes memoryCapacity = 0.0;
+    /** On-board memory bandwidth in bytes per second. */
+    util::BytesPerSecond memoryBandwidth = 0.0;
+    /** Network link data rate b_i in bytes per second. */
+    util::BytesPerSecond linkBandwidth = 0.0;
+
+    bool operator==(const AcceleratorSpec &other) const = default;
+
+    /** Validates that all rates are positive; throws ConfigError. */
+    void validate() const;
+};
+
+/**
+ * TPU-v2 board: 180 TFLOPS, 64 GB HBM at 2400 GB/s, 8 Gb/s network
+ * (paper §6.1: 2 Gb/s per core x 4 chips... the paper sets the board
+ * rate to 8 Gb/s).
+ */
+AcceleratorSpec tpuV2();
+
+/** TPU-v3 board: 420 TFLOPS, 128 GB HBM at 4800 GB/s, 16 Gb/s network. */
+AcceleratorSpec tpuV3();
+
+/** Builds a custom spec from human-friendly units. */
+AcceleratorSpec makeAccelerator(const std::string &name, double tflops,
+                                double mem_gb, double mem_gbps,
+                                double link_gbit);
+
+} // namespace accpar::hw
+
+#endif // ACCPAR_HW_ACCELERATOR_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Accelerator groups: multisets of boards that act as one side of a
+ * recursive bi-partition. A group aggregates compute density and link
+ * bandwidth of its members — the "effective bandwidth between accelerator
+ * groups" the paper parameterizes the search with (§5).
+ */
+
+#ifndef ACCPAR_HW_GROUP_H
+#define ACCPAR_HW_GROUP_H
+
+#include <string>
+#include <vector>
+
+#include "hw/accelerator.h"
+#include "util/units.h"
+
+namespace accpar::hw {
+
+/** A run of identical boards inside a group. */
+struct GroupSlice
+{
+    AcceleratorSpec spec;
+    int count = 0;
+};
+
+/**
+ * How a group's member links combine into the effective inter-group
+ * bandwidth of Eq. 7. SumOfLinks (the default) assumes every member
+ * drives its own link concurrently (full-bisection hierarchy);
+ * SingleLink is the pessimistic sensitivity case where one board-pair
+ * link carries each inter-group exchange.
+ */
+enum class LinkAggregation { SumOfLinks, SingleLink };
+
+/**
+ * A multiset of accelerator boards. Groups are the unit the partitioning
+ * algorithm reasons about: at every hierarchy level a group is split in
+ * two and the two halves exchange tensors over their aggregated links.
+ */
+class AcceleratorGroup
+{
+  public:
+    AcceleratorGroup() = default;
+
+    /** Group of @p count identical boards. */
+    AcceleratorGroup(const AcceleratorSpec &spec, int count);
+
+    /** Group from explicit slices (validated, merged by spec name). */
+    explicit AcceleratorGroup(std::vector<GroupSlice> slices);
+
+    /** Number of boards. */
+    int size() const;
+
+    /** True when all boards share one spec. */
+    bool homogeneous() const { return _slices.size() <= 1; }
+
+    /** Aggregate compute density: sum of member densities. */
+    util::FlopsPerSecond computeDensity() const;
+
+    /** Effective network bandwidth per the link aggregation policy. */
+    util::BytesPerSecond linkBandwidth() const;
+
+    /** Sets the link aggregation policy (inherited by split halves). */
+    void setLinkAggregation(LinkAggregation aggregation);
+    LinkAggregation linkAggregation() const { return _aggregation; }
+
+    /** Aggregate memory bandwidth: sum of member HBM rates. */
+    util::BytesPerSecond memoryBandwidth() const;
+
+    /** Aggregate memory capacity. */
+    util::Bytes memoryCapacity() const;
+
+    const std::vector<GroupSlice> &slices() const { return _slices; }
+
+    /**
+     * Splits the group for the next hierarchy level.
+     * Heterogeneous groups split by board type (first slice vs the rest),
+     * mirroring the paper's TPU-v2-group / TPU-v3-group top split;
+     * homogeneous groups halve, with odd sizes splitting (n+1)/2 vs n/2.
+     * Requires size() >= 2.
+     */
+    std::pair<AcceleratorGroup, AcceleratorGroup> split() const;
+
+    /** Short human-readable description, e.g. "128 x tpu-v2". */
+    std::string toString() const;
+
+  private:
+    std::vector<GroupSlice> _slices;
+    LinkAggregation _aggregation = LinkAggregation::SumOfLinks;
+};
+
+} // namespace accpar::hw
+
+#endif // ACCPAR_HW_GROUP_H

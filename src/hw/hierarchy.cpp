@@ -1,0 +1,89 @@
+#include "hw/hierarchy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace accpar::hw {
+
+Hierarchy::Hierarchy(const AcceleratorGroup &array)
+{
+    ACCPAR_REQUIRE(array.size() >= 2,
+                   "a hierarchy needs at least two boards, got "
+                       << array.size());
+    _root = build(array, 0);
+}
+
+NodeId
+Hierarchy::build(const AcceleratorGroup &group, int level)
+{
+    const NodeId id = static_cast<NodeId>(_nodes.size());
+    _nodes.push_back(HierarchyNode{group, kInvalidNode, kInvalidNode,
+                                   level});
+    if (group.size() > 1) {
+        _levels = std::max(_levels, level + 1);
+        auto [left, right] = group.split();
+        // Children are created after the parent, so parents always precede
+        // children in index order (used by internalNodes()).
+        const NodeId l = build(left, level + 1);
+        const NodeId r = build(right, level + 1);
+        _nodes[id].left = l;
+        _nodes[id].right = r;
+    }
+    return id;
+}
+
+const HierarchyNode &
+Hierarchy::node(NodeId id) const
+{
+    ACCPAR_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < _nodes.size(),
+                   "invalid hierarchy node id " << id);
+    return _nodes[id];
+}
+
+std::vector<NodeId>
+Hierarchy::internalNodes() const
+{
+    std::vector<NodeId> out;
+    for (std::size_t i = 0; i < _nodes.size(); ++i)
+        if (!_nodes[i].isLeaf())
+            out.push_back(static_cast<NodeId>(i));
+    return out;
+}
+
+std::string
+Hierarchy::toString() const
+{
+    std::ostringstream os;
+    for (const HierarchyNode &n : _nodes) {
+        os << std::string(static_cast<std::size_t>(n.level) * 2, ' ')
+           << (n.isLeaf() ? "- " : "+ ") << n.group.toString() << '\n';
+    }
+    return os.str();
+}
+
+AcceleratorGroup
+heterogeneousTpuArray()
+{
+    return AcceleratorGroup({GroupSlice{tpuV2(), 128},
+                             GroupSlice{tpuV3(), 128}});
+}
+
+AcceleratorGroup
+homogeneousTpuV3Array()
+{
+    return AcceleratorGroup(tpuV3(), 128);
+}
+
+AcceleratorGroup
+heterogeneousTpuArrayForLevels(int levels)
+{
+    ACCPAR_REQUIRE(levels >= 1 && levels <= 24,
+                   "hierarchy levels out of range: " << levels);
+    const int per_type = 1 << (levels - 1);
+    return AcceleratorGroup({GroupSlice{tpuV2(), per_type},
+                             GroupSlice{tpuV3(), per_type}});
+}
+
+} // namespace accpar::hw

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The recursive bi-partition hierarchy over an accelerator array.
+ *
+ * AccPar (like HyPar) partitions hierarchically: the array splits into two
+ * groups, the layer-wise search runs between them, and the procedure
+ * recurses inside each group (§5.1). The hierarchy is a binary tree whose
+ * leaves are single boards; internal nodes are the group pairs a solver
+ * visits.
+ */
+
+#ifndef ACCPAR_HW_HIERARCHY_H
+#define ACCPAR_HW_HIERARCHY_H
+
+#include <string>
+#include <vector>
+
+#include "hw/group.h"
+
+namespace accpar::hw {
+
+/** Index of a node inside a Hierarchy. */
+using NodeId = int;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** One node of the bi-partition tree. */
+struct HierarchyNode
+{
+    AcceleratorGroup group;
+    NodeId left = kInvalidNode;
+    NodeId right = kInvalidNode;
+    /** Distance from the root (root is level 0). */
+    int level = 0;
+
+    bool isLeaf() const { return left == kInvalidNode; }
+};
+
+/**
+ * A fully-expanded bi-partition tree of an accelerator array.
+ */
+class Hierarchy
+{
+  public:
+    /**
+     * Builds the tree by recursively splitting @p array until singleton
+     * groups remain (see AcceleratorGroup::split for the split rule).
+     */
+    explicit Hierarchy(const AcceleratorGroup &array);
+
+    NodeId root() const { return _root; }
+    const HierarchyNode &node(NodeId id) const;
+    std::size_t nodeCount() const { return _nodes.size(); }
+
+    /** Number of internal (pair) levels, e.g. 8 for a 256-board array. */
+    int levelCount() const { return _levels; }
+
+    /** All internal nodes, parents before children. */
+    std::vector<NodeId> internalNodes() const;
+
+    /** Renders an indented outline of the tree (for logs/examples). */
+    std::string toString() const;
+
+  private:
+    NodeId build(const AcceleratorGroup &group, int level);
+
+    std::vector<HierarchyNode> _nodes;
+    NodeId _root = kInvalidNode;
+    int _levels = 0;
+};
+
+/** The paper's Figure 5 array: 128 TPU-v2 boards + 128 TPU-v3 boards. */
+AcceleratorGroup heterogeneousTpuArray();
+
+/** The paper's Figure 6 array: 128 TPU-v3 boards. */
+AcceleratorGroup homogeneousTpuV3Array();
+
+/**
+ * A heterogeneous array with @p levels bi-partition levels for the
+ * Figure 8 sweep: 2^(levels-1) boards of each TPU type.
+ */
+AcceleratorGroup heterogeneousTpuArrayForLevels(int levels);
+
+} // namespace accpar::hw
+
+#endif // ACCPAR_HW_HIERARCHY_H

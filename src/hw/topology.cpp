@@ -1,0 +1,77 @@
+#include "hw/topology.h"
+
+#include "hw/hierarchy.h"
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace accpar::hw {
+
+namespace {
+
+double
+parseNumber(const std::string &token, const std::string &what)
+{
+    try {
+        std::size_t used = 0;
+        const double out = std::stod(token, &used);
+        ACCPAR_REQUIRE(used == token.size(), "trailing characters");
+        return out;
+    } catch (const std::exception &) {
+        throw util::ConfigError("bad " + what + " '" + token +
+                                "' in array spec");
+    }
+}
+
+GroupSlice
+parseSlice(const std::string &text)
+{
+    const std::vector<std::string> fields = util::split(text, ':');
+    ACCPAR_REQUIRE(fields.size() == 2 || fields.size() == 6,
+                   "array slice '" << text
+                                   << "' must be name:count or "
+                                      "name:count:tflops:mem_gb:"
+                                      "mem_gbps:link_gbit");
+    const std::string name = util::trim(fields[0]);
+    const int count =
+        static_cast<int>(parseNumber(fields[1], "count"));
+    ACCPAR_REQUIRE(count >= 1, "array slice count must be positive");
+
+    if (fields.size() == 2) {
+        if (name == "tpu-v2")
+            return GroupSlice{tpuV2(), count};
+        if (name == "tpu-v3")
+            return GroupSlice{tpuV3(), count};
+        throw util::ConfigError(
+            "unknown accelerator '" + name +
+            "' (built-ins: tpu-v2, tpu-v3; custom slices need the "
+            "6-field form)");
+    }
+    return GroupSlice{makeAccelerator(name,
+                                      parseNumber(fields[2], "tflops"),
+                                      parseNumber(fields[3], "mem_gb"),
+                                      parseNumber(fields[4],
+                                                  "mem_gbps"),
+                                      parseNumber(fields[5],
+                                                  "link_gbit")),
+                      count};
+}
+
+} // namespace
+
+AcceleratorGroup
+parseArraySpec(const std::string &spec)
+{
+    const std::string text = util::trim(spec);
+    ACCPAR_REQUIRE(!text.empty(), "empty array spec");
+    if (util::toLower(text) == "hetero")
+        return heterogeneousTpuArray();
+    if (util::toLower(text) == "homo")
+        return homogeneousTpuV3Array();
+
+    std::vector<GroupSlice> slices;
+    for (const std::string &part : util::split(text, '+'))
+        slices.push_back(parseSlice(util::trim(part)));
+    return AcceleratorGroup(slices);
+}
+
+} // namespace accpar::hw

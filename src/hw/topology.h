@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Textual array specifications, used by the command-line tool and the
+ * examples to describe accelerator arrays without code.
+ *
+ * Grammar:
+ *   spec    := "hetero" | "homo" | slice ("+" slice)*
+ *   slice   := name ":" count
+ *            | name ":" count ":" tflops ":" mem_gb ":" mem_gbps
+ *              ":" link_gbit          (defines a custom accelerator)
+ *   name    := "tpu-v2" | "tpu-v3" | custom identifier
+ *
+ * Examples: "hetero", "tpu-v3:128", "tpu-v2:96+tpu-v3:32",
+ * "edge:16:45:16:600:4+tpu-v3:8".
+ */
+
+#ifndef ACCPAR_HW_TOPOLOGY_H
+#define ACCPAR_HW_TOPOLOGY_H
+
+#include <string>
+
+#include "hw/group.h"
+
+namespace accpar::hw {
+
+/** Parses an array specification; throws ConfigError on bad input. */
+AcceleratorGroup parseArraySpec(const std::string &spec);
+
+} // namespace accpar::hw
+
+#endif // ACCPAR_HW_TOPOLOGY_H

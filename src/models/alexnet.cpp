@@ -1,0 +1,55 @@
+#include "models/zoo.h"
+
+#include "util/error.h"
+
+namespace accpar::models {
+
+using graph::ConvAttrs;
+using graph::Graph;
+using graph::LayerId;
+using graph::PoolAttrs;
+using graph::TensorShape;
+
+Graph
+buildAlexnet(std::int64_t batch)
+{
+    ACCPAR_REQUIRE(batch >= 1, "batch must be positive");
+    Graph g("alexnet");
+    LayerId x = g.addInput("data", TensorShape(batch, 3, 224, 224));
+
+    // cv1: 96 x 11x11 / 4, pad 2 -> 55x55
+    x = g.addConv("cv1", x, ConvAttrs{96, 11, 11, 4, 4, 2, 2});
+    x = g.addRelu("cv1_relu", x);
+    x = g.addLrn("cv1_lrn", x);
+    x = g.addMaxPool("pool1", x, PoolAttrs{3, 3, 2, 2, 0, 0});
+
+    // cv2: 256 x 5x5, pad 2 -> 27x27
+    x = g.addConv("cv2", x, ConvAttrs{256, 5, 5, 1, 1, 2, 2});
+    x = g.addRelu("cv2_relu", x);
+    x = g.addLrn("cv2_lrn", x);
+    x = g.addMaxPool("pool2", x, PoolAttrs{3, 3, 2, 2, 0, 0});
+
+    // cv3..cv5: 3x3, pad 1 -> 13x13
+    x = g.addConv("cv3", x, ConvAttrs{384, 3, 3, 1, 1, 1, 1});
+    x = g.addRelu("cv3_relu", x);
+    x = g.addConv("cv4", x, ConvAttrs{384, 3, 3, 1, 1, 1, 1});
+    x = g.addRelu("cv4_relu", x);
+    x = g.addConv("cv5", x, ConvAttrs{256, 3, 3, 1, 1, 1, 1});
+    x = g.addRelu("cv5_relu", x);
+    x = g.addMaxPool("pool5", x, PoolAttrs{3, 3, 2, 2, 0, 0});
+
+    x = g.addFlatten("flatten", x); // 256 * 6 * 6 = 9216
+    x = g.addFullyConnected("fc1", x, 4096);
+    x = g.addRelu("fc1_relu", x);
+    x = g.addDropout("fc1_drop", x);
+    x = g.addFullyConnected("fc2", x, 4096);
+    x = g.addRelu("fc2_relu", x);
+    x = g.addDropout("fc2_drop", x);
+    x = g.addFullyConnected("fc3", x, 1000);
+    g.addSoftmax("prob", x);
+
+    g.validate();
+    return g;
+}
+
+} // namespace accpar::models

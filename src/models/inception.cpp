@@ -1,0 +1,126 @@
+#include "models/zoo.h"
+
+#include <array>
+#include <string>
+
+#include "util/error.h"
+
+namespace accpar::models {
+
+using graph::ConvAttrs;
+using graph::Graph;
+using graph::LayerId;
+using graph::PoolAttrs;
+using graph::TensorShape;
+
+namespace {
+
+/** Branch widths of one Inception module (GoogLeNet v1). */
+struct InceptionCfg
+{
+    std::int64_t b1;      ///< 1x1
+    std::int64_t b2a, b2b; ///< 1x1 reduce -> 3x3
+    std::int64_t b3a, b3b; ///< 1x1 reduce -> 5x5
+    std::int64_t b4;      ///< pool -> 1x1
+};
+
+/**
+ * One Inception module: four parallel branches joined by channel
+ * concatenation — the multi-path pattern of §5.2 with four paths and a
+ * Concat (instead of Add) junction.
+ */
+LayerId
+inceptionModule(Graph &g, const std::string &name, LayerId input,
+                const InceptionCfg &cfg)
+{
+    LayerId b1 = g.addConv(name + "_b1", input,
+                           ConvAttrs{cfg.b1, 1, 1, 1, 1, 0, 0});
+    b1 = g.addRelu(name + "_b1_relu", b1);
+
+    LayerId b2 = g.addConv(name + "_b2a", input,
+                           ConvAttrs{cfg.b2a, 1, 1, 1, 1, 0, 0});
+    b2 = g.addRelu(name + "_b2a_relu", b2);
+    b2 = g.addConv(name + "_b2b", b2,
+                   ConvAttrs{cfg.b2b, 3, 3, 1, 1, 1, 1});
+    b2 = g.addRelu(name + "_b2b_relu", b2);
+
+    LayerId b3 = g.addConv(name + "_b3a", input,
+                           ConvAttrs{cfg.b3a, 1, 1, 1, 1, 0, 0});
+    b3 = g.addRelu(name + "_b3a_relu", b3);
+    b3 = g.addConv(name + "_b3b", b3,
+                   ConvAttrs{cfg.b3b, 5, 5, 1, 1, 2, 2});
+    b3 = g.addRelu(name + "_b3b_relu", b3);
+
+    LayerId b4 = g.addMaxPool(name + "_b4_pool", input,
+                              PoolAttrs{3, 3, 1, 1, 1, 1});
+    b4 = g.addConv(name + "_b4", b4, ConvAttrs{cfg.b4, 1, 1, 1, 1, 0,
+                                               0});
+    b4 = g.addRelu(name + "_b4_relu", b4);
+
+    const std::array<LayerId, 4> branches = {b1, b2, b3, b4};
+    return g.addConcat(name + "_cat", branches);
+}
+
+} // namespace
+
+Graph
+buildGooglenet(std::int64_t batch)
+{
+    ACCPAR_REQUIRE(batch >= 1, "batch must be positive");
+    Graph g("googlenet");
+    LayerId x = g.addInput("data", TensorShape(batch, 3, 224, 224));
+
+    x = g.addConv("cv1", x, ConvAttrs{64, 7, 7, 2, 2, 3, 3});
+    x = g.addRelu("cv1_relu", x);
+    x = g.addMaxPool("pool1", x, PoolAttrs{3, 3, 2, 2, 1, 1});
+    x = g.addLrn("pool1_lrn", x);
+
+    x = g.addConv("cv2", x, ConvAttrs{64, 1, 1, 1, 1, 0, 0});
+    x = g.addRelu("cv2_relu", x);
+    x = g.addConv("cv3", x, ConvAttrs{192, 3, 3, 1, 1, 1, 1});
+    x = g.addRelu("cv3_relu", x);
+    x = g.addLrn("cv3_lrn", x);
+    x = g.addMaxPool("pool2", x, PoolAttrs{3, 3, 2, 2, 1, 1});
+
+    x = inceptionModule(g, "i3a", x, {64, 96, 128, 16, 32, 32});
+    x = inceptionModule(g, "i3b", x, {128, 128, 192, 32, 96, 64});
+    x = g.addMaxPool("pool3", x, PoolAttrs{3, 3, 2, 2, 1, 1});
+
+    x = inceptionModule(g, "i4a", x, {192, 96, 208, 16, 48, 64});
+    x = inceptionModule(g, "i4b", x, {160, 112, 224, 24, 64, 64});
+    x = inceptionModule(g, "i4c", x, {128, 128, 256, 24, 64, 64});
+    x = inceptionModule(g, "i4d", x, {112, 144, 288, 32, 64, 64});
+    x = inceptionModule(g, "i4e", x, {256, 160, 320, 32, 128, 128});
+    x = g.addMaxPool("pool4", x, PoolAttrs{3, 3, 2, 2, 1, 1});
+
+    x = inceptionModule(g, "i5a", x, {256, 160, 320, 32, 128, 128});
+    x = inceptionModule(g, "i5b", x, {384, 192, 384, 48, 128, 128});
+
+    x = g.addGlobalAvgPool("gap", x);
+    x = g.addFlatten("flatten", x);
+    x = g.addDropout("drop", x);
+    x = g.addFullyConnected("fc1", x, 1000);
+    g.addSoftmax("prob", x);
+
+    g.validate();
+    return g;
+}
+
+Graph
+buildMlp(std::int64_t batch, const std::vector<std::int64_t> &widths)
+{
+    ACCPAR_REQUIRE(batch >= 1, "batch must be positive");
+    ACCPAR_REQUIRE(widths.size() >= 2,
+                   "an MLP needs at least two widths");
+    Graph g("mlp");
+    LayerId x = g.addInput("data", TensorShape(batch, widths.front()));
+    for (std::size_t l = 1; l < widths.size(); ++l) {
+        x = g.addFullyConnected("fc" + std::to_string(l), x, widths[l]);
+        if (l + 1 < widths.size())
+            x = g.addRelu("fc" + std::to_string(l) + "_relu", x);
+    }
+    g.validate();
+    return g;
+}
+
+} // namespace accpar::models

@@ -1,0 +1,40 @@
+#include "models/zoo.h"
+
+#include "util/error.h"
+
+namespace accpar::models {
+
+using graph::ConvAttrs;
+using graph::Graph;
+using graph::LayerId;
+using graph::PoolAttrs;
+using graph::TensorShape;
+
+Graph
+buildLenet(std::int64_t batch)
+{
+    ACCPAR_REQUIRE(batch >= 1, "batch must be positive");
+    Graph g("lenet");
+    LayerId x = g.addInput("data", TensorShape(batch, 1, 28, 28));
+
+    x = g.addConv("cv1", x, ConvAttrs{6, 5, 5, 1, 1, 2, 2});
+    x = g.addRelu("cv1_relu", x);
+    x = g.addMaxPool("pool1", x, PoolAttrs{2, 2, 2, 2, 0, 0});
+
+    x = g.addConv("cv2", x, ConvAttrs{16, 5, 5, 1, 1, 0, 0});
+    x = g.addRelu("cv2_relu", x);
+    x = g.addMaxPool("pool2", x, PoolAttrs{2, 2, 2, 2, 0, 0});
+
+    x = g.addFlatten("flatten", x);
+    x = g.addFullyConnected("fc1", x, 120);
+    x = g.addRelu("fc1_relu", x);
+    x = g.addFullyConnected("fc2", x, 84);
+    x = g.addRelu("fc2_relu", x);
+    x = g.addFullyConnected("fc3", x, 10);
+    g.addSoftmax("prob", x);
+
+    g.validate();
+    return g;
+}
+
+} // namespace accpar::models

@@ -1,0 +1,170 @@
+#include "models/model_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace accpar::models {
+
+namespace {
+
+using graph::Graph;
+using graph::LayerId;
+using util::Json;
+
+/** Resolves a referenced layer name to its id. */
+LayerId
+lookup(const std::map<std::string, LayerId> &names,
+       const std::string &name)
+{
+    auto it = names.find(name);
+    ACCPAR_REQUIRE(it != names.end(),
+                   "model json references unknown layer '" << name
+                                                           << "'");
+    return it->second;
+}
+
+std::int64_t
+intField(const Json &layer, const std::string &key,
+         std::int64_t fallback)
+{
+    if (!layer.contains(key))
+        return fallback;
+    return layer.at(key).asInt();
+}
+
+std::int64_t
+requiredInt(const Json &layer, const std::string &key,
+            const std::string &op)
+{
+    ACCPAR_REQUIRE(layer.contains(key),
+                   "model json: '" << op << "' layer needs a '" << key
+                                   << "' field");
+    return layer.at(key).asInt();
+}
+
+} // namespace
+
+graph::Graph
+modelFromJson(const Json &doc)
+{
+    const std::string name = doc.contains("name")
+                                 ? doc.at("name").asString()
+                                 : "custom-model";
+    Graph g(name);
+
+    const Json &input = doc.at("input");
+    LayerId previous = g.addInput(
+        "data",
+        graph::TensorShape(input.at("batch").asInt(),
+                           input.at("channels").asInt(),
+                           intField(input, "height", 1),
+                           intField(input, "width", 1)));
+
+    std::map<std::string, LayerId> names;
+    names["data"] = previous;
+
+    int counter = 0;
+    for (const Json &layer : doc.at("layers").asArray()) {
+        const std::string op = layer.at("op").asString();
+        const std::string layer_name =
+            layer.contains("name")
+                ? layer.at("name").asString()
+                : op + std::to_string(++counter);
+
+        // Default operand: the previous layer; overridable by "input".
+        LayerId operand = previous;
+        if (layer.contains("input"))
+            operand = lookup(names, layer.at("input").asString());
+
+        LayerId id;
+        if (op == "conv") {
+            const std::int64_t kernel =
+                requiredInt(layer, "kernel", op);
+            const std::int64_t stride = intField(layer, "stride", 1);
+            const std::int64_t pad = intField(layer, "pad", 0);
+            id = g.addConv(layer_name, operand,
+                           graph::ConvAttrs{
+                               requiredInt(layer, "out", op),
+                               intField(layer, "kernel_h", kernel),
+                               intField(layer, "kernel_w", kernel),
+                               intField(layer, "stride_h", stride),
+                               intField(layer, "stride_w", stride),
+                               intField(layer, "pad_h", pad),
+                               intField(layer, "pad_w", pad)});
+        } else if (op == "fc") {
+            id = g.addFullyConnected(layer_name, operand,
+                                     requiredInt(layer, "out", op));
+        } else if (op == "maxpool" || op == "avgpool") {
+            const std::int64_t kernel =
+                requiredInt(layer, "kernel", op);
+            const std::int64_t stride =
+                intField(layer, "stride", kernel);
+            const std::int64_t pad = intField(layer, "pad", 0);
+            const graph::PoolAttrs attrs{
+                intField(layer, "kernel_h", kernel),
+                intField(layer, "kernel_w", kernel),
+                intField(layer, "stride_h", stride),
+                intField(layer, "stride_w", stride),
+                intField(layer, "pad_h", pad),
+                intField(layer, "pad_w", pad)};
+            id = op == "maxpool"
+                     ? g.addMaxPool(layer_name, operand, attrs)
+                     : g.addAvgPool(layer_name, operand, attrs);
+        } else if (op == "gavgpool") {
+            id = g.addGlobalAvgPool(layer_name, operand);
+        } else if (op == "relu") {
+            id = g.addRelu(layer_name, operand);
+        } else if (op == "bn") {
+            id = g.addBatchNorm(layer_name, operand);
+        } else if (op == "lrn") {
+            id = g.addLrn(layer_name, operand);
+        } else if (op == "dropout") {
+            id = g.addDropout(layer_name, operand);
+        } else if (op == "flatten") {
+            id = g.addFlatten(layer_name, operand);
+        } else if (op == "softmax") {
+            id = g.addSoftmax(layer_name, operand);
+        } else if (op == "add" || op == "concat") {
+            ACCPAR_REQUIRE(layer.contains("inputs"),
+                           "model json: '" << op
+                               << "' layer needs an 'inputs' list");
+            std::vector<LayerId> operands;
+            for (const Json &ref : layer.at("inputs").asArray())
+                operands.push_back(lookup(names, ref.asString()));
+            if (op == "add") {
+                ACCPAR_REQUIRE(operands.size() == 2,
+                               "model json: 'add' takes exactly two "
+                               "inputs");
+                id = g.addAdd(layer_name, operands[0], operands[1]);
+            } else {
+                id = g.addConcat(layer_name, operands);
+            }
+        } else {
+            throw util::ConfigError("model json: unknown op '" + op +
+                                    "'");
+        }
+
+        ACCPAR_REQUIRE(names.emplace(layer_name, id).second,
+                       "model json: duplicate layer name '"
+                           << layer_name << "'");
+        previous = id;
+    }
+
+    g.validate();
+    return g;
+}
+
+graph::Graph
+loadModelFile(const std::string &path)
+{
+    std::ifstream in(path);
+    ACCPAR_REQUIRE(in.is_open(), "cannot open model file " << path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return modelFromJson(Json::parse(text.str()));
+}
+
+} // namespace accpar::models

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Model descriptions from JSON — so the command-line tool can plan
+ * user-defined networks without recompiling.
+ *
+ * Document format:
+ * @code{.json}
+ * {
+ *   "name": "my-net",
+ *   "input": {"batch": 256, "channels": 3, "height": 32, "width": 32},
+ *   "layers": [
+ *     {"op": "conv", "name": "cv1", "out": 32, "kernel": 3,
+ *      "stride": 1, "pad": 1},
+ *     {"op": "relu"},
+ *     {"op": "maxpool", "kernel": 2, "stride": 2},
+ *     {"op": "flatten"},
+ *     {"op": "fc", "name": "fc1", "out": 10}
+ *   ]
+ * }
+ * @endcode
+ *
+ * Layers chain implicitly; "input" names a layer whose *output* feeds
+ * this layer instead of the previous one, and "add"/"concat" take an
+ * "inputs" list of layer names, enabling residual and Inception
+ * topologies. Unnamed layers get generated names.
+ */
+
+#ifndef ACCPAR_MODELS_MODEL_IO_H
+#define ACCPAR_MODELS_MODEL_IO_H
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/json.h"
+
+namespace accpar::models {
+
+/** Builds a graph from a parsed model document. */
+graph::Graph modelFromJson(const util::Json &doc);
+
+/** Reads and builds a model from a JSON file. */
+graph::Graph loadModelFile(const std::string &path);
+
+} // namespace accpar::models
+
+#endif // ACCPAR_MODELS_MODEL_IO_H

@@ -1,0 +1,143 @@
+#include "models/zoo.h"
+
+#include <array>
+#include <string>
+
+#include "util/error.h"
+
+namespace accpar::models {
+
+using graph::ConvAttrs;
+using graph::Graph;
+using graph::LayerId;
+using graph::PoolAttrs;
+using graph::TensorShape;
+
+namespace {
+
+/**
+ * Basic residual block (ResNet-18/34): two 3x3 convolutions plus an
+ * identity (or 1x1 projection) shortcut joined by element-wise addition.
+ * This is exactly the multi-path pattern of paper §5.2 / Figure 4:
+ * P2 = two weighted layers, P1 = zero or one weighted layer.
+ */
+LayerId
+basicBlock(Graph &g, const std::string &name, LayerId input,
+           std::int64_t channels, std::int64_t stride, bool project)
+{
+    LayerId x = g.addConv(name + "_cv1", input,
+                          ConvAttrs{channels, 3, 3, stride, stride, 1, 1});
+    x = g.addBatchNorm(name + "_bn1", x);
+    x = g.addRelu(name + "_relu1", x);
+    x = g.addConv(name + "_cv2", x, ConvAttrs{channels, 3, 3, 1, 1, 1, 1});
+    x = g.addBatchNorm(name + "_bn2", x);
+
+    LayerId shortcut = input;
+    if (project) {
+        shortcut = g.addConv(name + "_proj", input,
+                             ConvAttrs{channels, 1, 1, stride, stride, 0,
+                                       0});
+        shortcut = g.addBatchNorm(name + "_proj_bn", shortcut);
+    }
+    LayerId sum = g.addAdd(name + "_add", x, shortcut);
+    return g.addRelu(name + "_relu2", sum);
+}
+
+/**
+ * Bottleneck residual block (ResNet-50): 1x1 reduce, 3x3, 1x1 expand
+ * (4x) plus an identity or projection shortcut.
+ */
+LayerId
+bottleneckBlock(Graph &g, const std::string &name, LayerId input,
+                std::int64_t mid_channels, std::int64_t stride,
+                bool project)
+{
+    const std::int64_t out_channels = mid_channels * 4;
+
+    LayerId x = g.addConv(name + "_cv1", input,
+                          ConvAttrs{mid_channels, 1, 1, 1, 1, 0, 0});
+    x = g.addBatchNorm(name + "_bn1", x);
+    x = g.addRelu(name + "_relu1", x);
+    x = g.addConv(name + "_cv2", x,
+                  ConvAttrs{mid_channels, 3, 3, stride, stride, 1, 1});
+    x = g.addBatchNorm(name + "_bn2", x);
+    x = g.addRelu(name + "_relu2", x);
+    x = g.addConv(name + "_cv3", x,
+                  ConvAttrs{out_channels, 1, 1, 1, 1, 0, 0});
+    x = g.addBatchNorm(name + "_bn3", x);
+
+    LayerId shortcut = input;
+    if (project) {
+        shortcut = g.addConv(name + "_proj", input,
+                             ConvAttrs{out_channels, 1, 1, stride, stride,
+                                       0, 0});
+        shortcut = g.addBatchNorm(name + "_proj_bn", shortcut);
+    }
+    LayerId sum = g.addAdd(name + "_add", x, shortcut);
+    return g.addRelu(name + "_relu3", sum);
+}
+
+} // namespace
+
+Graph
+buildResnet(int depth, std::int64_t batch)
+{
+    ACCPAR_REQUIRE(batch >= 1, "batch must be positive");
+
+    std::array<int, 4> blocks;
+    bool bottleneck = false;
+    switch (depth) {
+      case 18:
+        blocks = {2, 2, 2, 2};
+        break;
+      case 34:
+        blocks = {3, 4, 6, 3};
+        break;
+      case 50:
+        blocks = {3, 4, 6, 3};
+        bottleneck = true;
+        break;
+      default:
+        throw util::ConfigError("resnet depth must be 18, 34 or 50, got " +
+                                std::to_string(depth));
+    }
+
+    Graph g("resnet" + std::to_string(depth));
+    LayerId x = g.addInput("data", TensorShape(batch, 3, 224, 224));
+
+    x = g.addConv("cv1", x, ConvAttrs{64, 7, 7, 2, 2, 3, 3});
+    x = g.addBatchNorm("cv1_bn", x);
+    x = g.addRelu("cv1_relu", x);
+    x = g.addMaxPool("pool1", x, PoolAttrs{3, 3, 2, 2, 1, 1});
+
+    const std::array<std::int64_t, 4> stage_channels = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int b = 0; b < blocks[stage]; ++b) {
+            const std::string name =
+                "s" + std::to_string(stage + 1) + "b" + std::to_string(b +
+                                                                       1);
+            const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+            // The first block of each stage changes the channel count
+            // (always, for bottleneck stage 1: 64 -> 256), so it needs a
+            // projection shortcut.
+            const bool project = (b == 0) && (bottleneck || stage > 0);
+            if (bottleneck) {
+                x = bottleneckBlock(g, name, x, stage_channels[stage],
+                                    stride, project);
+            } else {
+                x = basicBlock(g, name, x, stage_channels[stage], stride,
+                               project);
+            }
+        }
+    }
+
+    x = g.addGlobalAvgPool("gap", x);
+    x = g.addFlatten("flatten", x);
+    x = g.addFullyConnected("fc1", x, 1000);
+    g.addSoftmax("prob", x);
+
+    g.validate();
+    return g;
+}
+
+} // namespace accpar::models

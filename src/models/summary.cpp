@@ -1,0 +1,76 @@
+#include "models/summary.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace accpar::models {
+
+namespace {
+
+/** Reduction length K of a weighted layer's forward multiplication. */
+std::int64_t
+reductionLength(const graph::Graph &g, graph::LayerId id)
+{
+    const graph::Layer &l = g.layer(id);
+    const graph::TensorShape &in = g.inputShape(id);
+    if (l.kind == graph::LayerKind::Conv) {
+        const graph::ConvAttrs &a = l.conv();
+        return in.c * a.kernelH * a.kernelW;
+    }
+    return in.c;
+}
+
+} // namespace
+
+ModelSummary
+summarizeModel(const graph::Graph &graph)
+{
+    ModelSummary s;
+    s.modelName = graph.name();
+    for (graph::LayerId id : graph.weightedLayers()) {
+        const graph::Layer &l = graph.layer(id);
+        LayerSummary row;
+        row.id = id;
+        row.name = l.name;
+        row.kind = l.kind;
+        row.inputShape = graph.inputShape(id);
+        row.outputShape = l.outputShape;
+        row.weightCount = graph.weightCount(id);
+        const std::int64_t k = reductionLength(graph, id);
+        row.forwardFlops =
+            static_cast<util::Flops>(l.outputShape.elementCount()) *
+            static_cast<util::Flops>(2 * k - 1);
+        s.totalWeightCount += row.weightCount;
+        s.totalForwardFlops += row.forwardFlops;
+        s.layers.push_back(std::move(row));
+    }
+    return s;
+}
+
+std::string
+formatSummary(const ModelSummary &summary)
+{
+    util::Table table({"layer", "kind", "input", "output", "weights",
+                       "fwd FLOPs"});
+    for (const LayerSummary &row : summary.layers) {
+        table.addRow({row.name, graph::layerKindName(row.kind),
+                      row.inputShape.toString(),
+                      row.outputShape.toString(),
+                      std::to_string(row.weightCount),
+                      util::humanFlops(row.forwardFlops)});
+    }
+    std::ostringstream os;
+    os << "model: " << summary.modelName << '\n';
+    table.print(os);
+    os << "total weights: " << summary.totalWeightCount << " ("
+       << util::humanBytes(static_cast<double>(summary.totalWeightCount) *
+                           2)
+       << " at bf16)\n";
+    os << "total forward FLOPs: "
+       << util::humanFlops(summary.totalForwardFlops) << '\n';
+    return os.str();
+}
+
+} // namespace accpar::models

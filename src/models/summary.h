@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Model summaries: per-layer and whole-model parameter and forward-FLOP
+ * accounting, used by examples and to sanity-check the zoo against the
+ * well-known published sizes (e.g. VGG16 ≈ 138 M parameters).
+ */
+
+#ifndef ACCPAR_MODELS_SUMMARY_H
+#define ACCPAR_MODELS_SUMMARY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/units.h"
+
+namespace accpar::models {
+
+/** One weighted layer's contribution to the model summary. */
+struct LayerSummary
+{
+    graph::LayerId id = graph::kInvalidLayer;
+    std::string name;
+    graph::LayerKind kind = graph::LayerKind::Input;
+    graph::TensorShape inputShape;
+    graph::TensorShape outputShape;
+    std::int64_t weightCount = 0;
+    /**
+     * Forward-phase FLOPs at the model's batch size, using the paper's
+     * convention A(out) * (2K - 1) where K is the reduction length
+     * (Table 6 and §4.3).
+     */
+    util::Flops forwardFlops = 0.0;
+};
+
+/** Whole-model summary. */
+struct ModelSummary
+{
+    std::string modelName;
+    std::vector<LayerSummary> layers; ///< weighted layers only
+    std::int64_t totalWeightCount = 0;
+    util::Flops totalForwardFlops = 0.0;
+};
+
+/** Builds the summary for a validated @p graph. */
+ModelSummary summarizeModel(const graph::Graph &graph);
+
+/** Renders the summary as an ASCII table. */
+std::string formatSummary(const ModelSummary &summary);
+
+} // namespace accpar::models
+
+#endif // ACCPAR_MODELS_SUMMARY_H

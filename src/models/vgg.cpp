@@ -1,0 +1,76 @@
+#include "models/zoo.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace accpar::models {
+
+using graph::ConvAttrs;
+using graph::Graph;
+using graph::LayerId;
+using graph::PoolAttrs;
+using graph::TensorShape;
+
+namespace {
+
+/** Per-stage conv counts for the four VGG configurations (A/B/D/E). */
+std::array<int, 5>
+vggStageCounts(int depth)
+{
+    switch (depth) {
+      case 11:
+        return {1, 1, 2, 2, 2};
+      case 13:
+        return {2, 2, 2, 2, 2};
+      case 16:
+        return {2, 2, 3, 3, 3};
+      case 19:
+        return {2, 2, 4, 4, 4};
+      default:
+        throw util::ConfigError("vgg depth must be 11, 13, 16 or 19, got " +
+                                std::to_string(depth));
+    }
+}
+
+} // namespace
+
+Graph
+buildVgg(int depth, std::int64_t batch)
+{
+    ACCPAR_REQUIRE(batch >= 1, "batch must be positive");
+    const std::array<int, 5> counts = vggStageCounts(depth);
+    const std::array<std::int64_t, 5> channels = {64, 128, 256, 512, 512};
+
+    Graph g("vgg" + std::to_string(depth));
+    LayerId x = g.addInput("data", TensorShape(batch, 3, 224, 224));
+
+    int conv_index = 1;
+    for (int stage = 0; stage < 5; ++stage) {
+        for (int i = 0; i < counts[stage]; ++i) {
+            const std::string name = "cv" + std::to_string(conv_index++);
+            x = g.addConv(name, x,
+                          ConvAttrs{channels[stage], 3, 3, 1, 1, 1, 1});
+            x = g.addRelu(name + "_relu", x);
+        }
+        x = g.addMaxPool("pool" + std::to_string(stage + 1), x,
+                         PoolAttrs{2, 2, 2, 2, 0, 0});
+    }
+
+    x = g.addFlatten("flatten", x); // 512 * 7 * 7 = 25088
+    x = g.addFullyConnected("fc1", x, 4096);
+    x = g.addRelu("fc1_relu", x);
+    x = g.addDropout("fc1_drop", x);
+    x = g.addFullyConnected("fc2", x, 4096);
+    x = g.addRelu("fc2_relu", x);
+    x = g.addDropout("fc2_drop", x);
+    x = g.addFullyConnected("fc3", x, 1000);
+    g.addSoftmax("prob", x);
+
+    g.validate();
+    return g;
+}
+
+} // namespace accpar::models

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model zoo: builders for the nine DNNs used in the paper's evaluation
+ * (§6.1): LeNet-5 on MNIST shapes and AlexNet, Vgg11/13/16/19,
+ * ResNet18/34/50 on ImageNet shapes.
+ */
+
+#ifndef ACCPAR_MODELS_ZOO_H
+#define ACCPAR_MODELS_ZOO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace accpar::models {
+
+/** LeNet-5 for 1x28x28 (MNIST) inputs. */
+graph::Graph buildLenet(std::int64_t batch);
+
+/** AlexNet (single-tower variant) for 3x224x224 inputs. */
+graph::Graph buildAlexnet(std::int64_t batch);
+
+/** VGG configuration A/B/D/E; @p depth is 11, 13, 16 or 19. */
+graph::Graph buildVgg(int depth, std::int64_t batch);
+
+/** ResNet; @p depth is 18, 34 or 50. */
+graph::Graph buildResnet(int depth, std::int64_t batch);
+
+/**
+ * GoogLeNet (Inception v1) for 3x224x224 inputs. Not part of the
+ * paper's evaluation suite; exercises four-way parallel blocks joined
+ * by channel concatenation.
+ */
+graph::Graph buildGooglenet(std::int64_t batch);
+
+/** A plain MLP with the given feature widths (ReLU hidden layers). */
+graph::Graph buildMlp(std::int64_t batch,
+                      const std::vector<std::int64_t> &widths);
+
+/**
+ * The paper's nine evaluation networks, in presentation order
+ * (buildModel additionally accepts "googlenet").
+ */
+std::vector<std::string> modelNames();
+
+/**
+ * Builds a model by lowercase @p name ("lenet", "alexnet", "vgg11",
+ * "vgg13", "vgg16", "vgg19", "resnet18", "resnet34", "resnet50").
+ * Throws ConfigError for unknown names.
+ */
+graph::Graph buildModel(const std::string &name, std::int64_t batch);
+
+} // namespace accpar::models
+
+#endif // ACCPAR_MODELS_ZOO_H

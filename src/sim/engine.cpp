@@ -1,0 +1,128 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace accpar::sim {
+
+namespace {
+
+/** Per-hierarchy-node accumulators gathered from the trace. */
+struct NodeLoad
+{
+    util::Flops flops = 0.0;
+    util::Bytes memoryBytes = 0.0;
+    util::Bytes netBytes[2] = {0.0, 0.0}; ///< per child side
+};
+
+struct Timer
+{
+    const hw::Hierarchy &hierarchy;
+    const EngineConfig &config;
+    std::vector<NodeLoad> load;
+    SimResult result;
+
+    /** Returns the worst accumulated time in the subtree of @p id;
+     *  @p net_above is the network time along ancestors. */
+    util::Seconds
+    walk(hw::NodeId id, util::Seconds net_above)
+    {
+        const hw::HierarchyNode &hn = hierarchy.node(id);
+        const NodeLoad &l = load[id];
+
+        if (hn.isLeaf()) {
+            const hw::AcceleratorGroup &g = hn.group;
+            const util::Seconds compute =
+                l.flops / g.computeDensity();
+            const util::Seconds memory =
+                l.memoryBytes / g.memoryBandwidth();
+            const util::Seconds execute =
+                config.overlapComputeMemory ? std::max(compute, memory)
+                                            : compute + memory;
+
+            LeafTiming timing;
+            timing.leaf = id;
+            timing.flops = l.flops;
+            timing.memoryBytes = l.memoryBytes;
+            timing.executeTime = execute;
+            timing.networkTime = net_above;
+            result.leaves.push_back(timing);
+
+            result.maxExecuteTime =
+                std::max(result.maxExecuteTime, execute);
+            result.maxNetworkTime =
+                std::max(result.maxNetworkTime, net_above);
+            return config.overlapNetworkCompute
+                       ? std::max(execute, net_above)
+                       : execute + net_above;
+        }
+
+        // Each side fetches remote data over its own group's aggregate
+        // links (Eq. 7 with the group-level effective bandwidth).
+        const util::Seconds left_net =
+            l.netBytes[0] / hierarchy.node(hn.left).group.linkBandwidth();
+        const util::Seconds right_net =
+            l.netBytes[1] /
+            hierarchy.node(hn.right).group.linkBandwidth();
+        const auto level = static_cast<std::size_t>(hn.level);
+        if (result.levelNetworkTime.size() <= level)
+            result.levelNetworkTime.resize(level + 1, 0.0);
+        result.levelNetworkTime[level] =
+            std::max(result.levelNetworkTime[level],
+                     std::max(left_net, right_net));
+        return std::max(walk(hn.left, net_above + left_net),
+                        walk(hn.right, net_above + right_net));
+    }
+};
+
+} // namespace
+
+SimResult
+timeTrace(const TraceStream &trace, const hw::Hierarchy &hierarchy,
+          const EngineConfig &config)
+{
+    Timer timer{hierarchy, config, {}, SimResult{}};
+    timer.load.assign(hierarchy.nodeCount(), NodeLoad{});
+
+    for (const TraceRecord &r : trace.records()) {
+        ACCPAR_REQUIRE(r.hierNode >= 0 &&
+                           static_cast<std::size_t>(r.hierNode) <
+                               timer.load.size(),
+                       "trace record references unknown hierarchy node "
+                           << r.hierNode);
+        NodeLoad &l = timer.load[r.hierNode];
+        const int phase = static_cast<int>(r.phase);
+        switch (r.kind) {
+          case TraceKind::Mult:
+          case TraceKind::Add:
+            ACCPAR_REQUIRE(hierarchy.node(r.hierNode).isLeaf(),
+                           "compute record on internal node");
+            l.flops += r.amount;
+            timer.result.totalFlops += r.amount;
+            timer.result.phaseFlops[phase] += r.amount;
+            break;
+          case TraceKind::LoadLocal:
+          case TraceKind::StoreLocal:
+            ACCPAR_REQUIRE(hierarchy.node(r.hierNode).isLeaf(),
+                           "memory record on internal node");
+            l.memoryBytes += r.amount;
+            timer.result.totalMemoryBytes += r.amount;
+            break;
+          case TraceKind::NetTransfer:
+            ACCPAR_REQUIRE(!hierarchy.node(r.hierNode).isLeaf(),
+                           "network record on leaf node");
+            ACCPAR_REQUIRE(r.side == 0 || r.side == 1,
+                           "invalid trace side " << r.side);
+            l.netBytes[r.side] += r.amount;
+            timer.result.totalNetworkBytes += r.amount;
+            timer.result.phaseNetworkBytes[phase] += r.amount;
+            break;
+        }
+    }
+
+    timer.result.stepTime = timer.walk(hierarchy.root(), 0.0);
+    return std::move(timer.result);
+}
+
+} // namespace accpar::sim

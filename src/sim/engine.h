@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The timing engine: converts a trace into wall-clock time using the
+ * hardware rates (compute density, HBM bandwidth, link bandwidth) of the
+ * hierarchy's groups — the "calculate the time consumed" half of the
+ * paper's simulator (§6.1).
+ *
+ * Model: at a leaf, compute overlaps local memory traffic (systolic
+ * arrays stream from HBM), so leaf time is max(flops/c, bytes/mem_bw)
+ * per the roofline; network transfers do not overlap and serialize along
+ * the hierarchy levels (hierarchical collectives). The step time is the
+ * worst root-to-leaf accumulation.
+ */
+
+#ifndef ACCPAR_SIM_ENGINE_H
+#define ACCPAR_SIM_ENGINE_H
+
+#include <array>
+#include <vector>
+
+#include "hw/hierarchy.h"
+#include "sim/trace.h"
+#include "util/units.h"
+
+namespace accpar::sim {
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    /** Roofline overlap of compute and HBM traffic at the leaves. */
+    bool overlapComputeMemory = true;
+    /**
+     * Sensitivity knob: overlap network transfers with execution
+     * (per-board time = max of the two instead of their sum). Off by
+     * default, matching the paper's additive cost model.
+     */
+    bool overlapNetworkCompute = false;
+};
+
+/** Timing of one leaf board. */
+struct LeafTiming
+{
+    hw::NodeId leaf = hw::kInvalidNode;
+    util::Flops flops = 0.0;
+    util::Bytes memoryBytes = 0.0;
+    /** Compute+memory execution time of this board's share. */
+    util::Seconds executeTime = 0.0;
+    /** Network time accumulated over all ancestor levels. */
+    util::Seconds networkTime = 0.0;
+
+    util::Seconds total() const { return executeTime + networkTime; }
+};
+
+/** Result of timing one trace. */
+struct SimResult
+{
+    /** Wall-clock time of one training step. */
+    util::Seconds stepTime = 0.0;
+    /** Worst per-board execute (compute+memory) time. */
+    util::Seconds maxExecuteTime = 0.0;
+    /** Worst accumulated per-board network time. */
+    util::Seconds maxNetworkTime = 0.0;
+    /** Totals over the whole array. */
+    util::Flops totalFlops = 0.0;
+    util::Bytes totalMemoryBytes = 0.0;
+    util::Bytes totalNetworkBytes = 0.0;
+    /** Array-wide FLOPs per training phase (indexed by Phase). */
+    std::array<util::Flops, kPhaseCount> phaseFlops{};
+    /** Array-wide network bytes per training phase. */
+    std::array<util::Bytes, kPhaseCount> phaseNetworkBytes{};
+    /**
+     * Worst per-side network time at each hierarchy level (level 0 is
+     * the root pair). Shows where the communication bottleneck sits —
+     * e.g. data parallelism's deepest-level gradient synchronization.
+     */
+    std::vector<util::Seconds> levelNetworkTime;
+    /** Per-leaf detail, in hierarchy node id order. */
+    std::vector<LeafTiming> leaves;
+};
+
+/** Times @p trace on @p hierarchy. */
+SimResult timeTrace(const TraceStream &trace,
+                    const hw::Hierarchy &hierarchy,
+                    const EngineConfig &config = {});
+
+} // namespace accpar::sim
+
+#endif // ACCPAR_SIM_ENGINE_H

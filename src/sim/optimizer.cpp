@@ -1,0 +1,63 @@
+#include "sim/optimizer.h"
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace accpar::sim {
+
+const char *
+optimizerName(Optimizer optimizer)
+{
+    switch (optimizer) {
+      case Optimizer::Sgd:
+        return "sgd";
+      case Optimizer::Momentum:
+        return "momentum";
+      case Optimizer::Adam:
+        return "adam";
+    }
+    throw util::InternalError("unknown Optimizer");
+}
+
+Optimizer
+parseOptimizer(const std::string &name)
+{
+    const std::string key = util::toLower(util::trim(name));
+    if (key == "sgd")
+        return Optimizer::Sgd;
+    if (key == "momentum")
+        return Optimizer::Momentum;
+    if (key == "adam")
+        return Optimizer::Adam;
+    throw util::ConfigError("unknown optimizer '" + name + "'");
+}
+
+int
+optimizerStateCopies(Optimizer optimizer)
+{
+    switch (optimizer) {
+      case Optimizer::Sgd:
+        return 0;
+      case Optimizer::Momentum:
+        return 1;
+      case Optimizer::Adam:
+        return 2;
+    }
+    throw util::InternalError("unknown Optimizer");
+}
+
+double
+optimizerUpdateFlopsPerElement(Optimizer optimizer)
+{
+    switch (optimizer) {
+      case Optimizer::Sgd:
+        return 2.0;
+      case Optimizer::Momentum:
+        return 4.0;
+      case Optimizer::Adam:
+        return 12.0;
+    }
+    throw util::InternalError("unknown Optimizer");
+}
+
+} // namespace accpar::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Optimizer models for the training-step simulator.
+ *
+ * The paper's three-phase flow covers "Gradient Descent, Stochastic
+ * Gradient Descent, Mini-batch Gradient Descent, Momentum and Adam"
+ * (§2.1): the tensor partitioning is identical, but optimizers differ
+ * in (a) per-weight state they keep resident (velocity, moment
+ * estimates) and (b) the element-wise work of the weight update. Both
+ * affect the simulator: state inflates the per-board memory footprint,
+ * the update adds a fourth per-layer phase of element-wise compute and
+ * HBM traffic.
+ */
+
+#ifndef ACCPAR_SIM_OPTIMIZER_H
+#define ACCPAR_SIM_OPTIMIZER_H
+
+#include <string>
+
+namespace accpar::sim {
+
+/** Supported weight-update rules. */
+enum class Optimizer
+{
+    Sgd,      ///< w -= lr * g
+    Momentum, ///< v = y*v + lr*g; w -= v
+    Adam,     ///< first + second moment estimates, bias correction
+};
+
+/** Lowercase name ("sgd", "momentum", "adam"). */
+const char *optimizerName(Optimizer optimizer);
+
+/** Parses an optimizer name; throws ConfigError on unknown input. */
+Optimizer parseOptimizer(const std::string &name);
+
+/**
+ * Per-weight state tensors kept resident beyond the weight itself and
+ * its gradient: 0 for SGD, 1 (velocity) for Momentum, 2 (m and v) for
+ * Adam.
+ */
+int optimizerStateCopies(Optimizer optimizer);
+
+/**
+ * Element-wise FLOPs per weight element per update step:
+ * SGD 2 (scale + subtract), Momentum 4, Adam 12 (moment updates, bias
+ * correction, sqrt and divide counted as one FLOP each).
+ */
+double optimizerUpdateFlopsPerElement(Optimizer optimizer);
+
+} // namespace accpar::sim
+
+#endif // ACCPAR_SIM_OPTIMIZER_H

@@ -1,0 +1,110 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include "models/zoo.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace accpar::sim {
+
+SpeedupTable
+runSpeedupComparison(const std::vector<std::string> &models,
+                     std::int64_t batch,
+                     const hw::AcceleratorGroup &array,
+                     const std::vector<strategies::StrategyPtr> &strategies,
+                     const TrainingSimConfig &config)
+{
+    ACCPAR_REQUIRE(!strategies.empty(), "no strategies given");
+    ACCPAR_REQUIRE(!models.empty(), "no models given");
+
+    const hw::Hierarchy hierarchy(array);
+
+    SpeedupTable table;
+    for (const strategies::StrategyPtr &s : strategies)
+        table.strategyLabels.push_back(s->label());
+
+    for (const std::string &model_name : models) {
+        const graph::Graph model = models::buildModel(model_name, batch);
+        SpeedupRow row;
+        row.model = model_name;
+        for (const strategies::StrategyPtr &s : strategies) {
+            const TrainingRunResult run =
+                simulateStrategy(model, hierarchy, *s, config);
+            row.throughput.push_back(run.throughput);
+        }
+        const double base = row.throughput.front();
+        for (double t : row.throughput)
+            row.speedup.push_back(t / base);
+        table.rows.push_back(std::move(row));
+    }
+
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+        std::vector<double> column;
+        for (const SpeedupRow &row : table.rows)
+            column.push_back(row.speedup[s]);
+        table.geomean.push_back(util::geometricMean(column));
+    }
+    return table;
+}
+
+std::string
+formatSpeedupTable(const SpeedupTable &table, const std::string &title)
+{
+    std::vector<std::string> header = {"network"};
+    header.insert(header.end(), table.strategyLabels.begin(),
+                  table.strategyLabels.end());
+    util::Table out(header);
+    for (const SpeedupRow &row : table.rows)
+        out.addRow(row.model, row.speedup, 4);
+    out.addRow("geomean", table.geomean, 4);
+
+    std::ostringstream os;
+    os << title << '\n';
+    out.print(os);
+    return os.str();
+}
+
+std::string
+formatRunBreakdown(const TrainingRunResult &run)
+{
+    util::Table table({"phase", "FLOPs", "network"});
+    for (int p = 0; p < kPhaseCount; ++p) {
+        table.addRow(
+            {phaseName(static_cast<Phase>(p)),
+             util::humanFlops(run.timing.phaseFlops[p]),
+             util::humanBytes(run.timing.phaseNetworkBytes[p])});
+    }
+    std::ostringstream os;
+    os << run.strategyName << " on " << run.modelName << ": step "
+       << util::humanSeconds(run.stepTime) << " (execute "
+       << util::humanSeconds(run.timing.maxExecuteTime) << ", network "
+       << util::humanSeconds(run.timing.maxNetworkTime) << ")\n";
+    table.print(os);
+    os << "network time by hierarchy level:";
+    for (std::size_t level = 0;
+         level < run.timing.levelNetworkTime.size(); ++level) {
+        os << "  L" << level << " "
+           << util::humanSeconds(run.timing.levelNetworkTime[level]);
+    }
+    os << '\n';
+    return os.str();
+}
+
+void
+writeSpeedupCsv(const SpeedupTable &table, const std::string &path)
+{
+    std::vector<std::string> header = {"network"};
+    header.insert(header.end(), table.strategyLabels.begin(),
+                  table.strategyLabels.end());
+    util::CsvWriter csv(header);
+    for (const SpeedupRow &row : table.rows)
+        csv.addRow(row.model, row.speedup);
+    csv.addRow("geomean", table.geomean);
+    csv.writeFile(path);
+}
+
+} // namespace accpar::sim

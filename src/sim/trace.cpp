@@ -1,0 +1,82 @@
+#include "sim/trace.h"
+
+#include "util/error.h"
+
+namespace accpar::sim {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Forward:
+        return "forward";
+      case Phase::Backward:
+        return "backward";
+      case Phase::Gradient:
+        return "gradient";
+      case Phase::Update:
+        return "update";
+    }
+    throw util::InternalError("unknown Phase");
+}
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::Mult:
+        return "MULT";
+      case TraceKind::Add:
+        return "ADD";
+      case TraceKind::LoadLocal:
+        return "LOAD";
+      case TraceKind::StoreLocal:
+        return "STORE";
+      case TraceKind::NetTransfer:
+        return "NET";
+    }
+    throw util::InternalError("unknown TraceKind");
+}
+
+void
+TraceStream::add(TraceRecord record)
+{
+    ACCPAR_ASSERT(record.amount >= 0.0, "negative trace amount");
+    ACCPAR_ASSERT(record.granularity > 0.0,
+                  "trace granularity must be positive");
+    if (record.amount > 0.0)
+        _records.push_back(record);
+}
+
+double
+TraceStream::totalAmount(TraceKind kind) const
+{
+    double total = 0.0;
+    for (const TraceRecord &r : _records)
+        if (r.kind == kind)
+            total += r.amount;
+    return total;
+}
+
+double
+TraceStream::totalAmountAt(TraceKind kind, hw::NodeId node) const
+{
+    double total = 0.0;
+    for (const TraceRecord &r : _records)
+        if (r.kind == kind && r.hierNode == node)
+            total += r.amount;
+    return total;
+}
+
+double
+TraceStream::totalAmountAt(TraceKind kind, hw::NodeId node,
+                           int side) const
+{
+    double total = 0.0;
+    for (const TraceRecord &r : _records)
+        if (r.kind == kind && r.hierNode == node && r.side == side)
+            total += r.amount;
+    return total;
+}
+
+} // namespace accpar::sim

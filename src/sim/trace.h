@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Trace model of the in-house simulator (paper §6.1).
+ *
+ * The paper's simulator "derives the tensor accessing traces (loading and
+ * storing) and partial sum computation (MULT and ADD) traces ... and then
+ * calculates the time consumed by the computation and data accessing".
+ * We represent traces as aggregate records: one record counts a stream of
+ * homogeneous events of a given kind at a given location. The trace
+ * granularity matches the paper's: element-wise events for FC layers,
+ * kernel-window events for CONV layers (the record keeps the ops/bytes
+ * per event so tests can check both views).
+ */
+
+#ifndef ACCPAR_SIM_TRACE_H
+#define ACCPAR_SIM_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "core/condensed_graph.h"
+#include "hw/hierarchy.h"
+#include "util/units.h"
+
+namespace accpar::sim {
+
+/** Training phase of a record. */
+enum class Phase
+{
+    Forward = 0,
+    Backward = 1,
+    Gradient = 2,
+    Update = 3, ///< optimizer weight update (element-wise)
+};
+
+inline constexpr int kPhaseCount = 4;
+
+/** Name of @p phase. */
+const char *phaseName(Phase phase);
+
+/** Event kind of a record. */
+enum class TraceKind
+{
+    Mult,       ///< multiply ops (count = FLOPs)
+    Add,        ///< accumulate ops (count = FLOPs)
+    LoadLocal,  ///< local HBM reads (count = bytes)
+    StoreLocal, ///< local HBM writes (count = bytes)
+    NetTransfer ///< remote accesses over the network (count = bytes)
+};
+
+/** Name of @p kind. */
+const char *traceKindName(TraceKind kind);
+
+/** One aggregate trace record. */
+struct TraceRecord
+{
+    /** Hierarchy location: a leaf for compute/memory, an internal node
+     *  (the group pair) for network transfers. */
+    hw::NodeId hierNode = hw::kInvalidNode;
+    /** For NetTransfer: which child side pays the access (0 = left). */
+    int side = 0;
+    /** Condensed-graph node the record belongs to. */
+    core::CNodeId cnode = -1;
+    Phase phase = Phase::Forward;
+    TraceKind kind = TraceKind::Mult;
+    /** Total magnitude: FLOPs for Mult/Add, bytes otherwise. */
+    double amount = 0.0;
+    /** Magnitude per trace event (kernel-window size for CONV compute,
+     *  1 element for FC compute, element size for accesses). */
+    double granularity = 1.0;
+
+    /** Number of individual trace events the record stands for. */
+    double events() const { return amount / granularity; }
+};
+
+/** A full trace of one training step. */
+class TraceStream
+{
+  public:
+    void add(TraceRecord record);
+
+    const std::vector<TraceRecord> &records() const { return _records; }
+    std::size_t size() const { return _records.size(); }
+
+    /** Sum of amounts over records matching @p kind. */
+    double totalAmount(TraceKind kind) const;
+
+    /** Sum of amounts of @p kind at hierarchy node @p node. */
+    double totalAmountAt(TraceKind kind, hw::NodeId node) const;
+
+    /** Sum of amounts of @p kind at @p node for child side @p side. */
+    double totalAmountAt(TraceKind kind, hw::NodeId node, int side) const;
+
+  private:
+    std::vector<TraceRecord> _records;
+};
+
+} // namespace accpar::sim
+
+#endif // ACCPAR_SIM_TRACE_H

@@ -1,0 +1,222 @@
+#include "sim/trace_gen.h"
+
+#include <algorithm>
+
+#include "core/cost_model.h"
+#include "util/error.h"
+
+namespace accpar::sim {
+
+namespace {
+
+using core::CNodeId;
+using core::CondensedGraph;
+using core::DimScales;
+using core::LayerDims;
+using core::PartitionType;
+
+/** Intra-layer traffic happens in one phase per type (Table 4). */
+Phase
+intraPhase(PartitionType t)
+{
+    switch (t) {
+      case PartitionType::TypeI:
+        return Phase::Gradient;
+      case PartitionType::TypeII:
+        return Phase::Forward;
+      case PartitionType::TypeIII:
+        return Phase::Backward;
+    }
+    throw util::InternalError("unknown PartitionType");
+}
+
+struct Generator
+{
+    const core::PartitionProblem &problem;
+    const hw::Hierarchy &hierarchy;
+    const core::PartitionPlan &plan;
+    const TraceGenConfig &config;
+    TraceStream stream;
+
+    /** Compute/memory records of one board's share of one layer. */
+    void
+    emitLeaf(hw::NodeId leaf, const std::vector<DimScales> &scales)
+    {
+        const CondensedGraph &graph = problem.condensed();
+        const std::vector<LayerDims> dims =
+            core::scaledDims(problem, scales);
+        const double bpe = config.bytesPerElement;
+
+        for (std::size_t v = 0; v < graph.size(); ++v) {
+            const auto &node = graph.node(static_cast<CNodeId>(v));
+            const LayerDims &d = dims[v];
+            const double a_in = d.sizeInput();
+            const double a_out = d.sizeOutput();
+            const double a_w = d.sizeWeight();
+
+            if (node.junction) {
+                if (!config.traceJunctionAdds)
+                    continue;
+                // Element-wise join: one ADD, two loads and one store per
+                // output element, forward pass only (the backward error
+                // fan-out re-reads the same tensor).
+                emit(leaf, 0, v, Phase::Forward, TraceKind::Add, a_out,
+                     1.0);
+                emit(leaf, 0, v, Phase::Forward, TraceKind::LoadLocal,
+                     2.0 * a_out * bpe, bpe);
+                emit(leaf, 0, v, Phase::Forward, TraceKind::StoreLocal,
+                     a_out * bpe, bpe);
+                continue;
+            }
+
+            // The paper's trace granularity: element-wise for FC,
+            // kernel-window-wise for CONV (§6.1).
+            const double gran = std::max(1.0, d.kernelArea);
+
+            const double k_f = d.di * d.kernelArea;
+            const double k_b = d.dOut * d.kernelArea;
+            const double k_g = d.b * d.spatialOut;
+
+            emitCompute(leaf, v, Phase::Forward, a_out, k_f, gran);
+            emitCompute(leaf, v, Phase::Backward, a_in, k_b, gran);
+            emitCompute(leaf, v, Phase::Gradient, a_w, k_g, gran);
+
+            emitMemory(leaf, v, Phase::Forward, (a_in + a_w) * bpe,
+                       a_out * bpe, bpe);
+            emitMemory(leaf, v, Phase::Backward, (a_out + a_w) * bpe,
+                       a_in * bpe, bpe);
+            emitMemory(leaf, v, Phase::Gradient, (a_in + a_out) * bpe,
+                       a_w * bpe, bpe);
+
+            // Optimizer update: element-wise over this board's weight
+            // shard, touching weight + gradient + optimizer state.
+            const double state =
+                optimizerStateCopies(config.optimizer);
+            emit(leaf, 0, v, Phase::Update, TraceKind::Mult,
+                 a_w * optimizerUpdateFlopsPerElement(config.optimizer),
+                 1.0);
+            emitMemory(leaf, v, Phase::Update,
+                       (2.0 + state) * a_w * bpe,
+                       (1.0 + state) * a_w * bpe, bpe);
+        }
+    }
+
+    /** MULT/ADD records of one tensor multiplication with @p k-long
+     *  reductions over @p out_elems outputs (Table 6 convention). */
+    void
+    emitCompute(hw::NodeId leaf, std::size_t v, Phase phase,
+                double out_elems, double k, double gran)
+    {
+        if (out_elems <= 0.0 || k <= 0.0)
+            return;
+        emit(leaf, 0, v, phase, TraceKind::Mult, out_elems * k, gran);
+        const double adds = out_elems * std::max(0.0, k - 1.0);
+        emit(leaf, 0, v, phase, TraceKind::Add, adds, gran);
+    }
+
+    void
+    emitMemory(hw::NodeId leaf, std::size_t v, Phase phase,
+               double load_bytes, double store_bytes, double bpe)
+    {
+        emit(leaf, 0, v, phase, TraceKind::LoadLocal, load_bytes, bpe);
+        emit(leaf, 0, v, phase, TraceKind::StoreLocal, store_bytes, bpe);
+    }
+
+    /** Network records of one internal node's partition decisions. */
+    void
+    emitNetwork(hw::NodeId id, const core::NodePlan &np,
+                const std::vector<LayerDims> &dims)
+    {
+        const CondensedGraph &graph = problem.condensed();
+        const double bpe = config.bytesPerElement;
+
+        for (int side = 0; side < 2; ++side) {
+            const double own = side == 0 ? np.alpha : 1.0 - np.alpha;
+            const double other = 1.0 - own;
+            for (std::size_t v = 0; v < graph.size(); ++v) {
+                const auto &node = graph.node(static_cast<CNodeId>(v));
+                const PartitionType t = np.types[v];
+                if (!node.junction) {
+                    const double intra =
+                        core::PairCostModel::intraCommElements(t, dims[v]);
+                    emit(id, side, v, intraPhase(t),
+                         TraceKind::NetTransfer, intra * bpe, bpe);
+                }
+                for (CNodeId u : node.preds) {
+                    const double boundary =
+                        std::min(dims[u].sizeOutput(),
+                                 dims[v].sizeInput());
+                    const auto [f_part, e_part] =
+                        core::PairCostModel::interCommElementsSplit(
+                            np.types[u], t, boundary, own, other);
+                    emit(id, side, v, Phase::Forward,
+                         TraceKind::NetTransfer, f_part * bpe, bpe);
+                    emit(id, side, v, Phase::Backward,
+                         TraceKind::NetTransfer, e_part * bpe, bpe);
+                }
+            }
+        }
+    }
+
+    void
+    emit(hw::NodeId hier_node, int side, std::size_t cnode, Phase phase,
+         TraceKind kind, double amount, double granularity)
+    {
+        TraceRecord r;
+        r.hierNode = hier_node;
+        r.side = side;
+        r.cnode = static_cast<CNodeId>(cnode);
+        r.phase = phase;
+        r.kind = kind;
+        r.amount = amount;
+        r.granularity = granularity;
+        stream.add(r);
+    }
+
+    void
+    walk(hw::NodeId id, const std::vector<DimScales> &scales)
+    {
+        const hw::HierarchyNode &hn = hierarchy.node(id);
+        if (hn.isLeaf()) {
+            emitLeaf(id, scales);
+            return;
+        }
+
+        const core::NodePlan &np = plan.nodePlan(id);
+        const std::vector<LayerDims> dims =
+            core::scaledDims(problem, scales);
+        emitNetwork(id, np, dims);
+
+        const CondensedGraph &graph = problem.condensed();
+        std::vector<DimScales> left(scales);
+        std::vector<DimScales> right(scales);
+        for (std::size_t v = 0; v < graph.size(); ++v) {
+            const bool junction =
+                graph.node(static_cast<CNodeId>(v)).junction;
+            left[v] = core::childScales(scales[v], junction, np.types[v],
+                                        np.alpha);
+            right[v] = core::childScales(scales[v], junction,
+                                         np.types[v], 1.0 - np.alpha);
+        }
+        walk(hn.left, left);
+        walk(hn.right, right);
+    }
+};
+
+} // namespace
+
+TraceStream
+generateTraces(const core::PartitionProblem &problem,
+               const hw::Hierarchy &hierarchy,
+               const core::PartitionPlan &plan,
+               const TraceGenConfig &config)
+{
+    ACCPAR_REQUIRE(config.bytesPerElement > 0.0,
+                   "bytesPerElement must be positive");
+    Generator gen{problem, hierarchy, plan, config, TraceStream{}};
+    const std::vector<DimScales> unit(problem.condensed().size());
+    gen.walk(hierarchy.root(), unit);
+    return std::move(gen.stream);
+}
+
+} // namespace accpar::sim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trace generation: turns (model, hierarchy, partition plan) into the
+ * aggregate access/compute traces the timing engine consumes.
+ *
+ * Compute and local-memory records are emitted per hierarchy *leaf* (each
+ * board executes its share, the product of the ratio scalings along its
+ * root-to-leaf path). Network records are emitted per internal node and
+ * side, with the amounts of Tables 4 and 5 evaluated at the dims that
+ * hold at that level.
+ */
+
+#ifndef ACCPAR_SIM_TRACE_GEN_H
+#define ACCPAR_SIM_TRACE_GEN_H
+
+#include "core/hierarchical_solver.h"
+#include "core/plan.h"
+#include "hw/hierarchy.h"
+#include "sim/optimizer.h"
+#include "sim/trace.h"
+
+namespace accpar::sim {
+
+/** Trace generation configuration. */
+struct TraceGenConfig
+{
+    /** bf16 by default (§6.1). */
+    double bytesPerElement = 2.0;
+    /** Also emit the element-wise work of junctions (residual adds). */
+    bool traceJunctionAdds = true;
+    /** Weight-update rule (adds the Update phase's work and traffic). */
+    Optimizer optimizer = Optimizer::Sgd;
+};
+
+/** Generates the full one-step trace for @p plan. */
+TraceStream generateTraces(const core::PartitionProblem &problem,
+                           const hw::Hierarchy &hierarchy,
+                           const core::PartitionPlan &plan,
+                           const TraceGenConfig &config = {});
+
+} // namespace accpar::sim
+
+#endif // ACCPAR_SIM_TRACE_GEN_H

@@ -1,0 +1,113 @@
+#include "sim/training_sim.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace accpar::sim {
+
+namespace {
+
+/**
+ * Worst per-board memory footprint under @p plan: each board stores its
+ * share of weights plus gradients and of feature maps plus errors at
+ * bf16 (a conservative estimate — boundary tensors shared by adjacent
+ * layers are counted on both).
+ */
+struct MemoryWalker
+{
+    const core::PartitionProblem &problem;
+    const hw::Hierarchy &hierarchy;
+    const core::PartitionPlan &plan;
+    double bytesPerElement;
+    /** Weight + gradient + optimizer state copies. */
+    double weightCopies = 2.0;
+    util::Bytes peak = 0.0;
+    bool fits = true;
+
+    void
+    walk(hw::NodeId id, const std::vector<core::DimScales> &scales)
+    {
+        const hw::HierarchyNode &hn = hierarchy.node(id);
+        if (hn.isLeaf()) {
+            const std::vector<core::LayerDims> dims =
+                core::scaledDims(problem, scales);
+            util::Bytes bytes = 0.0;
+            for (std::size_t v = 0; v < dims.size(); ++v) {
+                const core::LayerDims &d = dims[v];
+                bytes += weightCopies * d.sizeWeight() * bytesPerElement;
+                bytes += 2.0 * (d.sizeInput() + d.sizeOutput()) *
+                         bytesPerElement;
+            }
+            peak = std::max(peak, bytes);
+            if (bytes > hn.group.memoryCapacity())
+                fits = false;
+            return;
+        }
+        const core::NodePlan &np = plan.nodePlan(id);
+        const core::CondensedGraph &graph = problem.condensed();
+        std::vector<core::DimScales> left(scales);
+        std::vector<core::DimScales> right(scales);
+        for (std::size_t v = 0; v < graph.size(); ++v) {
+            const bool junction =
+                graph.node(static_cast<core::CNodeId>(v)).junction;
+            left[v] = core::childScales(scales[v], junction, np.types[v],
+                                        np.alpha);
+            right[v] = core::childScales(scales[v], junction,
+                                         np.types[v], 1.0 - np.alpha);
+        }
+        walk(hn.left, left);
+        walk(hn.right, right);
+    }
+};
+
+} // namespace
+
+TrainingRunResult
+simulatePlan(const core::PartitionProblem &problem, std::int64_t batch,
+             const hw::Hierarchy &hierarchy,
+             const core::PartitionPlan &plan,
+             const TrainingSimConfig &config)
+{
+    ACCPAR_REQUIRE(batch >= 1, "batch must be positive");
+
+    TrainingRunResult result;
+    result.strategyName = plan.strategyName();
+    result.modelName = plan.modelName();
+
+    const TraceStream trace =
+        generateTraces(problem, hierarchy, plan, config.trace);
+    result.timing = timeTrace(trace, hierarchy, config.engine);
+    result.stepTime = result.timing.stepTime;
+    ACCPAR_ASSERT(result.stepTime > 0.0, "simulated step time is zero");
+    result.throughput = static_cast<double>(batch) / result.stepTime;
+
+    MemoryWalker mem{problem, hierarchy, plan,
+                     config.trace.bytesPerElement,
+                     2.0 + optimizerStateCopies(config.trace.optimizer)};
+    const std::vector<core::DimScales> unit(problem.condensed().size());
+    mem.walk(hierarchy.root(), unit);
+    result.peakLeafMemory = mem.peak;
+    result.fitsMemory = mem.fits;
+    if (!mem.fits) {
+        ACCPAR_WARN("plan " << plan.strategyName() << " on "
+                            << plan.modelName()
+                            << " exceeds per-board HBM capacity");
+    }
+    return result;
+}
+
+TrainingRunResult
+simulateStrategy(const graph::Graph &model, const hw::Hierarchy &hierarchy,
+                 const strategies::Strategy &strategy,
+                 const TrainingSimConfig &config)
+{
+    const core::PartitionProblem problem(model);
+    const core::PartitionPlan plan = strategy.plan(problem, hierarchy);
+    const std::int64_t batch =
+        model.layer(model.inputLayer()).outputShape.n;
+    return simulatePlan(problem, batch, hierarchy, plan, config);
+}
+
+} // namespace accpar::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The training-step simulator: end-to-end wrapper that plans (or accepts
+ * a plan), traces, and times one DNN training step on an accelerator
+ * array, producing the throughput numbers the paper's figures report.
+ */
+
+#ifndef ACCPAR_SIM_TRAINING_SIM_H
+#define ACCPAR_SIM_TRAINING_SIM_H
+
+#include <string>
+
+#include "core/hierarchical_solver.h"
+#include "core/plan.h"
+#include "graph/graph.h"
+#include "hw/hierarchy.h"
+#include "sim/engine.h"
+#include "sim/trace_gen.h"
+#include "strategies/strategy.h"
+
+namespace accpar::sim {
+
+/** End-to-end simulation configuration. */
+struct TrainingSimConfig
+{
+    TraceGenConfig trace;
+    EngineConfig engine;
+};
+
+/** Result of simulating one strategy on one (model, array) pair. */
+struct TrainingRunResult
+{
+    std::string strategyName;
+    std::string modelName;
+    /** Wall-clock seconds per training step. */
+    util::Seconds stepTime = 0.0;
+    /** Samples per second at the model's batch size. */
+    double throughput = 0.0;
+    /** Detailed timing. */
+    SimResult timing;
+    /** Worst per-board memory footprint (weights + activations + their
+     *  gradients/errors, bf16). */
+    util::Bytes peakLeafMemory = 0.0;
+    /** True when every board's footprint fits its HBM capacity. */
+    bool fitsMemory = true;
+};
+
+/**
+ * Simulates one training step of @p model under @p plan.
+ * @p batch is taken from the model's input shape.
+ */
+TrainingRunResult simulatePlan(const core::PartitionProblem &problem,
+                               std::int64_t batch,
+                               const hw::Hierarchy &hierarchy,
+                               const core::PartitionPlan &plan,
+                               const TrainingSimConfig &config = {});
+
+/** Plans with @p strategy, then simulates. */
+TrainingRunResult simulateStrategy(const graph::Graph &model,
+                                   const hw::Hierarchy &hierarchy,
+                                   const strategies::Strategy &strategy,
+                                   const TrainingSimConfig &config = {});
+
+} // namespace accpar::sim
+
+#endif // ACCPAR_SIM_TRAINING_SIM_H

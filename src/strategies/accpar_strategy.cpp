@@ -1,0 +1,25 @@
+#include "strategies/accpar_strategy.h"
+
+namespace accpar::strategies {
+
+core::PartitionPlan
+AccPar::plan(const core::PartitionProblem &problem,
+             const hw::Hierarchy &hierarchy) const
+{
+    core::SolverOptions options;
+    options.strategyName = name();
+    options.ratioPolicy = _options.ratioPolicy;
+    options.ratioIterations = _options.ratioIterations;
+    options.cost.objective = core::ObjectiveKind::Time;
+    options.cost.reduce = core::PairReduce::Max;
+    options.cost.includeCompute = _options.includeCompute;
+    if (!_options.enableTypeIII) {
+        options.allowedTypes = [](const core::CondensedNode &) {
+            return std::vector<core::PartitionType>{
+                core::PartitionType::TypeI, core::PartitionType::TypeII};
+        };
+    }
+    return core::solveHierarchy(problem, hierarchy, options);
+}
+
+} // namespace accpar::strategies

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The AccPar strategy: complete three-type search space, joint
+ * computation + communication cost model, heterogeneity-aware flexible
+ * partitioning ratio (paper §4-§5).
+ *
+ * The knobs exposed here drive the ablation benchmarks: restricting the
+ * type set to {I, II} isolates the value of Type-III; switching the ratio
+ * policy isolates the value of flexible ratios; dropping the computation
+ * term reduces the objective to a bandwidth-aware HyPar.
+ */
+
+#ifndef ACCPAR_STRATEGIES_ACCPAR_STRATEGY_H
+#define ACCPAR_STRATEGIES_ACCPAR_STRATEGY_H
+
+#include "strategies/strategy.h"
+
+namespace accpar::strategies {
+
+/** Configuration of the AccPar strategy (defaults follow the paper). */
+struct AccParOptions
+{
+    /** Include Type-III in the search space. */
+    bool enableTypeIII = true;
+    /** Include the computation term in the cost. */
+    bool includeCompute = true;
+    /** Ratio policy; the paper's Eq. 10 linearization by default. */
+    core::RatioPolicy ratioPolicy = core::RatioPolicy::PaperLinear;
+    /** Fixed-point iterations of (DP, ratio) per hierarchy node. */
+    int ratioIterations = 3;
+};
+
+/** Full AccPar search. */
+class AccPar : public Strategy
+{
+  public:
+    AccPar() = default;
+    explicit AccPar(const AccParOptions &options) : _options(options) {}
+
+    std::string name() const override { return "accpar"; }
+    std::string label() const override { return "AccPar"; }
+
+    const AccParOptions &options() const { return _options; }
+
+    core::PartitionPlan plan(const core::PartitionProblem &problem,
+                             const hw::Hierarchy &hierarchy) const
+        override;
+
+    using Strategy::plan;
+
+  private:
+    AccParOptions _options;
+};
+
+} // namespace accpar::strategies
+
+#endif // ACCPAR_STRATEGIES_ACCPAR_STRATEGY_H

@@ -1,0 +1,19 @@
+#include "strategies/data_parallel.h"
+
+namespace accpar::strategies {
+
+core::PartitionPlan
+DataParallel::plan(const core::PartitionProblem &problem,
+                   const hw::Hierarchy &hierarchy) const
+{
+    core::SolverOptions options;
+    options.strategyName = name();
+    options.ratioPolicy = core::RatioPolicy::Fixed;
+    options.allowedTypes = [](const core::CondensedNode &) {
+        return std::vector<core::PartitionType>{
+            core::PartitionType::TypeI};
+    };
+    return core::solveHierarchy(problem, hierarchy, options);
+}
+
+} // namespace accpar::strategies

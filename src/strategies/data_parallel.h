@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The data-parallelism baseline (paper §6.1 "DP", after [106]).
+ *
+ * Every accelerator replicates the full model and processes an equal
+ * share of the mini-batch: Type-I with ratio 0.5 at every hierarchy level
+ * for every layer. On heterogeneous arrays the equal split leaves the
+ * faster boards idle — exactly the inefficiency AccPar's flexible ratio
+ * removes.
+ */
+
+#ifndef ACCPAR_STRATEGIES_DATA_PARALLEL_H
+#define ACCPAR_STRATEGIES_DATA_PARALLEL_H
+
+#include "strategies/strategy.h"
+
+namespace accpar::strategies {
+
+/** All-Type-I, equal-ratio baseline. */
+class DataParallel : public Strategy
+{
+  public:
+    std::string name() const override { return "dp"; }
+    std::string label() const override { return "DP"; }
+
+    core::PartitionPlan plan(const core::PartitionProblem &problem,
+                             const hw::Hierarchy &hierarchy) const
+        override;
+
+    using Strategy::plan;
+};
+
+} // namespace accpar::strategies
+
+#endif // ACCPAR_STRATEGIES_DATA_PARALLEL_H

@@ -1,0 +1,50 @@
+#include "strategies/hypar.h"
+
+#include <memory>
+#include <unordered_set>
+
+namespace accpar::strategies {
+
+core::PartitionPlan
+HyPar::plan(const core::PartitionProblem &problem,
+            const hw::Hierarchy &hierarchy) const
+{
+    // HyPar "can only handle DNN architectures with linear structure"
+    // (paper §1/§3.5). Nodes inside multi-path regions — the residual
+    // blocks of ResNet — are beyond its search and fall back to data
+    // parallelism (Type-I); only the linear backbone is searched.
+    auto multipath = std::make_shared<std::unordered_set<core::CNodeId>>();
+    for (const core::Element &element : problem.chain().elements) {
+        if (!element.isParallel())
+            continue;
+        multipath->insert(element.node);
+        for (const core::Chain &path : element.paths)
+            for (core::CNodeId id : core::collectChainNodes(path))
+                multipath->insert(id);
+    }
+    // collectChainNodes returns condensed ids; the allowed-types callback
+    // receives nodes, so match on the originating layer id.
+    auto multipath_layers =
+        std::make_shared<std::unordered_set<graph::LayerId>>();
+    for (core::CNodeId id : *multipath)
+        multipath_layers->insert(problem.condensed().node(id).layer);
+
+    core::SolverOptions options;
+    options.strategyName = name();
+    options.ratioPolicy = core::RatioPolicy::Fixed;
+    options.cost.objective = core::ObjectiveKind::CommAmount;
+    options.cost.reduce = core::PairReduce::Sum;
+    options.cost.includeCompute = false;
+    options.allowedTypes =
+        [multipath_layers](const core::CondensedNode &node) {
+            if (multipath_layers->count(node.layer)) {
+                return std::vector<core::PartitionType>{
+                    core::PartitionType::TypeI};
+            }
+            return std::vector<core::PartitionType>{
+                core::PartitionType::TypeI, core::PartitionType::TypeII};
+        };
+    return core::solveHierarchy(problem, hierarchy, options);
+}
+
+} // namespace accpar::strategies

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * HyPar baseline (Song et al., HPCA 2019), reimplemented from its
+ * description in the AccPar paper (§3.5, §6.1).
+ *
+ * HyPar searches layer-wise between data parallelism and model
+ * parallelism — the paper identifies these with Type-I and Type-II — by
+ * the same dynamic program, but (1) its basic-type set is incomplete
+ * (Type-III and five of the nine inter-layer patterns are missing from
+ * its space), (2) it minimizes communication *amount* as a proxy for
+ * performance (no computation term, no bandwidth), and (3) it always
+ * partitions tensors equally, so it cannot exploit heterogeneous compute
+ * density.
+ */
+
+#ifndef ACCPAR_STRATEGIES_HYPAR_H
+#define ACCPAR_STRATEGIES_HYPAR_H
+
+#include "strategies/strategy.h"
+
+namespace accpar::strategies {
+
+/** {Type-I, Type-II} search, communication-amount objective, ratio 0.5. */
+class HyPar : public Strategy
+{
+  public:
+    std::string name() const override { return "hypar"; }
+    std::string label() const override { return "HyPar"; }
+
+    core::PartitionPlan plan(const core::PartitionProblem &problem,
+                             const hw::Hierarchy &hierarchy) const
+        override;
+
+    using Strategy::plan;
+};
+
+} // namespace accpar::strategies
+
+#endif // ACCPAR_STRATEGIES_HYPAR_H

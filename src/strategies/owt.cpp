@@ -1,0 +1,24 @@
+#include "strategies/owt.h"
+
+#include "graph/layer.h"
+
+namespace accpar::strategies {
+
+core::PartitionPlan
+Owt::plan(const core::PartitionProblem &problem,
+          const hw::Hierarchy &hierarchy) const
+{
+    core::SolverOptions options;
+    options.strategyName = name();
+    options.ratioPolicy = core::RatioPolicy::Fixed;
+    options.allowedTypes = [](const core::CondensedNode &node) {
+        // FC layers run model-parallel; everything else (CONV layers and
+        // junctions between them) runs data-parallel.
+        const bool fc = node.kind == graph::LayerKind::FullyConnected;
+        return std::vector<core::PartitionType>{
+            fc ? core::PartitionType::TypeII : core::PartitionType::TypeI};
+    };
+    return core::solveHierarchy(problem, hierarchy, options);
+}
+
+} // namespace accpar::strategies

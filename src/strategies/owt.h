@@ -1,0 +1,33 @@
+/**
+ * @file
+ * "One Weird Trick" (Krizhevsky, arXiv:1404.5997; paper §3.5).
+ *
+ * A static, empirical configuration: data parallelism (Type-I) for CONV
+ * layers and model parallelism (Type-II) for FC layers, equal ratios.
+ * Junctions (residual joins) sit between CONV layers and follow Type-I.
+ */
+
+#ifndef ACCPAR_STRATEGIES_OWT_H
+#define ACCPAR_STRATEGIES_OWT_H
+
+#include "strategies/strategy.h"
+
+namespace accpar::strategies {
+
+/** CONV -> Type-I, FC -> Type-II, equal ratios. */
+class Owt : public Strategy
+{
+  public:
+    std::string name() const override { return "owt"; }
+    std::string label() const override { return "OWT"; }
+
+    core::PartitionPlan plan(const core::PartitionProblem &problem,
+                             const hw::Hierarchy &hierarchy) const
+        override;
+
+    using Strategy::plan;
+};
+
+} // namespace accpar::strategies
+
+#endif // ACCPAR_STRATEGIES_OWT_H

@@ -1,0 +1,42 @@
+#include "strategies/registry.h"
+
+#include "strategies/accpar_strategy.h"
+#include "strategies/data_parallel.h"
+#include "strategies/hypar.h"
+#include "strategies/owt.h"
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace accpar::strategies {
+
+std::vector<std::string>
+strategyNames()
+{
+    return {"dp", "owt", "hypar", "accpar"};
+}
+
+StrategyPtr
+makeStrategy(const std::string &name)
+{
+    const std::string key = util::toLower(util::trim(name));
+    if (key == "dp")
+        return std::make_unique<DataParallel>();
+    if (key == "owt")
+        return std::make_unique<Owt>();
+    if (key == "hypar")
+        return std::make_unique<HyPar>();
+    if (key == "accpar")
+        return std::make_unique<AccPar>();
+    throw util::ConfigError("unknown strategy name: " + name);
+}
+
+std::vector<StrategyPtr>
+defaultStrategies()
+{
+    std::vector<StrategyPtr> out;
+    for (const std::string &name : strategyNames())
+        out.push_back(makeStrategy(name));
+    return out;
+}
+
+} // namespace accpar::strategies

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Strategy registry: the four evaluation strategies by name, in the
+ * paper's presentation order.
+ */
+
+#ifndef ACCPAR_STRATEGIES_REGISTRY_H
+#define ACCPAR_STRATEGIES_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "strategies/strategy.h"
+
+namespace accpar::strategies {
+
+/** Names accepted by makeStrategy: "dp", "owt", "hypar", "accpar". */
+std::vector<std::string> strategyNames();
+
+/** Builds a strategy by name; throws ConfigError on unknown names. */
+StrategyPtr makeStrategy(const std::string &name);
+
+/** All four strategies in evaluation order (DP, OWT, HyPar, AccPar). */
+std::vector<StrategyPtr> defaultStrategies();
+
+} // namespace accpar::strategies
+
+#endif // ACCPAR_STRATEGIES_REGISTRY_H

@@ -1,0 +1,13 @@
+#include "strategies/strategy.h"
+
+namespace accpar::strategies {
+
+core::PartitionPlan
+Strategy::plan(const graph::Graph &model,
+               const hw::Hierarchy &hierarchy) const
+{
+    const core::PartitionProblem problem(model);
+    return plan(problem, hierarchy);
+}
+
+} // namespace accpar::strategies

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The common interface of partitioning strategies.
+ *
+ * A strategy maps a (model, accelerator hierarchy) pair to a hierarchical
+ * PartitionPlan. The four strategies of the paper's evaluation (§6.1) are
+ * provided: data parallelism (DP), "One Weird Trick" (OWT), HyPar, and
+ * AccPar. All plans are executed by the same simulator, so differences in
+ * reported throughput come only from the partitioning decisions.
+ */
+
+#ifndef ACCPAR_STRATEGIES_STRATEGY_H
+#define ACCPAR_STRATEGIES_STRATEGY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hierarchical_solver.h"
+#include "core/plan.h"
+#include "hw/hierarchy.h"
+
+namespace accpar::strategies {
+
+/** Abstract partitioning strategy. */
+class Strategy
+{
+  public:
+    virtual ~Strategy() = default;
+
+    /** Short lowercase identifier ("dp", "owt", "hypar", "accpar"). */
+    virtual std::string name() const = 0;
+
+    /** Display label used in tables ("DP", "OWT", ...). */
+    virtual std::string label() const = 0;
+
+    /** Produces the plan for @p problem on @p hierarchy. */
+    virtual core::PartitionPlan
+    plan(const core::PartitionProblem &problem,
+         const hw::Hierarchy &hierarchy) const = 0;
+
+    /** Convenience overload building the problem from a model graph. */
+    core::PartitionPlan plan(const graph::Graph &model,
+                             const hw::Hierarchy &hierarchy) const;
+};
+
+using StrategyPtr = std::unique_ptr<Strategy>;
+
+} // namespace accpar::strategies
+
+#endif // ACCPAR_STRATEGIES_STRATEGY_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Command-line argument parser for the accpar tool and examples.
+ *
+ * Supports subcommand-style interfaces: positional arguments plus
+ * `--flag value` / `--flag=value` options and boolean `--switch`es.
+ */
+
+#ifndef ACCPAR_UTIL_ARGS_H
+#define ACCPAR_UTIL_ARGS_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace accpar::util {
+
+/** Parsed command line. */
+class Args
+{
+  public:
+    /**
+     * Parses argv-style input (excluding the program name).
+     * @p switches lists flag names that take no value.
+     */
+    Args(std::vector<std::string> argv,
+         const std::vector<std::string> &switches = {});
+
+    /** Positional arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return _positional;
+    }
+
+    /** True when --name was given (switch or valued). */
+    bool has(const std::string &name) const;
+
+    /** Value of --name or std::nullopt. */
+    std::optional<std::string> get(const std::string &name) const;
+
+    /** Value of --name or @p fallback. */
+    std::string getOr(const std::string &name,
+                      const std::string &fallback) const;
+
+    /** Integer value of --name or @p fallback; throws on bad input. */
+    std::int64_t getIntOr(const std::string &name,
+                          std::int64_t fallback) const;
+
+    /** Double value of --name or @p fallback; throws on bad input. */
+    double getDoubleOr(const std::string &name, double fallback) const;
+
+    /**
+     * Throws ConfigError if any provided flag is not in @p known
+     * (prevents silent typos like --stratgy).
+     */
+    void checkKnown(const std::vector<std::string> &known) const;
+
+  private:
+    std::vector<std::string> _positional;
+    std::map<std::string, std::string> _options;
+    std::map<std::string, bool> _switches;
+};
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_ARGS_H

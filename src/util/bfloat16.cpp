@@ -1,0 +1,58 @@
+#include "util/bfloat16.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace accpar::util {
+
+namespace {
+
+std::uint32_t
+floatBits(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+float
+bitsToFloat(std::uint32_t bits)
+{
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+} // namespace
+
+BFloat16::BFloat16(float value)
+{
+    std::uint32_t bits = floatBits(value);
+    if (std::isnan(value)) {
+        // Preserve NaN; force a set mantissa bit so truncation cannot
+        // silently turn a NaN into an infinity.
+        _bits = static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+        return;
+    }
+    // Round to nearest even on the bit that will be truncated away.
+    const std::uint32_t rounding_bias =
+        0x7FFFu + ((bits >> 16) & 1u);
+    bits += rounding_bias;
+    _bits = static_cast<std::uint16_t>(bits >> 16);
+}
+
+float
+BFloat16::toFloat() const
+{
+    return bitsToFloat(static_cast<std::uint32_t>(_bits) << 16);
+}
+
+BFloat16
+BFloat16::fromBits(std::uint16_t bits)
+{
+    BFloat16 v;
+    v._bits = bits;
+    return v;
+}
+
+} // namespace accpar::util

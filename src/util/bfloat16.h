@@ -1,0 +1,50 @@
+/**
+ * @file
+ * bfloat16 value type.
+ *
+ * The paper's evaluation uses Google's 16-bit brain floating point format
+ * for all training tensors (§6.1). The partitioning cost model only needs
+ * its *size* (2 bytes per element), but we provide a faithful value type —
+ * truncation from float with round-to-nearest-even, exact widening back to
+ * float — so the data-format assumption is testable and the library could
+ * back a functional simulator.
+ */
+
+#ifndef ACCPAR_UTIL_BFLOAT16_H
+#define ACCPAR_UTIL_BFLOAT16_H
+
+#include <cstdint>
+
+namespace accpar::util {
+
+/** IEEE-754 binary32 with the mantissa truncated to 7 bits. */
+class BFloat16
+{
+  public:
+    /** Zero-initialized value. */
+    BFloat16() = default;
+
+    /** Converts from float with round-to-nearest-even. */
+    explicit BFloat16(float value);
+
+    /** Widens back to float (exact; bf16 is a prefix of binary32). */
+    float toFloat() const;
+
+    /** Raw 16-bit storage (sign:1, exponent:8, mantissa:7). */
+    std::uint16_t bits() const { return _bits; }
+
+    /** Builds a value from raw storage bits. */
+    static BFloat16 fromBits(std::uint16_t bits);
+
+    /** Bytes per element; this is what the cost model consumes. */
+    static constexpr int kByteSize = 2;
+
+    bool operator==(const BFloat16 &other) const = default;
+
+  private:
+    std::uint16_t _bits = 0;
+};
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_BFLOAT16_H

@@ -1,0 +1,75 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace accpar::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : _header(std::move(header))
+{
+    ACCPAR_REQUIRE(!_header.empty(), "csv needs at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> row)
+{
+    ACCPAR_REQUIRE(row.size() == _header.size(),
+                   "csv row has " << row.size() << " cells, expected "
+                                  << _header.size());
+    _rows.push_back(std::move(row));
+}
+
+void
+CsvWriter::addRow(const std::string &label, const std::vector<double> &values)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatDouble(v, 9));
+    addRow(std::move(row));
+}
+
+std::string
+CsvWriter::escapeCell(const std::string &cell)
+{
+    const bool needs_quote =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::write(std::ostream &os) const
+{
+    auto write_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << escapeCell(row[c]);
+        os << '\n';
+    };
+    write_row(_header);
+    for (const auto &row : _rows)
+        write_row(row);
+}
+
+void
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    ACCPAR_REQUIRE(out.is_open(), "cannot open csv output file " << path);
+    write(out);
+}
+
+} // namespace accpar::util

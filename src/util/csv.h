@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CSV writer for exporting benchmark series (one file per figure), so the
+ * paper's plots can be regenerated with any external plotting tool.
+ */
+
+#ifndef ACCPAR_UTIL_CSV_H
+#define ACCPAR_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace accpar::util {
+
+/**
+ * Accumulates rows and renders RFC-4180-style CSV (quoting cells that
+ * contain commas, quotes or newlines).
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Appends a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience overload: label column plus numeric columns. */
+    void addRow(const std::string &label, const std::vector<double> &values);
+
+    /** Writes header plus all rows to @p os. */
+    void write(std::ostream &os) const;
+
+    /** Writes to @p path; throws ConfigError when the file cannot open. */
+    void writeFile(const std::string &path) const;
+
+    /** Escapes one cell per the CSV quoting rules. */
+    static std::string escapeCell(const std::string &cell);
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_CSV_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Error types and checking macros used across the AccPar library.
+ *
+ * Following the gem5 convention, we distinguish two failure classes:
+ *  - user errors (bad model description, invalid configuration) raise
+ *    ConfigError, analogous to gem5's fatal();
+ *  - internal invariant violations raise InternalError, analogous to
+ *    gem5's panic().
+ */
+
+#ifndef ACCPAR_UTIL_ERROR_H
+#define ACCPAR_UTIL_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace accpar::util {
+
+/** Base class for all errors thrown by the AccPar library. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** The user supplied an invalid model, hardware, or solver configuration. */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string &msg) : Error(msg) {}
+};
+
+/** An internal invariant of the library was violated (a bug in AccPar). */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &msg) : Error(msg) {}
+};
+
+namespace detail {
+
+/** Builds the final message for the checking macros below. */
+inline std::string
+buildCheckMessage(const char *kind, const char *cond, const char *file,
+                  int line, const std::string &extra)
+{
+    std::ostringstream os;
+    os << kind << " failed: " << cond << " at " << file << ":" << line;
+    if (!extra.empty())
+        os << " — " << extra;
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace accpar::util
+
+/** Validate a user-facing precondition; throws ConfigError on failure. */
+#define ACCPAR_REQUIRE(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream os_;                                        \
+            os_ << msg;                                                    \
+            throw ::accpar::util::ConfigError(                             \
+                ::accpar::util::detail::buildCheckMessage(                 \
+                    "requirement", #cond, __FILE__, __LINE__, os_.str())); \
+        }                                                                  \
+    } while (0)
+
+/** Validate an internal invariant; throws InternalError on failure. */
+#define ACCPAR_ASSERT(cond, msg)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream os_;                                        \
+            os_ << msg;                                                    \
+            throw ::accpar::util::InternalError(                           \
+                ::accpar::util::detail::buildCheckMessage(                 \
+                    "invariant", #cond, __FILE__, __LINE__, os_.str()));   \
+        }                                                                  \
+    } while (0)
+
+#endif // ACCPAR_UTIL_ERROR_H

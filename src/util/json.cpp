@@ -1,0 +1,499 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace accpar::util {
+
+bool
+Json::asBool() const
+{
+    ACCPAR_REQUIRE(_kind == Kind::Bool, "json value is not a bool");
+    return _bool;
+}
+
+double
+Json::asNumber() const
+{
+    ACCPAR_REQUIRE(_kind == Kind::Number, "json value is not a number");
+    return _number;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    const double v = asNumber();
+    const auto i = static_cast<std::int64_t>(std::llround(v));
+    ACCPAR_REQUIRE(std::abs(v - static_cast<double>(i)) < 1e-9,
+                   "json number " << v << " is not an integer");
+    return i;
+}
+
+const std::string &
+Json::asString() const
+{
+    ACCPAR_REQUIRE(_kind == Kind::String, "json value is not a string");
+    return _string;
+}
+
+const Json::Array &
+Json::asArray() const
+{
+    ACCPAR_REQUIRE(_kind == Kind::Array, "json value is not an array");
+    return _array;
+}
+
+const Json::Object &
+Json::asObject() const
+{
+    ACCPAR_REQUIRE(_kind == Kind::Object, "json value is not an object");
+    return _object;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Object &obj = asObject();
+    auto it = obj.find(key);
+    ACCPAR_REQUIRE(it != obj.end(), "json object has no key '" << key
+                                                               << "'");
+    return it->second;
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    return _kind == Kind::Object && _object.count(key) > 0;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (_kind == Kind::Null)
+        _kind = Kind::Object;
+    ACCPAR_REQUIRE(_kind == Kind::Object, "json value is not an object");
+    return _object[key];
+}
+
+void
+Json::push(Json value)
+{
+    if (_kind == Kind::Null)
+        _kind = Kind::Array;
+    ACCPAR_REQUIRE(_kind == Kind::Array, "json value is not an array");
+    _array.push_back(std::move(value));
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (_kind != other._kind)
+        return false;
+    switch (_kind) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return _bool == other._bool;
+      case Kind::Number:
+        return _number == other._number;
+      case Kind::String:
+        return _string == other._string;
+      case Kind::Array:
+        return _array == other._array;
+      case Kind::Object:
+        return _object == other._object;
+    }
+    return false;
+}
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+formatNumber(std::string &out, double v)
+{
+    ACCPAR_REQUIRE(std::isfinite(v),
+                   "json cannot represent non-finite number");
+    // Integers print without a fractional part.
+    const auto i = static_cast<std::int64_t>(v);
+    if (static_cast<double>(i) == v &&
+        std::abs(v) < 9.0e15) {
+        out += std::to_string(i);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     (static_cast<std::size_t>(depth) +
+                                      1),
+                                 ' ')
+                   : std::string();
+    const std::string close_pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     static_cast<std::size_t>(depth),
+                                 ' ')
+                   : std::string();
+    const char *nl = indent > 0 ? "\n" : "";
+
+    switch (_kind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Kind::Number:
+        formatNumber(out, _number);
+        break;
+      case Kind::String:
+        escapeString(out, _string);
+        break;
+      case Kind::Array: {
+        if (_array.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < _array.size(); ++i) {
+            out += pad;
+            _array[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < _array.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (_object.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        std::size_t i = 0;
+        for (const auto &[key, value] : _object) {
+            out += pad;
+            escapeString(out, key);
+            out += indent > 0 ? ": " : ":";
+            value.dumpTo(out, indent, depth + 1);
+            if (++i < _object.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    Json
+    parseDocument()
+    {
+        skipWs();
+        Json value = parseValue();
+        skipWs();
+        ACCPAR_REQUIRE(_pos == _text.size(),
+                       "trailing characters after json document at "
+                           << _pos);
+        return value;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    char
+    peek() const
+    {
+        ACCPAR_REQUIRE(_pos < _text.size(),
+                       "unexpected end of json input");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        ACCPAR_REQUIRE(peek() == c, "expected '" << c << "' at " << _pos
+                                                 << ", got '" << peek()
+                                                 << "'");
+        ++_pos;
+    }
+
+    bool
+    consumeKeyword(const char *kw)
+    {
+        const std::size_t len = std::string(kw).size();
+        if (_text.compare(_pos, len, kw) == 0) {
+            _pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Json(parseString());
+        if (consumeKeyword("true"))
+            return Json(true);
+        if (consumeKeyword("false"))
+            return Json(false);
+        if (consumeKeyword("null"))
+            return Json(nullptr);
+        return parseNumber();
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json::Object obj;
+        skipWs();
+        if (peek() == '}') {
+            ++_pos;
+            return Json(std::move(obj));
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj[std::move(key)] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            expect('}');
+            break;
+        }
+        return Json(std::move(obj));
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json::Array arr;
+        skipWs();
+        if (peek() == ']') {
+            ++_pos;
+            return Json(std::move(arr));
+        }
+        while (true) {
+            arr.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            expect(']');
+            break;
+        }
+        return Json(std::move(arr));
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            ACCPAR_REQUIRE(_pos < _text.size(),
+                           "unterminated json string");
+            const char c = _text[_pos++];
+            if (c == '"')
+                break;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            ACCPAR_REQUIRE(_pos < _text.size(),
+                           "unterminated escape in json string");
+            const char esc = _text[_pos++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                ACCPAR_REQUIRE(_pos + 4 <= _text.size(),
+                               "truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = _text[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        throw ConfigError("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode (BMP only).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out +=
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                throw ConfigError(std::string("bad escape \\") + esc);
+            }
+        }
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = _pos;
+        if (_pos < _text.size() && (_text[_pos] == '-'))
+            ++_pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '+' ||
+                _text[_pos] == '-'))
+            ++_pos;
+        ACCPAR_REQUIRE(_pos > start, "invalid json value at " << start);
+        const std::string token = _text.substr(start, _pos - start);
+        std::size_t used = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(token, &used);
+        } catch (const std::exception &) {
+            throw ConfigError("invalid json number '" + token + "'");
+        }
+        ACCPAR_REQUIRE(used == token.size(),
+                       "invalid json number '" << token << "'");
+        return Json(value);
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    Parser parser(text);
+    return parser.parseDocument();
+}
+
+} // namespace accpar::util

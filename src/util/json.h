@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal JSON value type, parser and serializer.
+ *
+ * Used to persist partition plans and benchmark results. Supports the
+ * full JSON data model (null, bool, number, string with escapes, array,
+ * object) minus exotic corners we do not need (no \u surrogate pairs
+ * beyond the BMP, numbers parsed as double).
+ */
+
+#ifndef ACCPAR_UTIL_JSON_H
+#define ACCPAR_UTIL_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace accpar::util {
+
+/** A JSON document node. */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    using Array = std::vector<Json>;
+    /** Ordered map keeps output deterministic. */
+    using Object = std::map<std::string, Json>;
+
+    /// @name Constructors for each kind.
+    /// @{
+    Json() : _kind(Kind::Null) {}
+    Json(std::nullptr_t) : _kind(Kind::Null) {}
+    Json(bool value) : _kind(Kind::Bool), _bool(value) {}
+    Json(double value) : _kind(Kind::Number), _number(value) {}
+    Json(int value) : Json(static_cast<double>(value)) {}
+    Json(std::int64_t value) : Json(static_cast<double>(value)) {}
+    Json(const char *value) : _kind(Kind::String), _string(value) {}
+    Json(std::string value)
+        : _kind(Kind::String), _string(std::move(value))
+    {
+    }
+    Json(Array value) : _kind(Kind::Array), _array(std::move(value)) {}
+    Json(Object value) : _kind(Kind::Object), _object(std::move(value))
+    {
+    }
+    /// @}
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+
+    /// @name Typed access; throws ConfigError on kind mismatch.
+    /// @{
+    bool asBool() const;
+    double asNumber() const;
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+    /// @}
+
+    /** Object member access; throws when absent or not an object. */
+    const Json &at(const std::string &key) const;
+
+    /** True when this is an object containing @p key. */
+    bool contains(const std::string &key) const;
+
+    /** Mutable object member (creates the entry; must be an object). */
+    Json &operator[](const std::string &key);
+
+    /** Appends to an array (must be an array or null; null becomes
+     *  an empty array first). */
+    void push(Json value);
+
+    /** Serializes; @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** Parses a document; throws ConfigError on malformed input. */
+    static Json parse(const std::string &text);
+
+    bool operator==(const Json &other) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind _kind = Kind::Null;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    Array _array;
+    Object _object;
+};
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_JSON_H

@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace accpar::util {
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "DEBUG";
+      case LogLevel::Info:
+        return "INFO";
+      case LogLevel::Warn:
+        return "WARN";
+      case LogLevel::ErrorLevel:
+        return "ERROR";
+      case LogLevel::Off:
+        return "OFF";
+    }
+    return "?";
+}
+
+Logger::Logger() : _level(LogLevel::Warn), _stream(&std::cerr) {}
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::write(LogLevel level, const std::string &message)
+{
+    (*_stream) << "[accpar " << logLevelName(level) << "] " << message
+               << '\n';
+}
+
+} // namespace accpar::util

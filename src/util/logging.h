@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal leveled logger for the AccPar library.
+ *
+ * The library is a batch tool, so the logger writes to a std::ostream
+ * (stderr by default) with a global severity threshold. Messages are
+ * composed with stream syntax via the ACCPAR_LOG macro family.
+ */
+
+#ifndef ACCPAR_UTIL_LOGGING_H
+#define ACCPAR_UTIL_LOGGING_H
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace accpar::util {
+
+/** Message severity, ordered from most to least verbose. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
+
+/** Returns the short uppercase tag used when rendering a level. */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Process-wide logger configuration and sink.
+ *
+ * Not thread-safe by design: the solvers are single-threaded and the
+ * benches configure logging before any work starts.
+ */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Sets the minimum severity that will be emitted. */
+    void setLevel(LogLevel level) { _level = level; }
+    LogLevel level() const { return _level; }
+
+    /** Redirects output; the stream must outlive the logger's use. */
+    void setStream(std::ostream &os) { _stream = &os; }
+
+    /** Emits one message if @p level passes the threshold. */
+    void write(LogLevel level, const std::string &message);
+
+  private:
+    Logger();
+
+    LogLevel _level;
+    std::ostream *_stream;
+};
+
+} // namespace accpar::util
+
+/** Composes and emits a log message with stream syntax. */
+#define ACCPAR_LOG(level_, expr)                                           \
+    do {                                                                   \
+        auto &logger_ = ::accpar::util::Logger::instance();                \
+        if (static_cast<int>(level_) >=                                    \
+            static_cast<int>(logger_.level())) {                           \
+            std::ostringstream os_;                                        \
+            os_ << expr;                                                   \
+            logger_.write(level_, os_.str());                              \
+        }                                                                  \
+    } while (0)
+
+#define ACCPAR_DEBUG(expr) ACCPAR_LOG(::accpar::util::LogLevel::Debug, expr)
+#define ACCPAR_INFO(expr) ACCPAR_LOG(::accpar::util::LogLevel::Info, expr)
+#define ACCPAR_WARN(expr) ACCPAR_LOG(::accpar::util::LogLevel::Warn, expr)
+#define ACCPAR_ERROR(expr) \
+    ACCPAR_LOG(::accpar::util::LogLevel::ErrorLevel, expr)
+
+#endif // ACCPAR_UTIL_LOGGING_H

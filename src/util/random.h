@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic random number generation for property tests and random
+ * workload generators. A thin wrapper over a fixed-algorithm engine so
+ * results are reproducible across standard library implementations.
+ */
+
+#ifndef ACCPAR_UTIL_RANDOM_H
+#define ACCPAR_UTIL_RANDOM_H
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace accpar::util {
+
+/**
+ * SplitMix64 generator: tiny, fast, and fully specified (unlike
+ * std::uniform_int_distribution, whose output is implementation-defined).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : _state(seed) {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (_state += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        ACCPAR_REQUIRE(lo <= hi, "uniformInt: empty range");
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1u;
+        return lo + static_cast<std::int64_t>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniformDouble(double lo, double hi)
+    {
+        ACCPAR_REQUIRE(lo < hi, "uniformDouble: empty range");
+        return lo + (hi - lo) * uniformDouble();
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniformDouble() < p; }
+
+  private:
+    std::uint64_t _state;
+};
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_RANDOM_H

@@ -1,0 +1,85 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+
+namespace accpar::util {
+
+double
+mean(std::span<const double> values)
+{
+    ACCPAR_REQUIRE(!values.empty(), "mean of empty sample");
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+}
+
+double
+geometricMean(std::span<const double> values)
+{
+    ACCPAR_REQUIRE(!values.empty(), "geometric mean of empty sample");
+    double log_sum = 0.0;
+    for (double v : values) {
+        ACCPAR_REQUIRE(v > 0.0, "geometric mean requires positive values, "
+                                "got " << v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+sampleStddev(std::span<const double> values)
+{
+    ACCPAR_REQUIRE(values.size() >= 2,
+                   "sample stddev needs at least two values");
+    const double m = mean(values);
+    double ss = 0.0;
+    for (double v : values)
+        ss += (v - m) * (v - m);
+    return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double
+minValue(std::span<const double> values)
+{
+    ACCPAR_REQUIRE(!values.empty(), "min of empty sample");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxValue(std::span<const double> values)
+{
+    ACCPAR_REQUIRE(!values.empty(), "max of empty sample");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+median(std::span<const double> values)
+{
+    ACCPAR_REQUIRE(!values.empty(), "median of empty sample");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    if (n % 2 == 1)
+        return sorted[n / 2];
+    return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+Summary
+summarize(std::span<const double> values)
+{
+    Summary s;
+    s.count = values.size();
+    s.mean = mean(values);
+    s.geomean = geometricMean(values);
+    s.stddev = values.size() >= 2 ? sampleStddev(values) : 0.0;
+    s.min = minValue(values);
+    s.max = maxValue(values);
+    s.median = median(values);
+    return s;
+}
+
+} // namespace accpar::util

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness.
+ *
+ * The paper reports geometric-mean speedups (Figures 5/6) and per-network
+ * speedup ranges; these helpers compute those aggregates plus the usual
+ * descriptive statistics for microbenchmarks.
+ */
+
+#ifndef ACCPAR_UTIL_STATS_H
+#define ACCPAR_UTIL_STATS_H
+
+#include <cstddef>
+#include <span>
+
+namespace accpar::util {
+
+/** Arithmetic mean; requires a non-empty input. */
+double mean(std::span<const double> values);
+
+/**
+ * Geometric mean; requires a non-empty, strictly positive input.
+ * Computed in log space for numerical robustness.
+ */
+double geometricMean(std::span<const double> values);
+
+/** Sample standard deviation (n-1 denominator); needs >= 2 values. */
+double sampleStddev(std::span<const double> values);
+
+/** Smallest value; requires a non-empty input. */
+double minValue(std::span<const double> values);
+
+/** Largest value; requires a non-empty input. */
+double maxValue(std::span<const double> values);
+
+/** Median (average of middle two for even sizes); non-empty input. */
+double median(std::span<const double> values);
+
+/** Descriptive summary of a sample. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double geomean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+};
+
+/** Computes all summary fields in one pass over @p values. */
+Summary summarize(std::span<const double> values);
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_STATS_H

@@ -1,0 +1,129 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace accpar::util {
+
+std::string
+formatDouble(double value, int digits)
+{
+    std::ostringstream os;
+    os.precision(digits);
+    os << value;
+    return os.str();
+}
+
+namespace {
+
+/** Shared scaling logic for humanBytes/humanFlops. */
+std::string
+scaled(double value, const char *const *suffixes, int n_suffixes,
+       const char *unit)
+{
+    int idx = 0;
+    double v = value;
+    while (std::abs(v) >= 1000.0 && idx < n_suffixes - 1) {
+        v /= 1000.0;
+        ++idx;
+    }
+    std::ostringstream os;
+    os.precision(4);
+    os << v << ' ' << suffixes[idx] << unit;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+humanBytes(double bytes)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T", "P"};
+    return scaled(bytes, suffixes, 6, "B");
+}
+
+std::string
+humanFlops(double flops)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T", "P", "E"};
+    return scaled(flops, suffixes, 7, "FLOP");
+}
+
+std::string
+humanSeconds(double seconds)
+{
+    std::ostringstream os;
+    os.precision(4);
+    const double abs = std::abs(seconds);
+    if (abs >= 1.0 || abs == 0.0)
+        os << seconds << " s";
+    else if (abs >= 1e-3)
+        os << seconds * 1e3 << " ms";
+    else if (abs >= 1e-6)
+        os << seconds * 1e6 << " us";
+    else
+        os << seconds * 1e9 << " ns";
+    return os.str();
+}
+
+std::string
+join(std::span<const std::string> parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    out.push_back(current);
+    return out;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string out = text;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace accpar::util

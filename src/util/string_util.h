@@ -1,0 +1,44 @@
+/**
+ * @file
+ * String formatting helpers shared by reports, tables and logging.
+ */
+
+#ifndef ACCPAR_UTIL_STRING_UTIL_H
+#define ACCPAR_UTIL_STRING_UTIL_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace accpar::util {
+
+/** Formats @p value with @p digits significant decimal digits. */
+std::string formatDouble(double value, int digits = 4);
+
+/** Renders a byte amount with a binary-free decimal suffix (KB/MB/GB/TB). */
+std::string humanBytes(double bytes);
+
+/** Renders a FLOP amount with a decimal suffix (K/M/G/T/P). */
+std::string humanFlops(double flops);
+
+/** Renders a time in the most readable unit (ns/us/ms/s). */
+std::string humanSeconds(double seconds);
+
+/** Joins @p parts with @p sep. */
+std::string join(std::span<const std::string> parts, const std::string &sep);
+
+/** Splits @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Returns a copy of @p text with leading/trailing whitespace removed. */
+std::string trim(const std::string &text);
+
+/** ASCII lower-casing (locale independent). */
+std::string toLower(const std::string &text);
+
+/** True when @p text starts with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_STRING_UTIL_H

@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace accpar::util {
+
+Table::Table(std::vector<std::string> header) : _header(std::move(header))
+{
+    ACCPAR_REQUIRE(!_header.empty(), "table needs at least one column");
+}
+
+Table::Table(std::initializer_list<std::string> header)
+    : Table(std::vector<std::string>(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    ACCPAR_REQUIRE(row.size() == _header.size(),
+                   "row has " << row.size() << " cells, table has "
+                              << _header.size() << " columns");
+    _rows.push_back(std::move(row));
+}
+
+void
+Table::addRow(const std::string &label, std::vector<double> values,
+              int digits)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatDouble(v, digits));
+    addRow(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_header.size());
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "") << row[c]
+               << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << '\n';
+    };
+
+    print_row(_header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : _rows)
+        print_row(row);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace accpar::util

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harness to print the
+ * rows/series of the paper's tables and figures.
+ */
+
+#ifndef ACCPAR_UTIL_TABLE_H
+#define ACCPAR_UTIL_TABLE_H
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace accpar::util {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Network", "DP", "OWT", "HyPar", "AccPar"});
+ *   t.addRow({"vgg19", "1.00", "8.24", "9.46", "16.14"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given header row. */
+    explicit Table(std::vector<std::string> header);
+    Table(std::initializer_list<std::string> header);
+
+    /** Appends a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience overload converting numeric cells. */
+    void addRow(const std::string &label, std::vector<double> values,
+                int digits = 4);
+
+    std::size_t columnCount() const { return _header.size(); }
+    std::size_t rowCount() const { return _rows.size(); }
+
+    /** Renders the table (header, separator, rows) to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Renders to a string (used by tests). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_TABLE_H

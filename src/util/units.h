@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit-carrying scalar aliases and conversion constants.
+ *
+ * All performance quantities in AccPar are continuous rates or amounts:
+ * floating point operations, bytes, seconds. We use doubles throughout
+ * (tensor sizes for ImageNet-scale models exceed 2^32 but stay far below
+ * the 2^53 integer-exactness limit of IEEE double where exactness matters;
+ * exact element counts use std::int64_t).
+ */
+
+#ifndef ACCPAR_UTIL_UNITS_H
+#define ACCPAR_UTIL_UNITS_H
+
+#include <cstdint>
+
+namespace accpar::util {
+
+/** Amount of floating point operations. */
+using Flops = double;
+/** Compute rate in FLOP per second. */
+using FlopsPerSecond = double;
+/** Amount of data in bytes. */
+using Bytes = double;
+/** Data rate in bytes per second. */
+using BytesPerSecond = double;
+/** Wall-clock time in seconds. */
+using Seconds = double;
+/** Exact element count. */
+using Count = std::int64_t;
+
+/// @name Decimal magnitude prefixes (storage and rate units are decimal).
+/// @{
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+inline constexpr double kPeta = 1e15;
+/// @}
+
+/** Converts a gigabit-per-second link rate to bytes per second. */
+constexpr BytesPerSecond
+gbitPerSecond(double gbit)
+{
+    return gbit * kGiga / 8.0;
+}
+
+/** Converts a gigabyte-per-second rate to bytes per second. */
+constexpr BytesPerSecond
+gbytePerSecond(double gbyte)
+{
+    return gbyte * kGiga;
+}
+
+/** Converts a teraflop-per-second rate to FLOP per second. */
+constexpr FlopsPerSecond
+teraFlopsPerSecond(double tflops)
+{
+    return tflops * kTera;
+}
+
+/** Converts a gigabyte capacity to bytes. */
+constexpr Bytes
+gbyte(double gb)
+{
+    return gb * kGiga;
+}
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_UNITS_H

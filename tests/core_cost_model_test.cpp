@@ -1,0 +1,334 @@
+/** @file Tests of the cost model against Tables 3, 4, 5 and 6. */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/layer_dims.h"
+#include "graph/graph.h"
+#include "models/zoo.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar::core;
+using PT = PartitionType;
+
+/** An FC layer with B=8, D_i=4, D_o=6. */
+LayerDims
+fcDims()
+{
+    LayerDims d;
+    d.b = 8;
+    d.di = 4;
+    d.dOut = 6;
+    return d;
+}
+
+/** A CONV layer with B=2, D_i=3, D_o=5, 4x4 -> 2x2 maps, 3x3 kernel. */
+LayerDims
+convDims()
+{
+    LayerDims d;
+    d.b = 2;
+    d.di = 3;
+    d.dOut = 5;
+    d.spatialIn = 16;
+    d.spatialOut = 4;
+    d.kernelArea = 9;
+    return d;
+}
+
+TEST(LayerDims, TensorSizes)
+{
+    const LayerDims d = fcDims();
+    EXPECT_DOUBLE_EQ(d.sizeInput(), 32.0);  // A(F_l) = B * D_i
+    EXPECT_DOUBLE_EQ(d.sizeOutput(), 48.0); // A(F_{l+1}) = B * D_o
+    EXPECT_DOUBLE_EQ(d.sizeWeight(), 24.0); // A(W) = D_i * D_o
+}
+
+TEST(LayerDims, ConvTensorSizesUseMetaDims)
+{
+    const LayerDims d = convDims();
+    EXPECT_DOUBLE_EQ(d.sizeInput(), 2 * 3 * 16);
+    EXPECT_DOUBLE_EQ(d.sizeOutput(), 2 * 5 * 4);
+    EXPECT_DOUBLE_EQ(d.sizeWeight(), 3 * 5 * 9);
+}
+
+TEST(LayerDims, Table6FlopCountsForFc)
+{
+    const LayerDims d = fcDims();
+    // forward: A(F_{l+1}) * (D_i + D_i - 1)
+    EXPECT_DOUBLE_EQ(d.flopsForward(), 48.0 * 7.0);
+    // backward: A(E_l) * (D_o + D_o - 1)
+    EXPECT_DOUBLE_EQ(d.flopsBackward(), 32.0 * 11.0);
+    // gradient: A(W) * (B + B - 1)
+    EXPECT_DOUBLE_EQ(d.flopsGradient(), 24.0 * 15.0);
+    EXPECT_DOUBLE_EQ(d.flopsTotal(),
+                     48 * 7 + 32 * 11 + 24.0 * 15);
+}
+
+TEST(LayerDims, ConvFlopsMultiplyByWindowAndMap)
+{
+    // §4.3: reduction lengths pick up the kernel window (forward,
+    // backward) or the 2-D output map (gradient).
+    const LayerDims d = convDims();
+    EXPECT_DOUBLE_EQ(d.flopsForward(),
+                     d.sizeOutput() * (2 * 3 * 9 - 1));
+    EXPECT_DOUBLE_EQ(d.flopsBackward(),
+                     d.sizeInput() * (2 * 5 * 9 - 1));
+    EXPECT_DOUBLE_EQ(d.flopsGradient(),
+                     d.sizeWeight() * (2 * 2 * 4 - 1));
+}
+
+TEST(LayerDims, ScaledMultipliesPartitionableDims)
+{
+    const LayerDims d = convDims().scaled(0.5, 0.25, 0.2);
+    EXPECT_DOUBLE_EQ(d.b, 1.0);
+    EXPECT_DOUBLE_EQ(d.di, 0.75);
+    EXPECT_DOUBLE_EQ(d.dOut, 1.0);
+    EXPECT_DOUBLE_EQ(d.spatialIn, 16.0); // meta dims untouched
+    EXPECT_DOUBLE_EQ(d.kernelArea, 9.0);
+}
+
+TEST(LayerDims, ExtractionFromGraphMatchesShapes)
+{
+    const accpar::graph::Graph g = accpar::models::buildAlexnet(32);
+    const auto weighted = g.weightedLayers();
+    const LayerDims cv1 = layerDimsFor(g, weighted[0]);
+    EXPECT_DOUBLE_EQ(cv1.b, 32);
+    EXPECT_DOUBLE_EQ(cv1.di, 3);
+    EXPECT_DOUBLE_EQ(cv1.dOut, 96);
+    EXPECT_DOUBLE_EQ(cv1.spatialOut, 55 * 55);
+    EXPECT_DOUBLE_EQ(cv1.kernelArea, 121);
+    const LayerDims fc1 = layerDimsFor(g, weighted[5]);
+    EXPECT_DOUBLE_EQ(fc1.di, 9216);
+    EXPECT_DOUBLE_EQ(fc1.kernelArea, 1);
+}
+
+TEST(LayerDims, JunctionDimsShareChannelDim)
+{
+    const LayerDims d =
+        junctionDims(accpar::graph::TensorShape(4, 16, 7, 7));
+    EXPECT_DOUBLE_EQ(d.b, 4);
+    EXPECT_DOUBLE_EQ(d.di, 16);
+    EXPECT_DOUBLE_EQ(d.dOut, 16);
+    EXPECT_DOUBLE_EQ(d.sizeInput(), d.sizeOutput());
+    EXPECT_DOUBLE_EQ(d.flopsTotal(),
+                     d.flopsForward() + d.flopsBackward() +
+                         d.flopsGradient());
+}
+
+TEST(CostModel, Table4IntraLayerAmounts)
+{
+    const LayerDims d = fcDims();
+    // Type-I communicates A(W), Type-II A(F_{l+1}), Type-III A(E_l).
+    EXPECT_DOUBLE_EQ(PairCostModel::intraCommElements(PT::TypeI, d),
+                     d.sizeWeight());
+    EXPECT_DOUBLE_EQ(PairCostModel::intraCommElements(PT::TypeII, d),
+                     d.sizeOutput());
+    EXPECT_DOUBLE_EQ(PairCostModel::intraCommElements(PT::TypeIII, d),
+                     d.sizeInput());
+}
+
+TEST(CostModel, Table3RotationalSymmetry)
+{
+    // Table 3: the partial-sum shape of each multiplication equals the
+    // replicated tensor of the next multiplication in the rotation —
+    // the three intra-layer amounts enumerate {A(W), A(F'), A(E)} with
+    // no repeats.
+    const LayerDims d = convDims();
+    const double a_w = PairCostModel::intraCommElements(PT::TypeI, d);
+    const double a_f = PairCostModel::intraCommElements(PT::TypeII, d);
+    const double a_e = PairCostModel::intraCommElements(PT::TypeIII, d);
+    EXPECT_NE(a_w, a_f);
+    EXPECT_NE(a_f, a_e);
+    EXPECT_DOUBLE_EQ(a_w + a_f + a_e,
+                     d.sizeWeight() + d.sizeOutput() + d.sizeInput());
+}
+
+TEST(CostModel, Table5DiagonalAndZeroEntries)
+{
+    const double a = 100.0;
+    const double alpha = 0.3, beta = 0.7;
+    // Zero-cost transitions: (I,I), (II,III), (III,II).
+    EXPECT_DOUBLE_EQ(PairCostModel::interCommElements(PT::TypeI,
+                                                      PT::TypeI, a,
+                                                      alpha, beta),
+                     0.0);
+    EXPECT_DOUBLE_EQ(PairCostModel::interCommElements(PT::TypeII,
+                                                      PT::TypeIII, a,
+                                                      alpha, beta),
+                     0.0);
+    EXPECT_DOUBLE_EQ(PairCostModel::interCommElements(PT::TypeIII,
+                                                      PT::TypeII, a,
+                                                      alpha, beta),
+                     0.0);
+}
+
+TEST(CostModel, Table5BetaEntries)
+{
+    const double a = 100.0;
+    const double alpha = 0.3, beta = 0.7;
+    // beta * A entries: (I,III), (II,I), (II,II), (III,III).
+    for (auto [from, to] :
+         {std::pair{PT::TypeI, PT::TypeIII},
+          std::pair{PT::TypeII, PT::TypeI},
+          std::pair{PT::TypeII, PT::TypeII},
+          std::pair{PT::TypeIII, PT::TypeIII}}) {
+        EXPECT_DOUBLE_EQ(
+            PairCostModel::interCommElements(from, to, a, alpha, beta),
+            beta * a)
+            << partitionTypeName(from) << "->" << partitionTypeName(to);
+        // The opposite side fetches the alpha fraction.
+        EXPECT_DOUBLE_EQ(
+            PairCostModel::interCommElements(from, to, a, beta, alpha),
+            alpha * a);
+    }
+}
+
+TEST(CostModel, Table5AlphaBetaEntries)
+{
+    const double a = 100.0;
+    const double alpha = 0.3, beta = 0.7;
+    // alpha*beta*(A(F)+A(E)) entries: (I,II) and (III,I); symmetric in
+    // the two sides.
+    for (auto [from, to] : {std::pair{PT::TypeI, PT::TypeII},
+                            std::pair{PT::TypeIII, PT::TypeI}}) {
+        const double expected = alpha * beta * (a + a);
+        EXPECT_DOUBLE_EQ(
+            PairCostModel::interCommElements(from, to, a, alpha, beta),
+            expected);
+        EXPECT_DOUBLE_EQ(
+            PairCostModel::interCommElements(from, to, a, beta, alpha),
+            expected);
+    }
+}
+
+TEST(CostModel, Table5SplitSumsToTotal)
+{
+    const double a = 64.0;
+    for (PT from : kAllPartitionTypes) {
+        for (PT to : kAllPartitionTypes) {
+            const auto [f, e] = PairCostModel::interCommElementsSplit(
+                from, to, a, 0.4, 0.6);
+            EXPECT_DOUBLE_EQ(
+                f + e,
+                PairCostModel::interCommElements(from, to, a, 0.4, 0.6));
+            EXPECT_GE(f, 0.0);
+            EXPECT_GE(e, 0.0);
+        }
+    }
+}
+
+TEST(CostModel, Table5PhaseAttribution)
+{
+    // I->III converts F only (forward); II->I converts E only
+    // (backward); I->II converts both.
+    const double a = 10.0;
+    auto split = [&](PT from, PT to) {
+        return PairCostModel::interCommElementsSplit(from, to, a, 0.5,
+                                                     0.5);
+    };
+    EXPECT_GT(split(PT::TypeI, PT::TypeIII).first, 0.0);
+    EXPECT_DOUBLE_EQ(split(PT::TypeI, PT::TypeIII).second, 0.0);
+    EXPECT_DOUBLE_EQ(split(PT::TypeII, PT::TypeI).first, 0.0);
+    EXPECT_GT(split(PT::TypeII, PT::TypeI).second, 0.0);
+    EXPECT_GT(split(PT::TypeI, PT::TypeII).first, 0.0);
+    EXPECT_GT(split(PT::TypeI, PT::TypeII).second, 0.0);
+}
+
+TEST(CostModel, SideNodeCostCombinesEq7AndEq8)
+{
+    const GroupRates left{100.0, 10.0};  // c_i = 100 FLOP/s, b_i = 10 B/s
+    const GroupRates right{200.0, 20.0};
+    CostModelConfig config;
+    config.bytesPerElement = 2.0;
+    PairCostModel model(left, right, config);
+    model.setAlpha(0.25);
+
+    const LayerDims d = fcDims();
+    // left: 0.25 * flops / 100 + A(W) * 2 / 10
+    const double expected_left =
+        0.25 * d.flopsTotal() / 100.0 + d.sizeWeight() * 2.0 / 10.0;
+    EXPECT_DOUBLE_EQ(
+        model.sideNodeCost(Side::Left, d, false, PT::TypeI),
+        expected_left);
+    const double expected_right =
+        0.75 * d.flopsTotal() / 200.0 + d.sizeWeight() * 2.0 / 20.0;
+    EXPECT_DOUBLE_EQ(
+        model.sideNodeCost(Side::Right, d, false, PT::TypeI),
+        expected_right);
+    // Pair cost is the max (balanced makespan).
+    EXPECT_DOUBLE_EQ(model.nodeCost(d, false, PT::TypeI),
+                     std::max(expected_left, expected_right));
+}
+
+TEST(CostModel, JunctionsAreFree)
+{
+    PairCostModel model({100, 10}, {100, 10}, CostModelConfig{});
+    const LayerDims d =
+        junctionDims(accpar::graph::TensorShape(4, 8, 2, 2));
+    for (PT t : kAllPartitionTypes) {
+        EXPECT_DOUBLE_EQ(model.nodeCost(d, true, t), 0.0);
+    }
+}
+
+TEST(CostModel, CommAmountObjectiveIgnoresRatesAndCompute)
+{
+    CostModelConfig config;
+    config.objective = ObjectiveKind::CommAmount;
+    config.reduce = PairReduce::Sum;
+    config.includeCompute = false;
+    PairCostModel model({1.0, 1.0}, {999.0, 999.0}, config);
+    model.setAlpha(0.5);
+    const LayerDims d = fcDims();
+    // Both sides count the same element amount regardless of rates.
+    EXPECT_DOUBLE_EQ(
+        model.sideNodeCost(Side::Left, d, false, PT::TypeI),
+        d.sizeWeight());
+    EXPECT_DOUBLE_EQ(model.nodeCost(d, false, PT::TypeI),
+                     2.0 * d.sizeWeight());
+}
+
+TEST(CostModel, IncludeComputeAblation)
+{
+    CostModelConfig with;
+    CostModelConfig without;
+    without.includeCompute = false;
+    PairCostModel m1({100, 10}, {100, 10}, with);
+    PairCostModel m2({100, 10}, {100, 10}, without);
+    const LayerDims d = fcDims();
+    EXPECT_GT(m1.nodeCost(d, false, PT::TypeI),
+              m2.nodeCost(d, false, PT::TypeI));
+}
+
+TEST(CostModel, AlphaMustBeInsideUnitInterval)
+{
+    PairCostModel model({100, 10}, {100, 10}, CostModelConfig{});
+    EXPECT_THROW(model.setAlpha(0.0), accpar::util::ConfigError);
+    EXPECT_THROW(model.setAlpha(1.0), accpar::util::ConfigError);
+    EXPECT_NO_THROW(model.setAlpha(0.5));
+}
+
+TEST(CostModel, RejectsNonPositiveRatesForTimeObjective)
+{
+    EXPECT_THROW(PairCostModel({0.0, 10.0}, {100.0, 10.0},
+                               CostModelConfig{}),
+                 accpar::util::ConfigError);
+    EXPECT_THROW(PairCostModel({100.0, 0.0}, {100.0, 10.0},
+                               CostModelConfig{}),
+                 accpar::util::ConfigError);
+}
+
+TEST(PartitionTypes, NamesTagsAndIndices)
+{
+    EXPECT_STREQ(partitionTypeName(PT::TypeI), "Type-I");
+    EXPECT_STREQ(partitionTypeTag(PT::TypeIII), "III");
+    for (int i = 0; i < kPartitionTypeCount; ++i)
+        EXPECT_EQ(partitionTypeIndex(partitionTypeFromIndex(i)), i);
+    EXPECT_THROW(partitionTypeFromIndex(3), accpar::util::ConfigError);
+    EXPECT_EQ(formatTypeSequence({PT::TypeI, PT::TypeIII, PT::TypeII}),
+              "I,III,II");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/** @file Tests for plan diffing, the run breakdown and mixed arrays
+ *  with three accelerator generations. */
+
+#include <gtest/gtest.h>
+
+#include "core/plan_diff.h"
+#include "hw/hierarchy.h"
+#include "hw/topology.h"
+#include "models/zoo.h"
+#include "sim/report.h"
+#include "strategies/registry.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+
+hw::Hierarchy
+smallHetero()
+{
+    return hw::Hierarchy(hw::AcceleratorGroup(
+        {hw::GroupSlice{hw::tpuV2(), 4}, hw::GroupSlice{hw::tpuV3(),
+                                                        4}}));
+}
+
+TEST(PlanDiff, IdenticalPlansFullyAgree)
+{
+    const graph::Graph model = models::buildAlexnet(64);
+    const hw::Hierarchy hier = smallHetero();
+    const auto plan = strategies::makeStrategy("dp")->plan(model, hier);
+    const core::PlanDiff diff = core::diffPlans(plan, plan, hier);
+    EXPECT_EQ(diff.typeDisagreements, 0u);
+    EXPECT_DOUBLE_EQ(diff.agreement(), 1.0);
+    EXPECT_DOUBLE_EQ(diff.maxAlphaDelta, 0.0);
+    EXPECT_TRUE(diff.disagreements.empty());
+}
+
+TEST(PlanDiff, DpVsOwtDisagreeExactlyOnFcLayers)
+{
+    const graph::Graph model = models::buildAlexnet(64);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = smallHetero();
+    const auto dp = strategies::makeStrategy("dp")->plan(problem, hier);
+    const auto owt =
+        strategies::makeStrategy("owt")->plan(problem, hier);
+    const core::PlanDiff diff = core::diffPlans(dp, owt, hier);
+
+    // OWT differs from DP on the three FC layers, at every internal
+    // node: 3 * 7 = 21 disagreements out of 8 * 7 decisions.
+    EXPECT_EQ(diff.decisions,
+              8u * hier.internalNodes().size());
+    EXPECT_EQ(diff.typeDisagreements,
+              3u * hier.internalNodes().size());
+    for (const core::PlanDisagreement &d : diff.disagreements) {
+        EXPECT_EQ(d.layerName.substr(0, 2), "fc");
+        EXPECT_EQ(d.left, core::PartitionType::TypeI);
+        EXPECT_EQ(d.right, core::PartitionType::TypeII);
+    }
+    EXPECT_DOUBLE_EQ(diff.maxAlphaDelta, 0.0); // both fixed 0.5
+}
+
+TEST(PlanDiff, CapturesRatioDeltas)
+{
+    const graph::Graph model = models::buildVgg(11, 128);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = smallHetero();
+    const auto dp = strategies::makeStrategy("dp")->plan(problem, hier);
+    const auto ap =
+        strategies::makeStrategy("accpar")->plan(problem, hier);
+    const core::PlanDiff diff = core::diffPlans(dp, ap, hier);
+    EXPECT_GT(diff.maxAlphaDelta, 0.0);
+    EXPECT_GT(diff.typeDisagreements, 0u);
+}
+
+TEST(PlanDiff, RejectsDifferentModels)
+{
+    const hw::Hierarchy hier = smallHetero();
+    const auto a = strategies::makeStrategy("dp")->plan(
+        models::buildAlexnet(64), hier);
+    const auto b = strategies::makeStrategy("dp")->plan(
+        models::buildLenet(64), hier);
+    EXPECT_THROW(core::diffPlans(a, b, hier), util::ConfigError);
+}
+
+TEST(PlanDiff, FormatTruncatesLongLists)
+{
+    const graph::Graph model = models::buildVgg(19, 128);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = smallHetero();
+    const auto dp = strategies::makeStrategy("dp")->plan(problem, hier);
+    const auto hp =
+        strategies::makeStrategy("hypar")->plan(problem, hier);
+    const core::PlanDiff diff = core::diffPlans(dp, hp, hier);
+    const std::string text = core::formatPlanDiff(diff, "dp", "hypar",
+                                                  3);
+    EXPECT_NE(text.find("dp vs hypar"), std::string::npos);
+    if (diff.disagreements.size() > 3) {
+        EXPECT_NE(text.find("more"), std::string::npos);
+    }
+}
+
+TEST(RunBreakdown, ListsEveryPhase)
+{
+    const graph::Graph model = models::buildLenet(64);
+    const hw::Hierarchy hier = smallHetero();
+    const auto run = sim::simulateStrategy(
+        model, hier, *strategies::makeStrategy("accpar"));
+    const std::string text = sim::formatRunBreakdown(run);
+    for (const char *phase :
+         {"forward", "backward", "gradient", "update"})
+        EXPECT_NE(text.find(phase), std::string::npos) << phase;
+}
+
+TEST(MixedArray, ThreeAcceleratorGenerationsWork)
+{
+    // A fleet with three board types: the type-first split peels them
+    // off one at a time and every strategy still plans and simulates.
+    const hw::AcceleratorGroup array = hw::parseArraySpec(
+        "tpu-v2:4+tpu-v3:4+edge:8:45:16:600:4");
+    const hw::Hierarchy hier(array);
+    EXPECT_EQ(hier.node(hier.root()).group.size(), 16);
+
+    const graph::Graph model = models::buildAlexnet(256);
+    double dp = 0.0, accpar = 0.0;
+    for (const auto &s : strategies::defaultStrategies()) {
+        const auto run = sim::simulateStrategy(model, hier, *s);
+        EXPECT_GT(run.throughput, 0.0) << s->name();
+        if (s->name() == "dp")
+            dp = run.throughput;
+        if (s->name() == "accpar")
+            accpar = run.throughput;
+    }
+    // Heterogeneity-aware ratios matter even more with three speeds.
+    EXPECT_GT(accpar, 1.5 * dp);
+}
+
+} // namespace

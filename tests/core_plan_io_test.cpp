@@ -1,0 +1,115 @@
+/** @file Tests for partition-plan JSON serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/plan_io.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "strategies/registry.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+
+hw::Hierarchy
+smallArray()
+{
+    return hw::Hierarchy(hw::AcceleratorGroup(
+        {hw::GroupSlice{hw::tpuV2(), 2}, hw::GroupSlice{hw::tpuV3(),
+                                                        2}}));
+}
+
+core::PartitionPlan
+somePlan(const hw::Hierarchy &hier)
+{
+    const graph::Graph model = models::buildAlexnet(64);
+    return strategies::makeStrategy("accpar")->plan(model, hier);
+}
+
+TEST(PlanIo, JsonRoundTripPreservesEverything)
+{
+    const hw::Hierarchy hier = smallArray();
+    const core::PartitionPlan plan = somePlan(hier);
+
+    const util::Json doc = core::planToJson(plan, hier);
+    const core::PartitionPlan loaded = core::planFromJson(doc, hier);
+
+    EXPECT_EQ(loaded.strategyName(), plan.strategyName());
+    EXPECT_EQ(loaded.modelName(), plan.modelName());
+    EXPECT_EQ(loaded.nodeNames(), plan.nodeNames());
+    for (hw::NodeId id : hier.internalNodes()) {
+        const core::NodePlan &a = plan.nodePlan(id);
+        const core::NodePlan &b = loaded.nodePlan(id);
+        EXPECT_DOUBLE_EQ(a.alpha, b.alpha);
+        EXPECT_DOUBLE_EQ(a.cost, b.cost);
+        EXPECT_EQ(a.types, b.types);
+    }
+}
+
+TEST(PlanIo, TextualRoundTripThroughDump)
+{
+    const hw::Hierarchy hier = smallArray();
+    const core::PartitionPlan plan = somePlan(hier);
+    const std::string text = core::planToJson(plan, hier).dump(2);
+    const core::PartitionPlan loaded =
+        core::planFromJson(util::Json::parse(text), hier);
+    EXPECT_EQ(loaded.nodePlan(hier.root()).types,
+              plan.nodePlan(hier.root()).types);
+}
+
+TEST(PlanIo, FileSaveAndLoad)
+{
+    const hw::Hierarchy hier = smallArray();
+    const core::PartitionPlan plan = somePlan(hier);
+    const std::string path = "/tmp/accpar_plan_io_test.json";
+    core::savePlan(plan, hier, path);
+    const core::PartitionPlan loaded = core::loadPlan(path, hier);
+    EXPECT_EQ(loaded.modelName(), plan.modelName());
+    std::remove(path.c_str());
+}
+
+TEST(PlanIo, RejectsWrongHierarchy)
+{
+    const hw::Hierarchy hier = smallArray();
+    const core::PartitionPlan plan = somePlan(hier);
+    const util::Json doc = core::planToJson(plan, hier);
+
+    const hw::Hierarchy other(hw::AcceleratorGroup(hw::tpuV3(), 4));
+    EXPECT_THROW(core::planFromJson(doc, other), util::ConfigError);
+}
+
+TEST(PlanIo, RejectsForeignDocuments)
+{
+    const hw::Hierarchy hier = smallArray();
+    EXPECT_THROW(
+        core::planFromJson(util::Json::parse("{\"hello\": 1}"), hier),
+        util::ConfigError);
+}
+
+TEST(PlanIo, RejectsIncompleteNodeSets)
+{
+    const hw::Hierarchy hier = smallArray();
+    const core::PartitionPlan plan = somePlan(hier);
+    util::Json doc = core::planToJson(plan, hier);
+    // Drop one node entry.
+    util::Json truncated = doc;
+    util::Json nodes;
+    const auto &arr = doc.at("nodes").asArray();
+    for (std::size_t i = 0; i + 1 < arr.size(); ++i)
+        nodes.push(arr[i]);
+    truncated["nodes"] = std::move(nodes);
+    EXPECT_THROW(core::planFromJson(truncated, hier),
+                 util::ConfigError);
+}
+
+TEST(PlanIo, MissingFileThrows)
+{
+    const hw::Hierarchy hier = smallArray();
+    EXPECT_THROW(core::loadPlan("/nonexistent/path.json", hier),
+                 util::ConfigError);
+}
+
+} // namespace

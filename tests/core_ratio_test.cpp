@@ -1,0 +1,177 @@
+/** @file Tests for the partitioning-ratio solvers (paper §5.3, Eq. 10). */
+
+#include <gtest/gtest.h>
+
+#include "core/condensed_graph.h"
+#include "core/ratio_solver.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::core;
+
+graph::Graph
+simpleChain()
+{
+    graph::Graph g("chain");
+    auto x = g.addInput("data", graph::TensorShape(32, 16));
+    x = g.addFullyConnected("fc1", x, 24);
+    g.addFullyConnected("fc2", x, 8);
+    return g;
+}
+
+struct Fixture
+{
+    CondensedGraph condensed;
+    std::vector<LayerDims> dims;
+    std::vector<PartitionType> types;
+
+    explicit Fixture(const graph::Graph &g) : condensed(g)
+    {
+        for (const CondensedNode &n : condensed.nodes()) {
+            dims.push_back(n.dims);
+            types.push_back(PartitionType::TypeI);
+        }
+    }
+};
+
+TEST(RatioSolver, SideTotalsScaleWithComputeShare)
+{
+    const Fixture f(simpleChain());
+    CostModelConfig config;
+    PairCostModel model({1e5, 1e3}, {1e5, 1e3}, config);
+    model.setAlpha(0.25);
+    const double left =
+        sideTotalCost(f.condensed, f.dims, model, f.types, Side::Left);
+    const double right =
+        sideTotalCost(f.condensed, f.dims, model, f.types, Side::Right);
+    // Identical rates: the only asymmetry is the compute ratio share
+    // (intra comm is ratio independent, all-Type-I has no inter).
+    EXPECT_LT(left, right);
+}
+
+TEST(RatioSolver, LinearStepBalancesSymmetricPair)
+{
+    const Fixture f(simpleChain());
+    PairCostModel model({1e5, 1e3}, {1e5, 1e3}, CostModelConfig{});
+    model.setAlpha(0.3);
+    const double alpha =
+        solveRatioLinear(f.condensed, f.dims, model, f.types);
+    // Symmetric hardware must end at 0.5 once iterated; a single
+    // linearized step from 0.3 must move towards it.
+    EXPECT_GT(alpha, 0.3);
+    EXPECT_LE(alpha, 0.7);
+
+    model.setAlpha(0.5);
+    EXPECT_NEAR(solveRatioLinear(f.condensed, f.dims, model, f.types),
+                0.5, 1e-12);
+}
+
+TEST(RatioSolver, LinearFavorsFasterSide)
+{
+    const Fixture f(simpleChain());
+    // Left side 4x the compute and bandwidth of the right.
+    PairCostModel model({4e5, 4e3}, {1e5, 1e3}, CostModelConfig{});
+    model.setAlpha(0.5);
+    const double alpha =
+        solveRatioLinear(f.condensed, f.dims, model, f.types);
+    EXPECT_GT(alpha, 0.5);
+}
+
+TEST(RatioSolver, LinearIsAFixedPointAtTrueBalance)
+{
+    const Fixture f(simpleChain());
+    // Compute-only balance: comm terms are bandwidth-symmetric, so use
+    // equal links and 2:1 compute.
+    PairCostModel model({2e5, 1e3}, {1e5, 1e3}, CostModelConfig{});
+    double alpha = 0.5;
+    for (int i = 0; i < 20; ++i) {
+        model.setAlpha(alpha);
+        alpha = solveRatioLinear(f.condensed, f.dims, model, f.types);
+    }
+    model.setAlpha(alpha);
+    const double left =
+        sideTotalCost(f.condensed, f.dims, model, f.types, Side::Left);
+    const double right =
+        sideTotalCost(f.condensed, f.dims, model, f.types, Side::Right);
+    // Intra comm is ratio-independent, so exact equality is impossible;
+    // the fixed point should still be within a few percent.
+    EXPECT_NEAR(left / right, 1.0, 0.05);
+}
+
+TEST(RatioSolver, ExactBalanceMinimizesMakespan)
+{
+    const Fixture f(simpleChain());
+    PairCostModel model({3e5, 2e3}, {1e5, 1e3}, CostModelConfig{});
+    model.setAlpha(0.5);
+    const double alpha =
+        solveRatioExact(f.condensed, f.dims, model, f.types);
+
+    auto makespan = [&](double a) {
+        PairCostModel m = model;
+        m.setAlpha(a);
+        return std::max(
+            sideTotalCost(f.condensed, f.dims, m, f.types, Side::Left),
+            sideTotalCost(f.condensed, f.dims, m, f.types,
+                          Side::Right));
+    };
+    const double at_opt = makespan(alpha);
+    // No probed ratio does better.
+    for (double a = 0.05; a < 1.0; a += 0.05)
+        EXPECT_GE(makespan(a) + 1e-12, at_opt) << a;
+}
+
+TEST(RatioSolver, ExactBeatsOrMatchesFixedOnHeterogeneousPairs)
+{
+    accpar::util::Rng rng(11);
+    const Fixture f(simpleChain());
+    for (int trial = 0; trial < 20; ++trial) {
+        PairCostModel model({rng.uniformDouble(1e4, 1e6),
+                             rng.uniformDouble(1e2, 1e4)},
+                            {rng.uniformDouble(1e4, 1e6),
+                             rng.uniformDouble(1e2, 1e4)},
+                            CostModelConfig{});
+        model.setAlpha(0.5);
+        const double fixed_makespan = std::max(
+            sideTotalCost(f.condensed, f.dims, model, f.types,
+                          Side::Left),
+            sideTotalCost(f.condensed, f.dims, model, f.types,
+                          Side::Right));
+        const double alpha =
+            solveRatioExact(f.condensed, f.dims, model, f.types);
+        model.setAlpha(alpha);
+        const double opt_makespan = std::max(
+            sideTotalCost(f.condensed, f.dims, model, f.types,
+                          Side::Left),
+            sideTotalCost(f.condensed, f.dims, model, f.types,
+                          Side::Right));
+        EXPECT_LE(opt_makespan, fixed_makespan * (1.0 + 1e-9));
+    }
+}
+
+TEST(RatioSolver, ResultsStayInsideOpenUnitInterval)
+{
+    const Fixture f(simpleChain());
+    // Extremely lopsided hardware: ratio must clamp, not saturate.
+    PairCostModel model({1e12, 1e9}, {1.0, 1.0}, CostModelConfig{});
+    model.setAlpha(0.5);
+    const double alpha =
+        solveRatioLinear(f.condensed, f.dims, model, f.types);
+    EXPECT_GT(alpha, 0.0);
+    EXPECT_LT(alpha, 1.0);
+}
+
+TEST(RatioSolver, PolicyNames)
+{
+    EXPECT_STREQ(ratioPolicyName(RatioPolicy::Fixed), "fixed-0.5");
+    EXPECT_STREQ(ratioPolicyName(RatioPolicy::PaperLinear),
+                 "paper-linear");
+    EXPECT_STREQ(ratioPolicyName(RatioPolicy::ExactBalance),
+                 "exact-balance");
+    EXPECT_STREQ(ratioPolicyName(RatioPolicy::ComputeProportional),
+                 "compute-proportional");
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Numeric validation of Table 5 on CONV chains: every (t0, t1) type
+ * pair on a two-layer convolution chain must (a) reproduce the
+ * single-device reference and (b) transfer exactly the Table-5
+ * inter-layer amounts with 4-D tensor sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "exec/conv_chain.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::exec;
+using PT = core::PartitionType;
+
+struct ChainProblem
+{
+    Tensor4 input;
+    std::vector<ConvChainLayer> layers;
+    Tensor4 gradOutput;
+};
+
+/** B=4, 4ch 6x6 -> 8ch 6x6 -> 4ch 6x6 (3x3 same-padding convs). */
+ChainProblem
+makeProblem(std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    ChainProblem p;
+    p.input = Tensor4(4, 4, 6, 6);
+    p.input.fillRandom(rng);
+
+    ConvChainLayer l0;
+    l0.weights = Tensor4(4, 8, 3, 3);
+    l0.weights.fillRandom(rng);
+    l0.params = ConvParams{1, 1, 1, 1};
+    ConvChainLayer l1;
+    l1.weights = Tensor4(8, 4, 3, 3);
+    l1.weights.fillRandom(rng);
+    l1.params = ConvParams{1, 1, 1, 1};
+    p.layers = {l0, l1};
+
+    p.gradOutput = Tensor4(4, 4, 6, 6);
+    p.gradOutput.fillRandom(rng);
+    return p;
+}
+
+TEST(Sharded4, RoundTripsEveryLayout)
+{
+    util::Rng rng(3);
+    Tensor4 full(4, 6, 3, 2);
+    full.fillRandom(rng);
+    for (Layout layout : {Layout::RowShard, Layout::ColShard,
+                          Layout::Replicated}) {
+        const std::int64_t split = layout == Layout::RowShard ? 1 : 2;
+        const Sharded4 s = makeSharded4(full, layout, split);
+        EXPECT_LT(assemble4(s).maxAbsDiff(full), 1e-15);
+    }
+}
+
+TEST(ConvChain, ReferenceChainsShapes)
+{
+    const ChainProblem p = makeProblem(17);
+    const ConvChainResult ref =
+        runConvChainReference(p.input, p.layers, p.gradOutput);
+    ASSERT_EQ(ref.activations.size(), 3u);
+    EXPECT_EQ(ref.activations[1].c(), 8);
+    EXPECT_EQ(ref.activations[2].c(), 4);
+    EXPECT_EQ(ref.errors[0].c(), 4);
+    EXPECT_EQ(ref.gradients[0].n(), 4);
+    EXPECT_EQ(ref.gradients[0].c(), 8);
+}
+
+/** All 9 type pairs: numerics + Table 5 traffic. */
+class ConvChainPairTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ConvChainPairTest, MatchesReferenceAndTable5)
+{
+    const PT t0 = core::partitionTypeFromIndex(std::get<0>(GetParam()));
+    const PT t1 = core::partitionTypeFromIndex(std::get<1>(GetParam()));
+    const ChainProblem p = makeProblem(23);
+    const double alpha = 0.25;
+
+    const ConvChainResult ref =
+        runConvChainReference(p.input, p.layers, p.gradOutput);
+    const ConvChainResult part = runConvChainPartitioned(
+        p.input, p.layers, p.gradOutput, {t0, t1}, alpha);
+
+    for (std::size_t i = 0; i < ref.activations.size(); ++i)
+        EXPECT_LT(part.activations[i].maxAbsDiff(ref.activations[i]),
+                  1e-9)
+            << "F_" << i;
+    for (std::size_t i = 0; i < ref.errors.size(); ++i)
+        EXPECT_LT(part.errors[i].maxAbsDiff(ref.errors[i]), 1e-9)
+            << "E_" << i;
+    for (std::size_t i = 0; i < ref.gradients.size(); ++i)
+        EXPECT_LT(part.gradients[i].maxAbsDiff(ref.gradients[i]), 1e-9)
+            << "dW_" << i;
+
+    // Table 5 on the boundary tensor F_1: B=4, C=8, 6x6 map.
+    const double boundary = 4.0 * 8.0 * 36.0;
+    for (int dev = 0; dev < 2; ++dev) {
+        const double own = dev == 0 ? alpha : 1.0 - alpha;
+        const auto [f_part, e_part] =
+            core::PairCostModel::interCommElementsSplit(
+                t0, t1, boundary, own, 1.0 - own);
+        EXPECT_DOUBLE_EQ(part.comm[1].interForward[dev], f_part)
+            << "F conversion dev" << dev;
+        EXPECT_DOUBLE_EQ(part.comm[0].interBackward[dev], e_part)
+            << "E conversion dev" << dev;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ConvChainPairTest,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 3)));
+
+TEST(ConvChain, Table4AmountsPerLayer)
+{
+    const ChainProblem p = makeProblem(31);
+    for (PT t : core::kAllPartitionTypes) {
+        const ConvChainResult part = runConvChainPartitioned(
+            p.input, p.layers, p.gradOutput, {t, t}, 0.5);
+
+        core::LayerDims d0;
+        d0.b = 4;
+        d0.di = 4;
+        d0.dOut = 8;
+        d0.spatialIn = 36;
+        d0.spatialOut = 36;
+        d0.kernelArea = 9;
+        EXPECT_DOUBLE_EQ(
+            part.comm[0].intra[0],
+            core::PairCostModel::intraCommElements(t, d0))
+            << core::partitionTypeName(t);
+    }
+}
+
+TEST(ConvChain, StridedDownsamplingChain)
+{
+    // 8x8 -> (stride 2) 4x4 -> 2x2: conversions happen on the smaller
+    // post-stride maps; numerics must still be exact.
+    util::Rng rng(41);
+    Tensor4 input(4, 2, 8, 8);
+    input.fillRandom(rng);
+    ConvChainLayer l0;
+    l0.weights = Tensor4(2, 4, 3, 3);
+    l0.weights.fillRandom(rng);
+    l0.params = ConvParams{2, 2, 1, 1};
+    ConvChainLayer l1;
+    l1.weights = Tensor4(4, 6, 3, 3);
+    l1.weights.fillRandom(rng);
+    l1.params = ConvParams{2, 2, 1, 1};
+    Tensor4 grad(4, 6, 2, 2);
+    grad.fillRandom(rng);
+
+    const auto ref =
+        runConvChainReference(input, {l0, l1}, grad);
+    for (PT t0 : core::kAllPartitionTypes)
+        for (PT t1 : core::kAllPartitionTypes) {
+            const auto part = runConvChainPartitioned(
+                input, {l0, l1}, grad, {t0, t1}, 0.5);
+            EXPECT_LT(part.errors[0].maxAbsDiff(ref.errors[0]), 1e-9);
+            EXPECT_LT(
+                part.gradients[1].maxAbsDiff(ref.gradients[1]),
+                1e-9);
+        }
+}
+
+TEST(ConvChain, RejectsBadArity)
+{
+    const ChainProblem p = makeProblem(51);
+    EXPECT_THROW(runConvChainPartitioned(p.input, p.layers,
+                                         p.gradOutput, {PT::TypeI},
+                                         0.5),
+                 util::ConfigError);
+}
+
+} // namespace

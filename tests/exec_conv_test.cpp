@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Numeric validation of the CONV extension (§3.3 / §4.3): the three
+ * basic partition types applied to a real convolution layer must
+ * reproduce the single-device reference exactly, and the partial-sum
+ * exchanges must move exactly the Table-4 amounts with the 4-D tensor
+ * sizes (batch x channel x spatial, kernel window included for A(W)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "exec/conv_partitioned.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::exec;
+using PT = core::PartitionType;
+
+struct ConvProblem
+{
+    Tensor4 input;
+    Tensor4 weights;
+    Tensor4 gradOutput;
+    ConvParams params;
+};
+
+ConvProblem
+makeProblem(std::int64_t batch, std::int64_t cin, std::int64_t cout,
+            std::int64_t extent, std::int64_t kernel,
+            const ConvParams &params, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    ConvProblem p;
+    p.params = params;
+    p.input = Tensor4(batch, cin, extent, extent);
+    p.input.fillRandom(rng);
+    p.weights = Tensor4(cin, cout, kernel, kernel);
+    p.weights.fillRandom(rng);
+    const std::int64_t oh =
+        convOutExtent(extent, kernel, params.strideH, params.padH);
+    const std::int64_t ow =
+        convOutExtent(extent, kernel, params.strideW, params.padW);
+    p.gradOutput = Tensor4(batch, cout, oh, ow);
+    p.gradOutput.fillRandom(rng);
+    return p;
+}
+
+TEST(ConvOps, ForwardMatchesHandComputation)
+{
+    // 1x1x3x3 input, single 2x2 kernel, stride 1, no padding.
+    Tensor4 in(1, 1, 3, 3);
+    double v = 1.0;
+    for (std::int64_t h = 0; h < 3; ++h)
+        for (std::int64_t w = 0; w < 3; ++w)
+            in.at(0, 0, h, w) = v++;
+    Tensor4 w(1, 1, 2, 2);
+    w.at(0, 0, 0, 0) = 1.0;
+    w.at(0, 0, 0, 1) = 2.0;
+    w.at(0, 0, 1, 0) = 3.0;
+    w.at(0, 0, 1, 1) = 4.0;
+
+    const Tensor4 out = conv2dForward(in, w, ConvParams{});
+    // window [1 2; 4 5] . [1 2; 3 4] = 1+4+12+20 = 37, etc.
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0, 0), 37.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 0, 1), 47.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 1, 0), 67.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 0, 1, 1), 77.0);
+}
+
+TEST(ConvOps, BackwardWeightMatchesFiniteDifferences)
+{
+    const ConvProblem p =
+        makeProblem(2, 2, 3, 5, 3, ConvParams{2, 2, 1, 1}, 7);
+    const ConvStepResult ref =
+        runConvReference(p.input, p.weights, p.gradOutput, p.params);
+
+    auto loss = [&](const Tensor4 &weights) {
+        const Tensor4 out = conv2dForward(p.input, weights, p.params);
+        double sum = 0.0;
+        for (std::int64_t n = 0; n < out.n(); ++n)
+            for (std::int64_t c = 0; c < out.c(); ++c)
+                for (std::int64_t h = 0; h < out.h(); ++h)
+                    for (std::int64_t w = 0; w < out.w(); ++w)
+                        sum += out.at(n, c, h, w) *
+                               p.gradOutput.at(n, c, h, w);
+        return sum;
+    };
+
+    const double eps = 1e-6;
+    for (std::int64_t ci = 0; ci < 2; ++ci)
+        for (std::int64_t kh = 0; kh < 3; kh += 2) {
+            Tensor4 w = p.weights;
+            w.at(ci, 1, kh, 1) += eps;
+            const double up = loss(w);
+            w.at(ci, 1, kh, 1) -= 2 * eps;
+            const double down = loss(w);
+            EXPECT_NEAR(ref.gradWeight.at(ci, 1, kh, 1),
+                        (up - down) / (2 * eps), 1e-5);
+        }
+}
+
+TEST(ConvOps, BackwardDataMatchesFiniteDifferences)
+{
+    const ConvProblem p =
+        makeProblem(1, 2, 2, 4, 3, ConvParams{1, 1, 1, 1}, 11);
+    const ConvStepResult ref =
+        runConvReference(p.input, p.weights, p.gradOutput, p.params);
+
+    auto loss = [&](const Tensor4 &input) {
+        const Tensor4 out = conv2dForward(input, p.weights, p.params);
+        double sum = 0.0;
+        for (std::int64_t n = 0; n < out.n(); ++n)
+            for (std::int64_t c = 0; c < out.c(); ++c)
+                for (std::int64_t h = 0; h < out.h(); ++h)
+                    for (std::int64_t w = 0; w < out.w(); ++w)
+                        sum += out.at(n, c, h, w) *
+                               p.gradOutput.at(n, c, h, w);
+        return sum;
+    };
+
+    const double eps = 1e-6;
+    for (std::int64_t ci = 0; ci < 2; ++ci)
+        for (std::int64_t h = 0; h < 4; h += 3) {
+            Tensor4 in = p.input;
+            in.at(0, ci, h, 2) += eps;
+            const double up = loss(in);
+            in.at(0, ci, h, 2) -= 2 * eps;
+            const double down = loss(in);
+            EXPECT_NEAR(ref.gradInput.at(0, ci, h, 2),
+                        (up - down) / (2 * eps), 1e-5);
+        }
+}
+
+/** Geometry sweep x type sweep: partitioned == reference. */
+class ConvPartitionTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(ConvPartitionTest, MatchesReference)
+{
+    const auto [type_index, stride, pad] = GetParam();
+    const PT type = core::partitionTypeFromIndex(type_index);
+    const ConvParams params{stride, stride, pad, pad};
+    const ConvProblem p = makeProblem(4, 4, 6, 6, 3, params, 101);
+
+    const ConvStepResult ref =
+        runConvReference(p.input, p.weights, p.gradOutput, p.params);
+    const ConvPartitionedResult part = runConvPartitioned(
+        p.input, p.weights, p.gradOutput, p.params, type, 0.5);
+
+    EXPECT_LT(part.step.output.maxAbsDiff(ref.output), 1e-10);
+    EXPECT_LT(part.step.gradInput.maxAbsDiff(ref.gradInput), 1e-10);
+    EXPECT_LT(part.step.gradWeight.maxAbsDiff(ref.gradWeight), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometryAndTypes, ConvPartitionTest,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Values(1, 2),
+                       ::testing::Values(0, 1)));
+
+TEST(ConvPartition, UnevenRatioStaysExact)
+{
+    const ConvParams params{1, 1, 1, 1};
+    const ConvProblem p = makeProblem(8, 4, 8, 5, 3, params, 131);
+    const ConvStepResult ref =
+        runConvReference(p.input, p.weights, p.gradOutput, p.params);
+    for (PT t : core::kAllPartitionTypes) {
+        const ConvPartitionedResult part = runConvPartitioned(
+            p.input, p.weights, p.gradOutput, p.params, t, 0.25);
+        EXPECT_LT(part.step.output.maxAbsDiff(ref.output), 1e-10);
+        EXPECT_LT(part.step.gradInput.maxAbsDiff(ref.gradInput),
+                  1e-10);
+        EXPECT_LT(part.step.gradWeight.maxAbsDiff(ref.gradWeight),
+                  1e-10);
+    }
+}
+
+TEST(ConvPartition, Table4AmountsWithMetaDimensions)
+{
+    // §4.3: the Table-4 tensors pick up the spatial meta dimensions:
+    // A(W) includes the kernel window, A(F)/A(E) the feature maps.
+    const ConvParams params{2, 2, 1, 1};
+    const ConvProblem p = makeProblem(4, 4, 6, 9, 3, params, 151);
+
+    core::LayerDims d;
+    d.b = 4;
+    d.di = 4;
+    d.dOut = 6;
+    d.spatialIn = 9 * 9;
+    d.spatialOut = static_cast<double>(
+        convOutExtent(9, 3, 2, 1) * convOutExtent(9, 3, 2, 1));
+    d.kernelArea = 9;
+
+    for (PT t : core::kAllPartitionTypes) {
+        const ConvPartitionedResult part = runConvPartitioned(
+            p.input, p.weights, p.gradOutput, p.params, t, 0.5);
+        const double expected =
+            core::PairCostModel::intraCommElements(t, d);
+        EXPECT_DOUBLE_EQ(part.intraRecv[0], expected)
+            << core::partitionTypeName(t);
+        EXPECT_DOUBLE_EQ(part.intraRecv[1], expected);
+    }
+}
+
+TEST(ConvPartition, IntraTrafficIsRatioIndependent)
+{
+    // Table 4's note: the partial-sum tensors are accumulated locally
+    // first, so the exchange does not shrink with alpha.
+    const ConvParams params{1, 1, 0, 0};
+    const ConvProblem p = makeProblem(8, 4, 4, 4, 3, params, 163);
+    for (PT t : core::kAllPartitionTypes) {
+        const auto at_half = runConvPartitioned(
+            p.input, p.weights, p.gradOutput, p.params, t, 0.5);
+        const auto at_quarter = runConvPartitioned(
+            p.input, p.weights, p.gradOutput, p.params, t, 0.25);
+        EXPECT_DOUBLE_EQ(at_half.intraRecv[0],
+                         at_quarter.intraRecv[0])
+            << core::partitionTypeName(t);
+    }
+}
+
+TEST(ConvPartition, RejectsBadInputs)
+{
+    const ConvProblem p =
+        makeProblem(2, 2, 2, 4, 3, ConvParams{}, 171);
+    EXPECT_THROW(runConvPartitioned(p.input, p.weights, p.gradOutput,
+                                    p.params, PT::TypeI, 0.0),
+                 util::ConfigError);
+    Tensor4 bad_weights(3, 2, 3, 3); // wrong input channels
+    EXPECT_THROW(conv2dForward(p.input, bad_weights, p.params),
+                 util::ConfigError);
+}
+
+} // namespace

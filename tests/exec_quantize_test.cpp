@@ -1,0 +1,110 @@
+/** @file Tests of bf16-quantized execution. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/partitioned.h"
+#include "exec/quantize.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::exec;
+using PT = core::PartitionType;
+
+TEST(Quantize, RoundsThroughBf16)
+{
+    // bf16 has a 7-bit mantissa: 1 + 2^-9 rounds back to 1.
+    EXPECT_DOUBLE_EQ(quantizeBf16(1.0 + std::ldexp(1.0, -9)), 1.0);
+    EXPECT_DOUBLE_EQ(quantizeBf16(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantizeBf16(-2.5), -2.5);
+    EXPECT_DOUBLE_EQ(quantizeBf16(0.0), 0.0);
+}
+
+TEST(Quantize, MatrixQuantizationIsElementwise)
+{
+    util::Rng rng(5);
+    Matrix m(3, 4);
+    m.fillRandom(rng);
+    const Matrix q = quantizeBf16(m);
+    for (std::int64_t i = 0; i < 3; ++i)
+        for (std::int64_t j = 0; j < 4; ++j)
+            EXPECT_DOUBLE_EQ(q.at(i, j), quantizeBf16(m.at(i, j)));
+}
+
+TEST(Quantize, Bf16ErrorIsBoundedByHalfUlp)
+{
+    util::Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformDouble(-8.0, 8.0);
+        const double q = quantizeBf16(v);
+        // Relative error of round-to-nearest bf16 is <= 2^-8.
+        if (v != 0.0) {
+            EXPECT_LE(std::abs(q - v) / std::abs(v),
+                      std::ldexp(1.0, -8) * (1 + 1e-12));
+        }
+    }
+}
+
+TEST(Quantize, ReferenceBf16TracksFullPrecisionClosely)
+{
+    const MlpSpec spec{8, {16, 32, 8}, true};
+    util::Rng rng(11);
+    Matrix input(spec.batch, spec.widths.front());
+    input.fillRandom(rng);
+    const auto weights = randomWeights(spec, rng);
+    Matrix grad(spec.batch, spec.widths.back());
+    grad.fillRandom(rng);
+
+    const StepResult fp = runReference(spec, input, weights, grad);
+    const StepResult bf = runReferenceBf16(spec, input, weights, grad);
+
+    // Values up to ~|W|*|F|*D ~ 32; bf16's ~0.4% relative error
+    // compounds over one layer; expect sub-1.0 absolute deviation.
+    for (std::size_t i = 0; i < fp.activations.size(); ++i) {
+        const double diff =
+            fp.activations[i].maxAbsDiff(bf.activations[i]);
+        EXPECT_GT(diff, 0.0) << "quantization should be visible";
+        EXPECT_LT(diff, 1.0) << "F_" << i;
+    }
+}
+
+TEST(Quantize, PartitioningIsExactUnderQuantizedInputs)
+{
+    // Feed bf16-quantized inputs/weights into both the reference and
+    // the partitioned executor: the partition types perform identical
+    // local arithmetic, so they must agree bit-for-bit even though the
+    // data went through the lossy format.
+    const MlpSpec spec{8, {8, 12, 4}, true};
+    util::Rng rng(13);
+    Matrix input(spec.batch, spec.widths.front());
+    input.fillRandom(rng);
+    Matrix grad(spec.batch, spec.widths.back());
+    grad.fillRandom(rng);
+
+    const Matrix q_input = quantizeBf16(input);
+    const Matrix q_grad = quantizeBf16(grad);
+    std::vector<Matrix> q_weights;
+    for (const Matrix &w : randomWeights(spec, rng))
+        q_weights.push_back(quantizeBf16(w));
+
+    const StepResult ref =
+        runReference(spec, q_input, q_weights, q_grad);
+    for (PT t0 : core::kAllPartitionTypes) {
+        for (PT t1 : core::kAllPartitionTypes) {
+            PartitionedOptions options;
+            options.alpha = 0.5;
+            options.types = {t0, t1};
+            const PartitionedResult part = runPartitioned(
+                spec, q_input, q_weights, q_grad, options);
+            for (std::size_t i = 0; i < ref.gradients.size(); ++i)
+                EXPECT_LT(part.step.gradients[i].maxAbsDiff(
+                              ref.gradients[i]),
+                          1e-12);
+        }
+    }
+}
+
+} // namespace

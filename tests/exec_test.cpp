@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Numeric validation of the partition space (§3).
+ *
+ * The partitioned two-device executor must (a) reproduce the
+ * single-device reference training step exactly for every per-layer
+ * type assignment, and (b) transfer exactly the element counts the
+ * analytical cost model predicts: Table 4 for the partial-sum
+ * exchanges, Table 5 (split into F and E parts) for the inter-layer
+ * conversions. This ties the paper's tables to actual tensor movement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "exec/ops.h"
+#include "exec/partitioned.h"
+#include "exec/reference.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::exec;
+using PT = core::PartitionType;
+
+/** LayerDims of layer @p l in @p spec for the analytical model. */
+core::LayerDims
+dimsOf(const MlpSpec &spec, std::size_t l)
+{
+    core::LayerDims d;
+    d.b = static_cast<double>(spec.batch);
+    d.di = static_cast<double>(spec.widths[l]);
+    d.dOut = static_cast<double>(spec.widths[l + 1]);
+    return d;
+}
+
+struct Problem
+{
+    MlpSpec spec;
+    Matrix input;
+    std::vector<Matrix> weights;
+    Matrix output_error;
+};
+
+Problem
+makeProblem(const MlpSpec &spec, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    Problem p;
+    p.spec = spec;
+    p.input = Matrix(spec.batch, spec.widths.front());
+    p.input.fillRandom(rng);
+    p.weights = randomWeights(spec, rng);
+    p.output_error = Matrix(spec.batch, spec.widths.back());
+    p.output_error.fillRandom(rng);
+    return p;
+}
+
+void
+expectStepsEqual(const StepResult &a, const StepResult &b, double tol)
+{
+    ASSERT_EQ(a.activations.size(), b.activations.size());
+    ASSERT_EQ(a.errors.size(), b.errors.size());
+    ASSERT_EQ(a.gradients.size(), b.gradients.size());
+    for (std::size_t i = 0; i < a.activations.size(); ++i)
+        EXPECT_LT(a.activations[i].maxAbsDiff(b.activations[i]), tol)
+            << "F_" << i;
+    for (std::size_t i = 0; i < a.errors.size(); ++i)
+        EXPECT_LT(a.errors[i].maxAbsDiff(b.errors[i]), tol) << "E_" << i;
+    for (std::size_t i = 0; i < a.gradients.size(); ++i)
+        EXPECT_LT(a.gradients[i].maxAbsDiff(b.gradients[i]), tol)
+            << "dW_" << i;
+}
+
+TEST(Ops, MatmulAgainstHandComputation)
+{
+    Matrix a(2, 3), b(3, 2);
+    double v = 1.0;
+    for (std::int64_t i = 0; i < 2; ++i)
+        for (std::int64_t j = 0; j < 3; ++j)
+            a.at(i, j) = v++;
+    for (std::int64_t i = 0; i < 3; ++i)
+        for (std::int64_t j = 0; j < 2; ++j)
+            b.at(i, j) = v++;
+    const Matrix c = matmul(a, b);
+    // [[1,2,3],[4,5,6]] x [[7,8],[9,10],[11,12]] = [[58,64],[139,154]]
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(Ops, TransposedVariantsAgreeWithExplicitTranspose)
+{
+    util::Rng rng(3);
+    Matrix a(4, 3), b(4, 5);
+    a.fillRandom(rng);
+    b.fillRandom(rng);
+    // A^T B via matmulTransA vs building A^T explicitly.
+    Matrix at(3, 4);
+    for (std::int64_t i = 0; i < 4; ++i)
+        for (std::int64_t j = 0; j < 3; ++j)
+            at.at(j, i) = a.at(i, j);
+    EXPECT_LT(matmulTransA(a, b).maxAbsDiff(matmul(at, b)), 1e-12);
+
+    Matrix c(5, 3);
+    c.fillRandom(rng);
+    Matrix ct(3, 5);
+    for (std::int64_t i = 0; i < 5; ++i)
+        for (std::int64_t j = 0; j < 3; ++j)
+            ct.at(j, i) = c.at(i, j);
+    EXPECT_LT(matmulTransB(a, c).maxAbsDiff(matmul(a, ct)), 1e-12);
+}
+
+TEST(Ops, ReluAndMask)
+{
+    Matrix x(1, 3);
+    x.at(0, 0) = -1.0;
+    x.at(0, 1) = 0.0;
+    x.at(0, 2) = 2.0;
+    const Matrix y = reluForward(x);
+    EXPECT_DOUBLE_EQ(y.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(y.at(0, 2), 2.0);
+    const Matrix m = reluMask(x);
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(m.at(0, 2), 1.0);
+}
+
+TEST(Sharding, RoundTripsEveryLayout)
+{
+    util::Rng rng(5);
+    Matrix full(6, 8);
+    full.fillRandom(rng);
+    for (Layout layout : {Layout::RowShard, Layout::ColShard,
+                          Layout::Replicated}) {
+        const std::int64_t split =
+            layout == Layout::RowShard ? 2 : 3;
+        const Sharded s = makeSharded(full, layout, split);
+        EXPECT_LT(assemble(s).maxAbsDiff(full), 1e-15)
+            << layoutName(layout);
+    }
+}
+
+TEST(Reference, GradientMatchesFiniteDifferences)
+{
+    // For loss L = sum(F_L ⊙ G) (so dL/dF_L = G), the analytic dW must
+    // match central finite differences.
+    const MlpSpec spec{4, {3, 5, 2}, true};
+    Problem p = makeProblem(spec, 17);
+    const StepResult ref =
+        runReference(spec, p.input, p.weights, p.output_error);
+
+    auto loss = [&](const std::vector<Matrix> &weights) {
+        const StepResult r =
+            runReference(spec, p.input, weights, p.output_error);
+        double sum = 0.0;
+        const Matrix &out = r.activations.back();
+        for (std::int64_t i = 0; i < out.rows(); ++i)
+            for (std::int64_t j = 0; j < out.cols(); ++j)
+                sum += out.at(i, j) * p.output_error.at(i, j);
+        return sum;
+    };
+
+    const double eps = 1e-6;
+    for (std::size_t l = 0; l < spec.layerCount(); ++l) {
+        for (std::int64_t i = 0; i < p.weights[l].rows(); i += 2) {
+            for (std::int64_t j = 0; j < p.weights[l].cols(); j += 2) {
+                std::vector<Matrix> w = p.weights;
+                w[l].at(i, j) += eps;
+                const double up = loss(w);
+                w[l].at(i, j) -= 2 * eps;
+                const double down = loss(w);
+                const double fd = (up - down) / (2 * eps);
+                EXPECT_NEAR(ref.gradients[l].at(i, j), fd, 1e-5)
+                    << "dW_" << l << "(" << i << "," << j << ")";
+            }
+        }
+    }
+}
+
+/** All 27 type assignments for a 3-layer MLP, exercised numerically. */
+class AllAssignmentsTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllAssignmentsTest, PartitionedMatchesReference)
+{
+    const int code = GetParam();
+    const std::vector<PT> types = {
+        core::partitionTypeFromIndex(code % 3),
+        core::partitionTypeFromIndex((code / 3) % 3),
+        core::partitionTypeFromIndex((code / 9) % 3)};
+
+    const MlpSpec spec{8, {6, 4, 10, 2}, true};
+    Problem p = makeProblem(spec, 23);
+    const StepResult ref =
+        runReference(spec, p.input, p.weights, p.output_error);
+
+    PartitionedOptions options;
+    options.alpha = 0.5;
+    options.types = types;
+    const PartitionedResult part =
+        runPartitioned(spec, p.input, p.weights, p.output_error,
+                       options);
+    expectStepsEqual(ref, part.step, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypeCombos, AllAssignmentsTest,
+                         ::testing::Range(0, 27));
+
+TEST(Partitioned, UnevenRatioStillExact)
+{
+    // alpha = 0.25 with dims divisible by 4: numerics must stay exact.
+    const MlpSpec spec{8, {8, 4, 12}, true};
+    Problem p = makeProblem(spec, 31);
+    const StepResult ref =
+        runReference(spec, p.input, p.weights, p.output_error);
+    for (PT t : core::kAllPartitionTypes) {
+        PartitionedOptions options;
+        options.alpha = 0.25;
+        options.types = {t, t};
+        const PartitionedResult part = runPartitioned(
+            spec, p.input, p.weights, p.output_error, options);
+        expectStepsEqual(ref, part.step, 1e-9);
+    }
+}
+
+TEST(Partitioned, Table4IntraTrafficMatchesModel)
+{
+    // One layer per type: the psum exchange must move exactly the
+    // Table-4 tensor per device, independent of alpha.
+    const MlpSpec spec{8, {4, 12}, false};
+    Problem p = makeProblem(spec, 41);
+    const core::LayerDims d = dimsOf(spec, 0);
+    for (double alpha : {0.25, 0.5}) {
+        for (PT t : core::kAllPartitionTypes) {
+            PartitionedOptions options;
+            options.alpha = alpha;
+            options.types = {t};
+            const PartitionedResult part = runPartitioned(
+                spec, p.input, p.weights, p.output_error, options);
+            const double expected =
+                core::PairCostModel::intraCommElements(t, d);
+            EXPECT_DOUBLE_EQ(part.comm[0].intra[0], expected)
+                << core::partitionTypeName(t) << " alpha=" << alpha;
+            EXPECT_DOUBLE_EQ(part.comm[0].intra[1], expected);
+        }
+    }
+}
+
+/** All 9 transitions of Table 5, validated against measured traffic. */
+class Table5Test : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(Table5Test, InterTrafficMatchesModel)
+{
+    const PT from = core::partitionTypeFromIndex(std::get<0>(GetParam()));
+    const PT to = core::partitionTypeFromIndex(std::get<1>(GetParam()));
+
+    // Two layers; dims divisible by 4 so alpha = 0.25 splits exactly.
+    const MlpSpec spec{8, {4, 12, 8}, true};
+    Problem p = makeProblem(spec, 53);
+    const double alpha = 0.25;
+
+    PartitionedOptions options;
+    options.alpha = alpha;
+    options.types = {from, to};
+    const PartitionedResult part = runPartitioned(
+        spec, p.input, p.weights, p.output_error, options);
+
+    // Boundary tensor between the layers: A(F_1) = B * D_1.
+    const double boundary =
+        static_cast<double>(spec.batch * spec.widths[1]);
+    for (int dev = 0; dev < 2; ++dev) {
+        const double own = dev == 0 ? alpha : 1.0 - alpha;
+        const auto [f_part, e_part] =
+            core::PairCostModel::interCommElementsSplit(
+                from, to, boundary, own, 1.0 - own);
+        // F conversion is charged to the consumer layer (index 1), E
+        // conversion to the producer side of the edge (index 0).
+        EXPECT_DOUBLE_EQ(part.comm[1].interForward[dev], f_part)
+            << "F " << core::partitionTypeName(from) << "->"
+            << core::partitionTypeName(to) << " dev" << dev;
+        EXPECT_DOUBLE_EQ(part.comm[0].interBackward[dev], e_part)
+            << "E " << core::partitionTypeName(from) << "->"
+            << core::partitionTypeName(to) << " dev" << dev;
+    }
+    // And the numerics still match the reference.
+    const StepResult ref =
+        runReference(spec, p.input, p.weights, p.output_error);
+    expectStepsEqual(ref, part.step, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransitions, Table5Test,
+    ::testing::Combine(::testing::Range(0, 3), ::testing::Range(0, 3)));
+
+TEST(Partitioned, RandomDeepNetworksMatchReference)
+{
+    util::Rng rng(71);
+    for (int trial = 0; trial < 10; ++trial) {
+        MlpSpec spec;
+        spec.batch = 4 * rng.uniformInt(1, 4);
+        const int layers = static_cast<int>(rng.uniformInt(2, 5));
+        for (int i = 0; i <= layers; ++i)
+            spec.widths.push_back(4 * rng.uniformInt(1, 6));
+        Problem p = makeProblem(spec, 1000 + trial);
+
+        PartitionedOptions options;
+        options.alpha = 0.5;
+        for (int l = 0; l < layers; ++l)
+            options.types.push_back(core::partitionTypeFromIndex(
+                static_cast<int>(rng.uniformInt(0, 2))));
+
+        const StepResult ref =
+            runReference(spec, p.input, p.weights, p.output_error);
+        const PartitionedResult part = runPartitioned(
+            spec, p.input, p.weights, p.output_error, options);
+        expectStepsEqual(ref, part.step, 1e-8);
+    }
+}
+
+TEST(Partitioned, SgdStepsStayInSync)
+{
+    // Apply the produced gradients on both sides for a few steps: the
+    // partitioned run must track the reference trajectory.
+    const MlpSpec spec{4, {4, 8, 4}, true};
+    Problem p = makeProblem(spec, 77);
+    std::vector<Matrix> w_ref = p.weights;
+    std::vector<Matrix> w_part = p.weights;
+
+    PartitionedOptions options;
+    options.alpha = 0.5;
+    options.types = {PT::TypeII, PT::TypeIII};
+
+    for (int step = 0; step < 5; ++step) {
+        const StepResult ref =
+            runReference(spec, p.input, w_ref, p.output_error);
+        const PartitionedResult part = runPartitioned(
+            spec, p.input, w_part, p.output_error, options);
+        for (std::size_t l = 0; l < spec.layerCount(); ++l) {
+            sgdUpdate(w_ref[l], ref.gradients[l], 0.01);
+            sgdUpdate(w_part[l], part.step.gradients[l], 0.01);
+            EXPECT_LT(w_ref[l].maxAbsDiff(w_part[l]), 1e-8)
+                << "step " << step << " layer " << l;
+        }
+    }
+}
+
+TEST(Partitioned, RejectsMalformedOptions)
+{
+    const MlpSpec spec{4, {4, 4}, true};
+    Problem p = makeProblem(spec, 91);
+    PartitionedOptions options;
+    options.types = {PT::TypeI, PT::TypeI}; // wrong arity
+    EXPECT_THROW(runPartitioned(spec, p.input, p.weights,
+                                p.output_error, options),
+                 util::ConfigError);
+    options.types = {PT::TypeI};
+    options.alpha = 0.0;
+    EXPECT_THROW(runPartitioned(spec, p.input, p.weights,
+                                p.output_error, options),
+                 util::ConfigError);
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Whole-pipeline fuzzing: random models (chains, residual blocks,
+ * pooling, flatten/FC heads) on random arrays (mixed board types,
+ * non-power-of-two sizes, custom specs) must plan, trace and simulate
+ * without violating the library's invariants, for every strategy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/hierarchical_solver.h"
+#include "core/plan_io.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/training_sim.h"
+#include "strategies/registry.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+
+/** Random CNN with optional residual blocks; always validates. */
+graph::Graph
+randomCnn(util::Rng &rng)
+{
+    graph::Graph g("fuzz-cnn");
+    const std::int64_t batch = rng.uniformInt(2, 64);
+    std::int64_t extent = 1 << rng.uniformInt(3, 5); // 8..32
+    std::int64_t channels = rng.uniformInt(1, 8);
+    auto x = g.addInput("data",
+                        graph::TensorShape(batch, channels, extent,
+                                           extent));
+
+    const int stages = static_cast<int>(rng.uniformInt(1, 3));
+    int name_counter = 0;
+    auto fresh = [&](const char *base) {
+        return std::string(base) + std::to_string(++name_counter);
+    };
+
+    for (int stage = 0; stage < stages; ++stage) {
+        const std::int64_t out_channels = rng.uniformInt(4, 32);
+        x = g.addConv(fresh("cv"), x,
+                      graph::ConvAttrs{out_channels, 3, 3, 1, 1, 1, 1});
+        channels = out_channels;
+        if (rng.chance(0.5))
+            x = g.addRelu(fresh("relu"), x);
+
+        if (rng.chance(0.5)) {
+            // Residual block preserving shape.
+            auto branch = g.addConv(
+                fresh("bcv"), x,
+                graph::ConvAttrs{channels, 3, 3, 1, 1, 1, 1});
+            if (rng.chance(0.5)) {
+                branch = g.addConv(
+                    fresh("bcv"), branch,
+                    graph::ConvAttrs{channels, 3, 3, 1, 1, 1, 1});
+            }
+            x = g.addAdd(fresh("add"), branch, x);
+        }
+        if (extent >= 4 && rng.chance(0.7)) {
+            x = g.addMaxPool(fresh("pool"), x,
+                             graph::PoolAttrs{2, 2, 2, 2, 0, 0});
+            extent /= 2;
+        }
+    }
+    x = g.addFlatten(fresh("flat"), x);
+    x = g.addFullyConnected(fresh("fc"), x, rng.uniformInt(4, 64));
+    g.validate();
+    return g;
+}
+
+/** Random array: 2..20 boards over 1..3 board types. */
+hw::AcceleratorGroup
+randomArray(util::Rng &rng)
+{
+    std::vector<hw::GroupSlice> slices;
+    const int kinds = static_cast<int>(rng.uniformInt(1, 3));
+    for (int k = 0; k < kinds; ++k) {
+        const hw::AcceleratorSpec spec = hw::makeAccelerator(
+            "fuzz" + std::to_string(k), rng.uniformDouble(10.0, 500.0),
+            rng.uniformDouble(8.0, 128.0),
+            rng.uniformDouble(100.0, 5000.0),
+            rng.uniformDouble(1.0, 32.0));
+        slices.push_back(hw::GroupSlice{
+            spec, static_cast<int>(rng.uniformInt(1, 7))});
+    }
+    hw::AcceleratorGroup group(slices);
+    if (group.size() < 2) {
+        slices[0].count += 1;
+        group = hw::AcceleratorGroup(slices);
+    }
+    return group;
+}
+
+TEST(Fuzz, PipelineInvariantsHoldOnRandomInputs)
+{
+    util::Rng rng(20200229);
+    for (int trial = 0; trial < 25; ++trial) {
+        const graph::Graph model = randomCnn(rng);
+        const hw::AcceleratorGroup array = randomArray(rng);
+        const hw::Hierarchy hier(array);
+        const core::PartitionProblem problem(model);
+        const std::int64_t batch =
+            model.layer(model.inputLayer()).outputShape.n;
+
+        double dp_time = 0.0;
+        double accpar_time = 0.0;
+        for (const auto &s : strategies::defaultStrategies()) {
+            const core::PartitionPlan plan = s->plan(problem, hier);
+            // Every internal node carries a complete decision.
+            for (hw::NodeId id : hier.internalNodes()) {
+                const core::NodePlan &np = plan.nodePlan(id);
+                EXPECT_GT(np.alpha, 0.0);
+                EXPECT_LT(np.alpha, 1.0);
+                EXPECT_EQ(np.types.size(), problem.condensed().size());
+            }
+            const auto run =
+                sim::simulatePlan(problem, batch, hier, plan);
+            EXPECT_GT(run.stepTime, 0.0)
+                << s->name() << " trial " << trial;
+            EXPECT_TRUE(std::isfinite(run.stepTime));
+            EXPECT_GT(run.peakLeafMemory, 0.0);
+            EXPECT_EQ(run.timing.leaves.size(),
+                      static_cast<std::size_t>(array.size()));
+            if (s->name() == "dp")
+                dp_time = run.stepTime;
+            if (s->name() == "accpar")
+                accpar_time = run.stepTime;
+        }
+        // The searched plan must essentially never lose to plain DP
+        // (tiny tolerance for cost-model/simulator divergence).
+        EXPECT_LT(accpar_time, dp_time * 1.15)
+            << model.name() << " on " << array.toString();
+    }
+}
+
+TEST(Fuzz, PlanSerializationRoundTripsOnRandomInputs)
+{
+    util::Rng rng(555);
+    for (int trial = 0; trial < 5; ++trial) {
+        const graph::Graph model = randomCnn(rng);
+        const hw::Hierarchy hier(randomArray(rng));
+        const auto plan =
+            strategies::makeStrategy("accpar")->plan(model, hier);
+        const auto loaded = core::planFromJson(
+            core::planToJson(plan, hier), hier);
+        for (hw::NodeId id : hier.internalNodes()) {
+            EXPECT_EQ(loaded.nodePlan(id).types,
+                      plan.nodePlan(id).types);
+            EXPECT_DOUBLE_EQ(loaded.nodePlan(id).alpha,
+                             plan.nodePlan(id).alpha);
+        }
+    }
+}
+
+TEST(Fuzz, TypeMatrixCsvWritesForRandomPlans)
+{
+    util::Rng rng(777);
+    const graph::Graph model = randomCnn(rng);
+    const hw::Hierarchy hier(randomArray(rng));
+    const auto plan =
+        strategies::makeStrategy("accpar")->plan(model, hier);
+    const std::string path = "/tmp/accpar_fuzz_types.csv";
+    core::writeTypeMatrixCsv(plan, hier, path);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header.substr(0, 11), "level,alpha");
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+/** @file Unit tests for the Graph builder, validation and weight math. */
+
+#include <gtest/gtest.h>
+
+#include "graph/dot_export.h"
+#include "graph/graph.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar::graph;
+using accpar::util::ConfigError;
+
+Graph
+tinyLinear()
+{
+    Graph g("tiny");
+    LayerId x = g.addInput("data", TensorShape(4, 3, 8, 8));
+    x = g.addConv("cv1", x, ConvAttrs{8, 3, 3, 1, 1, 1, 1});
+    x = g.addRelu("relu1", x);
+    x = g.addFlatten("flat", x);
+    x = g.addFullyConnected("fc1", x, 10);
+    g.addSoftmax("prob", x);
+    return g;
+}
+
+TEST(Graph, BuilderAssignsSequentialIds)
+{
+    const Graph g = tinyLinear();
+    EXPECT_EQ(g.size(), 6u);
+    for (std::size_t i = 0; i < g.size(); ++i)
+        EXPECT_EQ(g.layer(static_cast<LayerId>(i)).id,
+                  static_cast<LayerId>(i));
+}
+
+TEST(Graph, ShapesAreInferredIncrementally)
+{
+    const Graph g = tinyLinear();
+    EXPECT_EQ(g.layer(1).outputShape, TensorShape(4, 8, 8, 8));
+    EXPECT_EQ(g.layer(3).outputShape, TensorShape(4, 512));
+    EXPECT_EQ(g.layer(4).outputShape, TensorShape(4, 10));
+}
+
+TEST(Graph, ConsumersTrackEdges)
+{
+    const Graph g = tinyLinear();
+    EXPECT_EQ(g.consumers(0), std::vector<LayerId>{1});
+    EXPECT_TRUE(g.consumers(5).empty());
+}
+
+TEST(Graph, RejectsInvalidOperandIds)
+{
+    Graph g("bad");
+    g.addInput("data", TensorShape(1, 1));
+    EXPECT_THROW(g.addRelu("r", 42), ConfigError);
+    EXPECT_THROW(g.addRelu("r", -1), ConfigError);
+}
+
+TEST(Graph, ValidateAcceptsWellFormed)
+{
+    EXPECT_NO_THROW(tinyLinear().validate());
+}
+
+TEST(Graph, ValidateRejectsTwoSinks)
+{
+    Graph g("two-sinks");
+    LayerId x = g.addInput("data", TensorShape(1, 4));
+    g.addRelu("a", x);
+    g.addRelu("b", x);
+    EXPECT_THROW(g.validate(), ConfigError);
+}
+
+TEST(Graph, ValidateRejectsTwoInputs)
+{
+    Graph g("two-inputs");
+    LayerId a = g.addInput("a", TensorShape(1, 4));
+    LayerId b = g.addInput("b", TensorShape(1, 4));
+    g.addAdd("sum", a, b);
+    EXPECT_THROW(g.validate(), ConfigError);
+}
+
+TEST(Graph, ValidateRejectsEmpty)
+{
+    Graph g("empty");
+    EXPECT_THROW(g.validate(), ConfigError);
+}
+
+TEST(Graph, InputAndSinkLookups)
+{
+    const Graph g = tinyLinear();
+    EXPECT_EQ(g.inputLayer(), 0);
+    EXPECT_EQ(g.sinkLayer(), 5);
+}
+
+TEST(Graph, WeightShapesFollowPaperConvention)
+{
+    const Graph g = tinyLinear();
+    // Conv weights: (D_i, D_o, k_h, k_w).
+    EXPECT_EQ(g.weightShape(1), TensorShape(3, 8, 3, 3));
+    // FC weights: (D_i, D_o).
+    EXPECT_EQ(g.weightShape(4), TensorShape(512, 10));
+}
+
+TEST(Graph, WeightCounts)
+{
+    const Graph g = tinyLinear();
+    EXPECT_EQ(g.weightCount(1), 3 * 8 * 3 * 3);
+    EXPECT_EQ(g.weightCount(4), 512 * 10);
+    EXPECT_EQ(g.weightCount(2), 0); // relu
+    EXPECT_EQ(g.totalWeightCount(), 3 * 8 * 9 + 5120);
+}
+
+TEST(Graph, WeightShapeRejectsUnweighted)
+{
+    const Graph g = tinyLinear();
+    EXPECT_THROW(g.weightShape(2), ConfigError);
+}
+
+TEST(Graph, WeightedLayersInTopoOrder)
+{
+    const Graph g = tinyLinear();
+    EXPECT_EQ(g.weightedLayers(), (std::vector<LayerId>{1, 4}));
+}
+
+TEST(Graph, ResidualJoinBuilds)
+{
+    Graph g("residual");
+    LayerId in = g.addInput("data", TensorShape(2, 8, 4, 4));
+    LayerId a = g.addConv("cv1", in, ConvAttrs{8, 3, 3, 1, 1, 1, 1});
+    LayerId sum = g.addAdd("add", a, in);
+    g.addRelu("relu", sum);
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.layer(sum).inputs, (std::vector<LayerId>{a, in}));
+}
+
+TEST(Graph, InputShapeReturnsFirstOperandOutput)
+{
+    const Graph g = tinyLinear();
+    EXPECT_EQ(g.inputShape(1), TensorShape(4, 3, 8, 8));
+    EXPECT_EQ(g.inputShape(4), TensorShape(4, 512));
+}
+
+TEST(DotExport, MentionsEveryLayerAndEdge)
+{
+    const Graph g = tinyLinear();
+    const std::string dot = toDot(g);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    for (const Layer &l : g.layers())
+        EXPECT_NE(dot.find(l.name), std::string::npos) << l.name;
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+    // Weighted layers are boxes, transparent layers ellipses.
+    EXPECT_NE(dot.find("shape=box"), std::string::npos);
+    EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+}
+
+TEST(LayerKinds, NamesAndWeightFlags)
+{
+    EXPECT_STREQ(layerKindName(LayerKind::Conv), "conv");
+    EXPECT_STREQ(layerKindName(LayerKind::FullyConnected), "fc");
+    EXPECT_TRUE(layerKindHasWeights(LayerKind::Conv));
+    EXPECT_TRUE(layerKindHasWeights(LayerKind::FullyConnected));
+    EXPECT_FALSE(layerKindHasWeights(LayerKind::ReLU));
+    EXPECT_FALSE(layerKindHasWeights(LayerKind::Add));
+}
+
+TEST(Layer, TypedAttrAccessChecksKind)
+{
+    const Graph g = tinyLinear();
+    EXPECT_NO_THROW(g.layer(1).conv());
+    EXPECT_NO_THROW(g.layer(4).fc());
+    EXPECT_THROW(g.layer(1).fc(), accpar::util::InternalError);
+    EXPECT_THROW(g.layer(4).pool(), accpar::util::InternalError);
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+/** @file Unit tests for tensor shapes, data types and shape inference. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/shape_inference.h"
+#include "graph/tensor_shape.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar::graph;
+using accpar::util::ConfigError;
+
+TEST(TensorShape, ElementCountIsProductOfDims)
+{
+    EXPECT_EQ(TensorShape(4, 5).elementCount(), 20);
+    EXPECT_EQ(TensorShape(2, 3, 4, 5).elementCount(), 120);
+}
+
+TEST(TensorShape, PaperKernelExample)
+{
+    // §4.1: a kernel with 16 input channels, 3x3 window and 32 output
+    // channels has size 4608.
+    EXPECT_EQ(TensorShape(16, 32, 3, 3).elementCount(), 4608);
+}
+
+TEST(TensorShape, ByteSizeUsesDataType)
+{
+    const TensorShape s(2, 8);
+    EXPECT_DOUBLE_EQ(s.byteSize(DataType::BFloat16), 32.0);
+    EXPECT_DOUBLE_EQ(s.byteSize(DataType::Float32), 64.0);
+    EXPECT_DOUBLE_EQ(s.byteSize(DataType::Float64), 128.0);
+}
+
+TEST(TensorShape, RejectsNonPositiveDims)
+{
+    EXPECT_THROW(TensorShape(0, 1), ConfigError);
+    EXPECT_THROW(TensorShape(1, -2), ConfigError);
+}
+
+TEST(TensorShape, SpatialSize)
+{
+    EXPECT_EQ(TensorShape(1, 1, 7, 9).spatialSize(), 63);
+}
+
+TEST(DataTypes, SizesAndNames)
+{
+    EXPECT_EQ(dataTypeByteSize(DataType::BFloat16), 2);
+    EXPECT_EQ(dataTypeByteSize(DataType::Float16), 2);
+    EXPECT_EQ(dataTypeByteSize(DataType::Float32), 4);
+    EXPECT_STREQ(dataTypeName(DataType::BFloat16), "bf16");
+}
+
+TEST(ShapeInference, ConvSamePadding)
+{
+    const TensorShape in(8, 3, 224, 224);
+    const TensorShape out =
+        inferConvShape(in, ConvAttrs{64, 3, 3, 1, 1, 1, 1});
+    EXPECT_EQ(out, TensorShape(8, 64, 224, 224));
+}
+
+TEST(ShapeInference, ConvStrided)
+{
+    // AlexNet cv1: 224 + 2*2 pad, 11x11 window, stride 4 -> 55.
+    const TensorShape in(1, 3, 224, 224);
+    const TensorShape out =
+        inferConvShape(in, ConvAttrs{96, 11, 11, 4, 4, 2, 2});
+    EXPECT_EQ(out, TensorShape(1, 96, 55, 55));
+}
+
+TEST(ShapeInference, ConvRejectsOversizedWindow)
+{
+    const TensorShape in(1, 3, 4, 4);
+    EXPECT_THROW(inferConvShape(in, ConvAttrs{8, 5, 5, 1, 1, 0, 0}),
+                 ConfigError);
+}
+
+TEST(ShapeInference, PoolHalvesExtent)
+{
+    const TensorShape in(1, 64, 112, 112);
+    const TensorShape out =
+        inferPoolShape(in, PoolAttrs{2, 2, 2, 2, 0, 0});
+    EXPECT_EQ(out, TensorShape(1, 64, 56, 56));
+}
+
+TEST(ShapeInference, PoolWithPadding)
+{
+    // ResNet pool1: 112 + 2*1, 3x3 window, stride 2 -> 56.
+    const TensorShape in(1, 64, 112, 112);
+    const TensorShape out =
+        inferPoolShape(in, PoolAttrs{3, 3, 2, 2, 1, 1});
+    EXPECT_EQ(out, TensorShape(1, 64, 56, 56));
+}
+
+TEST(ShapeInference, FcRequiresFlattenedInput)
+{
+    EXPECT_THROW(inferFcShape(TensorShape(1, 256, 6, 6), FcAttrs{10}),
+                 ConfigError);
+    EXPECT_EQ(inferFcShape(TensorShape(4, 9216), FcAttrs{4096}),
+              TensorShape(4, 4096));
+}
+
+TEST(ShapeInference, FlattenCollapsesSpatialDims)
+{
+    const std::vector<TensorShape> in{TensorShape(4, 256, 6, 6)};
+    EXPECT_EQ(inferShape(LayerKind::Flatten, std::monostate{}, in),
+              TensorShape(4, 9216));
+}
+
+TEST(ShapeInference, ElementwisePreservesShape)
+{
+    const std::vector<TensorShape> in{TensorShape(2, 3, 5, 5)};
+    for (LayerKind kind : {LayerKind::ReLU, LayerKind::BatchNorm,
+                           LayerKind::LRN, LayerKind::Dropout,
+                           LayerKind::Softmax}) {
+        EXPECT_EQ(inferShape(kind, std::monostate{}, in), in[0]);
+    }
+}
+
+TEST(ShapeInference, GlobalAvgPoolCollapsesSpatial)
+{
+    const std::vector<TensorShape> in{TensorShape(2, 512, 7, 7)};
+    EXPECT_EQ(inferShape(LayerKind::GlobalAvgPool, std::monostate{}, in),
+              TensorShape(2, 512, 1, 1));
+}
+
+TEST(ShapeInference, AddRequiresMatchingShapes)
+{
+    const std::vector<TensorShape> ok{TensorShape(2, 3), TensorShape(2,
+                                                                     3)};
+    EXPECT_EQ(inferShape(LayerKind::Add, std::monostate{}, ok),
+              TensorShape(2, 3));
+    const std::vector<TensorShape> bad{TensorShape(2, 3),
+                                       TensorShape(2, 4)};
+    EXPECT_THROW(inferShape(LayerKind::Add, std::monostate{}, bad),
+                 ConfigError);
+}
+
+TEST(ShapeInference, ConcatStacksChannels)
+{
+    const std::vector<TensorShape> in{TensorShape(2, 3, 4, 4),
+                                      TensorShape(2, 5, 4, 4)};
+    EXPECT_EQ(inferShape(LayerKind::Concat, std::monostate{}, in),
+              TensorShape(2, 8, 4, 4));
+}
+
+TEST(ShapeInference, ConcatRejectsMismatchedSpatial)
+{
+    const std::vector<TensorShape> in{TensorShape(2, 3, 4, 4),
+                                      TensorShape(2, 5, 8, 8)};
+    EXPECT_THROW(inferShape(LayerKind::Concat, std::monostate{}, in),
+                 ConfigError);
+}
+
+TEST(ShapeInference, ArityIsEnforced)
+{
+    const std::vector<TensorShape> two{TensorShape(1, 1),
+                                       TensorShape(1, 1)};
+    EXPECT_THROW(inferShape(LayerKind::ReLU, std::monostate{}, two),
+                 ConfigError);
+    const std::vector<TensorShape> one{TensorShape(1, 1)};
+    EXPECT_THROW(inferShape(LayerKind::Add, std::monostate{}, one),
+                 ConfigError);
+}
+
+/** Parameterized sweep: conv output extent formula across strides. */
+class ConvExtentTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(ConvExtentTest, MatchesClosedForm)
+{
+    const auto [extent, kernel, stride, pad] = GetParam();
+    const TensorShape in(1, 1, extent, extent);
+    const TensorShape out = inferConvShape(
+        in, ConvAttrs{1, kernel, kernel, stride, stride, pad, pad});
+    const std::int64_t expected =
+        (extent + 2 * pad - kernel) / stride + 1;
+    EXPECT_EQ(out.h, expected);
+    EXPECT_EQ(out.w, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvExtentTest,
+    ::testing::Combine(::testing::Values(7, 28, 56, 224),
+                       ::testing::Values(1, 3, 5, 7),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(0, 1, 2)));
+
+} // namespace

@@ -1,0 +1,180 @@
+/** @file Tests for accelerator specs, groups and hierarchies. */
+
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.h"
+#include "hw/group.h"
+#include "hw/hierarchy.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar::hw;
+using accpar::util::ConfigError;
+
+TEST(Accelerator, TpuV2MatchesTable7)
+{
+    const AcceleratorSpec v2 = tpuV2();
+    EXPECT_DOUBLE_EQ(v2.computeDensity, 180e12);
+    EXPECT_DOUBLE_EQ(v2.memoryCapacity, 64e9);
+    EXPECT_DOUBLE_EQ(v2.memoryBandwidth, 2400e9);
+    EXPECT_DOUBLE_EQ(v2.linkBandwidth, 1e9); // 8 Gb/s
+}
+
+TEST(Accelerator, TpuV3MatchesTable7)
+{
+    const AcceleratorSpec v3 = tpuV3();
+    EXPECT_DOUBLE_EQ(v3.computeDensity, 420e12);
+    EXPECT_DOUBLE_EQ(v3.memoryCapacity, 128e9);
+    EXPECT_DOUBLE_EQ(v3.memoryBandwidth, 4800e9);
+    EXPECT_DOUBLE_EQ(v3.linkBandwidth, 2e9); // 16 Gb/s
+}
+
+TEST(Accelerator, ValidateRejectsNonPositiveRates)
+{
+    EXPECT_THROW(makeAccelerator("bad", 0.0, 64, 2400, 8), ConfigError);
+    EXPECT_THROW(makeAccelerator("bad", 180, -1, 2400, 8), ConfigError);
+    EXPECT_THROW(makeAccelerator("", 180, 64, 2400, 8), ConfigError);
+}
+
+TEST(Group, AggregatesRates)
+{
+    const AcceleratorGroup g(tpuV2(), 4);
+    EXPECT_EQ(g.size(), 4);
+    EXPECT_TRUE(g.homogeneous());
+    EXPECT_DOUBLE_EQ(g.computeDensity(), 4 * 180e12);
+    EXPECT_DOUBLE_EQ(g.linkBandwidth(), 4e9);
+    EXPECT_DOUBLE_EQ(g.memoryBandwidth(), 4 * 2400e9);
+    EXPECT_DOUBLE_EQ(g.memoryCapacity(), 4 * 64e9);
+}
+
+TEST(Group, MergesSlicesBySpecName)
+{
+    const AcceleratorGroup g({GroupSlice{tpuV2(), 2},
+                              GroupSlice{tpuV3(), 3},
+                              GroupSlice{tpuV2(), 1}});
+    EXPECT_EQ(g.size(), 6);
+    EXPECT_FALSE(g.homogeneous());
+    EXPECT_EQ(g.slices().size(), 2u);
+    EXPECT_EQ(g.slices()[0].count, 3);
+}
+
+TEST(Group, RejectsEmptyAndInvalid)
+{
+    EXPECT_THROW(AcceleratorGroup(tpuV2(), 0), ConfigError);
+    EXPECT_THROW(AcceleratorGroup(std::vector<GroupSlice>{}),
+                 ConfigError);
+}
+
+TEST(Group, HeterogeneousSplitSeparatesTypes)
+{
+    const AcceleratorGroup g({GroupSlice{tpuV2(), 8},
+                              GroupSlice{tpuV3(), 8}});
+    const auto [left, right] = g.split();
+    EXPECT_TRUE(left.homogeneous());
+    EXPECT_TRUE(right.homogeneous());
+    EXPECT_EQ(left.slices()[0].spec.name, "tpu-v2");
+    EXPECT_EQ(right.slices()[0].spec.name, "tpu-v3");
+    EXPECT_EQ(left.size(), 8);
+    EXPECT_EQ(right.size(), 8);
+}
+
+TEST(Group, HomogeneousSplitHalves)
+{
+    const AcceleratorGroup g(tpuV3(), 8);
+    const auto [left, right] = g.split();
+    EXPECT_EQ(left.size(), 4);
+    EXPECT_EQ(right.size(), 4);
+}
+
+TEST(Group, SplitRejectsSingletons)
+{
+    EXPECT_THROW(AcceleratorGroup(tpuV2(), 1).split(), ConfigError);
+}
+
+TEST(Group, OddSizesSplitUnevenly)
+{
+    const auto [left, right] = AcceleratorGroup(tpuV2(), 3).split();
+    EXPECT_EQ(left.size(), 2);
+    EXPECT_EQ(right.size(), 1);
+}
+
+TEST(Group, ToStringListsSlices)
+{
+    EXPECT_EQ(AcceleratorGroup(tpuV2(), 128).toString(), "128 x tpu-v2");
+    EXPECT_EQ(heterogeneousTpuArray().toString(),
+              "128 x tpu-v2 + 128 x tpu-v3");
+}
+
+TEST(Hierarchy, BinaryTreeOverHomogeneousArray)
+{
+    const Hierarchy h(AcceleratorGroup(tpuV3(), 8));
+    // 8 leaves -> 15 nodes, 3 levels.
+    EXPECT_EQ(h.nodeCount(), 15u);
+    EXPECT_EQ(h.levelCount(), 3);
+    EXPECT_EQ(h.internalNodes().size(), 7u);
+    EXPECT_EQ(h.node(h.root()).group.size(), 8);
+}
+
+TEST(Hierarchy, HeterogeneousSplitsTypeFirst)
+{
+    const Hierarchy h(heterogeneousTpuArray());
+    EXPECT_EQ(h.levelCount(), 8);
+    EXPECT_EQ(h.nodeCount(), 511u);
+    const HierarchyNode &root = h.node(h.root());
+    EXPECT_EQ(h.node(root.left).group.toString(), "128 x tpu-v2");
+    EXPECT_EQ(h.node(root.right).group.toString(), "128 x tpu-v3");
+}
+
+TEST(Hierarchy, ParentsPrecedeChildren)
+{
+    const Hierarchy h(AcceleratorGroup(tpuV2(), 16));
+    for (NodeId id : h.internalNodes()) {
+        const HierarchyNode &n = h.node(id);
+        EXPECT_GT(n.left, id);
+        EXPECT_GT(n.right, id);
+        EXPECT_EQ(h.node(n.left).level, n.level + 1);
+    }
+}
+
+TEST(Hierarchy, LeavesAreSingletons)
+{
+    const Hierarchy h(heterogeneousTpuArrayForLevels(4));
+    std::size_t leaves = 0;
+    for (std::size_t i = 0; i < h.nodeCount(); ++i) {
+        if (h.node(static_cast<NodeId>(i)).isLeaf()) {
+            ++leaves;
+            EXPECT_EQ(h.node(static_cast<NodeId>(i)).group.size(), 1);
+        }
+    }
+    EXPECT_EQ(leaves, 16u); // 2^(4-1) boards of each type
+}
+
+TEST(Hierarchy, RejectsSingleBoardArray)
+{
+    EXPECT_THROW(Hierarchy(AcceleratorGroup(tpuV2(), 1)), ConfigError);
+}
+
+TEST(Hierarchy, ArrayForLevelsSizesPerFigure8)
+{
+    for (int levels = 1; levels <= 9; ++levels) {
+        const AcceleratorGroup array =
+            heterogeneousTpuArrayForLevels(levels);
+        EXPECT_EQ(array.size(), 2 << (levels - 1));
+        if (levels >= 2) {
+            const Hierarchy h(array);
+            EXPECT_EQ(h.levelCount(), levels);
+        }
+    }
+    EXPECT_THROW(heterogeneousTpuArrayForLevels(0), ConfigError);
+}
+
+TEST(Hierarchy, ToStringShowsOutline)
+{
+    const Hierarchy h(AcceleratorGroup(tpuV2(), 2));
+    const std::string s = h.toString();
+    EXPECT_NE(s.find("+ 2 x tpu-v2"), std::string::npos);
+    EXPECT_NE(s.find("- 1 x tpu-v2"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * End-to-end integration tests: the qualitative claims of the paper's
+ * evaluation (§6) must hold in the reproduction — who wins, where the
+ * crossovers fall — on scaled-down arrays so the suite stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/report.h"
+#include "sim/training_sim.h"
+#include "strategies/registry.h"
+
+namespace {
+
+using namespace accpar;
+
+/** 16 + 16 board heterogeneous array (same shape as Figure 5's). */
+hw::AcceleratorGroup
+heteroArray()
+{
+    return hw::AcceleratorGroup({hw::GroupSlice{hw::tpuV2(), 16},
+                                 hw::GroupSlice{hw::tpuV3(), 16}});
+}
+
+std::map<std::string, double>
+speedups(const std::string &model, const hw::AcceleratorGroup &array,
+         std::int64_t batch = 512)
+{
+    const auto table = sim::runSpeedupComparison(
+        {model}, batch, array, strategies::defaultStrategies());
+    std::map<std::string, double> out;
+    for (std::size_t s = 0; s < table.strategyLabels.size(); ++s)
+        out[table.strategyLabels[s]] = table.rows[0].speedup[s];
+    return out;
+}
+
+TEST(Integration, DpIsTheNormalizationBaseline)
+{
+    const auto s = speedups("alexnet", heteroArray());
+    EXPECT_DOUBLE_EQ(s.at("DP"), 1.0);
+}
+
+TEST(Integration, AccParWinsOnEveryNetworkHeterogeneous)
+{
+    for (const std::string &model : models::modelNames()) {
+        const auto s = speedups(model, heteroArray());
+        EXPECT_GT(s.at("AccPar"), s.at("HyPar")) << model;
+        EXPECT_GT(s.at("AccPar"), s.at("OWT")) << model;
+        EXPECT_GT(s.at("AccPar"), 1.0) << model;
+    }
+}
+
+TEST(Integration, HyParMatchesDataParallelismOnResnet)
+{
+    // §6.2: HyPar achieves only 1.03-1.04x on the ResNet series.
+    for (const char *model : {"resnet18", "resnet34", "resnet50"}) {
+        const auto s = speedups(model, heteroArray());
+        EXPECT_GE(s.at("HyPar"), 0.99) << model;
+        EXPECT_LT(s.at("HyPar"), 1.30) << model;
+    }
+}
+
+TEST(Integration, VggGainsExceedResnetGains)
+{
+    // §6.2: model-heavy Vgg benefits far more than compute-dense
+    // ResNet.
+    const double vgg = speedups("vgg16", heteroArray()).at("AccPar");
+    const double resnet =
+        speedups("resnet50", heteroArray()).at("AccPar");
+    EXPECT_GT(vgg, 2.0 * resnet);
+}
+
+TEST(Integration, HeterogeneityWidensAccParLead)
+{
+    // The flexible ratio only pays off when the array is heterogeneous:
+    // AccPar's margin over HyPar must grow from Figure 6 to Figure 5.
+    const hw::AcceleratorGroup homo(hw::tpuV3(), 32);
+    const auto het = speedups("vgg16", heteroArray());
+    const auto hom = speedups("vgg16", homo);
+    const double het_margin = het.at("AccPar") / het.at("HyPar");
+    const double hom_margin = hom.at("AccPar") / hom.at("HyPar");
+    EXPECT_GT(het_margin, hom_margin);
+}
+
+TEST(Integration, ResnetAccParGainTracksComputeBalanceBound)
+{
+    // On ResNet the dominant lever is the heterogeneity-balanced ratio
+    // (compute bound (c2+c3)/(2*c2) = 1.67 at full scale; the paper
+    // reports 1.92-2.20x on 256 boards). On this reduced 32-board array
+    // the gain is smaller but must stay clearly above 1 and bounded.
+    const auto s = speedups("resnet50", heteroArray());
+    EXPECT_GT(s.at("AccPar"), 1.25);
+    EXPECT_LT(s.at("AccPar"), 4.0);
+}
+
+TEST(Integration, OwtBeatsDpOnFcHeavyNetworks)
+{
+    for (const char *model : {"alexnet", "vgg11", "vgg19"}) {
+        const auto s = speedups(model, heteroArray());
+        EXPECT_GT(s.at("OWT"), 2.0) << model;
+    }
+}
+
+TEST(Integration, GeomeanOrderingMatchesPaper)
+{
+    const auto table = sim::runSpeedupComparison(
+        models::modelNames(), 512, heteroArray(),
+        strategies::defaultStrategies());
+    ASSERT_EQ(table.geomean.size(), 4u);
+    EXPECT_DOUBLE_EQ(table.geomean[0], 1.0);       // DP
+    EXPECT_GT(table.geomean[1], 1.5);              // OWT
+    EXPECT_GT(table.geomean[2], table.geomean[1]); // HyPar > OWT
+    EXPECT_GT(table.geomean[3], table.geomean[2]); // AccPar > HyPar
+}
+
+TEST(Integration, ThroughputScalesWithArraySize)
+{
+    // A 32-board array must outrun an 8-board array under AccPar.
+    const graph::Graph model = models::buildVgg(16, 512);
+    const auto strategy = strategies::makeStrategy("accpar");
+    const hw::Hierarchy small(hw::AcceleratorGroup(hw::tpuV3(), 8));
+    const hw::Hierarchy big(hw::AcceleratorGroup(hw::tpuV3(), 32));
+    const auto run_small = sim::simulateStrategy(model, small, *strategy);
+    const auto run_big = sim::simulateStrategy(model, big, *strategy);
+    EXPECT_GT(run_big.throughput, run_small.throughput);
+}
+
+TEST(Integration, EveryRunFitsHbmOnPaperConfigs)
+{
+    const hw::Hierarchy hier(heteroArray());
+    for (const std::string &name : models::modelNames()) {
+        const graph::Graph model = models::buildModel(name, 512);
+        for (const auto &s : strategies::defaultStrategies()) {
+            const auto run = sim::simulateStrategy(model, hier, *s);
+            EXPECT_TRUE(run.fitsMemory) << name << "/" << s->name();
+            EXPECT_GT(run.throughput, 0.0);
+            EXPECT_LT(run.peakLeafMemory, 64e9);
+        }
+    }
+}
+
+TEST(Integration, SpeedupTableFormatsAndExports)
+{
+    const auto table = sim::runSpeedupComparison(
+        {"lenet"}, 64, heteroArray(), strategies::defaultStrategies());
+    const std::string text =
+        sim::formatSpeedupTable(table, "test table");
+    EXPECT_NE(text.find("test table"), std::string::npos);
+    EXPECT_NE(text.find("geomean"), std::string::npos);
+    EXPECT_NE(text.find("lenet"), std::string::npos);
+
+    const std::string path = "/tmp/accpar_integration_test.csv";
+    sim::writeSpeedupCsv(table, path);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open());
+}
+
+TEST(Integration, HierarchySweepShowsAccParScaling)
+{
+    // Figure 8's trend on a reduced sweep: AccPar's speedup grows with
+    // the hierarchy depth while OWT saturates.
+    const auto strategy_dp = strategies::makeStrategy("dp");
+    const auto strategy_owt = strategies::makeStrategy("owt");
+    const auto strategy_accpar = strategies::makeStrategy("accpar");
+    const graph::Graph model = models::buildVgg(19, 512);
+
+    std::vector<double> accpar_speedup;
+    std::vector<double> owt_speedup;
+    for (int levels : {3, 5}) {
+        const hw::Hierarchy hier(
+            hw::heterogeneousTpuArrayForLevels(levels));
+        const double dp =
+            sim::simulateStrategy(model, hier, *strategy_dp).throughput;
+        owt_speedup.push_back(
+            sim::simulateStrategy(model, hier, *strategy_owt)
+                .throughput /
+            dp);
+        accpar_speedup.push_back(
+            sim::simulateStrategy(model, hier, *strategy_accpar)
+                .throughput /
+            dp);
+    }
+    EXPECT_GT(accpar_speedup[1], accpar_speedup[0]);
+    EXPECT_GT(accpar_speedup[1], owt_speedup[1]);
+}
+
+} // namespace

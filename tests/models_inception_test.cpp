@@ -1,0 +1,123 @@
+/** @file Tests for GoogLeNet/Inception and the MLP builder, including
+ *  partitioning over four-way Concat-joined parallel blocks. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hierarchical_solver.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/training_sim.h"
+#include "strategies/registry.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+
+TEST(Googlenet, BuildsAndValidates)
+{
+    const graph::Graph g = models::buildGooglenet(8);
+    EXPECT_NO_THROW(g.validate());
+    // 3 stem convs + 9 modules x 6 convs + final fc = 58.
+    EXPECT_EQ(g.weightedLayers().size(), 58u);
+}
+
+TEST(Googlenet, ShapesMatchPublishedArchitecture)
+{
+    const graph::Graph g = models::buildGooglenet(2);
+    bool saw_3a = false, saw_4e = false, saw_5b = false;
+    for (const graph::Layer &l : g.layers()) {
+        if (l.name == "i3a_cat") {
+            EXPECT_EQ(l.outputShape, graph::TensorShape(2, 256, 28,
+                                                        28));
+            saw_3a = true;
+        }
+        if (l.name == "i4e_cat") {
+            EXPECT_EQ(l.outputShape, graph::TensorShape(2, 832, 14,
+                                                        14));
+            saw_4e = true;
+        }
+        if (l.name == "i5b_cat") {
+            EXPECT_EQ(l.outputShape,
+                      graph::TensorShape(2, 1024, 7, 7));
+            saw_5b = true;
+        }
+    }
+    EXPECT_TRUE(saw_3a);
+    EXPECT_TRUE(saw_4e);
+    EXPECT_TRUE(saw_5b);
+    // GoogLeNet is famously small: ~6 M weights.
+    EXPECT_GT(g.totalWeightCount(), 5'500'000);
+    EXPECT_LT(g.totalWeightCount(), 7'500'000);
+}
+
+TEST(Googlenet, CondensesToFourWayParallelBlocks)
+{
+    const graph::Graph g = models::buildGooglenet(4);
+    const core::PartitionProblem problem(g);
+    int four_way = 0;
+    for (const core::Element &e : problem.chain().elements) {
+        if (e.isParallel()) {
+            EXPECT_EQ(e.paths.size(), 4u);
+            EXPECT_TRUE(problem.condensed().node(e.node).junction);
+            EXPECT_EQ(problem.condensed().node(e.node).kind,
+                      graph::LayerKind::Concat);
+            ++four_way;
+            for (const core::Chain &path : e.paths) {
+                EXPECT_GE(path.elements.size(), 1u);
+                EXPECT_LE(path.elements.size(), 2u);
+            }
+        }
+    }
+    EXPECT_EQ(four_way, 9);
+}
+
+TEST(Googlenet, AllStrategiesPlanAndSimulate)
+{
+    const graph::Graph model = models::buildGooglenet(256);
+    const hw::Hierarchy hier(hw::AcceleratorGroup(
+        {hw::GroupSlice{hw::tpuV2(), 4}, hw::GroupSlice{hw::tpuV3(),
+                                                        4}}));
+    double dp = 0.0;
+    double accpar = 0.0;
+    for (const auto &s : strategies::defaultStrategies()) {
+        const auto run = sim::simulateStrategy(model, hier, *s);
+        EXPECT_GT(run.throughput, 0.0) << s->name();
+        EXPECT_TRUE(run.fitsMemory) << s->name();
+        if (s->name() == "dp")
+            dp = run.throughput;
+        if (s->name() == "accpar")
+            accpar = run.throughput;
+    }
+    EXPECT_GT(accpar, dp);
+}
+
+TEST(Googlenet, AvailableThroughBuildModel)
+{
+    EXPECT_NO_THROW(models::buildModel("googlenet", 4));
+    // But not part of the paper's nine-network list.
+    const auto names = models::modelNames();
+    EXPECT_EQ(std::count(names.begin(), names.end(), "googlenet"), 0);
+}
+
+TEST(Mlp, BuilderProducesChain)
+{
+    const graph::Graph g = models::buildMlp(32, {784, 256, 64, 10});
+    EXPECT_EQ(g.weightedLayers().size(), 3u);
+    EXPECT_EQ(g.totalWeightCount(),
+              784 * 256 + 256 * 64 + 64 * 10);
+    EXPECT_EQ(g.layer(g.sinkLayer()).outputShape,
+              graph::TensorShape(32, 10));
+    const core::PartitionProblem problem(g);
+    EXPECT_EQ(problem.chain().elements.size(), 3u);
+}
+
+TEST(Mlp, RejectsDegenerateSpecs)
+{
+    EXPECT_THROW(models::buildMlp(0, {4, 4}), util::ConfigError);
+    EXPECT_THROW(models::buildMlp(4, {4}), util::ConfigError);
+}
+
+} // namespace

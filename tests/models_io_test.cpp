@@ -1,0 +1,155 @@
+/** @file Tests for the JSON model loader. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/hierarchical_solver.h"
+#include "models/model_io.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+using util::Json;
+
+const char *kCnnDoc = R"({
+  "name": "tiny-cnn",
+  "input": {"batch": 16, "channels": 3, "height": 8, "width": 8},
+  "layers": [
+    {"op": "conv", "name": "cv1", "out": 8, "kernel": 3, "pad": 1},
+    {"op": "relu"},
+    {"op": "maxpool", "kernel": 2},
+    {"op": "flatten"},
+    {"op": "fc", "name": "fc1", "out": 10},
+    {"op": "softmax"}
+  ]
+})";
+
+TEST(ModelIo, BuildsLinearCnn)
+{
+    const graph::Graph g = models::modelFromJson(Json::parse(kCnnDoc));
+    EXPECT_EQ(g.name(), "tiny-cnn");
+    EXPECT_EQ(g.weightedLayers().size(), 2u);
+    EXPECT_EQ(g.layer(g.sinkLayer()).outputShape,
+              graph::TensorShape(16, 10));
+    // conv 3x3 pad 1 keeps 8x8; pool halves to 4x4 -> fc in = 8*16.
+    EXPECT_EQ(g.weightCount(g.weightedLayers()[1]), 8 * 16 * 10);
+}
+
+TEST(ModelIo, ResidualTopologyViaNamedInputs)
+{
+    const char *doc = R"({
+      "input": {"batch": 4, "channels": 8, "height": 6, "width": 6},
+      "layers": [
+        {"op": "conv", "name": "stem", "out": 8, "kernel": 3, "pad": 1},
+        {"op": "conv", "name": "branch", "out": 8, "kernel": 3,
+         "pad": 1},
+        {"op": "add", "name": "join", "inputs": ["branch", "stem"]},
+        {"op": "relu"},
+        {"op": "gavgpool"},
+        {"op": "flatten"},
+        {"op": "fc", "out": 2}
+      ]
+    })";
+    const graph::Graph g = models::modelFromJson(Json::parse(doc));
+    const core::PartitionProblem problem(g);
+    // stem, branch, junction, fc.
+    EXPECT_EQ(problem.condensed().size(), 4u);
+    bool has_parallel = false;
+    for (const core::Element &e : problem.chain().elements)
+        has_parallel = has_parallel || e.isParallel();
+    EXPECT_TRUE(has_parallel);
+}
+
+TEST(ModelIo, ConcatTopology)
+{
+    const char *doc = R"({
+      "input": {"batch": 2, "channels": 4, "height": 4, "width": 4},
+      "layers": [
+        {"op": "conv", "name": "stem", "out": 4, "kernel": 1},
+        {"op": "conv", "name": "a", "out": 2, "kernel": 1,
+         "input": "stem"},
+        {"op": "conv", "name": "b", "out": 6, "kernel": 1,
+         "input": "stem"},
+        {"op": "concat", "name": "cat", "inputs": ["a", "b"]},
+        {"op": "gavgpool"},
+        {"op": "flatten"},
+        {"op": "fc", "out": 3}
+      ]
+    })";
+    const graph::Graph g = models::modelFromJson(Json::parse(doc));
+    for (const graph::Layer &l : g.layers()) {
+        if (l.name == "cat") {
+            EXPECT_EQ(l.outputShape.c, 8);
+        }
+    }
+}
+
+TEST(ModelIo, AsymmetricConvFields)
+{
+    const char *doc = R"({
+      "input": {"batch": 2, "channels": 1, "height": 9, "width": 5},
+      "layers": [
+        {"op": "conv", "out": 3, "kernel": 3, "kernel_w": 1,
+         "stride_h": 2, "pad_h": 1}
+      ]
+    })";
+    const graph::Graph g = models::modelFromJson(Json::parse(doc));
+    // h: (9 + 2 - 3)/2 + 1 = 5; w: (5 - 1)/1 + 1 = 5.
+    EXPECT_EQ(g.layer(g.sinkLayer()).outputShape,
+              graph::TensorShape(2, 3, 5, 5));
+}
+
+TEST(ModelIo, FileRoundTrip)
+{
+    const std::string path = "/tmp/accpar_model_io_test.json";
+    std::ofstream(path) << kCnnDoc;
+    const graph::Graph g = models::loadModelFile(path);
+    EXPECT_EQ(g.name(), "tiny-cnn");
+    std::remove(path.c_str());
+    EXPECT_THROW(models::loadModelFile(path), util::ConfigError);
+}
+
+TEST(ModelIo, MalformedDocumentsThrow)
+{
+    auto build = [](const char *doc) {
+        return models::modelFromJson(Json::parse(doc));
+    };
+    // Missing input.
+    EXPECT_THROW(build(R"({"layers": []})"), util::ConfigError);
+    // Unknown op.
+    EXPECT_THROW(
+        build(R"({"input": {"batch": 1, "channels": 1},
+                  "layers": [{"op": "warp"}]})"),
+        util::ConfigError);
+    // conv without kernel.
+    EXPECT_THROW(
+        build(R"({"input": {"batch": 1, "channels": 1, "height": 4,
+                            "width": 4},
+                  "layers": [{"op": "conv", "out": 2}]})"),
+        util::ConfigError);
+    // add with one input.
+    EXPECT_THROW(
+        build(R"({"input": {"batch": 1, "channels": 2, "height": 2,
+                            "width": 2},
+                  "layers": [
+                    {"op": "conv", "name": "c", "out": 2, "kernel": 1},
+                    {"op": "add", "inputs": ["c"]}]})"),
+        util::ConfigError);
+    // Reference to a missing layer.
+    EXPECT_THROW(
+        build(R"({"input": {"batch": 1, "channels": 1},
+                  "layers": [{"op": "fc", "out": 2,
+                              "input": "ghost"}]})"),
+        util::ConfigError);
+    // Duplicate names.
+    EXPECT_THROW(
+        build(R"({"input": {"batch": 1, "channels": 4},
+                  "layers": [{"op": "fc", "name": "x", "out": 2},
+                             {"op": "fc", "name": "x", "out": 2}]})"),
+        util::ConfigError);
+}
+
+} // namespace

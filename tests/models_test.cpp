@@ -1,0 +1,192 @@
+/** @file Tests of the model zoo against the published architectures. */
+
+#include <gtest/gtest.h>
+
+#include "models/summary.h"
+#include "models/zoo.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+using accpar::util::ConfigError;
+
+std::size_t
+weightedCount(const graph::Graph &g)
+{
+    return g.weightedLayers().size();
+}
+
+TEST(Zoo, AllModelsBuildAndValidate)
+{
+    for (const std::string &name : models::modelNames()) {
+        const graph::Graph g = models::buildModel(name, 8);
+        EXPECT_NO_THROW(g.validate()) << name;
+        EXPECT_EQ(g.name(), name);
+    }
+}
+
+TEST(Zoo, RejectsUnknownNamesAndBadBatch)
+{
+    EXPECT_THROW(models::buildModel("vgg42", 8), ConfigError);
+    EXPECT_THROW(models::buildModel("lenet", 0), ConfigError);
+    EXPECT_THROW(models::buildVgg(15, 8), ConfigError);
+    EXPECT_THROW(models::buildResnet(99, 8), ConfigError);
+}
+
+TEST(Zoo, NamesAreCaseInsensitive)
+{
+    EXPECT_NO_THROW(models::buildModel(" AlexNet ", 2));
+}
+
+TEST(Lenet, Structure)
+{
+    const graph::Graph g = models::buildLenet(16);
+    EXPECT_EQ(weightedCount(g), 5u); // 2 conv + 3 fc
+    // 28x28 -> conv(pad 2) 28 -> pool 14 -> conv 10 -> pool 5.
+    EXPECT_EQ(g.layer(g.weightedLayers()[1]).outputShape,
+              graph::TensorShape(16, 16, 10, 10));
+    // Classic LeNet-5 parameter count (weights without biases):
+    // cv1 1*6*25=150, cv2 6*16*25=2400, fc 400*120 + 120*84 + 84*10.
+    EXPECT_EQ(g.totalWeightCount(),
+              150 + 2400 + 48000 + 10080 + 840);
+}
+
+TEST(Alexnet, Structure)
+{
+    const graph::Graph g = models::buildAlexnet(128);
+    EXPECT_EQ(weightedCount(g), 8u); // cv1..cv5 + fc1..fc3 (Figure 7)
+    const auto w = g.weightedLayers();
+    EXPECT_EQ(g.layer(w[0]).outputShape,
+              graph::TensorShape(128, 96, 55, 55));
+    EXPECT_EQ(g.layer(w[4]).outputShape,
+              graph::TensorShape(128, 256, 13, 13));
+    // fc1 input is 256*6*6 = 9216.
+    EXPECT_EQ(g.inputShape(w[5]), graph::TensorShape(128, 9216));
+    // ~62.4 M weights (no biases).
+    EXPECT_EQ(g.totalWeightCount(), 62367776);
+}
+
+class VggTest : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(VggTest, DepthMatchesWeightedLayerCount)
+{
+    const auto [depth, expected_weighted] = GetParam();
+    const graph::Graph g = models::buildVgg(depth, 4);
+    EXPECT_EQ(weightedCount(g),
+              static_cast<std::size_t>(expected_weighted));
+    // The "depth" counts weighted layers.
+    EXPECT_EQ(expected_weighted, depth);
+    // All VGG variants end in the same classifier.
+    const auto w = g.weightedLayers();
+    EXPECT_EQ(g.inputShape(w[w.size() - 3]),
+              graph::TensorShape(4, 25088));
+    EXPECT_EQ(g.layer(w.back()).outputShape, graph::TensorShape(4, 1000));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, VggTest,
+                         ::testing::Values(std::tuple{11, 11},
+                                           std::tuple{13, 13},
+                                           std::tuple{16, 16},
+                                           std::tuple{19, 19}));
+
+TEST(Vgg16, ParameterCountMatchesPublished)
+{
+    // VGG-16 has 138,357,544 parameters of which 13,416 are biases;
+    // the kernel/weight tensors alone hold 138,344,128 elements.
+    const graph::Graph g = models::buildVgg(16, 1);
+    EXPECT_EQ(g.totalWeightCount(), 138344128);
+}
+
+class ResnetTest : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ResnetTest, WeightedLayerCount)
+{
+    const auto [depth, expected_weighted] = GetParam();
+    const graph::Graph g = models::buildResnet(depth, 4);
+    EXPECT_EQ(weightedCount(g),
+              static_cast<std::size_t>(expected_weighted));
+}
+
+// resnet18: cv1 + 16 block convs + 3 projections + fc = 21
+// resnet34: cv1 + 32 block convs + 3 projections + fc = 37
+// resnet50: cv1 + 48 block convs + 4 projections + fc = 54
+INSTANTIATE_TEST_SUITE_P(Depths, ResnetTest,
+                         ::testing::Values(std::tuple{18, 21},
+                                           std::tuple{34, 37},
+                                           std::tuple{50, 54}));
+
+TEST(Resnet, StageShapesFollowPaper)
+{
+    const graph::Graph g = models::buildResnet(18, 2);
+    // Stage outputs: 56x56x64, 28x28x128, 14x14x256, 7x7x512.
+    bool saw_final_stage = false;
+    for (const graph::Layer &l : g.layers()) {
+        if (l.name == "s4b2_relu2") {
+            EXPECT_EQ(l.outputShape, graph::TensorShape(2, 512, 7, 7));
+            saw_final_stage = true;
+        }
+    }
+    EXPECT_TRUE(saw_final_stage);
+}
+
+TEST(Resnet, ParameterCountsMatchPublished)
+{
+    // Conv+fc weight counts (no biases, no batch-norm parameters),
+    // matching torchvision's architectures: resnet18 ~11.7M,
+    // resnet50 ~25.5M.
+    EXPECT_EQ(models::buildResnet(18, 1).totalWeightCount(), 11678912);
+    EXPECT_EQ(models::buildResnet(50, 1).totalWeightCount(), 25502912);
+}
+
+TEST(Resnet50, UsesBottleneckExpansion)
+{
+    const graph::Graph g = models::buildResnet(50, 2);
+    bool found = false;
+    for (const graph::Layer &l : g.layers()) {
+        if (l.name == "s1b1_cv3") {
+            EXPECT_EQ(l.outputShape.c, 256); // 64 * 4
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Summary, TotalsAreConsistent)
+{
+    const graph::Graph g = models::buildAlexnet(32);
+    const models::ModelSummary s = models::summarizeModel(g);
+    EXPECT_EQ(s.layers.size(), 8u);
+    std::int64_t weights = 0;
+    double flops = 0.0;
+    for (const auto &row : s.layers) {
+        weights += row.weightCount;
+        flops += row.forwardFlops;
+    }
+    EXPECT_EQ(weights, s.totalWeightCount);
+    EXPECT_DOUBLE_EQ(flops, s.totalForwardFlops);
+    EXPECT_EQ(s.totalWeightCount, g.totalWeightCount());
+}
+
+TEST(Summary, ForwardFlopsScaleWithBatch)
+{
+    const auto s1 =
+        models::summarizeModel(models::buildAlexnet(1));
+    const auto s8 =
+        models::summarizeModel(models::buildAlexnet(8));
+    EXPECT_NEAR(s8.totalForwardFlops / s1.totalForwardFlops, 8.0, 1e-9);
+}
+
+TEST(Summary, FormatsWithoutThrowing)
+{
+    const auto s = models::summarizeModel(models::buildLenet(4));
+    const std::string text = models::formatSummary(s);
+    EXPECT_NE(text.find("lenet"), std::string::npos);
+    EXPECT_NE(text.find("fc3"), std::string::npos);
+}
+
+} // namespace

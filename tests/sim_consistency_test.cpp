@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cross-component consistency: the trace generator, the cost model and
+ * the plan evaluator must tell the same story about any plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cost_model.h"
+#include "core/hierarchical_solver.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/trace_gen.h"
+#include "strategies/registry.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::sim;
+
+/**
+ * For each internal hierarchy node and side, the traced NET bytes must
+ * equal bytesPerElement times the cost model's per-side communication
+ * amounts (Table 4 intra + Table 5 inter) at that node's scaled dims.
+ */
+void
+expectNetworkMatchesCostModel(const graph::Graph &model,
+                              const hw::Hierarchy &hier,
+                              const std::string &strategy_name)
+{
+    const core::PartitionProblem problem(model);
+    const auto plan =
+        strategies::makeStrategy(strategy_name)->plan(problem, hier);
+
+    TraceGenConfig config;
+    const TraceStream trace =
+        generateTraces(problem, hier, plan, config);
+
+    // Reproduce the solver's dim scaling per hierarchy node.
+    struct Walker
+    {
+        const core::PartitionProblem &problem;
+        const hw::Hierarchy &hier;
+        const core::PartitionPlan &plan;
+        const TraceStream &trace;
+        double bpe;
+
+        void
+        walk(hw::NodeId id, const std::vector<core::DimScales> &scales)
+        {
+            const hw::HierarchyNode &hn = hier.node(id);
+            if (hn.isLeaf())
+                return;
+            const core::NodePlan &np = plan.nodePlan(id);
+            const auto dims = core::scaledDims(problem, scales);
+            const core::CondensedGraph &graph = problem.condensed();
+
+            for (int side = 0; side < 2; ++side) {
+                const double own =
+                    side == 0 ? np.alpha : 1.0 - np.alpha;
+                double expected = 0.0;
+                for (std::size_t v = 0; v < graph.size(); ++v) {
+                    const auto &node =
+                        graph.node(static_cast<core::CNodeId>(v));
+                    if (!node.junction) {
+                        expected +=
+                            core::PairCostModel::intraCommElements(
+                                np.types[v], dims[v]);
+                    }
+                    for (core::CNodeId u : node.preds) {
+                        const double boundary =
+                            std::min(dims[u].sizeOutput(),
+                                     dims[v].sizeInput());
+                        expected +=
+                            core::PairCostModel::interCommElements(
+                                np.types[u], np.types[v], boundary,
+                                own, 1.0 - own);
+                    }
+                }
+                const double traced = trace.totalAmountAt(
+                    TraceKind::NetTransfer, id, side);
+                EXPECT_NEAR(traced, expected * bpe,
+                            1e-6 * (1.0 + expected * bpe))
+                    << "node " << id << " side " << side;
+            }
+
+            std::vector<core::DimScales> left(scales);
+            std::vector<core::DimScales> right(scales);
+            for (std::size_t v = 0; v < graph.size(); ++v) {
+                const bool junction =
+                    graph.node(static_cast<core::CNodeId>(v)).junction;
+                left[v] = core::childScales(scales[v], junction,
+                                            np.types[v], np.alpha);
+                right[v] = core::childScales(
+                    scales[v], junction, np.types[v], 1.0 - np.alpha);
+            }
+            walk(hn.left, left);
+            walk(hn.right, right);
+        }
+    };
+
+    Walker walker{problem, hier, plan, trace,
+                  config.bytesPerElement};
+    walker.walk(hier.root(),
+                std::vector<core::DimScales>(problem.condensed().size()));
+}
+
+TEST(Consistency, TraceNetworkEqualsCostModelPredictions)
+{
+    const hw::Hierarchy hier(hw::AcceleratorGroup(
+        {hw::GroupSlice{hw::tpuV2(), 2}, hw::GroupSlice{hw::tpuV3(),
+                                                        2}}));
+    for (const char *model : {"alexnet", "resnet18"})
+        for (const char *strategy : {"dp", "owt", "hypar", "accpar"})
+            expectNetworkMatchesCostModel(
+                models::buildModel(model, 64), hier, strategy);
+}
+
+TEST(Consistency, LeafComputeApproximatesModelFlops)
+{
+    // Sum of traced three-phase FLOPs over all leaves must be within a
+    // few percent of the whole-model three-phase FLOPs (the -1 terms
+    // of Table 6 and psum re-accumulation cause small deviations).
+    const graph::Graph model = models::buildVgg(11, 256);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier(hw::AcceleratorGroup(hw::tpuV3(), 8));
+    double expected = 0.0;
+    for (const auto &d : problem.baseDims())
+        expected += d.flopsTotal();
+
+    for (const char *strategy : {"dp", "accpar"}) {
+        const auto plan =
+            strategies::makeStrategy(strategy)->plan(problem, hier);
+        const TraceStream trace = generateTraces(problem, hier, plan);
+        double traced = 0.0;
+        for (const TraceRecord &r : trace.records()) {
+            if ((r.kind == TraceKind::Mult ||
+                 r.kind == TraceKind::Add) &&
+                r.phase != Phase::Update)
+                traced += r.amount;
+        }
+        EXPECT_NEAR(traced / expected, 1.0, 0.05) << strategy;
+    }
+}
+
+TEST(Logging, LevelThresholdFilters)
+{
+    std::ostringstream sink;
+    auto &logger = util::Logger::instance();
+    logger.setStream(sink);
+    logger.setLevel(util::LogLevel::Warn);
+
+    ACCPAR_DEBUG("hidden " << 1);
+    ACCPAR_INFO("hidden " << 2);
+    ACCPAR_WARN("visible " << 3);
+    ACCPAR_ERROR("visible " << 4);
+
+    const std::string out = sink.str();
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+    EXPECT_NE(out.find("[accpar WARN] visible 3"), std::string::npos);
+    EXPECT_NE(out.find("[accpar ERROR] visible 4"),
+              std::string::npos);
+
+    logger.setLevel(util::LogLevel::Off);
+    ACCPAR_ERROR("also hidden");
+    EXPECT_EQ(sink.str().find("also hidden"), std::string::npos);
+
+    // Restore defaults for other tests.
+    logger.setLevel(util::LogLevel::Warn);
+    logger.setStream(std::cerr);
+}
+
+TEST(Logging, LevelNames)
+{
+    EXPECT_STREQ(util::logLevelName(util::LogLevel::Debug), "DEBUG");
+    EXPECT_STREQ(util::logLevelName(util::LogLevel::Off), "OFF");
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+/** @file Tests of the timing engine on hand-built traces. */
+
+#include <gtest/gtest.h>
+
+#include "hw/hierarchy.h"
+#include "sim/engine.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::sim;
+
+/** Two boards of a 100-FLOP/s, 10-B/s-HBM, 2-B/s-link toy accelerator. */
+hw::Hierarchy
+toyPair()
+{
+    hw::AcceleratorSpec spec;
+    spec.name = "toy";
+    spec.computeDensity = 100.0;
+    spec.memoryCapacity = 1e9;
+    spec.memoryBandwidth = 10.0;
+    spec.linkBandwidth = 2.0;
+    return hw::Hierarchy(hw::AcceleratorGroup(spec, 2));
+}
+
+TraceRecord
+record(hw::NodeId node, int side, TraceKind kind, double amount)
+{
+    TraceRecord r;
+    r.hierNode = node;
+    r.side = side;
+    r.kind = kind;
+    r.amount = amount;
+    return r;
+}
+
+TEST(Engine, LeafComputeTime)
+{
+    const hw::Hierarchy hier = toyPair();
+    TraceStream trace;
+    trace.add(record(1, 0, TraceKind::Mult, 200.0)); // leaf node 1
+    const SimResult result = timeTrace(trace, hier);
+    // 200 FLOP / 100 FLOP/s = 2 s on one board; the other is idle.
+    EXPECT_DOUBLE_EQ(result.stepTime, 2.0);
+    EXPECT_DOUBLE_EQ(result.totalFlops, 200.0);
+}
+
+TEST(Engine, RooflineOverlapTakesMax)
+{
+    const hw::Hierarchy hier = toyPair();
+    TraceStream trace;
+    trace.add(record(1, 0, TraceKind::Mult, 100.0));      // 1 s compute
+    trace.add(record(1, 0, TraceKind::LoadLocal, 30.0));  // 3 s memory
+    EngineConfig overlap;
+    EXPECT_DOUBLE_EQ(timeTrace(trace, hier, overlap).stepTime, 3.0);
+    EngineConfig serial;
+    serial.overlapComputeMemory = false;
+    EXPECT_DOUBLE_EQ(timeTrace(trace, hier, serial).stepTime, 4.0);
+}
+
+TEST(Engine, NetworkTimeUsesChildGroupBandwidth)
+{
+    const hw::Hierarchy hier = toyPair();
+    TraceStream trace;
+    trace.add(record(0, 0, TraceKind::NetTransfer, 8.0)); // 4 s at 2 B/s
+    trace.add(record(0, 1, TraceKind::NetTransfer, 2.0)); // 1 s
+    const SimResult result = timeTrace(trace, hier);
+    // Worst path: left side's 4 s (leaves have no work).
+    EXPECT_DOUBLE_EQ(result.stepTime, 4.0);
+    EXPECT_DOUBLE_EQ(result.maxNetworkTime, 4.0);
+    EXPECT_DOUBLE_EQ(result.totalNetworkBytes, 10.0);
+}
+
+TEST(Engine, PathAccumulatesNetworkAndExecute)
+{
+    const hw::Hierarchy hier = toyPair();
+    TraceStream trace;
+    trace.add(record(0, 0, TraceKind::NetTransfer, 4.0));  // 2 s left
+    trace.add(record(1, 0, TraceKind::Mult, 300.0));       // 3 s leaf 1
+    trace.add(record(2, 0, TraceKind::Mult, 100.0));       // 1 s leaf 2
+    const SimResult result = timeTrace(trace, hier);
+    // Left leaf: 2 + 3 = 5; right leaf: 0 + 1 = 1.
+    EXPECT_DOUBLE_EQ(result.stepTime, 5.0);
+    EXPECT_DOUBLE_EQ(result.maxExecuteTime, 3.0);
+    ASSERT_EQ(result.leaves.size(), 2u);
+}
+
+TEST(Engine, StoresAndLoadsBothCountAsMemory)
+{
+    const hw::Hierarchy hier = toyPair();
+    TraceStream trace;
+    trace.add(record(1, 0, TraceKind::LoadLocal, 10.0));
+    trace.add(record(1, 0, TraceKind::StoreLocal, 20.0));
+    const SimResult result = timeTrace(trace, hier);
+    EXPECT_DOUBLE_EQ(result.stepTime, 3.0);
+    EXPECT_DOUBLE_EQ(result.totalMemoryBytes, 30.0);
+}
+
+TEST(Engine, RejectsMisplacedRecords)
+{
+    const hw::Hierarchy hier = toyPair();
+    {
+        TraceStream trace;
+        trace.add(record(0, 0, TraceKind::Mult, 1.0)); // internal node
+        EXPECT_THROW(timeTrace(trace, hier), util::ConfigError);
+    }
+    {
+        TraceStream trace;
+        trace.add(record(1, 0, TraceKind::NetTransfer, 1.0)); // leaf
+        EXPECT_THROW(timeTrace(trace, hier), util::ConfigError);
+    }
+    {
+        TraceStream trace;
+        trace.add(record(99, 0, TraceKind::Mult, 1.0)); // unknown node
+        EXPECT_THROW(timeTrace(trace, hier), util::ConfigError);
+    }
+}
+
+TEST(Engine, EmptyTraceIsZeroTime)
+{
+    const hw::Hierarchy hier = toyPair();
+    const SimResult result = timeTrace(TraceStream{}, hier);
+    EXPECT_DOUBLE_EQ(result.stepTime, 0.0);
+    EXPECT_EQ(result.leaves.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/** @file Tests for per-level network accounting and cross-objective
+ *  plan evaluation. */
+
+#include <gtest/gtest.h>
+
+#include "core/plan_evaluator.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/report.h"
+#include "sim/training_sim.h"
+#include "strategies/registry.h"
+
+namespace {
+
+using namespace accpar;
+
+TEST(LevelTiming, DataParallelismIsDeepestLevelBound)
+{
+    // DP syncs the full gradient at every level, but deeper levels have
+    // fewer aggregated links: level k+1 must take at least as long as
+    // level k (bandwidth halves, amount stays).
+    const graph::Graph model = models::buildVgg(16, 512);
+    const hw::Hierarchy hier(hw::AcceleratorGroup(hw::tpuV3(), 16));
+    const auto run = sim::simulateStrategy(
+        model, hier, *strategies::makeStrategy("dp"));
+    const auto &levels = run.timing.levelNetworkTime;
+    ASSERT_EQ(levels.size(), 4u);
+    for (std::size_t k = 0; k + 1 < levels.size(); ++k)
+        EXPECT_GE(levels[k + 1], levels[k] * (1 - 1e-9)) << k;
+    // The deepest level dominates.
+    EXPECT_GT(levels.back(), 0.4 * run.timing.maxNetworkTime);
+}
+
+TEST(LevelTiming, LevelsCoverWorstNetworkPath)
+{
+    // The accumulated worst path cannot exceed the sum of per-level
+    // worsts (each path crosses each level once).
+    const graph::Graph model = models::buildResnet(18, 256);
+    const hw::Hierarchy hier(hw::heterogeneousTpuArrayForLevels(4));
+    for (const auto &s : strategies::defaultStrategies()) {
+        const auto run = sim::simulateStrategy(model, hier, *s);
+        double sum = 0.0;
+        for (double t : run.timing.levelNetworkTime)
+            sum += t;
+        EXPECT_LE(run.timing.maxNetworkTime, sum * (1 + 1e-9))
+            << s->name();
+    }
+}
+
+TEST(LevelTiming, BreakdownShowsLevels)
+{
+    const graph::Graph model = models::buildLenet(64);
+    const hw::Hierarchy hier(hw::AcceleratorGroup(hw::tpuV3(), 4));
+    const auto run = sim::simulateStrategy(
+        model, hier, *strategies::makeStrategy("accpar"));
+    const std::string text = sim::formatRunBreakdown(run);
+    EXPECT_NE(text.find("L0"), std::string::npos);
+    EXPECT_NE(text.find("L1"), std::string::npos);
+}
+
+TEST(CrossObjective, AccParPlanBeatsHyParPlanUnderTimeCost)
+{
+    // Evaluate both searched plans under AccPar's Time objective: the
+    // plan searched with that objective must cost no more.
+    const graph::Graph model = models::buildVgg(13, 256);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier(hw::AcceleratorGroup(
+        {hw::GroupSlice{hw::tpuV2(), 4}, hw::GroupSlice{hw::tpuV3(),
+                                                        4}}));
+    const auto ap =
+        strategies::makeStrategy("accpar")->plan(problem, hier);
+    const auto hp =
+        strategies::makeStrategy("hypar")->plan(problem, hier);
+
+    core::CostModelConfig time_cost; // defaults: Time, Max, compute on
+    const double ap_cost =
+        core::evaluatePlan(problem, hier, ap, time_cost).worstPathCost;
+    const double hp_cost =
+        core::evaluatePlan(problem, hier, hp, time_cost).worstPathCost;
+    EXPECT_LT(ap_cost, hp_cost);
+}
+
+TEST(CrossObjective, HyParPlanWinsItsOwnProxy)
+{
+    // Under HyPar's own communication-amount proxy, the HyPar plan must
+    // not lose to the DP plan (it searched that objective).
+    const graph::Graph model = models::buildAlexnet(256);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier(hw::AcceleratorGroup(hw::tpuV3(), 8));
+    const auto hp =
+        strategies::makeStrategy("hypar")->plan(problem, hier);
+    const auto dp =
+        strategies::makeStrategy("dp")->plan(problem, hier);
+
+    core::CostModelConfig comm;
+    comm.objective = core::ObjectiveKind::CommAmount;
+    comm.reduce = core::PairReduce::Sum;
+    comm.includeCompute = false;
+    const double hp_cost =
+        core::evaluatePlan(problem, hier, hp, comm).worstPathCost;
+    const double dp_cost =
+        core::evaluatePlan(problem, hier, dp, comm).worstPathCost;
+    EXPECT_LE(hp_cost, dp_cost * (1 + 1e-9));
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+/** @file Tests for the evaluation-harness report module. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "hw/hierarchy.h"
+#include "sim/report.h"
+#include "strategies/registry.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+
+sim::SpeedupTable
+smallTable()
+{
+    return sim::runSpeedupComparison(
+        {"lenet", "alexnet"}, 128,
+        hw::AcceleratorGroup({hw::GroupSlice{hw::tpuV2(), 2},
+                              hw::GroupSlice{hw::tpuV3(), 2}}),
+        strategies::defaultStrategies());
+}
+
+TEST(Report, BaselineColumnIsExactlyOne)
+{
+    const sim::SpeedupTable table = smallTable();
+    for (const sim::SpeedupRow &row : table.rows)
+        EXPECT_DOUBLE_EQ(row.speedup[0], 1.0) << row.model;
+    EXPECT_DOUBLE_EQ(table.geomean[0], 1.0);
+}
+
+TEST(Report, SpeedupsDeriveFromThroughputs)
+{
+    const sim::SpeedupTable table = smallTable();
+    for (const sim::SpeedupRow &row : table.rows) {
+        ASSERT_EQ(row.speedup.size(), row.throughput.size());
+        for (std::size_t s = 0; s < row.speedup.size(); ++s) {
+            EXPECT_NEAR(row.speedup[s],
+                        row.throughput[s] / row.throughput[0],
+                        1e-12);
+        }
+    }
+}
+
+TEST(Report, GeomeanMatchesManualComputation)
+{
+    const sim::SpeedupTable table = smallTable();
+    for (std::size_t s = 0; s < table.strategyLabels.size(); ++s) {
+        double log_sum = 0.0;
+        for (const sim::SpeedupRow &row : table.rows)
+            log_sum += std::log(row.speedup[s]);
+        const double expected = std::exp(
+            log_sum / static_cast<double>(table.rows.size()));
+        EXPECT_NEAR(table.geomean[s], expected, 1e-12);
+    }
+}
+
+TEST(Report, RowOrderFollowsRequest)
+{
+    const sim::SpeedupTable table = smallTable();
+    ASSERT_EQ(table.rows.size(), 2u);
+    EXPECT_EQ(table.rows[0].model, "lenet");
+    EXPECT_EQ(table.rows[1].model, "alexnet");
+}
+
+TEST(Report, EmptyInputsAreRejected)
+{
+    const hw::AcceleratorGroup array(hw::tpuV3(), 2);
+    EXPECT_THROW(sim::runSpeedupComparison(
+                     {}, 64, array, strategies::defaultStrategies()),
+                 util::ConfigError);
+    std::vector<strategies::StrategyPtr> none;
+    EXPECT_THROW(sim::runSpeedupComparison({"lenet"}, 64, array, none),
+                 util::ConfigError);
+}
+
+TEST(Report, CsvContainsEveryRowAndStrategy)
+{
+    const sim::SpeedupTable table = smallTable();
+    const std::string path = "/tmp/accpar_report_test.csv";
+    sim::writeSpeedupCsv(table, path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    for (const std::string &label : table.strategyLabels)
+        EXPECT_NE(content.find(label), std::string::npos) << label;
+    EXPECT_NE(content.find("lenet"), std::string::npos);
+    EXPECT_NE(content.find("geomean"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace

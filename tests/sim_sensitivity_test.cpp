@@ -1,0 +1,142 @@
+/** @file Tests for optimizer models and the simulator sensitivity knobs. */
+
+#include <gtest/gtest.h>
+
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/optimizer.h"
+#include "sim/training_sim.h"
+#include "strategies/registry.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::sim;
+
+TEST(Optimizer, NamesParseRoundTrip)
+{
+    for (Optimizer o :
+         {Optimizer::Sgd, Optimizer::Momentum, Optimizer::Adam})
+        EXPECT_EQ(parseOptimizer(optimizerName(o)), o);
+    EXPECT_THROW(parseOptimizer("adagrad"), util::ConfigError);
+}
+
+TEST(Optimizer, StateAndUpdateCostsAreOrdered)
+{
+    EXPECT_EQ(optimizerStateCopies(Optimizer::Sgd), 0);
+    EXPECT_EQ(optimizerStateCopies(Optimizer::Momentum), 1);
+    EXPECT_EQ(optimizerStateCopies(Optimizer::Adam), 2);
+    EXPECT_LT(optimizerUpdateFlopsPerElement(Optimizer::Sgd),
+              optimizerUpdateFlopsPerElement(Optimizer::Momentum));
+    EXPECT_LT(optimizerUpdateFlopsPerElement(Optimizer::Momentum),
+              optimizerUpdateFlopsPerElement(Optimizer::Adam));
+}
+
+TEST(Optimizer, AdamRaisesMemoryFootprintAndStepTime)
+{
+    const graph::Graph model = models::buildVgg(16, 256);
+    const hw::Hierarchy hier(hw::AcceleratorGroup(hw::tpuV3(), 4));
+    const auto strategy = strategies::makeStrategy("dp");
+
+    TrainingSimConfig sgd;
+    sgd.trace.optimizer = Optimizer::Sgd;
+    TrainingSimConfig adam;
+    adam.trace.optimizer = Optimizer::Adam;
+
+    const auto run_sgd = simulateStrategy(model, hier, *strategy, sgd);
+    const auto run_adam =
+        simulateStrategy(model, hier, *strategy, adam);
+
+    EXPECT_GT(run_adam.peakLeafMemory, run_sgd.peakLeafMemory);
+    EXPECT_GE(run_adam.stepTime, run_sgd.stepTime);
+    // Adam keeps two extra state tensors: weights go from 2 to 4
+    // copies, so the weight part of the footprint doubles.
+    const double weight_bytes =
+        static_cast<double>(model.totalWeightCount()) * 2.0;
+    EXPECT_NEAR(run_adam.peakLeafMemory - run_sgd.peakLeafMemory,
+                2.0 * weight_bytes, weight_bytes * 0.01);
+}
+
+TEST(Engine, NetworkOverlapNeverSlowsTheStep)
+{
+    const graph::Graph model = models::buildAlexnet(256);
+    const hw::Hierarchy hier(hw::heterogeneousTpuArrayForLevels(4));
+    for (const auto &s : strategies::defaultStrategies()) {
+        TrainingSimConfig serial;
+        TrainingSimConfig overlap;
+        overlap.engine.overlapNetworkCompute = true;
+        const auto t_serial =
+            simulateStrategy(model, hier, *s, serial).stepTime;
+        const auto t_overlap =
+            simulateStrategy(model, hier, *s, overlap).stepTime;
+        EXPECT_LE(t_overlap, t_serial * (1 + 1e-12)) << s->name();
+    }
+}
+
+TEST(LinkAggregation, SingleLinkSlowsCommBoundPlans)
+{
+    const graph::Graph model = models::buildVgg(16, 256);
+    hw::AcceleratorGroup sum_array(hw::tpuV3(), 8);
+    hw::AcceleratorGroup single_array(hw::tpuV3(), 8);
+    single_array.setLinkAggregation(hw::LinkAggregation::SingleLink);
+
+    const auto strategy = strategies::makeStrategy("dp");
+    const auto t_sum =
+        simulateStrategy(model, hw::Hierarchy(sum_array), *strategy)
+            .stepTime;
+    const auto t_single =
+        simulateStrategy(model, hw::Hierarchy(single_array), *strategy)
+            .stepTime;
+    EXPECT_GT(t_single, t_sum);
+}
+
+TEST(LinkAggregation, PolicyPropagatesThroughSplits)
+{
+    hw::AcceleratorGroup array(
+        {hw::GroupSlice{hw::tpuV2(), 4}, hw::GroupSlice{hw::tpuV3(),
+                                                        4}});
+    array.setLinkAggregation(hw::LinkAggregation::SingleLink);
+    const auto [left, right] = array.split();
+    EXPECT_EQ(left.linkAggregation(),
+              hw::LinkAggregation::SingleLink);
+    EXPECT_EQ(right.linkAggregation(),
+              hw::LinkAggregation::SingleLink);
+    // Single-link bandwidth of a group is one board's link (slowest
+    // spec for mixed groups).
+    EXPECT_DOUBLE_EQ(array.linkBandwidth(),
+                     hw::tpuV2().linkBandwidth);
+    EXPECT_DOUBLE_EQ(right.linkBandwidth(),
+                     hw::tpuV3().linkBandwidth);
+}
+
+TEST(LinkAggregation, SumPolicyMatchesMemberTotal)
+{
+    const hw::AcceleratorGroup array(hw::tpuV2(), 16);
+    EXPECT_DOUBLE_EQ(array.linkBandwidth(),
+                     16 * hw::tpuV2().linkBandwidth);
+}
+
+TEST(Sensitivity, UpdatePhaseAppearsInTraces)
+{
+    const graph::Graph model = models::buildLenet(32);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier(hw::AcceleratorGroup(hw::tpuV3(), 2));
+    const auto plan =
+        strategies::makeStrategy("dp")->plan(problem, hier);
+
+    TraceGenConfig config;
+    config.optimizer = Optimizer::Momentum;
+    const TraceStream trace =
+        generateTraces(problem, hier, plan, config);
+    double update_flops = 0.0;
+    for (const TraceRecord &r : trace.records())
+        if (r.phase == Phase::Update && r.kind == TraceKind::Mult)
+            update_flops += r.amount;
+    // Two boards, replicated weights, 4 FLOPs/element for momentum.
+    EXPECT_DOUBLE_EQ(update_flops,
+                     2.0 * 4.0 *
+                         static_cast<double>(model.totalWeightCount()));
+}
+
+} // namespace

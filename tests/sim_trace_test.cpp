@@ -1,0 +1,270 @@
+/** @file Tests of trace generation against hand-computed amounts. */
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchical_solver.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "sim/trace_gen.h"
+#include "strategies/registry.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::sim;
+using PT = core::PartitionType;
+
+/** One FC layer, B=8, D_i=4, D_o=6. */
+graph::Graph
+oneFc()
+{
+    graph::Graph g("one-fc");
+    auto x = g.addInput("data", graph::TensorShape(8, 4));
+    g.addFullyConnected("fc", x, 6);
+    return g;
+}
+
+/** A two-board homogeneous pair. */
+hw::Hierarchy
+pairOfBoards()
+{
+    return hw::Hierarchy(hw::AcceleratorGroup(hw::tpuV3(), 2));
+}
+
+core::PartitionPlan
+planWithType(const core::PartitionProblem &problem,
+             const hw::Hierarchy &hier, PT t)
+{
+    core::SolverOptions options;
+    options.ratioPolicy = core::RatioPolicy::Fixed;
+    options.allowedTypes = [t](const core::CondensedNode &) {
+        return std::vector<PT>{t};
+    };
+    return core::solveHierarchy(problem, hier, options);
+}
+
+TEST(TraceGen, TypeIComputeAndMemoryAmounts)
+{
+    const graph::Graph model = oneFc();
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = pairOfBoards();
+    const core::PartitionPlan plan =
+        planWithType(problem, hier, PT::TypeI);
+    const TraceStream trace = generateTraces(problem, hier, plan);
+
+    // Per board (alpha = 0.5, so B' = 4): forward MULT = B'*D_o*D_i =
+    // 96, forward ADD = B'*D_o*(D_i-1) = 72.
+    double fwd_mult = 0.0, fwd_add = 0.0;
+    for (const TraceRecord &r : trace.records()) {
+        if (r.phase == Phase::Forward && r.kind == TraceKind::Mult &&
+            hier.node(r.hierNode).isLeaf())
+            fwd_mult += r.amount;
+        if (r.phase == Phase::Forward && r.kind == TraceKind::Add &&
+            hier.node(r.hierNode).isLeaf())
+            fwd_add += r.amount;
+    }
+    // Two boards together: 2 * 96 and 2 * 72.
+    EXPECT_DOUBLE_EQ(fwd_mult, 192.0);
+    EXPECT_DOUBLE_EQ(fwd_add, 144.0);
+}
+
+TEST(TraceGen, TypeINetworkIsGradientPhaseWeightTensor)
+{
+    const graph::Graph model = oneFc();
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = pairOfBoards();
+    const core::PartitionPlan plan =
+        planWithType(problem, hier, PT::TypeI);
+    const TraceStream trace = generateTraces(problem, hier, plan);
+
+    // Table 4 Type-I: each side fetches A(W) = 24 elements = 48 bytes;
+    // gradient phase only.
+    for (const TraceRecord &r : trace.records()) {
+        if (r.kind == TraceKind::NetTransfer) {
+            EXPECT_EQ(r.phase, Phase::Gradient);
+            EXPECT_DOUBLE_EQ(r.amount, 48.0);
+        }
+    }
+    EXPECT_DOUBLE_EQ(trace.totalAmount(TraceKind::NetTransfer), 96.0);
+}
+
+TEST(TraceGen, TypeIINetworkIsForwardPhaseOutputTensor)
+{
+    const graph::Graph model = oneFc();
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = pairOfBoards();
+    const core::PartitionPlan plan =
+        planWithType(problem, hier, PT::TypeII);
+    const TraceStream trace = generateTraces(problem, hier, plan);
+    // Table 4 Type-II: A(F') = 48 elements = 96 bytes per side.
+    for (const TraceRecord &r : trace.records()) {
+        if (r.kind == TraceKind::NetTransfer) {
+            EXPECT_EQ(r.phase, Phase::Forward);
+            EXPECT_DOUBLE_EQ(r.amount, 96.0);
+        }
+    }
+}
+
+TEST(TraceGen, TypeIIINetworkIsBackwardPhaseInputTensor)
+{
+    const graph::Graph model = oneFc();
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = pairOfBoards();
+    const core::PartitionPlan plan =
+        planWithType(problem, hier, PT::TypeIII);
+    const TraceStream trace = generateTraces(problem, hier, plan);
+    // Table 4 Type-III: A(E_l) = 32 elements = 64 bytes per side.
+    for (const TraceRecord &r : trace.records()) {
+        if (r.kind == TraceKind::NetTransfer) {
+            EXPECT_EQ(r.phase, Phase::Backward);
+            EXPECT_DOUBLE_EQ(r.amount, 64.0);
+        }
+    }
+}
+
+TEST(TraceGen, ConvRecordsUseKernelGranularity)
+{
+    const graph::Graph model = models::buildLenet(16);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = pairOfBoards();
+    const core::PartitionPlan plan =
+        planWithType(problem, hier, PT::TypeI);
+    const TraceStream trace = generateTraces(problem, hier, plan);
+
+    bool saw_conv = false, saw_fc = false;
+    for (const TraceRecord &r : trace.records()) {
+        // Optimizer updates are element-wise regardless of layer kind.
+        if (r.kind != TraceKind::Mult || r.phase == Phase::Update)
+            continue;
+        const auto &node = problem.condensed().node(r.cnode);
+        if (node.kind == graph::LayerKind::Conv) {
+            EXPECT_DOUBLE_EQ(r.granularity, 25.0) << node.name; // 5x5
+            saw_conv = true;
+        } else {
+            EXPECT_DOUBLE_EQ(r.granularity, 1.0) << node.name;
+            saw_fc = true;
+        }
+    }
+    EXPECT_TRUE(saw_conv);
+    EXPECT_TRUE(saw_fc);
+}
+
+TEST(TraceGen, EventCountsDeriveFromGranularity)
+{
+    TraceRecord r;
+    r.amount = 100.0;
+    r.granularity = 25.0;
+    EXPECT_DOUBLE_EQ(r.events(), 4.0);
+}
+
+TEST(TraceGen, ComputeConservationAcrossPartitionTypes)
+{
+    // Total three-phase MULT work summed over boards is independent of
+    // the partition type: partitioning shards the same multiplication.
+    // The optimizer Update phase is the exception — Type-I replicates
+    // the weights, so every board repeats the full update.
+    const graph::Graph model = oneFc();
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = pairOfBoards();
+
+    double mults[3];
+    double update[3];
+    for (PT t : core::kAllPartitionTypes) {
+        const core::PartitionPlan plan = planWithType(problem, hier, t);
+        const TraceStream trace = generateTraces(problem, hier, plan);
+        double three_phase = 0.0;
+        double upd = 0.0;
+        for (const TraceRecord &r : trace.records()) {
+            if (r.kind != TraceKind::Mult)
+                continue;
+            if (r.phase == Phase::Update)
+                upd += r.amount;
+            else
+                three_phase += r.amount;
+        }
+        mults[core::partitionTypeIndex(t)] = three_phase;
+        update[core::partitionTypeIndex(t)] = upd;
+    }
+    EXPECT_DOUBLE_EQ(mults[0], mults[1]);
+    EXPECT_DOUBLE_EQ(mults[1], mults[2]);
+    // Type-I (replicated weights) doubles the update work of the
+    // weight-sharded types.
+    EXPECT_DOUBLE_EQ(update[0], 2.0 * update[1]);
+    EXPECT_DOUBLE_EQ(update[1], update[2]);
+}
+
+TEST(TraceGen, JunctionAddsAreTraced)
+{
+    const graph::Graph model = models::buildResnet(18, 8);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = pairOfBoards();
+    const core::PartitionPlan plan =
+        planWithType(problem, hier, PT::TypeI);
+
+    TraceGenConfig with;
+    TraceGenConfig without;
+    without.traceJunctionAdds = false;
+    const double adds_with =
+        generateTraces(problem, hier, plan, with)
+            .totalAmount(TraceKind::Add);
+    const double adds_without =
+        generateTraces(problem, hier, plan, without)
+            .totalAmount(TraceKind::Add);
+    EXPECT_GT(adds_with, adds_without);
+}
+
+TEST(TraceGen, AllTypeIHasNoInterLayerTraffic)
+{
+    // With every layer Type-I, Table 5's (I,I) entry is zero, so the
+    // only network traffic is the per-layer gradient psum.
+    const graph::Graph model = models::buildVgg(11, 32);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = pairOfBoards();
+    const core::PartitionPlan plan =
+        planWithType(problem, hier, PT::TypeI);
+    const TraceStream trace = generateTraces(problem, hier, plan);
+
+    const double weights =
+        static_cast<double>(model.totalWeightCount());
+    // Both sides fetch A(W) at 2 bytes/element.
+    EXPECT_DOUBLE_EQ(trace.totalAmount(TraceKind::NetTransfer),
+                     2.0 * weights * 2.0);
+}
+
+TEST(TraceStream, TotalsFilterByNodeAndSide)
+{
+    TraceStream s;
+    TraceRecord r;
+    r.hierNode = 3;
+    r.side = 1;
+    r.kind = TraceKind::NetTransfer;
+    r.amount = 10.0;
+    s.add(r);
+    r.side = 0;
+    r.amount = 5.0;
+    s.add(r);
+    EXPECT_DOUBLE_EQ(s.totalAmount(TraceKind::NetTransfer), 15.0);
+    EXPECT_DOUBLE_EQ(s.totalAmountAt(TraceKind::NetTransfer, 3), 15.0);
+    EXPECT_DOUBLE_EQ(s.totalAmountAt(TraceKind::NetTransfer, 3, 1),
+                     10.0);
+    EXPECT_DOUBLE_EQ(s.totalAmountAt(TraceKind::NetTransfer, 9), 0.0);
+}
+
+TEST(TraceStream, DropsZeroAmountRecords)
+{
+    TraceStream s;
+    TraceRecord r;
+    r.amount = 0.0;
+    s.add(r);
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(TraceNames, AreStable)
+{
+    EXPECT_STREQ(phaseName(Phase::Forward), "forward");
+    EXPECT_STREQ(phaseName(Phase::Gradient), "gradient");
+    EXPECT_STREQ(traceKindName(TraceKind::Mult), "MULT");
+    EXPECT_STREQ(traceKindName(TraceKind::NetTransfer), "NET");
+}
+
+} // namespace

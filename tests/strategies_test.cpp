@@ -1,0 +1,176 @@
+/** @file Tests of the four partitioning strategies. */
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchical_solver.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "strategies/accpar_strategy.h"
+#include "strategies/registry.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+using PT = core::PartitionType;
+
+hw::Hierarchy
+smallHetero()
+{
+    return hw::Hierarchy(hw::AcceleratorGroup(
+        {hw::GroupSlice{hw::tpuV2(), 4},
+         hw::GroupSlice{hw::tpuV3(), 4}}));
+}
+
+TEST(Registry, BuildsEveryStrategyByName)
+{
+    for (const std::string &name : strategies::strategyNames()) {
+        const strategies::StrategyPtr s = strategies::makeStrategy(name);
+        EXPECT_EQ(s->name(), name);
+        EXPECT_FALSE(s->label().empty());
+    }
+    EXPECT_THROW(strategies::makeStrategy("magic"), util::ConfigError);
+}
+
+TEST(Registry, DefaultOrderMatchesPaper)
+{
+    const auto all = strategies::defaultStrategies();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0]->name(), "dp");
+    EXPECT_EQ(all[1]->name(), "owt");
+    EXPECT_EQ(all[2]->name(), "hypar");
+    EXPECT_EQ(all[3]->name(), "accpar");
+}
+
+TEST(DataParallel, AllTypeIEqualRatios)
+{
+    const graph::Graph model = models::buildAlexnet(64);
+    const hw::Hierarchy hier = smallHetero();
+    const core::PartitionPlan plan =
+        strategies::makeStrategy("dp")->plan(model, hier);
+    for (hw::NodeId id : hier.internalNodes()) {
+        const core::NodePlan &np = plan.nodePlan(id);
+        EXPECT_DOUBLE_EQ(np.alpha, 0.5);
+        for (PT t : np.types)
+            EXPECT_EQ(t, PT::TypeI);
+    }
+}
+
+TEST(Owt, ConvTypeIFcTypeII)
+{
+    const graph::Graph model = models::buildAlexnet(64);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = smallHetero();
+    const core::PartitionPlan plan =
+        strategies::makeStrategy("owt")->plan(problem, hier);
+    for (hw::NodeId id : hier.internalNodes()) {
+        const core::NodePlan &np = plan.nodePlan(id);
+        EXPECT_DOUBLE_EQ(np.alpha, 0.5);
+        for (std::size_t v = 0; v < np.types.size(); ++v) {
+            const auto &node =
+                problem.condensed().node(static_cast<core::CNodeId>(v));
+            const PT expected =
+                node.kind == graph::LayerKind::FullyConnected
+                    ? PT::TypeII
+                    : PT::TypeI;
+            EXPECT_EQ(np.types[v], expected) << node.name;
+        }
+    }
+}
+
+TEST(HyPar, NeverUsesTypeIII)
+{
+    const graph::Graph model = models::buildVgg(11, 64);
+    const hw::Hierarchy hier = smallHetero();
+    const core::PartitionPlan plan =
+        strategies::makeStrategy("hypar")->plan(model, hier);
+    for (hw::NodeId id : hier.internalNodes()) {
+        EXPECT_DOUBLE_EQ(plan.nodePlan(id).alpha, 0.5);
+        for (PT t : plan.nodePlan(id).types)
+            EXPECT_NE(t, PT::TypeIII);
+    }
+}
+
+TEST(HyPar, MultiPathRegionsFallBackToDataParallelism)
+{
+    const graph::Graph model = models::buildResnet(18, 64);
+    const core::PartitionProblem problem(model);
+    const hw::Hierarchy hier = smallHetero();
+    const core::PartitionPlan plan =
+        strategies::makeStrategy("hypar")->plan(problem, hier);
+
+    // Everything inside residual blocks must be Type-I; the only node
+    // outside any block is the stem conv and the final fc.
+    for (hw::NodeId id : hier.internalNodes()) {
+        const core::NodePlan &np = plan.nodePlan(id);
+        for (std::size_t v = 0; v < np.types.size(); ++v) {
+            const auto &node =
+                problem.condensed().node(static_cast<core::CNodeId>(v));
+            if (node.name != "cv1" && node.name != "fc1") {
+                EXPECT_EQ(np.types[v], PT::TypeI) << node.name;
+            }
+        }
+    }
+}
+
+TEST(AccPar, UsesTypeIIIWhereProfitable)
+{
+    // Figure 7's point: the complete space gets used. On Vgg the FC
+    // stack should pick Type-II/III at the root.
+    const graph::Graph model = models::buildVgg(11, 512);
+    const hw::Hierarchy hier = smallHetero();
+    const core::PartitionPlan plan =
+        strategies::makeStrategy("accpar")->plan(model, hier);
+    bool type3_used = false;
+    for (hw::NodeId id : hier.internalNodes())
+        for (PT t : plan.nodePlan(id).types)
+            type3_used = type3_used || t == PT::TypeIII;
+    EXPECT_TRUE(type3_used);
+}
+
+TEST(AccPar, HeterogeneousRootRatioIsNotHalf)
+{
+    const graph::Graph model = models::buildVgg(11, 128);
+    const hw::Hierarchy hier = smallHetero();
+    const core::PartitionPlan plan =
+        strategies::makeStrategy("accpar")->plan(model, hier);
+    EXPECT_NE(plan.nodePlan(hier.root()).alpha, 0.5);
+}
+
+TEST(AccPar, OptionsRestrictSearch)
+{
+    strategies::AccParOptions options;
+    options.enableTypeIII = false;
+    const strategies::AccPar restricted(options);
+    const graph::Graph model = models::buildVgg(11, 128);
+    const hw::Hierarchy hier = smallHetero();
+    const core::PartitionPlan plan = restricted.plan(model, hier);
+    for (hw::NodeId id : hier.internalNodes())
+        for (PT t : plan.nodePlan(id).types)
+            EXPECT_NE(t, PT::TypeIII);
+}
+
+TEST(AccPar, RatioPolicyOptionIsHonored)
+{
+    strategies::AccParOptions options;
+    options.ratioPolicy = core::RatioPolicy::Fixed;
+    const strategies::AccPar fixed(options);
+    const graph::Graph model = models::buildAlexnet(64);
+    const hw::Hierarchy hier = smallHetero();
+    const core::PartitionPlan plan = fixed.plan(model, hier);
+    for (hw::NodeId id : hier.internalNodes())
+        EXPECT_DOUBLE_EQ(plan.nodePlan(id).alpha, 0.5);
+}
+
+TEST(Strategies, PlanLabelsCarryStrategyAndModel)
+{
+    const graph::Graph model = models::buildLenet(32);
+    const hw::Hierarchy hier = smallHetero();
+    for (const auto &s : strategies::defaultStrategies()) {
+        const core::PartitionPlan plan = s->plan(model, hier);
+        EXPECT_EQ(plan.strategyName(), s->name());
+        EXPECT_EQ(plan.modelName(), "lenet");
+    }
+}
+
+} // namespace

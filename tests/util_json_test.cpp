@@ -1,0 +1,134 @@
+/** @file Tests for the JSON value type, parser and serializer. */
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace {
+
+using accpar::util::ConfigError;
+using accpar::util::Json;
+
+TEST(Json, ScalarRoundTrips)
+{
+    EXPECT_EQ(Json::parse("null"), Json(nullptr));
+    EXPECT_EQ(Json::parse("true").asBool(), true);
+    EXPECT_EQ(Json::parse("false").asBool(), false);
+    EXPECT_DOUBLE_EQ(Json::parse("3.5").asNumber(), 3.5);
+    EXPECT_DOUBLE_EQ(Json::parse("-17").asNumber(), -17.0);
+    EXPECT_DOUBLE_EQ(Json::parse("1e3").asNumber(), 1000.0);
+    EXPECT_EQ(Json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, DumpScalars)
+{
+    EXPECT_EQ(Json(nullptr).dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(2.5).dump(), "2.5");
+    EXPECT_EQ(Json("x").dump(), "\"x\"");
+}
+
+TEST(Json, StringEscapes)
+{
+    const Json v("a\"b\\c\nd\te");
+    const std::string dumped = v.dump();
+    EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\"");
+    EXPECT_EQ(Json::parse(dumped), v);
+}
+
+TEST(Json, UnicodeEscapesParse)
+{
+    EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(Json::parse("\"\\u00e9\"").asString(), "\xC3\xA9");
+    EXPECT_EQ(Json::parse("\"\\u20ac\"").asString(), "\xE2\x82\xAC");
+}
+
+TEST(Json, ArraysAndObjects)
+{
+    const Json doc = Json::parse(
+        R"({"name": "accpar", "values": [1, 2, 3], "nested": {"ok": true}})");
+    EXPECT_EQ(doc.at("name").asString(), "accpar");
+    EXPECT_EQ(doc.at("values").asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.at("values").asArray()[2].asNumber(), 3.0);
+    EXPECT_TRUE(doc.at("nested").at("ok").asBool());
+    EXPECT_TRUE(doc.contains("name"));
+    EXPECT_FALSE(doc.contains("missing"));
+}
+
+TEST(Json, BuilderInterface)
+{
+    Json doc;
+    doc["alpha"] = 0.25;
+    doc["tags"].push("a");
+    doc["tags"].push("b");
+    EXPECT_DOUBLE_EQ(doc.at("alpha").asNumber(), 0.25);
+    EXPECT_EQ(doc.at("tags").asArray().size(), 2u);
+}
+
+TEST(Json, RoundTripComplexDocument)
+{
+    Json doc;
+    doc["empty_arr"] = Json(Json::Array{});
+    doc["empty_obj"] = Json(Json::Object{});
+    doc["list"].push(Json(1));
+    doc["list"].push(Json("two"));
+    doc["list"].push(Json(nullptr));
+    Json inner;
+    inner["x"] = -1.5;
+    doc["inner"] = std::move(inner);
+
+    for (int indent : {0, 2}) {
+        const std::string text = doc.dump(indent);
+        EXPECT_EQ(Json::parse(text), doc) << "indent=" << indent;
+    }
+}
+
+TEST(Json, IntegersPrintWithoutFraction)
+{
+    EXPECT_EQ(Json(1000000).dump(), "1000000");
+    EXPECT_EQ(Json(static_cast<std::int64_t>(-7)).dump(), "-7");
+}
+
+TEST(Json, AsIntChecksIntegrality)
+{
+    EXPECT_EQ(Json(5).asInt(), 5);
+    EXPECT_THROW(Json(5.5).asInt(), ConfigError);
+}
+
+TEST(Json, KindMismatchesThrow)
+{
+    const Json v(1.0);
+    EXPECT_THROW(v.asString(), ConfigError);
+    EXPECT_THROW(v.asArray(), ConfigError);
+    EXPECT_THROW(v.asObject(), ConfigError);
+    EXPECT_THROW(v.at("k"), ConfigError);
+    EXPECT_THROW(Json("s").asBool(), ConfigError);
+}
+
+TEST(Json, MalformedInputsThrow)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "\"unterminated", "{\"a\" 1}", "tru",
+          "01x", "[1] trailing", "{\"a\":}", "\"\\q\""}) {
+        EXPECT_THROW(Json::parse(bad), ConfigError) << bad;
+    }
+}
+
+TEST(Json, WhitespaceTolerant)
+{
+    const Json doc = Json::parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
+    EXPECT_EQ(doc.at("a").asArray().size(), 2u);
+}
+
+TEST(Json, ObjectKeysAreOrderedDeterministically)
+{
+    Json doc;
+    doc["zebra"] = 1;
+    doc["apple"] = 2;
+    // std::map ordering: apple before zebra.
+    EXPECT_LT(doc.dump().find("apple"), doc.dump().find("zebra"));
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+/** @file Unit tests for util: strings, tables, csv, bfloat16, rng, units. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/bfloat16.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace accpar::util;
+
+TEST(StringUtil, HumanBytesPicksSuffix)
+{
+    EXPECT_EQ(humanBytes(512.0), "512 B");
+    EXPECT_EQ(humanBytes(2000.0), "2 KB");
+    EXPECT_EQ(humanBytes(2.4e12), "2.4 TB");
+}
+
+TEST(StringUtil, HumanFlopsPicksSuffix)
+{
+    EXPECT_EQ(humanFlops(180e12), "180 TFLOP");
+    EXPECT_EQ(humanFlops(1.0), "1 FLOP");
+}
+
+TEST(StringUtil, HumanSecondsPicksUnit)
+{
+    EXPECT_EQ(humanSeconds(1.5), "1.5 s");
+    EXPECT_EQ(humanSeconds(2e-3), "2 ms");
+    EXPECT_EQ(humanSeconds(3e-6), "3 us");
+    EXPECT_EQ(humanSeconds(4e-9), "4 ns");
+}
+
+TEST(StringUtil, JoinAndSplitRoundTrip)
+{
+    const std::vector<std::string> parts{"a", "", "bc"};
+    const std::string joined = join(parts, ",");
+    EXPECT_EQ(joined, "a,,bc");
+    EXPECT_EQ(split(joined, ','), parts);
+}
+
+TEST(StringUtil, TrimRemovesOuterWhitespaceOnly)
+{
+    EXPECT_EQ(trim("  a b \t\n"), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, ToLowerAndStartsWith)
+{
+    EXPECT_EQ(toLower("AccPar"), "accpar");
+    EXPECT_TRUE(startsWith("resnet50", "resnet"));
+    EXPECT_FALSE(startsWith("res", "resnet"));
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"a", "bb"});
+    t.addRow({"xxx", "y"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("a    bb"), std::string::npos);
+    EXPECT_NE(s.find("xxx  y"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), ConfigError);
+}
+
+TEST(Table, NumericRowFormatting)
+{
+    Table t({"k", "v"});
+    t.addRow("pi", {3.14159}, 3);
+    EXPECT_NE(t.toString().find("3.14"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCells)
+{
+    EXPECT_EQ(CsvWriter::escapeCell("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escapeCell("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escapeCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    CsvWriter csv({"model", "speedup"});
+    csv.addRow("vgg19", {16.14});
+    std::ostringstream os;
+    csv.write(os);
+    EXPECT_EQ(os.str().substr(0, 14), "model,speedup\n");
+    EXPECT_NE(os.str().find("vgg19,16.14"), std::string::npos);
+}
+
+TEST(BFloat16, RoundTripsRepresentableValues)
+{
+    for (float v : {0.0f, 1.0f, -2.5f, 0.15625f, 65536.0f}) {
+        EXPECT_EQ(BFloat16(v).toFloat(), v) << v;
+    }
+}
+
+TEST(BFloat16, RoundsToNearestEven)
+{
+    // 1 + 2^-8 is exactly halfway between bf16 neighbours 1.0 and
+    // 1 + 2^-7; ties go to the even mantissa (1.0).
+    const float halfway = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(BFloat16(halfway).toFloat(), 1.0f);
+    // Just above halfway rounds up.
+    const float above = 1.0f + std::ldexp(1.5f, -8);
+    EXPECT_EQ(BFloat16(above).toFloat(), 1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(BFloat16, PreservesSpecials)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(BFloat16(inf).toFloat(), inf);
+    EXPECT_EQ(BFloat16(-inf).toFloat(), -inf);
+    EXPECT_TRUE(std::isnan(
+        BFloat16(std::numeric_limits<float>::quiet_NaN()).toFloat()));
+}
+
+TEST(BFloat16, ByteSizeIsTwo)
+{
+    EXPECT_EQ(BFloat16::kByteSize, 2);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformDoubleStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformDouble(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(gbitPerSecond(8.0), 1e9);
+    EXPECT_DOUBLE_EQ(gbytePerSecond(2.4), 2.4e9);
+    EXPECT_DOUBLE_EQ(teraFlopsPerSecond(180.0), 1.8e14);
+    EXPECT_DOUBLE_EQ(gbyte(64.0), 64e9);
+}
+
+TEST(Error, RequireThrowsConfigError)
+{
+    EXPECT_THROW(
+        [] { ACCPAR_REQUIRE(1 == 2, "math broke: " << 42); }(),
+        ConfigError);
+}
+
+TEST(Error, AssertThrowsInternalError)
+{
+    EXPECT_THROW([] { ACCPAR_ASSERT(false, "bug"); }(), InternalError);
+}
+
+TEST(Error, MessagesCarryContext)
+{
+    try {
+        ACCPAR_REQUIRE(false, "value was " << 7);
+        FAIL() << "should have thrown";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 7"),
+                  std::string::npos);
+    }
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+/** @file Unit tests for accpar::util statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace accpar::util;
+
+TEST(Stats, MeanOfConstants)
+{
+    const std::vector<double> v{3.0, 3.0, 3.0};
+    EXPECT_DOUBLE_EQ(mean(v), 3.0);
+}
+
+TEST(Stats, GeometricMeanMatchesHandComputation)
+{
+    const std::vector<double> v{1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geometricMean(v), 2.0);
+}
+
+TEST(Stats, GeometricMeanRejectsNonPositive)
+{
+    const std::vector<double> v{1.0, 0.0};
+    EXPECT_THROW(geometricMean(v), ConfigError);
+}
+
+TEST(Stats, EmptyInputsThrow)
+{
+    const std::vector<double> v;
+    EXPECT_THROW(mean(v), ConfigError);
+    EXPECT_THROW(geometricMean(v), ConfigError);
+    EXPECT_THROW(minValue(v), ConfigError);
+    EXPECT_THROW(maxValue(v), ConfigError);
+    EXPECT_THROW(median(v), ConfigError);
+}
+
+TEST(Stats, MedianEvenAndOdd)
+{
+    const std::vector<double> odd{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(median(odd), 3.0);
+    const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, SummarizeAgreesWithPieces)
+{
+    const std::vector<double> v{1.0, 2.0, 4.0, 8.0};
+    const Summary s = summarize(v);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.75);
+    EXPECT_DOUBLE_EQ(s.geomean, geometricMean(v));
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 8.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+} // namespace

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * The `accpar` command-line tool: plan, simulate and compare tensor
+ * partitionings without writing C++.
+ *
+ * Subcommands:
+ *   info     --model NAME [--batch N]
+ *            model summary (layers, weights, FLOPs) and DOT export
+ *   plan     --model NAME [--batch N] [--array SPEC]
+ *            [--strategy dp|owt|hypar|accpar] [--out plan.json]
+ *            search a partition plan; print per-level types
+ *   simulate --model NAME [--batch N] [--array SPEC]
+ *            (--strategy S | --plan plan.json)
+ *            simulate one training step and report timing
+ *   compare  [--models a,b,c] [--batch N] [--array SPEC] [--csv FILE]
+ *            the Figure 5/6 style strategy comparison
+ *   sweep    --model NAME [--min-levels 2] [--max-levels 9]
+ *            the Figure 8 style hierarchy sweep
+ *
+ * Array SPEC: "hetero" (default; 128 TPU-v2 + 128 TPU-v3), "homo"
+ * (128 TPU-v3), or slices like "tpu-v2:96+tpu-v3:32"; custom
+ * accelerators use name:count:tflops:mem_gb:mem_gbps:link_gbit.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "core/plan_diff.h"
+#include "core/plan_io.h"
+#include "graph/dot_export.h"
+#include "hw/hierarchy.h"
+#include "hw/topology.h"
+#include "models/model_io.h"
+#include "models/summary.h"
+#include "models/zoo.h"
+#include "sim/report.h"
+#include "strategies/registry.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace accpar;
+
+/**
+ * Resolves the model under test: --model-file loads a JSON model
+ * description (see models/model_io.h); otherwise --model picks a zoo
+ * network built at --batch.
+ */
+graph::Graph
+resolveModel(const util::Args &args)
+{
+    if (const auto path = args.get("model-file"))
+        return models::loadModelFile(*path);
+    return models::buildModel(args.getOr("model", "vgg16"),
+                              args.getIntOr("batch", 512));
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: accpar <info|plan|simulate|compare|sweep|diff> "
+           "[flags]\n"
+        << "run 'accpar' with a subcommand; see tools/accpar_cli.cpp "
+           "header for flags\n";
+    return 2;
+}
+
+int
+cmdInfo(const util::Args &args)
+{
+    args.checkKnown({"model", "model-file", "batch", "dot"});
+    const graph::Graph model = resolveModel(args);
+    std::cout << models::formatSummary(models::summarizeModel(model));
+    if (const auto path = args.get("dot")) {
+        std::ofstream out(*path);
+        out << graph::toDot(model);
+        std::cout << "[dot written to " << *path << "]\n";
+    }
+    return 0;
+}
+
+int
+cmdPlan(const util::Args &args)
+{
+    args.checkKnown(
+        {"model", "model-file", "batch", "array", "strategy", "out"});
+    const graph::Graph model = resolveModel(args);
+    const hw::AcceleratorGroup array =
+        hw::parseArraySpec(args.getOr("array", "hetero"));
+    const hw::Hierarchy hierarchy(array);
+    const auto strategy =
+        strategies::makeStrategy(args.getOr("strategy", "accpar"));
+
+    const core::PartitionPlan plan = strategy->plan(model, hierarchy);
+    std::cout << "array: " << array.toString() << '\n';
+    std::cout << plan.toString(hierarchy);
+    if (const auto path = args.get("out")) {
+        core::savePlan(plan, hierarchy, *path);
+        std::cout << "[plan written to " << *path << "]\n";
+    }
+    return 0;
+}
+
+int
+cmdSimulate(const util::Args &args)
+{
+    args.checkKnown(
+        {"model", "model-file", "batch", "array", "strategy", "plan"});
+    const graph::Graph model = resolveModel(args);
+    const std::int64_t batch =
+        model.layer(model.inputLayer()).outputShape.n;
+    const hw::AcceleratorGroup array =
+        hw::parseArraySpec(args.getOr("array", "hetero"));
+    const hw::Hierarchy hierarchy(array);
+    const core::PartitionProblem problem(model);
+
+    core::PartitionPlan plan = [&] {
+        if (const auto path = args.get("plan"))
+            return core::loadPlan(*path, hierarchy);
+        const auto strategy = strategies::makeStrategy(
+            args.getOr("strategy", "accpar"));
+        return strategy->plan(problem, hierarchy);
+    }();
+
+    const sim::TrainingRunResult run =
+        sim::simulatePlan(problem, batch, hierarchy, plan);
+    std::cout << "array:            " << array.toString() << '\n'
+              << "strategy:         " << plan.strategyName() << '\n'
+              << "step time:        "
+              << util::humanSeconds(run.stepTime) << '\n'
+              << "throughput:       " << run.throughput
+              << " samples/s\n"
+              << "worst execute:    "
+              << util::humanSeconds(run.timing.maxExecuteTime) << '\n'
+              << "worst network:    "
+              << util::humanSeconds(run.timing.maxNetworkTime) << '\n'
+              << "total FLOPs:      "
+              << util::humanFlops(run.timing.totalFlops) << '\n'
+              << "network traffic:  "
+              << util::humanBytes(run.timing.totalNetworkBytes) << '\n'
+              << "peak board memory: "
+              << util::humanBytes(run.peakLeafMemory)
+              << (run.fitsMemory ? " (fits HBM)"
+                                 : " (EXCEEDS HBM CAPACITY)")
+              << '\n'
+              << '\n'
+              << sim::formatRunBreakdown(run);
+    return 0;
+}
+
+int
+cmdCompare(const util::Args &args)
+{
+    args.checkKnown({"models", "batch", "array", "csv"});
+    std::vector<std::string> names;
+    if (const auto list = args.get("models")) {
+        for (const std::string &part : util::split(*list, ','))
+            names.push_back(util::trim(part));
+    } else {
+        names = models::modelNames();
+    }
+    const hw::AcceleratorGroup array =
+        hw::parseArraySpec(args.getOr("array", "hetero"));
+    const sim::SpeedupTable table = sim::runSpeedupComparison(
+        names, args.getIntOr("batch", 512), array,
+        strategies::defaultStrategies());
+    std::cout << sim::formatSpeedupTable(
+        table,
+        "speedup over data parallelism on " + array.toString());
+    if (const auto path = args.get("csv")) {
+        sim::writeSpeedupCsv(table, *path);
+        std::cout << "[csv written to " << *path << "]\n";
+    }
+    return 0;
+}
+
+int
+cmdSweep(const util::Args &args)
+{
+    args.checkKnown({"model", "batch", "min-levels", "max-levels"});
+    const std::int64_t batch = args.getIntOr("batch", 512);
+    const graph::Graph model =
+        models::buildModel(args.getOr("model", "vgg19"), batch);
+    const auto min_levels =
+        static_cast<int>(args.getIntOr("min-levels", 2));
+    const auto max_levels =
+        static_cast<int>(args.getIntOr("max-levels", 9));
+
+    const auto strategies_list = strategies::defaultStrategies();
+    std::vector<std::string> header = {"h"};
+    for (const auto &s : strategies_list)
+        header.push_back(s->label());
+    util::Table table(header);
+    for (int levels = min_levels; levels <= max_levels; ++levels) {
+        const hw::Hierarchy hierarchy(
+            hw::heterogeneousTpuArrayForLevels(levels));
+        std::vector<double> speedups;
+        double base = 0.0;
+        for (const auto &s : strategies_list) {
+            const auto run =
+                sim::simulateStrategy(model, hierarchy, *s);
+            if (speedups.empty())
+                base = run.throughput;
+            speedups.push_back(run.throughput / base);
+        }
+        table.addRow("h=" + std::to_string(levels), speedups, 4);
+    }
+    std::cout << model.name()
+              << ": speedup vs hierarchy level (normalized to DP)\n";
+    table.print(std::cout);
+    return 0;
+}
+
+
+int
+cmdDiff(const util::Args &args)
+{
+    args.checkKnown({"model", "model-file", "batch", "array", "left",
+                     "right", "left-plan", "right-plan"});
+    const hw::AcceleratorGroup array =
+        hw::parseArraySpec(args.getOr("array", "hetero"));
+    const hw::Hierarchy hierarchy(array);
+
+    auto resolve = [&](const char *strategy_flag,
+                       const char *plan_flag,
+                       const char *fallback) -> core::PartitionPlan {
+        if (const auto path = args.get(plan_flag))
+            return core::loadPlan(*path, hierarchy);
+        const graph::Graph model = resolveModel(args);
+        return strategies::makeStrategy(args.getOr(strategy_flag,
+                                                   fallback))
+            ->plan(model, hierarchy);
+    };
+    const core::PartitionPlan left =
+        resolve("left", "left-plan", "accpar");
+    const core::PartitionPlan right =
+        resolve("right", "right-plan", "hypar");
+
+    const core::PlanDiff diff = diffPlans(left, right, hierarchy);
+    std::cout << core::formatPlanDiff(
+        diff, left.strategyName(), right.strategyName());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> rest(argv + 2, argv + argc);
+
+    try {
+        const util::Args args(rest);
+        if (command == "info")
+            return cmdInfo(args);
+        if (command == "plan")
+            return cmdPlan(args);
+        if (command == "simulate")
+            return cmdSimulate(args);
+        if (command == "compare")
+            return cmdCompare(args);
+        if (command == "sweep")
+            return cmdSweep(args);
+        if (command == "diff")
+            return cmdDiff(args);
+        std::cerr << "unknown subcommand '" << command << "'\n";
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}
