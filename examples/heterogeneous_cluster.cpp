@@ -9,14 +9,17 @@
  * throughput of Vgg16 under equal-ratio data parallelism versus AccPar —
  * quantifying how much of the mixed fleet's capacity each scheme
  * actually harvests.
+ *
+ * The whole sweep goes through one accpar::Planner, so cost terms shared
+ * between mixes (every mix embeds the same TPU-v2/TPU-v3 pair costs) are
+ * evaluated once and reused from the planner's memo cache.
  */
 
 #include <iostream>
 
+#include "core/planner.h"
 #include "hw/hierarchy.h"
 #include "models/zoo.h"
-#include "sim/training_sim.h"
-#include "strategies/registry.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -27,9 +30,7 @@ main()
 
     try {
         const graph::Graph model = models::buildVgg(16, 512);
-        const core::PartitionProblem problem(model);
-        const auto dp = strategies::makeStrategy("dp");
-        const auto accpar = strategies::makeStrategy("accpar");
+        Planner planner;
 
         util::Table table({"mix (v2 + v3)", "DP samples/s",
                            "AccPar samples/s", "AccPar/DP",
@@ -46,25 +47,24 @@ main()
                 slices.push_back(hw::GroupSlice{hw::tpuV3(),
                                                 new_boards});
             const hw::AcceleratorGroup array(slices);
+
+            PlanRequest request(model, array);
+            request.strategy = "dp";
+            const SimulationResult dp = planner.simulate(request);
+            request.strategy = "accpar";
+            const SimulationResult ap = planner.simulate(request);
+
             const hw::Hierarchy hierarchy(array);
-
-            const auto run_dp =
-                sim::simulateStrategy(model, hierarchy, *dp);
-            const auto run_ap =
-                sim::simulateStrategy(model, hierarchy, *accpar);
-
-            const core::PartitionPlan plan =
-                accpar->plan(problem, hierarchy);
             const double alpha =
-                plan.nodePlan(hierarchy.root()).alpha;
+                ap.plan.plan.nodePlan(hierarchy.root()).alpha;
 
             table.addRow(
                 {std::to_string(old_boards) + " + " +
                      std::to_string(new_boards),
-                 util::formatDouble(run_dp.throughput, 5),
-                 util::formatDouble(run_ap.throughput, 5),
-                 util::formatDouble(run_ap.throughput /
-                                        run_dp.throughput,
+                 util::formatDouble(dp.run.throughput, 5),
+                 util::formatDouble(ap.run.throughput, 5),
+                 util::formatDouble(ap.run.throughput /
+                                        dp.run.throughput,
                                     4),
                  util::formatDouble(alpha, 4)});
         }
@@ -76,6 +76,11 @@ main()
                      "boards, so mixed fleets waste the fast ones;\n"
                      "AccPar's flexible ratio (root alpha = the v2 "
                      "group's share) keeps the whole fleet busy.\n";
+        const core::CostCacheStats stats = planner.cacheStats();
+        std::cout << "cost cache across the sweep: " << stats.hits
+                  << " hits, " << stats.misses << " misses ("
+                  << util::formatDouble(100.0 * stats.hitRate(), 3)
+                  << "% hit rate)\n";
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;

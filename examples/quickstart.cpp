@@ -1,23 +1,27 @@
 /**
  * @file
  * Quickstart: plan and simulate one model on the paper's heterogeneous
- * TPU array with all four strategies.
+ * TPU array with all four strategies, through the accpar::Planner
+ * facade.
  *
- * Usage: quickstart [model] [batch]
+ * Usage: quickstart [model] [batch] [jobs]
  *   model  one of lenet/alexnet/vgg11/vgg13/vgg16/vgg19/
  *          resnet18/resnet34/resnet50 (default vgg16)
  *   batch  mini-batch size (default 512, as in the paper)
+ *   jobs   planning concurrency (default 1; 0 = all hardware threads;
+ *          plans are bit-identical for any value)
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "core/planner.h"
 #include "hw/hierarchy.h"
 #include "models/summary.h"
 #include "models/zoo.h"
-#include "sim/report.h"
-#include "strategies/registry.h"
+#include "util/string_util.h"
+#include "util/table.h"
 
 int
 main(int argc, char **argv)
@@ -26,6 +30,7 @@ main(int argc, char **argv)
 
     const std::string model_name = argc > 1 ? argv[1] : "vgg16";
     const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 512;
+    const int jobs = argc > 3 ? std::atoi(argv[3]) : 1;
 
     try {
         // 1. Build the DNN and show what we are training.
@@ -37,18 +42,36 @@ main(int argc, char **argv)
         const hw::AcceleratorGroup array = hw::heterogeneousTpuArray();
         std::cout << "array: " << array.toString() << "\n\n";
 
-        // 3. Plan with DP / OWT / HyPar / AccPar and simulate a step.
-        const sim::SpeedupTable table = sim::runSpeedupComparison(
-            {model_name}, batch, array, strategies::defaultStrategies());
-        std::cout << sim::formatSpeedupTable(
-            table, "speedup over data parallelism");
+        // 3. One request in, all four strategies planned (concurrently
+        //    when jobs > 1) and simulated out.
+        PlanRequest request(model, array);
+        request.jobs = jobs;
+
+        Planner planner;
+        const StrategyComparison comparison = planner.compare(request);
+
+        util::Table table({"strategy", "samples/s", "speedup",
+                           "plan time"});
+        for (std::size_t i = 0; i < comparison.plans.size(); ++i) {
+            const PlanResult &plan = comparison.plans[i];
+            table.addRow(
+                {plan.strategy,
+                 util::formatDouble(comparison.runs[i].throughput, 5),
+                 util::formatDouble(comparison.speedup[i], 4),
+                 util::humanSeconds(plan.planSeconds)});
+        }
+        std::cout << "speedup over data parallelism\n";
+        table.print(std::cout);
 
         // 4. Show the AccPar plan itself (types per hierarchy level).
+        const SimulationResult accpar_result =
+            planner.simulate(request);
         const hw::Hierarchy hierarchy(array);
-        const auto accpar_strategy = strategies::makeStrategy("accpar");
-        const core::PartitionPlan plan =
-            accpar_strategy->plan(model, hierarchy);
-        std::cout << '\n' << plan.toString(hierarchy);
+        std::cout << '\n'
+                  << accpar_result.plan.plan.toString(hierarchy);
+        const core::CostCacheStats stats = planner.cacheStats();
+        std::cout << "cost cache: " << stats.hits << " hits, "
+                  << stats.misses << " misses\n";
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;

@@ -1,0 +1,141 @@
+#include "core/cost_cache.h"
+
+#include <bit>
+#include <cstring>
+
+namespace accpar::core {
+
+namespace {
+
+std::uint64_t
+bits(double value)
+{
+    return std::bit_cast<std::uint64_t>(value);
+}
+
+/** 64-bit FNV-1a style combine. */
+std::uint64_t
+combine(std::uint64_t seed, std::uint64_t value)
+{
+    seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    return seed;
+}
+
+} // namespace
+
+bool
+CostKey::operator==(const CostKey &other) const
+{
+    if (context != other.context || node != other.node ||
+        kind != other.kind || from != other.from || to != other.to ||
+        junction != other.junction || bits(alpha) != bits(other.alpha))
+        return false;
+    for (int i = 0; i < 6; ++i) {
+        if (bits(d[i]) != bits(other.d[i]))
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+CostKeyHash::operator()(const CostKey &key) const
+{
+    std::uint64_t h = key.context;
+    h = combine(h, static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(key.node)));
+    h = combine(h, (static_cast<std::uint64_t>(key.kind) << 24) |
+                       (static_cast<std::uint64_t>(key.from) << 16) |
+                       (static_cast<std::uint64_t>(key.to) << 8) |
+                       key.junction);
+    h = combine(h, bits(key.alpha));
+    for (double dim : key.d)
+        h = combine(h, bits(dim));
+    return static_cast<std::size_t>(h);
+}
+
+std::uint32_t
+CostCache::contextId(const GroupRates &left, const GroupRates &right,
+                     const CostModelConfig &config)
+{
+    const auto same = [](const Context &ctx, const GroupRates &l,
+                         const GroupRates &r, const CostModelConfig &c) {
+        return bits(ctx.left.compute) == bits(l.compute) &&
+               bits(ctx.left.link) == bits(l.link) &&
+               bits(ctx.right.compute) == bits(r.compute) &&
+               bits(ctx.right.link) == bits(r.link) &&
+               ctx.config.objective == c.objective &&
+               ctx.config.reduce == c.reduce &&
+               ctx.config.includeCompute == c.includeCompute &&
+               bits(ctx.config.bytesPerElement) == bits(c.bytesPerElement);
+    };
+    std::lock_guard<std::mutex> lock(_contextMutex);
+    for (std::size_t i = 0; i < _contexts.size(); ++i) {
+        if (same(_contexts[i], left, right, config))
+            return static_cast<std::uint32_t>(i);
+    }
+    _contexts.push_back(Context{left, right, config});
+    return static_cast<std::uint32_t>(_contexts.size() - 1);
+}
+
+const CostCache::Shard &
+CostCache::shardFor(const CostKey &key) const
+{
+    return _shards[CostKeyHash{}(key) % kShards];
+}
+
+bool
+CostCache::lookup(const CostKey &key, double &value) const
+{
+    const Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+        _misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    _hits.fetch_add(1, std::memory_order_relaxed);
+    value = it->second;
+    return true;
+}
+
+void
+CostCache::store(const CostKey &key, double value)
+{
+    // const_cast-free: store through the same mutable shards.
+    Shard &shard = const_cast<Shard &>(shardFor(key));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.emplace(key, value);
+}
+
+CostCacheStats
+CostCache::stats() const
+{
+    CostCacheStats out;
+    out.hits = _hits.load(std::memory_order_relaxed);
+    out.misses = _misses.load(std::memory_order_relaxed);
+    return out;
+}
+
+std::size_t
+CostCache::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+void
+CostCache::clear()
+{
+    for (Shard &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.entries.clear();
+    }
+    _hits.store(0);
+    _misses.store(0);
+}
+
+} // namespace accpar::core

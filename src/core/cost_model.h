@@ -17,6 +17,7 @@
 #ifndef ACCPAR_CORE_COST_MODEL_H
 #define ACCPAR_CORE_COST_MODEL_H
 
+#include <cstdint>
 #include <utility>
 
 #include "core/layer_dims.h"
@@ -24,6 +25,8 @@
 #include "util/units.h"
 
 namespace accpar::core {
+
+class CostCache;
 
 /** What the per-layer scalar cost measures. */
 enum class ObjectiveKind
@@ -48,7 +51,14 @@ struct GroupRates
     util::BytesPerSecond link = 0.0;      ///< b_i (Eq. 7)
 };
 
-/** Cost model configuration. */
+/**
+ * Cost model configuration.
+ *
+ * Deprecated as a user-facing surface: kept as the cost-model half of
+ * the old SolverOptions/CostModelConfig split so existing callers and
+ * tests compile unchanged. New code sets the same knobs on the flat
+ * accpar::PlanOptions (core/planner.h).
+ */
 struct CostModelConfig
 {
     ObjectiveKind objective = ObjectiveKind::Time;
@@ -139,6 +149,29 @@ class PairCostModel
     double transitionCost(PartitionType from, PartitionType to,
                           double boundary_elems) const;
 
+    /**
+     * Memoized variant of nodeCost: @p node is the condensed-node id the
+     * term belongs to (part of the cache key). Falls back to direct
+     * computation when no cache is attached.
+     */
+    double nodeCost(int node, const LayerDims &d, bool junction,
+                    PartitionType t) const;
+
+    /** Memoized variant of transitionCost; @p producer is the edge's
+     *  producing condensed-node id. */
+    double transitionCost(int producer, PartitionType from,
+                          PartitionType to, double boundary_elems) const;
+
+    /**
+     * Attaches a shared memo table (nullptr detaches). The model
+     * registers its (rates, config) context with the cache, so distinct
+     * models sharing one cache never alias entries. Attach before
+     * handing the model to concurrent solvers; lookups themselves are
+     * thread-safe.
+     */
+    void attachCache(CostCache *cache);
+    CostCache *cache() const { return _cache; }
+
   private:
     const GroupRates &rates(Side side) const;
     double reduce(double left, double right) const;
@@ -147,6 +180,8 @@ class PairCostModel
     GroupRates _right;
     CostModelConfig _config;
     double _alpha = 0.5;
+    CostCache *_cache = nullptr;
+    std::uint32_t _cacheContext = 0;
 };
 
 } // namespace accpar::core

@@ -138,14 +138,16 @@ struct HierSolver
     const PartitionProblem &problem;
     const hw::Hierarchy &hierarchy;
     const SolverOptions &options;
+    const SolveContext &context;
     const TypeRestrictions restrictions;
     PartitionPlan plan;
 
     HierSolver(const PartitionProblem &p, const hw::Hierarchy &h,
-               const SolverOptions &o)
+               const SolverOptions &o, const SolveContext &c)
         : problem(p),
           hierarchy(h),
           options(o),
+          context(c),
           restrictions(buildRestrictions(p.condensed(), o.allowedTypes)),
           plan(o.strategyName, p.condensed().modelName(), h.nodeCount(),
                p.nodeNames())
@@ -215,6 +217,8 @@ struct HierSolver
                                right_group.linkBandwidth()};
 
         PairCostModel model(left, right, options.cost);
+        if (context.memo)
+            model.attachCache(context.memo);
         double alpha = initialAlpha(options.ratioPolicy, left, right);
         model.setAlpha(alpha);
 
@@ -268,8 +272,23 @@ struct HierSolver
             right_scales[v] =
                 childScales(scales[v], junction, t, 1.0 - alpha);
         }
-        solveNode(hn.left, left_scales);
-        solveNode(hn.right, right_scales);
+
+        // The two subtrees depend only on this node's decision, and
+        // every hierarchy node owns a distinct plan slot, so they may
+        // solve concurrently without changing any result.
+        if (context.pool && context.pool->concurrency() > 1 &&
+            !hierarchy.node(hn.left).isLeaf() &&
+            !hierarchy.node(hn.right).isLeaf()) {
+            std::vector<std::function<void()>> tasks;
+            tasks.emplace_back(
+                [&] { solveNode(hn.left, left_scales); });
+            tasks.emplace_back(
+                [&] { solveNode(hn.right, right_scales); });
+            context.pool->run(std::move(tasks));
+        } else {
+            solveNode(hn.left, left_scales);
+            solveNode(hn.right, right_scales);
+        }
     }
 };
 
@@ -280,7 +299,15 @@ solveHierarchy(const PartitionProblem &problem,
                const hw::Hierarchy &hierarchy,
                const SolverOptions &options)
 {
-    HierSolver solver(problem, hierarchy, options);
+    return solveHierarchy(problem, hierarchy, options, SolveContext{});
+}
+
+PartitionPlan
+solveHierarchy(const PartitionProblem &problem,
+               const hw::Hierarchy &hierarchy,
+               const SolverOptions &options, const SolveContext &context)
+{
+    HierSolver solver(problem, hierarchy, options, context);
     const std::vector<DimScales> unit(problem.condensed().size());
     solver.solveNode(hierarchy.root(), unit);
     return std::move(solver.plan);

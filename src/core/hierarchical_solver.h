@@ -21,12 +21,14 @@
 
 #include "core/chain_dp.h"
 #include "core/condensed_graph.h"
+#include "core/cost_cache.h"
 #include "core/cost_model.h"
 #include "core/plan.h"
 #include "core/ratio_solver.h"
 #include "core/segment.h"
 #include "graph/graph.h"
 #include "hw/hierarchy.h"
+#include "util/thread_pool.h"
 
 namespace accpar::core {
 
@@ -34,7 +36,16 @@ namespace accpar::core {
 using AllowedTypesFn =
     std::function<std::vector<PartitionType>(const CondensedNode &)>;
 
-/** Configuration of one hierarchical solve. */
+/**
+ * Configuration of one hierarchical solve.
+ *
+ * Deprecated as a user-facing surface: this is the solver layer's
+ * two-level view (search knobs here, cost knobs nested in `cost`) kept
+ * so existing callers and tests compile unchanged. New code should
+ * configure the flat accpar::PlanOptions (core/planner.h), which folds
+ * both levels into one documented struct and converts via
+ * PlanOptions::toSolverOptions / fromSolverOptions.
+ */
 struct SolverOptions
 {
     CostModelConfig cost;
@@ -54,6 +65,24 @@ struct SolverOptions
     double minDimPerSide = 1.0;
     /** Strategy label recorded in the plan. */
     std::string strategyName = "accpar";
+};
+
+/**
+ * Shared execution resources for one solve, all optional. Both members
+ * are non-owning; the Planner facade wires them up for callers.
+ *
+ * - With a pool, sibling subtrees of the bi-partition hierarchy solve
+ *   concurrently. The decisions of a subtree depend only on its
+ *   ancestors' (type, ratio) choices, and every hierarchy node writes
+ *   its own plan slot, so the result is bit-identical to the sequential
+ *   solve regardless of thread count.
+ * - With a memo cache, inter/intra-layer cost terms are reused across
+ *   hierarchy nodes, strategies, and sweep points (see CostCache).
+ */
+struct SolveContext
+{
+    util::ThreadPool *pool = nullptr; ///< null => fully sequential
+    CostCache *memo = nullptr;        ///< null => no cost memoization
 };
 
 /**
@@ -92,6 +121,12 @@ class PartitionProblem
 PartitionPlan solveHierarchy(const PartitionProblem &problem,
                              const hw::Hierarchy &hierarchy,
                              const SolverOptions &options);
+
+/** Solves with shared execution resources (thread pool, memo cache). */
+PartitionPlan solveHierarchy(const PartitionProblem &problem,
+                             const hw::Hierarchy &hierarchy,
+                             const SolverOptions &options,
+                             const SolveContext &context);
 
 /** Convenience wrapper building the problem from @p model. */
 PartitionPlan solveHierarchy(const graph::Graph &model,

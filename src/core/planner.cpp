@@ -1,0 +1,217 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "strategies/registry.h"
+#include "util/error.h"
+
+namespace accpar {
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double>(elapsed).count();
+}
+
+core::CostCacheStats
+statsDelta(const core::CostCacheStats &before,
+           const core::CostCacheStats &after)
+{
+    core::CostCacheStats delta;
+    delta.hits = after.hits - before.hits;
+    delta.misses = after.misses - before.misses;
+    return delta;
+}
+
+} // namespace
+
+core::SolverOptions
+PlanOptions::toSolverOptions(const std::string &strategy) const
+{
+    core::SolverOptions opts;
+    opts.cost.objective = objective;
+    opts.cost.reduce = reduce;
+    opts.cost.includeCompute = includeCompute;
+    opts.cost.bytesPerElement = bytesPerElement;
+    opts.ratioPolicy = ratioPolicy;
+    opts.ratioIterations = ratioIterations;
+    opts.allowedTypes = allowedTypes;
+    opts.minDimPerSide = minDimPerSide;
+    opts.strategyName = strategy;
+    return opts;
+}
+
+PlanOptions
+PlanOptions::fromSolverOptions(const core::SolverOptions &opts)
+{
+    PlanOptions out;
+    out.objective = opts.cost.objective;
+    out.reduce = opts.cost.reduce;
+    out.includeCompute = opts.cost.includeCompute;
+    out.bytesPerElement = opts.cost.bytesPerElement;
+    out.ratioPolicy = opts.ratioPolicy;
+    out.ratioIterations = opts.ratioIterations;
+    out.allowedTypes = opts.allowedTypes;
+    out.minDimPerSide = opts.minDimPerSide;
+    return out;
+}
+
+Planner::Planner() = default;
+Planner::~Planner() = default;
+
+int
+Planner::effectiveJobs(int jobs)
+{
+    ACCPAR_REQUIRE(jobs >= 0, "jobs must be >= 0 (0 = all hardware "
+                              "threads), got "
+                                  << jobs);
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+util::ThreadPool *
+Planner::poolFor(int jobs)
+{
+    const int effective = effectiveJobs(jobs);
+    if (effective <= 1)
+        return nullptr;
+    if (!_pool || _poolJobs != effective) {
+        _pool = std::make_unique<util::ThreadPool>(effective);
+        _poolJobs = effective;
+    }
+    return _pool.get();
+}
+
+PlanResult
+Planner::planOne(const PlanRequest &request,
+                 const core::PartitionProblem &problem,
+                 const hw::Hierarchy &hierarchy,
+                 const core::SolveContext &context)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    PlanResult result;
+    if (request.strategy == "custom") {
+        const core::SolverOptions opts =
+            request.options.toSolverOptions(request.strategy);
+        result.plan =
+            core::solveHierarchy(problem, hierarchy, opts, context);
+    } else {
+        const strategies::StrategyPtr strategy =
+            strategies::makeStrategy(request.strategy);
+        result.plan = strategy->plan(problem, hierarchy, context);
+    }
+
+    result.strategy = result.plan.strategyName();
+    result.model = request.model.name();
+    const hw::NodeId root = hierarchy.root();
+    if (result.plan.hasNodePlan(root))
+        result.rootCost = result.plan.nodePlan(root).cost;
+    for (const core::NodePlan *node : result.plan.leftmostPath(hierarchy))
+        result.levelCosts.push_back(node->cost);
+    result.planSeconds = secondsSince(start);
+    result.jobs = context.pool ? context.pool->concurrency() : 1;
+    return result;
+}
+
+PlanResult
+Planner::plan(const PlanRequest &request)
+{
+    const core::PartitionProblem problem(request.model);
+    const hw::Hierarchy hierarchy(request.array);
+    const core::SolveContext context{poolFor(request.jobs), &_cache};
+
+    const core::CostCacheStats before = _cache.stats();
+    PlanResult result = planOne(request, problem, hierarchy, context);
+    result.cacheDelta = statsDelta(before, _cache.stats());
+    return result;
+}
+
+std::vector<PlanResult>
+Planner::planMany(const std::vector<PlanRequest> &requests)
+{
+    int jobs = 1;
+    for (const PlanRequest &request : requests)
+        jobs = std::max(jobs, effectiveJobs(request.jobs));
+    util::ThreadPool *pool = poolFor(jobs);
+    const core::SolveContext context{pool, &_cache};
+
+    const core::CostCacheStats before = _cache.stats();
+    std::vector<PlanResult> results(requests.size());
+    util::parallelFor(pool, requests.size(), [&](std::size_t i) {
+        const core::PartitionProblem problem(requests[i].model);
+        const hw::Hierarchy hierarchy(requests[i].array);
+        results[i] = planOne(requests[i], problem, hierarchy, context);
+    });
+    const core::CostCacheStats delta =
+        statsDelta(before, _cache.stats());
+    for (PlanResult &result : results)
+        result.cacheDelta = delta;
+    return results;
+}
+
+StrategyComparison
+Planner::compare(const PlanRequest &request)
+{
+    const core::PartitionProblem problem(request.model);
+    const hw::Hierarchy hierarchy(request.array);
+    util::ThreadPool *pool = poolFor(request.jobs);
+    const core::SolveContext context{pool, &_cache};
+
+    const std::vector<strategies::StrategyPtr> strategies =
+        strategies::defaultStrategies();
+
+    const core::CostCacheStats before = _cache.stats();
+    StrategyComparison comparison;
+    comparison.plans.resize(strategies.size());
+    util::parallelFor(pool, strategies.size(), [&](std::size_t i) {
+        PlanRequest one = request;
+        one.strategy = strategies[i]->name();
+        comparison.plans[i] =
+            planOne(one, problem, hierarchy, context);
+    });
+    const core::CostCacheStats delta =
+        statsDelta(before, _cache.stats());
+
+    const std::int64_t batch =
+        request.model.layer(request.model.inputLayer()).outputShape.n;
+    for (PlanResult &plan : comparison.plans) {
+        plan.cacheDelta = delta;
+        comparison.runs.push_back(sim::simulatePlan(
+            problem, batch, hierarchy, plan.plan, request.sim));
+    }
+
+    const double base = comparison.runs.front().throughput;
+    for (const sim::TrainingRunResult &run : comparison.runs)
+        comparison.speedup.push_back(
+            base > 0.0 ? run.throughput / base : 0.0);
+    return comparison;
+}
+
+SimulationResult
+Planner::simulate(const PlanRequest &request)
+{
+    const core::PartitionProblem problem(request.model);
+    const hw::Hierarchy hierarchy(request.array);
+    const core::SolveContext context{poolFor(request.jobs), &_cache};
+
+    const core::CostCacheStats before = _cache.stats();
+    SimulationResult result;
+    result.plan = planOne(request, problem, hierarchy, context);
+    result.plan.cacheDelta = statsDelta(before, _cache.stats());
+
+    const std::int64_t batch =
+        request.model.layer(request.model.inputLayer()).outputShape.n;
+    result.run = sim::simulatePlan(problem, batch, hierarchy,
+                                   result.plan.plan, request.sim);
+    return result;
+}
+
+} // namespace accpar

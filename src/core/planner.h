@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The accpar::Planner facade: one entry point for planning, strategy
+ * comparison, and sweeps.
+ *
+ * Callers describe what to plan with a PlanRequest (model, array,
+ * options, strategy name, jobs) and get a PlanResult back (plan,
+ * per-level cost breakdown, timing, cache statistics) — no caller needs
+ * to assemble PartitionProblem, PairCostModel, or per-strategy solver
+ * options by hand. The Planner owns the parallel planning engine: a
+ * fixed-size thread pool (sibling hierarchy subtrees and compared
+ * strategies solve concurrently) and a cost memo cache reused across
+ * calls, so sweeps pay for shared sub-evaluations once.
+ *
+ * Determinism guarantee: for any jobs value the produced plans are
+ * bit-identical to a sequential solve. Parallel tasks only ever write
+ * disjoint result slots, reductions happen in fixed index order, and
+ * memoized cost terms are pure functions of their exact keys.
+ */
+
+#ifndef ACCPAR_CORE_PLANNER_H
+#define ACCPAR_CORE_PLANNER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_cache.h"
+#include "core/hierarchical_solver.h"
+#include "core/plan.h"
+#include "graph/graph.h"
+#include "hw/group.h"
+#include "hw/hierarchy.h"
+#include "sim/training_sim.h"
+#include "util/thread_pool.h"
+#include "util/units.h"
+
+namespace accpar {
+
+/** Library version reported by `accpar --version`. */
+inline constexpr char kAccParVersion[] = "0.2.0";
+
+/**
+ * The unified planning options: every knob of the cost model and the
+ * hierarchical search in one documented struct. This supersedes the
+ * old two-level split where callers set core::CostModelConfig fields
+ * through core::SolverOptions::cost; those structs remain as thin
+ * compatibility aliases of this one (SolverOptions for the solver
+ * layer, CostModelConfig for the cost model) and existing code keeps
+ * compiling, but new code should configure a PlanOptions.
+ *
+ * Named strategies ("dp", "owt", "hypar", "accpar") define their own
+ * canonical knob settings; PlanOptions applies when the request's
+ * strategy is "custom".
+ */
+struct PlanOptions
+{
+    /** What the per-layer scalar cost measures (default: seconds). */
+    core::ObjectiveKind objective = core::ObjectiveKind::Time;
+    /** How the two sides combine (default: balanced makespan). */
+    core::PairReduce reduce = core::PairReduce::Max;
+    /** Include the computation term of the Time objective. */
+    bool includeCompute = true;
+    /** Bytes per tensor element; bf16 by default (§6.1). */
+    double bytesPerElement = 2.0;
+    /** Ratio policy; the paper's Eq. 10 linearization by default. */
+    core::RatioPolicy ratioPolicy = core::RatioPolicy::PaperLinear;
+    /** Bounded fixed-point iterations of (DP, ratio) per node. */
+    int ratioIterations = 3;
+    /** Allowed types per condensed node; null means unrestricted. */
+    core::AllowedTypesFn allowedTypes;
+    /** Integer-granularity floor (see SolverOptions::minDimPerSide). */
+    double minDimPerSide = 1.0;
+
+    /** Expands to the solver layer's (deprecated) two-level view. */
+    core::SolverOptions toSolverOptions(const std::string &strategy) const;
+
+    /** Folds a two-level SolverOptions back into the unified view. */
+    static PlanOptions fromSolverOptions(const core::SolverOptions &opts);
+};
+
+/** One planning job: what to plan and with how much parallelism. */
+struct PlanRequest
+{
+    PlanRequest(graph::Graph model_, hw::AcceleratorGroup array_)
+        : model(std::move(model_)), array(std::move(array_))
+    {
+    }
+
+    /** The DNN to partition. */
+    graph::Graph model;
+    /** The accelerator array; the bi-partition hierarchy is derived. */
+    hw::AcceleratorGroup array;
+    /** Knobs for strategy "custom"; ignored by named strategies. */
+    PlanOptions options;
+    /** "dp", "owt", "hypar", "accpar", or "custom". */
+    std::string strategy = "accpar";
+    /** Concurrency: 1 = sequential, 0 = hardware concurrency. */
+    int jobs = 1;
+    /** Simulation knobs used by compare() and simulate(). */
+    sim::TrainingSimConfig sim;
+};
+
+/** What one planning call produced. */
+struct PlanResult
+{
+    core::PartitionPlan plan;
+    std::string strategy;
+    std::string model;
+    /** Modeled pair cost at the hierarchy root (solver units). */
+    double rootCost = 0.0;
+    /** Cost breakdown: per-level costs along the leftmost root-to-leaf
+     *  path of the hierarchy (what Figure 7 walks). */
+    std::vector<double> levelCosts;
+    /** Wall-clock planning time. */
+    util::Seconds planSeconds = 0.0;
+    /** Cost-cache activity attributable to this call (aggregated over
+     *  the whole batch for compare()/planMany()). */
+    core::CostCacheStats cacheDelta;
+    /** Effective concurrency the call ran with. */
+    int jobs = 1;
+};
+
+/** compare(): every registered strategy on one request. */
+struct StrategyComparison
+{
+    /** Per-strategy results, in registry order (DP, OWT, HyPar, AccPar). */
+    std::vector<PlanResult> plans;
+    /** Simulated training step of each plan, same order. */
+    std::vector<sim::TrainingRunResult> runs;
+    /** Throughput normalized to the first strategy (DP). */
+    std::vector<double> speedup;
+};
+
+/** simulate(): a plan plus its simulated training step. */
+struct SimulationResult
+{
+    PlanResult plan;
+    sim::TrainingRunResult run;
+};
+
+/**
+ * The planning facade. One Planner may serve many requests; its cost
+ * memo cache persists across calls, so repeated sweep points reuse
+ * shared cost sub-evaluations (hit rates are visible in PlanResult and
+ * cacheStats()). A Planner is not itself thread-safe: issue requests
+ * from one thread and let the planner parallelize internally.
+ */
+class Planner
+{
+  public:
+    Planner();
+    ~Planner();
+
+    Planner(const Planner &) = delete;
+    Planner &operator=(const Planner &) = delete;
+
+    /** Plans one request with its named (or "custom") strategy. */
+    PlanResult plan(const PlanRequest &request);
+
+    /**
+     * Plans many requests concurrently (each additionally fanning out
+     * its own subtrees) — the engine behind hierarchy-level and
+     * ratio-policy sweeps. Results are in request order and identical
+     * to planning each request alone.
+     */
+    std::vector<PlanResult> planMany(
+        const std::vector<PlanRequest> &requests);
+
+    /**
+     * Plans the request under every registered strategy concurrently,
+     * then simulates one training step per plan. The request's own
+     * strategy name is ignored.
+     */
+    StrategyComparison compare(const PlanRequest &request);
+
+    /** Plans the request, then simulates one training step. */
+    SimulationResult simulate(const PlanRequest &request);
+
+    /** Cumulative cost-cache counters of this planner. */
+    core::CostCacheStats cacheStats() const { return _cache.stats(); }
+
+    /** Number of memoized cost terms currently held. */
+    std::size_t cacheSize() const { return _cache.size(); }
+
+    /** Drops all memoized cost terms and resets the counters. */
+    void clearCache() { _cache.clear(); }
+
+  private:
+    util::ThreadPool *poolFor(int jobs);
+    static int effectiveJobs(int jobs);
+    PlanResult planOne(const PlanRequest &request,
+                       const core::PartitionProblem &problem,
+                       const hw::Hierarchy &hierarchy,
+                       const core::SolveContext &context);
+
+    core::CostCache _cache;
+    std::unique_ptr<util::ThreadPool> _pool;
+    int _poolJobs = 1;
+};
+
+} // namespace accpar
+
+#endif // ACCPAR_CORE_PLANNER_H

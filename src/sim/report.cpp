@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "models/zoo.h"
+#include "strategies/registry.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 #include "util/error.h"
@@ -18,6 +19,18 @@ runSpeedupComparison(const std::vector<std::string> &models,
                      const std::vector<strategies::StrategyPtr> &strategies,
                      const TrainingSimConfig &config)
 {
+    return runSpeedupComparison(models, batch, array, strategies,
+                                config, core::SolveContext{});
+}
+
+SpeedupTable
+runSpeedupComparison(const std::vector<std::string> &models,
+                     std::int64_t batch,
+                     const hw::AcceleratorGroup &array,
+                     const std::vector<strategies::StrategyPtr> &strategies,
+                     const TrainingSimConfig &config,
+                     const core::SolveContext &context)
+{
     ACCPAR_REQUIRE(!strategies.empty(), "no strategies given");
     ACCPAR_REQUIRE(!models.empty(), "no models given");
 
@@ -29,11 +42,17 @@ runSpeedupComparison(const std::vector<std::string> &models,
 
     for (const std::string &model_name : models) {
         const graph::Graph model = models::buildModel(model_name, batch);
+        const std::int64_t model_batch =
+            model.layer(model.inputLayer()).outputShape.n;
+        const core::PartitionProblem problem(model);
+        const std::vector<core::PartitionPlan> plans =
+            strategies::planAll(strategies, problem, hierarchy,
+                                context);
         SpeedupRow row;
         row.model = model_name;
-        for (const strategies::StrategyPtr &s : strategies) {
-            const TrainingRunResult run =
-                simulateStrategy(model, hierarchy, *s, config);
+        for (const core::PartitionPlan &plan : plans) {
+            const TrainingRunResult run = simulatePlan(
+                problem, model_batch, hierarchy, plan, config);
             row.throughput.push_back(run.throughput);
         }
         const double base = row.throughput.front();

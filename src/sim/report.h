@@ -46,6 +46,19 @@ runSpeedupComparison(const std::vector<std::string> &models,
                      const std::vector<strategies::StrategyPtr> &strategies,
                      const TrainingSimConfig &config = {});
 
+/**
+ * As above, with shared execution resources: each model's strategies
+ * plan concurrently on the context's pool and share its memo cache.
+ * The table is identical to the sequential overload's.
+ */
+SpeedupTable
+runSpeedupComparison(const std::vector<std::string> &models,
+                     std::int64_t batch,
+                     const hw::AcceleratorGroup &array,
+                     const std::vector<strategies::StrategyPtr> &strategies,
+                     const TrainingSimConfig &config,
+                     const core::SolveContext &context);
+
 /** Renders the table in the format of the paper's figures. */
 std::string formatSpeedupTable(const SpeedupTable &table,
                                const std::string &title);

@@ -4,7 +4,8 @@ namespace accpar::strategies {
 
 core::PartitionPlan
 AccPar::plan(const core::PartitionProblem &problem,
-             const hw::Hierarchy &hierarchy) const
+             const hw::Hierarchy &hierarchy,
+             const core::SolveContext &context) const
 {
     core::SolverOptions options;
     options.strategyName = name();
@@ -19,7 +20,7 @@ AccPar::plan(const core::PartitionProblem &problem,
                 core::PartitionType::TypeI, core::PartitionType::TypeII};
         };
     }
-    return core::solveHierarchy(problem, hierarchy, options);
+    return core::solveHierarchy(problem, hierarchy, options, context);
 }
 
 } // namespace accpar::strategies

@@ -43,7 +43,8 @@ class AccPar : public Strategy
     const AccParOptions &options() const { return _options; }
 
     core::PartitionPlan plan(const core::PartitionProblem &problem,
-                             const hw::Hierarchy &hierarchy) const
+                             const hw::Hierarchy &hierarchy,
+                             const core::SolveContext &context) const
         override;
 
     using Strategy::plan;

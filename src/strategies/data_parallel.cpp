@@ -4,7 +4,8 @@ namespace accpar::strategies {
 
 core::PartitionPlan
 DataParallel::plan(const core::PartitionProblem &problem,
-                   const hw::Hierarchy &hierarchy) const
+                   const hw::Hierarchy &hierarchy,
+                   const core::SolveContext &context) const
 {
     core::SolverOptions options;
     options.strategyName = name();
@@ -13,7 +14,7 @@ DataParallel::plan(const core::PartitionProblem &problem,
         return std::vector<core::PartitionType>{
             core::PartitionType::TypeI};
     };
-    return core::solveHierarchy(problem, hierarchy, options);
+    return core::solveHierarchy(problem, hierarchy, options, context);
 }
 
 } // namespace accpar::strategies

@@ -24,7 +24,8 @@ class DataParallel : public Strategy
     std::string label() const override { return "DP"; }
 
     core::PartitionPlan plan(const core::PartitionProblem &problem,
-                             const hw::Hierarchy &hierarchy) const
+                             const hw::Hierarchy &hierarchy,
+                             const core::SolveContext &context) const
         override;
 
     using Strategy::plan;

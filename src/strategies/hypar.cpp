@@ -7,7 +7,8 @@ namespace accpar::strategies {
 
 core::PartitionPlan
 HyPar::plan(const core::PartitionProblem &problem,
-            const hw::Hierarchy &hierarchy) const
+            const hw::Hierarchy &hierarchy,
+            const core::SolveContext &context) const
 {
     // HyPar "can only handle DNN architectures with linear structure"
     // (paper §1/§3.5). Nodes inside multi-path regions — the residual
@@ -44,7 +45,7 @@ HyPar::plan(const core::PartitionProblem &problem,
             return std::vector<core::PartitionType>{
                 core::PartitionType::TypeI, core::PartitionType::TypeII};
         };
-    return core::solveHierarchy(problem, hierarchy, options);
+    return core::solveHierarchy(problem, hierarchy, options, context);
 }
 
 } // namespace accpar::strategies

@@ -28,7 +28,8 @@ class HyPar : public Strategy
     std::string label() const override { return "HyPar"; }
 
     core::PartitionPlan plan(const core::PartitionProblem &problem,
-                             const hw::Hierarchy &hierarchy) const
+                             const hw::Hierarchy &hierarchy,
+                             const core::SolveContext &context) const
         override;
 
     using Strategy::plan;

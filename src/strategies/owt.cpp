@@ -6,7 +6,8 @@ namespace accpar::strategies {
 
 core::PartitionPlan
 Owt::plan(const core::PartitionProblem &problem,
-          const hw::Hierarchy &hierarchy) const
+          const hw::Hierarchy &hierarchy,
+          const core::SolveContext &context) const
 {
     core::SolverOptions options;
     options.strategyName = name();
@@ -18,7 +19,7 @@ Owt::plan(const core::PartitionProblem &problem,
         return std::vector<core::PartitionType>{
             fc ? core::PartitionType::TypeII : core::PartitionType::TypeI};
     };
-    return core::solveHierarchy(problem, hierarchy, options);
+    return core::solveHierarchy(problem, hierarchy, options, context);
 }
 
 } // namespace accpar::strategies

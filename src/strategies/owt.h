@@ -22,7 +22,8 @@ class Owt : public Strategy
     std::string label() const override { return "OWT"; }
 
     core::PartitionPlan plan(const core::PartitionProblem &problem,
-                             const hw::Hierarchy &hierarchy) const
+                             const hw::Hierarchy &hierarchy,
+                             const core::SolveContext &context) const
         override;
 
     using Strategy::plan;

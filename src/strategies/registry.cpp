@@ -6,6 +6,7 @@
 #include "strategies/owt.h"
 #include "util/error.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace accpar::strategies {
 
@@ -37,6 +38,21 @@ defaultStrategies()
     for (const std::string &name : strategyNames())
         out.push_back(makeStrategy(name));
     return out;
+}
+
+std::vector<core::PartitionPlan>
+planAll(const std::vector<StrategyPtr> &strategies,
+        const core::PartitionProblem &problem,
+        const hw::Hierarchy &hierarchy, const core::SolveContext &context)
+{
+    std::vector<core::PartitionPlan> plans(strategies.size());
+    util::parallelFor(context.pool, strategies.size(),
+                      [&](std::size_t i) {
+                          plans[i] = strategies[i]->plan(problem,
+                                                         hierarchy,
+                                                         context);
+                      });
+    return plans;
 }
 
 } // namespace accpar::strategies

@@ -23,6 +23,18 @@ StrategyPtr makeStrategy(const std::string &name);
 /** All four strategies in evaluation order (DP, OWT, HyPar, AccPar). */
 std::vector<StrategyPtr> defaultStrategies();
 
+/**
+ * Plans every strategy of @p strategies on one (problem, hierarchy)
+ * pair. With a pool in @p context the strategies plan concurrently
+ * (each additionally fanning out its own subtrees); the returned plans
+ * are in @p strategies order and identical to sequential planning.
+ */
+std::vector<core::PartitionPlan>
+planAll(const std::vector<StrategyPtr> &strategies,
+        const core::PartitionProblem &problem,
+        const hw::Hierarchy &hierarchy,
+        const core::SolveContext &context = {});
+
 } // namespace accpar::strategies
 
 #endif // ACCPAR_STRATEGIES_REGISTRY_H

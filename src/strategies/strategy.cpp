@@ -3,6 +3,13 @@
 namespace accpar::strategies {
 
 core::PartitionPlan
+Strategy::plan(const core::PartitionProblem &problem,
+               const hw::Hierarchy &hierarchy) const
+{
+    return plan(problem, hierarchy, core::SolveContext{});
+}
+
+core::PartitionPlan
 Strategy::plan(const graph::Graph &model,
                const hw::Hierarchy &hierarchy) const
 {

@@ -34,10 +34,21 @@ class Strategy
     /** Display label used in tables ("DP", "OWT", ...). */
     virtual std::string label() const = 0;
 
-    /** Produces the plan for @p problem on @p hierarchy. */
+    /**
+     * Produces the plan for @p problem on @p hierarchy. @p context
+     * carries optional shared resources (thread pool for parallel
+     * subtree fan-out, cost memo cache); the default-constructed
+     * context solves sequentially without memoization, and results are
+     * identical either way.
+     */
     virtual core::PartitionPlan
     plan(const core::PartitionProblem &problem,
-         const hw::Hierarchy &hierarchy) const = 0;
+         const hw::Hierarchy &hierarchy,
+         const core::SolveContext &context) const = 0;
+
+    /** Convenience overload: sequential, no shared resources. */
+    core::PartitionPlan plan(const core::PartitionProblem &problem,
+                             const hw::Hierarchy &hierarchy) const;
 
     /** Convenience overload building the problem from a model graph. */
     core::PartitionPlan plan(const graph::Graph &model,

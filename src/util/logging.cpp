@@ -34,6 +34,7 @@ Logger::instance()
 void
 Logger::write(LogLevel level, const std::string &message)
 {
+    const std::lock_guard<std::mutex> lock(_writeMutex);
     (*_stream) << "[accpar " << logLevelName(level) << "] " << message
                << '\n';
 }

@@ -10,6 +10,7 @@
 #ifndef ACCPAR_UTIL_LOGGING_H
 #define ACCPAR_UTIL_LOGGING_H
 
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -25,8 +26,9 @@ const char *logLevelName(LogLevel level);
 /**
  * Process-wide logger configuration and sink.
  *
- * Not thread-safe by design: the solvers are single-threaded and the
- * benches configure logging before any work starts.
+ * Emission is serialized by a mutex, so messages from concurrent solver
+ * tasks never interleave mid-line. Configuration (setLevel, setStream)
+ * is still expected to happen before parallel work starts.
  */
 class Logger
 {
@@ -49,6 +51,7 @@ class Logger
 
     LogLevel _level;
     std::ostream *_stream;
+    std::mutex _writeMutex;
 };
 
 } // namespace accpar::util

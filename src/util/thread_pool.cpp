@@ -1,0 +1,114 @@
+#include "util/thread_pool.h"
+
+#include "util/error.h"
+
+namespace accpar::util {
+
+ThreadPool::ThreadPool(int jobs)
+{
+    if (jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    _workers.reserve(static_cast<std::size_t>(jobs - 1));
+    for (int i = 0; i < jobs - 1; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::executeOne(Batch &batch, std::size_t index)
+{
+    try {
+        batch.tasks[index]();
+    } catch (...) {
+        batch.errors[index] = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(batch.mutex);
+        ++batch.finished;
+        if (batch.finished == batch.tasks.size())
+            batch.done.notify_all();
+    }
+}
+
+void
+ThreadPool::helpWith(Batch &batch)
+{
+    for (;;) {
+        const std::size_t index = batch.next.fetch_add(1);
+        if (index >= batch.tasks.size())
+            return;
+        executeOne(batch, index);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock, [this] { return _stop || !_queue.empty(); });
+            if (_stop)
+                return;
+            batch = _queue.front();
+            if (batch->next.load() >= batch->tasks.size()) {
+                // Fully claimed; retire it and look again.
+                _queue.pop_front();
+                continue;
+            }
+        }
+        // Claim outside the pool lock so siblings can claim concurrently.
+        const std::size_t index = batch->next.fetch_add(1);
+        if (index < batch->tasks.size())
+            executeOne(*batch, index);
+    }
+}
+
+void
+ThreadPool::run(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+
+    const auto batch = std::make_shared<Batch>();
+    batch->tasks = std::move(tasks);
+    batch->errors.resize(batch->tasks.size());
+
+    if (_workers.empty() || batch->tasks.size() == 1) {
+        // Sequential path: execute inline, in index order.
+        helpWith(*batch);
+    } else {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _queue.push_back(batch);
+        }
+        _wake.notify_all();
+        // The caller works on its own batch; it never claims tasks of
+        // other batches, which bounds stack growth and avoids deadlock.
+        helpWith(*batch);
+        std::unique_lock<std::mutex> lock(batch->mutex);
+        batch->done.wait(lock, [&] {
+            return batch->finished == batch->tasks.size();
+        });
+    }
+
+    for (const std::exception_ptr &error : batch->errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+} // namespace accpar::util

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A small fixed-size thread pool for the planning engine.
+ *
+ * The pool is deliberately work-stealing-free: tasks are claimed from a
+ * FIFO of batches in submission order, so with one job the execution
+ * order is exactly the sequential order and with many jobs every task
+ * still starts in index order. Parallel callers write results into
+ * per-index slots, which keeps reductions deterministic — the planner
+ * relies on this for its bit-identical sequential/parallel guarantee.
+ *
+ * run() is the nesting-safe primitive: the calling thread participates
+ * in executing its own batch, so a pool task may itself call run()
+ * (sibling-subtree fan-out in the hierarchical solver) without risking
+ * pool-exhaustion deadlock — a waiter only ever blocks on tasks that are
+ * already running on some other thread. submit() returns a future for
+ * fire-and-forget top-level work; do not block on such a future from
+ * inside a pool task.
+ */
+
+#ifndef ACCPAR_UTIL_THREAD_POOL_H
+#define ACCPAR_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace accpar::util {
+
+/** Fixed-size futures-based thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Creates a pool with @p jobs total lanes of concurrency (the
+     * calling thread counts as one, so @p jobs - 1 workers are spawned).
+     * 0 means std::thread::hardware_concurrency(); 1 means fully
+     * sequential (no worker threads, run() executes inline in order).
+     */
+    explicit ThreadPool(int jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency: worker threads plus the calling thread. */
+    int concurrency() const { return static_cast<int>(_workers.size()) + 1; }
+
+    /**
+     * Runs every task of @p tasks to completion, the caller included in
+     * the execution. Tasks start in index order. If tasks throw, all
+     * remaining tasks still run and the exception of the lowest-index
+     * failing task is rethrown (deterministic error reporting). Safe to
+     * call from inside a pool task (nested fork/join).
+     */
+    void run(std::vector<std::function<void()>> tasks);
+
+    /**
+     * Schedules @p fn for asynchronous execution and returns its future.
+     * With no workers (jobs == 1) the task runs inline before returning.
+     */
+    template <typename Fn>
+    auto submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> future = task->get_future();
+        run({[task] { (*task)(); }});
+        return future;
+    }
+
+  private:
+    /** One fork/join region: a vector of tasks claimed by index. */
+    struct Batch
+    {
+        std::vector<std::function<void()>> tasks;
+        std::atomic<std::size_t> next{0};
+        std::size_t finished = 0; ///< guarded by mutex
+        std::vector<std::exception_ptr> errors;
+        std::mutex mutex;
+        std::condition_variable done;
+    };
+
+    void workerLoop();
+    static void executeOne(Batch &batch, std::size_t index);
+    /** Claims and runs tasks of @p batch until none are left unclaimed. */
+    static void helpWith(Batch &batch);
+
+    std::vector<std::thread> _workers;
+    std::deque<std::shared_ptr<Batch>> _queue; ///< guarded by _mutex
+    std::mutex _mutex;
+    std::condition_variable _wake;
+    bool _stop = false;
+};
+
+/**
+ * Runs fn(i) for every i in [0, n). With a null @p pool (or n <= 1) the
+ * loop is a plain sequential for; otherwise the iterations execute on
+ * the pool. fn must only write to per-index state.
+ */
+template <typename Fn>
+void
+parallelFor(ThreadPool *pool, std::size_t n, Fn fn)
+{
+    if (!pool || pool->concurrency() <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        tasks.emplace_back([&fn, i] { fn(i); });
+    pool->run(std::move(tasks));
+}
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_THREAD_POOL_H

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests of the fixed-size thread pool behind the parallel planning
+ * engine: exception propagation, deterministic ordering, nesting, and
+ * the sequential fallbacks the determinism guarantee leans on.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace {
+
+using accpar::util::ThreadPool;
+using accpar::util::parallelFor;
+
+TEST(ThreadPoolTest, ConcurrencyCountsCallerAsOneLane)
+{
+    ThreadPool one(1);
+    EXPECT_EQ(one.concurrency(), 1);
+
+    ThreadPool four(4);
+    EXPECT_EQ(four.concurrency(), 4);
+}
+
+TEST(ThreadPoolTest, ZeroJobsUsesHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.concurrency(), 1);
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0)
+        EXPECT_EQ(pool.concurrency(), static_cast<int>(hw));
+}
+
+TEST(ThreadPoolTest, RunExecutesEveryTask)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 100;
+    std::vector<int> hits(n, 0);
+
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < n; ++i)
+        tasks.emplace_back([&hits, i] { hits[i] = 1; });
+    pool.run(std::move(tasks));
+
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(n));
+}
+
+TEST(ThreadPoolTest, SingleJobRunsInSubmissionOrderOnCallerThread)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    const std::thread::id caller = std::this_thread::get_id();
+
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i)
+        tasks.emplace_back([&order, caller, i] {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+            order.push_back(i);
+        });
+    pool.run(std::move(tasks));
+
+    const std::vector<int> expected = {0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ResultsMatchSequentialForAnyJobCount)
+{
+    constexpr std::size_t n = 64;
+    std::vector<double> sequential(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sequential[i] = static_cast<double>(i * i) + 0.25;
+
+    for (int jobs : {1, 2, 4, 7}) {
+        ThreadPool pool(jobs);
+        std::vector<double> parallel(n, 0.0);
+        parallelFor(&pool, n, [&parallel](std::size_t i) {
+            parallel[i] = static_cast<double>(i * i) + 0.25;
+        });
+        EXPECT_EQ(parallel, sequential) << "jobs=" << jobs;
+    }
+}
+
+TEST(ThreadPoolTest, LowestIndexExceptionWinsAfterAllTasksRan)
+{
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i)
+        tasks.emplace_back([&executed, i] {
+            ++executed;
+            if (i == 11)
+                throw std::runtime_error("task 11");
+            if (i == 3)
+                throw std::runtime_error("task 3");
+        });
+
+    try {
+        pool.run(std::move(tasks));
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 3");
+    }
+    // A failing task never cancels its siblings.
+    EXPECT_EQ(executed.load(), 16);
+}
+
+TEST(ThreadPoolTest, SubmitDeliversValueAndException)
+{
+    ThreadPool pool(2);
+
+    std::future<int> ok = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(ok.get(), 42);
+
+    std::future<void> bad = pool.submit(
+        [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedRunDoesNotDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> leaves{0};
+
+    std::vector<std::function<void()>> outer;
+    for (int i = 0; i < 4; ++i)
+        outer.emplace_back([&pool, &leaves] {
+            std::vector<std::function<void()>> inner;
+            for (int j = 0; j < 4; ++j)
+                inner.emplace_back([&leaves] { ++leaves; });
+            pool.run(std::move(inner));
+        });
+    pool.run(std::move(outer));
+
+    EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentBatchesComplete)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 50; ++round) {
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 8; ++i)
+            tasks.emplace_back([&total] { ++total; });
+        pool.run(std::move(tasks));
+    }
+    EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ParallelForTest, NullPoolFallsBackToPlainLoop)
+{
+    std::vector<int> order;
+    parallelFor(nullptr, 5,
+                [&order](std::size_t i) {
+                    order.push_back(static_cast<int>(i));
+                });
+    const std::vector<int> expected = {0, 1, 2, 3, 4};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, SingleIterationRunsInline)
+{
+    ThreadPool pool(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    bool ran = false;
+    parallelFor(&pool, 1, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ran = true;
+    });
+    EXPECT_TRUE(ran);
+}
+
+} // namespace

@@ -6,16 +6,24 @@
  * Subcommands:
  *   info     --model NAME [--batch N]
  *            model summary (layers, weights, FLOPs) and DOT export
- *   plan     --model NAME [--batch N] [--array SPEC]
+ *   plan     --model NAME [--batch N] [--array SPEC] [--jobs N]
  *            [--strategy dp|owt|hypar|accpar] [--out plan.json]
  *            search a partition plan; print per-level types
- *   simulate --model NAME [--batch N] [--array SPEC]
- *            (--strategy S | --plan plan.json)
+ *   simulate --model NAME [--batch N] [--array SPEC] [--jobs N]
+ *            (--strategy S | --plan plan.json) [--optimizer OPT]
  *            simulate one training step and report timing
- *   compare  [--models a,b,c] [--batch N] [--array SPEC] [--csv FILE]
+ *   compare  [--models a,b,c] [--batch N] [--array SPEC] [--jobs N]
+ *            [--optimizer OPT] [--csv FILE]
  *            the Figure 5/6 style strategy comparison
- *   sweep    --model NAME [--min-levels 2] [--max-levels 9]
+ *   sweep    --model NAME [--min-levels 2] [--max-levels 9] [--jobs N]
+ *            [--optimizer OPT]
  *            the Figure 8 style hierarchy sweep
+ *   diff     compare two plans (by strategy or plan file)
+ *
+ * `accpar --version` prints the library version.
+ *
+ * --jobs N runs the planning engine with N concurrency lanes (0 = all
+ * hardware threads, default 1). Plans are bit-identical for any value.
  *
  * Array SPEC: "hetero" (default; 128 TPU-v2 + 128 TPU-v3), "homo"
  * (128 TPU-v3), or slices like "tpu-v2:96+tpu-v3:32"; custom
@@ -27,17 +35,20 @@
 
 #include "core/plan_diff.h"
 #include "core/plan_io.h"
+#include "core/planner.h"
 #include "graph/dot_export.h"
 #include "hw/hierarchy.h"
 #include "hw/topology.h"
 #include "models/model_io.h"
 #include "models/summary.h"
 #include "models/zoo.h"
+#include "sim/optimizer.h"
 #include "sim/report.h"
 #include "strategies/registry.h"
 #include "util/args.h"
-#include "util/table.h"
+#include "util/stats.h"
 #include "util/string_util.h"
+#include "util/table.h"
 
 namespace {
 
@@ -58,11 +69,34 @@ resolveModel(const util::Args &args)
 }
 
 int
+jobsArg(const util::Args &args)
+{
+    return static_cast<int>(args.getIntOr("jobs", 1));
+}
+
+sim::TrainingSimConfig
+simConfig(const util::Args &args)
+{
+    sim::TrainingSimConfig config;
+    if (const auto name = args.get("optimizer"))
+        config.trace.optimizer = sim::parseOptimizer(*name);
+    return config;
+}
+
+std::string
+cacheLine(const core::CostCacheStats &stats)
+{
+    return "[cost cache: " + std::to_string(stats.hits) + " hits, " +
+           std::to_string(stats.misses) + " misses]";
+}
+
+int
 usage()
 {
     std::cerr
         << "usage: accpar <info|plan|simulate|compare|sweep|diff> "
            "[flags]\n"
+        << "       accpar --version\n"
         << "run 'accpar' with a subcommand; see tools/accpar_cli.cpp "
            "header for flags\n";
     return 2;
@@ -76,7 +110,16 @@ cmdInfo(const util::Args &args)
     std::cout << models::formatSummary(models::summarizeModel(model));
     if (const auto path = args.get("dot")) {
         std::ofstream out(*path);
+        if (!out.is_open()) {
+            std::cerr << "error: cannot open " << *path
+                      << " for writing\n";
+            return 1;
+        }
         out << graph::toDot(model);
+        if (!out.good()) {
+            std::cerr << "error: write to " << *path << " failed\n";
+            return 1;
+        }
         std::cout << "[dot written to " << *path << "]\n";
     }
     return 0;
@@ -85,20 +128,26 @@ cmdInfo(const util::Args &args)
 int
 cmdPlan(const util::Args &args)
 {
-    args.checkKnown(
-        {"model", "model-file", "batch", "array", "strategy", "out"});
-    const graph::Graph model = resolveModel(args);
+    args.checkKnown({"model", "model-file", "batch", "array",
+                     "strategy", "out", "jobs"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
-    const hw::Hierarchy hierarchy(array);
-    const auto strategy =
-        strategies::makeStrategy(args.getOr("strategy", "accpar"));
 
-    const core::PartitionPlan plan = strategy->plan(model, hierarchy);
+    PlanRequest request(resolveModel(args), array);
+    request.strategy = args.getOr("strategy", "accpar");
+    request.jobs = jobsArg(args);
+
+    Planner planner;
+    const PlanResult result = planner.plan(request);
+
+    const hw::Hierarchy hierarchy(array);
     std::cout << "array: " << array.toString() << '\n';
-    std::cout << plan.toString(hierarchy);
+    std::cout << result.plan.toString(hierarchy);
+    std::cout << "planned in " << util::humanSeconds(result.planSeconds)
+              << " with " << result.jobs << " job(s) "
+              << cacheLine(result.cacheDelta) << '\n';
     if (const auto path = args.get("out")) {
-        core::savePlan(plan, hierarchy, *path);
+        core::savePlan(result.plan, hierarchy, *path);
         std::cout << "[plan written to " << *path << "]\n";
     }
     return 0;
@@ -107,28 +156,33 @@ cmdPlan(const util::Args &args)
 int
 cmdSimulate(const util::Args &args)
 {
-    args.checkKnown(
-        {"model", "model-file", "batch", "array", "strategy", "plan"});
-    const graph::Graph model = resolveModel(args);
-    const std::int64_t batch =
-        model.layer(model.inputLayer()).outputShape.n;
+    args.checkKnown({"model", "model-file", "batch", "array",
+                     "strategy", "plan", "jobs", "optimizer"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
     const hw::Hierarchy hierarchy(array);
-    const core::PartitionProblem problem(model);
 
-    core::PartitionPlan plan = [&] {
-        if (const auto path = args.get("plan"))
-            return core::loadPlan(*path, hierarchy);
-        const auto strategy = strategies::makeStrategy(
-            args.getOr("strategy", "accpar"));
-        return strategy->plan(problem, hierarchy);
+    const sim::TrainingRunResult run = [&] {
+        if (const auto path = args.get("plan")) {
+            const graph::Graph model = resolveModel(args);
+            const std::int64_t batch =
+                model.layer(model.inputLayer()).outputShape.n;
+            const core::PartitionProblem problem(model);
+            const core::PartitionPlan plan =
+                core::loadPlan(*path, hierarchy);
+            return sim::simulatePlan(problem, batch, hierarchy, plan,
+                                     simConfig(args));
+        }
+        PlanRequest request(resolveModel(args), array);
+        request.strategy = args.getOr("strategy", "accpar");
+        request.jobs = jobsArg(args);
+        request.sim = simConfig(args);
+        Planner planner;
+        return planner.simulate(request).run;
     }();
 
-    const sim::TrainingRunResult run =
-        sim::simulatePlan(problem, batch, hierarchy, plan);
     std::cout << "array:            " << array.toString() << '\n'
-              << "strategy:         " << plan.strategyName() << '\n'
+              << "strategy:         " << run.strategyName << '\n'
               << "step time:        "
               << util::humanSeconds(run.stepTime) << '\n'
               << "throughput:       " << run.throughput
@@ -154,7 +208,8 @@ cmdSimulate(const util::Args &args)
 int
 cmdCompare(const util::Args &args)
 {
-    args.checkKnown({"models", "batch", "array", "csv"});
+    args.checkKnown(
+        {"models", "batch", "array", "csv", "jobs", "optimizer"});
     std::vector<std::string> names;
     if (const auto list = args.get("models")) {
         for (const std::string &part : util::split(*list, ','))
@@ -164,12 +219,38 @@ cmdCompare(const util::Args &args)
     }
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
-    const sim::SpeedupTable table = sim::runSpeedupComparison(
-        names, args.getIntOr("batch", 512), array,
-        strategies::defaultStrategies());
+    const std::int64_t batch = args.getIntOr("batch", 512);
+
+    Planner planner;
+    sim::SpeedupTable table;
+    for (const strategies::StrategyPtr &s :
+         strategies::defaultStrategies())
+        table.strategyLabels.push_back(s->label());
+
+    for (const std::string &name : names) {
+        PlanRequest request(models::buildModel(name, batch), array);
+        request.jobs = jobsArg(args);
+        request.sim = simConfig(args);
+        const StrategyComparison comparison = planner.compare(request);
+
+        sim::SpeedupRow row;
+        row.model = name;
+        for (const sim::TrainingRunResult &run : comparison.runs)
+            row.throughput.push_back(run.throughput);
+        row.speedup = comparison.speedup;
+        table.rows.push_back(std::move(row));
+    }
+    for (std::size_t s = 0; s < table.strategyLabels.size(); ++s) {
+        std::vector<double> column;
+        for (const sim::SpeedupRow &row : table.rows)
+            column.push_back(row.speedup[s]);
+        table.geomean.push_back(util::geometricMean(column));
+    }
+
     std::cout << sim::formatSpeedupTable(
         table,
         "speedup over data parallelism on " + array.toString());
+    std::cout << cacheLine(planner.cacheStats()) << '\n';
     if (const auto path = args.get("csv")) {
         sim::writeSpeedupCsv(table, *path);
         std::cout << "[csv written to " << *path << "]\n";
@@ -180,37 +261,34 @@ cmdCompare(const util::Args &args)
 int
 cmdSweep(const util::Args &args)
 {
-    args.checkKnown({"model", "batch", "min-levels", "max-levels"});
+    args.checkKnown({"model", "batch", "min-levels", "max-levels",
+                     "jobs", "optimizer"});
     const std::int64_t batch = args.getIntOr("batch", 512);
-    const graph::Graph model =
-        models::buildModel(args.getOr("model", "vgg19"), batch);
+    const std::string model_name = args.getOr("model", "vgg19");
     const auto min_levels =
         static_cast<int>(args.getIntOr("min-levels", 2));
     const auto max_levels =
         static_cast<int>(args.getIntOr("max-levels", 9));
 
-    const auto strategies_list = strategies::defaultStrategies();
+    Planner planner;
     std::vector<std::string> header = {"h"};
-    for (const auto &s : strategies_list)
+    for (const auto &s : strategies::defaultStrategies())
         header.push_back(s->label());
     util::Table table(header);
     for (int levels = min_levels; levels <= max_levels; ++levels) {
-        const hw::Hierarchy hierarchy(
+        PlanRequest request(
+            models::buildModel(model_name, batch),
             hw::heterogeneousTpuArrayForLevels(levels));
-        std::vector<double> speedups;
-        double base = 0.0;
-        for (const auto &s : strategies_list) {
-            const auto run =
-                sim::simulateStrategy(model, hierarchy, *s);
-            if (speedups.empty())
-                base = run.throughput;
-            speedups.push_back(run.throughput / base);
-        }
-        table.addRow("h=" + std::to_string(levels), speedups, 4);
+        request.jobs = jobsArg(args);
+        request.sim = simConfig(args);
+        const StrategyComparison comparison = planner.compare(request);
+        table.addRow("h=" + std::to_string(levels), comparison.speedup,
+                     4);
     }
-    std::cout << model.name()
+    std::cout << model_name
               << ": speedup vs hierarchy level (normalized to DP)\n";
     table.print(std::cout);
+    std::cout << cacheLine(planner.cacheStats()) << '\n';
     return 0;
 }
 
@@ -253,6 +331,10 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string command = argv[1];
+    if (command == "--version" || command == "version") {
+        std::cout << "accpar " << kAccParVersion << '\n';
+        return 0;
+    }
     std::vector<std::string> rest(argv + 2, argv + argc);
 
     try {
