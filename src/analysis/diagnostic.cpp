@@ -1,0 +1,153 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace accpar::analysis {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Note:
+        return "note";
+    }
+    throw util::InternalError("unknown Severity");
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << '[' << code << ']';
+    if (!location.empty())
+        os << " at " << location;
+    os << ": " << message;
+    if (!hint.empty())
+        os << " (hint: " << hint << ')';
+    return os.str();
+}
+
+void
+DiagnosticSink::report(Diagnostic diagnostic)
+{
+    _diagnostics.push_back(std::move(diagnostic));
+}
+
+void
+DiagnosticSink::error(std::string code, std::string location,
+                      std::string message, std::string hint)
+{
+    report(Diagnostic{std::move(code), Severity::Error,
+                      std::move(location), std::move(message),
+                      std::move(hint)});
+}
+
+void
+DiagnosticSink::warning(std::string code, std::string location,
+                        std::string message, std::string hint)
+{
+    report(Diagnostic{std::move(code), Severity::Warning,
+                      std::move(location), std::move(message),
+                      std::move(hint)});
+}
+
+void
+DiagnosticSink::note(std::string code, std::string location,
+                     std::string message, std::string hint)
+{
+    report(Diagnostic{std::move(code), Severity::Note,
+                      std::move(location), std::move(message),
+                      std::move(hint)});
+}
+
+std::size_t
+DiagnosticSink::errorCount() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        _diagnostics.begin(), _diagnostics.end(),
+        [](const Diagnostic &d) {
+            return d.severity == Severity::Error;
+        }));
+}
+
+std::size_t
+DiagnosticSink::warningCount() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        _diagnostics.begin(), _diagnostics.end(),
+        [](const Diagnostic &d) {
+            return d.severity == Severity::Warning;
+        }));
+}
+
+bool
+DiagnosticSink::failsStrict(bool strict) const
+{
+    return hasErrors() || (strict && warningCount() > 0);
+}
+
+bool
+DiagnosticSink::hasCode(const std::string &code) const
+{
+    return std::any_of(_diagnostics.begin(), _diagnostics.end(),
+                       [&](const Diagnostic &d) {
+                           return d.code == code;
+                       });
+}
+
+void
+DiagnosticSink::sort()
+{
+    std::stable_sort(_diagnostics.begin(), _diagnostics.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.severity != b.severity)
+                             return static_cast<int>(a.severity) <
+                                    static_cast<int>(b.severity);
+                         return a.code < b.code;
+                     });
+}
+
+std::string
+DiagnosticSink::renderText() const
+{
+    if (_diagnostics.empty())
+        return "";
+    std::ostringstream os;
+    for (const Diagnostic &d : _diagnostics)
+        os << d.toString() << '\n';
+    const std::size_t errors = errorCount();
+    const std::size_t warnings = warningCount();
+    os << errors << (errors == 1 ? " error, " : " errors, ") << warnings
+       << (warnings == 1 ? " warning" : " warnings") << '\n';
+    return os.str();
+}
+
+util::Json
+DiagnosticSink::renderJson() const
+{
+    util::Json list{util::Json::Array{}};
+    for (const Diagnostic &d : _diagnostics) {
+        util::Json entry;
+        entry["code"] = d.code;
+        entry["severity"] = severityName(d.severity);
+        entry["location"] = d.location;
+        entry["message"] = d.message;
+        if (!d.hint.empty())
+            entry["hint"] = d.hint;
+        list.push(std::move(entry));
+    }
+    util::Json doc;
+    doc["diagnostics"] = std::move(list);
+    doc["errors"] = static_cast<std::int64_t>(errorCount());
+    doc["warnings"] = static_cast<std::int64_t>(warningCount());
+    return doc;
+}
+
+} // namespace accpar::analysis

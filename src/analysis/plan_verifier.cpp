@@ -1,0 +1,312 @@
+#include "analysis/plan_verifier.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/chain_dp.h"
+#include "core/condensed_graph.h"
+#include "util/error.h"
+
+namespace accpar::analysis {
+
+bool
+table5TransitionLegal(core::PartitionType from, core::PartitionType to)
+{
+    const auto valid = [](core::PartitionType t) {
+        const int index = static_cast<int>(t);
+        return index >= 0 && index < core::kPartitionTypeCount;
+    };
+    return valid(from) && valid(to);
+}
+
+namespace {
+
+/** Tag of @p t, tolerating out-of-enum values from corrupted plans. */
+std::string
+typeLabel(core::PartitionType t)
+{
+    const int index = static_cast<int>(t);
+    if (index >= 0 && index < core::kPartitionTypeCount)
+        return core::partitionTypeTag(t);
+    return "type#" + std::to_string(index);
+}
+
+struct Verifier
+{
+    const core::PartitionProblem &problem;
+    const hw::Hierarchy &hierarchy;
+    const core::PartitionPlan &plan;
+    const VerifyOptions &options;
+    DiagnosticSink &sink;
+
+    std::string
+    location(hw::NodeId id) const
+    {
+        const hw::HierarchyNode &hn = hierarchy.node(id);
+        std::ostringstream os;
+        os << "hierarchy node " << id << " (level " << hn.level << ", "
+           << hn.group.toString() << ')';
+        return os.str();
+    }
+
+    /** AP108: the tree must be the bi-partition of the root's boards. */
+    void
+    checkHierarchyShape()
+    {
+        std::size_t leaves = 0;
+        int leaf_boards = 0;
+        for (std::size_t i = 0; i < hierarchy.nodeCount(); ++i) {
+            const auto id = static_cast<hw::NodeId>(i);
+            const hw::HierarchyNode &hn = hierarchy.node(id);
+            if (hn.isLeaf()) {
+                ++leaves;
+                leaf_boards += hn.group.size();
+                if (hn.group.size() != 1) {
+                    sink.error("AP108", location(id),
+                               "leaf hierarchy node holds " +
+                                   std::to_string(hn.group.size()) +
+                                   " boards; leaves must be single "
+                                   "boards");
+                }
+                continue;
+            }
+            for (hw::NodeId child : {hn.left, hn.right}) {
+                if (child < 0 ||
+                    static_cast<std::size_t>(child) >=
+                        hierarchy.nodeCount()) {
+                    sink.error("AP108", location(id),
+                               "child node id " +
+                                   std::to_string(child) +
+                                   " is out of range");
+                } else if (hierarchy.node(child).level !=
+                           hn.level + 1) {
+                    sink.error("AP108", location(id),
+                               "child node " + std::to_string(child) +
+                                   " does not sit one level below its "
+                                   "parent");
+                }
+            }
+        }
+        const int boards =
+            hierarchy.node(hierarchy.root()).group.size();
+        if (leaf_boards != boards ||
+            hierarchy.nodeCount() != 2 * leaves - 1) {
+            sink.error("AP108", location(hierarchy.root()),
+                       "hierarchy shape is inconsistent with its "
+                       "device count: " +
+                           std::to_string(boards) + " boards, " +
+                           std::to_string(leaves) + " leaves, " +
+                           std::to_string(hierarchy.nodeCount()) +
+                           " nodes",
+                       "a bi-partition of n boards has n leaves and "
+                       "2n-1 nodes");
+        }
+    }
+
+    /**
+     * Shape rules of one internal node's decisions (AP103/AP104/
+     * AP105). Returns true when the node plan is structurally sound
+     * enough to evaluate costs and descend into children.
+     */
+    bool
+    checkNodePlan(hw::NodeId id, const core::NodePlan &np)
+    {
+        bool sound = true;
+
+        // AP103: the two shares are alpha and 1-alpha; they sum to 1
+        // by construction iff alpha is a number inside (0, 1).
+        if (!(np.alpha > 0.0 && np.alpha < 1.0)) {
+            std::ostringstream os;
+            os << "ratio shares (" << np.alpha << ", "
+               << 1.0 - np.alpha
+               << ") must both be positive and sum to 1";
+            sink.error("AP103", location(id), os.str(),
+                       "alpha must lie strictly between 0 and 1");
+            sound = false;
+        }
+
+        const core::CondensedGraph &graph = problem.condensed();
+        // AP104: one type per condensed node.
+        if (np.types.size() != graph.size()) {
+            sink.error("AP104", location(id),
+                       "plan assigns " +
+                           std::to_string(np.types.size()) +
+                           " per-layer types but the model has " +
+                           std::to_string(graph.size()) +
+                           " partitionable nodes");
+            return false;
+        }
+
+        // AP105: every adjacent-layer transition must be one of the
+        // nine legal patterns of Table 5; an out-of-enum type makes
+        // all of its transitions illegal.
+        bool types_legal = true;
+        for (const auto &[u, v] : graph.edges()) {
+            if (table5TransitionLegal(np.types[u], np.types[v]))
+                continue;
+            types_legal = false;
+            sink.error("AP105", location(id),
+                       "transition '" + graph.node(u).name + "' -> '" +
+                           graph.node(v).name + "' uses pattern (" +
+                           typeLabel(np.types[u]) + " -> " +
+                           typeLabel(np.types[v]) +
+                           "), which is not among the nine legal "
+                           "patterns of Table 5",
+                       "per-layer types must be Type-I, Type-II or "
+                       "Type-III");
+        }
+        // Single-node models have no edges; check the lone state too.
+        for (std::size_t v = 0; v < graph.size(); ++v) {
+            const auto cv = static_cast<core::CNodeId>(v);
+            if (!graph.node(cv).preds.empty() ||
+                !graph.node(cv).succs.empty())
+                continue;
+            if (!table5TransitionLegal(np.types[v], np.types[v])) {
+                types_legal = false;
+                sink.error("AP105", location(id),
+                           "node '" + graph.node(cv).name +
+                               "' uses partition state " +
+                               typeLabel(np.types[v]) +
+                               ", which is not a legal Table 5 "
+                               "endpoint");
+            }
+        }
+        if (!types_legal)
+            return false;
+        return sound;
+    }
+
+    /** AP107: recorded cost vs an independent re-evaluation. */
+    void
+    checkCost(hw::NodeId id, const core::NodePlan &np,
+              const std::vector<core::LayerDims> &dims)
+    {
+        if (!options.checkCosts)
+            return;
+        const hw::HierarchyNode &hn = hierarchy.node(id);
+        const hw::AcceleratorGroup &left =
+            hierarchy.node(hn.left).group;
+        const hw::AcceleratorGroup &right =
+            hierarchy.node(hn.right).group;
+        core::PairCostModel model(
+            core::GroupRates{left.computeDensity(),
+                             left.linkBandwidth()},
+            core::GroupRates{right.computeDensity(),
+                             right.linkBandwidth()},
+            options.cost);
+        model.setAlpha(np.alpha);
+        const double recomputed = core::evaluateAssignment(
+            problem.condensed(), dims, model, np.types);
+        const double drift = std::abs(np.cost - recomputed);
+        const double bound =
+            options.costTolerance * std::max(1.0, std::abs(recomputed));
+        if (!(drift <= bound)) {
+            std::ostringstream os;
+            os << "recorded cost " << np.cost << " drifts from the "
+               << "independent re-evaluation " << recomputed << " by "
+               << drift << " (tolerance " << bound << ')';
+            sink.error("AP107", location(id), os.str(),
+                       "internal solver error — the plan's "
+                       "bookkeeping no longer matches its cost model");
+        }
+    }
+
+    /** AP106: each board's shard must fit its HBM capacity. */
+    void
+    checkLeafMemory(hw::NodeId id,
+                    const std::vector<core::DimScales> &scales)
+    {
+        const hw::HierarchyNode &hn = hierarchy.node(id);
+        const std::vector<core::LayerDims> dims =
+            core::scaledDims(problem, scales);
+        const double bpe = options.cost.bytesPerElement;
+        util::Bytes bytes = 0.0;
+        for (const core::LayerDims &d : dims) {
+            bytes += options.weightCopies * d.sizeWeight() * bpe;
+            bytes += 2.0 * (d.sizeInput() + d.sizeOutput()) * bpe;
+        }
+        if (bytes > hn.group.memoryCapacity()) {
+            std::ostringstream os;
+            os << "board shard needs " << bytes
+               << " bytes (weights + gradients + activations + "
+               << "errors) but the board has only "
+               << hn.group.memoryCapacity() << " bytes of HBM";
+            sink.error("AP106", location(id), os.str(),
+                       "use more boards, a smaller batch, or channel "
+                       "partitioning for the largest layers");
+        }
+    }
+
+    void
+    walk(hw::NodeId id, const std::vector<core::DimScales> &scales)
+    {
+        const hw::HierarchyNode &hn = hierarchy.node(id);
+        if (hn.isLeaf()) {
+            if (plan.hasNodePlan(id)) {
+                sink.error("AP102", location(id),
+                           "leaf hierarchy node carries partitioning "
+                           "decisions; leaves take no decisions",
+                           "strip node plans from leaf entries");
+            }
+            checkLeafMemory(id, scales);
+            return;
+        }
+
+        if (!plan.hasNodePlan(id)) {
+            sink.error("AP101", location(id),
+                       "internal hierarchy node carries no "
+                       "partitioning decisions",
+                       "every internal (pair) node needs a ratio and "
+                       "per-layer types");
+            return;
+        }
+        const core::NodePlan &np = plan.nodePlan(id);
+        if (!checkNodePlan(id, np))
+            return;
+
+        const std::vector<core::LayerDims> dims =
+            core::scaledDims(problem, scales);
+        checkCost(id, np, dims);
+
+        const core::CondensedGraph &graph = problem.condensed();
+        std::vector<core::DimScales> left(scales);
+        std::vector<core::DimScales> right(scales);
+        for (std::size_t v = 0; v < graph.size(); ++v) {
+            const bool junction =
+                graph.node(static_cast<core::CNodeId>(v)).junction;
+            left[v] = core::childScales(scales[v], junction,
+                                        np.types[v], np.alpha);
+            right[v] = core::childScales(scales[v], junction,
+                                         np.types[v], 1.0 - np.alpha);
+        }
+        walk(hn.left, left);
+        walk(hn.right, right);
+    }
+};
+
+} // namespace
+
+bool
+verifyPlan(const core::PartitionProblem &problem,
+           const hw::Hierarchy &hierarchy,
+           const core::PartitionPlan &plan,
+           const VerifyOptions &options, DiagnosticSink &sink)
+{
+    const std::size_t errors_before = sink.errorCount();
+    Verifier verifier{problem, hierarchy, plan, options, sink};
+    try {
+        verifier.checkHierarchyShape();
+        const std::vector<core::DimScales> unit(
+            problem.condensed().size());
+        verifier.walk(hierarchy.root(), unit);
+    } catch (const util::Error &e) {
+        // Verification rules are written not to throw; any escape is
+        // itself a finding, never a crash for the caller.
+        sink.error("AP100", "plan '" + plan.strategyName() + "'",
+                   std::string("verification aborted: ") + e.what());
+    }
+    return sink.errorCount() == errors_before;
+}
+
+} // namespace accpar::analysis

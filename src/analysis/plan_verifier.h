@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Static verification of partition plans — run after solving (or after
+ * deserialization) without executing anything.
+ *
+ * The verifier re-walks the bi-partition hierarchy exactly like the
+ * solver and checks every invariant a correct plan must satisfy,
+ * reporting violations as diagnostics. Rule catalog (see DESIGN.md):
+ *
+ *   AP101 error   internal hierarchy node carries no decisions
+ *   AP102 error   leaf hierarchy node carries decisions
+ *   AP103 error   ratio shares invalid (must be positive, sum to 1)
+ *   AP104 error   per-layer type count disagrees with the model
+ *   AP105 error   transition outside Table 5's nine legal patterns
+ *   AP106 error   per-board shard exceeds the board's HBM capacity
+ *   AP107 error   recorded cost drifts from independent re-evaluation
+ *   AP108 error   hierarchy shape inconsistent with the device count
+ */
+
+#ifndef ACCPAR_ANALYSIS_PLAN_VERIFIER_H
+#define ACCPAR_ANALYSIS_PLAN_VERIFIER_H
+
+#include "analysis/diagnostic.h"
+#include "core/cost_model.h"
+#include "core/hierarchical_solver.h"
+#include "core/plan.h"
+#include "hw/hierarchy.h"
+
+namespace accpar::analysis {
+
+/** Knobs of one plan verification run. */
+struct VerifyOptions
+{
+    /**
+     * Cost model configuration the plan was searched under; the AP107
+     * cross-check re-evaluates recorded per-node costs against an
+     * independent PlanEvaluator pass with this config.
+     */
+    core::CostModelConfig cost;
+    /** Disable the AP107 cross-check (e.g. unknown search config). */
+    bool checkCosts = true;
+    /** AP107 tolerance, relative to max(1, |recomputed cost|). */
+    double costTolerance = 1e-9;
+    /**
+     * Weight-tensor copies counted by the AP106 memory model (weights
+     * plus gradients; optimizer state adds more — the simulator's
+     * memory walk is the authoritative check for a chosen optimizer).
+     */
+    double weightCopies = 2.0;
+};
+
+/**
+ * Runs every plan verification rule for @p plan over @p hierarchy,
+ * reporting into @p sink. Never throws on malformed plans; returns
+ * true when no errors were added (warnings do not fail the check).
+ */
+bool verifyPlan(const core::PartitionProblem &problem,
+                const hw::Hierarchy &hierarchy,
+                const core::PartitionPlan &plan,
+                const VerifyOptions &options, DiagnosticSink &sink);
+
+/**
+ * True when (from, to) is one of the nine legal inter-layer transition
+ * patterns of Table 5 — i.e. both endpoints are Type-I/II/III. Values
+ * outside the enum (from corrupted or hand-built plans) are illegal.
+ */
+bool table5TransitionLegal(core::PartitionType from,
+                           core::PartitionType to);
+
+} // namespace accpar::analysis
+
+#endif // ACCPAR_ANALYSIS_PLAN_VERIFIER_H

@@ -3,13 +3,21 @@
  * Partition-plan serialization: save a searched plan as JSON and load
  * it back, so expensive searches can be cached, compared offline, or
  * shipped to an execution system.
+ *
+ * Loading is backed by the static analysis subsystem: structurally
+ * invalid documents are rejected with precise diagnostics (rule codes
+ * APIO01..APIO07, see DESIGN.md) instead of undefined behavior. The
+ * throwing entry points remain for convenience and raise ConfigError
+ * with the rendered diagnostics.
  */
 
 #ifndef ACCPAR_CORE_PLAN_IO_H
 #define ACCPAR_CORE_PLAN_IO_H
 
+#include <optional>
 #include <string>
 
+#include "analysis/diagnostic.h"
 #include "core/plan.h"
 #include "hw/hierarchy.h"
 #include "util/json.h"
@@ -31,6 +39,15 @@ util::Json planToJson(const PartitionPlan &plan,
 PartitionPlan planFromJson(const util::Json &json,
                            const hw::Hierarchy &hierarchy);
 
+/**
+ * Diagnostic-collecting variant: structural problems are reported into
+ * @p sink (codes APIO01..APIO07) and std::nullopt is returned instead
+ * of throwing. Never crashes or silently accepts a malformed document.
+ */
+std::optional<PartitionPlan>
+planFromJson(const util::Json &json, const hw::Hierarchy &hierarchy,
+             analysis::DiagnosticSink &sink);
+
 /** Writes @p plan to @p path (pretty-printed JSON). */
 void savePlan(const PartitionPlan &plan, const hw::Hierarchy &hierarchy,
               const std::string &path);
@@ -38,6 +55,12 @@ void savePlan(const PartitionPlan &plan, const hw::Hierarchy &hierarchy,
 /** Reads a plan from @p path. */
 PartitionPlan loadPlan(const std::string &path,
                        const hw::Hierarchy &hierarchy);
+
+/** Diagnostic-collecting variant of loadPlan (APIO01 on unreadable or
+ *  unparseable files). */
+std::optional<PartitionPlan>
+loadPlan(const std::string &path, const hw::Hierarchy &hierarchy,
+         analysis::DiagnosticSink &sink);
 
 /**
  * Writes the Figure-7-style type matrix of @p plan as CSV: one row per

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/plan_verifier.h"
 #include "strategies/registry.h"
 #include "util/error.h"
 
@@ -98,15 +99,34 @@ Planner::planOne(const PlanRequest &request,
     const auto start = std::chrono::steady_clock::now();
 
     PlanResult result;
+    core::CostModelConfig search_cost;
     if (request.strategy == "custom") {
         const core::SolverOptions opts =
             request.options.toSolverOptions(request.strategy);
+        search_cost = opts.cost;
         result.plan =
             core::solveHierarchy(problem, hierarchy, opts, context);
     } else {
         const strategies::StrategyPtr strategy =
             strategies::makeStrategy(request.strategy);
+        search_cost = strategy->costConfig();
         result.plan = strategy->plan(problem, hierarchy, context);
+    }
+
+    if (request.options.verify) {
+        analysis::DiagnosticSink sink;
+        analysis::VerifyOptions verify;
+        verify.cost = search_cost;
+        analysis::verifyPlan(problem, hierarchy, result.plan, verify,
+                             sink);
+        sink.sort();
+        result.diagnostics = sink.diagnostics();
+        if (sink.failsStrict(request.options.strict)) {
+            throw util::ConfigError(
+                "plan verification failed (strategy '" +
+                result.plan.strategyName() + "', model '" +
+                request.model.name() + "'):\n" + sink.renderText());
+        }
     }
 
     result.strategy = result.plan.strategyName();

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "core/cost_cache.h"
 #include "core/hierarchical_solver.h"
 #include "core/plan.h"
@@ -71,6 +72,17 @@ struct PlanOptions
     core::AllowedTypesFn allowedTypes;
     /** Integer-granularity floor (see SolverOptions::minDimPerSide). */
     double minDimPerSide = 1.0;
+
+    /**
+     * Run the static plan verifier over every produced plan (ratio
+     * legality, Table-5 transitions, per-board memory feasibility,
+     * cost cross-check; see src/analysis/). Honored for named
+     * strategies too, not just "custom". Findings land in
+     * PlanResult::diagnostics; errors make the call throw ConfigError.
+     */
+    bool verify = true;
+    /** Escalate verifier warnings to failures as well. */
+    bool strict = false;
 
     /** Expands to the solver layer's (deprecated) two-level view. */
     core::SolverOptions toSolverOptions(const std::string &strategy) const;
@@ -119,6 +131,9 @@ struct PlanResult
     core::CostCacheStats cacheDelta;
     /** Effective concurrency the call ran with. */
     int jobs = 1;
+    /** Post-solve verification findings (empty when verification is
+     *  disabled or the plan is clean). */
+    std::vector<analysis::Diagnostic> diagnostics;
 };
 
 /** compare(): every registered strategy on one request. */

@@ -2,8 +2,11 @@
 
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
+#include <vector>
 
+#include "analysis/graph_linter.h"
 #include "util/error.h"
 
 namespace accpar::models {
@@ -165,6 +168,245 @@ loadModelFile(const std::string &path)
     std::ostringstream text;
     text << in.rdbuf();
     return modelFromJson(Json::parse(text.str()));
+}
+
+namespace {
+
+using analysis::DiagnosticSink;
+
+const std::set<std::string> kKnownOps = {
+    "conv", "fc",      "maxpool", "avgpool", "gavgpool", "relu",
+    "bn",   "lrn",     "dropout", "flatten", "softmax",  "add",
+    "concat"};
+
+/** True when @p value is absent or a JSON number. */
+bool
+numericIfPresent(const Json &layer, const char *key)
+{
+    return !layer.contains(key) ||
+           layer.at(key).kind() == Json::Kind::Number;
+}
+
+/**
+ * Checks one "layers" entry against the document format: known op,
+ * required per-op fields present, numeric fields numeric, referenced
+ * layers already defined. @p names holds every name defined by earlier
+ * entries (mirroring the builder's implicit-chaining scan).
+ */
+void
+scanLayerEntry(const Json &layer, const std::string &where,
+               const std::set<std::string> &names, DiagnosticSink &sink)
+{
+    const std::string op = layer.at("op").asString();
+    if (kKnownOps.count(op) == 0) {
+        sink.error("AMIO05", where, "unknown op '" + op + "'",
+                   "supported ops: conv, fc, maxpool, avgpool, "
+                   "gavgpool, relu, bn, lrn, dropout, flatten, "
+                   "softmax, add, concat");
+        return;
+    }
+
+    std::vector<const char *> required;
+    if (op == "conv")
+        required = {"out", "kernel"};
+    else if (op == "fc")
+        required = {"out"};
+    else if (op == "maxpool" || op == "avgpool")
+        required = {"kernel"};
+    for (const char *key : required) {
+        if (!layer.contains(key) ||
+            layer.at(key).kind() != Json::Kind::Number) {
+            sink.error("AMIO02", where,
+                       "'" + op + "' layer needs a numeric '" + key +
+                           "' field");
+        }
+    }
+    for (const char *key :
+         {"out", "kernel", "kernel_h", "kernel_w", "stride",
+          "stride_h", "stride_w", "pad", "pad_h", "pad_w"}) {
+        if (!numericIfPresent(layer, key)) {
+            sink.error("AMIO02", where,
+                       std::string("field '") + key +
+                           "' must be a number");
+        }
+    }
+
+    if (layer.contains("input")) {
+        if (layer.at("input").kind() != Json::Kind::String) {
+            sink.error("AMIO02", where,
+                       "'input' must be the name of an earlier layer");
+        } else if (names.count(layer.at("input").asString()) == 0) {
+            sink.error("AMIO03", where,
+                       "references unknown layer '" +
+                           layer.at("input").asString() + "'",
+                       "layers may only consume earlier layers; "
+                       "cycles and forward references are impossible");
+        }
+    }
+    if (op == "add" || op == "concat") {
+        if (!layer.contains("inputs") ||
+            layer.at("inputs").kind() != Json::Kind::Array) {
+            sink.error("AMIO02", where,
+                       "'" + op + "' layer needs an 'inputs' list");
+            return;
+        }
+        const auto &refs = layer.at("inputs").asArray();
+        if (op == "add" && refs.size() != 2) {
+            sink.error("AMIO02", where,
+                       "'add' takes exactly two inputs, got " +
+                           std::to_string(refs.size()));
+        }
+        for (const Json &ref : refs) {
+            if (ref.kind() != Json::Kind::String) {
+                sink.error("AMIO02", where,
+                           "'inputs' entries must be layer names");
+            } else if (names.count(ref.asString()) == 0) {
+                sink.error("AMIO03", where,
+                           "references unknown layer '" +
+                               ref.asString() + "'",
+                           "layers may only consume earlier layers; "
+                           "cycles and forward references are "
+                           "impossible");
+            }
+        }
+    }
+}
+
+/**
+ * Document-level pre-scan: reports every format violation the builder
+ * would otherwise hit as an exception (or worse, mis-build through).
+ * Returns true when the document is clean enough to hand the builder.
+ */
+bool
+scanModelDocument(const Json &doc, DiagnosticSink &sink)
+{
+    const std::size_t errors_before = sink.errorCount();
+
+    if (doc.kind() != Json::Kind::Object) {
+        sink.error("AMIO01", "model document",
+                   "model document must be a JSON object");
+        return false;
+    }
+    if (doc.contains("name") &&
+        doc.at("name").kind() != Json::Kind::String) {
+        sink.error("AMIO01", "model document",
+                   "'name' must be a string");
+    }
+    if (!doc.contains("input") ||
+        doc.at("input").kind() != Json::Kind::Object) {
+        sink.error("AMIO01", "model document",
+                   "missing 'input' object",
+                   "describe the input tensor: {\"batch\": ..., "
+                   "\"channels\": ..., \"height\": ..., "
+                   "\"width\": ...}");
+    } else {
+        const Json &input = doc.at("input");
+        for (const char *key : {"batch", "channels"}) {
+            if (!input.contains(key) ||
+                input.at(key).kind() != Json::Kind::Number) {
+                sink.error("AMIO01", "model document",
+                           std::string("'input' needs a numeric '") +
+                               key + "' field");
+            }
+        }
+        for (const char *key : {"height", "width"}) {
+            if (!numericIfPresent(input, key)) {
+                sink.error("AMIO01", "model document",
+                           std::string("'input.") + key +
+                               "' must be a number");
+            }
+        }
+    }
+    if (!doc.contains("layers") ||
+        doc.at("layers").kind() != Json::Kind::Array) {
+        sink.error("AMIO01", "model document",
+                   "missing 'layers' array");
+        return false;
+    }
+
+    std::set<std::string> names = {"data"};
+    int counter = 0;
+    std::size_t index = 0;
+    for (const Json &layer : doc.at("layers").asArray()) {
+        const std::string where =
+            "layers[" + std::to_string(index++) + "]";
+        if (layer.kind() != Json::Kind::Object ||
+            !layer.contains("op") ||
+            layer.at("op").kind() != Json::Kind::String) {
+            sink.error("AMIO02", where,
+                       "layer entries must be objects with a string "
+                       "'op' field");
+            continue;
+        }
+        if (layer.contains("name") &&
+            layer.at("name").kind() != Json::Kind::String) {
+            sink.error("AMIO02", where, "'name' must be a string");
+            continue;
+        }
+        scanLayerEntry(layer, where, names, sink);
+
+        const std::string layer_name =
+            layer.contains("name")
+                ? layer.at("name").asString()
+                : layer.at("op").asString() +
+                      std::to_string(++counter);
+        if (!names.insert(layer_name).second) {
+            sink.error("AMIO04", where,
+                       "duplicate layer name '" + layer_name + "'",
+                       "give every layer a unique name");
+        }
+    }
+
+    return sink.errorCount() == errors_before;
+}
+
+} // namespace
+
+std::optional<graph::Graph>
+modelFromJson(const Json &doc, analysis::DiagnosticSink &sink)
+{
+    if (!scanModelDocument(doc, sink))
+        return std::nullopt;
+
+    std::optional<graph::Graph> g;
+    try {
+        g.emplace(modelFromJson(doc));
+    } catch (const util::Error &e) {
+        // The pre-scan covers the document format; what remains are
+        // semantic violations surfaced while building (degenerate
+        // dims, shape-inference failures, ...).
+        sink.error("AMIO06", "model document",
+                   std::string("graph construction failed: ") +
+                       e.what());
+        return std::nullopt;
+    }
+
+    if (!analysis::lintGraph(*g, sink))
+        return std::nullopt;
+    return g;
+}
+
+std::optional<graph::Graph>
+loadModelFile(const std::string &path, analysis::DiagnosticSink &sink)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        sink.error("AMIO01", path,
+                   "cannot open model file for reading",
+                   "check the path and permissions");
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Json doc;
+    try {
+        doc = Json::parse(text.str());
+    } catch (const util::Error &e) {
+        sink.error("AMIO01", path,
+                   std::string("file is not valid JSON: ") + e.what());
+        return std::nullopt;
+    }
+    return modelFromJson(doc, sink);
 }
 
 } // namespace accpar::models

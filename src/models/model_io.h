@@ -28,8 +28,10 @@
 #ifndef ACCPAR_MODELS_MODEL_IO_H
 #define ACCPAR_MODELS_MODEL_IO_H
 
+#include <optional>
 #include <string>
 
+#include "analysis/diagnostic.h"
 #include "graph/graph.h"
 #include "util/json.h"
 
@@ -40,6 +42,21 @@ graph::Graph modelFromJson(const util::Json &doc);
 
 /** Reads and builds a model from a JSON file. */
 graph::Graph loadModelFile(const std::string &path);
+
+/**
+ * Diagnostic-collecting variant: malformed documents are reported into
+ * @p sink (codes AMIO01..AMIO06, see DESIGN.md) and std::nullopt is
+ * returned instead of throwing. A successfully built graph is also run
+ * through the graph linter (AG001..AG008), so the result is known to
+ * satisfy every structural invariant the solvers assume.
+ */
+std::optional<graph::Graph> modelFromJson(const util::Json &doc,
+                                          analysis::DiagnosticSink &sink);
+
+/** Diagnostic-collecting variant of loadModelFile (AMIO01 on
+ *  unreadable or unparseable files). */
+std::optional<graph::Graph>
+loadModelFile(const std::string &path, analysis::DiagnosticSink &sink);
 
 } // namespace accpar::models
 

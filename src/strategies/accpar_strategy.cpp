@@ -11,9 +11,7 @@ AccPar::plan(const core::PartitionProblem &problem,
     options.strategyName = name();
     options.ratioPolicy = _options.ratioPolicy;
     options.ratioIterations = _options.ratioIterations;
-    options.cost.objective = core::ObjectiveKind::Time;
-    options.cost.reduce = core::PairReduce::Max;
-    options.cost.includeCompute = _options.includeCompute;
+    options.cost = costConfig();
     if (!_options.enableTypeIII) {
         options.allowedTypes = [](const core::CondensedNode &) {
             return std::vector<core::PartitionType>{

@@ -49,6 +49,16 @@ class AccPar : public Strategy
 
     using Strategy::plan;
 
+    /** Time objective over the slower side; compute term optional. */
+    core::CostModelConfig costConfig() const override
+    {
+        core::CostModelConfig cost;
+        cost.objective = core::ObjectiveKind::Time;
+        cost.reduce = core::PairReduce::Max;
+        cost.includeCompute = _options.includeCompute;
+        return cost;
+    }
+
   private:
     AccParOptions _options;
 };

@@ -33,9 +33,7 @@ HyPar::plan(const core::PartitionProblem &problem,
     core::SolverOptions options;
     options.strategyName = name();
     options.ratioPolicy = core::RatioPolicy::Fixed;
-    options.cost.objective = core::ObjectiveKind::CommAmount;
-    options.cost.reduce = core::PairReduce::Sum;
-    options.cost.includeCompute = false;
+    options.cost = costConfig();
     options.allowedTypes =
         [multipath_layers](const core::CondensedNode &node) {
             if (multipath_layers->count(node.layer)) {

@@ -33,6 +33,16 @@ class HyPar : public Strategy
         override;
 
     using Strategy::plan;
+
+    /** Communication amount, summed over the pair, no compute term. */
+    core::CostModelConfig costConfig() const override
+    {
+        core::CostModelConfig cost;
+        cost.objective = core::ObjectiveKind::CommAmount;
+        cost.reduce = core::PairReduce::Sum;
+        cost.includeCompute = false;
+        return cost;
+    }
 };
 
 } // namespace accpar::strategies

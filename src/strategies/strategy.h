@@ -53,6 +53,17 @@ class Strategy
     /** Convenience overload building the problem from a model graph. */
     core::PartitionPlan plan(const graph::Graph &model,
                              const hw::Hierarchy &hierarchy) const;
+
+    /**
+     * The cost-model configuration this strategy searches (and records
+     * per-node costs) under. Post-solve plan verification re-evaluates
+     * costs with exactly this configuration, so the AP107 cross-check
+     * is meaningful for every strategy, not just the default.
+     */
+    virtual core::CostModelConfig costConfig() const
+    {
+        return core::CostModelConfig{};
+    }
 };
 
 using StrategyPtr = std::unique_ptr<Strategy>;

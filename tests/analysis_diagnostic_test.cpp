@@ -1,0 +1,125 @@
+/** @file Tests for the diagnostics engine (analysis/diagnostic.h). */
+
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostic.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace accpar;
+using analysis::Diagnostic;
+using analysis::DiagnosticSink;
+using analysis::Severity;
+
+TEST(Diagnostic, SeverityNames)
+{
+    EXPECT_STREQ(analysis::severityName(Severity::Error), "error");
+    EXPECT_STREQ(analysis::severityName(Severity::Warning), "warning");
+    EXPECT_STREQ(analysis::severityName(Severity::Note), "note");
+}
+
+TEST(Diagnostic, ToStringCarriesAllParts)
+{
+    Diagnostic d{"AP105", Severity::Error, "node 3", "bad transition",
+                 "use I/II/III"};
+    const std::string text = d.toString();
+    EXPECT_NE(text.find("error[AP105]"), std::string::npos);
+    EXPECT_NE(text.find("node 3"), std::string::npos);
+    EXPECT_NE(text.find("bad transition"), std::string::npos);
+    EXPECT_NE(text.find("use I/II/III"), std::string::npos);
+}
+
+TEST(Diagnostic, ToStringOmitsEmptyHint)
+{
+    Diagnostic d{"AG001", Severity::Warning, "layer 'x'", "dup", ""};
+    EXPECT_EQ(d.toString().find("hint"), std::string::npos);
+}
+
+TEST(DiagnosticSink, CountsBySeverity)
+{
+    DiagnosticSink sink;
+    EXPECT_TRUE(sink.empty());
+    sink.error("E1", "a", "m1");
+    sink.warning("W1", "b", "m2");
+    sink.warning("W2", "c", "m3");
+    sink.note("N1", "d", "m4");
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.errorCount(), 1u);
+    EXPECT_EQ(sink.warningCount(), 2u);
+    EXPECT_TRUE(sink.hasErrors());
+}
+
+TEST(DiagnosticSink, FailsStrictPromotesWarnings)
+{
+    DiagnosticSink warnings_only;
+    warnings_only.warning("W1", "a", "m");
+    EXPECT_FALSE(warnings_only.failsStrict(false));
+    EXPECT_TRUE(warnings_only.failsStrict(true));
+
+    DiagnosticSink clean;
+    EXPECT_FALSE(clean.failsStrict(true));
+
+    DiagnosticSink errors;
+    errors.error("E1", "a", "m");
+    EXPECT_TRUE(errors.failsStrict(false));
+}
+
+TEST(DiagnosticSink, HasCodeFindsReportedCodes)
+{
+    DiagnosticSink sink;
+    sink.error("AP106", "leaf", "too big");
+    EXPECT_TRUE(sink.hasCode("AP106"));
+    EXPECT_FALSE(sink.hasCode("AP107"));
+}
+
+TEST(DiagnosticSink, SortPutsErrorsFirstThenCodes)
+{
+    DiagnosticSink sink;
+    sink.warning("B2", "w", "warn");
+    sink.error("Z9", "z", "late code, high severity");
+    sink.note("A1", "n", "note");
+    sink.error("A5", "a", "early code, high severity");
+    sink.sort();
+    const auto &all = sink.diagnostics();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].code, "A5");
+    EXPECT_EQ(all[1].code, "Z9");
+    EXPECT_EQ(all[2].code, "B2");
+    EXPECT_EQ(all[3].code, "A1");
+}
+
+TEST(DiagnosticSink, RenderTextSummarizes)
+{
+    DiagnosticSink sink;
+    EXPECT_EQ(sink.renderText(), "");
+    sink.error("E1", "a", "m1");
+    sink.error("E2", "b", "m2");
+    sink.warning("W1", "c", "m3");
+    const std::string text = sink.renderText();
+    EXPECT_NE(text.find("2 errors"), std::string::npos);
+    EXPECT_NE(text.find("1 warning"), std::string::npos);
+}
+
+TEST(DiagnosticSink, RenderJsonShape)
+{
+    DiagnosticSink sink;
+    const util::Json empty = sink.renderJson();
+    EXPECT_EQ(empty.at("diagnostics").kind(), util::Json::Kind::Array);
+    EXPECT_EQ(empty.at("diagnostics").asArray().size(), 0u);
+    EXPECT_EQ(empty.at("errors").asInt(), 0);
+
+    sink.error("AP103", "node 0", "bad ratio", "fix alpha");
+    const util::Json doc = sink.renderJson();
+    ASSERT_EQ(doc.at("diagnostics").asArray().size(), 1u);
+    const util::Json &d = doc.at("diagnostics").asArray()[0];
+    EXPECT_EQ(d.at("code").asString(), "AP103");
+    EXPECT_EQ(d.at("severity").asString(), "error");
+    EXPECT_EQ(d.at("location").asString(), "node 0");
+    EXPECT_EQ(d.at("message").asString(), "bad ratio");
+    EXPECT_EQ(d.at("hint").asString(), "fix alpha");
+    EXPECT_EQ(doc.at("errors").asInt(), 1);
+    EXPECT_EQ(doc.at("warnings").asInt(), 0);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/** @file Tests for the graph linter (analysis/graph_linter.h). */
+
+#include <array>
+#include <gtest/gtest.h>
+
+#include "analysis/graph_linter.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace accpar;
+using analysis::DiagnosticSink;
+
+TEST(GraphLinter, ZooModelsLintClean)
+{
+    for (const std::string &name : models::modelNames()) {
+        DiagnosticSink sink;
+        const graph::Graph model = models::buildModel(name, 64);
+        EXPECT_TRUE(analysis::lintGraph(model, sink)) << name;
+        EXPECT_TRUE(sink.empty())
+            << name << ":\n"
+            << sink.renderText();
+    }
+}
+
+TEST(GraphLinter, EmptyGraphIsAnError)
+{
+    graph::Graph g("empty");
+    DiagnosticSink sink;
+    EXPECT_FALSE(analysis::lintGraph(g, sink));
+    EXPECT_TRUE(sink.hasCode("AG004"));
+}
+
+TEST(GraphLinter, DuplicateLayerNamesReported)
+{
+    graph::Graph g("dups");
+    const auto in = g.addInput("data", graph::TensorShape(8, 4, 1, 1));
+    const auto a = g.addFullyConnected("same", in, 4);
+    g.addFullyConnected("same", a, 2);
+    DiagnosticSink sink;
+    EXPECT_FALSE(analysis::lintGraph(g, sink));
+    EXPECT_TRUE(sink.hasCode("AG001"));
+}
+
+TEST(GraphLinter, MultipleSinksReported)
+{
+    graph::Graph g("two-heads");
+    const auto in = g.addInput("data", graph::TensorShape(8, 4, 1, 1));
+    g.addFullyConnected("head1", in, 4);
+    g.addFullyConnected("head2", in, 4);
+    DiagnosticSink sink;
+    EXPECT_FALSE(analysis::lintGraph(g, sink));
+    EXPECT_TRUE(sink.hasCode("AG005"));
+}
+
+TEST(GraphLinter, SecondInputAndUnreachableLayersReported)
+{
+    graph::Graph g("two-inputs");
+    const auto in = g.addInput("data", graph::TensorShape(8, 4, 1, 1));
+    const auto other =
+        g.addInput("data2", graph::TensorShape(8, 4, 1, 1));
+    const auto a = g.addFullyConnected("fc1", in, 4);
+    const auto b = g.addFullyConnected("island", other, 4);
+    g.addAdd("join", a, b);
+    DiagnosticSink sink;
+    EXPECT_FALSE(analysis::lintGraph(g, sink));
+    EXPECT_TRUE(sink.hasCode("AG004"));
+}
+
+TEST(GraphLinter, UnweightedModelOnlyWarns)
+{
+    graph::Graph g("no-weights");
+    const auto in = g.addInput("data", graph::TensorShape(8, 4, 2, 2));
+    const auto r = g.addRelu("act", in);
+    g.addSoftmax("probs", r);
+    DiagnosticSink sink;
+    EXPECT_TRUE(analysis::lintGraph(g, sink));
+    EXPECT_TRUE(sink.hasCode("AG008"));
+    EXPECT_EQ(sink.errorCount(), 0u);
+    EXPECT_EQ(sink.warningCount(), 1u);
+}
+
+TEST(GraphLinter, NonSeriesParallelStructureReported)
+{
+    // The classic bridge: fc 'c' feeds both the join of (b, c) and a
+    // further weighted layer, so the weighted condensation has no
+    // two-terminal series-parallel decomposition.
+    graph::Graph g("bridge");
+    const auto in = g.addInput("data", graph::TensorShape(8, 4, 1, 1));
+    const auto a = g.addFullyConnected("a", in, 4);
+    const auto b = g.addFullyConnected("b", a, 4);
+    const auto c = g.addFullyConnected("c", a, 4);
+    const auto d = g.addAdd("d", b, c);
+    const auto e = g.addFullyConnected("e", c, 4);
+    const auto f = g.addFullyConnected("f", d, 4);
+    g.addAdd("g", e, f);
+    DiagnosticSink sink;
+    const bool ok = analysis::lintGraph(g, sink);
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(sink.hasCode("AG007")) << sink.renderText();
+}
+
+TEST(GraphLinter, LintingDoesNotMutateOrThrow)
+{
+    const graph::Graph model = models::buildModel("resnet18", 32);
+    DiagnosticSink sink;
+    for (int round = 0; round < 2; ++round)
+        EXPECT_TRUE(analysis::lintGraph(model, sink));
+    EXPECT_TRUE(sink.empty());
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+/** @file Tests for the plan verifier (analysis/plan_verifier.h). */
+
+#include <gtest/gtest.h>
+
+#include "analysis/plan_verifier.h"
+#include "core/planner.h"
+#include "hw/topology.h"
+#include "models/zoo.h"
+#include "strategies/registry.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+using analysis::DiagnosticSink;
+using analysis::VerifyOptions;
+using core::PartitionType;
+
+/** Small fixture: lenet on a 4-board homogeneous array. */
+struct Solved
+{
+    graph::Graph model = models::buildModel("lenet", 64);
+    hw::Hierarchy hierarchy{hw::parseArraySpec("tpu-v3:4")};
+    core::PartitionProblem problem{model};
+    core::PartitionPlan plan =
+        strategies::makeStrategy("accpar")->plan(problem, hierarchy);
+    VerifyOptions options;
+
+    Solved()
+    {
+        options.cost =
+            strategies::makeStrategy("accpar")->costConfig();
+    }
+
+    bool
+    verify(const core::PartitionPlan &p, DiagnosticSink &sink) const
+    {
+        return analysis::verifyPlan(problem, hierarchy, p, options,
+                                    sink);
+    }
+};
+
+TEST(PlanVerifier, Table5LegalityIsEndpointMembership)
+{
+    for (PartitionType from : core::kAllPartitionTypes)
+        for (PartitionType to : core::kAllPartitionTypes)
+            EXPECT_TRUE(analysis::table5TransitionLegal(from, to));
+    const auto garbage = static_cast<PartitionType>(7);
+    EXPECT_FALSE(
+        analysis::table5TransitionLegal(garbage, PartitionType::TypeI));
+    EXPECT_FALSE(
+        analysis::table5TransitionLegal(PartitionType::TypeII, garbage));
+}
+
+TEST(PlanVerifier, SolverPlansVerifyClean)
+{
+    const Solved s;
+    DiagnosticSink sink;
+    EXPECT_TRUE(s.verify(s.plan, sink)) << sink.renderText();
+    EXPECT_TRUE(sink.empty());
+}
+
+// The acceptance bar of the analysis subsystem: every zoo model plans
+// cleanly under every registered strategy with on-by-default
+// verification producing zero diagnostics.
+TEST(PlanVerifier, ZooPlansAreCleanUnderEveryStrategy)
+{
+    Planner planner;
+    for (const std::string model :
+         {"lenet", "alexnet", "vgg16", "resnet50", "googlenet"}) {
+        for (const std::string strategy :
+             {"dp", "owt", "hypar", "accpar"}) {
+            PlanRequest request(
+                models::buildModel(model, 256),
+                hw::heterogeneousTpuArrayForLevels(4));
+            request.strategy = strategy;
+            request.jobs = 2;
+            const PlanResult result = planner.plan(request);
+            EXPECT_TRUE(result.diagnostics.empty())
+                << model << '/' << strategy;
+        }
+    }
+}
+
+TEST(PlanVerifier, OutOfRangeAlphaCaught)
+{
+    const Solved s;
+    core::PartitionPlan bad = s.plan;
+    core::NodePlan np = bad.nodePlan(s.hierarchy.root());
+    np.alpha = 1.5;
+    bad.setNodePlan(s.hierarchy.root(), np);
+    DiagnosticSink sink;
+    EXPECT_FALSE(s.verify(bad, sink));
+    EXPECT_TRUE(sink.hasCode("AP103"));
+}
+
+TEST(PlanVerifier, TypeCountMismatchCaught)
+{
+    // setNodePlan enforces the per-plan type count, so the realistic
+    // mismatch is a plan applied to the wrong model.
+    const Solved s;
+    const core::PartitionProblem other(
+        models::buildModel("alexnet", 64));
+    DiagnosticSink sink;
+    EXPECT_FALSE(analysis::verifyPlan(other, s.hierarchy, s.plan,
+                                      s.options, sink));
+    EXPECT_TRUE(sink.hasCode("AP104")) << sink.renderText();
+}
+
+TEST(PlanVerifier, IllegalTransitionCaught)
+{
+    const Solved s;
+    core::PartitionPlan bad = s.plan;
+    core::NodePlan np = bad.nodePlan(s.hierarchy.root());
+    np.types[0] = static_cast<PartitionType>(7);
+    bad.setNodePlan(s.hierarchy.root(), np);
+    DiagnosticSink sink;
+    EXPECT_FALSE(s.verify(bad, sink));
+    EXPECT_TRUE(sink.hasCode("AP105"));
+}
+
+TEST(PlanVerifier, CostDriftCaught)
+{
+    const Solved s;
+    core::PartitionPlan bad = s.plan;
+    core::NodePlan np = bad.nodePlan(s.hierarchy.root());
+    np.cost += 0.5;
+    bad.setNodePlan(s.hierarchy.root(), np);
+    DiagnosticSink sink;
+    EXPECT_FALSE(s.verify(bad, sink));
+    EXPECT_TRUE(sink.hasCode("AP107"));
+}
+
+TEST(PlanVerifier, CostCheckRespectsDisableFlag)
+{
+    const Solved s;
+    core::PartitionPlan bad = s.plan;
+    core::NodePlan np = bad.nodePlan(s.hierarchy.root());
+    np.cost += 0.5;
+    bad.setNodePlan(s.hierarchy.root(), np);
+    VerifyOptions lax = s.options;
+    lax.checkCosts = false;
+    DiagnosticSink sink;
+    EXPECT_TRUE(analysis::verifyPlan(s.problem, s.hierarchy, bad, lax,
+                                     sink));
+}
+
+TEST(PlanVerifier, MissingInternalNodeCaught)
+{
+    const Solved s;
+    const core::PartitionPlan empty(
+        "accpar", s.model.name(), s.hierarchy.nodeCount(),
+        s.plan.nodeNames());
+    DiagnosticSink sink;
+    EXPECT_FALSE(s.verify(empty, sink));
+    EXPECT_TRUE(sink.hasCode("AP101"));
+}
+
+TEST(PlanVerifier, LeafDecisionsCaught)
+{
+    const Solved s;
+    core::PartitionPlan bad = s.plan;
+    const hw::NodeId leaf =
+        s.hierarchy.node(s.hierarchy.root()).left;
+    const hw::NodeId deep_leaf = s.hierarchy.node(leaf).left;
+    core::NodePlan np = bad.nodePlan(s.hierarchy.root());
+    bad.setNodePlan(deep_leaf, np);
+    DiagnosticSink sink;
+    EXPECT_FALSE(s.verify(bad, sink));
+    EXPECT_TRUE(sink.hasCode("AP102"));
+}
+
+TEST(PlanVerifier, OversubscribedBoardMemoryCaught)
+{
+    // fc1's weights alone (200000 x 400000 bf16 elements) exceed a
+    // TPU-v3 board's HBM even when channel-partitioned across the two
+    // boards — a structurally valid but infeasible plan.
+    graph::Graph model("giant-fc");
+    const auto in =
+        model.addInput("data", graph::TensorShape(1024, 200000, 1, 1));
+    const auto fc1 = model.addFullyConnected("fc1", in, 400000);
+    model.addFullyConnected("fc2", fc1, 1000);
+
+    const hw::Hierarchy hierarchy(hw::parseArraySpec("tpu-v3:2"));
+    const core::PartitionProblem problem(model);
+    const core::PartitionPlan plan =
+        strategies::makeStrategy("accpar")->plan(problem, hierarchy);
+
+    VerifyOptions options;
+    DiagnosticSink sink;
+    EXPECT_FALSE(
+        analysis::verifyPlan(problem, hierarchy, plan, options, sink));
+    EXPECT_TRUE(sink.hasCode("AP106")) << sink.renderText();
+}
+
+TEST(PlanVerifier, PlannerThrowsOnInfeasiblePlanByDefault)
+{
+    graph::Graph model("giant-fc");
+    const auto in =
+        model.addInput("data", graph::TensorShape(1024, 200000, 1, 1));
+    const auto fc1 = model.addFullyConnected("fc1", in, 400000);
+    model.addFullyConnected("fc2", fc1, 1000);
+
+    Planner planner;
+    PlanRequest request(model, hw::parseArraySpec("tpu-v3:2"));
+    EXPECT_THROW(planner.plan(request), util::ConfigError);
+
+    request.options.verify = false;
+    EXPECT_NO_THROW(planner.plan(request));
+}
+
+} // namespace

@@ -34,8 +34,8 @@ TEST(PlannerTest, FacadeMatchesDirectSolverOnLeNetAndAlexNet)
     const hw::AcceleratorGroup array = hw::heterogeneousTpuArrayForLevels(3);
     const hw::Hierarchy hierarchy(array);
 
-    for (const std::string &name : {"lenet", "alexnet"}) {
-        for (const std::string &strategy :
+    for (const std::string name : {"lenet", "alexnet"}) {
+        for (const std::string strategy :
              {"dp", "owt", "hypar", "accpar"}) {
             const graph::Graph model = models::buildModel(name, 64);
             const core::PartitionProblem problem(model);
@@ -62,7 +62,7 @@ TEST(PlannerTest, ParallelPlanIsByteIdenticalToSequential)
     const hw::AcceleratorGroup array = hw::heterogeneousTpuArrayForLevels(2);
     const hw::Hierarchy hierarchy(array);
 
-    for (const std::string &name : {"vgg16", "resnet50", "googlenet"}) {
+    for (const std::string name : {"vgg16", "resnet50", "googlenet"}) {
         const graph::Graph model = models::buildModel(name, 64);
 
         Planner planner;
@@ -119,7 +119,7 @@ TEST(PlannerTest, PlanManyMatchesIndividualPlans)
     const hw::Hierarchy hierarchy(array);
 
     std::vector<PlanRequest> requests;
-    for (const std::string &name : {"lenet", "alexnet", "vgg11"}) {
+    for (const std::string name : {"lenet", "alexnet", "vgg11"}) {
         PlanRequest request(models::buildModel(name, 32), array);
         request.jobs = 4;
         requests.push_back(request);

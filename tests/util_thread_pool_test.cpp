@@ -34,8 +34,9 @@ TEST(ThreadPoolTest, ZeroJobsUsesHardwareConcurrency)
     ThreadPool pool(0);
     EXPECT_GE(pool.concurrency(), 1);
     const unsigned hw = std::thread::hardware_concurrency();
-    if (hw > 0)
+    if (hw > 0) {
         EXPECT_EQ(pool.concurrency(), static_cast<int>(hw));
+    }
 }
 
 TEST(ThreadPoolTest, RunExecutesEveryTask)

@@ -19,6 +19,12 @@
  *            [--optimizer OPT]
  *            the Figure 8 style hierarchy sweep
  *   diff     compare two plans (by strategy or plan file)
+ *   validate (--model NAME | --model-file FILE) [--plan plan.json]
+ *            [--array SPEC] [--strategy S] [--strict] [--json]
+ *            statically check a model description (graph linter) or a
+ *            saved plan (plan verifier) and print diagnostics; exits
+ *            nonzero when errors (or, with --strict, warnings) are
+ *            found
  *
  * `accpar --version` prints the library version.
  *
@@ -33,6 +39,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "analysis/graph_linter.h"
+#include "analysis/plan_verifier.h"
 #include "core/plan_diff.h"
 #include "core/plan_io.h"
 #include "core/planner.h"
@@ -46,6 +54,7 @@
 #include "sim/report.h"
 #include "strategies/registry.h"
 #include "util/args.h"
+#include "util/error.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -94,7 +103,8 @@ int
 usage()
 {
     std::cerr
-        << "usage: accpar <info|plan|simulate|compare|sweep|diff> "
+        << "usage: accpar "
+           "<info|plan|simulate|compare|sweep|diff|validate> "
            "[flags]\n"
         << "       accpar --version\n"
         << "run 'accpar' with a subcommand; see tools/accpar_cli.cpp "
@@ -129,13 +139,16 @@ int
 cmdPlan(const util::Args &args)
 {
     args.checkKnown({"model", "model-file", "batch", "array",
-                     "strategy", "out", "jobs"});
+                     "strategy", "out", "jobs", "no-verify",
+                     "strict"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
 
     PlanRequest request(resolveModel(args), array);
     request.strategy = args.getOr("strategy", "accpar");
     request.jobs = jobsArg(args);
+    request.options.verify = !args.has("no-verify");
+    request.options.strict = args.has("strict");
 
     Planner planner;
     const PlanResult result = planner.plan(request);
@@ -323,6 +336,79 @@ cmdDiff(const util::Args &args)
     return 0;
 }
 
+/**
+ * Renders @p sink and maps it to a process exit code: 0 when the
+ * artifact passes, 1 when it must be rejected (errors always, warnings
+ * too under --strict).
+ */
+int
+reportDiagnostics(analysis::DiagnosticSink &sink,
+                  const util::Args &args, const std::string &subject)
+{
+    sink.sort();
+    if (args.has("json")) {
+        std::cout << sink.renderJson().dump(2) << '\n';
+    } else if (sink.empty()) {
+        std::cout << subject << ": no issues found\n";
+    } else {
+        std::cout << sink.renderText();
+    }
+    return sink.failsStrict(args.has("strict")) ? 1 : 0;
+}
+
+int
+cmdValidate(const util::Args &args)
+{
+    args.checkKnown({"model", "model-file", "batch", "array", "plan",
+                     "strategy", "strict", "json"});
+    analysis::DiagnosticSink sink;
+
+    // Phase 1: the model itself, through the graph linter. A JSON
+    // description additionally passes the document-format checks.
+    std::optional<graph::Graph> model;
+    std::string subject;
+    if (const auto path = args.get("model-file")) {
+        subject = *path;
+        model = models::loadModelFile(*path, sink);
+    } else {
+        subject = "model '" + args.getOr("model", "vgg16") + "'";
+        graph::Graph zoo_model =
+            models::buildModel(args.getOr("model", "vgg16"),
+                               args.getIntOr("batch", 512));
+        if (analysis::lintGraph(zoo_model, sink))
+            model = std::move(zoo_model);
+    }
+
+    const auto plan_path = args.get("plan");
+    if (!plan_path || !model)
+        return reportDiagnostics(sink, args, subject);
+
+    // Phase 2: a saved plan for that model, through the plan verifier.
+    subject = *plan_path;
+    const hw::AcceleratorGroup array =
+        hw::parseArraySpec(args.getOr("array", "hetero"));
+    const hw::Hierarchy hierarchy(array);
+    const std::optional<core::PartitionPlan> plan =
+        core::loadPlan(*plan_path, hierarchy, sink);
+    if (!plan)
+        return reportDiagnostics(sink, args, subject);
+
+    analysis::VerifyOptions options;
+    const std::string strategy =
+        args.getOr("strategy", plan->strategyName());
+    try {
+        options.cost =
+            strategies::makeStrategy(strategy)->costConfig();
+    } catch (const util::ConfigError &) {
+        // Unknown search configuration (e.g. "custom"): every rule
+        // except the cost cross-check still applies.
+        options.checkCosts = false;
+    }
+    const core::PartitionProblem problem(*model);
+    analysis::verifyPlan(problem, hierarchy, *plan, options, sink);
+    return reportDiagnostics(sink, args, subject);
+}
+
 } // namespace
 
 int
@@ -338,7 +424,7 @@ main(int argc, char **argv)
     std::vector<std::string> rest(argv + 2, argv + argc);
 
     try {
-        const util::Args args(rest);
+        const util::Args args(rest, {"strict", "json", "no-verify"});
         if (command == "info")
             return cmdInfo(args);
         if (command == "plan")
@@ -351,6 +437,8 @@ main(int argc, char **argv)
             return cmdSweep(args);
         if (command == "diff")
             return cmdDiff(args);
+        if (command == "validate")
+            return cmdValidate(args);
         std::cerr << "unknown subcommand '" << command << "'\n";
         return usage();
     } catch (const std::exception &e) {
