@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
+#include <variant>
 
 #include "analysis/plan_verifier.h"
 #include "strategies/registry.h"
@@ -29,7 +31,132 @@ statsDelta(const core::CostCacheStats &before,
     return delta;
 }
 
+/** Appends a double as its exact shortest round-trippable decimal. */
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+appendShape(std::string &out, const graph::TensorShape &shape)
+{
+    out += std::to_string(shape.n) + 'x' + std::to_string(shape.c) +
+           'x' + std::to_string(shape.h) + 'x' +
+           std::to_string(shape.w);
+}
+
 } // namespace
+
+std::string
+planRequestCanonicalKey(const PlanRequest &request)
+{
+    std::string key;
+    key.reserve(1024);
+
+    key += "v1;strategy=";
+    key += request.strategy;
+
+    // The search options only steer the solve for "custom"; named
+    // strategies carry their own canonical knobs, so folding the
+    // options in would needlessly split their cache entries.
+    if (request.strategy == "custom") {
+        const PlanOptions &o = request.options;
+        key += ";opts=";
+        key += std::to_string(static_cast<int>(o.objective));
+        key += ',';
+        key += std::to_string(static_cast<int>(o.reduce));
+        key += ',';
+        key += o.includeCompute ? '1' : '0';
+        key += ',';
+        appendDouble(key, o.bytesPerElement);
+        key += ',';
+        key += std::to_string(static_cast<int>(o.ratioPolicy));
+        key += ',';
+        key += std::to_string(o.ratioIterations);
+        key += ',';
+        appendDouble(key, o.minDimPerSide);
+        if (o.allowedTypes)
+            key += ",allowed-types:opaque";
+    }
+    key += ";verify=";
+    key += request.options.verify ? '1' : '0';
+    key += request.options.strict ? 'S' : '-';
+
+    key += ";array=";
+    for (const hw::GroupSlice &slice : request.array.slices()) {
+        key += slice.spec.name;
+        key += ':';
+        key += std::to_string(slice.count);
+        key += ':';
+        appendDouble(key, slice.spec.computeDensity);
+        key += ':';
+        appendDouble(key, slice.spec.memoryCapacity);
+        key += ':';
+        appendDouble(key, slice.spec.memoryBandwidth);
+        key += ':';
+        appendDouble(key, slice.spec.linkBandwidth);
+        key += '|';
+    }
+    key += "agg=";
+    key += std::to_string(
+        static_cast<int>(request.array.linkAggregation()));
+
+    key += ";model=";
+    key += request.model.name();
+    for (const graph::Layer &layer : request.model.layers()) {
+        key += ';';
+        key += graph::layerKindName(layer.kind);
+        key += ':';
+        key += layer.name;
+        key += ':';
+        for (graph::LayerId input : layer.inputs) {
+            key += std::to_string(input);
+            key += ',';
+        }
+        key += ':';
+        appendShape(key, layer.outputShape);
+        if (const auto *conv =
+                std::get_if<graph::ConvAttrs>(&layer.attrs)) {
+            key += ":c";
+            for (std::int64_t v :
+                 {conv->outChannels, conv->kernelH, conv->kernelW,
+                  conv->strideH, conv->strideW, conv->padH,
+                  conv->padW}) {
+                key += std::to_string(v);
+                key += ',';
+            }
+        } else if (const auto *fc =
+                       std::get_if<graph::FcAttrs>(&layer.attrs)) {
+            key += ":f";
+            key += std::to_string(fc->outFeatures);
+        } else if (const auto *pool =
+                       std::get_if<graph::PoolAttrs>(&layer.attrs)) {
+            key += ":p";
+            for (std::int64_t v :
+                 {pool->kernelH, pool->kernelW, pool->strideH,
+                  pool->strideW, pool->padH, pool->padW}) {
+                key += std::to_string(v);
+                key += ',';
+            }
+        }
+    }
+    return key;
+}
+
+std::uint64_t
+planRequestFingerprint(const PlanRequest &request)
+{
+    const std::string key = planRequestCanonicalKey(request);
+    std::uint64_t hash = 14695981039346656037ull;
+    for (char c : key) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
 
 core::SolverOptions
 PlanOptions::toSolverOptions(const std::string &strategy) const

@@ -21,6 +21,7 @@
 #ifndef ACCPAR_CORE_PLANNER_H
 #define ACCPAR_CORE_PLANNER_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -135,6 +136,26 @@ struct PlanResult
      *  disabled or the plan is clean). */
     std::vector<analysis::Diagnostic> diagnostics;
 };
+
+/**
+ * Canonical text encoding of everything that determines a PlanRequest's
+ * outcome: the model graph (layers, attributes, wiring, shapes), the
+ * accelerator array (per-slice specs and counts, link aggregation) and
+ * the effective search options (strategy name plus, for "custom", every
+ * PlanOptions knob). Two requests with equal keys produce bit-identical
+ * plans, so the key is safe to use as a cross-request memoization key
+ * (the service layer's result cache is built on it). `jobs` and `sim`
+ * are deliberately excluded — neither changes the produced plan.
+ *
+ * A request carrying a custom PlanOptions::allowedTypes callback is
+ * marked opaque in the key (callbacks cannot be canonicalized); such
+ * requests must not be cached across distinct callbacks.
+ */
+std::string planRequestCanonicalKey(const PlanRequest &request);
+
+/** 64-bit FNV-1a hash of planRequestCanonicalKey (shard selection,
+ *  compact logging; collision-sensitive callers compare full keys). */
+std::uint64_t planRequestFingerprint(const PlanRequest &request);
 
 /** compare(): every registered strategy on one request. */
 struct StrategyComparison

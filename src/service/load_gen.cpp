@@ -1,0 +1,321 @@
+#include "service/load_gen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "service/plan_service.h"
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace accpar::service {
+
+namespace {
+
+/** A connected protocol client: loopback or one TCP connection. */
+class Client
+{
+  public:
+    explicit Client(PlanService *loopback) : _loopback(loopback) {}
+
+    Client(const std::string &host, int port)
+    {
+        _fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ACCPAR_REQUIRE(_fd >= 0, "cannot create client socket: "
+                                     << std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        sockaddr_in addr = {};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+            ::connect(_fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            const std::string reason = std::strerror(errno);
+            ::close(_fd);
+            _fd = -1;
+            throw util::ConfigError("cannot connect to " + host + ':' +
+                                    std::to_string(port) + ": " +
+                                    reason);
+        }
+    }
+
+    ~Client()
+    {
+        if (_fd >= 0)
+            ::close(_fd);
+    }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Sends one request line, returns the one-line response. */
+    std::string
+    roundTrip(const std::string &line)
+    {
+        if (_loopback)
+            return _loopback->handleLine(line);
+
+        std::string out = line;
+        out += '\n';
+        std::size_t sent = 0;
+        while (sent < out.size()) {
+            const ssize_t wrote = ::write(_fd, out.data() + sent,
+                                          out.size() - sent);
+            ACCPAR_REQUIRE(wrote > 0, "connection lost while sending");
+            sent += static_cast<std::size_t>(wrote);
+        }
+
+        std::size_t nl;
+        while ((nl = _buffer.find('\n')) == std::string::npos) {
+            char chunk[64 * 1024];
+            const ssize_t got = ::read(_fd, chunk, sizeof(chunk));
+            ACCPAR_REQUIRE(got > 0,
+                           "connection closed before a response");
+            _buffer.append(chunk, static_cast<std::size_t>(got));
+        }
+        std::string response = _buffer.substr(0, nl);
+        _buffer.erase(0, nl + 1);
+        return response;
+    }
+
+  private:
+    PlanService *_loopback = nullptr;
+    int _fd = -1;
+    std::string _buffer;
+};
+
+/** Tiny inline model document for the validate requests of the mix. */
+util::Json
+validateModelDoc()
+{
+    util::Json input = util::Json::Object{};
+    input["batch"] = 8;
+    input["channels"] = 16;
+    input["height"] = 1;
+    input["width"] = 1;
+
+    util::Json fc1 = util::Json::Object{};
+    fc1["op"] = "fc";
+    fc1["name"] = "fc1";
+    fc1["out"] = 32;
+    util::Json relu = util::Json::Object{};
+    relu["op"] = "relu";
+    util::Json fc2 = util::Json::Object{};
+    fc2["op"] = "fc";
+    fc2["name"] = "fc2";
+    fc2["out"] = 10;
+
+    util::Json layers = util::Json::Array{};
+    layers.push(std::move(fc1));
+    layers.push(std::move(relu));
+    layers.push(std::move(fc2));
+
+    util::Json doc = util::Json::Object{};
+    doc["name"] = "loadgen-mlp";
+    doc["input"] = std::move(input);
+    doc["layers"] = std::move(layers);
+    return doc;
+}
+
+std::string
+requestLine(const LoadGenConfig &config, const std::string &kind,
+            int id)
+{
+    util::Json doc = util::Json::Object{};
+    doc["kind"] = kind;
+    doc["id"] = id;
+    if (kind == "plan") {
+        doc["model"] = config.model;
+        doc["batch"] = static_cast<std::int64_t>(config.batch);
+        doc["array"] = config.array;
+        doc["strategy"] = config.strategy;
+    } else if (kind == "validate") {
+        static const util::Json model = validateModelDoc();
+        doc["model"] = model;
+    }
+    return doc.dump();
+}
+
+double
+exactQuantile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+} // namespace
+
+std::vector<std::string>
+parseLoadMix(const std::string &mix)
+{
+    std::vector<std::string> kinds;
+    for (const std::string &part : util::split(mix, ',')) {
+        const std::string kind = util::trim(part);
+        if (kind.empty())
+            continue;
+        ACCPAR_REQUIRE(kind == "plan" || kind == "validate" ||
+                           kind == "stats",
+                       "load mix may contain plan, validate and "
+                       "stats, got '"
+                           << kind << "'");
+        kinds.push_back(kind);
+    }
+    ACCPAR_REQUIRE(!kinds.empty(), "load mix is empty");
+    return kinds;
+}
+
+LoadGenReport
+runLoadGen(const LoadGenConfig &config, PlanService *loopback)
+{
+    ACCPAR_REQUIRE(config.requests >= 1, "need at least one request");
+    ACCPAR_REQUIRE(config.concurrency >= 1,
+                   "need at least one client");
+    ACCPAR_REQUIRE(!config.mix.empty(), "load mix is empty");
+    if (!loopback) // Fail fast before spawning workers.
+        Client probe(config.host, config.port);
+
+    struct WorkerResult
+    {
+        std::vector<double> latencies;
+        int ok = 0;
+        int errors = 0;
+        int cacheHits = 0;
+        std::map<std::string, int> errorCodes;
+    };
+
+    const int workers = std::min(config.concurrency, config.requests);
+    std::vector<WorkerResult> results(
+        static_cast<std::size_t>(workers));
+    std::atomic<int> next{0};
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+            WorkerResult &result =
+                results[static_cast<std::size_t>(w)];
+            try {
+                auto client =
+                    loopback
+                        ? std::make_unique<Client>(loopback)
+                        : std::make_unique<Client>(config.host,
+                                                   config.port);
+                while (true) {
+                    const int i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= config.requests)
+                        break;
+                    const std::string &kind =
+                        config.mix[static_cast<std::size_t>(i) %
+                                   config.mix.size()];
+                    const std::string line =
+                        requestLine(config, kind, i);
+                    const auto start =
+                        std::chrono::steady_clock::now();
+                    const std::string raw = client->roundTrip(line);
+                    result.latencies.push_back(
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+
+                    const util::Json response = util::Json::parse(raw);
+                    if (response.contains("ok") &&
+                        response.at("ok").asBool()) {
+                        ++result.ok;
+                        if (response.contains("cached") &&
+                            response.at("cached").asBool())
+                            ++result.cacheHits;
+                    } else {
+                        ++result.errors;
+                        if (response.contains("error"))
+                            ++result.errorCodes[response.at("error")
+                                                    .at("code")
+                                                    .asString()];
+                    }
+                }
+            } catch (const std::exception &) {
+                // A dead connection fails this worker's remaining
+                // share; the requests it claimed count as errors.
+                ++result.errors;
+                ++result.errorCodes["transport"];
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    LoadGenReport report;
+    report.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             wall_start)
+                             .count();
+
+    std::vector<double> all;
+    for (const WorkerResult &result : results) {
+        report.ok += result.ok;
+        report.errors += result.errors;
+        report.cacheHits += result.cacheHits;
+        for (const auto &[code, count] : result.errorCodes)
+            report.errorCodes[code] += count;
+        all.insert(all.end(), result.latencies.begin(),
+                   result.latencies.end());
+    }
+    report.sent = static_cast<int>(all.size());
+    report.requestsPerSecond =
+        report.wallSeconds > 0.0
+            ? static_cast<double>(report.sent) / report.wallSeconds
+            : 0.0;
+    std::sort(all.begin(), all.end());
+    report.p50 = exactQuantile(all, 0.50);
+    report.p95 = exactQuantile(all, 0.95);
+    report.p99 = exactQuantile(all, 0.99);
+
+    if (config.shutdownAfter) {
+        auto client = loopback
+                          ? std::make_unique<Client>(loopback)
+                          : std::make_unique<Client>(config.host,
+                                                     config.port);
+        util::Json doc = util::Json::Object{};
+        doc["kind"] = "shutdown";
+        client->roundTrip(doc.dump());
+    }
+    return report;
+}
+
+std::string
+formatLoadReport(const LoadGenReport &report)
+{
+    std::ostringstream os;
+    os << "requests sent:  " << report.sent << '\n'
+       << "ok:             " << report.ok << '\n'
+       << "errors:         " << report.errors;
+    for (const auto &[code, count] : report.errorCodes)
+        os << " [" << code << " x" << count << ']';
+    os << '\n'
+       << "cache hits:     " << report.cacheHits << '\n'
+       << "wall time:      " << report.wallSeconds << " s\n"
+       << "throughput:     " << report.requestsPerSecond
+       << " req/s\n"
+       << "latency p50:    " << report.p50 * 1e3 << " ms\n"
+       << "latency p95:    " << report.p95 * 1e3 << " ms\n"
+       << "latency p99:    " << report.p99 * 1e3 << " ms\n";
+    return os.str();
+}
+
+} // namespace accpar::service

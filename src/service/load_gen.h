@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Closed-loop load generator for the planning service (`accpar load`).
+ *
+ * K client workers each hold one connection (TCP, or the in-process
+ * loopback when a PlanService is passed directly) and issue requests
+ * back to back — a new request leaves as soon as the previous response
+ * arrives — until N requests have been sent in total. The request
+ * stream cycles through the configured kind mix; every request of one
+ * kind is identical, so the first `plan` is a cold solve and the rest
+ * exercise the service's result cache.
+ *
+ * The report aggregates exact per-request latencies (p50/p95/p99 over
+ * the full sample, not histogram estimates), error counts by code, and
+ * how many responses were served from the result cache.
+ */
+
+#ifndef ACCPAR_SERVICE_LOAD_GEN_H
+#define ACCPAR_SERVICE_LOAD_GEN_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace accpar::service {
+
+class PlanService;
+
+/** What traffic to generate and where to send it. */
+struct LoadGenConfig
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    /** Total requests across all workers. */
+    int requests = 100;
+    /** Concurrent closed-loop clients. */
+    int concurrency = 4;
+    /** Request kinds cycled per request ("plan", "validate"). */
+    std::vector<std::string> mix = {"plan"};
+    /** Payload of the plan requests. */
+    std::string model = "lenet";
+    std::int64_t batch = 32;
+    std::string array = "tpu-v3:2";
+    std::string strategy = "accpar";
+    /** Send a shutdown request once the run completes. */
+    bool shutdownAfter = false;
+};
+
+/** What one load run measured. */
+struct LoadGenReport
+{
+    int sent = 0;
+    int ok = 0;
+    int errors = 0;
+    int cacheHits = 0;
+    double wallSeconds = 0.0;
+    double requestsPerSecond = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    /** Error occurrences by stable code (ASRV01..). */
+    std::map<std::string, int> errorCodes;
+};
+
+/**
+ * Runs the configured load. With a non-null @p loopback the requests
+ * go straight into that service (no sockets); otherwise each worker
+ * connects to host:port. Throws ConfigError when a connection cannot
+ * be established or the mix names an unknown kind.
+ */
+LoadGenReport runLoadGen(const LoadGenConfig &config,
+                         PlanService *loopback = nullptr);
+
+/** Renders the report as the stable `key: value` block the smoke
+ *  tests grep (includes "errors:" and "cache hits:" lines). */
+std::string formatLoadReport(const LoadGenReport &report);
+
+/** Splits "plan,validate" into a validated kind mix. */
+std::vector<std::string> parseLoadMix(const std::string &mix);
+
+} // namespace accpar::service
+
+#endif // ACCPAR_SERVICE_LOAD_GEN_H

@@ -1,0 +1,177 @@
+#include "service/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace accpar::service {
+
+namespace {
+
+/** Left edge of the histogram: 1 microsecond. */
+constexpr double kMinLatency = 1e-6;
+
+} // namespace
+
+int
+LatencyHistogram::bucketFor(double seconds)
+{
+    if (!(seconds > kMinLatency))
+        return 0;
+    const int bucket = static_cast<int>(
+        std::floor(std::log10(seconds / kMinLatency) *
+                   kBucketsPerDecade));
+    if (bucket < 0)
+        return 0;
+    if (bucket >= kBuckets)
+        return kBuckets - 1;
+    return bucket;
+}
+
+double
+LatencyHistogram::bucketUpperBound(int bucket)
+{
+    return kMinLatency *
+           std::pow(10.0, static_cast<double>(bucket + 1) /
+                              kBucketsPerDecade);
+}
+
+void
+LatencyHistogram::record(double seconds)
+{
+    if (!(seconds >= 0.0) || !std::isfinite(seconds))
+        seconds = 0.0;
+    _buckets[bucketFor(seconds)].fetch_add(1,
+                                           std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sumNanos.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                        std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::totalSeconds() const
+{
+    return static_cast<double>(
+               _sumNanos.load(std::memory_order_relaxed)) *
+           1e-9;
+}
+
+double
+LatencyHistogram::quantile(double q) const
+{
+    const std::uint64_t total = _count.load(std::memory_order_relaxed);
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the requested quantile, 1-based, at least 1.
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const std::uint64_t in_bucket =
+            _buckets[i].load(std::memory_order_relaxed);
+        if (in_bucket == 0)
+            continue;
+        seen += in_bucket;
+        if (seen >= (rank == 0 ? 1 : rank))
+            return bucketUpperBound(i);
+    }
+    return bucketUpperBound(kBuckets - 1);
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto &bucket : _buckets)
+        bucket.store(0, std::memory_order_relaxed);
+    _count.store(0, std::memory_order_relaxed);
+    _sumNanos.store(0, std::memory_order_relaxed);
+}
+
+MetricsSnapshot
+Metrics::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.requestsTotal = requestsTotal.load(std::memory_order_relaxed);
+    snap.planRequests = planRequests.load(std::memory_order_relaxed);
+    snap.validateRequests =
+        validateRequests.load(std::memory_order_relaxed);
+    snap.statsRequests = statsRequests.load(std::memory_order_relaxed);
+    snap.shutdownRequests =
+        shutdownRequests.load(std::memory_order_relaxed);
+    snap.errors = errors.load(std::memory_order_relaxed);
+    snap.protocolErrors = protocolErrors.load(std::memory_order_relaxed);
+    snap.queueRejected = queueRejected.load(std::memory_order_relaxed);
+    snap.deadlineExpired =
+        deadlineExpired.load(std::memory_order_relaxed);
+    snap.cacheHits = cacheHits.load(std::memory_order_relaxed);
+    snap.cacheMisses = cacheMisses.load(std::memory_order_relaxed);
+    snap.queueDepth = queueDepth.load(std::memory_order_relaxed);
+    snap.latencyCount = latency.count();
+    snap.latencyTotalSeconds = latency.totalSeconds();
+    snap.p50 = latency.quantile(0.50);
+    snap.p95 = latency.quantile(0.95);
+    snap.p99 = latency.quantile(0.99);
+    return snap;
+}
+
+util::Json
+MetricsSnapshot::toJson() const
+{
+    util::Json requests = util::Json::Object{};
+    requests["total"] = static_cast<std::int64_t>(requestsTotal);
+    requests["plan"] = static_cast<std::int64_t>(planRequests);
+    requests["validate"] = static_cast<std::int64_t>(validateRequests);
+    requests["stats"] = static_cast<std::int64_t>(statsRequests);
+    requests["shutdown"] = static_cast<std::int64_t>(shutdownRequests);
+
+    util::Json cache = util::Json::Object{};
+    cache["hits"] = static_cast<std::int64_t>(cacheHits);
+    cache["misses"] = static_cast<std::int64_t>(cacheMisses);
+    cache["hit_rate"] = cacheHitRate();
+
+    util::Json lat = util::Json::Object{};
+    lat["count"] = static_cast<std::int64_t>(latencyCount);
+    lat["total_seconds"] = latencyTotalSeconds;
+    lat["p50_seconds"] = p50;
+    lat["p95_seconds"] = p95;
+    lat["p99_seconds"] = p99;
+
+    util::Json doc = util::Json::Object{};
+    doc["requests"] = std::move(requests);
+    doc["errors"] = static_cast<std::int64_t>(errors);
+    doc["protocol_errors"] = static_cast<std::int64_t>(protocolErrors);
+    doc["queue_rejected"] = static_cast<std::int64_t>(queueRejected);
+    doc["deadline_expired"] =
+        static_cast<std::int64_t>(deadlineExpired);
+    doc["queue_depth"] = static_cast<std::int64_t>(queueDepth);
+    doc["result_cache"] = std::move(cache);
+    doc["latency"] = std::move(lat);
+    return doc;
+}
+
+std::string
+MetricsSnapshot::toText() const
+{
+    std::ostringstream os;
+    os << "service metrics\n"
+       << "  requests:         " << requestsTotal << " (plan "
+       << planRequests << ", validate " << validateRequests
+       << ", stats " << statsRequests << ", shutdown "
+       << shutdownRequests << ")\n"
+       << "  errors:           " << errors << " (protocol "
+       << protocolErrors << ", queue-full " << queueRejected
+       << ", deadline " << deadlineExpired << ")\n"
+       << "  result cache:     " << cacheHits << " hits, "
+       << cacheMisses << " misses (hit rate "
+       << static_cast<int>(cacheHitRate() * 100.0 + 0.5) << "%)\n"
+       << "  queue depth:      " << queueDepth << '\n'
+       << "  latency:          n=" << latencyCount << " p50="
+       << p50 * 1e3 << "ms p95=" << p95 * 1e3 << "ms p99="
+       << p99 * 1e3 << "ms\n";
+    return os.str();
+}
+
+} // namespace accpar::service

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Built-in metrics for the planning service.
+ *
+ * A Metrics registry aggregates what operators need to watch a running
+ * `accpar serve`: request counts by kind and outcome, admission-queue
+ * depth, result-cache effectiveness, and a latency histogram with
+ * p50/p95/p99 read-outs. Everything is lock-free (atomic counters and
+ * atomic histogram buckets) so recording from many worker and
+ * connection threads never serializes the hot path; snapshots are
+ * taken with relaxed loads and are allowed to be slightly torn across
+ * counters (each counter is individually consistent).
+ *
+ * Snapshots render as JSON (the `stats` protocol request) and as a
+ * human-readable text block (dumped on shutdown).
+ */
+
+#ifndef ACCPAR_SERVICE_METRICS_H
+#define ACCPAR_SERVICE_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+
+namespace accpar::service {
+
+/**
+ * Fixed-bucket log-spaced latency histogram covering 1 microsecond to
+ * 100 seconds at 8 buckets per decade, plus an overflow bucket.
+ * Quantiles are answered from the bucket counts (log-interpolated
+ * within the winning bucket), so record() is a single atomic add.
+ */
+class LatencyHistogram
+{
+  public:
+    /** 8 decades (1e-6 .. 1e2 s), 8 buckets each, plus overflow. */
+    static constexpr int kBucketsPerDecade = 8;
+    static constexpr int kDecades = 8;
+    static constexpr int kBuckets = kBucketsPerDecade * kDecades + 1;
+
+    void record(double seconds);
+
+    std::uint64_t count() const
+    {
+        return _count.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of recorded values (seconds). */
+    double totalSeconds() const;
+
+    /**
+     * Value at quantile @p q in [0, 1], estimated from the histogram
+     * buckets; 0 when nothing was recorded. Monotone in q.
+     */
+    double quantile(double q) const;
+
+    void reset();
+
+  private:
+    static int bucketFor(double seconds);
+    static double bucketUpperBound(int bucket);
+
+    std::atomic<std::uint64_t> _buckets[kBuckets] = {};
+    std::atomic<std::uint64_t> _count{0};
+    /** Accumulated nanoseconds; atomic so record() stays lock-free. */
+    std::atomic<std::uint64_t> _sumNanos{0};
+};
+
+/** One coherent-enough read of every counter, for rendering. */
+struct MetricsSnapshot
+{
+    std::uint64_t requestsTotal = 0;
+    std::uint64_t planRequests = 0;
+    std::uint64_t validateRequests = 0;
+    std::uint64_t statsRequests = 0;
+    std::uint64_t shutdownRequests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t protocolErrors = 0;
+    std::uint64_t queueRejected = 0;
+    std::uint64_t deadlineExpired = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::int64_t queueDepth = 0;
+    std::uint64_t latencyCount = 0;
+    double latencyTotalSeconds = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    double cacheHitRate() const
+    {
+        const std::uint64_t total = cacheHits + cacheMisses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(cacheHits) /
+                                static_cast<double>(total);
+    }
+
+    util::Json toJson() const;
+    std::string toText() const;
+};
+
+/** The service-wide metrics registry. */
+class Metrics
+{
+  public:
+    std::atomic<std::uint64_t> requestsTotal{0};
+    std::atomic<std::uint64_t> planRequests{0};
+    std::atomic<std::uint64_t> validateRequests{0};
+    std::atomic<std::uint64_t> statsRequests{0};
+    std::atomic<std::uint64_t> shutdownRequests{0};
+    /** Requests answered with ok=false (any error code). */
+    std::atomic<std::uint64_t> errors{0};
+    /** Lines that never parsed into a request (ASRV01..ASRV04). */
+    std::atomic<std::uint64_t> protocolErrors{0};
+    std::atomic<std::uint64_t> queueRejected{0};
+    std::atomic<std::uint64_t> deadlineExpired{0};
+    std::atomic<std::uint64_t> cacheHits{0};
+    std::atomic<std::uint64_t> cacheMisses{0};
+    /** Current admission-queue depth (gauge). */
+    std::atomic<std::int64_t> queueDepth{0};
+
+    /** End-to-end latency of queued (plan/validate) requests. */
+    LatencyHistogram latency;
+
+    MetricsSnapshot snapshot() const;
+};
+
+} // namespace accpar::service
+
+#endif // ACCPAR_SERVICE_METRICS_H

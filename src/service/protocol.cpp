@@ -1,0 +1,186 @@
+#include "service/protocol.h"
+
+#include "util/error.h"
+
+namespace accpar::service {
+
+namespace {
+
+/** Reads an optional member, enforcing its JSON kind. */
+const util::Json *
+member(const util::Json &doc, const std::string &key)
+{
+    return doc.contains(key) ? &doc.at(key) : nullptr;
+}
+
+std::string
+stringField(const util::Json &doc, const std::string &key,
+            const std::string &fallback)
+{
+    const util::Json *value = member(doc, key);
+    if (!value)
+        return fallback;
+    if (value->kind() != util::Json::Kind::String)
+        throw util::ConfigError("field '" + key +
+                                "' must be a string");
+    return value->asString();
+}
+
+bool
+boolField(const util::Json &doc, const std::string &key, bool fallback)
+{
+    const util::Json *value = member(doc, key);
+    if (!value)
+        return fallback;
+    if (value->kind() != util::Json::Kind::Bool)
+        throw util::ConfigError("field '" + key + "' must be a bool");
+    return value->asBool();
+}
+
+double
+numberField(const util::Json &doc, const std::string &key,
+            double fallback)
+{
+    const util::Json *value = member(doc, key);
+    if (!value)
+        return fallback;
+    if (value->kind() != util::Json::Kind::Number)
+        throw util::ConfigError("field '" + key +
+                                "' must be a number");
+    return value->asNumber();
+}
+
+} // namespace
+
+const char *
+requestKindName(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::Plan:
+        return "plan";
+      case RequestKind::Validate:
+        return "validate";
+      case RequestKind::Stats:
+        return "stats";
+      case RequestKind::Shutdown:
+        return "shutdown";
+    }
+    return "?";
+}
+
+std::variant<ServiceRequest, ServiceError>
+parseRequest(const std::string &line)
+{
+    util::Json doc;
+    try {
+        doc = util::Json::parse(line);
+    } catch (const std::exception &e) {
+        return ServiceError{kErrParse,
+                            std::string("malformed request: ") +
+                                e.what()};
+    }
+
+    if (doc.kind() != util::Json::Kind::Object)
+        return ServiceError{kErrNotRequest,
+                            "request must be a JSON object"};
+
+    ServiceRequest request;
+    if (doc.contains("id"))
+        request.id = doc.at("id");
+
+    if (!doc.contains("kind") ||
+        doc.at("kind").kind() != util::Json::Kind::String)
+        return ServiceError{kErrNotRequest,
+                            "request needs a string 'kind'",
+                            request.id};
+    const std::string &kind = doc.at("kind").asString();
+    if (kind == "plan")
+        request.kind = RequestKind::Plan;
+    else if (kind == "validate")
+        request.kind = RequestKind::Validate;
+    else if (kind == "stats")
+        request.kind = RequestKind::Stats;
+    else if (kind == "shutdown")
+        request.kind = RequestKind::Shutdown;
+    else
+        return ServiceError{kErrUnknownKind,
+                            "unknown request kind '" + kind + "'",
+                            request.id};
+
+    try {
+        if (const util::Json *model = member(doc, "model")) {
+            if (model->kind() == util::Json::Kind::Object)
+                request.modelDoc = *model;
+            else if (model->kind() == util::Json::Kind::String)
+                request.modelName = model->asString();
+            else
+                throw util::ConfigError(
+                    "field 'model' must be a zoo name or an inline "
+                    "model object");
+        }
+        if (request.kind == RequestKind::Validate && !request.modelDoc)
+            throw util::ConfigError(
+                "validate requests need an inline 'model' document");
+
+        const double batch = numberField(
+            doc, "batch", static_cast<double>(request.batch));
+        if (batch < 1 || batch != static_cast<double>(
+                                      static_cast<std::int64_t>(batch)))
+            throw util::ConfigError(
+                "field 'batch' must be a positive integer");
+        request.batch = static_cast<std::int64_t>(batch);
+
+        request.array = stringField(doc, "array", request.array);
+        request.strategy =
+            stringField(doc, "strategy", request.strategy);
+        request.verify = boolField(doc, "verify", request.verify);
+        request.strict = boolField(doc, "strict", request.strict);
+
+        if (const util::Json *plan = member(doc, "plan")) {
+            if (plan->kind() != util::Json::Kind::Object)
+                throw util::ConfigError(
+                    "field 'plan' must be a plan object");
+            request.planDoc = *plan;
+        }
+
+        const double deadline_ms = numberField(doc, "deadline_ms", 0.0);
+        if (deadline_ms < 0.0)
+            throw util::ConfigError(
+                "field 'deadline_ms' must be >= 0");
+        request.deadlineSeconds = deadline_ms / 1e3;
+    } catch (const std::exception &e) {
+        // Keep the id so the client can correlate the rejection.
+        return ServiceError{kErrBadField, e.what(), request.id};
+    }
+    return request;
+}
+
+util::Json
+errorResponse(const util::Json &id, const ServiceError &error)
+{
+    util::Json detail = util::Json::Object{};
+    detail["code"] = error.code;
+    detail["message"] = error.message;
+
+    util::Json doc = util::Json::Object{};
+    doc["id"] = id;
+    doc["ok"] = false;
+    doc["error"] = std::move(detail);
+    return doc;
+}
+
+util::Json
+okResponse(const util::Json &id, RequestKind kind,
+           const util::Json &payload)
+{
+    util::Json doc = util::Json::Object{};
+    doc["id"] = id;
+    doc["ok"] = true;
+    doc["kind"] = requestKindName(kind);
+    if (payload.kind() == util::Json::Kind::Object)
+        for (const auto &[key, value] : payload.asObject())
+            doc[key] = value;
+    return doc;
+}
+
+} // namespace accpar::service

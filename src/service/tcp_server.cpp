@@ -1,0 +1,208 @@
+#include "service/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/plan_service.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace accpar::service {
+
+namespace {
+
+/** Poll granularity of the accept/connection loops. */
+constexpr int kPollMillis = 100;
+
+std::atomic<bool> g_signalStop{false};
+
+void
+onStopSignal(int)
+{
+    g_signalStop.store(true, std::memory_order_release);
+}
+
+} // namespace
+
+void
+installSignalStop()
+{
+    struct sigaction action = {};
+    action.sa_handler = onStopSignal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+    // A client vanishing mid-write must not kill the server.
+    signal(SIGPIPE, SIG_IGN);
+}
+
+bool
+signalStopRequested()
+{
+    return g_signalStop.load(std::memory_order_acquire);
+}
+
+TcpServer::TcpServer(PlanService &service,
+                     const TcpServerConfig &config)
+    : _service(service), _config(config)
+{
+    ACCPAR_REQUIRE(_config.port >= 0 && _config.port <= 65535,
+                   "port must be in [0, 65535], got "
+                       << _config.port);
+    _listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ACCPAR_REQUIRE(_listenFd >= 0, "cannot create listening socket: "
+                                       << std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(_listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(_config.port));
+    if (::inet_pton(AF_INET, _config.host.c_str(), &addr.sin_addr) !=
+        1) {
+        ::close(_listenFd);
+        _listenFd = -1;
+        throw util::ConfigError("bad listen address '" +
+                                _config.host + "'");
+    }
+    if (::bind(_listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(_listenFd, 64) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(_listenFd);
+        _listenFd = -1;
+        throw util::ConfigError("cannot listen on " + _config.host +
+                                ':' + std::to_string(_config.port) +
+                                ": " + reason);
+    }
+
+    sockaddr_in bound = {};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(_listenFd,
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) == 0)
+        _port = ntohs(bound.sin_port);
+    else
+        _port = _config.port;
+}
+
+TcpServer::~TcpServer()
+{
+    stop();
+    if (_listenFd >= 0)
+        ::close(_listenFd);
+    const std::lock_guard<std::mutex> lock(_threadsMutex);
+    for (std::thread &thread : _threads)
+        if (thread.joinable())
+            thread.join();
+}
+
+bool
+TcpServer::stopping() const
+{
+    return _stop.load(std::memory_order_acquire) ||
+           signalStopRequested() || _service.shutdownRequested();
+}
+
+void
+TcpServer::serve()
+{
+    ACCPAR_INFO("serve: listening on " << _config.host << ':'
+                                       << _port);
+    while (!stopping()) {
+        pollfd pfd = {};
+        pfd.fd = _listenFd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, kPollMillis);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(_listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        const std::lock_guard<std::mutex> lock(_threadsMutex);
+        _threads.emplace_back(
+            [this, fd] { connectionLoop(fd); });
+    }
+
+    ACCPAR_INFO("serve: draining");
+    // Stop accepting, let every connection notice the stop flag and
+    // finish its in-flight request, then drain queued service work.
+    _stop.store(true, std::memory_order_release);
+    {
+        const std::lock_guard<std::mutex> lock(_threadsMutex);
+        for (std::thread &thread : _threads)
+            if (thread.joinable())
+                thread.join();
+        _threads.clear();
+    }
+    _service.shutdown();
+    ACCPAR_INFO("serve: stopped");
+}
+
+void
+TcpServer::connectionLoop(int fd)
+{
+    std::string buffer;
+    char chunk[64 * 1024];
+    while (!stopping()) {
+        pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, kPollMillis);
+        if (ready < 0)
+            break;
+        if (ready == 0)
+            continue;
+        const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+        if (got <= 0)
+            break;
+        buffer.append(chunk, static_cast<std::size_t>(got));
+        if (buffer.size() > _config.maxLineBytes) {
+            ACCPAR_WARN("serve: dropping connection with "
+                        << buffer.size()
+                        << " byte line (limit "
+                        << _config.maxLineBytes << ")");
+            break;
+        }
+
+        std::size_t start = 0;
+        for (std::size_t nl = buffer.find('\n', start);
+             nl != std::string::npos;
+             nl = buffer.find('\n', start)) {
+            std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            std::string response = _service.handleLine(line);
+            response += '\n';
+            std::size_t sent = 0;
+            while (sent < response.size()) {
+                const ssize_t wrote =
+                    ::write(fd, response.data() + sent,
+                            response.size() - sent);
+                if (wrote <= 0)
+                    break;
+                sent += static_cast<std::size_t>(wrote);
+            }
+            if (sent < response.size())
+                break;
+        }
+        buffer.erase(0, start);
+    }
+    ::close(fd);
+}
+
+} // namespace accpar::service

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TCP transport for the planning service.
+ *
+ * A TcpServer owns a listening socket and serves the newline-delimited
+ * JSON protocol to any number of concurrent connections (one thread
+ * per connection; connections are long-lived and pipeline requests).
+ * The accept and connection loops poll with a short timeout instead of
+ * blocking, so a stop request — stop(), a protocol `shutdown` request,
+ * or a SIGINT/SIGTERM registered via installSignalStop() — is honored
+ * within ~100ms: the listener closes, in-flight requests drain through
+ * the service, every connection thread joins, and serve() returns.
+ */
+
+#ifndef ACCPAR_SERVICE_TCP_SERVER_H
+#define ACCPAR_SERVICE_TCP_SERVER_H
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace accpar::service {
+
+class PlanService;
+
+/** Where to listen. */
+struct TcpServerConfig
+{
+    std::string host = "127.0.0.1";
+    /** 0 asks the kernel for an ephemeral port (see port()). */
+    int port = 0;
+    /** Protocol lines longer than this close the connection. */
+    std::size_t maxLineBytes = 16u << 20;
+};
+
+/**
+ * Installs SIGINT/SIGTERM handlers that request a graceful stop of
+ * every TcpServer in the process (async-signal-safe flag set; the
+ * serve loops notice on their next poll tick).
+ */
+void installSignalStop();
+
+/** True once a stop signal was delivered. */
+bool signalStopRequested();
+
+/** Blocking TCP front end over one PlanService. */
+class TcpServer
+{
+  public:
+    /** Binds and listens; throws ConfigError on failure. */
+    TcpServer(PlanService &service, const TcpServerConfig &config);
+    ~TcpServer();
+
+    TcpServer(const TcpServer &) = delete;
+    TcpServer &operator=(const TcpServer &) = delete;
+
+    /** The actually bound port (resolves port 0). */
+    int port() const { return _port; }
+
+    /**
+     * Accepts and serves connections until stop()/signal/protocol
+     * shutdown, then drains the service and joins every connection.
+     */
+    void serve();
+
+    /** Requests serve() to wind down (thread-safe). */
+    void stop() { _stop.store(true, std::memory_order_release); }
+
+  private:
+    void connectionLoop(int fd);
+    bool stopping() const;
+
+    PlanService &_service;
+    TcpServerConfig _config;
+    int _listenFd = -1;
+    int _port = 0;
+    std::atomic<bool> _stop{false};
+    std::mutex _threadsMutex;
+    std::vector<std::thread> _threads;
+};
+
+} // namespace accpar::service
+
+#endif // ACCPAR_SERVICE_TCP_SERVER_H

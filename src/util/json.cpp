@@ -258,6 +258,14 @@ class Parser
   public:
     explicit Parser(const std::string &text) : _text(text) {}
 
+    /**
+     * Maximum container nesting depth. The parser recurses once per
+     * nested array/object, so without a limit a hostile document of a
+     * few hundred thousand '['s overflows the stack; 128 is far beyond
+     * any document the toolchain produces (plans nest ~4 deep).
+     */
+    static constexpr int kMaxDepth = 128;
+
     Json
     parseDocument()
     {
@@ -312,10 +320,16 @@ class Parser
     {
         skipWs();
         const char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
+        if (c == '{' || c == '[') {
+            ACCPAR_REQUIRE(_depth < kMaxDepth,
+                           "json nesting deeper than " << kMaxDepth
+                                                       << " levels at "
+                                                       << _pos);
+            ++_depth;
+            Json value = c == '{' ? parseObject() : parseArray();
+            --_depth;
+            return value;
+        }
         if (c == '"')
             return Json(parseString());
         if (consumeKeyword("true"))
@@ -485,6 +499,7 @@ class Parser
 
     const std::string &_text;
     std::size_t _pos = 0;
+    int _depth = 0;
 };
 
 } // namespace

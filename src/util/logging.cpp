@@ -1,6 +1,11 @@
 #include "util/logging.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
+
+#include "util/error.h"
 
 namespace accpar::util {
 
@@ -22,7 +27,41 @@ logLevelName(LogLevel level)
     return "?";
 }
 
-Logger::Logger() : _level(LogLevel::Warn), _stream(&std::cerr) {}
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    std::string key = name;
+    std::transform(key.begin(), key.end(), key.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    if (key == "debug")
+        return LogLevel::Debug;
+    if (key == "info")
+        return LogLevel::Info;
+    if (key == "warn" || key == "warning")
+        return LogLevel::Warn;
+    if (key == "error")
+        return LogLevel::ErrorLevel;
+    if (key == "off")
+        return LogLevel::Off;
+    throw ConfigError("unknown log level '" + name +
+                      "' (expected debug, info, warn, error or off)");
+}
+
+Logger::Logger() : _level(LogLevel::Info), _stream(&std::cerr)
+{
+    // The environment overrides the built-in default; an explicit
+    // setLevel (e.g. from --log-level) in turn overrides both.
+    if (const char *env = std::getenv("ACCPAR_LOG_LEVEL")) {
+        try {
+            _level = parseLogLevel(env);
+        } catch (const ConfigError &) {
+            // A bad env value must not kill the process before main;
+            // keep the default and let the CLI flag path report it.
+        }
+    }
+}
 
 Logger &
 Logger::instance()

@@ -24,6 +24,13 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
 const char *logLevelName(LogLevel level);
 
 /**
+ * Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive)
+ * into a LogLevel; throws ConfigError on anything else. Backs the CLI's
+ * --log-level flag and the ACCPAR_LOG_LEVEL environment variable.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/**
  * Process-wide logger configuration and sink.
  *
  * Emission is serialized by a mutex, so messages from concurrent solver

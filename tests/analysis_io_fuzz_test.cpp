@@ -353,4 +353,28 @@ TEST(ModelFuzz, FileLoaderRejectsMissingAndNonJsonFiles)
     std::remove(path.c_str());
 }
 
+#ifdef ACCPAR_TEST_DATA_DIR
+TEST(ModelFuzz, DeepNestingCorpusRejectedByLoaders)
+{
+    // tests/data/deep_nesting.json nests arrays past the JSON
+    // parser's recursion limit; both diagnostic loaders must reject
+    // it cleanly (no crash, no stack overflow), never accept it.
+    const std::string path =
+        std::string(ACCPAR_TEST_DATA_DIR) + "/deep_nesting.json";
+
+    DiagnosticSink model_sink;
+    EXPECT_FALSE(
+        models::loadModelFile(path, model_sink).has_value());
+    EXPECT_TRUE(model_sink.hasCode("AMIO01"))
+        << model_sink.renderText();
+
+    DiagnosticSink plan_sink;
+    const hw::Hierarchy hierarchy(hw::parseArraySpec("tpu-v3:2"));
+    EXPECT_FALSE(
+        core::loadPlan(path, hierarchy, plan_sink).has_value());
+    EXPECT_TRUE(plan_sink.hasCode("APIO01"))
+        << plan_sink.renderText();
+}
+#endif
+
 } // namespace

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "analysis/plan_verifier.h"
 #include "core/plan_io.h"
 #include "hw/hierarchy.h"
 #include "models/zoo.h"
@@ -110,6 +111,30 @@ TEST(PlanIo, MissingFileThrows)
     const hw::Hierarchy hier = smallArray();
     EXPECT_THROW(core::loadPlan("/nonexistent/path.json", hier),
                  util::ConfigError);
+}
+
+TEST(PlanIo, ResnetMultiPathRoundTripIsByteIdentical)
+{
+    // The full serve-and-reload contract on a multi-path graph (ResNet
+    // skip connections): serialize, load, re-verify against the
+    // verifier, and re-serialize to the byte-identical document.
+    const hw::Hierarchy hier = smallArray();
+    const graph::Graph model = models::buildModel("resnet18", 64);
+    const core::PartitionPlan plan =
+        strategies::makeStrategy("accpar")->plan(model, hier);
+
+    const std::string first = core::planToJson(plan, hier).dump(2);
+    const core::PartitionPlan loaded =
+        core::planFromJson(util::Json::parse(first), hier);
+
+    analysis::DiagnosticSink sink;
+    analysis::VerifyOptions options;
+    options.cost = strategies::makeStrategy("accpar")->costConfig();
+    const core::PartitionProblem problem(model);
+    analysis::verifyPlan(problem, hier, loaded, options, sink);
+    EXPECT_FALSE(sink.hasErrors()) << sink.renderText();
+
+    EXPECT_EQ(core::planToJson(loaded, hier).dump(2), first);
 }
 
 } // namespace

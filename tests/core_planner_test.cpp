@@ -15,6 +15,7 @@
 #include "core/plan_io.h"
 #include "core/planner.h"
 #include "hw/hierarchy.h"
+#include "hw/topology.h"
 #include "models/zoo.h"
 #include "strategies/registry.h"
 #include "util/error.h"
@@ -231,6 +232,46 @@ TEST(PlannerTest, UnknownStrategyNameThrows)
     request.strategy = "definitely-not-a-strategy";
     Planner planner;
     EXPECT_THROW(planner.plan(request), util::ConfigError);
+}
+
+TEST(PlannerTest, CanonicalKeyIdentifiesTheWork)
+{
+    const hw::AcceleratorGroup array = hw::parseArraySpec("tpu-v3:2");
+    const PlanRequest base(models::buildModel("lenet", 32), array);
+
+    // Identical requests built independently share one key — that is
+    // what makes cross-request memoization sound.
+    const PlanRequest same(models::buildModel("lenet", 32), array);
+    EXPECT_EQ(planRequestCanonicalKey(base),
+              planRequestCanonicalKey(same));
+    EXPECT_EQ(planRequestFingerprint(base),
+              planRequestFingerprint(same));
+
+    // Execution knobs that cannot change the resulting plan are
+    // excluded from the key.
+    PlanRequest jobs(models::buildModel("lenet", 32), array);
+    jobs.jobs = 8;
+    EXPECT_EQ(planRequestCanonicalKey(base),
+              planRequestCanonicalKey(jobs));
+
+    // Anything that can change the answer must change the key.
+    const PlanRequest batch(models::buildModel("lenet", 64), array);
+    const PlanRequest model(models::buildModel("alexnet", 32), array);
+    const PlanRequest wider(models::buildModel("lenet", 32),
+                            hw::parseArraySpec("tpu-v3:4"));
+    PlanRequest strategy(models::buildModel("lenet", 32), array);
+    strategy.strategy = "hypar";
+    PlanRequest no_verify(models::buildModel("lenet", 32), array);
+    no_verify.options.verify = false;
+
+    const std::string base_key = planRequestCanonicalKey(base);
+    const PlanRequest *others[] = {&batch, &model, &wider, &strategy,
+                                   &no_verify};
+    for (const PlanRequest *other : others) {
+        EXPECT_NE(planRequestCanonicalKey(*other), base_key);
+        EXPECT_NE(planRequestFingerprint(*other),
+                  planRequestFingerprint(base));
+    }
 }
 
 } // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "util/error.h"
 #include "util/json.h"
 
@@ -129,6 +132,41 @@ TEST(Json, ObjectKeysAreOrderedDeterministically)
     doc["apple"] = 2;
     // std::map ordering: apple before zebra.
     EXPECT_LT(doc.dump().find("apple"), doc.dump().find("zebra"));
+}
+
+TEST(Json, NestingBeyondDepthLimitThrows)
+{
+    // The parser bounds recursion: a pathological document must raise
+    // a clean ConfigError instead of overflowing the stack.
+    for (int depth : {129, 1000, 100000}) {
+        const std::string deep =
+            std::string(static_cast<std::size_t>(depth), '[') +
+            std::string(static_cast<std::size_t>(depth), ']');
+        EXPECT_THROW(Json::parse(deep), ConfigError) << depth;
+    }
+    const std::string deep_objects = [] {
+        std::string text;
+        for (int i = 0; i < 200; ++i)
+            text += "{\"k\":";
+        text += "1";
+        text.append(200, '}');
+        return text;
+    }();
+    EXPECT_THROW(Json::parse(deep_objects), ConfigError);
+}
+
+TEST(Json, NestingWithinDepthLimitParses)
+{
+    const std::string deep = std::string(120, '[') + "7" +
+                             std::string(120, ']');
+    Json doc = Json::parse(deep);
+    for (int i = 0; i < 120; ++i) {
+        Json inner = doc.asArray()[0];
+        doc = std::move(inner);
+    }
+    EXPECT_EQ(doc.asInt(), 7);
+    // The limit applies per parse, not cumulatively.
+    EXPECT_NO_THROW(Json::parse(deep));
 }
 
 } // namespace

@@ -25,8 +25,22 @@
  *            saved plan (plan verifier) and print diagnostics; exits
  *            nonzero when errors (or, with --strict, warnings) are
  *            found
+ *   serve    [--host 127.0.0.1] [--port 7411] [--jobs N]
+ *            [--cache-entries N] [--max-queue N] [--planner-jobs N]
+ *            long-running planning daemon speaking the
+ *            newline-delimited JSON protocol (DESIGN.md §10); drains
+ *            gracefully on SIGINT/SIGTERM or a `shutdown` request and
+ *            dumps its metrics on exit
+ *   load     [--host H] [--port P | --loopback] [--requests N]
+ *            [--concurrency K] [--mix plan,validate] [--model NAME]
+ *            [--batch N] [--array SPEC] [--strategy S] [--shutdown]
+ *            closed-loop load generator against a running server (or
+ *            an in-process service with --loopback); exits nonzero
+ *            when any request failed
  *
- * `accpar --version` prints the library version.
+ * `accpar --version` prints the library version. Every subcommand
+ * accepts --log-level {debug,info,warn,error,off} (the
+ * ACCPAR_LOG_LEVEL environment variable sets the default, else info).
  *
  * --jobs N runs the planning engine with N concurrency lanes (0 = all
  * hardware threads, default 1). Plans are bit-identical for any value.
@@ -50,11 +64,15 @@
 #include "models/model_io.h"
 #include "models/summary.h"
 #include "models/zoo.h"
+#include "service/load_gen.h"
+#include "service/plan_service.h"
+#include "service/tcp_server.h"
 #include "sim/optimizer.h"
 #include "sim/report.h"
 #include "strategies/registry.h"
 #include "util/args.h"
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -95,8 +113,23 @@ simConfig(const util::Args &args)
 std::string
 cacheLine(const core::CostCacheStats &stats)
 {
+    const int rate_pct =
+        static_cast<int>(stats.hitRate() * 100.0 + 0.5);
     return "[cost cache: " + std::to_string(stats.hits) + " hits, " +
-           std::to_string(stats.misses) + " misses]";
+           std::to_string(stats.misses) + " misses, " +
+           std::to_string(rate_pct) + "% hit rate]";
+}
+
+/**
+ * Applies the --log-level flag (or, when absent, leaves whatever
+ * ACCPAR_LOG_LEVEL / the info default established at startup).
+ */
+void
+applyLogLevel(const util::Args &args)
+{
+    if (const auto level = args.get("log-level"))
+        util::Logger::instance().setLevel(
+            util::parseLogLevel(*level));
 }
 
 int
@@ -104,8 +137,8 @@ usage()
 {
     std::cerr
         << "usage: accpar "
-           "<info|plan|simulate|compare|sweep|diff|validate> "
-           "[flags]\n"
+           "<info|plan|simulate|compare|sweep|diff|validate|serve|"
+           "load> [flags]\n"
         << "       accpar --version\n"
         << "run 'accpar' with a subcommand; see tools/accpar_cli.cpp "
            "header for flags\n";
@@ -115,7 +148,8 @@ usage()
 int
 cmdInfo(const util::Args &args)
 {
-    args.checkKnown({"model", "model-file", "batch", "dot"});
+    args.checkKnown({"model", "model-file", "batch", "dot",
+                     "log-level"});
     const graph::Graph model = resolveModel(args);
     std::cout << models::formatSummary(models::summarizeModel(model));
     if (const auto path = args.get("dot")) {
@@ -140,7 +174,7 @@ cmdPlan(const util::Args &args)
 {
     args.checkKnown({"model", "model-file", "batch", "array",
                      "strategy", "out", "jobs", "no-verify",
-                     "strict"});
+                     "strict", "log-level"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
 
@@ -170,7 +204,8 @@ int
 cmdSimulate(const util::Args &args)
 {
     args.checkKnown({"model", "model-file", "batch", "array",
-                     "strategy", "plan", "jobs", "optimizer"});
+                     "strategy", "plan", "jobs", "optimizer",
+                     "log-level"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
     const hw::Hierarchy hierarchy(array);
@@ -221,8 +256,8 @@ cmdSimulate(const util::Args &args)
 int
 cmdCompare(const util::Args &args)
 {
-    args.checkKnown(
-        {"models", "batch", "array", "csv", "jobs", "optimizer"});
+    args.checkKnown({"models", "batch", "array", "csv", "jobs",
+                     "optimizer", "log-level"});
     std::vector<std::string> names;
     if (const auto list = args.get("models")) {
         for (const std::string &part : util::split(*list, ','))
@@ -240,6 +275,7 @@ cmdCompare(const util::Args &args)
          strategies::defaultStrategies())
         table.strategyLabels.push_back(s->label());
 
+    double solve_seconds = 0.0;
     for (const std::string &name : names) {
         PlanRequest request(models::buildModel(name, batch), array);
         request.jobs = jobsArg(args);
@@ -250,6 +286,8 @@ cmdCompare(const util::Args &args)
         row.model = name;
         for (const sim::TrainingRunResult &run : comparison.runs)
             row.throughput.push_back(run.throughput);
+        for (const PlanResult &plan : comparison.plans)
+            solve_seconds += plan.planSeconds;
         row.speedup = comparison.speedup;
         table.rows.push_back(std::move(row));
     }
@@ -263,7 +301,10 @@ cmdCompare(const util::Args &args)
     std::cout << sim::formatSpeedupTable(
         table,
         "speedup over data parallelism on " + array.toString());
-    std::cout << cacheLine(planner.cacheStats()) << '\n';
+    std::cout << "solved " << table.rows.size() << " model(s) x "
+              << table.strategyLabels.size() << " strategies in "
+              << util::humanSeconds(solve_seconds) << " of solver time "
+              << cacheLine(planner.cacheStats()) << '\n';
     if (const auto path = args.get("csv")) {
         sim::writeSpeedupCsv(table, *path);
         std::cout << "[csv written to " << *path << "]\n";
@@ -275,7 +316,7 @@ int
 cmdSweep(const util::Args &args)
 {
     args.checkKnown({"model", "batch", "min-levels", "max-levels",
-                     "jobs", "optimizer"});
+                     "jobs", "optimizer", "log-level"});
     const std::int64_t batch = args.getIntOr("batch", 512);
     const std::string model_name = args.getOr("model", "vgg19");
     const auto min_levels =
@@ -310,7 +351,8 @@ int
 cmdDiff(const util::Args &args)
 {
     args.checkKnown({"model", "model-file", "batch", "array", "left",
-                     "right", "left-plan", "right-plan"});
+                     "right", "left-plan", "right-plan",
+                     "log-level"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
     const hw::Hierarchy hierarchy(array);
@@ -360,7 +402,7 @@ int
 cmdValidate(const util::Args &args)
 {
     args.checkKnown({"model", "model-file", "batch", "array", "plan",
-                     "strategy", "strict", "json"});
+                     "strategy", "strict", "json", "log-level"});
     analysis::DiagnosticSink sink;
 
     // Phase 1: the model itself, through the graph linter. A JSON
@@ -409,6 +451,89 @@ cmdValidate(const util::Args &args)
     return reportDiagnostics(sink, args, subject);
 }
 
+int
+cmdServe(const util::Args &args)
+{
+    args.checkKnown({"host", "port", "jobs", "planner-jobs",
+                     "cache-entries", "cache-shards", "max-queue",
+                     "deadline-ms", "log-level"});
+
+    service::ServiceConfig config;
+    config.workers = static_cast<int>(args.getIntOr("jobs", 2));
+    config.plannerJobs =
+        static_cast<int>(args.getIntOr("planner-jobs", 1));
+    config.maxQueue =
+        static_cast<std::size_t>(args.getIntOr("max-queue", 64));
+    config.cacheEntries = static_cast<std::size_t>(
+        args.getIntOr("cache-entries", 512));
+    config.cacheShards = static_cast<std::size_t>(
+        args.getIntOr("cache-shards", 8));
+    config.defaultDeadlineSeconds =
+        args.getDoubleOr("deadline-ms", 0.0) / 1e3;
+
+    service::TcpServerConfig tcp;
+    tcp.host = args.getOr("host", "127.0.0.1");
+    tcp.port = static_cast<int>(args.getIntOr("port", 7411));
+
+    service::PlanService plan_service(config);
+    service::TcpServer server(plan_service, tcp);
+    service::installSignalStop();
+
+    std::cout << "accpar serve: listening on " << tcp.host << ':'
+              << server.port() << " (workers=" << config.workers
+              << ", planner jobs=" << config.plannerJobs
+              << ", cache=" << config.cacheEntries
+              << " entries, queue=" << config.maxQueue << ")\n"
+              << std::flush;
+    server.serve();
+
+    std::cout << plan_service.statsText() << std::flush;
+    return 0;
+}
+
+int
+cmdLoad(const util::Args &args)
+{
+    args.checkKnown({"host", "port", "loopback", "requests",
+                     "concurrency", "mix", "model", "batch", "array",
+                     "strategy", "shutdown", "jobs", "cache-entries",
+                     "max-queue", "log-level"});
+
+    service::LoadGenConfig config;
+    config.host = args.getOr("host", "127.0.0.1");
+    config.port = static_cast<int>(args.getIntOr("port", 7411));
+    config.requests =
+        static_cast<int>(args.getIntOr("requests", 100));
+    config.concurrency =
+        static_cast<int>(args.getIntOr("concurrency", 4));
+    config.mix = service::parseLoadMix(args.getOr("mix", "plan"));
+    config.model = args.getOr("model", "lenet");
+    config.batch = args.getIntOr("batch", 32);
+    config.array = args.getOr("array", "tpu-v3:2");
+    config.strategy = args.getOr("strategy", "accpar");
+    config.shutdownAfter = args.has("shutdown");
+
+    std::unique_ptr<service::PlanService> loopback;
+    if (args.has("loopback")) {
+        // In-process service: same engine, no sockets — lets the load
+        // generator double as a self-contained smoke test.
+        service::ServiceConfig service_config;
+        service_config.workers =
+            static_cast<int>(args.getIntOr("jobs", 2));
+        service_config.maxQueue = static_cast<std::size_t>(
+            args.getIntOr("max-queue", 256));
+        service_config.cacheEntries = static_cast<std::size_t>(
+            args.getIntOr("cache-entries", 512));
+        loopback =
+            std::make_unique<service::PlanService>(service_config);
+    }
+
+    const service::LoadGenReport report =
+        service::runLoadGen(config, loopback.get());
+    std::cout << formatLoadReport(report) << std::flush;
+    return report.errors == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -424,7 +549,9 @@ main(int argc, char **argv)
     std::vector<std::string> rest(argv + 2, argv + argc);
 
     try {
-        const util::Args args(rest, {"strict", "json", "no-verify"});
+        const util::Args args(rest, {"strict", "json", "no-verify",
+                                     "loopback", "shutdown"});
+        applyLogLevel(args);
         if (command == "info")
             return cmdInfo(args);
         if (command == "plan")
@@ -439,6 +566,10 @@ main(int argc, char **argv)
             return cmdDiff(args);
         if (command == "validate")
             return cmdValidate(args);
+        if (command == "serve")
+            return cmdServe(args);
+        if (command == "load")
+            return cmdLoad(args);
         std::cerr << "unknown subcommand '" << command << "'\n";
         return usage();
     } catch (const std::exception &e) {
