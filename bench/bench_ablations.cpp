@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.h"
 #include "hw/hierarchy.h"
 #include "models/zoo.h"
 #include "sim/report.h"
@@ -76,6 +77,9 @@ main()
         table, "Ablations: AccPar ingredients on the heterogeneous "
                "array, normalized to DP");
     sim::writeSpeedupCsv(table, "ablations.csv");
+    bench::BenchReport report("ablations");
+    bench::addSpeedupRows(report, table);
+    report.write();
     std::cout << "\n[csv written to ablations.csv]\n"
               << "expected: every ablated variant trails AccPar(full); "
                  "ratio-0.5 loses most on this heterogeneous array\n";

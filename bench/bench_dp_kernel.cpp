@@ -1,0 +1,143 @@
+/**
+ * @file
+ * DP-kernel microbenchmark: the flattened chain-DP kernel
+ * (core::solveHierarchy, src/core/dp_kernel.*) against the frozen
+ * pre-refactor implementation (tests/support/legacy_dp.*), on the full
+ * adaptive-ratio hierarchical solve of the paper's networks.
+ *
+ * Both arms run sequentially (no thread pool) and without a memo cache
+ * so the comparison isolates the kernel itself; a separate
+ * cache-attached run of the flattened path reports the cost-cache hit
+ * rate the Planner configuration would see. Plans are asserted
+ * byte-identical between the arms before any timing is reported.
+ *
+ * Exits nonzero if the flattened kernel is slower than legacy on any
+ * row — CI runs this as a perf smoke test and fails on regression.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/cost_cache.h"
+#include "core/hierarchical_solver.h"
+#include "core/plan_io.h"
+#include "core/ratio_solver.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "support/legacy_dp.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace accpar;
+
+constexpr int kWarmup = 1;
+constexpr int kReps = 5;
+
+/** Best-of-kReps wall time of @p fn, in nanoseconds. */
+template <typename Fn>
+double
+bestNs(Fn &&fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < kWarmup + kReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const double ns =
+            std::chrono::duration<double, std::nano>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (rep >= kWarmup && ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+struct Row
+{
+    std::string name;
+    std::string model;
+    core::RatioPolicy policy = core::RatioPolicy::PaperLinear;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Row> rows = {
+        {"vgg16", "vgg16", core::RatioPolicy::PaperLinear},
+        {"resnet50", "resnet50", core::RatioPolicy::PaperLinear},
+        {"googlenet", "googlenet", core::RatioPolicy::PaperLinear},
+        {"resnet50-exact", "resnet50", core::RatioPolicy::ExactBalance},
+    };
+
+    bench::BenchReport report("dp_kernel");
+    util::Table table({"row", "legacy ms", "flattened ms", "speedup",
+                       "cache hit rate"});
+    bool regressed = false;
+
+    for (const Row &row : rows) {
+        const core::PartitionProblem problem(
+            models::buildModel(row.model, 512));
+        const hw::Hierarchy hierarchy(
+            hw::heterogeneousTpuArrayForLevels(4));
+        core::SolverOptions options;
+        options.ratioPolicy = row.policy;
+
+        const core::PartitionPlan legacy_plan =
+            core::legacy::solveHierarchy(problem, hierarchy, options);
+        const core::PartitionPlan flat_plan =
+            core::solveHierarchy(problem, hierarchy, options);
+        if (core::planToJson(flat_plan, hierarchy).dump() !=
+            core::planToJson(legacy_plan, hierarchy).dump()) {
+            std::cerr << "FAIL: plans diverge on " << row.name << '\n';
+            return 1;
+        }
+
+        const double legacy_ns = bestNs([&] {
+            core::legacy::solveHierarchy(problem, hierarchy, options);
+        });
+        const double flat_ns = bestNs([&] {
+            core::solveHierarchy(problem, hierarchy, options);
+        });
+        const double speedup = legacy_ns / flat_ns;
+        if (speedup < 1.0)
+            regressed = true;
+
+        // The Planner attaches a memo cache; report the hit rate the
+        // flattened path reaches with one on a cold-to-warm run.
+        core::CostCache cache;
+        core::solveHierarchy(problem, hierarchy, options,
+                             core::SolveContext{nullptr, &cache});
+        const core::CostCacheStats stats = cache.stats();
+
+        util::Json &metrics = report.addRow(row.name);
+        metrics["legacy_ns_per_solve"] = legacy_ns;
+        metrics["flattened_ns_per_solve"] = flat_ns;
+        metrics["speedup"] = speedup;
+        metrics["cache_hits"] = static_cast<double>(stats.hits);
+        metrics["cache_misses"] = static_cast<double>(stats.misses);
+        metrics["cache_hit_rate"] = stats.hitRate();
+
+        table.addRow(row.name,
+                     {legacy_ns / 1e6, flat_ns / 1e6, speedup,
+                      stats.hitRate()},
+                     3);
+    }
+
+    std::cout << "DP kernel: flattened vs legacy hierarchical solve "
+                 "(batch 512, 4-level heterogeneous array, best of "
+              << kReps << ")\n";
+    table.print(std::cout);
+    report.write();
+
+    if (regressed) {
+        std::cerr << "FAIL: flattened kernel slower than legacy\n";
+        return 1;
+    }
+    return 0;
+}

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "hw/hierarchy.h"
 #include "models/zoo.h"
 #include "sim/report.h"
@@ -49,6 +50,9 @@ main()
         "TPU-v3), normalized to DP");
     sim::writeSpeedupCsv(table, "fig5_heterogeneous.csv");
     std::cout << "\n[csv written to fig5_heterogeneous.csv]\n";
+    bench::BenchReport report("fig5_heterogeneous");
+    bench::addSpeedupRows(report, table);
+    report.write();
     std::cout << "paper reference geomeans: DP 1.00, OWT 2.98, HyPar "
                  "3.78, AccPar 6.30\n";
     return 0;

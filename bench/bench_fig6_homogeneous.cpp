@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "hw/hierarchy.h"
 #include "models/zoo.h"
 #include "sim/report.h"
@@ -24,6 +25,9 @@ main()
                "normalized to DP");
     sim::writeSpeedupCsv(table, "fig6_homogeneous.csv");
     std::cout << "\n[csv written to fig6_homogeneous.csv]\n";
+    bench::BenchReport report("fig6_homogeneous");
+    bench::addSpeedupRows(report, table);
+    report.write();
     std::cout << "paper reference geomeans: DP 1.00, OWT 2.94, HyPar "
                  "3.51, AccPar 3.86\n";
     return 0;

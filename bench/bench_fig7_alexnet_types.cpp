@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/hierarchical_solver.h"
 #include "hw/hierarchy.h"
 #include "models/zoo.h"
@@ -78,5 +79,23 @@ main()
     std::cout << "fc layer-levels at Type-II/III: " << fc_model << "/"
               << fc_total << " (paper: model partitioning)\n";
     std::cout << "[csv written to fig7_alexnet_types.csv]\n";
+
+    bench::BenchReport report("fig7_alexnet_types");
+    for (std::size_t level = 0; level < path.size(); ++level) {
+        int counts[3] = {0, 0, 0};
+        for (core::PartitionType t : path[level]->types)
+            ++counts[core::partitionTypeIndex(t)];
+        util::Json &metrics =
+            report.addRow("level" + std::to_string(level + 1));
+        metrics["type1_layers"] = counts[0];
+        metrics["type2_layers"] = counts[1];
+        metrics["type3_layers"] = counts[2];
+    }
+    util::Json &summary = report.addRow("summary");
+    summary["conv_layer_levels_type1"] = conv_type1;
+    summary["conv_layer_levels_model"] = conv_other;
+    summary["fc_layer_levels_model"] = fc_model;
+    summary["fc_layer_levels_total"] = fc_total;
+    report.write();
     return 0;
 }

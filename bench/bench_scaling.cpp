@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "hw/hierarchy.h"
 #include "models/zoo.h"
 #include "sim/training_sim.h"
@@ -22,6 +23,7 @@ main()
 {
     using namespace accpar;
     const auto strategies_list = strategies::defaultStrategies();
+    bench::BenchReport report("scaling");
 
     // Strong scaling: vgg16, batch 512, heterogeneous arrays 4..512.
     {
@@ -42,6 +44,11 @@ main()
             const std::string label = std::to_string(2 << (levels - 1));
             table.addRow(label, throughput, 5);
             csv.addRow(label, throughput);
+            util::Json &metrics =
+                report.addRow("strong_boards" + label);
+            for (std::size_t s = 0; s < strategies_list.size(); ++s)
+                metrics["throughput_" + strategies_list[s]->label()] =
+                    throughput[s];
         }
         std::cout << "strong scaling: vgg16 throughput vs array size "
                      "(batch 512, heterogeneous)\n";
@@ -72,6 +79,11 @@ main()
             }
             table.addRow(std::to_string(batch), speedup, 4);
             csv.addRow(std::to_string(batch), speedup);
+            util::Json &metrics =
+                report.addRow("batch" + std::to_string(batch));
+            for (std::size_t s = 0; s < strategies_list.size(); ++s)
+                metrics["speedup_" + strategies_list[s]->label()] =
+                    speedup[s];
         }
         std::cout << "\nbatch sweep: vgg16 speedup over DP vs "
                      "mini-batch size (64 boards)\n";
@@ -80,5 +92,6 @@ main()
     }
     std::cout << "\n[csv written to scaling_strong.csv, "
                  "scaling_batch.csv]\n";
+    report.write();
     return 0;
 }

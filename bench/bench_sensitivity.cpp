@@ -17,6 +17,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "hw/hierarchy.h"
 #include "models/zoo.h"
 #include "sim/training_sim.h"
@@ -53,6 +54,7 @@ main()
 
     std::cout << "Sensitivity of the heterogeneous-array conclusions "
                  "to simulator assumptions\n\n";
+    bench::BenchReport report("sensitivity");
     for (const char *model_name : {"vgg16", "resnet50"}) {
         const graph::Graph model =
             models::buildModel(model_name, 512);
@@ -78,11 +80,17 @@ main()
             }
             t.addRow(v.name, {hypar / dp, accpar / dp, accpar / hypar},
                      4);
+            util::Json &metrics = report.addRow(
+                std::string(model_name) + "/" + v.name);
+            metrics["hypar_over_dp"] = hypar / dp;
+            metrics["accpar_over_dp"] = accpar / dp;
+            metrics["accpar_over_hypar"] = accpar / hypar;
         }
         std::cout << model_name << ":\n";
         t.print(std::cout);
         std::cout << '\n';
     }
+    report.write();
     std::cout << "expected: DP < HyPar < AccPar holds under every "
                  "variant; absolute factors move\n";
     return 0;

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "service/plan_service.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -87,6 +88,7 @@ main()
 
     util::Table table({"clients", "cold req/s", "warm req/s",
                        "warm/cold speedup"});
+    bench::BenchReport report("service_throughput");
     double worst_speedup = 0.0;
     bool first = true;
     for (const int clients : client_counts) {
@@ -115,11 +117,17 @@ main()
         first = false;
         table.addRow(std::to_string(clients),
                      {cold_rps, warm_rps, speedup}, 1);
+        util::Json &metrics =
+            report.addRow("clients" + std::to_string(clients));
+        metrics["cold_requests_per_second"] = cold_rps;
+        metrics["warm_requests_per_second"] = warm_rps;
+        metrics["warm_over_cold_speedup"] = speedup;
     }
 
     std::cout << "planning service throughput: vgg16 plan requests, "
                  "cold vs warm result cache\n";
     table.print(std::cout);
+    report.write();
     std::cout << "minimum warm/cold speedup: " << worst_speedup
               << "x\n";
     return worst_speedup >= 5.0 ? 0 : 1;

@@ -12,6 +12,7 @@
 #include <set>
 #include <sstream>
 
+#include "bench_json.h"
 #include "core/hierarchical_solver.h"
 #include "hw/hierarchy.h"
 #include "models/zoo.h"
@@ -29,6 +30,7 @@ main()
 
     util::Table table({"scheme", "configuration", "types/layer",
                        "ratio", "distinct (type,alpha) decisions"});
+    bench::BenchReport report("table8_flexibility");
 
     for (const auto &s : strategies::defaultStrategies()) {
         const core::PartitionPlan plan = s->plan(problem, hierarchy);
@@ -55,12 +57,17 @@ main()
                       types_per_layer,
                       s->name() == "accpar" ? "flexible" : "fixed 0.5",
                       std::to_string(decisions.size())});
+        util::Json &metrics = report.addRow(s->name());
+        metrics["distinct_decisions"] =
+            static_cast<double>(decisions.size());
+        metrics["dynamic"] = is_static ? 0.0 : 1.0;
     }
 
     std::cout << "Table 8: flexibility of DP, OWT, HyPar and AccPar\n"
                  "(decision diversity measured on Vgg19, heterogeneous "
                  "array)\n";
     table.print(std::cout);
+    report.write();
     std::cout << "\npaper reference: flexibility DP < OWT < HyPar < "
                  "AccPar (static, static, dynamic, dynamic)\n";
     return 0;

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/cost_model.h"
 #include "core/layer_dims.h"
 #include "util/string_util.h"
@@ -107,5 +108,28 @@ main()
                "A(W_l) * (2 B - 1)"});
     std::cout << "\nTable 6: floating point operations\n";
     t6.print(std::cout);
+
+    bench::BenchReport report("tables_cost_model");
+    util::Json &intra = report.addRow("table4_intra_comm");
+    intra["type1_elements"] =
+        PairCostModel::intraCommElements(PT::TypeI, d);
+    intra["type2_elements"] =
+        PairCostModel::intraCommElements(PT::TypeII, d);
+    intra["type3_elements"] =
+        PairCostModel::intraCommElements(PT::TypeIII, d);
+    for (PT from : core::kAllPartitionTypes) {
+        util::Json &row = report.addRow(
+            std::string("table5_from_") +
+            core::partitionTypeTag(from));
+        for (PT to : core::kAllPartitionTypes)
+            row[std::string("to_") + core::partitionTypeTag(to)] =
+                PairCostModel::interCommElements(from, to, a, alpha,
+                                                 1.0 - alpha);
+    }
+    util::Json &flops = report.addRow("table6_flops");
+    flops["forward"] = d.flopsForward();
+    flops["backward"] = d.flopsBackward();
+    flops["gradient"] = d.flopsGradient();
+    report.write();
     return 0;
 }

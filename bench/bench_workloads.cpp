@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "core/hierarchical_solver.h"
 #include "models/zoo.h"
 #include "util/string_util.h"
@@ -23,6 +24,7 @@ main()
     util::Table table({"network", "weighted layers", "junctions",
                        "weights", "weights (bf16)",
                        "3-phase FLOPs/step", "bytes/FLOP"});
+    bench::BenchReport report("workloads");
 
     for (const std::string &name : models::modelNames()) {
         const graph::Graph model = models::buildModel(name, 512);
@@ -44,10 +46,19 @@ main()
              util::humanBytes(weight_bytes), util::humanFlops(flops),
              util::formatDouble(weight_bytes / flops * 1e6, 3) +
                  "e-6"});
+        util::Json &metrics = report.addRow(name);
+        metrics["weighted_layers"] =
+            static_cast<double>(model.weightedLayers().size());
+        metrics["junctions"] = junctions;
+        metrics["weight_elements"] =
+            static_cast<double>(model.totalWeightCount());
+        metrics["flops_per_step"] = flops;
+        metrics["bytes_per_flop"] = weight_bytes / flops;
     }
 
     std::cout << "Workload characterization (batch 512, bf16)\n";
     table.print(std::cout);
+    report.write();
     std::cout << "\nreading: high bytes/FLOP (Vgg, AlexNet) -> model "
                  "partitioning wins; low (ResNet) -> data "
                  "parallelism dominates (paper §6.2)\n";

@@ -1,198 +1,11 @@
 #include "core/chain_dp.h"
 
 #include <algorithm>
-#include <array>
-#include <limits>
-#include <optional>
-#include <tuple>
-#include <utility>
 
+#include "core/dp_kernel.h"
 #include "util/error.h"
 
 namespace accpar::core {
-
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/** (node, chosen type) pairs accumulated during backtracking. */
-using Assignment = std::vector<std::pair<CNodeId, PartitionType>>;
-
-/** Shared context of one DP run. */
-struct DpContext
-{
-    const CondensedGraph &graph;
-    const std::vector<LayerDims> &dims;
-    const PairCostModel &model;
-    const TypeRestrictions &allowed;
-
-    /**
-     * A(F) = A(E) of the boundary tensor on edge @p producer ->
-     * @p consumer: the smaller of the producer's output and the
-     * consumer's input view. They coincide on plain chains; pooling
-     * boundaries convert the (smaller) post-pool tensor, and edges
-     * into a Concat junction carry only the producing path's slice.
-     */
-    double
-    boundaryElems(CNodeId producer, CNodeId consumer) const
-    {
-        return std::min(dims[producer].sizeOutput(),
-                        dims[consumer].sizeInput());
-    }
-
-    double
-    nodeCost(CNodeId node, PartitionType t) const
-    {
-        const CondensedNode &n = graph.node(node);
-        return model.nodeCost(node, dims[node], n.junction, t);
-    }
-
-    double
-    transitionCost(PartitionType from, PartitionType to,
-                   CNodeId producer, CNodeId consumer) const
-    {
-        return model.transitionCost(producer, from, to,
-                                    boundaryElems(producer, consumer));
-    }
-};
-
-/** DP state per element: best cost and assignment per partition type. */
-struct StateRow
-{
-    std::array<double, kPartitionTypeCount> cost;
-    std::array<Assignment, kPartitionTypeCount> assign;
-
-    StateRow() { cost.fill(kInf); }
-};
-
-StateRow solveChainStates(const DpContext &ctx, const Chain &chain,
-                          std::optional<PartitionType> entry,
-                          CNodeId entry_node);
-
-/**
- * Transition cost and internal assignment of a parallel element when the
- * fork (@p fork, state @p tt) feeds the join (state @p t): the per-path
- * minima of Figure 4, summed over paths.
- */
-std::pair<double, Assignment>
-parallelTransition(const DpContext &ctx, const Element &element,
-                   CNodeId fork, PartitionType tt, PartitionType t)
-{
-    double total = 0.0;
-    Assignment inner;
-    for (const Chain &path : element.paths) {
-        if (path.elements.empty()) {
-            // Identity shortcut: the fork tensor converts straight into
-            // the join's partitioning.
-            total += ctx.transitionCost(tt, t, fork, element.node);
-            continue;
-        }
-        const StateRow states = solveChainStates(ctx, path, tt, fork);
-        const CNodeId last = path.elements.back().node;
-        double best = kInf;
-        int best_s = -1;
-        for (PartitionType s : ctx.allowed[last]) {
-            const int si = partitionTypeIndex(s);
-            if (states.cost[si] == kInf)
-                continue;
-            const double cand =
-                states.cost[si] +
-                ctx.transitionCost(s, t, last, element.node);
-            if (cand < best) {
-                best = cand;
-                best_s = si;
-            }
-        }
-        ACCPAR_ASSERT(best_s >= 0, "parallel path has no feasible state");
-        total += best;
-        inner.insert(inner.end(), states.assign[best_s].begin(),
-                     states.assign[best_s].end());
-    }
-    return {total, std::move(inner)};
-}
-
-/**
- * Runs the DP over one chain. When @p entry is set, the chain hangs off a
- * fork in state *entry, and the first element pays the conversion from
- * that state; otherwise the chain starts the model and pays no incoming
- * conversion (Eq. 9's c(L_0, t) = 0 initialization).
- */
-StateRow
-solveChainStates(const DpContext &ctx, const Chain &chain,
-                 std::optional<PartitionType> entry, CNodeId entry_node)
-{
-    ACCPAR_ASSERT(!chain.elements.empty(), "empty chain in DP");
-
-    StateRow cur;
-    bool first = true;
-    for (const Element &element : chain.elements) {
-        const CNodeId node = element.node;
-        ACCPAR_ASSERT(!ctx.allowed[node].empty(),
-                      "node " << ctx.graph.node(node).name
-                              << " has no allowed types");
-        StateRow next;
-
-        if (first) {
-            ACCPAR_ASSERT(!element.isParallel(),
-                          "a chain cannot start with a parallel element");
-            for (PartitionType t : ctx.allowed[node]) {
-                const int ti = partitionTypeIndex(t);
-                double cost = ctx.nodeCost(node, t);
-                if (entry)
-                    cost +=
-                        ctx.transitionCost(*entry, t, entry_node, node);
-                next.cost[ti] = cost;
-                next.assign[ti] = {{node, t}};
-            }
-            first = false;
-            cur = std::move(next);
-            continue;
-        }
-
-        const Element &prev_element =
-            chain.elements[static_cast<std::size_t>(
-                &element - chain.elements.data()) - 1];
-        const CNodeId prev = prev_element.node;
-
-        for (PartitionType t : ctx.allowed[node]) {
-            const int ti = partitionTypeIndex(t);
-            const double node_cost = ctx.nodeCost(node, t);
-            double best = kInf;
-            int best_tt = -1;
-            Assignment best_inner;
-            for (PartitionType tt : ctx.allowed[prev]) {
-                const int tti = partitionTypeIndex(tt);
-                if (cur.cost[tti] == kInf)
-                    continue;
-                double trans;
-                Assignment inner;
-                if (element.isParallel()) {
-                    std::tie(trans, inner) =
-                        parallelTransition(ctx, element, prev, tt, t);
-                } else {
-                    trans = ctx.transitionCost(tt, t, prev, node);
-                }
-                const double cand = cur.cost[tti] + trans + node_cost;
-                if (cand < best) {
-                    best = cand;
-                    best_tt = tti;
-                    best_inner = std::move(inner);
-                }
-            }
-            if (best_tt < 0)
-                continue;
-            next.cost[ti] = best;
-            next.assign[ti] = cur.assign[best_tt];
-            next.assign[ti].insert(next.assign[ti].end(),
-                                   best_inner.begin(), best_inner.end());
-            next.assign[ti].emplace_back(node, t);
-        }
-        cur = std::move(next);
-    }
-    return cur;
-}
-
-} // namespace
 
 TypeRestrictions
 unrestrictedTypes(const CondensedGraph &graph)
@@ -208,41 +21,11 @@ solveChainDp(const CondensedGraph &graph, const Chain &chain,
              const std::vector<LayerDims> &dims,
              const PairCostModel &model, const TypeRestrictions &allowed)
 {
-    ACCPAR_REQUIRE(dims.size() == graph.size(),
-                   "dims size mismatch: " << dims.size() << " vs "
-                                          << graph.size());
-    ACCPAR_REQUIRE(allowed.size() == graph.size(),
-                   "type restriction size mismatch");
-
-    const DpContext ctx{graph, dims, model, allowed};
-    const StateRow states =
-        solveChainStates(ctx, chain, std::nullopt, -1);
-
-    const CNodeId last = chain.elements.back().node;
-    double best = kInf;
-    int best_t = -1;
-    for (PartitionType t : ctx.allowed[last]) {
-        const int ti = partitionTypeIndex(t);
-        if (states.cost[ti] < best) {
-            best = states.cost[ti];
-            best_t = ti;
-        }
-    }
-    ACCPAR_ASSERT(best_t >= 0, "DP found no feasible assignment");
-
-    ChainDpResult result;
-    result.cost = best;
-    result.types.assign(graph.size(), PartitionType::TypeI);
-    std::vector<bool> set(graph.size(), false);
-    for (const auto &[node, type] : states.assign[best_t]) {
-        result.types[node] = type;
-        set[node] = true;
-    }
-    for (std::size_t i = 0; i < graph.size(); ++i)
-        ACCPAR_ASSERT(set[i], "DP left node " << graph.node(
-                                     static_cast<CNodeId>(i))
-                                     .name << " unassigned");
-    return result;
+    // One-shot entry point: compiles a kernel for this triple and
+    // solves once. The hierarchical solver keeps its own kernel alive
+    // across the adaptive-ratio iterations instead.
+    DpKernel kernel(graph, chain, dims);
+    return kernel.solve(model, allowed);
 }
 
 double

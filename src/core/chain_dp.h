@@ -29,6 +29,13 @@
 
 namespace accpar::core {
 
+/**
+ * Explicit "no node" value for CNodeId parameters (the entry node of a
+ * chain that starts the model, unresolved edge endpoints). Replaces the
+ * bare -1 sentinel the DP used to pass around.
+ */
+inline constexpr CNodeId kNoEntryNode = -1;
+
 /** Allowed partition types per condensed node (indexed by CNodeId). */
 using TypeRestrictions = std::vector<std::vector<PartitionType>>;
 

@@ -172,8 +172,10 @@ class PairCostModel
     void attachCache(CostCache *cache);
     CostCache *cache() const { return _cache; }
 
-  private:
+    /** The compute/link rates of one side (read by RatioCostTables). */
     const GroupRates &rates(Side side) const;
+
+  private:
     double reduce(double left, double right) const;
 
     GroupRates _left;

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Flattened chain-DP kernel.
+ *
+ * solveChainDp's original formulation recomputed every cost term
+ * through the PairCostModel at each DP visit, copied full assignment
+ * vectors while backtracking (O(n^2) on deep chains) and re-solved each
+ * parallel path for all nine (fork, join) type pairs even though the
+ * sub-solve depends only on the three entry states. A DpKernel compiles
+ * the alpha-independent structure of one (graph, chain, dims) triple
+ * once — the condensed edge list with precomputed boundary element
+ * counts, a mirror of the series-parallel chain with edge indices
+ * resolved, and preallocated DP state — so each solve() is:
+ *
+ *  1. fill a dense [node][type] node-cost table and a per-edge
+ *     [from][to] transition table through the model (memoized when a
+ *     CostCache is attached), restricted to the allowed types;
+ *  2. run the DP as pure array arithmetic, recording per-(element,
+ *     type) parent pointers instead of assignments, and solving each
+ *     parallel path once per feasible entry type;
+ *  3. reconstruct the winning assignment in one backtracking pass.
+ *
+ * The adaptive-ratio loop of the hierarchical solver reuses one kernel
+ * across all its (alpha, restriction) iterations; only step 1 repeats.
+ *
+ * Every cost is obtained through the same PairCostModel entry points as
+ * before (identical arguments, identical order of comparisons and
+ * additions), so results are bit-identical to the original path — the
+ * property tests assert this against the frozen legacy copy.
+ */
+
+#ifndef ACCPAR_CORE_DP_KERNEL_H
+#define ACCPAR_CORE_DP_KERNEL_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/chain_dp.h"
+#include "core/condensed_graph.h"
+#include "core/cost_model.h"
+#include "core/segment.h"
+
+namespace accpar::core {
+
+/** Reusable flattened solver for one (graph, chain, dims) triple. */
+class DpKernel
+{
+  public:
+    /**
+     * Compiles the structure: condensed edges with boundary element
+     * counts, the chain mirror with resolved edge indices, and the DP
+     * state tree. @p graph, @p chain and @p dims must outlive the
+     * kernel and stay unchanged.
+     */
+    DpKernel(const CondensedGraph &graph, const Chain &chain,
+             const std::vector<LayerDims> &dims);
+
+    DpKernel(const DpKernel &) = delete;
+    DpKernel &operator=(const DpKernel &) = delete;
+    ~DpKernel();
+
+    /**
+     * Runs the DP under @p model's current configuration and ratio.
+     * Equivalent to (and bit-identical with) solveChainDp on the
+     * compiled triple. May be called repeatedly with different models,
+     * alphas or restrictions; the compiled structure is reused.
+     */
+    ChainDpResult solve(const PairCostModel &model,
+                        const TypeRestrictions &allowed);
+
+    /**
+     * Cost of a fixed assignment over the compiled edge list;
+     * bit-identical with evaluateAssignment.
+     */
+    double evaluate(const PairCostModel &model,
+                    const std::vector<PartitionType> &types) const;
+
+  private:
+    struct CompiledPath;
+    struct CompiledChain;
+    struct ChainState;
+
+    /** One condensed edge with its precomputed boundary tensor size. */
+    struct Edge
+    {
+        CNodeId from = kNoEntryNode;
+        CNodeId to = kNoEntryNode;
+        double boundary = 0.0;
+    };
+
+    /** One chain element with incoming edges resolved to indices. */
+    struct CompiledElem
+    {
+        CNodeId node = kNoEntryNode;
+        /** Edge from the previous element (or entry edge for the first
+         *  element of a parallel path); -1 for the model's source. */
+        std::int32_t edgePrev = -1;
+        /** Non-empty for the join of a parallel region. */
+        std::vector<CompiledPath> paths;
+    };
+
+    struct CompiledChain
+    {
+        std::vector<CompiledElem> elems;
+    };
+
+    /** One branch between a fork and its join. */
+    struct CompiledPath
+    {
+        /** Null for an identity shortcut (empty path). */
+        std::unique_ptr<CompiledChain> chain;
+        CNodeId lastNode = kNoEntryNode; ///< last node of the branch
+        std::int32_t exitEdge = -1;      ///< lastNode -> join
+        std::int32_t directEdge = -1;    ///< fork -> join (identity)
+    };
+
+    /** Preallocated DP state of one chain: costs, parent pointers and
+     *  per-path sub-states of parallel elements. */
+    struct ChainState
+    {
+        /** cost[elem * 3 + t]; infinity = infeasible. */
+        std::vector<double> cost;
+        /** Entry-type index the optimum of (elem, t) came from; -1
+         *  when unset (first element or infeasible). */
+        std::vector<std::int8_t> parent;
+        /** Per parallel element (keyed by its index in the chain):
+         *  sub-state per (path, entry type), solved lazily once per
+         *  entry type per solve(). */
+        struct ParState
+        {
+            std::vector<std::array<std::unique_ptr<ChainState>, 3>>
+                paths;
+            std::array<bool, 3> solved{};
+        };
+        std::vector<std::unique_ptr<ParState>> pars;
+    };
+
+    std::int32_t edgeIndex(CNodeId from, CNodeId to) const;
+    std::unique_ptr<CompiledChain> compileChain(const Chain &chain,
+                                                CNodeId fork);
+    std::unique_ptr<ChainState>
+    makeState(const CompiledChain &chain) const;
+    void resetState(const CompiledChain &chain, ChainState &state) const;
+
+    void solveChain(const CompiledChain &chain, ChainState &state,
+                    int entry_ti);
+    double parallelTransition(const CompiledElem &elem,
+                              ChainState::ParState &par, int tti, int t);
+    int bestPathExit(const CompiledPath &path, const ChainState &state,
+                     int t) const;
+    void backtrack(const CompiledChain &chain, const ChainState &state,
+                   int exit_ti, std::vector<PartitionType> &types) const;
+
+    const CondensedGraph &_graph;
+    const std::vector<LayerDims> &_dims;
+
+    std::vector<Edge> _edges;
+    /** Incoming-edge range of node v: [_edgeStart[v], _edgeStart[v+1]). */
+    std::vector<std::int32_t> _edgeStart;
+
+    std::unique_ptr<CompiledChain> _root;
+    std::unique_ptr<ChainState> _rootState;
+
+    /** Scratch filled per solve(). */
+    const PairCostModel *_model = nullptr;
+    const TypeRestrictions *_allowed = nullptr;
+    std::vector<double> _nodeTable; ///< [node * 3 + t]
+    std::vector<double> _edgeTable; ///< [edge * 9 + from * 3 + to]
+};
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_DP_KERNEL_H

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/dp_kernel.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -225,27 +226,28 @@ struct HierSolver
         const std::vector<LayerDims> dims = scaledDims(problem, scales);
         const CondensedGraph &graph = problem.condensed();
 
+        // One kernel per hierarchy node: the (graph, chain, dims)
+        // structure is fixed across the adaptive-ratio iterations, so
+        // only the cost tables are refilled per alpha.
+        DpKernel kernel(graph, problem.chain(), dims);
         ChainDpResult result =
-            solveChainDp(graph, problem.chain(), dims, model,
-                         effectiveRestrictions(dims, alpha));
+            kernel.solve(model, effectiveRestrictions(dims, alpha));
         const bool adaptive =
             options.ratioPolicy == RatioPolicy::PaperLinear ||
             options.ratioPolicy == RatioPolicy::ExactBalance;
         if (adaptive) {
             for (int iter = 0; iter < options.ratioIterations; ++iter) {
-                double next;
-                if (options.ratioPolicy == RatioPolicy::PaperLinear) {
-                    next = solveRatioLinear(graph, dims, model,
-                                            result.types);
-                } else {
-                    next = solveRatioExact(graph, dims, model,
-                                           result.types);
-                }
+                const RatioCostTables tables(graph, dims, model,
+                                             result.types);
+                const double next =
+                    options.ratioPolicy == RatioPolicy::PaperLinear
+                        ? solveRatioLinear(tables, model.alpha())
+                        : solveRatioExact(tables);
                 if (std::abs(next - alpha) < 1e-9)
                     break;
                 alpha = next;
                 model.setAlpha(alpha);
-                result = solveChainDp(graph, problem.chain(), dims, model,
+                result = kernel.solve(model,
                                       effectiveRestrictions(dims, alpha));
             }
         }

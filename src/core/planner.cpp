@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <variant>
 
@@ -46,6 +48,55 @@ appendShape(std::string &out, const graph::TensorShape &shape)
     out += std::to_string(shape.n) + 'x' + std::to_string(shape.c) +
            'x' + std::to_string(shape.h) + 'x' +
            std::to_string(shape.w);
+}
+
+/**
+ * Appends the canonical encoding of a model graph (layers, attributes,
+ * wiring, shapes). Shared between planRequestCanonicalKey and
+ * Planner::planBatch's problem deduplication: two requests whose model
+ * keys match build identical PartitionProblems.
+ */
+void
+appendModelKey(std::string &key, const graph::Graph &model)
+{
+    key += model.name();
+    for (const graph::Layer &layer : model.layers()) {
+        key += ';';
+        key += graph::layerKindName(layer.kind);
+        key += ':';
+        key += layer.name;
+        key += ':';
+        for (graph::LayerId input : layer.inputs) {
+            key += std::to_string(input);
+            key += ',';
+        }
+        key += ':';
+        appendShape(key, layer.outputShape);
+        if (const auto *conv =
+                std::get_if<graph::ConvAttrs>(&layer.attrs)) {
+            key += ":c";
+            for (std::int64_t v :
+                 {conv->outChannels, conv->kernelH, conv->kernelW,
+                  conv->strideH, conv->strideW, conv->padH,
+                  conv->padW}) {
+                key += std::to_string(v);
+                key += ',';
+            }
+        } else if (const auto *fc =
+                       std::get_if<graph::FcAttrs>(&layer.attrs)) {
+            key += ":f";
+            key += std::to_string(fc->outFeatures);
+        } else if (const auto *pool =
+                       std::get_if<graph::PoolAttrs>(&layer.attrs)) {
+            key += ":p";
+            for (std::int64_t v :
+                 {pool->kernelH, pool->kernelW, pool->strideH,
+                  pool->strideW, pool->padH, pool->padW}) {
+                key += std::to_string(v);
+                key += ',';
+            }
+        }
+    }
 }
 
 } // namespace
@@ -105,44 +156,7 @@ planRequestCanonicalKey(const PlanRequest &request)
         static_cast<int>(request.array.linkAggregation()));
 
     key += ";model=";
-    key += request.model.name();
-    for (const graph::Layer &layer : request.model.layers()) {
-        key += ';';
-        key += graph::layerKindName(layer.kind);
-        key += ':';
-        key += layer.name;
-        key += ':';
-        for (graph::LayerId input : layer.inputs) {
-            key += std::to_string(input);
-            key += ',';
-        }
-        key += ':';
-        appendShape(key, layer.outputShape);
-        if (const auto *conv =
-                std::get_if<graph::ConvAttrs>(&layer.attrs)) {
-            key += ":c";
-            for (std::int64_t v :
-                 {conv->outChannels, conv->kernelH, conv->kernelW,
-                  conv->strideH, conv->strideW, conv->padH,
-                  conv->padW}) {
-                key += std::to_string(v);
-                key += ',';
-            }
-        } else if (const auto *fc =
-                       std::get_if<graph::FcAttrs>(&layer.attrs)) {
-            key += ":f";
-            key += std::to_string(fc->outFeatures);
-        } else if (const auto *pool =
-                       std::get_if<graph::PoolAttrs>(&layer.attrs)) {
-            key += ":p";
-            for (std::int64_t v :
-                 {pool->kernelH, pool->kernelW, pool->strideH,
-                  pool->strideW, pool->padH, pool->padW}) {
-                key += std::to_string(v);
-                key += ',';
-            }
-        }
-    }
+    appendModelKey(key, request.model);
     return key;
 }
 
@@ -282,26 +296,54 @@ Planner::plan(const PlanRequest &request)
 }
 
 std::vector<PlanResult>
-Planner::planMany(const std::vector<PlanRequest> &requests)
+Planner::planBatch(const std::vector<PlanRequest> &requests)
 {
+    if (requests.empty())
+        return {};
+
     int jobs = 1;
     for (const PlanRequest &request : requests)
         jobs = std::max(jobs, effectiveJobs(request.jobs));
     util::ThreadPool *pool = poolFor(jobs);
     const core::SolveContext context{pool, &_cache};
 
+    // Build each distinct model's PartitionProblem exactly once, up
+    // front and serially: condensation and the series-parallel
+    // decomposition are the per-request setup cost a sweep repeats,
+    // and the finished problems are read-only during the solves so
+    // requests sharing a model can safely share one instance.
+    std::vector<std::unique_ptr<core::PartitionProblem>> problems;
+    std::vector<std::size_t> problem_of(requests.size());
+    std::unordered_map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        std::string model_key;
+        appendModelKey(model_key, requests[i].model);
+        const auto [it, inserted] =
+            index.emplace(std::move(model_key), problems.size());
+        if (inserted)
+            problems.push_back(std::make_unique<core::PartitionProblem>(
+                requests[i].model));
+        problem_of[i] = it->second;
+    }
+
     const core::CostCacheStats before = _cache.stats();
     std::vector<PlanResult> results(requests.size());
     util::parallelFor(pool, requests.size(), [&](std::size_t i) {
-        const core::PartitionProblem problem(requests[i].model);
         const hw::Hierarchy hierarchy(requests[i].array);
-        results[i] = planOne(requests[i], problem, hierarchy, context);
+        results[i] = planOne(requests[i], *problems[problem_of[i]],
+                             hierarchy, context);
     });
     const core::CostCacheStats delta =
         statsDelta(before, _cache.stats());
     for (PlanResult &result : results)
         result.cacheDelta = delta;
     return results;
+}
+
+std::vector<PlanResult>
+Planner::planMany(const std::vector<PlanRequest> &requests)
+{
+    return planBatch(requests);
 }
 
 StrategyComparison

@@ -195,11 +195,20 @@ class Planner
     PlanResult plan(const PlanRequest &request);
 
     /**
-     * Plans many requests concurrently (each additionally fanning out
-     * its own subtrees) — the engine behind hierarchy-level and
-     * ratio-policy sweeps. Results are in request order and identical
-     * to planning each request alone.
+     * Plans many requests as one batch over shared infrastructure:
+     * requests carrying the same model share a single
+     * PartitionProblem (condensation and the series-parallel
+     * decomposition are built once up front and read concurrently),
+     * and all requests share the planner's thread pool and warm cost
+     * cache. Results are in request order and bit-identical to
+     * planning each request alone; cacheDelta is aggregated over the
+     * whole batch. This is the engine behind `accpar sweep`, the
+     * Figure 8 bench and the service's cache-miss path.
      */
+    std::vector<PlanResult> planBatch(
+        const std::vector<PlanRequest> &requests);
+
+    /** Deprecated name of planBatch, kept for source compatibility. */
     std::vector<PlanResult> planMany(
         const std::vector<PlanRequest> &requests);
 

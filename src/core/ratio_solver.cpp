@@ -59,18 +59,122 @@ sideTotalCost(const CondensedGraph &graph,
     return total;
 }
 
-double
-solveRatioLinear(const CondensedGraph &graph,
-                 const std::vector<LayerDims> &dims,
-                 const PairCostModel &model,
-                 const std::vector<PartitionType> &types)
+RatioCostTables::RatioCostTables(const CondensedGraph &graph,
+                                 const std::vector<LayerDims> &dims,
+                                 const PairCostModel &model,
+                                 const std::vector<PartitionType> &types)
 {
-    const double alpha0 = model.alpha();
+    ACCPAR_REQUIRE(types.size() == graph.size(),
+                   "assignment size mismatch");
+    const CostModelConfig &config = model.config();
+    _time = config.objective == ObjectiveKind::Time;
+    _includeCompute = config.includeCompute;
+    _bpe = config.bytesPerElement;
+    _link[0] = model.rates(Side::Left).link;
+    _link[1] = model.rates(Side::Right).link;
+    _compute[0] = model.rates(Side::Left).compute;
+    _compute[1] = model.rates(Side::Right).compute;
+
+    // Terms are collected in the exact order sideTotalCost accumulates
+    // them (node term, then incoming edges, per node id); terms that
+    // are exactly +0.0 for every alpha (junction nodes, the zero cells
+    // of Table 5) are dropped — adding +0.0 to a non-negative running
+    // sum never changes its bits.
+    _terms.reserve(graph.size() * 2);
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+        const CondensedNode &node = graph.node(static_cast<CNodeId>(v));
+        if (!node.junction) {
+            Term term;
+            const double intra =
+                PairCostModel::intraCommElements(types[v], dims[v]);
+            if (_time) {
+                term.kind = Term::NodeTime;
+                term.aSide[0] = intra * _bpe / _link[0];
+                term.aSide[1] = intra * _bpe / _link[1];
+                term.flops = dims[v].flopsTotal();
+            } else {
+                term.kind = Term::NodeComm;
+                term.a = intra;
+            }
+            _terms.push_back(term);
+        }
+        for (CNodeId u : node.preds) {
+            const double boundary = std::min(dims[u].sizeOutput(),
+                                             dims[v].sizeInput());
+            // Classify the (from, to) cell of Table 5 by its shape in
+            // (own, other); see interCommElementsSplit.
+            const PartitionType from = types[u];
+            const PartitionType to = types[v];
+            Term term;
+            term.a = boundary;
+            if ((from == PartitionType::TypeI &&
+                 to == PartitionType::TypeII) ||
+                (from == PartitionType::TypeIII &&
+                 to == PartitionType::TypeI)) {
+                term.kind = Term::EdgeBilinear;
+            } else if ((from == PartitionType::TypeI &&
+                        to == PartitionType::TypeIII) ||
+                       (from == PartitionType::TypeII &&
+                        to != PartitionType::TypeIII) ||
+                       (from == PartitionType::TypeIII &&
+                        to == PartitionType::TypeIII)) {
+                term.kind = Term::EdgeOther;
+            } else {
+                continue; // the zero cells of Table 5
+            }
+            _terms.push_back(term);
+        }
+    }
+}
+
+double
+RatioCostTables::sideTotal(Side side, double alpha) const
+{
+    // own/other are derived exactly as PairCostModel::ratio does: the
+    // right side's own share is 1 - alpha, and its "other" is
+    // 1 - (1 - alpha) — NOT alpha, whose bits can differ.
+    const double own = side == Side::Left ? alpha : 1.0 - alpha;
+    const double other = 1.0 - own;
+    const int si = static_cast<int>(side);
+
+    double total = 0.0;
+    for (const Term &term : _terms) {
+        switch (term.kind) {
+          case Term::NodeComm:
+            total += term.a;
+            break;
+          case Term::NodeTime: {
+            double cost = term.aSide[si];
+            if (_includeCompute)
+                cost += own * term.flops / _compute[si];
+            total += cost;
+            break;
+          }
+          case Term::EdgeBilinear: {
+            // Table 5's {own*other*a, own*other*a} pair: the forward
+            // and backward phases contribute the same product, summed
+            // as x + x like interCommElementsSplit's caller does.
+            const double x = own * other * term.a;
+            const double elems = x + x;
+            total += _time ? elems * _bpe / _link[si] : elems;
+            break;
+          }
+          case Term::EdgeOther: {
+            const double elems = other * term.a;
+            total += _time ? elems * _bpe / _link[si] : elems;
+            break;
+          }
+        }
+    }
+    return total;
+}
+
+double
+solveRatioLinear(const RatioCostTables &tables, double alpha0)
+{
     const double beta0 = 1.0 - alpha0;
-    const double t_left =
-        sideTotalCost(graph, dims, model, types, Side::Left);
-    const double t_right =
-        sideTotalCost(graph, dims, model, types, Side::Right);
+    const double t_left = tables.sideTotal(Side::Left, alpha0);
+    const double t_right = tables.sideTotal(Side::Right, alpha0);
 
     // Linearization: T_L(a) = a * (T_L(a0) / a0), likewise for the right
     // side in (1 - a). Eq. 10 balance T_L(a) = T_R(1 - a) gives:
@@ -82,14 +186,21 @@ solveRatioLinear(const CondensedGraph &graph,
 }
 
 double
-solveRatioExact(const CondensedGraph &graph,
-                const std::vector<LayerDims> &dims, PairCostModel model,
-                const std::vector<PartitionType> &types)
+solveRatioLinear(const CondensedGraph &graph,
+                 const std::vector<LayerDims> &dims,
+                 const PairCostModel &model,
+                 const std::vector<PartitionType> &types)
+{
+    const RatioCostTables tables(graph, dims, model, types);
+    return solveRatioLinear(tables, model.alpha());
+}
+
+double
+solveRatioExact(const RatioCostTables &tables)
 {
     auto difference = [&](double alpha) {
-        model.setAlpha(alpha);
-        return sideTotalCost(graph, dims, model, types, Side::Left) -
-               sideTotalCost(graph, dims, model, types, Side::Right);
+        return tables.sideTotal(Side::Left, alpha) -
+               tables.sideTotal(Side::Right, alpha);
     };
 
     // T_L grows and T_R shrinks with alpha whenever the computation
@@ -113,6 +224,16 @@ solveRatioExact(const CondensedGraph &graph,
             hi = mid;
     }
     return clampRatio(0.5 * (lo + hi));
+}
+
+double
+solveRatioExact(const CondensedGraph &graph,
+                const std::vector<LayerDims> &dims,
+                const PairCostModel &model,
+                const std::vector<PartitionType> &types)
+{
+    const RatioCostTables tables(graph, dims, model, types);
+    return solveRatioExact(tables);
 }
 
 } // namespace accpar::core

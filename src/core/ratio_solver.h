@@ -13,6 +13,7 @@
 #ifndef ACCPAR_CORE_RATIO_SOLVER_H
 #define ACCPAR_CORE_RATIO_SOLVER_H
 
+#include <cstdint>
 #include <vector>
 
 #include "core/chain_dp.h"
@@ -39,7 +40,9 @@ const char *ratioPolicyName(RatioPolicy policy);
 
 /**
  * Total cost of one side for a fixed type assignment under @p model's
- * current ratio: sum of per-node and per-edge side costs.
+ * current ratio: sum of per-node and per-edge side costs. This is the
+ * definitional graph walk; RatioCostTables evaluates the same sum from
+ * precomputed coefficients.
  */
 double sideTotalCost(const CondensedGraph &graph,
                      const std::vector<LayerDims> &dims,
@@ -47,25 +50,85 @@ double sideTotalCost(const CondensedGraph &graph,
                      const std::vector<PartitionType> &types, Side side);
 
 /**
+ * Alpha-independent coefficients of T_side(alpha) for one fixed type
+ * assignment, so each ratio-solver evaluation is a flat pass over a
+ * term array instead of a graph walk through the cost model.
+ *
+ * Every Table 4/5 cost term is linear (or bilinear in alpha(1-alpha))
+ * in the ratio with a coefficient that does not depend on it; the
+ * constructor extracts those coefficients once (dropping the terms
+ * Table 5 makes exactly zero), and sideTotal() replays the remaining
+ * terms with the original operation and accumulation order. Keeping
+ * the per-term order — rather than folding everything into one
+ * aggregate slope — is what makes the result bit-identical with
+ * sideTotalCost, so the bisection of solveRatioExact takes exactly the
+ * same branch at every step and plans stay byte-identical.
+ */
+class RatioCostTables
+{
+  public:
+    RatioCostTables(const CondensedGraph &graph,
+                    const std::vector<LayerDims> &dims,
+                    const PairCostModel &model,
+                    const std::vector<PartitionType> &types);
+
+    /** T_side(alpha); bit-identical with sideTotalCost under a model
+     *  whose ratio is @p alpha. */
+    double sideTotal(Side side, double alpha) const;
+
+  private:
+    /** One nonzero cost term of the side total. */
+    struct Term
+    {
+        enum Kind : std::uint8_t
+        {
+            NodeComm,     ///< CommAmount node term: a = intra elems
+            NodeTime,     ///< Time node term: aSide + own * flops / c
+            EdgeBilinear, ///< Table 5 own*other*a (+ its twin phase)
+            EdgeOther,    ///< Table 5 other*a (single phase)
+        };
+
+        Kind kind = NodeComm;
+        double a = 0.0;            ///< elems / boundary coefficient
+        double aSide[2] = {0, 0};  ///< NodeTime: intra bytes over link
+        double flops = 0.0;        ///< NodeTime: three-phase FLOPs
+    };
+
+    std::vector<Term> _terms;
+    bool _time = true;
+    bool _includeCompute = true;
+    double _bpe = 2.0;
+    double _link[2] = {0.0, 0.0};
+    double _compute[2] = {0.0, 0.0};
+};
+
+/**
  * One linearized rebalance step (Eq. 10): assuming T_side(alpha) is
- * proportional to the side's ratio, returns the alpha that equalizes the
- * two sides' totals, starting from the model's current ratio. Result is
+ * proportional to the side's ratio, returns the alpha that equalizes
+ * the two sides' totals, linearized around @p alpha0. Result is
  * clamped to (0, 1).
  */
+double solveRatioLinear(const RatioCostTables &tables, double alpha0);
+
+/** Convenience wrapper building the tables from @p model (linearized
+ *  around the model's current ratio). */
 double solveRatioLinear(const CondensedGraph &graph,
                         const std::vector<LayerDims> &dims,
                         const PairCostModel &model,
                         const std::vector<PartitionType> &types);
 
 /**
- * Exact balance: ternary search for the alpha minimizing
- * max(T_L(alpha), T_R(alpha)) with the true (piecewise, partly quadratic)
- * cost tables. @p model's alpha is used only as the starting point's
- * configuration; the returned alpha is the optimum found.
+ * Exact balance: bisection for the alpha equalizing T_L(alpha) and
+ * T_R(alpha) over the precomputed coefficient tables, so each of the
+ * 80 steps costs a term-array pass instead of two graph walks.
  */
+double solveRatioExact(const RatioCostTables &tables);
+
+/** Convenience wrapper building the tables from @p model (whose own
+ *  ratio does not influence the result). */
 double solveRatioExact(const CondensedGraph &graph,
                        const std::vector<LayerDims> &dims,
-                       PairCostModel model,
+                       const PairCostModel &model,
                        const std::vector<PartitionType> &types);
 
 } // namespace accpar::core

@@ -262,7 +262,11 @@ PlanService::executePlan(const ServiceRequest &request,
 
     // Phase 2: solve. Failures here (verifier rejection, solver
     // errors) are planning failures: ASRV07, raised by process().
-    const PlanResult result = planner.plan(*plan_request);
+    // Solved through planBatch so result-cache misses ride the same
+    // shared-problem engine as sweeps (and a future multi-request
+    // protocol batches for free).
+    const PlanResult result =
+        planner.planBatch({*plan_request}).front();
     const hw::Hierarchy hierarchy(plan_request->array);
 
     util::Json payload = util::Json::Object{};

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Bit-identity tests for the flattened chain-DP kernel against the
+ * frozen pre-refactor reference (tests/support/legacy_dp.*).
+ *
+ * The kernel rewrite is a pure performance change: every cost still
+ * flows through the same PairCostModel entry points in the same order,
+ * so costs, chosen types, solved ratios and whole plans must match the
+ * legacy implementation exactly — EXPECT_EQ on doubles, not
+ * EXPECT_NEAR. Randomized series-parallel graphs exercise residual
+ * (identity-shortcut) and concat regions; the zoo models pin down the
+ * real networks the paper evaluates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/chain_dp.h"
+#include "core/cost_cache.h"
+#include "core/dp_kernel.h"
+#include "core/hierarchical_solver.h"
+#include "core/plan_io.h"
+#include "core/planner.h"
+#include "core/ratio_solver.h"
+#include "hw/hierarchy.h"
+#include "hw/topology.h"
+#include "models/zoo.h"
+#include "support/legacy_dp.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+using PT = core::PartitionType;
+
+static_assert(core::kNoEntryNode == -1,
+              "legacy sentinel value must be preserved for any state "
+              "serialized with the old constant");
+
+/**
+ * A random series-parallel network: a conv stem, then a mix of plain
+ * conv blocks, residual blocks (with identity or 1x1-conv shortcuts —
+ * the identity case produces an empty parallel path) and inception-
+ * style concat blocks, then a GAP/FC/softmax tail.
+ */
+graph::Graph
+randomSeriesParallel(util::Rng &rng, int trial)
+{
+    graph::Graph g("random-sp-" + std::to_string(trial));
+    const std::int64_t batch = rng.uniformInt(2, 16);
+    std::int64_t channels = rng.uniformInt(3, 16);
+    graph::LayerId cur = g.addInput(
+        "in", graph::TensorShape(batch, channels, 16, 16));
+    cur = g.addConv("stem", cur,
+                    graph::ConvAttrs{channels, 3, 3, 1, 1, 1, 1});
+
+    const int blocks = static_cast<int>(rng.uniformInt(2, 5));
+    for (int b = 0; b < blocks; ++b) {
+        const std::string base = "b" + std::to_string(b);
+        switch (rng.uniformInt(0, 2)) {
+          case 0: { // plain conv
+            channels = rng.uniformInt(3, 24);
+            cur = g.addConv(
+                base + "_conv", cur,
+                graph::ConvAttrs{channels, 3, 3, 1, 1, 1, 1});
+            break;
+          }
+          case 1: { // residual block
+            graph::LayerId main = cur;
+            const int depth = static_cast<int>(rng.uniformInt(1, 3));
+            for (int d = 0; d < depth; ++d)
+                main = g.addConv(
+                    base + "_m" + std::to_string(d), main,
+                    graph::ConvAttrs{channels, 3, 3, 1, 1, 1, 1});
+            graph::LayerId shortcut = cur;
+            if (rng.chance(0.5))
+                shortcut = g.addConv(base + "_sc", cur,
+                                     graph::ConvAttrs{channels, 1, 1});
+            cur = g.addAdd(base + "_add", main, shortcut);
+            break;
+          }
+          default: { // concat block
+            std::vector<graph::LayerId> branches;
+            const int fanout = static_cast<int>(rng.uniformInt(2, 4));
+            std::int64_t out_channels = 0;
+            for (int p = 0; p < fanout; ++p) {
+                graph::LayerId x = cur;
+                const std::int64_t ch = rng.uniformInt(2, 12);
+                const int depth =
+                    static_cast<int>(rng.uniformInt(1, 2));
+                for (int d = 0; d < depth; ++d)
+                    x = g.addConv(
+                        base + "_p" + std::to_string(p) + "_" +
+                            std::to_string(d),
+                        x, graph::ConvAttrs{ch, 3, 3, 1, 1, 1, 1});
+                out_channels += ch;
+                branches.push_back(x);
+            }
+            cur = g.addConcat(base + "_cat", branches);
+            channels = out_channels;
+            break;
+          }
+        }
+    }
+
+    cur = g.addGlobalAvgPool("gap", cur);
+    cur = g.addFullyConnected("fc", cur, rng.uniformInt(8, 64));
+    g.addSoftmax("softmax", cur);
+    return g;
+}
+
+core::PairCostModel
+randomModel(util::Rng &rng)
+{
+    core::CostModelConfig config;
+    if (rng.chance(0.25)) {
+        config.objective = core::ObjectiveKind::CommAmount;
+        config.reduce = core::PairReduce::Sum;
+    }
+    config.includeCompute = rng.chance(0.8);
+    config.bytesPerElement = rng.chance(0.5) ? 2.0 : 4.0;
+    core::PairCostModel model(
+        {rng.uniformDouble(1e12, 1e15), rng.uniformDouble(1e8, 1e11)},
+        {rng.uniformDouble(1e12, 1e15), rng.uniformDouble(1e8, 1e11)},
+        config);
+    model.setAlpha(rng.uniformDouble(0.05, 0.95));
+    return model;
+}
+
+core::TypeRestrictions
+randomRestrictions(util::Rng &rng, std::size_t n)
+{
+    core::TypeRestrictions out(n);
+    for (std::size_t v = 0; v < n; ++v) {
+        for (PT t : core::kAllPartitionTypes)
+            if (rng.chance(0.7))
+                out[v].push_back(t);
+        if (out[v].empty())
+            out[v].push_back(PT::TypeI);
+    }
+    return out;
+}
+
+TEST(DpKernel, RandomSeriesParallelMatchesLegacyBitExact)
+{
+    util::Rng rng(20260806);
+    for (int trial = 0; trial < 25; ++trial) {
+        const core::PartitionProblem problem(
+            randomSeriesParallel(rng, trial));
+        const core::PairCostModel model = randomModel(rng);
+        const core::TypeRestrictions allowed =
+            randomRestrictions(rng, problem.condensed().size());
+
+        const core::ChainDpResult fast = core::solveChainDp(
+            problem.condensed(), problem.chain(), problem.baseDims(),
+            model, allowed);
+        const core::ChainDpResult reference = core::legacy::solveChainDp(
+            problem.condensed(), problem.chain(), problem.baseDims(),
+            model, allowed);
+
+        EXPECT_EQ(fast.cost, reference.cost) << "trial " << trial;
+        EXPECT_EQ(fast.types, reference.types) << "trial " << trial;
+    }
+}
+
+TEST(DpKernel, ReusedKernelMatchesFreshLegacySolvesAcrossAlphas)
+{
+    // One kernel, many (alpha, restriction) iterations — the exact
+    // reuse pattern of the hierarchical solver's adaptive-ratio loop.
+    util::Rng rng(42);
+    const core::PartitionProblem problem(randomSeriesParallel(rng, 99));
+    core::CostModelConfig config;
+    core::PairCostModel model({2e14, 3e9}, {1e14, 8e9}, config);
+
+    core::DpKernel kernel(problem.condensed(), problem.chain(),
+                          problem.baseDims());
+    const core::TypeRestrictions unrestricted =
+        core::unrestrictedTypes(problem.condensed());
+    for (double alpha : {0.5, 0.66, 0.125, 0.9, 0.31}) {
+        model.setAlpha(alpha);
+        const core::ChainDpResult fast =
+            kernel.solve(model, unrestricted);
+        const core::ChainDpResult reference =
+            core::legacy::solveChainDp(problem.condensed(),
+                                       problem.chain(),
+                                       problem.baseDims(), model,
+                                       unrestricted);
+        EXPECT_EQ(fast.cost, reference.cost) << "alpha " << alpha;
+        EXPECT_EQ(fast.types, reference.types) << "alpha " << alpha;
+        EXPECT_EQ(kernel.evaluate(model, fast.types),
+                  core::evaluateAssignment(problem.condensed(),
+                                           problem.baseDims(), model,
+                                           fast.types))
+            << "alpha " << alpha;
+    }
+}
+
+TEST(DpKernel, RatioTablesMatchLegacySolversBitExact)
+{
+    util::Rng rng(777);
+    for (int trial = 0; trial < 15; ++trial) {
+        const core::PartitionProblem problem(
+            randomSeriesParallel(rng, 1000 + trial));
+        core::PairCostModel model = randomModel(rng);
+        const core::ChainDpResult dp = core::solveChainDp(
+            problem.condensed(), problem.chain(), problem.baseDims(),
+            model, core::unrestrictedTypes(problem.condensed()));
+
+        const core::RatioCostTables tables(problem.condensed(),
+                                           problem.baseDims(), model,
+                                           dp.types);
+        for (core::Side side : {core::Side::Left, core::Side::Right}) {
+            EXPECT_EQ(tables.sideTotal(side, model.alpha()),
+                      core::legacy::sideTotalCost(
+                          problem.condensed(), problem.baseDims(),
+                          model, dp.types, side))
+                << "trial " << trial;
+        }
+        EXPECT_EQ(core::solveRatioLinear(tables, model.alpha()),
+                  core::legacy::solveRatioLinear(
+                      problem.condensed(), problem.baseDims(), model,
+                      dp.types))
+            << "trial " << trial;
+        EXPECT_EQ(core::solveRatioExact(tables),
+                  core::legacy::solveRatioExact(
+                      problem.condensed(), problem.baseDims(), model,
+                      dp.types))
+            << "trial " << trial;
+    }
+}
+
+TEST(DpKernel, ZooPlansByteIdenticalToLegacy)
+{
+    // The networks the paper evaluates, full hierarchical solve, both
+    // ratio policies: the serialized plans must match byte for byte.
+    for (const char *name : {"vgg16", "resnet50", "googlenet"}) {
+        const core::PartitionProblem problem(
+            models::buildModel(name, 64));
+        const hw::Hierarchy hierarchy(
+            hw::heterogeneousTpuArrayForLevels(4));
+        for (core::RatioPolicy policy :
+             {core::RatioPolicy::PaperLinear,
+              core::RatioPolicy::ExactBalance}) {
+            core::SolverOptions options;
+            options.ratioPolicy = policy;
+            const core::PartitionPlan fast =
+                core::solveHierarchy(problem, hierarchy, options);
+            const core::PartitionPlan reference =
+                core::legacy::solveHierarchy(problem, hierarchy,
+                                             options);
+            EXPECT_EQ(core::planToJson(fast, hierarchy).dump(2),
+                      core::planToJson(reference, hierarchy).dump(2))
+                << name << " policy "
+                << core::ratioPolicyName(policy);
+        }
+    }
+}
+
+TEST(DpKernel, PlanBatchMatchesIndependentPlans)
+{
+    // planBatch shares one PartitionProblem per distinct model and one
+    // warm cache across the whole batch; results must still be
+    // identical to planning each request alone (including with a
+    // parallel pool attached).
+    std::vector<PlanRequest> requests;
+    for (const char *name : {"vgg16", "alexnet", "vgg16"}) {
+        for (int levels : {2, 3}) {
+            PlanRequest request(
+                models::buildModel(name, 64),
+                hw::heterogeneousTpuArrayForLevels(levels));
+            request.jobs = 4;
+            requests.push_back(std::move(request));
+        }
+    }
+
+    Planner batch_planner;
+    const std::vector<PlanResult> batched =
+        batch_planner.planBatch(requests);
+    ASSERT_EQ(batched.size(), requests.size());
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        Planner lone_planner;
+        PlanRequest lone = requests[i];
+        lone.jobs = 1;
+        const PlanResult alone = lone_planner.plan(lone);
+        const hw::Hierarchy hierarchy(requests[i].array);
+        EXPECT_EQ(core::planToJson(batched[i].plan, hierarchy).dump(2),
+                  core::planToJson(alone.plan, hierarchy).dump(2))
+            << "request " << i;
+        EXPECT_EQ(batched[i].rootCost, alone.rootCost)
+            << "request " << i;
+    }
+}
+
+} // namespace

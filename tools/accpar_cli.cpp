@@ -324,20 +324,52 @@ cmdSweep(const util::Args &args)
     const auto max_levels =
         static_cast<int>(args.getIntOr("max-levels", 9));
 
-    Planner planner;
+    const std::vector<strategies::StrategyPtr> sweep_strategies =
+        strategies::defaultStrategies();
     std::vector<std::string> header = {"h"};
-    for (const auto &s : strategies::defaultStrategies())
+    for (const auto &s : sweep_strategies)
         header.push_back(s->label());
-    util::Table table(header);
+
+    // The whole sweep is one planBatch call: the model is built once
+    // and every (level, strategy) point shares one PartitionProblem
+    // and the planner's warm cost cache, instead of rebuilding model,
+    // problem and cache per level.
+    const graph::Graph model = models::buildModel(model_name, batch);
+    const sim::TrainingSimConfig sim_config = simConfig(args);
+    std::vector<PlanRequest> requests;
     for (int levels = min_levels; levels <= max_levels; ++levels) {
-        PlanRequest request(
-            models::buildModel(model_name, batch),
+        for (const auto &s : sweep_strategies) {
+            PlanRequest request(
+                model, hw::heterogeneousTpuArrayForLevels(levels));
+            request.strategy = s->name();
+            request.jobs = jobsArg(args);
+            request.sim = sim_config;
+            requests.push_back(std::move(request));
+        }
+    }
+
+    Planner planner;
+    const std::vector<PlanResult> results = planner.planBatch(requests);
+
+    const core::PartitionProblem problem(model);
+    util::Table table(header);
+    std::size_t next = 0;
+    for (int levels = min_levels; levels <= max_levels; ++levels) {
+        const hw::Hierarchy hierarchy(
             hw::heterogeneousTpuArrayForLevels(levels));
-        request.jobs = jobsArg(args);
-        request.sim = simConfig(args);
-        const StrategyComparison comparison = planner.compare(request);
-        table.addRow("h=" + std::to_string(levels), comparison.speedup,
-                     4);
+        std::vector<double> throughput;
+        for (std::size_t s = 0; s < sweep_strategies.size();
+             ++s, ++next) {
+            throughput.push_back(
+                sim::simulatePlan(problem, batch, hierarchy,
+                                  results[next].plan, sim_config)
+                    .throughput);
+        }
+        const double base = throughput.front();
+        std::vector<double> speedup;
+        for (double t : throughput)
+            speedup.push_back(base > 0.0 ? t / base : 0.0);
+        table.addRow("h=" + std::to_string(levels), speedup, 4);
     }
     std::cout << model_name
               << ": speedup vs hierarchy level (normalized to DP)\n";
