@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Certificate-pipeline benchmark: what evidence costs.
+ *
+ * For each network, times the hierarchical solve with and without
+ * certificate emission (the overhead PlanOptions::emitCertificate and
+ * the service's always-on fingerprinting pay), and the independent
+ * audit (analysis::checkCertificate) that re-derives every table and
+ * replays the recurrence. Also reports the serialized certificate size,
+ * since the service fingerprints the full document per plan response.
+ *
+ * Every audited certificate must be clean: any checker error fails the
+ * bench with a nonzero exit, which makes this a CI smoke test for the
+ * solver/checker agreement on the real networks, not just a timer.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/certificate_checker.h"
+#include "analysis/diagnostic.h"
+#include "bench_json.h"
+#include "core/certificate_io.h"
+#include "core/hierarchical_solver.h"
+#include "hw/hierarchy.h"
+#include "models/zoo.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace accpar;
+
+constexpr int kWarmup = 1;
+constexpr int kReps = 5;
+
+/** Best-of-kReps wall time of @p fn, in nanoseconds. */
+template <typename Fn>
+double
+bestNs(Fn &&fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < kWarmup + kReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const double ns =
+            std::chrono::duration<double, std::nano>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (rep >= kWarmup && ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> models = {"vgg16", "resnet50",
+                                             "googlenet"};
+
+    bench::BenchReport report("certificate");
+    util::Table table({"model", "solve ms", "solve+cert ms",
+                       "emit overhead", "audit ms", "cert KiB"});
+    bool dirty = false;
+
+    for (const std::string &name : models) {
+        const core::PartitionProblem problem(
+            models::buildModel(name, 512));
+        const hw::Hierarchy hierarchy(
+            hw::heterogeneousTpuArrayForLevels(4));
+        const core::SolverOptions options;
+
+        const double plain_ns = bestNs([&] {
+            core::solveHierarchy(problem, hierarchy, options);
+        });
+
+        core::PartitionPlan plan;
+        core::PlanCertificate certificate;
+        const double emit_ns = bestNs([&] {
+            certificate = core::PlanCertificate();
+            core::SolveContext context;
+            context.certificate = &certificate;
+            plan = core::solveHierarchy(problem, hierarchy, options,
+                                        context);
+        });
+
+        analysis::DiagnosticSink sink;
+        const analysis::CheckOptions check;
+        const double audit_ns = bestNs([&] {
+            analysis::checkCertificate(problem, hierarchy, plan,
+                                       certificate, check, sink);
+        });
+        if (sink.errorCount() > 0) {
+            std::cerr << "audit found errors on " << name << ":\n"
+                      << sink.renderText() << '\n';
+            dirty = true;
+        }
+
+        const std::string serialized =
+            core::certificateToJson(certificate, hierarchy).dump(2);
+
+        const double overhead =
+            plain_ns > 0.0 ? emit_ns / plain_ns : 0.0;
+        const double kib =
+            static_cast<double>(serialized.size()) / 1024.0;
+        table.addRow(name, {plain_ns / 1e6, emit_ns / 1e6, overhead,
+                            audit_ns / 1e6, kib});
+
+        util::Json &metrics = report.addRow(name);
+        metrics["solve_ms"] = plain_ns / 1e6;
+        metrics["solve_with_cert_ms"] = emit_ns / 1e6;
+        metrics["emit_overhead"] = overhead;
+        metrics["audit_ms"] = audit_ns / 1e6;
+        metrics["cert_bytes"] =
+            static_cast<double>(serialized.size());
+    }
+
+    table.print(std::cout);
+    report.write();
+    if (dirty) {
+        std::cerr << "FAIL: a certificate did not audit clean\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,821 @@
+#include "analysis/certificate_checker.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/chain_dp.h"
+#include "core/cost_model.h"
+#include "core/segment.h"
+
+namespace accpar::analysis {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/** Matches the ratio solver's clamp floor without including it. */
+constexpr double kAlphaFloor = 1e-4;
+
+/** Relative closeness; infinities must match exactly. */
+bool
+close(double a, double b, double tol)
+{
+    if (std::isinf(a) || std::isinf(b))
+        return a == b;
+    return std::abs(a - b) <=
+           tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+std::string
+nodeLocation(hw::NodeId id)
+{
+    return "hierarchy node " + std::to_string(id);
+}
+
+std::string
+formatNumber(double v)
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+}
+
+/**
+ * The checker's own recursive replay of the Eq. 9 recurrence over one
+ * series-parallel chain, written directly against the cost model (not
+ * the kernel's flattened tables). Mirrors the solver's comparison and
+ * accumulation order — allowed types iterated in restriction order,
+ * strict-< argmin — so clean certificates reproduce exactly.
+ */
+struct ChainReplay
+{
+    const core::CondensedGraph &graph;
+    const std::vector<core::LayerDims> &dims;
+    const core::PairCostModel &model;
+    const core::TypeRestrictions &allowed;
+
+    struct Rows
+    {
+        std::vector<std::array<double, 3>> cost;
+        std::vector<std::array<int, 3>> parent;
+    };
+
+    double
+    nodeCost(core::CNodeId v, int t) const
+    {
+        const std::size_t vi = static_cast<std::size_t>(v);
+        return model.nodeCost(dims[vi], graph.node(v).junction,
+                              core::partitionTypeFromIndex(t));
+    }
+
+    double
+    boundary(core::CNodeId u, core::CNodeId v) const
+    {
+        return std::min(
+            dims[static_cast<std::size_t>(u)].sizeOutput(),
+            dims[static_cast<std::size_t>(v)].sizeInput());
+    }
+
+    double
+    transitionCost(core::CNodeId u, int fu, core::CNodeId v,
+                   int tv) const
+    {
+        return model.transitionCost(core::partitionTypeFromIndex(fu),
+                                    core::partitionTypeFromIndex(tv),
+                                    boundary(u, v));
+    }
+
+    /** Figure 4: sum over paths of each path's minimal (entry tt,
+     *  join t)-conditioned cost; +inf when any path is infeasible. */
+    double
+    parallelTransition(const core::Element &elem, core::CNodeId fork,
+                       int tt, int t) const
+    {
+        double total = 0.0;
+        for (const core::Chain &path : elem.paths) {
+            if (path.elements.empty()) {
+                total += transitionCost(fork, tt, elem.node, t);
+                continue;
+            }
+            const Rows sub = solveChain(path, fork, tt);
+            const core::CNodeId last = path.elements.back().node;
+            const std::size_t m = path.elements.size();
+            double best = kInf;
+            for (core::PartitionType s :
+                 allowed[static_cast<std::size_t>(last)]) {
+                const int si = core::partitionTypeIndex(s);
+                const double exit_cost =
+                    sub.cost[m - 1][static_cast<std::size_t>(si)];
+                if (exit_cost == kInf)
+                    continue;
+                const double cand =
+                    exit_cost + transitionCost(last, si, elem.node, t);
+                if (cand < best)
+                    best = cand;
+            }
+            if (best == kInf)
+                return kInf;
+            total += best;
+        }
+        return total;
+    }
+
+    /** Best exit-type index of one solved path into join state @p t
+     *  (the backtracking counterpart of parallelTransition). */
+    int
+    bestPathExit(const core::Chain &path, const Rows &sub, int t,
+                 core::CNodeId join) const
+    {
+        const core::CNodeId last = path.elements.back().node;
+        const std::size_t m = path.elements.size();
+        double best = kInf;
+        int best_s = -1;
+        for (core::PartitionType s :
+             allowed[static_cast<std::size_t>(last)]) {
+            const int si = core::partitionTypeIndex(s);
+            const double exit_cost =
+                sub.cost[m - 1][static_cast<std::size_t>(si)];
+            if (exit_cost == kInf)
+                continue;
+            const double cand =
+                exit_cost + transitionCost(last, si, join, t);
+            if (cand < best) {
+                best = cand;
+                best_s = si;
+            }
+        }
+        return best_s;
+    }
+
+    Rows
+    solveChain(const core::Chain &chain, core::CNodeId fork,
+               int entry_ti) const
+    {
+        const std::size_t m = chain.elements.size();
+        Rows rows;
+        rows.cost.assign(m, {kInf, kInf, kInf});
+        rows.parent.assign(m, {-1, -1, -1});
+
+        const core::Element &first = chain.elements[0];
+        for (core::PartitionType t :
+             allowed[static_cast<std::size_t>(first.node)]) {
+            const int ti = core::partitionTypeIndex(t);
+            double cost = nodeCost(first.node, ti);
+            if (entry_ti >= 0)
+                cost +=
+                    transitionCost(fork, entry_ti, first.node, ti);
+            rows.cost[0][static_cast<std::size_t>(ti)] = cost;
+        }
+
+        for (std::size_t i = 1; i < m; ++i) {
+            const core::Element &elem = chain.elements[i];
+            const core::Element &prev = chain.elements[i - 1];
+            for (core::PartitionType t :
+                 allowed[static_cast<std::size_t>(elem.node)]) {
+                const int ti = core::partitionTypeIndex(t);
+                const double node_cost = nodeCost(elem.node, ti);
+                double best = kInf;
+                int best_tt = -1;
+                for (core::PartitionType tt :
+                     allowed[static_cast<std::size_t>(prev.node)]) {
+                    const int tti = core::partitionTypeIndex(tt);
+                    const double prev_cost =
+                        rows.cost[i - 1][static_cast<std::size_t>(
+                            tti)];
+                    if (prev_cost == kInf)
+                        continue;
+                    const double trans =
+                        elem.isParallel()
+                            ? parallelTransition(elem, prev.node, tti,
+                                                 ti)
+                            : transitionCost(prev.node, tti, elem.node,
+                                             ti);
+                    const double cand = prev_cost + trans + node_cost;
+                    if (cand < best) {
+                        best = cand;
+                        best_tt = tti;
+                    }
+                }
+                if (best_tt < 0)
+                    continue;
+                rows.cost[i][static_cast<std::size_t>(ti)] = best;
+                rows.parent[i][static_cast<std::size_t>(ti)] =
+                    best_tt;
+            }
+        }
+        return rows;
+    }
+};
+
+/** All per-node rule checks of one internal hierarchy node. */
+struct NodeAudit
+{
+    const core::PartitionProblem &problem;
+    const core::PlanCertificate &certificate;
+    const CheckOptions &options;
+    DiagnosticSink &sink;
+    hw::NodeId id;
+    const core::NodePlan &np;
+    const core::NodeCertificate &nc;
+    const core::PairCostModel &model;
+    const std::vector<core::LayerDims> &dims;
+
+    const core::CondensedGraph &graph() const
+    {
+        return problem.condensed();
+    }
+
+    std::string
+    layerLocation(core::CNodeId v) const
+    {
+        return nodeLocation(id) + ", layer '" +
+               graph().node(v).name + "'";
+    }
+
+    /** AC201: the certificate must describe exactly this plan node. */
+    bool
+    checkStructure()
+    {
+        const std::size_t n = graph().size();
+        bool ok = true;
+        if (nc.types != np.types) {
+            sink.error("AC201", nodeLocation(id),
+                       "certificate types disagree with the plan's "
+                       "assignment",
+                       "re-emit the certificate from the plan's "
+                       "solve");
+            ok = false;
+        }
+        if (!close(nc.alpha, np.alpha, options.tolerance)) {
+            sink.error("AC201", nodeLocation(id),
+                       "certificate alpha " + formatNumber(nc.alpha) +
+                           " disagrees with the plan's " +
+                           formatNumber(np.alpha));
+            ok = false;
+        }
+        if (!close(nc.cost, np.cost, options.tolerance)) {
+            sink.error("AC201", nodeLocation(id),
+                       "certificate cost " + formatNumber(nc.cost) +
+                           " disagrees with the plan's " +
+                           formatNumber(np.cost));
+            ok = false;
+        }
+        if (nc.allowed.size() != n || nc.nodeTable.size() != n ||
+            nc.types.size() != n) {
+            sink.error("AC201", nodeLocation(id),
+                       "certificate tables are not sized to the "
+                       "condensed graph");
+            return false;
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+            if (nc.allowed[v].empty()) {
+                sink.error("AC201", nodeLocation(id),
+                           "empty allowed-type set for layer '" +
+                               graph().node(
+                                        static_cast<core::CNodeId>(v))
+                                   .name +
+                               "'");
+                return false;
+            }
+            if (std::find(nc.allowed[v].begin(), nc.allowed[v].end(),
+                          nc.types[v]) == nc.allowed[v].end()) {
+                sink.error(
+                    "AC201",
+                    layerLocation(static_cast<core::CNodeId>(v)),
+                    "chosen type is outside the recorded allowed "
+                    "set");
+                ok = false;
+            }
+        }
+
+        const core::Chain &chain = problem.chain();
+        const std::size_t m = chain.elements.size();
+        if (nc.chainNodes.size() != m || nc.dpCost.size() != m ||
+            nc.dpParent.size() != m) {
+            sink.error("AC201", nodeLocation(id),
+                       "certificate DP rows are not sized to the "
+                       "series-parallel chain");
+            return false;
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+            if (nc.chainNodes[i] != chain.elements[i].node) {
+                sink.error("AC201", nodeLocation(id),
+                           "certificate chain order disagrees with "
+                           "the model's series-parallel "
+                           "decomposition");
+                return false;
+            }
+        }
+        if (nc.exitType < 0 || nc.exitType >= 3) {
+            sink.error("AC201", nodeLocation(id),
+                       "exit type index must be in [0, 3)");
+            return false;
+        }
+        return ok;
+    }
+
+    /** AC202: every allowed node-table cell re-derives exactly. */
+    void
+    checkNodeTable()
+    {
+        for (std::size_t v = 0; v < graph().size(); ++v) {
+            const auto cv = static_cast<core::CNodeId>(v);
+            for (core::PartitionType t : nc.allowed[v]) {
+                const auto ti = static_cast<std::size_t>(
+                    core::partitionTypeIndex(t));
+                const double expect = model.nodeCost(
+                    dims[v], graph().node(cv).junction, t);
+                if (!close(nc.nodeTable[v][ti], expect,
+                           options.tolerance)) {
+                    sink.error(
+                        "AC202", layerLocation(cv),
+                        "node-cost cell [" +
+                            std::string(core::partitionTypeTag(t)) +
+                            "] = " + formatNumber(nc.nodeTable[v][ti]) +
+                            " but the cost model derives " +
+                            formatNumber(expect));
+                }
+            }
+        }
+    }
+
+    /** AC203: edge list mirrors the graph; every allowed cell
+     *  re-derives. */
+    void
+    checkEdges()
+    {
+        std::size_t e = 0;
+        for (std::size_t v = 0; v < graph().size(); ++v) {
+            const auto cv = static_cast<core::CNodeId>(v);
+            for (core::CNodeId u : graph().node(cv).preds) {
+                if (e >= nc.edges.size()) {
+                    sink.error("AC203", nodeLocation(id),
+                               "certificate records fewer edges than "
+                               "the condensed graph has");
+                    return;
+                }
+                const core::CertificateEdge &edge = nc.edges[e];
+                const double expect_boundary = std::min(
+                    dims[static_cast<std::size_t>(u)].sizeOutput(),
+                    dims[v].sizeInput());
+                if (edge.from != u || edge.to != cv ||
+                    !close(edge.boundary, expect_boundary,
+                           options.tolerance)) {
+                    sink.error("AC203", layerLocation(cv),
+                               "edge " + std::to_string(e) +
+                                   " endpoints or boundary size "
+                                   "disagree with the condensed "
+                                   "graph");
+                    ++e;
+                    continue;
+                }
+                for (core::PartitionType from :
+                     nc.allowed[static_cast<std::size_t>(u)]) {
+                    const int fi = core::partitionTypeIndex(from);
+                    for (core::PartitionType to : nc.allowed[v]) {
+                        const int ti = core::partitionTypeIndex(to);
+                        const double expect = model.transitionCost(
+                            from, to, edge.boundary);
+                        const double got =
+                            edge.cost[static_cast<std::size_t>(
+                                fi * 3 + ti)];
+                        if (!close(got, expect, options.tolerance)) {
+                            sink.error(
+                                "AC203", layerLocation(cv),
+                                "transition cell [" +
+                                    std::string(
+                                        core::partitionTypeTag(
+                                            from)) +
+                                    "->" +
+                                    std::string(
+                                        core::partitionTypeTag(to)) +
+                                    "] = " + formatNumber(got) +
+                                    " but the cost model derives " +
+                                    formatNumber(expect));
+                        }
+                    }
+                }
+                ++e;
+            }
+        }
+        if (e != nc.edges.size()) {
+            sink.error("AC203", nodeLocation(id),
+                       "certificate records more edges than the "
+                       "condensed graph has");
+        }
+    }
+
+    /** AC204/AC205/AC206: replay the recurrence, compare every root
+     *  chain cell, parent pointer, the exit argmin, and the recorded
+     *  total against an independent evaluation. */
+    void
+    checkRecurrence()
+    {
+        const ChainReplay replay{graph(), dims, model, nc.allowed};
+        const core::Chain &chain = problem.chain();
+        const ChainReplay::Rows rows =
+            replay.solveChain(chain, core::kNoEntryNode, -1);
+
+        const std::size_t m = chain.elements.size();
+        for (std::size_t i = 0; i < m; ++i) {
+            const auto v = chain.elements[i].node;
+            for (std::size_t t = 0; t < 3; ++t) {
+                if (!close(nc.dpCost[i][t], rows.cost[i][t],
+                           options.tolerance)) {
+                    sink.error(
+                        "AC204", layerLocation(v),
+                        "Bellman cell [" +
+                            std::string(core::partitionTypeTag(
+                                core::partitionTypeFromIndex(
+                                    static_cast<int>(t)))) +
+                            "] = " + formatNumber(nc.dpCost[i][t]) +
+                            " but the recurrence yields " +
+                            formatNumber(rows.cost[i][t]),
+                        "the cell must be the minimum over the "
+                        "previous element's feasible states");
+                }
+                if (nc.dpParent[i][t] !=
+                    static_cast<std::int8_t>(rows.parent[i][t])) {
+                    sink.error(
+                        "AC205", layerLocation(v),
+                        "parent pointer [" +
+                            std::string(core::partitionTypeTag(
+                                core::partitionTypeFromIndex(
+                                    static_cast<int>(t)))) +
+                            "] = " +
+                            std::to_string(
+                                static_cast<int>(nc.dpParent[i][t])) +
+                            " but the recurrence argmin is " +
+                            std::to_string(rows.parent[i][t]));
+                }
+            }
+        }
+
+        // Exit argmin over the recorded table (first strict win, in
+        // allowed order — the solver's tie-break).
+        const core::CNodeId last = chain.elements[m - 1].node;
+        double best = kInf;
+        int best_t = -1;
+        for (core::PartitionType t :
+             nc.allowed[static_cast<std::size_t>(last)]) {
+            const auto ti = static_cast<std::size_t>(
+                core::partitionTypeIndex(t));
+            if (nc.dpCost[m - 1][ti] < best) {
+                best = nc.dpCost[m - 1][ti];
+                best_t = static_cast<int>(ti);
+            }
+        }
+        if (best_t != nc.exitType) {
+            sink.error("AC206", nodeLocation(id),
+                       "recorded exit type " +
+                           std::to_string(nc.exitType) +
+                           " is not the argmin of the final Bellman "
+                           "row (" +
+                           std::to_string(best_t) + ")");
+        } else if (!close(best, nc.cost, options.tolerance)) {
+            sink.error("AC206", nodeLocation(id),
+                       "recorded cost " + formatNumber(nc.cost) +
+                           " disagrees with the final Bellman cell " +
+                           formatNumber(best));
+        }
+
+        // The recorded total must equal the definitional evaluation of
+        // the recorded assignment.
+        const double evaluated = core::evaluateAssignment(
+            graph(), dims, model, nc.types);
+        if (!close(evaluated, nc.cost, options.tolerance)) {
+            sink.error("AC206", nodeLocation(id),
+                       "recorded cost " + formatNumber(nc.cost) +
+                           " disagrees with the independent "
+                           "re-evaluation " +
+                           formatNumber(evaluated));
+        }
+
+        // Backtrack the root chain through the recorded parents: the
+        // implied state per element must match the recorded types.
+        // Parallel-path nodes are covered by their own sub-replay.
+        int ti = nc.exitType;
+        for (std::size_t i = m; i-- > 0;) {
+            const core::CNodeId v = chain.elements[i].node;
+            if (core::partitionTypeIndex(
+                    nc.types[static_cast<std::size_t>(v)]) != ti) {
+                sink.error("AC205", layerLocation(v),
+                           "assignment does not follow the recorded "
+                           "parent pointers from the exit state");
+                break;
+            }
+            if (i > 0 && (ti < 0 || ti >= 3)) {
+                sink.error("AC205", layerLocation(v),
+                           "parent chain leaves the [0, 3) state "
+                           "range");
+                break;
+            }
+            ti = nc.dpParent[i][static_cast<std::size_t>(ti)];
+        }
+
+        // Backtrack every parallel path with the replay's own argmin
+        // and compare against the recorded assignment.
+        backtrackPaths(chain, rows, nc.exitType);
+    }
+
+    void
+    backtrackPaths(const core::Chain &chain,
+                   const ChainReplay::Rows &rows, int exit_ti)
+    {
+        const ChainReplay replay{graph(), dims, model, nc.allowed};
+        int ti = exit_ti;
+        for (std::size_t i = chain.elements.size(); i-- > 0;) {
+            const core::Element &elem = chain.elements[i];
+            const int parent_ti =
+                rows.parent[i][static_cast<std::size_t>(ti)];
+            if (elem.isParallel() && parent_ti >= 0) {
+                for (const core::Chain &path : elem.paths) {
+                    if (path.elements.empty())
+                        continue;
+                    const ChainReplay::Rows sub = replay.solveChain(
+                        path, chain.elements[i - 1].node, parent_ti);
+                    const int s = replay.bestPathExit(path, sub, ti,
+                                                      elem.node);
+                    if (s < 0)
+                        continue;
+                    backtrackPaths(path, sub, s);
+                }
+            }
+            const core::CNodeId v = elem.node;
+            if (core::partitionTypeIndex(
+                    nc.types[static_cast<std::size_t>(v)]) != ti) {
+                sink.error("AC205", layerLocation(v),
+                           "assignment disagrees with the replayed "
+                           "backtrack of this sub-chain");
+                return;
+            }
+            if (parent_ti < 0 && i > 0)
+                return;
+            ti = parent_ti;
+        }
+    }
+
+    /** AC207: no single type flip may lower the total cost. */
+    void
+    checkOneSwap()
+    {
+        std::vector<core::PartitionType> flipped = nc.types;
+        for (std::size_t v = 0; v < graph().size(); ++v) {
+            for (core::PartitionType t : nc.allowed[v]) {
+                if (t == nc.types[v])
+                    continue;
+                flipped[v] = t;
+                const double total = core::evaluateAssignment(
+                    graph(), dims, model, flipped);
+                if (total <
+                    nc.cost -
+                        options.tolerance *
+                            std::max(1.0, std::abs(nc.cost))) {
+                    sink.error(
+                        "AC207",
+                        layerLocation(static_cast<core::CNodeId>(v)),
+                        "flipping to " +
+                            std::string(core::partitionTypeName(t)) +
+                            " lowers the total cost to " +
+                            formatNumber(total) + " (recorded " +
+                            formatNumber(nc.cost) +
+                            ") — the plan is not even locally "
+                            "optimal");
+                }
+            }
+            flipped[v] = nc.types[v];
+        }
+    }
+
+    /** AC208: for small graphs, the DP must match the 3^N optimum. */
+    void
+    checkOracle()
+    {
+        if (options.exhaustiveMaxLayers == 0 ||
+            graph().size() > options.exhaustiveMaxLayers)
+            return;
+        const core::BruteForceResult oracle = core::bruteForceSearch(
+            graph(), dims, model, nc.allowed,
+            options.exhaustiveMaxLayers);
+        if (oracle.cost <
+            nc.cost - options.tolerance *
+                          std::max(1.0, std::abs(nc.cost))) {
+            sink.error("AC208", nodeLocation(id),
+                       "exhaustive search over " +
+                           std::to_string(graph().size()) +
+                           " layers finds cost " +
+                           formatNumber(oracle.cost) +
+                           " below the recorded " +
+                           formatNumber(nc.cost),
+                       "the DP missed the optimum; its certificate "
+                       "cannot be trusted");
+        }
+    }
+
+    /** AC209/AC210: ratio bracket sanity and the alpha one-swap. */
+    void
+    checkAlpha()
+    {
+        if (!(nc.alphaLo <= nc.alphaHi) ||
+            nc.alpha < nc.alphaLo - options.tolerance ||
+            nc.alpha > nc.alphaHi + options.tolerance) {
+            sink.error("AC209", nodeLocation(id),
+                       "alpha " + formatNumber(nc.alpha) +
+                           " falls outside its recorded bracket [" +
+                           formatNumber(nc.alphaLo) + ", " +
+                           formatNumber(nc.alphaHi) + "]");
+        }
+        if (nc.alphaHistory.empty() ||
+            nc.alphaHistory.back() != nc.alpha) {
+            sink.error("AC209", nodeLocation(id),
+                       "alpha history must end at the chosen alpha",
+                       "the history records every accepted iterate, "
+                       "initial guess first");
+        }
+        for (double a : nc.alphaHistory) {
+            if (!(a > 0.0 && a < 1.0)) {
+                sink.error("AC209", nodeLocation(id),
+                           "alpha iterate " + formatNumber(a) +
+                               " is outside (0, 1)");
+                break;
+            }
+        }
+
+        if (options.alphaEps <= 0.0)
+            return;
+        for (double eps : {-options.alphaEps, options.alphaEps}) {
+            const double perturbed =
+                std::min(1.0 - kAlphaFloor,
+                         std::max(kAlphaFloor, nc.alpha + eps));
+            if (perturbed == nc.alpha)
+                continue;
+            core::PairCostModel shifted = model;
+            shifted.setAlpha(perturbed);
+            const double total = core::evaluateAssignment(
+                graph(), dims, shifted, nc.types);
+            if (total <
+                nc.cost - options.tolerance *
+                              std::max(1.0, std::abs(nc.cost))) {
+                sink.warning(
+                    "AC210", nodeLocation(id),
+                    "alpha " + formatNumber(perturbed) +
+                        " lowers this node's cost to " +
+                        formatNumber(total) + " (recorded " +
+                        formatNumber(nc.cost) + ")",
+                    "expected for the paper's balance heuristics "
+                    "(they equalize side totals rather than minimize "
+                    "the pair reduction); use --strict to reject");
+            }
+        }
+    }
+
+    void
+    run()
+    {
+        if (!checkStructure())
+            return;
+        checkNodeTable();
+        checkEdges();
+        checkRecurrence();
+        checkOneSwap();
+        checkOracle();
+        checkAlpha();
+    }
+};
+
+} // namespace
+
+bool
+checkCertificate(const core::PartitionProblem &problem,
+                 const hw::Hierarchy &hierarchy,
+                 const core::PartitionPlan &plan,
+                 const core::PlanCertificate &certificate,
+                 const CheckOptions &options, DiagnosticSink &sink)
+{
+    const std::size_t errors_before = sink.errorCount();
+    try {
+        if (certificate.strategyName() != plan.strategyName() ||
+            certificate.modelName() != plan.modelName()) {
+            sink.error("AC201", "certificate document",
+                       "certificate strategy/model ('" +
+                           certificate.strategyName() + "', '" +
+                           certificate.modelName() +
+                           "') disagree with the plan ('" +
+                           plan.strategyName() + "', '" +
+                           plan.modelName() + "')");
+            return false;
+        }
+        if (certificate.nodeNames() != problem.nodeNames()) {
+            sink.error("AC201", "certificate document",
+                       "certificate layer names disagree with the "
+                       "model's condensed graph");
+            return false;
+        }
+        if (certificate.hierarchyNodeCount() !=
+            hierarchy.nodeCount()) {
+            sink.error("AC201", "certificate document",
+                       "certificate hierarchy size disagrees with "
+                       "the array");
+            return false;
+        }
+
+        // Walk the bi-partition tree exactly like the solver, scaling
+        // dims by each level's (type, ratio) decision.
+        const std::function<void(hw::NodeId,
+                                 const std::vector<core::DimScales> &)>
+            walk = [&](hw::NodeId id,
+                       const std::vector<core::DimScales> &scales) {
+                const hw::HierarchyNode &hn = hierarchy.node(id);
+                if (hn.isLeaf())
+                    return;
+                if (!plan.hasNodePlan(id) ||
+                    !certificate.hasNodeCertificate(id)) {
+                    sink.error("AC201", nodeLocation(id),
+                               "internal hierarchy node misses its " +
+                                   std::string(
+                                       plan.hasNodePlan(id)
+                                           ? "certificate entry"
+                                           : "plan entry"),
+                               "emit plan and certificate from the "
+                               "same solve");
+                    return;
+                }
+                const core::NodePlan &np = plan.nodePlan(id);
+                const core::NodeCertificate &nc =
+                    certificate.nodeCertificate(id);
+
+                const hw::AcceleratorGroup &left_group =
+                    hierarchy.node(hn.left).group;
+                const hw::AcceleratorGroup &right_group =
+                    hierarchy.node(hn.right).group;
+                const core::GroupRates left{
+                    left_group.computeDensity(),
+                    left_group.linkBandwidth()};
+                const core::GroupRates right{
+                    right_group.computeDensity(),
+                    right_group.linkBandwidth()};
+                core::PairCostModel model(left, right,
+                                          certificate.searchCost());
+                if (np.alpha > 0.0 && np.alpha < 1.0)
+                    model.setAlpha(np.alpha);
+
+                const std::vector<core::LayerDims> dims =
+                    core::scaledDims(problem, scales);
+
+                try {
+                    NodeAudit audit{problem, certificate, options,
+                                    sink,    id,          np,
+                                    nc,      model,       dims};
+                    audit.run();
+                } catch (const std::exception &e) {
+                    sink.error("AC200", nodeLocation(id),
+                               std::string("certificate check "
+                                           "aborted: ") +
+                                   e.what(),
+                               "the certificate is too malformed to "
+                               "audit; re-emit it");
+                    return;
+                }
+
+                // Recurse with the plan's decisions, like the solver.
+                const core::CondensedGraph &graph = problem.condensed();
+                if (!(np.alpha > 0.0 && np.alpha < 1.0) ||
+                    np.types.size() != graph.size())
+                    return;
+                std::vector<core::DimScales> left_scales(scales);
+                std::vector<core::DimScales> right_scales(scales);
+                for (std::size_t v = 0; v < graph.size(); ++v) {
+                    const bool junction =
+                        graph.node(static_cast<core::CNodeId>(v))
+                            .junction;
+                    const core::PartitionType t = np.types[v];
+                    left_scales[v] = core::childScales(
+                        scales[v], junction, t, np.alpha);
+                    right_scales[v] = core::childScales(
+                        scales[v], junction, t, 1.0 - np.alpha);
+                }
+                walk(hn.left, left_scales);
+                walk(hn.right, right_scales);
+            };
+
+        const std::vector<core::DimScales> unit(
+            problem.condensed().size());
+        walk(hierarchy.root(), unit);
+    } catch (const std::exception &e) {
+        sink.error("AC200", "certificate document",
+                   std::string("certificate check aborted: ") +
+                       e.what(),
+                   "the certificate is too malformed to audit; "
+                   "re-emit it");
+    }
+    return sink.errorCount() == errors_before;
+}
+
+} // namespace accpar::analysis

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Independent audit of plan certificates — the static optimality proof
+ * behind `accpar audit`.
+ *
+ * The checker re-derives every recorded cost-table cell from
+ * PairCostModel, replays the Bellman recurrence of Eq. 9 (including
+ * the Figure-4 multi-path join rule) with its own recursive
+ * implementation, confirms the extracted assignment follows the
+ * recorded parent pointers, validates the ratio bracket, and runs the
+ * one-swap optimality linter: flipping any single layer's partition
+ * type (or perturbing alpha by ±eps) must not lower the total cost.
+ * For graphs no larger than CheckOptions::exhaustiveMaxLayers it
+ * escalates to core/brute_force as an exhaustive oracle.
+ *
+ * Independence guarantee: this checker deliberately shares NO code
+ * with the solver kernel — src/core/dp_kernel.h is not reachable from
+ * these sources (tools/check_diag_codes.py lints the include graph),
+ * so a kernel bug cannot hide by also corrupting its own audit.
+ *
+ * Rule catalog (see DESIGN.md §9):
+ *
+ *   AC200 error   certificate check aborted (internal failure)
+ *   AC201 error   certificate/plan structure or metadata mismatch
+ *   AC202 error   node-cost table cell drifts from re-derivation
+ *   AC203 error   edge structure or transition-cost cell drifts
+ *   AC204 error   Bellman cell is not the min over predecessors
+ *   AC205 error   parent pointer or backtracked assignment mismatch
+ *   AC206 error   exit type or recorded cost inconsistent
+ *   AC207 error   one-swap type flip lowers total cost
+ *   AC208 error   exhaustive oracle found a cheaper assignment
+ *   AC209 error   alpha outside its bracket / malformed history
+ *   AC210 warn    alpha ±eps lowers this node's total cost
+ */
+
+#ifndef ACCPAR_ANALYSIS_CERTIFICATE_CHECKER_H
+#define ACCPAR_ANALYSIS_CERTIFICATE_CHECKER_H
+
+#include <cstddef>
+
+#include "analysis/diagnostic.h"
+#include "core/certificate.h"
+#include "core/hierarchical_solver.h"
+#include "core/plan.h"
+#include "hw/hierarchy.h"
+
+namespace accpar::analysis {
+
+/** Knobs of one certificate audit. */
+struct CheckOptions
+{
+    /** Cell tolerance, relative to max(1, |a|, |b|). The checker's
+     *  re-derivation performs the same operations in the same order as
+     *  the solver, so clean certificates match far tighter than this;
+     *  the slack only absorbs serialization round-trips. */
+    double tolerance = 1e-9;
+    /**
+     * Escalate to the brute-force oracle for condensed graphs with at
+     * most this many nodes (0 disables; the search is 3^N, so values
+     * beyond ~12 get expensive).
+     */
+    std::size_t exhaustiveMaxLayers = 0;
+    /** Perturbation step of the alpha one-swap lint (AC210). */
+    double alphaEps = 1e-3;
+};
+
+/**
+ * Audits @p certificate against @p plan: walks the bi-partition
+ * hierarchy exactly like the solver, runs every AC2xx rule per
+ * internal node, and reports findings into @p sink. Never throws on
+ * corrupt certificates (AC200 backstops internal failures). Returns
+ * true when no errors were added (warnings do not fail the check).
+ */
+bool checkCertificate(const core::PartitionProblem &problem,
+                      const hw::Hierarchy &hierarchy,
+                      const core::PartitionPlan &plan,
+                      const core::PlanCertificate &certificate,
+                      const CheckOptions &options, DiagnosticSink &sink);
+
+} // namespace accpar::analysis
+
+#endif // ACCPAR_ANALYSIS_CERTIFICATE_CHECKER_H

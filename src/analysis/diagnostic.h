@@ -23,6 +23,17 @@
 
 namespace accpar::analysis {
 
+/**
+ * Revision of the rule-code catalog (DESIGN.md §9). Bumped whenever a
+ * rule code is added, removed, or changes meaning, and embedded in
+ * every CLI JSON envelope so archived audit artifacts stay
+ * interpretable after the catalog evolves.
+ *
+ * History: 1 = AG/AP/APIO/AMIO/ASRV families; 2 = + AC2xx certificate
+ * checks and ACIO certificate-loader rules.
+ */
+inline constexpr int kRuleCatalogRevision = 2;
+
 /** How bad a finding is. */
 enum class Severity
 {

@@ -1,0 +1,43 @@
+#include "core/certificate.h"
+
+#include "util/error.h"
+
+namespace accpar::core {
+
+PlanCertificate::PlanCertificate(std::string strategy, std::string model,
+                                 std::size_t hierarchy_nodes,
+                                 std::vector<std::string> node_names,
+                                 const CostModelConfig &cost,
+                                 RatioPolicy ratio_policy)
+    : _strategy(std::move(strategy)), _model(std::move(model)),
+      _names(std::move(node_names)), _cost(cost),
+      _ratioPolicy(ratio_policy), _nodes(hierarchy_nodes)
+{
+}
+
+void
+PlanCertificate::setNodeCertificate(hw::NodeId id,
+                                    NodeCertificate certificate)
+{
+    ACCPAR_REQUIRE(id >= 0 &&
+                       static_cast<std::size_t>(id) < _nodes.size(),
+                   "certificate node id " << id << " out of range");
+    _nodes[static_cast<std::size_t>(id)] = std::move(certificate);
+}
+
+bool
+PlanCertificate::hasNodeCertificate(hw::NodeId id) const
+{
+    return id >= 0 && static_cast<std::size_t>(id) < _nodes.size() &&
+           _nodes[static_cast<std::size_t>(id)].has_value();
+}
+
+const NodeCertificate &
+PlanCertificate::nodeCertificate(hw::NodeId id) const
+{
+    ACCPAR_REQUIRE(hasNodeCertificate(id),
+                   "no certificate recorded for hierarchy node " << id);
+    return *_nodes[static_cast<std::size_t>(id)];
+}
+
+} // namespace accpar::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Plan certificates: the evidence trail of one hierarchical solve.
+ *
+ * A certificate records, per internal hierarchy node, everything the
+ * DP consulted while choosing that node's assignment: the dense
+ * [node][type] and [edge][from][to] cost tables, the Bellman cost and
+ * parent-pointer rows of the root chain, the exit state, the effective
+ * type restrictions, and the chosen ratio with its bisection bracket
+ * and iteration history. An independent checker
+ * (analysis::CertificateChecker) can then re-derive every cell from
+ * PairCostModel and replay the recurrence without trusting — or even
+ * including — the solver kernel (src/core/dp_kernel.h is deliberately
+ * not reachable from this header; tools/check_diag_codes.py enforces
+ * the same for the checker).
+ *
+ * Certificates are pure data: emission lives in DpKernel and the
+ * hierarchical solver, serialization in core/certificate_io.h,
+ * checking in src/analysis/certificate_checker.h.
+ */
+
+#ifndef ACCPAR_CORE_CERTIFICATE_H
+#define ACCPAR_CORE_CERTIFICATE_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chain_dp.h"
+#include "core/cost_model.h"
+#include "core/partition_type.h"
+#include "core/ratio_solver.h"
+#include "hw/hierarchy.h"
+
+namespace accpar::core {
+
+/** One condensed edge with its full [from][to] transition-cost table.
+ *  Cells whose endpoint types are not allowed are zero and carry no
+ *  meaning (they serialize as null). */
+struct CertificateEdge
+{
+    CNodeId from = kNoEntryNode;
+    CNodeId to = kNoEntryNode;
+    /** Boundary tensor elements: min(producer output, consumer input). */
+    double boundary = 0.0;
+    /** cost[fromType * 3 + toType]. */
+    std::array<double, 9> cost{};
+};
+
+/** The evidence recorded for one internal hierarchy node's solve. */
+struct NodeCertificate
+{
+    /** Chosen ratio (left child group's share). */
+    double alpha = 0.5;
+    /** Final bracket containing alpha: the bisection interval for
+     *  RatioPolicy::ExactBalance, degenerate [alpha, alpha] otherwise
+     *  (widened to cover alpha when the adaptive loop converges). */
+    double alphaLo = 0.5;
+    double alphaHi = 0.5;
+    /** Every accepted ratio iterate, initial guess first; the last
+     *  entry equals alpha. */
+    std::vector<double> alphaHistory;
+
+    /** Modeled pair cost of the chosen assignment. */
+    double cost = 0.0;
+    /** Chosen type per condensed node, indexed by CNodeId. */
+    std::vector<PartitionType> types;
+    /** Effective restrictions of the final solve (strategy restrictions
+     *  intersected with granularity feasibility), indexed by CNodeId. */
+    TypeRestrictions allowed;
+
+    /** nodeTable[v][t]: pair node cost; disallowed cells are zero. */
+    std::vector<std::array<double, 3>> nodeTable;
+    /** Every condensed edge, grouped by consumer in CNodeId order
+     *  (the order the graph lists predecessors). */
+    std::vector<CertificateEdge> edges;
+
+    /** Root-chain element nodes, in chain order. */
+    std::vector<CNodeId> chainNodes;
+    /** dpCost[elem][t]: accumulated Bellman cost; +inf = infeasible. */
+    std::vector<std::array<double, 3>> dpCost;
+    /** dpParent[elem][t]: predecessor type index the optimum came
+     *  from; -1 for the first element or infeasible cells. */
+    std::vector<std::array<std::int8_t, 3>> dpParent;
+    /** Argmin type index at the last root-chain element. */
+    int exitType = -1;
+};
+
+/** A full certificate for one (model, array, strategy) solve. */
+class PlanCertificate
+{
+  public:
+    PlanCertificate() = default;
+    PlanCertificate(std::string strategy, std::string model,
+                    std::size_t hierarchy_nodes,
+                    std::vector<std::string> node_names,
+                    const CostModelConfig &cost,
+                    RatioPolicy ratio_policy);
+
+    const std::string &strategyName() const { return _strategy; }
+    const std::string &modelName() const { return _model; }
+
+    /** Condensed-node names, indexed by CNodeId. */
+    const std::vector<std::string> &nodeNames() const { return _names; }
+
+    /** The cost configuration the search ran under; the checker
+     *  rebuilds its independent PairCostModel from this. */
+    const CostModelConfig &searchCost() const { return _cost; }
+    RatioPolicy ratioPolicy() const { return _ratioPolicy; }
+
+    std::size_t hierarchyNodeCount() const { return _nodes.size(); }
+
+    /** Stores the evidence of hierarchy node @p id. Distinct ids own
+     *  distinct slots, so sibling subtrees may emit concurrently (the
+     *  same argument that makes PartitionPlan writes race-free). */
+    void setNodeCertificate(hw::NodeId id, NodeCertificate certificate);
+
+    bool hasNodeCertificate(hw::NodeId id) const;
+
+    /** Evidence at hierarchy node @p id; must exist. */
+    const NodeCertificate &nodeCertificate(hw::NodeId id) const;
+
+  private:
+    std::string _strategy;
+    std::string _model;
+    std::vector<std::string> _names;
+    CostModelConfig _cost;
+    RatioPolicy _ratioPolicy = RatioPolicy::PaperLinear;
+    std::vector<std::optional<NodeCertificate>> _nodes;
+};
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_CERTIFICATE_H

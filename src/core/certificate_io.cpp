@@ -1,0 +1,704 @@
+#include "core/certificate_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/plan_io.h"
+#include "util/error.h"
+
+namespace accpar::core {
+
+namespace {
+
+constexpr const char *kFormat = "accpar-cert-v1";
+
+bool
+typeAllowed(const std::vector<PartitionType> &allowed, int index)
+{
+    return std::find(allowed.begin(), allowed.end(),
+                     partitionTypeFromIndex(index)) != allowed.end();
+}
+
+std::optional<PartitionType>
+typeFromTag(const std::string &tag)
+{
+    for (PartitionType t : kAllPartitionTypes)
+        if (tag == partitionTypeTag(t))
+            return t;
+    return std::nullopt;
+}
+
+const char *
+objectiveTag(ObjectiveKind objective)
+{
+    return objective == ObjectiveKind::Time ? "time" : "comm-amount";
+}
+
+const char *
+reduceTag(PairReduce reduce)
+{
+    return reduce == PairReduce::Max ? "max" : "sum";
+}
+
+std::string
+nodeLocation(hw::NodeId id)
+{
+    return "certificate entry for hierarchy node " + std::to_string(id);
+}
+
+/** A Bellman/table cell: null when it carries no information. */
+util::Json
+cellJson(double value, bool meaningful)
+{
+    if (!meaningful || value == std::numeric_limits<double>::infinity())
+        return util::Json();
+    return util::Json(value);
+}
+
+util::Json
+nodeCertificateToJson(hw::NodeId id, const NodeCertificate &nc)
+{
+    util::Json node;
+    node["node"] = static_cast<std::int64_t>(id);
+    node["alpha"] = nc.alpha;
+    util::Json bracket;
+    bracket.push(nc.alphaLo);
+    bracket.push(nc.alphaHi);
+    node["alphaBracket"] = std::move(bracket);
+    util::Json history;
+    for (double a : nc.alphaHistory)
+        history.push(a);
+    node["alphaHistory"] = std::move(history);
+    node["cost"] = nc.cost;
+
+    util::Json types;
+    for (PartitionType t : nc.types)
+        types.push(partitionTypeTag(t));
+    node["types"] = std::move(types);
+
+    util::Json allowed{util::Json::Array{}};
+    for (const std::vector<PartitionType> &set : nc.allowed) {
+        util::Json entry{util::Json::Array{}};
+        for (PartitionType t : set)
+            entry.push(partitionTypeTag(t));
+        allowed.push(std::move(entry));
+    }
+    node["allowed"] = std::move(allowed);
+
+    util::Json table{util::Json::Array{}};
+    for (std::size_t v = 0; v < nc.nodeTable.size(); ++v) {
+        util::Json row;
+        for (int t = 0; t < kPartitionTypeCount; ++t)
+            row.push(cellJson(nc.nodeTable[v][static_cast<size_t>(t)],
+                              typeAllowed(nc.allowed[v], t)));
+        table.push(std::move(row));
+    }
+    node["nodeTable"] = std::move(table);
+
+    util::Json edges{util::Json::Array{}};
+    for (const CertificateEdge &edge : nc.edges) {
+        util::Json e;
+        e["from"] = static_cast<std::int64_t>(edge.from);
+        e["to"] = static_cast<std::int64_t>(edge.to);
+        e["boundary"] = edge.boundary;
+        util::Json cost{util::Json::Array{}};
+        for (int from = 0; from < kPartitionTypeCount; ++from) {
+            util::Json row;
+            for (int to = 0; to < kPartitionTypeCount; ++to) {
+                const std::size_t fu = static_cast<std::size_t>(edge.from);
+                const std::size_t tv = static_cast<std::size_t>(edge.to);
+                const bool ok = typeAllowed(nc.allowed[fu], from) &&
+                                typeAllowed(nc.allowed[tv], to);
+                row.push(cellJson(
+                    edge.cost[static_cast<std::size_t>(from * 3 + to)],
+                    ok));
+            }
+            cost.push(std::move(row));
+        }
+        e["cost"] = std::move(cost);
+        edges.push(std::move(e));
+    }
+    node["edges"] = std::move(edges);
+
+    util::Json dp;
+    util::Json chain;
+    for (CNodeId v : nc.chainNodes)
+        chain.push(static_cast<std::int64_t>(v));
+    dp["chain"] = std::move(chain);
+    util::Json cost{util::Json::Array{}};
+    util::Json parent{util::Json::Array{}};
+    for (std::size_t e = 0; e < nc.dpCost.size(); ++e) {
+        util::Json cost_row;
+        util::Json parent_row;
+        for (int t = 0; t < kPartitionTypeCount; ++t) {
+            cost_row.push(
+                cellJson(nc.dpCost[e][static_cast<std::size_t>(t)],
+                         true));
+            parent_row.push(static_cast<std::int64_t>(
+                nc.dpParent[e][static_cast<std::size_t>(t)]));
+        }
+        cost.push(std::move(cost_row));
+        parent.push(std::move(parent_row));
+    }
+    dp["cost"] = std::move(cost);
+    dp["parent"] = std::move(parent);
+    dp["exitType"] = nc.exitType;
+    node["dp"] = std::move(dp);
+    return node;
+}
+
+} // namespace
+
+util::Json
+certificateToJson(const PlanCertificate &certificate,
+                  const hw::Hierarchy &hierarchy)
+{
+    util::Json doc;
+    doc["format"] = kFormat;
+    doc["strategy"] = certificate.strategyName();
+    doc["model"] = certificate.modelName();
+    doc["hierarchySignature"] = hierarchySignature(hierarchy);
+
+    util::Json names{util::Json::Array{}};
+    for (const std::string &name : certificate.nodeNames())
+        names.push(name);
+    doc["layers"] = std::move(names);
+
+    const CostModelConfig &cost = certificate.searchCost();
+    util::Json search;
+    search["objective"] = objectiveTag(cost.objective);
+    search["reduce"] = reduceTag(cost.reduce);
+    search["includeCompute"] = cost.includeCompute;
+    search["bytesPerElement"] = cost.bytesPerElement;
+    search["ratioPolicy"] = ratioPolicyName(certificate.ratioPolicy());
+    doc["search"] = std::move(search);
+
+    util::Json nodes{util::Json::Array{}};
+    for (std::size_t i = 0; i < certificate.hierarchyNodeCount(); ++i) {
+        const auto id = static_cast<hw::NodeId>(i);
+        if (!certificate.hasNodeCertificate(id))
+            continue;
+        nodes.push(
+            nodeCertificateToJson(id, certificate.nodeCertificate(id)));
+    }
+    doc["nodes"] = std::move(nodes);
+    return doc;
+}
+
+namespace {
+
+/** Parses a cell emitted by cellJson: null maps back to @p fallback. */
+std::optional<double>
+parseCell(const util::Json &cell, double fallback)
+{
+    if (cell.kind() == util::Json::Kind::Null)
+        return fallback;
+    if (cell.kind() != util::Json::Kind::Number)
+        return std::nullopt;
+    return cell.asNumber();
+}
+
+/** Parses one type-tag array into @p out; false on any bad tag. */
+bool
+parseTypeList(const util::Json &json,
+              std::vector<PartitionType> &out)
+{
+    if (json.kind() != util::Json::Kind::Array)
+        return false;
+    for (const util::Json &t : json.asArray()) {
+        if (t.kind() != util::Json::Kind::String)
+            return false;
+        const std::optional<PartitionType> type =
+            typeFromTag(t.asString());
+        if (!type)
+            return false;
+        out.push_back(*type);
+    }
+    return true;
+}
+
+/** Parses one node entry; reports ACIO03/ACIO04 into @p sink. */
+std::optional<NodeCertificate>
+parseNodeCertificate(const util::Json &node, hw::NodeId id,
+                     std::size_t layer_count,
+                     analysis::DiagnosticSink &sink)
+{
+    NodeCertificate nc;
+    for (const char *key : {"alpha", "cost"}) {
+        if (!node.contains(key) ||
+            node.at(key).kind() != util::Json::Kind::Number) {
+            sink.error("ACIO03", nodeLocation(id),
+                       std::string("missing or non-numeric '") + key +
+                           "' field");
+            return std::nullopt;
+        }
+    }
+    nc.alpha = node.at("alpha").asNumber();
+    nc.cost = node.at("cost").asNumber();
+
+    if (!node.contains("alphaBracket") ||
+        node.at("alphaBracket").kind() != util::Json::Kind::Array ||
+        node.at("alphaBracket").asArray().size() != 2 ||
+        node.at("alphaBracket").asArray()[0].kind() !=
+            util::Json::Kind::Number ||
+        node.at("alphaBracket").asArray()[1].kind() !=
+            util::Json::Kind::Number) {
+        sink.error("ACIO03", nodeLocation(id),
+                   "'alphaBracket' must be the [lo, hi] number pair of "
+                   "the ratio solver's final bisection interval");
+        return std::nullopt;
+    }
+    nc.alphaLo = node.at("alphaBracket").asArray()[0].asNumber();
+    nc.alphaHi = node.at("alphaBracket").asArray()[1].asNumber();
+
+    if (!node.contains("alphaHistory") ||
+        node.at("alphaHistory").kind() != util::Json::Kind::Array) {
+        sink.error("ACIO03", nodeLocation(id),
+                   "missing 'alphaHistory' array");
+        return std::nullopt;
+    }
+    for (const util::Json &a : node.at("alphaHistory").asArray()) {
+        if (a.kind() != util::Json::Kind::Number) {
+            sink.error("ACIO03", nodeLocation(id),
+                       "'alphaHistory' entries must be numbers");
+            return std::nullopt;
+        }
+        nc.alphaHistory.push_back(a.asNumber());
+    }
+
+    if (!node.contains("types") ||
+        !parseTypeList(node.at("types"), nc.types) ||
+        nc.types.size() != layer_count) {
+        sink.error("ACIO04", nodeLocation(id),
+                   "'types' must list one legal tag (\"I\", \"II\" or "
+                   "\"III\") per layer");
+        return std::nullopt;
+    }
+
+    if (!node.contains("allowed") ||
+        node.at("allowed").kind() != util::Json::Kind::Array ||
+        node.at("allowed").asArray().size() != layer_count) {
+        sink.error("ACIO03", nodeLocation(id),
+                   "'allowed' must hold one type list per layer");
+        return std::nullopt;
+    }
+    for (const util::Json &entry : node.at("allowed").asArray()) {
+        std::vector<PartitionType> set;
+        if (!parseTypeList(entry, set)) {
+            sink.error("ACIO04", nodeLocation(id),
+                       "'allowed' entries must be arrays of legal "
+                       "type tags");
+            return std::nullopt;
+        }
+        nc.allowed.push_back(std::move(set));
+    }
+
+    if (!node.contains("nodeTable") ||
+        node.at("nodeTable").kind() != util::Json::Kind::Array ||
+        node.at("nodeTable").asArray().size() != layer_count) {
+        sink.error("ACIO03", nodeLocation(id),
+                   "'nodeTable' must hold one 3-cell row per layer");
+        return std::nullopt;
+    }
+    for (const util::Json &row : node.at("nodeTable").asArray()) {
+        if (row.kind() != util::Json::Kind::Array ||
+            row.asArray().size() != kPartitionTypeCount) {
+            sink.error("ACIO03", nodeLocation(id),
+                       "'nodeTable' rows must have exactly 3 cells");
+            return std::nullopt;
+        }
+        std::array<double, 3> cells{};
+        for (int t = 0; t < kPartitionTypeCount; ++t) {
+            const std::optional<double> cell = parseCell(
+                row.asArray()[static_cast<std::size_t>(t)], 0.0);
+            if (!cell) {
+                sink.error("ACIO03", nodeLocation(id),
+                           "'nodeTable' cells must be numbers or null");
+                return std::nullopt;
+            }
+            cells[static_cast<std::size_t>(t)] = *cell;
+        }
+        nc.nodeTable.push_back(cells);
+    }
+
+    if (!node.contains("edges") ||
+        node.at("edges").kind() != util::Json::Kind::Array) {
+        sink.error("ACIO03", nodeLocation(id),
+                   "missing 'edges' array");
+        return std::nullopt;
+    }
+    for (const util::Json &e : node.at("edges").asArray()) {
+        CertificateEdge edge;
+        if (e.kind() != util::Json::Kind::Object ||
+            !e.contains("from") ||
+            e.at("from").kind() != util::Json::Kind::Number ||
+            !e.contains("to") ||
+            e.at("to").kind() != util::Json::Kind::Number ||
+            !e.contains("boundary") ||
+            e.at("boundary").kind() != util::Json::Kind::Number ||
+            !e.contains("cost") ||
+            e.at("cost").kind() != util::Json::Kind::Array ||
+            e.at("cost").asArray().size() != kPartitionTypeCount) {
+            sink.error("ACIO03", nodeLocation(id),
+                       "'edges' entries need from/to/boundary and a "
+                       "3x3 'cost' table");
+            return std::nullopt;
+        }
+        edge.from = static_cast<CNodeId>(e.at("from").asInt());
+        edge.to = static_cast<CNodeId>(e.at("to").asInt());
+        edge.boundary = e.at("boundary").asNumber();
+        if (edge.from < 0 ||
+            static_cast<std::size_t>(edge.from) >= layer_count ||
+            edge.to < 0 ||
+            static_cast<std::size_t>(edge.to) >= layer_count) {
+            sink.error("ACIO05", nodeLocation(id),
+                       "edge endpoint is not a condensed-node id");
+            return std::nullopt;
+        }
+        for (int from = 0; from < kPartitionTypeCount; ++from) {
+            const util::Json &row =
+                e.at("cost").asArray()[static_cast<std::size_t>(from)];
+            if (row.kind() != util::Json::Kind::Array ||
+                row.asArray().size() != kPartitionTypeCount) {
+                sink.error("ACIO03", nodeLocation(id),
+                           "edge 'cost' rows must have exactly 3 "
+                           "cells");
+                return std::nullopt;
+            }
+            for (int to = 0; to < kPartitionTypeCount; ++to) {
+                const std::optional<double> cell = parseCell(
+                    row.asArray()[static_cast<std::size_t>(to)], 0.0);
+                if (!cell) {
+                    sink.error("ACIO03", nodeLocation(id),
+                               "edge 'cost' cells must be numbers or "
+                               "null");
+                    return std::nullopt;
+                }
+                edge.cost[static_cast<std::size_t>(from * 3 + to)] =
+                    *cell;
+            }
+        }
+        nc.edges.push_back(edge);
+    }
+
+    if (!node.contains("dp") ||
+        node.at("dp").kind() != util::Json::Kind::Object) {
+        sink.error("ACIO03", nodeLocation(id), "missing 'dp' object");
+        return std::nullopt;
+    }
+    const util::Json &dp = node.at("dp");
+    if (!dp.contains("chain") ||
+        dp.at("chain").kind() != util::Json::Kind::Array ||
+        !dp.contains("cost") ||
+        dp.at("cost").kind() != util::Json::Kind::Array ||
+        !dp.contains("parent") ||
+        dp.at("parent").kind() != util::Json::Kind::Array ||
+        !dp.contains("exitType") ||
+        dp.at("exitType").kind() != util::Json::Kind::Number) {
+        sink.error("ACIO03", nodeLocation(id),
+                   "'dp' needs chain/cost/parent arrays and an "
+                   "'exitType'");
+        return std::nullopt;
+    }
+    for (const util::Json &v : dp.at("chain").asArray()) {
+        if (v.kind() != util::Json::Kind::Number) {
+            sink.error("ACIO03", nodeLocation(id),
+                       "'dp.chain' entries must be node ids");
+            return std::nullopt;
+        }
+        nc.chainNodes.push_back(static_cast<CNodeId>(v.asInt()));
+    }
+    const std::size_t chain_len = nc.chainNodes.size();
+    if (dp.at("cost").asArray().size() != chain_len ||
+        dp.at("parent").asArray().size() != chain_len) {
+        sink.error("ACIO03", nodeLocation(id),
+                   "'dp.cost' and 'dp.parent' must have one row per "
+                   "chain element");
+        return std::nullopt;
+    }
+    for (std::size_t e = 0; e < chain_len; ++e) {
+        const util::Json &cost_row = dp.at("cost").asArray()[e];
+        const util::Json &parent_row = dp.at("parent").asArray()[e];
+        if (cost_row.kind() != util::Json::Kind::Array ||
+            cost_row.asArray().size() != kPartitionTypeCount ||
+            parent_row.kind() != util::Json::Kind::Array ||
+            parent_row.asArray().size() != kPartitionTypeCount) {
+            sink.error("ACIO03", nodeLocation(id),
+                       "'dp' rows must have exactly 3 cells");
+            return std::nullopt;
+        }
+        std::array<double, 3> cost_cells{};
+        std::array<std::int8_t, 3> parent_cells{};
+        for (int t = 0; t < kPartitionTypeCount; ++t) {
+            const std::optional<double> cell = parseCell(
+                cost_row.asArray()[static_cast<std::size_t>(t)],
+                std::numeric_limits<double>::infinity());
+            if (!cell ||
+                parent_row.asArray()[static_cast<std::size_t>(t)]
+                        .kind() != util::Json::Kind::Number) {
+                sink.error("ACIO03", nodeLocation(id),
+                           "'dp' cost cells must be numbers or null "
+                           "and parent cells type indices");
+                return std::nullopt;
+            }
+            cost_cells[static_cast<std::size_t>(t)] = *cell;
+            parent_cells[static_cast<std::size_t>(t)] =
+                static_cast<std::int8_t>(
+                    parent_row.asArray()[static_cast<std::size_t>(t)]
+                        .asInt());
+        }
+        nc.dpCost.push_back(cost_cells);
+        nc.dpParent.push_back(parent_cells);
+    }
+    nc.exitType = static_cast<int>(dp.at("exitType").asInt());
+    return nc;
+}
+
+} // namespace
+
+std::optional<PlanCertificate>
+certificateFromJson(const util::Json &json,
+                    const hw::Hierarchy &hierarchy,
+                    analysis::DiagnosticSink &sink)
+{
+    if (json.kind() != util::Json::Kind::Object ||
+        !json.contains("format") ||
+        json.at("format").kind() != util::Json::Kind::String ||
+        json.at("format").asString() != kFormat) {
+        sink.error("ACIO01", "certificate document",
+                   "not an accpar certificate document (expected "
+                   "\"format\": \"accpar-cert-v1\")",
+                   "produce certificates with `accpar plan --cert` or "
+                   "core::saveCertificate");
+        return std::nullopt;
+    }
+    if (!json.contains("hierarchySignature") ||
+        json.at("hierarchySignature").kind() !=
+            util::Json::Kind::String ||
+        json.at("hierarchySignature").asString() !=
+            hierarchySignature(hierarchy)) {
+        sink.error("ACIO02", "certificate document",
+                   "certificate was produced for a different "
+                   "accelerator hierarchy",
+                   "audit against the array the plan was searched on");
+        return std::nullopt;
+    }
+    for (const char *key : {"strategy", "model"}) {
+        if (!json.contains(key) ||
+            json.at(key).kind() != util::Json::Kind::String) {
+            sink.error("ACIO03", "certificate document",
+                       std::string("missing or non-string '") + key +
+                           "' field");
+            return std::nullopt;
+        }
+    }
+    if (!json.contains("layers") ||
+        json.at("layers").kind() != util::Json::Kind::Array ||
+        !json.contains("nodes") ||
+        json.at("nodes").kind() != util::Json::Kind::Array ||
+        !json.contains("search") ||
+        json.at("search").kind() != util::Json::Kind::Object) {
+        sink.error("ACIO03", "certificate document",
+                   "missing 'layers', 'nodes' or 'search'");
+        return std::nullopt;
+    }
+
+    std::vector<std::string> names;
+    for (const util::Json &n : json.at("layers").asArray()) {
+        if (n.kind() != util::Json::Kind::String) {
+            sink.error("ACIO03", "certificate document",
+                       "'layers' entries must be layer-name strings");
+            return std::nullopt;
+        }
+        names.push_back(n.asString());
+    }
+
+    const util::Json &search = json.at("search");
+    CostModelConfig cost;
+    RatioPolicy policy = RatioPolicy::PaperLinear;
+    {
+        bool ok =
+            search.contains("objective") &&
+            search.at("objective").kind() == util::Json::Kind::String &&
+            search.contains("reduce") &&
+            search.at("reduce").kind() == util::Json::Kind::String &&
+            search.contains("includeCompute") &&
+            search.at("includeCompute").kind() ==
+                util::Json::Kind::Bool &&
+            search.contains("bytesPerElement") &&
+            search.at("bytesPerElement").kind() ==
+                util::Json::Kind::Number &&
+            search.contains("ratioPolicy") &&
+            search.at("ratioPolicy").kind() == util::Json::Kind::String;
+        if (ok) {
+            const std::string &objective =
+                search.at("objective").asString();
+            const std::string &reduce = search.at("reduce").asString();
+            const std::optional<RatioPolicy> parsed =
+                ratioPolicyFromName(
+                    search.at("ratioPolicy").asString());
+            ok = (objective == "time" || objective == "comm-amount") &&
+                 (reduce == "max" || reduce == "sum") &&
+                 parsed.has_value();
+            if (ok) {
+                cost.objective = objective == "time"
+                                     ? ObjectiveKind::Time
+                                     : ObjectiveKind::CommAmount;
+                cost.reduce = reduce == "max" ? PairReduce::Max
+                                              : PairReduce::Sum;
+                cost.includeCompute =
+                    search.at("includeCompute").asBool();
+                cost.bytesPerElement =
+                    search.at("bytesPerElement").asNumber();
+                policy = *parsed;
+            }
+        }
+        if (!ok) {
+            sink.error("ACIO03", "certificate document",
+                       "'search' must record objective/reduce/"
+                       "includeCompute/bytesPerElement/ratioPolicy");
+            return std::nullopt;
+        }
+    }
+
+    PlanCertificate certificate(json.at("strategy").asString(),
+                                json.at("model").asString(),
+                                hierarchy.nodeCount(), names, cost,
+                                policy);
+
+    const std::size_t errors_before = sink.errorCount();
+    std::vector<bool> covered(hierarchy.nodeCount(), false);
+    for (const util::Json &node : json.at("nodes").asArray()) {
+        if (node.kind() != util::Json::Kind::Object ||
+            !node.contains("node") ||
+            node.at("node").kind() != util::Json::Kind::Number) {
+            sink.error("ACIO03", "certificate document",
+                       "every 'nodes' entry must be an object with a "
+                       "numeric 'node' id");
+            continue;
+        }
+        const auto id =
+            static_cast<hw::NodeId>(node.at("node").asInt());
+        if (id < 0 ||
+            static_cast<std::size_t>(id) >= hierarchy.nodeCount()) {
+            sink.error("ACIO05", nodeLocation(id),
+                       "hierarchy node id is out of range (the array "
+                       "has " +
+                           std::to_string(hierarchy.nodeCount()) +
+                           " nodes)");
+            continue;
+        }
+        if (hierarchy.node(id).isLeaf()) {
+            sink.error("ACIO05", nodeLocation(id),
+                       "hierarchy node is a leaf; leaves carry no "
+                       "decisions");
+            continue;
+        }
+        if (covered[static_cast<std::size_t>(id)]) {
+            sink.error("ACIO05", nodeLocation(id),
+                       "duplicate entry for this hierarchy node");
+            continue;
+        }
+        covered[static_cast<std::size_t>(id)] = true;
+        std::optional<NodeCertificate> nc =
+            parseNodeCertificate(node, id, names.size(), sink);
+        if (nc)
+            certificate.setNodeCertificate(id, *std::move(nc));
+    }
+    for (hw::NodeId id : hierarchy.internalNodes()) {
+        if (!covered[static_cast<std::size_t>(id)])
+            sink.error("ACIO03", nodeLocation(id),
+                       "certificate document misses this hierarchy "
+                       "node",
+                       "every internal node needs one 'nodes' entry");
+    }
+    if (sink.errorCount() != errors_before)
+        return std::nullopt;
+    return certificate;
+}
+
+PlanCertificate
+certificateFromJson(const util::Json &json,
+                    const hw::Hierarchy &hierarchy)
+{
+    analysis::DiagnosticSink sink;
+    std::optional<PlanCertificate> certificate =
+        certificateFromJson(json, hierarchy, sink);
+    if (!certificate) {
+        sink.sort();
+        throw util::ConfigError("invalid certificate document:\n" +
+                                sink.renderText());
+    }
+    return *std::move(certificate);
+}
+
+void
+saveCertificate(const PlanCertificate &certificate,
+                const hw::Hierarchy &hierarchy, const std::string &path)
+{
+    std::ofstream out(path);
+    ACCPAR_REQUIRE(out.is_open(), "cannot open " << path
+                                                 << " for writing");
+    out << certificateToJson(certificate, hierarchy).dump(2) << '\n';
+}
+
+std::optional<PlanCertificate>
+loadCertificate(const std::string &path, const hw::Hierarchy &hierarchy,
+                analysis::DiagnosticSink &sink)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        sink.error("ACIO01", path,
+                   "cannot open certificate file for reading",
+                   "check the path and permissions");
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    util::Json doc;
+    try {
+        doc = util::Json::parse(text.str());
+    } catch (const util::Error &e) {
+        sink.error("ACIO01", path,
+                   std::string("file is not valid JSON: ") + e.what());
+        return std::nullopt;
+    }
+    return certificateFromJson(doc, hierarchy, sink);
+}
+
+PlanCertificate
+loadCertificate(const std::string &path, const hw::Hierarchy &hierarchy)
+{
+    analysis::DiagnosticSink sink;
+    std::optional<PlanCertificate> certificate =
+        loadCertificate(path, hierarchy, sink);
+    if (!certificate) {
+        sink.sort();
+        throw util::ConfigError("invalid certificate file " + path +
+                                ":\n" + sink.renderText());
+    }
+    return *std::move(certificate);
+}
+
+std::string
+certificateFingerprint(const util::Json &doc)
+{
+    const std::string text = doc.dump();
+    std::uint64_t hash = 14695981039346656037ull;
+    for (unsigned char byte : text) {
+        hash ^= byte;
+        hash *= 1099511628211ull;
+    }
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+        hash >>= 4;
+    }
+    return out;
+}
+
+} // namespace accpar::core

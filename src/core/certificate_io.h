@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Plan-certificate serialization ("accpar-cert-v1" JSON documents).
+ *
+ * Mirrors plan_io: a certificate saves to pretty-printed JSON and loads
+ * back either through throwing convenience wrappers or through
+ * diagnostic-collecting variants that report precise rule codes
+ * (ACIO01..ACIO05, see DESIGN.md §9) instead of crashing on malformed
+ * input. Serialization is lossless — emit → load → re-emit is
+ * byte-identical — so certificate files can be fingerprinted, shipped,
+ * and audited out-of-band from the solve that produced them.
+ */
+
+#ifndef ACCPAR_CORE_CERTIFICATE_IO_H
+#define ACCPAR_CORE_CERTIFICATE_IO_H
+
+#include <optional>
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "core/certificate.h"
+#include "hw/hierarchy.h"
+#include "util/json.h"
+
+namespace accpar::core {
+
+/**
+ * Serializes @p certificate. Cost-table cells whose endpoint types are
+ * disallowed carry no information and serialize as null, as do
+ * infeasible (+inf) Bellman cells; everything else round-trips exactly
+ * (doubles are printed with %.17g).
+ */
+util::Json certificateToJson(const PlanCertificate &certificate,
+                             const hw::Hierarchy &hierarchy);
+
+/**
+ * Restores a certificate serialized by certificateToJson. Structural
+ * problems are reported into @p sink (codes ACIO01..ACIO05) and
+ * std::nullopt is returned.
+ */
+std::optional<PlanCertificate>
+certificateFromJson(const util::Json &json,
+                    const hw::Hierarchy &hierarchy,
+                    analysis::DiagnosticSink &sink);
+
+/** Throwing variant; raises ConfigError with rendered diagnostics. */
+PlanCertificate certificateFromJson(const util::Json &json,
+                                    const hw::Hierarchy &hierarchy);
+
+/** Writes @p certificate to @p path (pretty-printed JSON). */
+void saveCertificate(const PlanCertificate &certificate,
+                     const hw::Hierarchy &hierarchy,
+                     const std::string &path);
+
+/** Diagnostic-collecting load (ACIO01 on unreadable or unparseable
+ *  files). */
+std::optional<PlanCertificate>
+loadCertificate(const std::string &path, const hw::Hierarchy &hierarchy,
+                analysis::DiagnosticSink &sink);
+
+/** Throwing variant of loadCertificate. */
+PlanCertificate loadCertificate(const std::string &path,
+                                const hw::Hierarchy &hierarchy);
+
+/**
+ * 64-bit FNV-1a over the compact serialization of @p doc, rendered as
+ * 16 lowercase hex digits. Service `plan` responses carry this for
+ * each emitted certificate so cached plans can be matched to the
+ * certificate files that prove them.
+ */
+std::string certificateFingerprint(const util::Json &doc);
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_CERTIFICATE_IO_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/certificate.h"
 #include "util/error.h"
 
 namespace accpar::core {
@@ -357,6 +358,73 @@ DpKernel::solve(const PairCostModel &model,
     result.types.assign(n, PartitionType::TypeI);
     backtrack(*_root, *_rootState, best_t, result.types);
     return result;
+}
+
+void
+DpKernel::extractCertificate(const TypeRestrictions &allowed,
+                             NodeCertificate &cert) const
+{
+    ACCPAR_REQUIRE(allowed.size() == _graph.size(),
+                   "type restriction size mismatch");
+    const std::size_t n = _graph.size();
+    cert.allowed = allowed;
+
+    cert.nodeTable.assign(n, {0.0, 0.0, 0.0});
+    for (std::size_t v = 0; v < n; ++v) {
+        for (PartitionType t : allowed[v]) {
+            const auto ti =
+                static_cast<std::size_t>(partitionTypeIndex(t));
+            cert.nodeTable[v][ti] = _nodeTable[v * 3 + ti];
+        }
+    }
+
+    cert.edges.clear();
+    cert.edges.reserve(_edges.size());
+    for (std::size_t e = 0; e < _edges.size(); ++e) {
+        const Edge &edge = _edges[e];
+        CertificateEdge ce;
+        ce.from = edge.from;
+        ce.to = edge.to;
+        ce.boundary = edge.boundary;
+        for (PartitionType from : allowed[edge.from]) {
+            const int fi = partitionTypeIndex(from);
+            for (PartitionType to : allowed[edge.to]) {
+                const int ti = partitionTypeIndex(to);
+                ce.cost[static_cast<std::size_t>(fi * 3 + ti)] =
+                    _edgeTable[e * 9 + static_cast<std::size_t>(fi) * 3 +
+                               static_cast<std::size_t>(ti)];
+            }
+        }
+        cert.edges.push_back(ce);
+    }
+
+    const std::vector<CompiledElem> &elems = _root->elems;
+    const std::size_t m = elems.size();
+    cert.chainNodes.clear();
+    cert.chainNodes.reserve(m);
+    cert.dpCost.assign(m, {kInf, kInf, kInf});
+    cert.dpParent.assign(m, {-1, -1, -1});
+    for (std::size_t i = 0; i < m; ++i) {
+        cert.chainNodes.push_back(elems[i].node);
+        for (std::size_t t = 0; t < 3; ++t) {
+            cert.dpCost[i][t] = _rootState->cost[i * 3 + t];
+            cert.dpParent[i][t] = _rootState->parent[i * 3 + t];
+        }
+    }
+
+    // Recompute the exit argmin exactly as solve() chose it.
+    const CNodeId last = elems.back().node;
+    const double *exit_cost = _rootState->cost.data() + (m - 1) * 3;
+    double best = kInf;
+    int best_t = -1;
+    for (PartitionType t : allowed[last]) {
+        const int ti = partitionTypeIndex(t);
+        if (exit_cost[ti] < best) {
+            best = exit_cost[ti];
+            best_t = ti;
+        }
+    }
+    cert.exitType = best_t;
 }
 
 double

@@ -44,6 +44,8 @@
 
 namespace accpar::core {
 
+struct NodeCertificate;
+
 /** Reusable flattened solver for one (graph, chain, dims) triple. */
 class DpKernel
 {
@@ -76,6 +78,18 @@ class DpKernel
      */
     double evaluate(const PairCostModel &model,
                     const std::vector<PartitionType> &types) const;
+
+    /**
+     * Copies the evidence of the most recent solve() into @p cert:
+     * restrictions, cost tables (cells of disallowed types zeroed —
+     * the tables are not cleared between solves, so those cells hold
+     * stale values the DP never read), the root-chain Bellman rows
+     * with parent pointers, and the recomputed exit argmin. Must be
+     * called after solve() with the same @p allowed; alpha fields are
+     * the caller's (the kernel does not know the ratio search).
+     */
+    void extractCertificate(const TypeRestrictions &allowed,
+                            NodeCertificate &cert) const;
 
   private:
     struct CompiledPath;

@@ -1,7 +1,9 @@
 #include "core/hierarchical_solver.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/certificate.h"
 #include "core/dp_kernel.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -229,9 +231,14 @@ struct HierSolver
         // One kernel per hierarchy node: the (graph, chain, dims)
         // structure is fixed across the adaptive-ratio iterations, so
         // only the cost tables are refilled per alpha.
+        const bool emit = context.certificate != nullptr;
+        std::vector<double> alpha_history;
+        if (emit)
+            alpha_history.push_back(alpha);
         DpKernel kernel(graph, problem.chain(), dims);
-        ChainDpResult result =
-            kernel.solve(model, effectiveRestrictions(dims, alpha));
+        TypeRestrictions allowed = effectiveRestrictions(dims, alpha);
+        ChainDpResult result = kernel.solve(model, allowed);
+        RatioBracket bracket{alpha, alpha};
         const bool adaptive =
             options.ratioPolicy == RatioPolicy::PaperLinear ||
             options.ratioPolicy == RatioPolicy::ExactBalance;
@@ -242,13 +249,16 @@ struct HierSolver
                 const double next =
                     options.ratioPolicy == RatioPolicy::PaperLinear
                         ? solveRatioLinear(tables, model.alpha())
-                        : solveRatioExact(tables);
+                        : solveRatioExact(tables,
+                                          emit ? &bracket : nullptr);
                 if (std::abs(next - alpha) < 1e-9)
                     break;
                 alpha = next;
+                if (emit)
+                    alpha_history.push_back(alpha);
                 model.setAlpha(alpha);
-                result = kernel.solve(model,
-                                      effectiveRestrictions(dims, alpha));
+                allowed = effectiveRestrictions(dims, alpha);
+                result = kernel.solve(model, allowed);
             }
         }
 
@@ -261,6 +271,28 @@ struct HierSolver
         node_plan.types = result.types;
         node_plan.cost = result.cost;
         plan.setNodePlan(id, std::move(node_plan));
+
+        if (emit) {
+            NodeCertificate cert;
+            cert.alpha = alpha;
+            if (options.ratioPolicy == RatioPolicy::ExactBalance) {
+                // The loop may converge without accepting the last
+                // iterate, leaving alpha up to the convergence epsilon
+                // outside the final bisection interval; widen so the
+                // recorded bracket always contains the recorded alpha.
+                cert.alphaLo = std::min(bracket.lo, alpha);
+                cert.alphaHi = std::max(bracket.hi, alpha);
+            } else {
+                cert.alphaLo = alpha;
+                cert.alphaHi = alpha;
+            }
+            cert.alphaHistory = std::move(alpha_history);
+            cert.cost = result.cost;
+            cert.types = result.types;
+            kernel.extractCertificate(allowed, cert);
+            context.certificate->setNodeCertificate(id,
+                                                    std::move(cert));
+        }
 
         // Recurse with scaled dims: the left child sees alpha's share of
         // each partitioned dimension, the right child the remainder.
@@ -309,6 +341,12 @@ solveHierarchy(const PartitionProblem &problem,
                const hw::Hierarchy &hierarchy,
                const SolverOptions &options, const SolveContext &context)
 {
+    if (context.certificate) {
+        *context.certificate = PlanCertificate(
+            options.strategyName, problem.condensed().modelName(),
+            hierarchy.nodeCount(), problem.nodeNames(), options.cost,
+            options.ratioPolicy);
+    }
     HierSolver solver(problem, hierarchy, options, context);
     const std::vector<DimScales> unit(problem.condensed().size());
     solver.solveNode(hierarchy.root(), unit);

@@ -32,6 +32,8 @@
 
 namespace accpar::core {
 
+class PlanCertificate;
+
 /** Per-node allowed-type policy; default allows all three types. */
 using AllowedTypesFn =
     std::function<std::vector<PartitionType>(const CondensedNode &)>;
@@ -83,6 +85,14 @@ struct SolveContext
 {
     util::ThreadPool *pool = nullptr; ///< null => fully sequential
     CostCache *memo = nullptr;        ///< null => no cost memoization
+    /**
+     * When non-null, solveHierarchy re-initializes it for the run and
+     * every internal hierarchy node records the evidence of its solve
+     * (cost tables, Bellman rows, ratio bracket) into its own slot —
+     * concurrent sibling solves stay race-free for the same reason
+     * plan-slot writes do. See core/certificate.h.
+     */
+    PlanCertificate *certificate = nullptr;
 };
 
 /**

@@ -10,9 +10,6 @@
 
 namespace accpar::core {
 
-namespace {
-
-/** Stable signature of a hierarchy (node structure + group makeup). */
 std::string
 hierarchySignature(const hw::Hierarchy &hierarchy)
 {
@@ -24,8 +21,6 @@ hierarchySignature(const hw::Hierarchy &hierarchy)
     }
     return os.str();
 }
-
-} // namespace
 
 util::Json
 planToJson(const PartitionPlan &plan, const hw::Hierarchy &hierarchy)

@@ -25,6 +25,13 @@
 namespace accpar::core {
 
 /**
+ * Stable signature of a hierarchy (node structure + group makeup).
+ * Plans and certificates embed it so a load against a different array
+ * fails loudly instead of silently misapplying decisions.
+ */
+std::string hierarchySignature(const hw::Hierarchy &hierarchy);
+
+/**
  * Serializes @p plan. The hierarchy is identified by its node count
  * and per-node group signatures so a load against a different array
  * fails loudly instead of silently misapplying decisions.

@@ -240,18 +240,24 @@ Planner::planOne(const PlanRequest &request,
     const auto start = std::chrono::steady_clock::now();
 
     PlanResult result;
+    core::SolveContext solve_context = context;
+    if (request.options.emitCertificate) {
+        result.certificate = std::make_shared<core::PlanCertificate>();
+        solve_context.certificate = result.certificate.get();
+    }
     core::CostModelConfig search_cost;
     if (request.strategy == "custom") {
         const core::SolverOptions opts =
             request.options.toSolverOptions(request.strategy);
         search_cost = opts.cost;
-        result.plan =
-            core::solveHierarchy(problem, hierarchy, opts, context);
+        result.plan = core::solveHierarchy(problem, hierarchy, opts,
+                                           solve_context);
     } else {
         const strategies::StrategyPtr strategy =
             strategies::makeStrategy(request.strategy);
         search_cost = strategy->costConfig();
-        result.plan = strategy->plan(problem, hierarchy, context);
+        result.plan =
+            strategy->plan(problem, hierarchy, solve_context);
     }
 
     if (request.options.verify) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "core/certificate.h"
 #include "core/cost_cache.h"
 #include "core/hierarchical_solver.h"
 #include "core/plan.h"
@@ -40,7 +41,7 @@
 namespace accpar {
 
 /** Library version reported by `accpar --version`. */
-inline constexpr char kAccParVersion[] = "0.2.0";
+inline constexpr char kAccParVersion[] = "0.3.0";
 
 /**
  * The unified planning options: every knob of the cost model and the
@@ -84,6 +85,16 @@ struct PlanOptions
     bool verify = true;
     /** Escalate verifier warnings to failures as well. */
     bool strict = false;
+
+    /**
+     * Emit a PlanCertificate alongside the plan (PlanResult::
+     * certificate): the solver's full evidence trail — cost tables,
+     * Bellman rows, parent pointers, ratio brackets — auditable
+     * offline by `accpar audit`. Honored for named strategies too.
+     * Excluded from planRequestCanonicalKey: it cannot change the
+     * produced plan.
+     */
+    bool emitCertificate = false;
 
     /** Expands to the solver layer's (deprecated) two-level view. */
     core::SolverOptions toSolverOptions(const std::string &strategy) const;
@@ -135,6 +146,9 @@ struct PlanResult
     /** Post-solve verification findings (empty when verification is
      *  disabled or the plan is clean). */
     std::vector<analysis::Diagnostic> diagnostics;
+    /** The solve's evidence trail; null unless
+     *  PlanOptions::emitCertificate was set. */
+    std::shared_ptr<core::PlanCertificate> certificate;
 };
 
 /**

@@ -36,6 +36,17 @@ ratioPolicyName(RatioPolicy policy)
     throw util::InternalError("unknown RatioPolicy");
 }
 
+std::optional<RatioPolicy>
+ratioPolicyFromName(const std::string &name)
+{
+    for (RatioPolicy policy :
+         {RatioPolicy::Fixed, RatioPolicy::ComputeProportional,
+          RatioPolicy::PaperLinear, RatioPolicy::ExactBalance})
+        if (name == ratioPolicyName(policy))
+            return policy;
+    return std::nullopt;
+}
+
 double
 sideTotalCost(const CondensedGraph &graph,
               const std::vector<LayerDims> &dims,
@@ -198,6 +209,12 @@ solveRatioLinear(const CondensedGraph &graph,
 double
 solveRatioExact(const RatioCostTables &tables)
 {
+    return solveRatioExact(tables, nullptr);
+}
+
+double
+solveRatioExact(const RatioCostTables &tables, RatioBracket *bracket)
+{
     auto difference = [&](double alpha) {
         return tables.sideTotal(Side::Left, alpha) -
                tables.sideTotal(Side::Right, alpha);
@@ -212,10 +229,16 @@ solveRatioExact(const RatioCostTables &tables)
     double hi = 1.0 - kRatioFloor;
     const double f_lo = difference(lo);
     const double f_hi = difference(hi);
-    if (f_lo >= 0.0)
+    if (f_lo >= 0.0) {
+        if (bracket)
+            *bracket = {lo, lo};
         return lo; // the left side is slower even with a minimal share
-    if (f_hi <= 0.0)
+    }
+    if (f_hi <= 0.0) {
+        if (bracket)
+            *bracket = {hi, hi};
         return hi;
+    }
     for (int iter = 0; iter < 80; ++iter) {
         const double mid = 0.5 * (lo + hi);
         if (difference(mid) <= 0.0)
@@ -223,7 +246,10 @@ solveRatioExact(const RatioCostTables &tables)
         else
             hi = mid;
     }
-    return clampRatio(0.5 * (lo + hi));
+    const double alpha = clampRatio(0.5 * (lo + hi));
+    if (bracket)
+        *bracket = {std::min(lo, alpha), std::max(hi, alpha)};
+    return alpha;
 }
 
 double

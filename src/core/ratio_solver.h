@@ -14,6 +14,8 @@
 #define ACCPAR_CORE_RATIO_SOLVER_H
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/chain_dp.h"
@@ -37,6 +39,18 @@ enum class RatioPolicy
 
 /** Short name for reports. */
 const char *ratioPolicyName(RatioPolicy policy);
+
+/** Inverse of ratioPolicyName; nullopt for unknown tags. */
+std::optional<RatioPolicy> ratioPolicyFromName(const std::string &name);
+
+/** The final bisection interval of solveRatioExact: the solver's own
+ *  evidence that the returned alpha balances the two sides. Degenerate
+ *  ([x, x]) when an endpoint wins outright. */
+struct RatioBracket
+{
+    double lo = 0.0;
+    double hi = 1.0;
+};
 
 /**
  * Total cost of one side for a fixed type assignment under @p model's
@@ -123,6 +137,11 @@ double solveRatioLinear(const CondensedGraph &graph,
  * 80 steps costs a term-array pass instead of two graph walks.
  */
 double solveRatioExact(const RatioCostTables &tables);
+
+/** As above, additionally reporting the final bisection interval into
+ *  @p bracket when non-null (for plan certificates). */
+double solveRatioExact(const RatioCostTables &tables,
+                       RatioBracket *bracket);
 
 /** Convenience wrapper building the tables from @p model (whose own
  *  ratio does not influence the result). */

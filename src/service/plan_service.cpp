@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "analysis/plan_verifier.h"
+#include "core/certificate_io.h"
 #include "core/plan_io.h"
 #include "core/planner.h"
 #include "hw/topology.h"
@@ -245,6 +246,11 @@ PlanService::executePlan(const ServiceRequest &request,
         plan_request->jobs = _config.plannerJobs;
         plan_request->options.verify = request.verify;
         plan_request->options.strict = request.strict;
+        // Every solved plan carries its certificate fingerprint so
+        // clients can match cached responses to audited certificate
+        // files. Excluded from the canonical key: emission cannot
+        // change the produced plan.
+        plan_request->options.emitCertificate = true;
     } catch (const std::exception &e) {
         return errorResponse(request.id,
                              ServiceError{kErrBadField, e.what()});
@@ -276,6 +282,12 @@ PlanService::executePlan(const ServiceRequest &request,
     payload["plan_seconds"] = result.planSeconds;
     payload["plan"] = core::planToJson(result.plan, hierarchy);
     payload["diagnostics"] = diagnosticsJson(result.diagnostics);
+    payload["certificate_fingerprint"] =
+        result.certificate
+            ? util::Json(core::certificateFingerprint(
+                  core::certificateToJson(*result.certificate,
+                                          hierarchy)))
+            : util::Json();
 
     _cache.insert(key, payload);
     util::Json response =

@@ -9,6 +9,11 @@
  *             {"kind":"plan", "id":…, "model":"vgg16"|{inline doc},
  *              "batch":512, "array":"hetero", "strategy":"accpar",
  *              "verify":true, "strict":false, "deadline_ms":0}
+ *             the payload carries "certificate_fingerprint": the
+ *             16-hex-digit FNV-1a fingerprint of the solve's plan
+ *             certificate (see core/certificate_io.h), so a response —
+ *             cached or fresh — can be matched to the certificate file
+ *             that proves it
  *   validate  lint a model document and optionally verify a plan
  *             {"kind":"validate", "id":…, "model":{inline doc},
  *              ["plan":{plan doc}, "array":SPEC, "strategy":S],

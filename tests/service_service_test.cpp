@@ -90,6 +90,16 @@ TEST(PlanServiceTest, PlanColdThenWarmIsByteIdentical)
     EXPECT_EQ(warm.at("root_cost").asNumber(),
               cold.at("root_cost").asNumber());
 
+    // Every plan response — cold or cached — carries the certificate
+    // fingerprint of the solve that produced it.
+    const std::string fingerprint =
+        cold.at("certificate_fingerprint").asString();
+    EXPECT_EQ(fingerprint.size(), 16u);
+    EXPECT_EQ(fingerprint.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_EQ(warm.at("certificate_fingerprint").asString(),
+              fingerprint);
+
     EXPECT_EQ(plan_service.cache().stats().hits, 1u);
     EXPECT_EQ(plan_service.cache().stats().misses, 1u);
 

@@ -25,6 +25,15 @@
  *            saved plan (plan verifier) and print diagnostics; exits
  *            nonzero when errors (or, with --strict, warnings) are
  *            found
+ *   audit    <plan.json> --cert cert.json (--model NAME | --model-file
+ *            FILE) [--batch N] [--array SPEC]
+ *            [--exhaustive-max-layers N] [--alpha-eps E] [--strict]
+ *            [--json]
+ *            audit a plan against its certificate: re-derive every
+ *            cost-table cell, replay the Bellman recurrence, run the
+ *            one-swap optimality linter, and (for graphs up to
+ *            --exhaustive-max-layers) cross-check against the
+ *            brute-force oracle; exits nonzero on findings
  *   serve    [--host 127.0.0.1] [--port 7411] [--jobs N]
  *            [--cache-entries N] [--max-queue N] [--planner-jobs N]
  *            long-running planning daemon speaking the
@@ -53,8 +62,10 @@
 #include <fstream>
 #include <iostream>
 
+#include "analysis/certificate_checker.h"
 #include "analysis/graph_linter.h"
 #include "analysis/plan_verifier.h"
+#include "core/certificate_io.h"
 #include "core/plan_diff.h"
 #include "core/plan_io.h"
 #include "core/planner.h"
@@ -137,8 +148,8 @@ usage()
 {
     std::cerr
         << "usage: accpar "
-           "<info|plan|simulate|compare|sweep|diff|validate|serve|"
-           "load> [flags]\n"
+           "<info|plan|simulate|compare|sweep|diff|validate|audit|"
+           "serve|load> [flags]\n"
         << "       accpar --version\n"
         << "run 'accpar' with a subcommand; see tools/accpar_cli.cpp "
            "header for flags\n";
@@ -173,7 +184,7 @@ int
 cmdPlan(const util::Args &args)
 {
     args.checkKnown({"model", "model-file", "batch", "array",
-                     "strategy", "out", "jobs", "no-verify",
+                     "strategy", "out", "cert", "jobs", "no-verify",
                      "strict", "log-level"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
@@ -183,6 +194,7 @@ cmdPlan(const util::Args &args)
     request.jobs = jobsArg(args);
     request.options.verify = !args.has("no-verify");
     request.options.strict = args.has("strict");
+    request.options.emitCertificate = args.has("cert");
 
     Planner planner;
     const PlanResult result = planner.plan(request);
@@ -196,6 +208,10 @@ cmdPlan(const util::Args &args)
     if (const auto path = args.get("out")) {
         core::savePlan(result.plan, hierarchy, *path);
         std::cout << "[plan written to " << *path << "]\n";
+    }
+    if (const auto path = args.get("cert")) {
+        core::saveCertificate(*result.certificate, hierarchy, *path);
+        std::cout << "[certificate written to " << *path << "]\n";
     }
     return 0;
 }
@@ -413,7 +429,10 @@ cmdDiff(const util::Args &args)
 /**
  * Renders @p sink and maps it to a process exit code: 0 when the
  * artifact passes, 1 when it must be rejected (errors always, warnings
- * too under --strict).
+ * too under --strict). The --json rendering wraps the diagnostics in a
+ * versioned envelope (tool, library version, rule-catalog revision; see
+ * DESIGN.md §9) so archived results stay interpretable as the rule set
+ * evolves.
  */
 int
 reportDiagnostics(analysis::DiagnosticSink &sink,
@@ -421,7 +440,11 @@ reportDiagnostics(analysis::DiagnosticSink &sink,
 {
     sink.sort();
     if (args.has("json")) {
-        std::cout << sink.renderJson().dump(2) << '\n';
+        util::Json envelope = sink.renderJson();
+        envelope["tool"] = "accpar";
+        envelope["version"] = kAccParVersion;
+        envelope["rulesRevision"] = analysis::kRuleCatalogRevision;
+        std::cout << envelope.dump(2) << '\n';
     } else if (sink.empty()) {
         std::cout << subject << ": no issues found\n";
     } else {
@@ -481,6 +504,50 @@ cmdValidate(const util::Args &args)
     const core::PartitionProblem problem(*model);
     analysis::verifyPlan(problem, hierarchy, *plan, options, sink);
     return reportDiagnostics(sink, args, subject);
+}
+
+int
+cmdAudit(const util::Args &args)
+{
+    args.checkKnown({"model", "model-file", "batch", "array", "plan",
+                     "cert", "exhaustive-max-layers", "alpha-eps",
+                     "strict", "json", "log-level"});
+    const auto cert_path = args.get("cert");
+    if (!cert_path) {
+        std::cerr << "error: audit requires --cert FILE\n";
+        return 2;
+    }
+    std::string plan_path;
+    if (const auto path = args.get("plan")) {
+        plan_path = *path;
+    } else if (!args.positional().empty()) {
+        plan_path = args.positional().front();
+    } else {
+        std::cerr << "error: audit requires a plan file (positional "
+                     "or --plan)\n";
+        return 2;
+    }
+
+    const hw::AcceleratorGroup array =
+        hw::parseArraySpec(args.getOr("array", "hetero"));
+    const hw::Hierarchy hierarchy(array);
+
+    analysis::DiagnosticSink sink;
+    const std::optional<core::PartitionPlan> plan =
+        core::loadPlan(plan_path, hierarchy, sink);
+    const std::optional<core::PlanCertificate> certificate =
+        core::loadCertificate(*cert_path, hierarchy, sink);
+    if (!plan || !certificate)
+        return reportDiagnostics(sink, args, *cert_path);
+
+    const core::PartitionProblem problem(resolveModel(args));
+    analysis::CheckOptions options;
+    options.exhaustiveMaxLayers = static_cast<std::size_t>(
+        args.getIntOr("exhaustive-max-layers", 8));
+    options.alphaEps = args.getDoubleOr("alpha-eps", 1e-3);
+    analysis::checkCertificate(problem, hierarchy, *plan, *certificate,
+                               options, sink);
+    return reportDiagnostics(sink, args, *cert_path);
 }
 
 int
@@ -598,6 +665,8 @@ main(int argc, char **argv)
             return cmdDiff(args);
         if (command == "validate")
             return cmdValidate(args);
+        if (command == "audit")
+            return cmdAudit(args);
         if (command == "serve")
             return cmdServe(args);
         if (command == "load")

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Diagnostic-code hygiene lint.
+
+Two invariants, both cheap enough to run on every CI build:
+
+1. Code catalog coherence. Every stable diagnostic code emitted from a
+   string literal anywhere in src/ (AG*, AP*, APIO*, AMIO*, AC*, ACIO*,
+   ASRV*) must be documented exactly once in DESIGN.md's catalog tables,
+   and DESIGN.md must not document codes that no longer exist in the
+   sources. This keeps the rule catalog — which `accpar validate --json`
+   and `accpar audit --json` version via `rulesRevision` — honest.
+
+2. Checker independence. The certificate checker proves solver output
+   correct by re-deriving it; the proof is only meaningful if the
+   checker cannot accidentally call back into the solver kernel. We walk
+   the quoted-include graph from src/analysis/certificate_checker.{h,cpp}
+   and src/core/certificate.h and fail if src/core/dp_kernel.h is
+   reachable.
+
+Usage: check_diag_codes.py [repo_root]    (exit 0 = clean, 1 = violations)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CODE_RE = re.compile(r"\bA[A-Z]{1,6}[0-9]{2,3}\b")
+STRING_RE = re.compile(r'"((?:[^"\\\n]|\\.)*)"')
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+DESIGN_ROW_RE = re.compile(r"^\|\s*(A[A-Z]{1,6}[0-9]{2,3})\s*\|")
+
+# Roots of the independence walk, relative to src/.
+CHECKER_ROOTS = [
+    "analysis/certificate_checker.h",
+    "analysis/certificate_checker.cpp",
+    "core/certificate.h",
+]
+FORBIDDEN_HEADER = "core/dp_kernel.h"
+
+
+def source_codes(src: Path) -> dict:
+    """Maps each code found in a string literal to the files using it."""
+    found = {}
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cpp"):
+            continue
+        text = path.read_text(encoding="utf-8")
+        for literal in STRING_RE.findall(text):
+            for code in CODE_RE.findall(literal):
+                found.setdefault(code, set()).add(
+                    str(path.relative_to(src.parent)))
+    return found
+
+
+def documented_codes(design: Path) -> dict:
+    """Maps each code documented in a DESIGN.md table row to its rows."""
+    rows = {}
+    for number, line in enumerate(
+            design.read_text(encoding="utf-8").splitlines(), start=1):
+        match = DESIGN_ROW_RE.match(line)
+        if match:
+            rows.setdefault(match.group(1), []).append(number)
+    return rows
+
+
+def reachable_headers(src: Path, roots: list) -> dict:
+    """BFS over quoted includes; maps reached path -> first includer."""
+    reached = {}
+    queue = []
+    for root in roots:
+        if (src / root).exists():
+            reached[root] = "(root)"
+            queue.append(root)
+    while queue:
+        current = queue.pop()
+        text = (src / current).read_text(encoding="utf-8")
+        for include in INCLUDE_RE.findall(text):
+            # Includes are written relative to src/ (the only include
+            # dir the library exports).
+            if include in reached or not (src / include).exists():
+                continue
+            reached[include] = current
+            queue.append(include)
+    return reached
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    src = root / "src"
+    design = root / "DESIGN.md"
+    errors = []
+
+    in_source = source_codes(src)
+    in_design = documented_codes(design)
+
+    for code in sorted(set(in_source) - set(in_design)):
+        errors.append(
+            f"{code} is emitted from {sorted(in_source[code])} but has "
+            f"no catalog row in DESIGN.md")
+    for code in sorted(set(in_design) - set(in_source)):
+        errors.append(
+            f"{code} is documented in DESIGN.md line "
+            f"{in_design[code][0]} but no source string literal emits "
+            f"it (stale catalog entry)")
+    for code, lines in sorted(in_design.items()):
+        if len(lines) > 1:
+            errors.append(
+                f"{code} is documented more than once in DESIGN.md "
+                f"(lines {lines})")
+
+    reached = reachable_headers(src, CHECKER_ROOTS)
+    if FORBIDDEN_HEADER in reached:
+        chain = [FORBIDDEN_HEADER]
+        while chain[-1] != "(root)":
+            chain.append(reached[chain[-1]])
+        errors.append(
+            "certificate checker reaches the solver kernel: "
+            + " <- ".join(chain[:-1])
+            + " — the audit must stay independent of dp_kernel.h")
+
+    if errors:
+        for error in errors:
+            print(f"check_diag_codes: {error}", file=sys.stderr)
+        return 1
+    print(f"check_diag_codes: {len(in_source)} codes, all documented; "
+          f"kernel not reachable from the checker "
+          f"({len(reached)} headers walked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
