@@ -1,0 +1,211 @@
+/**
+ * @file
+ * General-DAG frontend benchmark: catalog build, condensation, the
+ * structural SP decomposition, and the SP-tree solver against the
+ * chain DP on the same graphs (transformers vs the CNN zoo), plus the
+ * DOT export -> import -> plan round trip.
+ *
+ * Two hard gates make this a CI regression check (nonzero exit):
+ *   - the SP-tree solver must reproduce the chain DP's optimum on
+ *     every chain-convertible row (both are exact minimizers of
+ *     evaluateAssignment, so any gap is a bug), and the export ->
+ *     import round trip must replan byte-identically;
+ *   - the structural decomposition must stay cheap: building the SP
+ *     tree may not cost more than the solve it enables.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/hierarchical_solver.h"
+#include "core/plan_io.h"
+#include "core/sp_solver.h"
+#include "graph/dot_export.h"
+#include "graph/sp_decomposition.h"
+#include "hw/hierarchy.h"
+#include "models/catalog.h"
+#include "models/import.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace accpar;
+
+constexpr int kWarmup = 1;
+constexpr int kReps = 3;
+
+/** Best-of-kReps wall time of @p fn, in nanoseconds. */
+template <typename Fn>
+double
+bestNs(Fn &&fn)
+{
+    double best = 1e300;
+    for (int rep = 0; rep < kWarmup + kReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const double ns =
+            std::chrono::duration<double, std::nano>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (rep >= kWarmup && ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+struct Row
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> params;
+};
+
+std::vector<std::vector<int>>
+successorsOf(const core::CondensedGraph &condensed)
+{
+    std::vector<std::vector<int>> succs(condensed.size());
+    for (std::size_t v = 0; v < condensed.size(); ++v)
+        for (core::CNodeId p :
+             condensed.node(static_cast<core::CNodeId>(v)).preds)
+            succs[static_cast<std::size_t>(p)].push_back(
+                static_cast<int>(v));
+    return succs;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Row> rows = {
+        {"resnet50", {{"batch", "512"}}},
+        {"googlenet", {{"batch", "512"}}},
+        {"bert-base", {{"batch", "8"}}},
+        {"gpt-decoder", {{"batch", "8"}}},
+    };
+
+    bench::BenchReport report("dag_frontend");
+    util::Table table({"row", "nodes", "build ms", "sp-tree ms",
+                       "chain dp ms", "sp solver ms", "roundtrip"});
+    bool failed = false;
+
+    const hw::Hierarchy hierarchy(
+        hw::heterogeneousTpuArrayForLevels(3));
+
+    for (const Row &row : rows) {
+        models::ModelParams params;
+        for (const auto &[key, value] : row.params)
+            params.set(key, value);
+
+        const double build_ns = bestNs(
+            [&] { models::catalog().build(row.name, params); });
+        const graph::Graph model =
+            models::catalog().build(row.name, params);
+
+        const core::PartitionProblem problem(model);
+        const core::CondensedGraph &condensed = problem.condensed();
+        const auto succs = successorsOf(condensed);
+        const double decompose_ns =
+            bestNs([&] { graph::decomposeSpTree(succs); });
+        const graph::SpTree tree = graph::decomposeSpTree(succs);
+
+        // One root-pair solve, chain DP vs SP-tree solver, on the
+        // same cost model: both must land on the same optimum.
+        const hw::HierarchyNode &root =
+            hierarchy.node(hierarchy.root());
+        const hw::AcceleratorGroup &lg =
+            hierarchy.node(root.left).group;
+        const hw::AcceleratorGroup &rg =
+            hierarchy.node(root.right).group;
+        core::PairCostModel cost(
+            {lg.computeDensity(), lg.linkBandwidth()},
+            {rg.computeDensity(), rg.linkBandwidth()},
+            core::CostModelConfig{});
+        cost.setAlpha(0.5);
+        const core::TypeRestrictions allowed =
+            core::unrestrictedTypes(condensed);
+
+        const double chain_ns = bestNs([&] {
+            core::solveChainDp(condensed, problem.chain(),
+                               problem.baseDims(), cost, allowed);
+        });
+        const core::SpSolver solver(condensed, tree,
+                                    problem.baseDims());
+        const double sp_ns =
+            bestNs([&] { solver.solve(cost, allowed); });
+
+        const double chain_cost =
+            core::solveChainDp(condensed, problem.chain(),
+                               problem.baseDims(), cost, allowed)
+                .cost;
+        const double sp_cost = solver.solve(cost, allowed).cost;
+        if (std::abs(sp_cost - chain_cost) >
+            1e-9 * (1.0 + chain_cost)) {
+            std::cerr << "FAIL: SP solver diverges from chain DP on "
+                      << row.name << " (" << sp_cost << " vs "
+                      << chain_cost << ")\n";
+            failed = true;
+        }
+        if (decompose_ns > chain_ns && decompose_ns > sp_ns) {
+            std::cerr << "FAIL: SP decomposition ("
+                      << decompose_ns / 1e6
+                      << " ms) dominates the solve on " << row.name
+                      << '\n';
+            failed = true;
+        }
+
+        // Export -> import -> plan must replan byte-identically.
+        const graph::Graph imported =
+            models::importDot(graph::toDot(model));
+        const core::SolverOptions options{};
+        const std::string direct =
+            core::planToJson(
+                core::solveHierarchy(problem, hierarchy, options),
+                hierarchy)
+                .dump();
+        const std::string replanned =
+            core::planToJson(
+                core::solveHierarchy(core::PartitionProblem(imported),
+                                     hierarchy, options),
+                hierarchy)
+                .dump();
+        const bool roundtrip = direct == replanned;
+        if (!roundtrip) {
+            std::cerr << "FAIL: import round trip diverges on "
+                      << row.name << '\n';
+            failed = true;
+        }
+
+        util::Json &metrics = report.addRow(row.name);
+        metrics["condensed_nodes"] =
+            static_cast<double>(condensed.size());
+        metrics["build_ns"] = build_ns;
+        metrics["sp_decompose_ns"] = decompose_ns;
+        metrics["chain_dp_ns_per_solve"] = chain_ns;
+        metrics["sp_solver_ns_per_solve"] = sp_ns;
+        metrics["sp_over_chain"] = sp_ns / chain_ns;
+        metrics["roundtrip_identical"] = roundtrip ? 1.0 : 0.0;
+
+        table.addRow(row.name,
+                     {static_cast<double>(condensed.size()),
+                      build_ns / 1e6, decompose_ns / 1e6,
+                      chain_ns / 1e6, sp_ns / 1e6,
+                      roundtrip ? 1.0 : 0.0},
+                     3);
+    }
+
+    std::cout << "General-DAG frontend: decomposition + solver cost "
+                 "(best of "
+              << kReps << ")\n";
+    table.print(std::cout);
+    report.write();
+
+    if (failed) {
+        std::cerr << "FAIL: DAG frontend regression\n";
+        return 1;
+    }
+    return 0;
+}

@@ -30,9 +30,12 @@ namespace accpar::analysis {
  * interpretable after the catalog evolves.
  *
  * History: 1 = AG/AP/APIO/AMIO/ASRV families; 2 = + AC2xx certificate
- * checks and ACIO certificate-loader rules.
+ * checks and ACIO certificate-loader rules; 3 = + AG009 (residual
+ * region past the exact-fallback bound), ADOT/AONX importer rules, and
+ * AG007 softened to a warning (the SP-tree solver plans non-chain
+ * graphs).
  */
-inline constexpr int kRuleCatalogRevision = 2;
+inline constexpr int kRuleCatalogRevision = 3;
 
 /** How bad a finding is. */
 enum class Severity

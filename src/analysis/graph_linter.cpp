@@ -6,7 +6,9 @@
 
 #include "core/condensed_graph.h"
 #include "core/segment.h"
+#include "core/sp_solver.h"
 #include "graph/shape_inference.h"
+#include "graph/sp_decomposition.h"
 #include "util/error.h"
 
 namespace accpar::analysis {
@@ -141,7 +143,7 @@ void
 lintPartitionStructure(const graph::Graph &graph, DiagnosticSink &sink)
 {
     // A model without CONV/FC layers has nothing to partition — and no
-    // condensed view to decompose, so this must precede AG007.
+    // condensed view to decompose, so this must precede AG007/AG009.
     if (graph.weightedLayers().empty()) {
         sink.warning("AG008", "model '" + graph.name() + "'",
                      "model has no weighted (CONV/FC) layers; "
@@ -149,18 +151,47 @@ lintPartitionStructure(const graph::Graph &graph, DiagnosticSink &sink)
                      "add at least one conv or fc layer");
         return;
     }
-    // AG007 needs the condensed view; its construction assumes the
-    // structural invariants checked above, so only attempt it (and
-    // report construction failures as findings) once those hold.
+    // The condensed view's construction assumes the structural
+    // invariants checked above, so only attempt it once those hold.
     try {
-        core::decomposeSeriesParallel(core::CondensedGraph(graph));
+        const core::CondensedGraph condensed(graph);
+        try {
+            core::decomposeSeriesParallel(condensed);
+            return; // Chain-decomposable: the frozen DP kernel plans it.
+        } catch (const util::Error &e) {
+            sink.warning(
+                "AG007", "model '" + graph.name() + "'",
+                std::string("fork/join structure is not "
+                            "chain-decomposable: ") +
+                    e.what(),
+                "planning falls back to the SP decomposition tree "
+                "(paper §5.2 applied recursively); plan certificates "
+                "are unavailable for this model");
+        }
+        // AG009: the SP-tree fallback is exact only while every
+        // residual (non-series-parallel) region stays enumerable.
+        std::vector<std::vector<int>> succs(condensed.size());
+        for (std::size_t v = 0; v < condensed.size(); ++v)
+            for (core::CNodeId p :
+                 condensed.node(static_cast<core::CNodeId>(v)).preds)
+                succs[static_cast<std::size_t>(p)].push_back(
+                    static_cast<int>(v));
+        const graph::SpTree tree = graph::decomposeSpTree(succs);
+        if (tree.maxResidualSize() > core::kResidualExactLimit) {
+            sink.error(
+                "AG009", "model '" + graph.name() + "'",
+                "a non-series-parallel region has " +
+                    std::to_string(tree.maxResidualSize()) +
+                    " internal nodes; the exact fallback enumerates "
+                    "at most " +
+                    std::to_string(core::kResidualExactLimit),
+                "restructure the region into nested fork/join shapes "
+                "or split it with explicit cut layers");
+        }
     } catch (const util::Error &e) {
-        sink.error("AG007", "model '" + graph.name() + "'",
-                   std::string("fork/join structure is not "
-                               "series-parallel: ") +
-                       e.what(),
-                   "nested regions must join at distinct layers "
-                   "(paper §5.2 multi-path form)");
+        sink.error("AG009", "model '" + graph.name() + "'",
+                   std::string("partition planning is unavailable: ") +
+                       e.what());
     }
 }
 

@@ -2,20 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/certificate.h"
 #include "core/dp_kernel.h"
+#include "core/sp_solver.h"
 #include "util/error.h"
 #include "util/logging.h"
 
 namespace accpar::core {
 
 PartitionProblem::PartitionProblem(const graph::Graph &model)
-    : _condensed(model), _chain(decomposeSeriesParallel(_condensed))
+    : _condensed(model)
 {
+    // Structural classification: models the legacy chain decomposition
+    // recognizes keep the frozen DP-kernel path (plans stay
+    // byte-identical to tests/support/legacy_dp); every other graph —
+    // SP shapes the chain view cannot express as well as genuinely
+    // non-SP graphs — gets the general decomposition tree for the
+    // SP-tree solver.
+    try {
+        _chain = decomposeSeriesParallel(_condensed);
+        _hasChain = true;
+    } catch (const util::Error &) {
+        std::vector<std::vector<int>> succs(_condensed.size());
+        for (std::size_t v = 0; v < _condensed.size(); ++v) {
+            for (CNodeId p : _condensed.node(static_cast<CNodeId>(v)).preds)
+                succs[p].push_back(static_cast<int>(v));
+        }
+        _spTree = graph::decomposeSpTree(succs);
+    }
     _baseDims.reserve(_condensed.size());
     for (const CondensedNode &node : _condensed.nodes())
         _baseDims.push_back(node.dims);
+}
+
+const Chain &
+PartitionProblem::chain() const
+{
+    ACCPAR_REQUIRE(_hasChain,
+                   "model " << _condensed.modelName()
+                            << " is not chain-decomposable; this "
+                               "problem uses the general SP tree");
+    return _chain;
+}
+
+const graph::SpTree &
+PartitionProblem::spTree() const
+{
+    ACCPAR_REQUIRE(!_hasChain,
+                   "model " << _condensed.modelName()
+                            << " is chain-decomposable; the SP tree "
+                               "is not built for chain-mode problems");
+    return _spTree;
 }
 
 std::vector<std::string>
@@ -228,16 +267,27 @@ struct HierSolver
         const std::vector<LayerDims> dims = scaledDims(problem, scales);
         const CondensedGraph &graph = problem.condensed();
 
-        // One kernel per hierarchy node: the (graph, chain, dims)
+        // One compiled search per hierarchy node: the decomposition
         // structure is fixed across the adaptive-ratio iterations, so
-        // only the cost tables are refilled per alpha.
+        // only the cost tables are refilled per alpha. Chain-mode
+        // problems keep the frozen DP kernel; everything else runs
+        // the SP-tree solver over the same cost entry points.
         const bool emit = context.certificate != nullptr;
         std::vector<double> alpha_history;
         if (emit)
             alpha_history.push_back(alpha);
-        DpKernel kernel(graph, problem.chain(), dims);
+        std::optional<DpKernel> kernel;
+        std::optional<SpSolver> spSolver;
+        if (problem.hasChain())
+            kernel.emplace(graph, problem.chain(), dims);
+        else
+            spSolver.emplace(graph, problem.spTree(), dims);
+        const auto solveOnce = [&](const TypeRestrictions &types) {
+            return kernel ? kernel->solve(model, types)
+                          : spSolver->solve(model, types);
+        };
         TypeRestrictions allowed = effectiveRestrictions(dims, alpha);
-        ChainDpResult result = kernel.solve(model, allowed);
+        ChainDpResult result = solveOnce(allowed);
         RatioBracket bracket{alpha, alpha};
         const bool adaptive =
             options.ratioPolicy == RatioPolicy::PaperLinear ||
@@ -258,7 +308,7 @@ struct HierSolver
                     alpha_history.push_back(alpha);
                 model.setAlpha(alpha);
                 allowed = effectiveRestrictions(dims, alpha);
-                result = kernel.solve(model, allowed);
+                result = solveOnce(allowed);
             }
         }
 
@@ -289,7 +339,7 @@ struct HierSolver
             cert.alphaHistory = std::move(alpha_history);
             cert.cost = result.cost;
             cert.types = result.types;
-            kernel.extractCertificate(allowed, cert);
+            kernel->extractCertificate(allowed, cert);
             context.certificate->setNodeCertificate(id,
                                                     std::move(cert));
         }
@@ -342,6 +392,15 @@ solveHierarchy(const PartitionProblem &problem,
                const SolverOptions &options, const SolveContext &context)
 {
     if (context.certificate) {
+        // Certificates serialize the chain DP's evidence (Bellman
+        // rows over the compiled chain); the SP-tree solver has no
+        // chain to record, so certificate emission requires the
+        // legacy-decomposable structure.
+        ACCPAR_REQUIRE(problem.hasChain(),
+                       "plan certificates require a chain-decomposable "
+                       "(series-parallel) model; "
+                           << problem.condensed().modelName()
+                           << " is solved by the SP-tree fallback");
         *context.certificate = PlanCertificate(
             options.strategyName, problem.condensed().modelName(),
             hierarchy.nodeCount(), problem.nodeNames(), options.cost,

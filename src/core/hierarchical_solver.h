@@ -27,6 +27,7 @@
 #include "core/ratio_solver.h"
 #include "core/segment.h"
 #include "graph/graph.h"
+#include "graph/sp_decomposition.h"
 #include "hw/hierarchy.h"
 #include "util/thread_pool.h"
 
@@ -106,6 +107,15 @@ bool typeFeasible(const LayerDims &dims, bool junction, PartitionType t,
 /**
  * A prepared partitioning problem: the condensed view of one model,
  * reusable across hierarchies and solver options.
+ *
+ * Construction classifies the condensed graph structurally. Models
+ * whose fork/join regions nest with distinct joins take the legacy
+ * chain decomposition and are solved by the flattened DP kernel —
+ * byte-identical to the frozen tests/support/legacy_dp reference.
+ * Everything else (including non-series-parallel graphs) gets the
+ * general SP-decomposition tree (graph/sp_decomposition.h) and is
+ * solved by core/sp_solver.h; residual regions beyond the exact
+ * bound are rejected there with diagnostic AG009.
  */
 class PartitionProblem
 {
@@ -113,7 +123,17 @@ class PartitionProblem
     explicit PartitionProblem(const graph::Graph &model);
 
     const CondensedGraph &condensed() const { return _condensed; }
-    const Chain &chain() const { return _chain; }
+
+    /** True when the legacy chain decomposition applies (every zoo
+     *  CNN and transformer); the DP kernel path is used. */
+    bool hasChain() const { return _hasChain; }
+
+    /** The legacy chain view; ConfigError unless hasChain(). */
+    const Chain &chain() const;
+
+    /** The general decomposition tree; ConfigError when hasChain()
+     *  (chain-mode problems never build it). */
+    const graph::SpTree &spTree() const;
 
     /** Unscaled dims per condensed node. */
     const std::vector<LayerDims> &baseDims() const { return _baseDims; }
@@ -123,7 +143,9 @@ class PartitionProblem
 
   private:
     CondensedGraph _condensed;
+    bool _hasChain = false;
     Chain _chain;
+    graph::SpTree _spTree;
     std::vector<LayerDims> _baseDims;
 };
 

@@ -101,6 +101,14 @@ appendModelKey(std::string &key, const graph::Graph &model)
 
 } // namespace
 
+PlanRequest::PlanRequest(const std::string &modelName,
+                         const models::ModelParams &params,
+                         hw::AcceleratorGroup array_)
+    : model(models::catalog().build(modelName, params)),
+      array(std::move(array_))
+{
+}
+
 std::string
 planRequestCanonicalKey(const PlanRequest &request)
 {
@@ -344,12 +352,6 @@ Planner::planBatch(const std::vector<PlanRequest> &requests)
     for (PlanResult &result : results)
         result.cacheDelta = delta;
     return results;
-}
-
-std::vector<PlanResult>
-Planner::planMany(const std::vector<PlanRequest> &requests)
-{
-    return planBatch(requests);
 }
 
 StrategyComparison

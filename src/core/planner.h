@@ -34,6 +34,7 @@
 #include "graph/graph.h"
 #include "hw/group.h"
 #include "hw/hierarchy.h"
+#include "models/catalog.h"
 #include "sim/training_sim.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
@@ -111,6 +112,16 @@ struct PlanRequest
     {
     }
 
+    /**
+     * Model-spec variant: resolves @p modelName (with optional build
+     * parameters like "batch" or a transformer's "depth") through
+     * models::catalog() instead of taking a pre-built graph. Throws
+     * ConfigError for unknown names or rejected parameters.
+     */
+    PlanRequest(const std::string &modelName,
+                const models::ModelParams &params,
+                hw::AcceleratorGroup array_);
+
     /** The DNN to partition. */
     graph::Graph model;
     /** The accelerator array; the bi-partition hierarchy is derived. */
@@ -139,7 +150,7 @@ struct PlanResult
     /** Wall-clock planning time. */
     util::Seconds planSeconds = 0.0;
     /** Cost-cache activity attributable to this call (aggregated over
-     *  the whole batch for compare()/planMany()). */
+     *  the whole batch for compare()/planBatch()). */
     core::CostCacheStats cacheDelta;
     /** Effective concurrency the call ran with. */
     int jobs = 1;
@@ -220,10 +231,6 @@ class Planner
      * Figure 8 bench and the service's cache-miss path.
      */
     std::vector<PlanResult> planBatch(
-        const std::vector<PlanRequest> &requests);
-
-    /** Deprecated name of planBatch, kept for source compatibility. */
-    std::vector<PlanResult> planMany(
         const std::vector<PlanRequest> &requests);
 
     /**

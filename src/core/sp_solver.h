@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Exact partition search over a structural SP-decomposition tree.
+ *
+ * The DP kernel (core/dp_kernel.h) consumes the legacy chain view of
+ * the condensed graph and stays the solver for every chain-convertible
+ * model — its plans are frozen byte-for-byte against
+ * tests/support/legacy_dp. This solver is the general-DAG companion:
+ * it evaluates the §5.2 composition rule directly on the binary
+ * decomposition tree of graph/sp_decomposition.h, so any
+ * series-parallel condensed graph is solved exactly, and non-SP
+ * Residual regions fall back to exhaustive enumeration of their
+ * internal assignments while they stay within
+ * kResidualExactLimit internal nodes. Larger residual regions are
+ * rejected up front with diagnostic AG009 — planning is never
+ * silently approximate.
+ *
+ * Semantics: for a region with terminals (s, t), the solver computes
+ * the 3x3 matrix M[a][b] = minimal sum of internal node costs plus
+ * region edge transition costs given types[s] = a and types[t] = b.
+ * Leaf edges are single transitions, series composition inserts the
+ * cut vertex's node cost between its two halves, parallel composition
+ * adds element-wise (paths are independent given the endpoint states
+ * — exactly the sum-of-path-minima rule), and residual regions take
+ * the minimum over all allowed internal assignments. The root then
+ * adds the two terminal node costs. The minimized quantity is exactly
+ * core::evaluateAssignment, the same objective the chain DP and the
+ * brute-force oracle share.
+ */
+
+#ifndef ACCPAR_CORE_SP_SOLVER_H
+#define ACCPAR_CORE_SP_SOLVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/chain_dp.h"
+#include "core/condensed_graph.h"
+#include "core/cost_model.h"
+#include "graph/sp_decomposition.h"
+
+namespace accpar::core {
+
+/**
+ * Largest Residual internal set the exact fallback enumerates (3^N
+ * assignments per endpoint pair). Beyond this, planning fails with
+ * AG009 rather than returning an unproven plan.
+ */
+inline constexpr std::size_t kResidualExactLimit = 9;
+
+/**
+ * One compiled SP-tree search over a fixed (graph, tree, dims)
+ * triple; solve() may be called repeatedly with different ratios and
+ * type restrictions (the adaptive-ratio loop of the hierarchical
+ * solver). Construction throws ConfigError (code AG009) when a
+ * residual region exceeds kResidualExactLimit.
+ */
+class SpSolver
+{
+  public:
+    SpSolver(const CondensedGraph &graph, const graph::SpTree &tree,
+             const std::vector<LayerDims> &dims);
+
+    /** Minimizes evaluateAssignment under @p allowed; deterministic
+     *  (fixed visiting order, strict-improvement argmins). */
+    ChainDpResult solve(const PairCostModel &model,
+                        const TypeRestrictions &allowed) const;
+
+  private:
+    struct CompiledEdge
+    {
+        CNodeId from = kNoEntryNode;
+        CNodeId to = kNoEntryNode;
+        double boundary = 0.0;
+    };
+
+    /** Per tree node: the region's precompiled edge views. */
+    struct CompiledNode
+    {
+        /** Leaf: the single direct edge. */
+        CompiledEdge edge;
+        /** Residual: edges among internal vertices. */
+        std::vector<CompiledEdge> innerEdges;
+        /** Residual: edges incident to a terminal (s -> v or v -> t). */
+        std::vector<CompiledEdge> crossEdges;
+    };
+
+    void solveLeaf(graph::SpNodeId id, const PairCostModel &model,
+                   std::vector<double> &m) const;
+    void solveSeries(graph::SpNodeId id, const PairCostModel &model,
+                     const TypeRestrictions &allowed,
+                     std::vector<double> &m,
+                     std::vector<std::int8_t> &choice) const;
+    void solveResidual(graph::SpNodeId id, const PairCostModel &model,
+                       const TypeRestrictions &allowed,
+                       std::vector<double> &m,
+                       std::vector<std::int8_t> &assign) const;
+
+    const CondensedGraph &_graph;
+    const graph::SpTree &_tree;
+    const std::vector<LayerDims> &_dims;
+    std::vector<CompiledNode> _compiled;
+};
+
+} // namespace accpar::core
+
+#endif // ACCPAR_CORE_SP_SOLVER_H

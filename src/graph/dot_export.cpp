@@ -4,6 +4,52 @@
 
 namespace accpar::graph {
 
+namespace {
+
+/**
+ * Machine-readable attribute payload of one layer, as "k=v" pairs in a
+ * fixed order. Must stay in sync with the importer
+ * (models::importDot), which rebuilds the layer from exactly these
+ * keys.
+ */
+std::string
+layerAttrString(const Layer &l)
+{
+    std::ostringstream os;
+    switch (l.kind) {
+      case LayerKind::Input: {
+        const TensorShape &s = l.outputShape;
+        os << "batch=" << s.n << ",channels=" << s.c
+           << ",height=" << s.h << ",width=" << s.w;
+        break;
+      }
+      case LayerKind::Conv: {
+        const ConvAttrs &a = l.conv();
+        os << "out=" << a.outChannels << ",kernel_h=" << a.kernelH
+           << ",kernel_w=" << a.kernelW << ",stride_h=" << a.strideH
+           << ",stride_w=" << a.strideW << ",pad_h=" << a.padH
+           << ",pad_w=" << a.padW;
+        break;
+      }
+      case LayerKind::FullyConnected:
+        os << "out=" << l.fc().outFeatures;
+        break;
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool: {
+        const PoolAttrs &a = l.pool();
+        os << "kernel_h=" << a.kernelH << ",kernel_w=" << a.kernelW
+           << ",stride_h=" << a.strideH << ",stride_w=" << a.strideW
+           << ",pad_h=" << a.padH << ",pad_w=" << a.padW;
+        break;
+      }
+      default:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace
+
 std::string
 toDot(const Graph &graph)
 {
@@ -13,8 +59,17 @@ toDot(const Graph &graph)
     for (const Layer &l : graph.layers()) {
         os << "  n" << l.id << " [label=\"" << l.name << "\\n"
            << layerKindName(l.kind) << "\" shape="
-           << (l.hasWeights() ? "box" : "ellipse") << "];\n";
+           << (l.hasWeights() ? "box" : "ellipse") << " accpar_op=\""
+           << layerKindName(l.kind) << "\" accpar_name=\"" << l.name
+           << "\"";
+        const std::string attrs = layerAttrString(l);
+        if (!attrs.empty())
+            os << " accpar_attrs=\"" << attrs << "\"";
+        os << "];\n";
     }
+    // Edge emission order is significant for the importer: edges into a
+    // layer appear in operand order, so a reload reconstructs the same
+    // operand lists (and therefore byte-identical plans).
     for (const Layer &l : graph.layers()) {
         for (LayerId in : l.inputs) {
             os << "  n" << in << " -> n" << l.id << " [label=\""

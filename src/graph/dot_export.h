@@ -1,6 +1,13 @@
 /**
  * @file
- * Graphviz DOT export of a DNN graph, for documentation and debugging.
+ * Graphviz DOT export of a DNN graph.
+ *
+ * Besides the human-facing rendering (labels, shapes, edge tensor
+ * annotations), every node carries machine-readable `accpar_op`,
+ * `accpar_name`, and `accpar_attrs` attributes, making the exported
+ * file a loadable model description: models::importDot reconstructs
+ * the exact graph — layer names, attributes, and operand order — so an
+ * export/import round trip plans byte-identically.
  */
 
 #ifndef ACCPAR_GRAPH_DOT_EXPORT_H
@@ -15,7 +22,8 @@ namespace accpar::graph {
 /**
  * Renders @p graph in Graphviz DOT syntax. Weighted layers are drawn as
  * boxes, everything else as ellipses; edges are annotated with the tensor
- * shape flowing across them.
+ * shape flowing across them. Nodes carry accpar_* attributes so the
+ * output is loadable by models::importDot (see the file comment).
  */
 std::string toDot(const Graph &graph);
 

@@ -1,0 +1,332 @@
+#include "graph/sp_decomposition.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace accpar::graph {
+
+const char *
+spKindName(SpKind kind)
+{
+    switch (kind) {
+      case SpKind::Leaf:
+        return "leaf";
+      case SpKind::Series:
+        return "series";
+      case SpKind::Parallel:
+        return "parallel";
+      case SpKind::Residual:
+        return "residual";
+    }
+    throw util::InternalError("unknown SpKind");
+}
+
+SpNodeId
+SpTree::add(SpNode node)
+{
+    if (node.kind == SpKind::Residual) {
+        ++_residuals;
+        _maxResidual = std::max(_maxResidual, node.internal.size());
+    }
+    _nodes.push_back(std::move(node));
+    return static_cast<SpNodeId>(_nodes.size() - 1);
+}
+
+namespace {
+
+/**
+ * Recursive two-terminal decomposition. Region vertices are tracked
+ * with a stamp array (one int per DAG vertex, compared against a
+ * per-region generation) so membership tests stay O(1) without
+ * per-level allocation of sets.
+ */
+class Decomposer
+{
+  public:
+    Decomposer(const std::vector<std::vector<int>> &succs, SpTree &tree)
+        : _succs(succs), _tree(tree), _n(static_cast<int>(succs.size()))
+    {
+        _preds.resize(_n);
+        for (int u = 0; u < _n; ++u) {
+            for (int v : _succs[u]) {
+                ACCPAR_REQUIRE(v > u && v < _n,
+                               "sp decomposition requires topologically "
+                               "numbered edges, got "
+                                   << u << " -> " << v);
+                _preds[v].push_back(u);
+            }
+        }
+        for (int v = 1; v < _n; ++v) {
+            ACCPAR_REQUIRE(!_preds[v].empty(),
+                           "vertex " << v
+                                     << " is a second source; sp "
+                                        "decomposition requires exactly "
+                                        "one");
+        }
+        for (int u = 0; u + 1 < _n; ++u) {
+            ACCPAR_REQUIRE(!_succs[u].empty(),
+                           "vertex " << u
+                                     << " is a second sink; sp "
+                                        "decomposition requires exactly "
+                                        "one");
+        }
+        _stamp.assign(_n, 0);
+        _idom.assign(_n, -1);
+    }
+
+    SpNodeId
+    run()
+    {
+        if (_n == 1)
+            return kNoSpNode;
+        std::vector<int> internal;
+        internal.reserve(_n - 2);
+        for (int v = 1; v + 1 < _n; ++v)
+            internal.push_back(v);
+        return decompose(0, _n - 1, internal, /*withDirect=*/true);
+    }
+
+  private:
+    /** Number of direct s -> t edges. */
+    int
+    directEdgeCount(int s, int t) const
+    {
+        int count = 0;
+        for (int v : _succs[s])
+            count += v == t;
+        return count;
+    }
+
+    /** Stamps {s} + internal + {t} as the current region. */
+    void
+    stampRegion(int s, int t, const std::vector<int> &internal)
+    {
+        ++_generation;
+        _stamp[s] = _generation;
+        _stamp[t] = _generation;
+        for (int v : internal)
+            _stamp[v] = _generation;
+    }
+
+    bool inRegion(int v) const { return _stamp[v] == _generation; }
+
+    /**
+     * Cut vertices of the region (s, internal, t): the internal
+     * vertices every s -> t path inside the region passes, in
+     * topological order. Cooper-Harvey-Kennedy dominators restricted
+     * to region vertices; when @p withDirect is false, direct s -> t
+     * edges are excluded (they belong to a sibling parallel branch).
+     */
+    std::vector<int>
+    cutVertices(int s, int t, const std::vector<int> &internal,
+                bool withDirect)
+    {
+        _idom[s] = s;
+        auto intersect = [&](int a, int b) {
+            while (a != b) {
+                while (a > b)
+                    a = _idom[a];
+                while (b > a)
+                    b = _idom[b];
+            }
+            return a;
+        };
+        auto compute = [&](int v) {
+            int dom = -1;
+            for (int p : _preds[v]) {
+                if (!inRegion(p) || _idom[p] < 0)
+                    continue;
+                if (!withDirect && v == t && p == s)
+                    continue;
+                dom = dom < 0 ? p : intersect(dom, p);
+            }
+            ACCPAR_ASSERT(dom >= 0,
+                          "region vertex " << v
+                                           << " unreachable from region "
+                                              "source "
+                                           << s);
+            _idom[v] = dom;
+        };
+        for (int v : internal)
+            _idom[v] = -1;
+        _idom[t] = -1;
+        for (int v : internal)
+            compute(v);
+        compute(t);
+
+        std::vector<int> cuts;
+        for (int v = _idom[t]; v != s; v = _idom[v])
+            cuts.push_back(v);
+        std::sort(cuts.begin(), cuts.end());
+        return cuts;
+    }
+
+    /** Weakly-connected components of the internal vertex set. */
+    std::vector<std::vector<int>>
+    components(const std::vector<int> &internal)
+    {
+        // Union-find over internal vertices, keyed by DAG vertex id.
+        std::vector<int> parent(internal);
+        std::vector<int> index(_n, -1);
+        for (std::size_t i = 0; i < internal.size(); ++i)
+            index[internal[i]] = static_cast<int>(i);
+        std::vector<int> rep(internal.size());
+        for (std::size_t i = 0; i < rep.size(); ++i)
+            rep[i] = static_cast<int>(i);
+        auto find = [&](int i) {
+            while (rep[i] != i) {
+                rep[i] = rep[rep[i]];
+                i = rep[i];
+            }
+            return i;
+        };
+        for (int u : internal) {
+            for (int v : _succs[u]) {
+                if (index[v] < 0)
+                    continue;
+                int a = find(index[u]);
+                int b = find(index[v]);
+                if (a != b)
+                    rep[b] = a;
+            }
+        }
+        std::vector<std::vector<int>> out;
+        std::vector<int> slot(internal.size(), -1);
+        for (std::size_t i = 0; i < internal.size(); ++i) {
+            int r = find(static_cast<int>(i));
+            if (slot[r] < 0) {
+                slot[r] = static_cast<int>(out.size());
+                out.emplace_back();
+            }
+            out[slot[r]].push_back(internal[i]);
+        }
+        return out;
+    }
+
+    /** Left-fold of @p parts into a binary node of @p kind. */
+    SpNodeId
+    fold(SpKind kind, int s, int t, const std::vector<SpNodeId> &parts)
+    {
+        ACCPAR_ASSERT(!parts.empty(), "empty composition");
+        SpNodeId acc = parts.front();
+        for (std::size_t i = 1; i < parts.size(); ++i) {
+            SpNode node;
+            node.kind = kind;
+            node.left = acc;
+            node.right = parts[i];
+            if (kind == SpKind::Series) {
+                // Intermediate folds span (s, sink of the rightmost
+                // segment absorbed so far), not the full (s, t).
+                node.source = _tree.node(acc).source;
+                node.sink = _tree.node(parts[i]).sink;
+            } else {
+                node.source = s;
+                node.sink = t;
+            }
+            acc = _tree.add(std::move(node));
+        }
+        return acc;
+    }
+
+    SpNodeId
+    leaf(int s, int t)
+    {
+        SpNode node;
+        node.kind = SpKind::Leaf;
+        node.source = s;
+        node.sink = t;
+        return _tree.add(std::move(node));
+    }
+
+    SpNodeId
+    decompose(int s, int t, const std::vector<int> &internal,
+              bool withDirect)
+    {
+        const int direct = withDirect ? directEdgeCount(s, t) : 0;
+        if (internal.empty()) {
+            ACCPAR_ASSERT(direct > 0,
+                          "empty region " << s << " -> " << t
+                                          << " without a direct edge");
+            std::vector<SpNodeId> leaves;
+            for (int i = 0; i < direct; ++i)
+                leaves.push_back(leaf(s, t));
+            return fold(SpKind::Parallel, s, t, leaves);
+        }
+
+        stampRegion(s, t, internal);
+        const std::vector<int> cuts =
+            cutVertices(s, t, internal, withDirect);
+
+        if (!cuts.empty()) {
+            // Series: every path passes each cut in index order, so
+            // internal vertices split into consecutive index windows.
+            std::vector<int> bounds;
+            bounds.push_back(s);
+            bounds.insert(bounds.end(), cuts.begin(), cuts.end());
+            bounds.push_back(t);
+            std::vector<std::vector<int>> segment(bounds.size() - 1);
+            for (int v : internal) {
+                if (std::binary_search(cuts.begin(), cuts.end(), v))
+                    continue;
+                const std::size_t at =
+                    std::upper_bound(cuts.begin(), cuts.end(), v) -
+                    cuts.begin();
+                segment[at].push_back(v);
+            }
+            std::vector<SpNodeId> parts;
+            for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+                parts.push_back(decompose(bounds[i], bounds[i + 1],
+                                          segment[i],
+                                          /*withDirect=*/true));
+            }
+            return fold(SpKind::Series, s, t, parts);
+        }
+
+        std::vector<std::vector<int>> comps = components(internal);
+        if (comps.size() + direct > 1) {
+            std::vector<SpNodeId> parts;
+            for (int i = 0; i < direct; ++i)
+                parts.push_back(leaf(s, t));
+            for (std::vector<int> &comp : comps) {
+                std::sort(comp.begin(), comp.end());
+                parts.push_back(
+                    decompose(s, t, comp, /*withDirect=*/false));
+            }
+            return fold(SpKind::Parallel, s, t, parts);
+        }
+
+        // One component, no separating vertex, no parallel twin: the
+        // region is irreducibly non-series-parallel.
+        SpNode node;
+        node.kind = SpKind::Residual;
+        node.source = s;
+        node.sink = t;
+        node.internal = internal;
+        std::sort(node.internal.begin(), node.internal.end());
+        return _tree.add(std::move(node));
+    }
+
+    const std::vector<std::vector<int>> &_succs;
+    SpTree &_tree;
+    int _n;
+    std::vector<std::vector<int>> _preds;
+    std::vector<int> _stamp;
+    std::vector<int> _idom;
+    int _generation = 0;
+};
+
+} // namespace
+
+SpTree
+decomposeSpTree(const std::vector<std::vector<int>> &succs)
+{
+    ACCPAR_REQUIRE(!succs.empty(),
+                   "sp decomposition requires at least one vertex");
+    SpTree tree;
+    Decomposer decomposer(succs, tree);
+    tree._root = decomposer.run();
+    return tree;
+}
+
+} // namespace accpar::graph

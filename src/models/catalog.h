@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The unified model frontend: a registry of named model builders.
+ *
+ * Supersedes the ad-hoc free functions of models/zoo.h as the way to
+ * obtain a model by name: `models::catalog().build(name, params)`
+ * with string-keyed parameters (batch, and per-family shape knobs
+ * like depth/heads/hidden for transformers), enumeration for
+ * `accpar models`, and importer-backed entries registered at load
+ * time. The zoo free functions remain as thin wrappers for one
+ * release; new code should go through the catalog.
+ */
+
+#ifndef ACCPAR_MODELS_CATALOG_H
+#define ACCPAR_MODELS_CATALOG_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace accpar::models {
+
+/**
+ * String-keyed build parameters ("batch=512", "depth=12"). Keys are
+ * model-defined; unknown keys are rejected at build time so a typoed
+ * `--param dept=12` cannot silently build the default model.
+ */
+class ModelParams
+{
+  public:
+    ModelParams() = default;
+
+    /** Parses repeated "key=value" tokens (CLI --param occurrences);
+     *  ConfigError on a token without '=' or a duplicate key. */
+    static ModelParams fromKeyValues(
+        const std::vector<std::string> &pairs);
+
+    /** Sets or overwrites one parameter. */
+    void set(const std::string &key, std::string value);
+
+    bool has(const std::string &key) const;
+    std::optional<std::string> get(const std::string &key) const;
+
+    /** Integer value of @p key or @p fallback; ConfigError on
+     *  non-numeric input. */
+    std::int64_t getIntOr(const std::string &key,
+                          std::int64_t fallback) const;
+
+    /** All parameters, key-sorted (the map order). */
+    const std::map<std::string, std::string> &values() const
+    {
+        return _values;
+    }
+
+    bool empty() const { return _values.empty(); }
+
+    /** Canonical "k1=v1,k2=v2" rendering (key-sorted). */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::string> _values;
+};
+
+/** One catalog entry. */
+struct ModelEntry
+{
+    /** Lowercase unique name ("vgg16", "bert-base", ...). */
+    std::string name;
+    /** Family tag for listings: "cnn", "mlp", "transformer",
+     *  "imported". */
+    std::string family;
+    /** One-line description for `accpar models`. */
+    std::string description;
+    /** Parameter keys this entry understands (empty for imported
+     *  entries; built-ins always include "batch"). */
+    std::vector<std::string> params;
+    /** Builds the model graph from validated parameters. */
+    std::function<graph::Graph(const ModelParams &)> build;
+};
+
+/** The model registry. */
+class ModelCatalog
+{
+  public:
+    /** Registers an entry; ConfigError on a duplicate name. */
+    void add(ModelEntry entry);
+
+    /**
+     * Registers an importer-backed entry: building @p name loads
+     * @p path through models::importModel (the "batch" parameter is
+     * rejected — imported files carry their own shapes). The file is
+     * read at build time, not registration time.
+     */
+    void registerImportFile(const std::string &name,
+                            const std::string &path);
+
+    bool contains(const std::string &name) const;
+
+    /** Entry lookup; ConfigError for unknown names (message lists the
+     *  catalog). */
+    const ModelEntry &entry(const std::string &name) const;
+
+    /**
+     * Builds @p name. Rejects parameter keys the entry does not
+     * declare; every built-in entry accepts "batch" (imported entries
+     * take no parameters — the file carries its own shapes).
+     */
+    graph::Graph build(const std::string &name,
+                       const ModelParams &params = {}) const;
+
+    /** All entries in registration order (builtins first). */
+    const std::vector<ModelEntry> &entries() const { return _entries; }
+
+    /** All names in registration order. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::vector<ModelEntry> _entries;
+    std::map<std::string, std::size_t> _index;
+};
+
+/**
+ * The process-wide catalog, populated with the built-in zoo (paper
+ * CNNs, GoogLeNet, MLP, transformer family) on first use. Not
+ * synchronized: register additional entries from one thread before
+ * concurrent planning starts.
+ */
+ModelCatalog &catalog();
+
+} // namespace accpar::models
+
+#endif // ACCPAR_MODELS_CATALOG_H

@@ -1,0 +1,992 @@
+#include "models/import.h"
+
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "analysis/graph_linter.h"
+#include "models/model_io.h"
+#include "util/error.h"
+#include "util/string_util.h"
+
+namespace accpar::models {
+
+namespace {
+
+using analysis::DiagnosticSink;
+using graph::Graph;
+using graph::LayerId;
+using util::Json;
+
+/** Throws the first (most severe) collected finding as a ConfigError. */
+[[noreturn]] void
+throwFirstError(DiagnosticSink &sink)
+{
+    sink.sort();
+    ACCPAR_ASSERT(!sink.empty(),
+                  "importer returned no graph and no diagnostics");
+    throw util::ConfigError(sink.diagnostics().front().toString());
+}
+
+// ---------------------------------------------------------------------
+// DOT (the graph::toDot dialect)
+// ---------------------------------------------------------------------
+
+struct DotNode
+{
+    int id = -1;
+    std::string op;
+    std::string name;
+    /** The accpar_attrs payload, still as "k=v,..." text. */
+    std::string attrs;
+};
+
+struct DotEdge
+{
+    int from = -1;
+    int to = -1;
+};
+
+struct DotModel
+{
+    std::string name;
+    std::vector<DotNode> nodes;
+    /** In file order == operand order (see toDot). */
+    std::vector<DotEdge> edges;
+};
+
+/** Value of a `key="value"` attribute on @p line, if present. */
+std::optional<std::string>
+dotAttr(const std::string &line, const std::string &key)
+{
+    const std::string needle = key + "=\"";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return std::nullopt;
+    const std::size_t begin = at + needle.size();
+    const std::size_t end = line.find('"', begin);
+    if (end == std::string::npos)
+        return std::nullopt;
+    return line.substr(begin, end - begin);
+}
+
+/** Parses "n<digits>" at @p pos; advances @p pos past the digits. */
+std::optional<int>
+dotNodeId(const std::string &text, std::size_t &pos)
+{
+    if (pos >= text.size() || text[pos] != 'n')
+        return std::nullopt;
+    std::size_t digits = pos + 1;
+    while (digits < text.size() && std::isdigit(
+               static_cast<unsigned char>(text[digits])))
+        ++digits;
+    if (digits == pos + 1)
+        return std::nullopt;
+    const int id = std::stoi(text.substr(pos + 1, digits - pos - 1));
+    pos = digits;
+    return id;
+}
+
+/** Splits the file into header, node lines, and edge lines. */
+bool
+parseDot(const std::string &text, DotModel &model, DiagnosticSink &sink)
+{
+    const std::size_t errors_before = sink.errorCount();
+    std::istringstream is(text);
+    std::string raw;
+    bool saw_header = false;
+    int line_no = 0;
+    while (std::getline(is, raw)) {
+        ++line_no;
+        const std::string line = util::trim(raw);
+        const std::string where = "line " + std::to_string(line_no);
+        if (line.empty())
+            continue;
+        if (!saw_header) {
+            if (line.rfind("digraph", 0) != 0) {
+                sink.error("ADOT01", where,
+                           "file does not start with a digraph header",
+                           "only DOT files written by graph::toDot "
+                           "are loadable");
+                return false;
+            }
+            const std::size_t q1 = line.find('"');
+            const std::size_t q2 = q1 == std::string::npos
+                                       ? std::string::npos
+                                       : line.find('"', q1 + 1);
+            model.name = q2 != std::string::npos
+                             ? line.substr(q1 + 1, q2 - q1 - 1)
+                             : "imported-model";
+            saw_header = true;
+            continue;
+        }
+        if (line == "}")
+            break;
+        if (line.find("->") != std::string::npos) {
+            std::size_t pos = 0;
+            const auto from = dotNodeId(line, pos);
+            while (pos < line.size() &&
+                   (line[pos] == ' ' || line[pos] == '-' ||
+                    line[pos] == '>'))
+                ++pos;
+            const auto to = dotNodeId(line, pos);
+            if (!from || !to) {
+                sink.error("ADOT01", where,
+                           "malformed edge line: expected "
+                           "'n<id> -> n<id>'");
+                continue;
+            }
+            model.edges.push_back({*from, *to});
+            continue;
+        }
+        if (line[0] == 'n' &&
+            line.find('[') != std::string::npos) {
+            std::size_t pos = 0;
+            const auto id = dotNodeId(line, pos);
+            if (!id) {
+                sink.error("ADOT01", where,
+                           "malformed node line: expected "
+                           "'n<id> [...]'");
+                continue;
+            }
+            DotNode node;
+            node.id = *id;
+            const auto op = dotAttr(line, "accpar_op");
+            const auto name = dotAttr(line, "accpar_name");
+            if (!op || !name) {
+                sink.error(
+                    "ADOT02", where,
+                    "node n" + std::to_string(*id) +
+                        " lacks accpar_op/accpar_name attributes",
+                    "only DOT files written by graph::toDot carry "
+                    "the machine-readable layer description");
+                continue;
+            }
+            node.op = *op;
+            node.name = *name;
+            node.attrs = dotAttr(line, "accpar_attrs").value_or("");
+            model.nodes.push_back(node);
+            continue;
+        }
+        // Presentation-only lines (rankdir, subgraph styling, ...).
+    }
+    if (!saw_header) {
+        sink.error("ADOT01", "dot document",
+                   "file does not start with a digraph header",
+                   "only DOT files written by graph::toDot are "
+                   "loadable");
+        return false;
+    }
+    if (model.nodes.empty()) {
+        sink.error("ADOT01", "dot document",
+                   "no accpar-annotated node lines found");
+    }
+    return sink.errorCount() == errors_before;
+}
+
+/** Parsed "k=v,..." payload of one node. */
+std::optional<std::map<std::string, std::int64_t>>
+parseDotAttrs(const DotNode &node, DiagnosticSink &sink)
+{
+    std::map<std::string, std::int64_t> out;
+    if (node.attrs.empty())
+        return out;
+    for (const std::string &pair : util::split(node.attrs, ',')) {
+        const std::size_t eq = pair.find('=');
+        bool ok = eq != std::string::npos && eq > 0;
+        if (ok) {
+            try {
+                std::size_t used = 0;
+                const std::int64_t value =
+                    std::stoll(pair.substr(eq + 1), &used);
+                ok = used == pair.size() - eq - 1;
+                if (ok)
+                    out[pair.substr(0, eq)] = value;
+            } catch (const std::exception &) {
+                ok = false;
+            }
+        }
+        if (!ok) {
+            sink.error("ADOT02", "node " + node.name,
+                       "malformed accpar_attrs entry '" + pair + "'",
+                       "entries must be key=<integer>");
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+/** Required integer attribute of a node. */
+std::optional<std::int64_t>
+dotAttrInt(const std::map<std::string, std::int64_t> &attrs,
+           const std::string &key, const DotNode &node,
+           DiagnosticSink &sink)
+{
+    auto it = attrs.find(key);
+    if (it == attrs.end()) {
+        sink.error("ADOT02", "node " + node.name,
+                   "'" + node.op + "' node needs an accpar_attrs '" +
+                       key + "' entry");
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::optional<Graph>
+buildFromDot(const DotModel &model, DiagnosticSink &sink)
+{
+    const std::size_t errors_before = sink.errorCount();
+
+    // Ids must be exactly 0..n-1 in some order; re-index by id so the
+    // construction order is the original (topological) layer order.
+    std::vector<const DotNode *> by_id(model.nodes.size(), nullptr);
+    for (const DotNode &node : model.nodes) {
+        if (node.id < 0 ||
+            static_cast<std::size_t>(node.id) >= by_id.size() ||
+            by_id[node.id] != nullptr) {
+            sink.error("ADOT01", "node " + node.name,
+                       "node ids must be unique and contiguous from "
+                       "n0");
+            return std::nullopt;
+        }
+        by_id[node.id] = &node;
+    }
+    std::vector<std::vector<int>> operands(by_id.size());
+    for (const DotEdge &edge : model.edges) {
+        if (edge.from < 0 ||
+            static_cast<std::size_t>(edge.from) >= by_id.size() ||
+            edge.to < 0 ||
+            static_cast<std::size_t>(edge.to) >= by_id.size()) {
+            sink.error("ADOT01", "dot document",
+                       "edge references a node id that has no node "
+                       "line");
+            return std::nullopt;
+        }
+        if (edge.from >= edge.to) {
+            sink.error("ADOT01", "dot document",
+                       "edge n" + std::to_string(edge.from) + " -> n" +
+                           std::to_string(edge.to) +
+                           " does not increase the node id",
+                       "toDot emits layers in topological id order");
+            return std::nullopt;
+        }
+        operands[edge.to].push_back(edge.from);
+    }
+
+    Graph g(model.name);
+    std::vector<LayerId> ids(by_id.size(), graph::kInvalidLayer);
+    for (std::size_t i = 0; i < by_id.size(); ++i) {
+        const DotNode &node = *by_id[i];
+        const auto attrs = parseDotAttrs(node, sink);
+        if (!attrs)
+            return std::nullopt;
+        const std::vector<int> &ops = operands[i];
+        const auto expectOperands = [&](std::size_t count) {
+            if (ops.size() == count)
+                return true;
+            sink.error("ADOT02", "node " + node.name,
+                       "'" + node.op + "' node takes " +
+                           std::to_string(count) + " inputs, got " +
+                           std::to_string(ops.size()));
+            return false;
+        };
+        const auto operand = [&](std::size_t index) {
+            return ids[ops[index]];
+        };
+        try {
+            if (node.op == "input") {
+                const auto batch = dotAttrInt(*attrs, "batch", node,
+                                              sink);
+                const auto channels =
+                    dotAttrInt(*attrs, "channels", node, sink);
+                const auto height = dotAttrInt(*attrs, "height", node,
+                                               sink);
+                const auto width = dotAttrInt(*attrs, "width", node,
+                                              sink);
+                if (!expectOperands(0) || !batch || !channels ||
+                    !height || !width)
+                    return std::nullopt;
+                ids[i] = g.addInput(
+                    node.name, graph::TensorShape(*batch, *channels,
+                                                  *height, *width));
+            } else if (node.op == "conv") {
+                const auto out = dotAttrInt(*attrs, "out", node, sink);
+                const auto kh = dotAttrInt(*attrs, "kernel_h", node,
+                                           sink);
+                const auto kw = dotAttrInt(*attrs, "kernel_w", node,
+                                           sink);
+                const auto sh = dotAttrInt(*attrs, "stride_h", node,
+                                           sink);
+                const auto sw = dotAttrInt(*attrs, "stride_w", node,
+                                           sink);
+                const auto ph = dotAttrInt(*attrs, "pad_h", node,
+                                           sink);
+                const auto pw = dotAttrInt(*attrs, "pad_w", node,
+                                           sink);
+                if (!expectOperands(1) || !out || !kh || !kw || !sh ||
+                    !sw || !ph || !pw)
+                    return std::nullopt;
+                ids[i] = g.addConv(node.name, operand(0),
+                                   graph::ConvAttrs{*out, *kh, *kw,
+                                                    *sh, *sw, *ph,
+                                                    *pw});
+            } else if (node.op == "fc") {
+                const auto out = dotAttrInt(*attrs, "out", node, sink);
+                if (!expectOperands(1) || !out)
+                    return std::nullopt;
+                ids[i] = g.addFullyConnected(node.name, operand(0),
+                                             *out);
+            } else if (node.op == "maxpool" || node.op == "avgpool") {
+                const auto kh = dotAttrInt(*attrs, "kernel_h", node,
+                                           sink);
+                const auto kw = dotAttrInt(*attrs, "kernel_w", node,
+                                           sink);
+                const auto sh = dotAttrInt(*attrs, "stride_h", node,
+                                           sink);
+                const auto sw = dotAttrInt(*attrs, "stride_w", node,
+                                           sink);
+                const auto ph = dotAttrInt(*attrs, "pad_h", node,
+                                           sink);
+                const auto pw = dotAttrInt(*attrs, "pad_w", node,
+                                           sink);
+                if (!expectOperands(1) || !kh || !kw || !sh || !sw ||
+                    !ph || !pw)
+                    return std::nullopt;
+                const graph::PoolAttrs pool{*kh, *kw, *sh, *sw, *ph,
+                                            *pw};
+                ids[i] = node.op == "maxpool"
+                             ? g.addMaxPool(node.name, operand(0),
+                                            pool)
+                             : g.addAvgPool(node.name, operand(0),
+                                            pool);
+            } else if (node.op == "add") {
+                if (!expectOperands(2))
+                    return std::nullopt;
+                ids[i] = g.addAdd(node.name, operand(0), operand(1));
+            } else if (node.op == "concat") {
+                if (ops.size() < 2) {
+                    sink.error("ADOT02", "node " + node.name,
+                               "'concat' node takes at least two "
+                               "inputs, got " +
+                                   std::to_string(ops.size()));
+                    return std::nullopt;
+                }
+                std::vector<LayerId> inputs;
+                for (std::size_t o = 0; o < ops.size(); ++o)
+                    inputs.push_back(operand(o));
+                ids[i] = g.addConcat(node.name, inputs);
+            } else {
+                const std::map<std::string,
+                               LayerId (Graph::*)(const std::string &,
+                                                  LayerId)>
+                    unary = {{"gavgpool", &Graph::addGlobalAvgPool},
+                             {"relu", &Graph::addRelu},
+                             {"bn", &Graph::addBatchNorm},
+                             {"lrn", &Graph::addLrn},
+                             {"dropout", &Graph::addDropout},
+                             {"flatten", &Graph::addFlatten},
+                             {"softmax", &Graph::addSoftmax}};
+                auto it = unary.find(node.op);
+                if (it == unary.end()) {
+                    sink.error("ADOT02", "node " + node.name,
+                               "unknown accpar_op '" + node.op + "'");
+                    return std::nullopt;
+                }
+                if (!expectOperands(1))
+                    return std::nullopt;
+                ids[i] = (g.*it->second)(node.name, operand(0));
+            }
+        } catch (const util::Error &e) {
+            sink.error("ADOT03", "node " + node.name,
+                       std::string("graph construction failed: ") +
+                           e.what());
+            return std::nullopt;
+        }
+    }
+
+    try {
+        g.validate();
+    } catch (const util::Error &e) {
+        sink.error("ADOT03", "dot document",
+                   std::string("imported graph is malformed: ") +
+                       e.what());
+        return std::nullopt;
+    }
+    if (!analysis::lintGraph(g, sink))
+        return std::nullopt;
+    if (sink.errorCount() != errors_before)
+        return std::nullopt;
+    return g;
+}
+
+// ---------------------------------------------------------------------
+// ONNX-as-JSON (shapes-only subset)
+// ---------------------------------------------------------------------
+
+/** Finds one entry of a node's "attribute" array by name. */
+const Json *
+onnxAttr(const Json &node, const std::string &name)
+{
+    if (!node.contains("attribute") ||
+        node.at("attribute").kind() != Json::Kind::Array)
+        return nullptr;
+    for (const Json &attr : node.at("attribute").asArray()) {
+        if (attr.kind() == Json::Kind::Object &&
+            attr.contains("name") &&
+            attr.at("name").kind() == Json::Kind::String &&
+            attr.at("name").asString() == name)
+            return &attr;
+    }
+    return nullptr;
+}
+
+/** Integer attribute ("i" payload) or @p fallback. */
+std::int64_t
+onnxAttrInt(const Json &node, const std::string &name,
+            std::int64_t fallback)
+{
+    const Json *attr = onnxAttr(node, name);
+    if (attr == nullptr || !attr->contains("i") ||
+        attr->at("i").kind() != Json::Kind::Number)
+        return fallback;
+    return attr->at("i").asInt();
+}
+
+/** Integer-list attribute ("ints" payload), or empty when absent. */
+std::optional<std::vector<std::int64_t>>
+onnxAttrInts(const Json &node, const std::string &name)
+{
+    const Json *attr = onnxAttr(node, name);
+    if (attr == nullptr)
+        return std::nullopt;
+    if (!attr->contains("ints") ||
+        attr->at("ints").kind() != Json::Kind::Array)
+        return std::nullopt;
+    std::vector<std::int64_t> out;
+    for (const Json &v : attr->at("ints").asArray()) {
+        if (v.kind() != Json::Kind::Number)
+            return std::nullopt;
+        out.push_back(v.asInt());
+    }
+    return out;
+}
+
+/**
+ * Symmetric (pad_h, pad_w) from an ONNX "pads" attribute
+ * [h_begin, w_begin, h_end, w_end]; nullopt + diagnostic when the
+ * padding is asymmetric or malformed.
+ */
+std::optional<std::pair<std::int64_t, std::int64_t>>
+onnxPads(const Json &node, const std::string &where,
+         DiagnosticSink &sink)
+{
+    const auto pads = onnxAttrInts(node, "pads");
+    if (!pads)
+        return std::make_pair<std::int64_t, std::int64_t>(0, 0);
+    if (pads->size() == 2)
+        return std::make_pair((*pads)[0], (*pads)[1]);
+    if (pads->size() == 4) {
+        if ((*pads)[0] != (*pads)[2] || (*pads)[1] != (*pads)[3]) {
+            sink.error("AONX02", where,
+                       "asymmetric padding is not supported by the "
+                       "shapes-only importer");
+            return std::nullopt;
+        }
+        return std::make_pair((*pads)[0], (*pads)[1]);
+    }
+    sink.error("AONX02", where,
+               "'pads' must hold 2 or 4 integers, got " +
+                   std::to_string(pads->size()));
+    return std::nullopt;
+}
+
+/** Weight dims (initializer "dims") with an arity check. */
+std::optional<std::vector<std::int64_t>>
+onnxWeightDims(
+    const std::map<std::string, std::vector<std::int64_t>> &weights,
+    const std::string &tensor, std::size_t arity,
+    const std::string &where, DiagnosticSink &sink)
+{
+    auto it = weights.find(tensor);
+    if (it == weights.end()) {
+        sink.error("AONX03", where,
+                   "references tensor '" + tensor +
+                       "', which is neither a node output nor an "
+                       "initializer");
+        return std::nullopt;
+    }
+    if (it->second.size() != arity) {
+        sink.error("AONX02", where,
+                   "weight tensor '" + tensor + "' must have " +
+                       std::to_string(arity) + " dims, got " +
+                       std::to_string(it->second.size()));
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::optional<Graph>
+importOnnx(const Json &doc, DiagnosticSink &sink)
+{
+    if (doc.kind() != Json::Kind::Object || !doc.contains("graph") ||
+        doc.at("graph").kind() != Json::Kind::Object) {
+        sink.error("AONX01", "onnx document",
+                   "document must be a JSON object with a 'graph' "
+                   "object",
+                   "expected an ONNX ModelProto rendered as JSON");
+        return std::nullopt;
+    }
+    const Json &gdoc = doc.at("graph");
+    const std::string name =
+        gdoc.contains("name") &&
+                gdoc.at("name").kind() == Json::Kind::String
+            ? gdoc.at("name").asString()
+            : "onnx-model";
+
+    // Initializers: weight tensors; only name + dims are read.
+    std::map<std::string, std::vector<std::int64_t>> weights;
+    if (gdoc.contains("initializer")) {
+        if (gdoc.at("initializer").kind() != Json::Kind::Array) {
+            sink.error("AONX01", "onnx document",
+                       "'initializer' must be an array");
+            return std::nullopt;
+        }
+        for (const Json &init : gdoc.at("initializer").asArray()) {
+            if (init.kind() != Json::Kind::Object ||
+                !init.contains("name") ||
+                init.at("name").kind() != Json::Kind::String ||
+                !init.contains("dims") ||
+                init.at("dims").kind() != Json::Kind::Array) {
+                sink.error("AONX01", "onnx document",
+                           "initializer entries must be objects with "
+                           "'name' and a 'dims' array");
+                return std::nullopt;
+            }
+            std::vector<std::int64_t> dims;
+            for (const Json &d : init.at("dims").asArray()) {
+                if (d.kind() != Json::Kind::Number) {
+                    sink.error("AONX01", "onnx document",
+                               "initializer '" +
+                                   init.at("name").asString() +
+                                   "' has non-numeric dims");
+                    return std::nullopt;
+                }
+                dims.push_back(d.asInt());
+            }
+            weights[init.at("name").asString()] = std::move(dims);
+        }
+    }
+
+    // The data input: the one graph.input entry that is not a weight.
+    if (!gdoc.contains("input") ||
+        gdoc.at("input").kind() != Json::Kind::Array) {
+        sink.error("AONX01", "onnx document",
+                   "missing 'input' array of value infos");
+        return std::nullopt;
+    }
+    std::string input_name;
+    std::vector<std::int64_t> input_dims;
+    for (const Json &vi : gdoc.at("input").asArray()) {
+        if (vi.kind() != Json::Kind::Object || !vi.contains("name") ||
+            vi.at("name").kind() != Json::Kind::String) {
+            sink.error("AONX01", "onnx document",
+                       "input entries must be objects with a 'name'");
+            return std::nullopt;
+        }
+        const std::string vi_name = vi.at("name").asString();
+        if (weights.count(vi_name))
+            continue; // older opsets list initializers as inputs
+        if (!input_name.empty()) {
+            sink.error("AONX01", "onnx document",
+                       "model has more than one data input ('" +
+                           input_name + "', '" + vi_name + "')",
+                       "the planner handles single-input models");
+            return std::nullopt;
+        }
+        input_name = vi_name;
+        // name.type.tensor_type.shape.dim[*].dim_value
+        const Json *cursor = &vi;
+        for (const char *key :
+             {"type", "tensor_type", "shape"}) {
+            if (!cursor->contains(key) ||
+                cursor->at(key).kind() != Json::Kind::Object) {
+                cursor = nullptr;
+                break;
+            }
+            cursor = &cursor->at(key);
+        }
+        if (cursor == nullptr || !cursor->contains("dim") ||
+            cursor->at("dim").kind() != Json::Kind::Array) {
+            sink.error("AONX01", "input " + vi_name,
+                       "missing type.tensor_type.shape.dim");
+            return std::nullopt;
+        }
+        for (const Json &dim : cursor->at("dim").asArray()) {
+            if (dim.kind() != Json::Kind::Object ||
+                !dim.contains("dim_value") ||
+                dim.at("dim_value").kind() != Json::Kind::Number) {
+                sink.error("AONX01", "input " + vi_name,
+                           "every dim needs a numeric 'dim_value'",
+                           "symbolic dims (dim_param) are not "
+                           "supported — export with fixed shapes");
+                return std::nullopt;
+            }
+            input_dims.push_back(dim.at("dim_value").asInt());
+        }
+    }
+    if (input_name.empty()) {
+        sink.error("AONX01", "onnx document",
+                   "no data input found (every 'input' entry is an "
+                   "initializer)");
+        return std::nullopt;
+    }
+    if (input_dims.size() < 2 || input_dims.size() > 4) {
+        sink.error("AONX01", "input " + input_name,
+                   "input rank must be 2..4 (got " +
+                       std::to_string(input_dims.size()) + ")");
+        return std::nullopt;
+    }
+    input_dims.resize(4, 1);
+
+    if (!gdoc.contains("node") ||
+        gdoc.at("node").kind() != Json::Kind::Array) {
+        sink.error("AONX01", "onnx document",
+                   "missing 'node' array");
+        return std::nullopt;
+    }
+
+    Graph g(name);
+    std::map<std::string, LayerId> values;
+    std::set<std::string> layer_names;
+    try {
+        values[input_name] = g.addInput(
+            input_name,
+            graph::TensorShape(input_dims[0], input_dims[1],
+                               input_dims[2], input_dims[3]));
+        layer_names.insert(input_name);
+
+        int counter = 0;
+        std::size_t index = 0;
+        for (const Json &node : gdoc.at("node").asArray()) {
+            const std::string where =
+                "node[" + std::to_string(index++) + "]";
+            if (node.kind() != Json::Kind::Object ||
+                !node.contains("op_type") ||
+                node.at("op_type").kind() != Json::Kind::String) {
+                sink.error("AONX02", where,
+                           "node entries must be objects with a "
+                           "string 'op_type'");
+                return std::nullopt;
+            }
+            const std::string op = node.at("op_type").asString();
+            std::string node_name =
+                node.contains("name") &&
+                        node.at("name").kind() ==
+                            Json::Kind::String &&
+                        !node.at("name").asString().empty()
+                    ? node.at("name").asString()
+                    : util::toLower(op) + std::to_string(++counter);
+            if (!layer_names.insert(node_name).second) {
+                sink.error("AONX02", where,
+                           "duplicate node name '" + node_name + "'");
+                return std::nullopt;
+            }
+
+            // Split inputs into activations (earlier node outputs)
+            // and weights (initializers).
+            std::vector<LayerId> acts;
+            std::vector<std::string> wts;
+            if (!node.contains("input") ||
+                node.at("input").kind() != Json::Kind::Array ||
+                !node.contains("output") ||
+                node.at("output").kind() != Json::Kind::Array ||
+                node.at("output").asArray().empty()) {
+                sink.error("AONX02", where,
+                           "node needs 'input' and non-empty "
+                           "'output' string arrays");
+                return std::nullopt;
+            }
+            for (const Json &in : node.at("input").asArray()) {
+                if (in.kind() != Json::Kind::String) {
+                    sink.error("AONX02", where,
+                               "'input' entries must be tensor "
+                               "names");
+                    return std::nullopt;
+                }
+                const std::string &tensor = in.asString();
+                if (tensor.empty())
+                    continue; // ONNX optional-input placeholder
+                auto it = values.find(tensor);
+                if (it != values.end()) {
+                    acts.push_back(it->second);
+                } else if (weights.count(tensor)) {
+                    wts.push_back(tensor);
+                } else {
+                    sink.error(
+                        "AONX03", where,
+                        "references tensor '" + tensor +
+                            "', which is neither a node output nor "
+                            "an initializer",
+                        "nodes must be listed in topological "
+                        "order");
+                    return std::nullopt;
+                }
+            }
+            const auto expectActs = [&](std::size_t count) {
+                if (acts.size() == count)
+                    return true;
+                sink.error("AONX02", where,
+                           op + " takes " + std::to_string(count) +
+                               " activation input(s), got " +
+                               std::to_string(acts.size()));
+                return false;
+            };
+
+            const auto expectWeight = [&]() {
+                if (!wts.empty())
+                    return true;
+                sink.error("AONX02", where,
+                           op + " needs a weight initializer input");
+                return false;
+            };
+
+            LayerId id = graph::kInvalidLayer;
+            if (op == "Conv") {
+                if (!expectActs(1) || !expectWeight())
+                    return std::nullopt;
+                const auto dims = onnxWeightDims(weights, wts[0], 4,
+                                                 where, sink);
+                if (!dims)
+                    return std::nullopt;
+                const auto kernel =
+                    onnxAttrInts(node, "kernel_shape")
+                        .value_or(std::vector<std::int64_t>{
+                            (*dims)[2], (*dims)[3]});
+                const auto strides =
+                    onnxAttrInts(node, "strides")
+                        .value_or(std::vector<std::int64_t>{1, 1});
+                const auto pads = onnxPads(node, where, sink);
+                if (!pads || kernel.size() != 2 ||
+                    strides.size() != 2) {
+                    if (pads)
+                        sink.error("AONX02", where,
+                                   "kernel_shape/strides must hold "
+                                   "two integers");
+                    return std::nullopt;
+                }
+                id = g.addConv(node_name, acts[0],
+                               graph::ConvAttrs{(*dims)[0], kernel[0],
+                                                kernel[1], strides[0],
+                                                strides[1],
+                                                pads->first,
+                                                pads->second});
+            } else if (op == "Gemm" || op == "MatMul") {
+                if (!expectActs(1) || !expectWeight())
+                    return std::nullopt;
+                const auto dims = onnxWeightDims(weights, wts[0], 2,
+                                                 where, sink);
+                if (!dims)
+                    return std::nullopt;
+                const bool trans_b =
+                    op == "Gemm" && onnxAttrInt(node, "transB", 0) != 0;
+                id = g.addFullyConnected(
+                    node_name, acts[0],
+                    trans_b ? (*dims)[0] : (*dims)[1]);
+            } else if (op == "MaxPool" || op == "AveragePool") {
+                if (!expectActs(1))
+                    return std::nullopt;
+                const auto kernel = onnxAttrInts(node, "kernel_shape");
+                if (!kernel || kernel->size() != 2) {
+                    sink.error("AONX02", where,
+                               op + " needs a two-integer "
+                                    "'kernel_shape' attribute");
+                    return std::nullopt;
+                }
+                const auto strides =
+                    onnxAttrInts(node, "strides").value_or(*kernel);
+                const auto pads = onnxPads(node, where, sink);
+                if (!pads || strides.size() != 2) {
+                    if (pads)
+                        sink.error("AONX02", where,
+                                   "'strides' must hold two "
+                                   "integers");
+                    return std::nullopt;
+                }
+                const graph::PoolAttrs pool{
+                    (*kernel)[0], (*kernel)[1], strides[0],
+                    strides[1], pads->first, pads->second};
+                id = op == "MaxPool"
+                         ? g.addMaxPool(node_name, acts[0], pool)
+                         : g.addAvgPool(node_name, acts[0], pool);
+            } else if (op == "Add") {
+                if (!wts.empty()) {
+                    sink.error("AONX02", where,
+                               "Add with an initializer operand "
+                               "(bias/constant add) is not supported "
+                               "by the shapes-only importer");
+                    return std::nullopt;
+                }
+                if (!expectActs(2))
+                    return std::nullopt;
+                id = g.addAdd(node_name, acts[0], acts[1]);
+            } else if (op == "Concat") {
+                const std::int64_t axis =
+                    onnxAttrInt(node, "axis", 1);
+                if (axis != 1) {
+                    sink.error("AONX02", where,
+                               "Concat axis must be 1 (channels), "
+                               "got " + std::to_string(axis));
+                    return std::nullopt;
+                }
+                if (acts.size() < 2 || !wts.empty()) {
+                    sink.error("AONX02", where,
+                               "Concat takes two or more activation "
+                               "inputs");
+                    return std::nullopt;
+                }
+                id = g.addConcat(node_name, acts);
+            } else {
+                const std::map<std::string,
+                               LayerId (Graph::*)(const std::string &,
+                                                  LayerId)>
+                    unary = {
+                        {"GlobalAveragePool",
+                         &Graph::addGlobalAvgPool},
+                        {"Relu", &Graph::addRelu},
+                        {"BatchNormalization", &Graph::addBatchNorm},
+                        {"LRN", &Graph::addLrn},
+                        {"Dropout", &Graph::addDropout},
+                        {"Flatten", &Graph::addFlatten},
+                        {"Softmax", &Graph::addSoftmax}};
+                auto it = unary.find(op);
+                if (it == unary.end()) {
+                    sink.error(
+                        "AONX02", where,
+                        "unsupported op_type '" + op + "'",
+                        "supported: Conv, Gemm, MatMul, MaxPool, "
+                        "AveragePool, GlobalAveragePool, Relu, "
+                        "BatchNormalization, LRN, Dropout, Add, "
+                        "Concat, Flatten, Softmax");
+                    return std::nullopt;
+                }
+                // Extra weight operands (BN scale/bias, dropout
+                // ratio, ...) are shape-irrelevant and ignored.
+                if (!expectActs(1))
+                    return std::nullopt;
+                id = (g.*it->second)(node_name, acts[0]);
+            }
+
+            const Json &out = node.at("output").asArray().front();
+            if (out.kind() != Json::Kind::String) {
+                sink.error("AONX02", where,
+                           "'output' entries must be tensor names");
+                return std::nullopt;
+            }
+            if (!values.emplace(out.asString(), id).second) {
+                sink.error("AONX02", where,
+                           "duplicate output tensor '" +
+                               out.asString() + "'");
+                return std::nullopt;
+            }
+        }
+        g.validate();
+    } catch (const util::Error &e) {
+        sink.error("AONX04", "onnx document",
+                   std::string("graph construction failed: ") +
+                       e.what());
+        return std::nullopt;
+    }
+    if (!analysis::lintGraph(g, sink))
+        return std::nullopt;
+    return g;
+}
+
+/** True when @p path ends in @p suffix. */
+bool
+endsWith(const std::string &path, const std::string &suffix)
+{
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+std::optional<graph::Graph>
+importDot(const std::string &text, analysis::DiagnosticSink &sink)
+{
+    DotModel model;
+    if (!parseDot(text, model, sink))
+        return std::nullopt;
+    return buildFromDot(model, sink);
+}
+
+graph::Graph
+importDot(const std::string &text)
+{
+    DiagnosticSink sink;
+    auto g = importDot(text, sink);
+    if (!g)
+        throwFirstError(sink);
+    return *g;
+}
+
+std::optional<graph::Graph>
+importOnnxJson(const util::Json &doc, analysis::DiagnosticSink &sink)
+{
+    return importOnnx(doc, sink);
+}
+
+graph::Graph
+importOnnxJson(const util::Json &doc)
+{
+    DiagnosticSink sink;
+    auto g = importOnnx(doc, sink);
+    if (!g)
+        throwFirstError(sink);
+    return *g;
+}
+
+std::optional<graph::Graph>
+importModel(const std::string &path, analysis::DiagnosticSink &sink)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        sink.error(endsWith(path, ".dot") ? "ADOT01" : "AMIO01", path,
+                   "cannot open model file for reading",
+                   "check the path and permissions");
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (endsWith(path, ".dot"))
+        return importDot(text.str(), sink);
+
+    Json doc;
+    try {
+        doc = Json::parse(text.str());
+    } catch (const util::Error &e) {
+        sink.error("AMIO01", path,
+                   std::string("file is not valid JSON: ") + e.what());
+        return std::nullopt;
+    }
+    if (doc.kind() == Json::Kind::Object && doc.contains("graph"))
+        return importOnnx(doc, sink);
+    return modelFromJson(doc, sink);
+}
+
+graph::Graph
+importModel(const std::string &path)
+{
+    DiagnosticSink sink;
+    auto g = importModel(path, sink);
+    if (!g)
+        throwFirstError(sink);
+    return *g;
+}
+
+} // namespace accpar::models

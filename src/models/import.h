@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The unified shapes-only model importer.
+ *
+ * Three on-disk formats converge on one entry point, importModel():
+ *
+ *  - `.dot` — the loadable Graphviz format graph::toDot emits. Every
+ *    node carries `accpar_op` / `accpar_name` / `accpar_attrs`
+ *    attributes and edges appear in operand order, so an
+ *    export/import round trip reconstructs the exact graph and plans
+ *    byte-identically. Foreign DOT files without the accpar_*
+ *    attributes are rejected with a diagnostic, not mis-imported.
+ *
+ *  - ONNX-as-JSON — a minimal shapes-only subset of the ONNX
+ *    ModelProto rendered as JSON (the output of
+ *    `onnx.printable_graph`-style JSON dumps): `graph.input` value
+ *    infos give the data input shape, `graph.initializer` entries
+ *    give weight dims (only `name` and `dims` are read — no tensor
+ *    payloads), and `graph.node` entries give the operator DAG.
+ *    Supported op_types: Conv, Gemm, MatMul, MaxPool, AveragePool,
+ *    GlobalAveragePool, Relu, BatchNormalization, LRN, Dropout, Add,
+ *    Concat, Flatten, Softmax. Anything else is a diagnostic — the
+ *    importer never silently drops an operator.
+ *
+ *  - the native JSON model description of models/model_io.h,
+ *    unchanged.
+ *
+ * Dispatch is by content, not just extension: `.dot` files go to the
+ * DOT parser; `.json` files go to the ONNX reader when the document
+ * has a "graph" object and to the native reader otherwise.
+ *
+ * Each importer has a throwing form (ConfigError carrying the first
+ * diagnostic) and a sink form that collects every finding (DOT:
+ * ADOT01..ADOT03; ONNX: AONX01..AONX04 — see DESIGN.md §9) and
+ * returns std::nullopt on error. Successfully built graphs are run
+ * through the graph linter, so an imported model satisfies every
+ * structural invariant the solvers assume.
+ */
+
+#ifndef ACCPAR_MODELS_IMPORT_H
+#define ACCPAR_MODELS_IMPORT_H
+
+#include <optional>
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "graph/graph.h"
+#include "util/json.h"
+
+namespace accpar::models {
+
+/** Builds a graph from DOT text in the graph::toDot dialect. */
+graph::Graph importDot(const std::string &text);
+
+/** Diagnostic-collecting variant (codes ADOT01..ADOT03). */
+std::optional<graph::Graph> importDot(const std::string &text,
+                                      analysis::DiagnosticSink &sink);
+
+/** Builds a graph from a parsed ONNX-as-JSON document. */
+graph::Graph importOnnxJson(const util::Json &doc);
+
+/** Diagnostic-collecting variant (codes AONX01..AONX04). */
+std::optional<graph::Graph>
+importOnnxJson(const util::Json &doc, analysis::DiagnosticSink &sink);
+
+/**
+ * Reads and builds a model from @p path, dispatching on format (see
+ * the file comment). Throws ConfigError on malformed input.
+ */
+graph::Graph importModel(const std::string &path);
+
+/** Diagnostic-collecting variant of importModel. */
+std::optional<graph::Graph>
+importModel(const std::string &path, analysis::DiagnosticSink &sink);
+
+} // namespace accpar::models
+
+#endif // ACCPAR_MODELS_IMPORT_H

@@ -1,0 +1,111 @@
+#include "models/transformer.h"
+
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace accpar::models {
+
+using graph::Graph;
+using graph::LayerId;
+using graph::TensorShape;
+
+namespace {
+
+/** One encoder block: multi-head attention + MLP, both residual. */
+LayerId
+transformerBlock(Graph &g, const std::string &name, LayerId x,
+                 const TransformerConfig &cfg)
+{
+    // Attention. The QKV projection forks into per-head branches that
+    // rejoin at a channel Concat, all nested inside the residual —
+    // inner join (Concat) and outer join (Add) are distinct nodes, so
+    // the block keeps the cleanly nested fork/join structure of §5.2.
+    const std::int64_t head_dim = cfg.hidden / cfg.heads;
+    LayerId qkv = g.addFullyConnected(name + "_qkv", x, 3 * cfg.hidden);
+    std::vector<LayerId> heads;
+    heads.reserve(cfg.heads);
+    for (std::int64_t h = 0; h < cfg.heads; ++h) {
+        const std::string head = name + "_h" + std::to_string(h);
+        LayerId attn = g.addSoftmax(head + "_attn", qkv);
+        heads.push_back(
+            g.addFullyConnected(head + "_mix", attn, head_dim));
+    }
+    LayerId cat = g.addConcat(name + "_heads", heads);
+    LayerId proj = g.addFullyConnected(name + "_proj", cat, cfg.hidden);
+    proj = g.addDropout(name + "_proj_drop", proj);
+    LayerId attn_out = g.addAdd(name + "_attn_res", proj, x);
+
+    // MLP with the second residual.
+    LayerId mlp = g.addFullyConnected(name + "_fc1", attn_out,
+                                      cfg.mlpRatio * cfg.hidden);
+    mlp = g.addRelu(name + "_fc1_act", mlp);
+    mlp = g.addFullyConnected(name + "_fc2", mlp, cfg.hidden);
+    mlp = g.addDropout(name + "_fc2_drop", mlp);
+    return g.addAdd(name + "_mlp_res", mlp, attn_out);
+}
+
+} // namespace
+
+Graph
+buildTransformer(const std::string &name, const TransformerConfig &cfg)
+{
+    ACCPAR_REQUIRE(cfg.batch >= 1, "batch must be positive");
+    ACCPAR_REQUIRE(cfg.seq >= 1, "seq must be positive");
+    ACCPAR_REQUIRE(cfg.depth >= 1, "depth must be positive");
+    ACCPAR_REQUIRE(cfg.heads >= 1, "heads must be positive");
+    ACCPAR_REQUIRE(cfg.mlpRatio >= 1, "mlp ratio must be positive");
+    ACCPAR_REQUIRE(cfg.hidden % cfg.heads == 0,
+                   "hidden (" << cfg.hidden
+                              << ") must be divisible by heads ("
+                              << cfg.heads << ")");
+    Graph g(name);
+    // Tokens on the batch axis: (batch * seq, hidden, 1, 1).
+    LayerId x = g.addInput(
+        "tokens", TensorShape(cfg.batch * cfg.seq, cfg.hidden, 1, 1));
+    // Embedding lookup modeled as an input projection.
+    x = g.addFullyConnected("embed", x, cfg.hidden);
+    for (std::int64_t d = 0; d < cfg.depth; ++d)
+        x = transformerBlock(g, "blk" + std::to_string(d), x, cfg);
+    if (cfg.vocab > 0) {
+        x = g.addFullyConnected("lm_head", x, cfg.vocab);
+        x = g.addSoftmax("lm_softmax", x);
+    } else {
+        x = g.addFullyConnected("pooler", x, cfg.hidden);
+        x = g.addFullyConnected("classifier", x, 2);
+        x = g.addSoftmax("cls_softmax", x);
+    }
+    g.validate();
+    return g;
+}
+
+Graph
+buildBertBase(std::int64_t batch)
+{
+    TransformerConfig cfg;
+    cfg.batch = batch;
+    return buildTransformer("bert-base", cfg);
+}
+
+Graph
+buildBertLarge(std::int64_t batch)
+{
+    TransformerConfig cfg;
+    cfg.batch = batch;
+    cfg.depth = 24;
+    cfg.hidden = 1024;
+    cfg.heads = 16;
+    return buildTransformer("bert-large", cfg);
+}
+
+Graph
+buildGptDecoder(std::int64_t batch)
+{
+    TransformerConfig cfg;
+    cfg.batch = batch;
+    cfg.vocab = 50257;
+    return buildTransformer("gpt-decoder", cfg);
+}
+
+} // namespace accpar::models

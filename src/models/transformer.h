@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Transformer-family models (shapes-only, FC-dominated).
+ *
+ * Token positions are folded into the batch dimension (N = batch * seq,
+ * C = hidden, spatial 1x1), so every projection is a FullyConnected
+ * layer and the partition search sees the B / D_i / D_o structure the
+ * paper's Tables 4-6 describe. Each encoder block is built from the
+ * graph vocabulary the condensation understands:
+ *
+ *   x ── qkv FC (H -> 3H) ── per-head mixing FCs (3H -> H/heads,
+ *        `heads` parallel branches, softmax in each) ── Concat ──
+ *        proj FC (H -> H) ── Dropout ──┐
+ *   └──────────────── residual ────── Add
+ *   followed by the MLP:  fc1 (H -> r*H) ── ReLU ── fc2 (r*H -> H)
+ *        ── Dropout ── Add (second residual)
+ *
+ * Modeling notes (documented approximations): the weightless
+ * softmax(QK^T)V mixing is represented by the small per-head FCs so
+ * the multi-head parallel region is visible to the partition search;
+ * there is no slice operator, so each head FC consumes the full QKV
+ * tensor. Embedding lookups are represented by an input projection
+ * FC. Weight totals land within ~25% of the published architectures,
+ * and the fork/join nesting (heads inside a residual) is exactly the
+ * §5.2 structure the chain decomposition recognizes.
+ */
+
+#ifndef ACCPAR_MODELS_TRANSFORMER_H
+#define ACCPAR_MODELS_TRANSFORMER_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace accpar::models {
+
+/** Shape parameters of one transformer stack. */
+struct TransformerConfig
+{
+    /** Sequences per step; tokens = batch * seq. */
+    std::int64_t batch = 32;
+    std::int64_t seq = 128;
+    std::int64_t hidden = 768;
+    std::int64_t depth = 12;
+    std::int64_t heads = 12;
+    /** MLP expansion ratio (4 in BERT/GPT-2). */
+    std::int64_t mlpRatio = 4;
+    /**
+     * Output vocabulary of the LM head; 0 means a pooled
+     * classification head (BERT-style) instead of a decoder head.
+     */
+    std::int64_t vocab = 0;
+};
+
+/** Builds an encoder/decoder stack named @p name from @p config. */
+graph::Graph buildTransformer(const std::string &name,
+                              const TransformerConfig &config);
+
+/** BERT-base: depth 12, hidden 768, 12 heads, classification head. */
+graph::Graph buildBertBase(std::int64_t batch);
+
+/** BERT-large: depth 24, hidden 1024, 16 heads. */
+graph::Graph buildBertLarge(std::int64_t batch);
+
+/** GPT-style decoder: depth 12, hidden 768, LM head over 50257
+ *  tokens. */
+graph::Graph buildGptDecoder(std::int64_t batch);
+
+} // namespace accpar::models
+
+#endif // ACCPAR_MODELS_TRANSFORMER_H

@@ -1,7 +1,6 @@
 #include "models/zoo.h"
 
-#include "util/error.h"
-#include "util/string_util.h"
+#include "models/catalog.h"
 
 namespace accpar::models {
 
@@ -15,28 +14,9 @@ modelNames()
 graph::Graph
 buildModel(const std::string &name, std::int64_t batch)
 {
-    const std::string key = util::toLower(util::trim(name));
-    if (key == "lenet")
-        return buildLenet(batch);
-    if (key == "alexnet")
-        return buildAlexnet(batch);
-    if (key == "vgg11")
-        return buildVgg(11, batch);
-    if (key == "vgg13")
-        return buildVgg(13, batch);
-    if (key == "vgg16")
-        return buildVgg(16, batch);
-    if (key == "vgg19")
-        return buildVgg(19, batch);
-    if (key == "resnet18")
-        return buildResnet(18, batch);
-    if (key == "resnet34")
-        return buildResnet(34, batch);
-    if (key == "resnet50")
-        return buildResnet(50, batch);
-    if (key == "googlenet")
-        return buildGooglenet(batch);
-    throw util::ConfigError("unknown model name: " + name);
+    ModelParams params;
+    params.set("batch", std::to_string(batch));
+    return catalog().build(name, params);
 }
 
 } // namespace accpar::models

@@ -3,6 +3,11 @@
  * Model zoo: builders for the nine DNNs used in the paper's evaluation
  * (§6.1): LeNet-5 on MNIST shapes and AlexNet, Vgg11/13/16/19,
  * ResNet18/34/50 on ImageNet shapes.
+ *
+ * @deprecated The free functions below remain as thin wrappers for
+ * existing callers; new code should obtain models through
+ * models::catalog() (models/catalog.h), which also covers the
+ * transformer family, parameterized shapes, and imported files.
  */
 
 #ifndef ACCPAR_MODELS_ZOO_H
@@ -46,9 +51,12 @@ graph::Graph buildMlp(std::int64_t batch,
 std::vector<std::string> modelNames();
 
 /**
- * Builds a model by lowercase @p name ("lenet", "alexnet", "vgg11",
- * "vgg13", "vgg16", "vgg19", "resnet18", "resnet34", "resnet50").
+ * Builds a model by lowercase @p name. Forwards to
+ * models::catalog().build with the given batch, so every catalog
+ * entry (paper CNNs, googlenet, mlp, transformers) is accepted.
  * Throws ConfigError for unknown names.
+ *
+ * @deprecated Use models::catalog().build(name, params) directly.
  */
 graph::Graph buildModel(const std::string &name, std::int64_t batch);
 

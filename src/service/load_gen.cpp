@@ -139,6 +139,12 @@ requestLine(const LoadGenConfig &config, const std::string &kind,
     if (kind == "plan") {
         doc["model"] = config.model;
         doc["batch"] = static_cast<std::int64_t>(config.batch);
+        if (!config.params.empty()) {
+            util::Json params = util::Json::Object{};
+            for (const auto &[key, value] : config.params)
+                params[key] = value;
+            doc["params"] = std::move(params);
+        }
         doc["array"] = config.array;
         doc["strategy"] = config.strategy;
     } else if (kind == "validate") {

@@ -41,6 +41,8 @@ struct LoadGenConfig
     /** Payload of the plan requests. */
     std::string model = "lenet";
     std::int64_t batch = 32;
+    /** Catalog build parameters, sent as the "params" object. */
+    std::map<std::string, std::string> params;
     std::string array = "tpu-v3:2";
     std::string strategy = "accpar";
     /** Send a shutdown request once the run completes. */

@@ -8,8 +8,8 @@
 #include "core/plan_io.h"
 #include "core/planner.h"
 #include "hw/topology.h"
+#include "models/catalog.h"
 #include "models/model_io.h"
-#include "models/zoo.h"
 #include "strategies/registry.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -231,10 +231,16 @@ PlanService::executePlan(const ServiceRequest &request,
     // client's fault (unknown model, bad array spec): ASRV04.
     std::unique_ptr<PlanRequest> plan_request;
     try {
-        graph::Graph model =
-            request.modelDoc
-                ? models::modelFromJson(*request.modelDoc)
-                : models::buildModel(request.modelName, request.batch);
+        graph::Graph model = [&] {
+            if (request.modelDoc)
+                return models::modelFromJson(*request.modelDoc);
+            models::ModelParams params;
+            for (const auto &[key, value] : request.params)
+                params.set(key, value);
+            if (!params.has("batch"))
+                params.set("batch", std::to_string(request.batch));
+            return models::catalog().build(request.modelName, params);
+        }();
         hw::AcceleratorGroup array = hw::parseArraySpec(request.array);
         // Reject unknown strategy names before solving (and before the
         // cache, so a bad name can never be memoized).

@@ -130,6 +130,25 @@ parseRequest(const std::string &line)
                 "field 'batch' must be a positive integer");
         request.batch = static_cast<std::int64_t>(batch);
 
+        if (const util::Json *params = member(doc, "params")) {
+            if (params->kind() != util::Json::Kind::Object)
+                throw util::ConfigError(
+                    "field 'params' must be an object of build "
+                    "parameters");
+            for (const auto &[key, value] : params->asObject()) {
+                if (value.kind() == util::Json::Kind::String) {
+                    request.params[key] = value.asString();
+                } else if (value.kind() == util::Json::Kind::Number) {
+                    request.params[key] =
+                        std::to_string(value.asInt());
+                } else {
+                    throw util::ConfigError(
+                        "params '" + key +
+                        "' must be a string or an integer");
+                }
+            }
+        }
+
         request.array = stringField(doc, "array", request.array);
         request.strategy =
             stringField(doc, "strategy", request.strategy);

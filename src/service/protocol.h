@@ -7,8 +7,14 @@
  *
  *   plan      search a partition plan
  *             {"kind":"plan", "id":…, "model":"vgg16"|{inline doc},
- *              "batch":512, "array":"hetero", "strategy":"accpar",
+ *              "batch":512, "params":{"depth":12, "heads":8},
+ *              "array":"hetero", "strategy":"accpar",
  *              "verify":true, "strict":false, "deadline_ms":0}
+ *             "model" names any models::catalog() entry (`accpar
+ *             models` lists them); "params" carries the entry's build
+ *             parameters (values are strings or integers; "batch" is
+ *             shorthand for params.batch and loses to an explicit
+ *             one)
  *             the payload carries "certificate_fingerprint": the
  *             16-hex-digit FNV-1a fingerprint of the solve's plan
  *             certificate (see core/certificate_io.h), so a response —
@@ -40,6 +46,7 @@
 #ifndef ACCPAR_SERVICE_PROTOCOL_H
 #define ACCPAR_SERVICE_PROTOCOL_H
 
+#include <map>
 #include <optional>
 #include <string>
 #include <variant>
@@ -75,9 +82,11 @@ struct ServiceRequest
 
     /** Inline model document ("model" was an object). */
     std::optional<util::Json> modelDoc;
-    /** Zoo model name ("model" was a string; plan only). */
+    /** Catalog model name ("model" was a string; plan only). */
     std::string modelName = "vgg16";
     std::int64_t batch = 512;
+    /** Catalog build parameters ("params" object, stringified). */
+    std::map<std::string, std::string> params;
     std::string array = "hetero";
     std::string strategy = "accpar";
     bool verify = true;

@@ -25,7 +25,9 @@ Args::Args(std::vector<std::string> argv,
         ACCPAR_REQUIRE(!body.empty(), "bare '--' is not a valid flag");
         const std::size_t eq = body.find('=');
         if (eq != std::string::npos) {
-            _options[body.substr(0, eq)] = body.substr(eq + 1);
+            const std::string name = body.substr(0, eq);
+            _options[name] = body.substr(eq + 1);
+            _occurrences[name].push_back(body.substr(eq + 1));
             continue;
         }
         if (is_switch(body)) {
@@ -35,6 +37,7 @@ Args::Args(std::vector<std::string> argv,
         ACCPAR_REQUIRE(i + 1 < argv.size(),
                        "flag --" << body << " needs a value");
         _options[body] = argv[++i];
+        _occurrences[body].push_back(argv[i]);
     }
 }
 
@@ -50,6 +53,15 @@ Args::get(const std::string &name) const
     auto it = _options.find(name);
     if (it == _options.end())
         return std::nullopt;
+    return it->second;
+}
+
+std::vector<std::string>
+Args::getAll(const std::string &name) const
+{
+    auto it = _occurrences.find(name);
+    if (it == _occurrences.end())
+        return {};
     return it->second;
 }
 

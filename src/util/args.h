@@ -37,8 +37,12 @@ class Args
     /** True when --name was given (switch or valued). */
     bool has(const std::string &name) const;
 
-    /** Value of --name or std::nullopt. */
+    /** Value of --name or std::nullopt (last occurrence wins). */
     std::optional<std::string> get(const std::string &name) const;
+
+    /** Every occurrence of --name, in command-line order (empty when
+     *  absent). For repeatable flags like `--param k=v`. */
+    std::vector<std::string> getAll(const std::string &name) const;
 
     /** Value of --name or @p fallback. */
     std::string getOr(const std::string &name,
@@ -60,6 +64,8 @@ class Args
   private:
     std::vector<std::string> _positional;
     std::map<std::string, std::string> _options;
+    /** Every occurrence per flag, in command-line order. */
+    std::map<std::string, std::vector<std::string>> _occurrences;
     std::map<std::string, bool> _switches;
 };
 

@@ -114,7 +114,7 @@ TEST(PlannerTest, RepeatedRequestsHitTheMemoCache)
               planBytes(first.plan, hw::Hierarchy(request.array)));
 }
 
-TEST(PlannerTest, PlanManyMatchesIndividualPlans)
+TEST(PlannerTest, PlanBatchMatchesIndividualPlans)
 {
     const hw::AcceleratorGroup array = hw::heterogeneousTpuArrayForLevels(3);
     const hw::Hierarchy hierarchy(array);
@@ -128,7 +128,7 @@ TEST(PlannerTest, PlanManyMatchesIndividualPlans)
 
     Planner batch_planner;
     const std::vector<PlanResult> together =
-        batch_planner.planMany(requests);
+        batch_planner.planBatch(requests);
     ASSERT_EQ(together.size(), requests.size());
 
     for (std::size_t i = 0; i < requests.size(); ++i) {

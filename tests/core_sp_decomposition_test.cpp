@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests for the structural SP decomposition (graph/sp_decomposition.h)
+ * and the SP-tree solver (core/sp_solver.h): decomposition shapes,
+ * totality invariants, the randomized-DAG equivalence against the
+ * 3^N brute-force oracle, and the AG009 exact-fallback bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/hierarchical_solver.h"
+#include "core/sp_solver.h"
+#include "graph/sp_decomposition.h"
+#include "hw/hierarchy.h"
+#include "sim/training_sim.h"
+#include "strategies/registry.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace accpar;
+using graph::SpKind;
+using graph::SpTree;
+
+/** Internal vertices owned by Series cuts and Residual sets must
+ *  partition the DAG's internal vertex set (decomposition totality). */
+void
+expectTotalOwnership(const SpTree &tree, int vertices)
+{
+    if (tree.root() == graph::kNoSpNode) {
+        EXPECT_EQ(vertices, 1);
+        return;
+    }
+    std::size_t owned = 0;
+    for (const graph::SpNode &node : tree.nodes()) {
+        if (node.kind == SpKind::Series)
+            ++owned;
+        else if (node.kind == SpKind::Residual)
+            owned += node.internal.size();
+    }
+    EXPECT_EQ(owned, static_cast<std::size_t>(vertices) - 2);
+}
+
+TEST(SpDecomposition, ChainDecomposesAsSeries)
+{
+    const SpTree tree =
+        graph::decomposeSpTree({{1}, {2}, {3}, {}});
+    ASSERT_NE(tree.root(), graph::kNoSpNode);
+    EXPECT_TRUE(tree.seriesParallel());
+    EXPECT_EQ(tree.node(tree.root()).kind, SpKind::Series);
+    EXPECT_EQ(tree.node(tree.root()).source, 0);
+    EXPECT_EQ(tree.node(tree.root()).sink, 3);
+    expectTotalOwnership(tree, 4);
+}
+
+TEST(SpDecomposition, DiamondDecomposesAsParallel)
+{
+    const SpTree tree =
+        graph::decomposeSpTree({{1, 2}, {3}, {3}, {}});
+    EXPECT_TRUE(tree.seriesParallel());
+    EXPECT_EQ(tree.node(tree.root()).kind, SpKind::Parallel);
+    expectTotalOwnership(tree, 4);
+}
+
+TEST(SpDecomposition, ParallelEdgesBecomeLeafBranches)
+{
+    const SpTree tree = graph::decomposeSpTree({{1, 1}, {}});
+    EXPECT_TRUE(tree.seriesParallel());
+    ASSERT_EQ(tree.node(tree.root()).kind, SpKind::Parallel);
+    EXPECT_EQ(tree.node(tree.node(tree.root()).left).kind,
+              SpKind::Leaf);
+    EXPECT_EQ(tree.node(tree.node(tree.root()).right).kind,
+              SpKind::Leaf);
+}
+
+TEST(SpDecomposition, BridgeBecomesResidual)
+{
+    // Wheatstone bridge: 0->1, 0->2, 1->2, 1->3, 2->3. No internal
+    // vertex lies on every 0->3 path and {1, 2} stay connected, so
+    // the region is one Residual with both internal vertices.
+    const SpTree tree =
+        graph::decomposeSpTree({{1, 2}, {2, 3}, {3}, {}});
+    EXPECT_FALSE(tree.seriesParallel());
+    EXPECT_EQ(tree.residualCount(), 1u);
+    EXPECT_EQ(tree.maxResidualSize(), 2u);
+    expectTotalOwnership(tree, 4);
+}
+
+TEST(SpDecomposition, SingleVertexHasEmptyTree)
+{
+    const SpTree tree = graph::decomposeSpTree({{}});
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.root(), graph::kNoSpNode);
+    EXPECT_TRUE(tree.seriesParallel());
+}
+
+TEST(SpDecomposition, RejectsNonTopologicalEdges)
+{
+    EXPECT_THROW(graph::decomposeSpTree({{}, {0}}),
+                 util::ConfigError);
+}
+
+/** The bridge of the linter tests, expressed as layers. */
+graph::Graph
+bridgeModel()
+{
+    graph::Graph g("bridge");
+    const auto in = g.addInput("data", graph::TensorShape(8, 4, 1, 1));
+    const auto a = g.addFullyConnected("a", in, 4);
+    const auto b = g.addFullyConnected("b", a, 4);
+    const auto c = g.addFullyConnected("c", a, 4);
+    const auto d = g.addAdd("d", b, c);
+    const auto e = g.addFullyConnected("e", c, 4);
+    const auto f = g.addFullyConnected("f", d, 4);
+    g.addAdd("g", e, f);
+    return g;
+}
+
+/** Successor lists of a condensed graph (the decomposition input). */
+std::vector<std::vector<int>>
+successorsOf(const core::CondensedGraph &condensed)
+{
+    std::vector<std::vector<int>> succs(condensed.size());
+    for (std::size_t v = 0; v < condensed.size(); ++v)
+        for (core::CNodeId p :
+             condensed.node(static_cast<core::CNodeId>(v)).preds)
+            succs[static_cast<std::size_t>(p)].push_back(
+                static_cast<int>(v));
+    return succs;
+}
+
+std::vector<core::LayerDims>
+dimsOf(const core::CondensedGraph &condensed)
+{
+    std::vector<core::LayerDims> dims;
+    dims.reserve(condensed.size());
+    for (const core::CondensedNode &node : condensed.nodes())
+        dims.push_back(node.dims);
+    return dims;
+}
+
+/**
+ * A random single-source single-sink DAG rendered as layers: one fc
+ * per vertex, multi-predecessor vertices joined through Add layers.
+ * Small enough that the condensed graph stays within the brute-force
+ * and residual-enumeration bounds.
+ */
+graph::Graph
+randomDagModel(util::Rng &rng, int vertices)
+{
+    std::vector<std::vector<int>> preds(
+        static_cast<std::size_t>(vertices));
+    for (int v = 1; v < vertices; ++v) {
+        preds[static_cast<std::size_t>(v)].push_back(
+            static_cast<int>(rng.uniformInt(0, v - 1)));
+        if (v > 1 && rng.chance(0.5)) {
+            const int second =
+                static_cast<int>(rng.uniformInt(0, v - 1));
+            auto &p = preds[static_cast<std::size_t>(v)];
+            if (second != p.front())
+                p.push_back(second);
+        }
+    }
+    // Route every dangling vertex into the sink so it stays single.
+    std::vector<bool> consumed(static_cast<std::size_t>(vertices));
+    for (int v = 1; v < vertices; ++v)
+        for (int p : preds[static_cast<std::size_t>(v)])
+            consumed[static_cast<std::size_t>(p)] = true;
+    for (int v = 0; v + 1 < vertices; ++v) {
+        auto &sink_preds = preds[static_cast<std::size_t>(vertices - 1)];
+        if (!consumed[static_cast<std::size_t>(v)] &&
+            std::find(sink_preds.begin(), sink_preds.end(), v) ==
+                sink_preds.end())
+            sink_preds.push_back(v);
+    }
+
+    graph::Graph g("random-dag");
+    const auto in = g.addInput("data", graph::TensorShape(8, 4, 1, 1));
+    std::vector<graph::LayerId> layer_of(
+        static_cast<std::size_t>(vertices));
+    layer_of[0] = g.addFullyConnected("v0", in, 4);
+    for (int v = 1; v < vertices; ++v) {
+        const auto &p = preds[static_cast<std::size_t>(v)];
+        graph::LayerId operand = layer_of[static_cast<std::size_t>(
+            p.front())];
+        for (std::size_t j = 1; j < p.size(); ++j)
+            operand = g.addAdd(
+                "j" + std::to_string(v) + "_" + std::to_string(j),
+                operand, layer_of[static_cast<std::size_t>(p[j])]);
+        layer_of[static_cast<std::size_t>(v)] = g.addFullyConnected(
+            "v" + std::to_string(v), operand, 4);
+    }
+    return g;
+}
+
+TEST(SpSolver, MatchesBruteForceOnRandomDags)
+{
+    // The §5.2 composition over the decomposition tree (with exact
+    // enumeration inside residual regions) must reproduce the 3^N
+    // optimum of the shared objective on arbitrary DAG shapes.
+    util::Rng rng(20260807);
+    for (int trial = 0; trial < 30; ++trial) {
+        const graph::Graph model = randomDagModel(
+            rng, static_cast<int>(rng.uniformInt(3, 6)));
+        const core::CondensedGraph condensed(model);
+        const SpTree tree =
+            graph::decomposeSpTree(successorsOf(condensed));
+        expectTotalOwnership(tree,
+                             static_cast<int>(condensed.size()));
+
+        const std::vector<core::LayerDims> dims = dimsOf(condensed);
+        core::PairCostModel cost(
+            {rng.uniformDouble(1e12, 1e15),
+             rng.uniformDouble(1e8, 1e11)},
+            {rng.uniformDouble(1e12, 1e15),
+             rng.uniformDouble(1e8, 1e11)},
+            core::CostModelConfig{});
+        cost.setAlpha(rng.uniformDouble(0.2, 0.8));
+        const core::TypeRestrictions allowed =
+            core::unrestrictedTypes(condensed);
+
+        const core::SpSolver solver(condensed, tree, dims);
+        const core::ChainDpResult sp = solver.solve(cost, allowed);
+        const core::BruteForceResult bf = core::bruteForceSearch(
+            condensed, dims, cost, allowed);
+
+        EXPECT_NEAR(sp.cost, bf.cost, 1e-9 * (1.0 + bf.cost))
+            << "trial " << trial << " (" << condensed.size()
+            << " condensed nodes, "
+            << (tree.seriesParallel() ? "sp" : "residual") << ')';
+        EXPECT_NEAR(core::evaluateAssignment(condensed, dims, cost,
+                                             sp.types),
+                    sp.cost, 1e-9 * (1.0 + sp.cost))
+            << "trial " << trial;
+    }
+}
+
+TEST(SpSolver, BridgePlansEndToEnd)
+{
+    // A non-chain model must flow through PartitionProblem, the
+    // registered strategy and the simulator without special-casing.
+    const graph::Graph model = bridgeModel();
+    const core::PartitionProblem problem(model);
+    EXPECT_FALSE(problem.hasChain());
+    EXPECT_FALSE(problem.spTree().seriesParallel());
+
+    const hw::Hierarchy hier(hw::AcceleratorGroup(
+        {hw::GroupSlice{hw::tpuV2(), 2},
+         hw::GroupSlice{hw::tpuV3(), 2}}));
+    const auto strategy = strategies::makeStrategy("accpar");
+    const auto plan = strategy->plan(problem, hier);
+    const double step =
+        sim::simulatePlan(problem, 8, hier, plan).stepTime;
+    EXPECT_GT(step, 0.0);
+}
+
+/** The cross-rung ladder: one residual region with 2*rungs internal
+ *  condensed nodes (see the linter test for the shape argument). */
+graph::Graph
+ladderModel(int rungs)
+{
+    graph::Graph g("ladder");
+    const auto in = g.addInput("data", graph::TensorShape(8, 4, 1, 1));
+    auto a = g.addFullyConnected("a", in, 4);
+    auto u = g.addFullyConnected("u1", a, 4);
+    auto v = g.addAdd("v1", a, u);
+    for (int i = 2; i <= rungs; ++i) {
+        const auto next_u =
+            g.addFullyConnected("u" + std::to_string(i), u, 4);
+        v = g.addAdd("v" + std::to_string(i), v, next_u);
+        u = next_u;
+    }
+    g.addAdd("t", u, v);
+    return g;
+}
+
+TEST(SpSolver, OversizedResidualFailsWithStableDiagnostic)
+{
+    // Past kResidualExactLimit the solver must refuse up front with
+    // AG009 — never fall back to a silently approximate plan.
+    const graph::Graph model = ladderModel(5);
+    const core::CondensedGraph condensed(model);
+    const SpTree tree =
+        graph::decomposeSpTree(successorsOf(condensed));
+    ASSERT_GT(tree.maxResidualSize(), core::kResidualExactLimit);
+
+    const std::vector<core::LayerDims> dims = dimsOf(condensed);
+    try {
+        const core::SpSolver solver(condensed, tree, dims);
+        FAIL() << "expected AG009 for a residual of "
+               << tree.maxResidualSize();
+    } catch (const util::ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("AG009"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SpSolver, LadderWithinBoundStillMatchesOracle)
+{
+    // The same ladder one rung shorter sits inside the bound: 8
+    // internal condensed nodes enumerate exactly.
+    const graph::Graph model = ladderModel(4);
+    const core::CondensedGraph condensed(model);
+    const SpTree tree =
+        graph::decomposeSpTree(successorsOf(condensed));
+    ASSERT_FALSE(tree.seriesParallel());
+    ASSERT_LE(tree.maxResidualSize(), core::kResidualExactLimit);
+
+    const std::vector<core::LayerDims> dims = dimsOf(condensed);
+    core::PairCostModel cost({1e14, 1e10}, {2e14, 5e9},
+                             core::CostModelConfig{});
+    cost.setAlpha(0.4);
+    const core::TypeRestrictions allowed =
+        core::unrestrictedTypes(condensed);
+    const core::SpSolver solver(condensed, tree, dims);
+    const double sp = solver.solve(cost, allowed).cost;
+    const double bf =
+        core::bruteForceSearch(condensed, dims, cost, allowed).cost;
+    EXPECT_NEAR(sp, bf, 1e-9 * (1.0 + bf));
+}
+
+} // namespace

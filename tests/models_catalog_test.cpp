@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ModelCatalog tests (models/catalog.h): entry enumeration, build
+ * parameter validation, the deprecated zoo wrapper, and the
+ * acceptance sweep — every listed entry plans through the Planner
+ * facade AND through the service wire path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "graph/dot_export.h"
+#include "hw/topology.h"
+#include "models/catalog.h"
+#include "models/zoo.h"
+#include "service/plan_service.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace accpar;
+using models::ModelParams;
+
+/** Small build parameters per entry so the sweep stays fast. */
+ModelParams
+smallParams(const models::ModelEntry &entry)
+{
+    ModelParams params;
+    const auto accepts = [&entry](const std::string &key) {
+        return std::find(entry.params.begin(), entry.params.end(),
+                         key) != entry.params.end();
+    };
+    if (accepts("batch"))
+        params.set("batch", "8");
+    if (accepts("depth"))
+        params.set("depth", "1");
+    if (accepts("seq"))
+        params.set("seq", "8");
+    if (accepts("hidden"))
+        params.set("hidden", "64");
+    if (accepts("heads"))
+        params.set("heads", "4");
+    if (accepts("widths"))
+        params.set("widths", "64,32,10");
+    return params;
+}
+
+TEST(ModelCatalog, ListsTheFullFamilySet)
+{
+    const std::vector<std::string> names = models::catalog().names();
+    for (const char *expected :
+         {"lenet", "alexnet", "vgg16", "resnet50", "googlenet", "mlp",
+          "bert-base", "bert-large", "gpt-decoder"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+    }
+    for (const std::string &name : names) {
+        const models::ModelEntry &entry =
+            models::catalog().entry(name);
+        EXPECT_EQ(entry.name, name);
+        EXPECT_FALSE(entry.family.empty()) << name;
+        EXPECT_FALSE(entry.description.empty()) << name;
+    }
+}
+
+TEST(ModelCatalog, LookupIsCaseAndSpaceInsensitive)
+{
+    EXPECT_EQ(models::catalog().entry(" LeNet ").name, "lenet");
+    EXPECT_TRUE(models::catalog().contains("BERT-Base"));
+    EXPECT_FALSE(models::catalog().contains("bert-huge"));
+}
+
+TEST(ModelCatalog, UnknownModelErrorListsTheCatalog)
+{
+    try {
+        models::catalog().entry("no-such-net");
+        FAIL();
+    } catch (const util::ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("no-such-net"), std::string::npos);
+        EXPECT_NE(what.find("lenet"), std::string::npos);
+    }
+}
+
+TEST(ModelCatalog, RejectsUndeclaredAndMalformedParams)
+{
+    ModelParams bogus;
+    bogus.set("kernel", "3");
+    EXPECT_THROW(models::catalog().build("lenet", bogus),
+                 util::ConfigError);
+
+    EXPECT_THROW(ModelParams::fromKeyValues({"noequals"}),
+                 util::ConfigError);
+    EXPECT_THROW(ModelParams::fromKeyValues({"a=1", "a=2"}),
+                 util::ConfigError);
+
+    ModelParams bad_int;
+    bad_int.set("batch", "12abc");
+    EXPECT_THROW(models::catalog().build("lenet", bad_int),
+                 util::ConfigError);
+}
+
+TEST(ModelCatalog, ParamsChangeTheBuiltGraph)
+{
+    ModelParams small;
+    small.set("batch", "4");
+    small.set("depth", "1");
+    small.set("seq", "8");
+    small.set("hidden", "64");
+    small.set("heads", "2");
+    const graph::Graph one =
+        models::catalog().build("bert-base", small);
+    small.set("depth", "2");
+    const graph::Graph two =
+        models::catalog().build("bert-base", small);
+    EXPECT_GT(two.size(), one.size());
+    EXPECT_EQ(one.layer(one.inputLayer()).outputShape.n, 4 * 8);
+}
+
+TEST(ModelCatalog, DeprecatedZooWrapperDelegates)
+{
+    ModelParams params;
+    params.set("batch", "64");
+    const graph::Graph direct =
+        models::catalog().build("lenet", params);
+    const graph::Graph wrapped = models::buildModel("lenet", 64);
+    EXPECT_EQ(graph::toDot(wrapped), graph::toDot(direct));
+}
+
+TEST(ModelCatalog, EveryEntryPlansThroughPlannerAndService)
+{
+    Planner planner;
+    service::PlanService plan_service((service::ServiceConfig{}));
+
+    for (const std::string &name : models::catalog().names()) {
+        const models::ModelEntry &entry =
+            models::catalog().entry(name);
+        const ModelParams params = smallParams(entry);
+
+        // Planner facade, via the model-spec request variant.
+        const PlanRequest request(
+            name, params, hw::parseArraySpec("tpu-v3:2"));
+        const PlanResult result = planner.plan(request);
+        EXPECT_GT(result.rootCost, 0.0) << name;
+
+        // Service wire path, via the "params" object.
+        util::Json doc = util::Json::Object{};
+        doc["kind"] = "plan";
+        doc["model"] = name;
+        doc["array"] = "tpu-v3:2";
+        util::Json param_doc = util::Json::Object{};
+        for (const auto &[key, value] : params.values())
+            param_doc[key] = value;
+        doc["params"] = std::move(param_doc);
+        const util::Json response =
+            util::Json::parse(plan_service.handleLine(doc.dump()));
+        ASSERT_TRUE(response.at("ok").asBool())
+            << name << ": " << response.dump();
+        EXPECT_GT(response.at("root_cost").asNumber(), 0.0) << name;
+    }
+}
+
+} // namespace

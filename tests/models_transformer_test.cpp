@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Transformer-family tests (models/transformer.h): configuration
+ * scaling, lint cleanliness, chain-decomposability of the nested
+ * head/residual fork-join structure, and a full plan + certificate
+ * audit on a small stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/certificate_checker.h"
+#include "analysis/graph_linter.h"
+#include "core/certificate.h"
+#include "core/hierarchical_solver.h"
+#include "hw/hierarchy.h"
+#include "models/transformer.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace accpar;
+
+models::TransformerConfig
+tinyConfig()
+{
+    models::TransformerConfig config;
+    config.batch = 2;
+    config.seq = 16;
+    config.hidden = 64;
+    config.depth = 2;
+    config.heads = 4;
+    config.mlpRatio = 4;
+    return config;
+}
+
+TEST(Transformer, TokensFoldIntoBatch)
+{
+    const models::TransformerConfig config = tinyConfig();
+    const graph::Graph g =
+        models::buildTransformer("tiny-bert", config);
+    const graph::TensorShape in =
+        g.layer(g.inputLayer()).outputShape;
+    EXPECT_EQ(in.n, config.batch * config.seq);
+    EXPECT_EQ(in.c, config.hidden);
+    EXPECT_EQ(in.h, 1);
+    EXPECT_EQ(in.w, 1);
+}
+
+TEST(Transformer, DepthScalesLayerCountLinearly)
+{
+    models::TransformerConfig config = tinyConfig();
+    config.depth = 1;
+    const std::size_t one =
+        models::buildTransformer("d1", config).size();
+    config.depth = 3;
+    const std::size_t three =
+        models::buildTransformer("d3", config).size();
+    config.depth = 5;
+    const std::size_t five =
+        models::buildTransformer("d5", config).size();
+    EXPECT_EQ(three - one, five - three);
+    EXPECT_GT(three, one);
+}
+
+TEST(Transformer, RejectsIndivisibleHeads)
+{
+    models::TransformerConfig config = tinyConfig();
+    config.heads = 5; // does not divide hidden = 64
+    EXPECT_THROW(models::buildTransformer("bad", config),
+                 util::Error);
+}
+
+TEST(Transformer, StackLintsCleanAndChainDecomposes)
+{
+    // The nested fork/join design (heads join at Concat inside the
+    // residual's Add) must stay inside the chain decomposition so
+    // certificates remain available for the transformer zoo.
+    const graph::Graph g =
+        models::buildTransformer("tiny-bert", tinyConfig());
+    analysis::DiagnosticSink sink;
+    EXPECT_TRUE(analysis::lintGraph(g, sink)) << sink.renderText();
+    EXPECT_TRUE(sink.empty()) << sink.renderText();
+
+    const core::PartitionProblem problem(g);
+    EXPECT_TRUE(problem.hasChain());
+}
+
+TEST(Transformer, PresetsBuildAndValidate)
+{
+    for (const graph::Graph &g :
+         {models::buildBertBase(2), models::buildBertLarge(2),
+          models::buildGptDecoder(2)}) {
+        analysis::DiagnosticSink sink;
+        EXPECT_TRUE(analysis::lintGraph(g, sink))
+            << g.name() << ":\n"
+            << sink.renderText();
+    }
+}
+
+TEST(Transformer, GptDecoderEndsInVocabularyProjection)
+{
+    const graph::Graph g = models::buildGptDecoder(2);
+    // Walk back from the sink to the last weighted layer: the LM head
+    // must project into the 50257-token vocabulary.
+    graph::LayerId id = g.sinkLayer();
+    while (g.layer(id).kind != graph::LayerKind::FullyConnected)
+        id = g.layer(id).inputs.front();
+    EXPECT_EQ(g.layer(id).outputShape.c, 50257);
+}
+
+TEST(Transformer, TinyStackPlansAndAuditsClean)
+{
+    const core::PartitionProblem problem(
+        models::buildTransformer("tiny-bert", tinyConfig()));
+    const hw::Hierarchy hierarchy(hw::AcceleratorGroup(
+        {hw::GroupSlice{hw::tpuV2(), 2},
+         hw::GroupSlice{hw::tpuV3(), 2}}));
+
+    core::PlanCertificate cert;
+    core::SolveContext context;
+    context.certificate = &cert;
+    const core::PartitionPlan plan = core::solveHierarchy(
+        problem, hierarchy, core::SolverOptions{}, context);
+    EXPECT_GT(plan.nodePlan(hierarchy.root()).cost, 0.0);
+
+    analysis::DiagnosticSink sink;
+    EXPECT_TRUE(analysis::checkCertificate(problem, hierarchy, plan,
+                                           cert,
+                                           analysis::CheckOptions{},
+                                           sink))
+        << sink.renderText();
+    EXPECT_EQ(sink.errorCount(), 0u) << sink.renderText();
+}
+
+} // namespace

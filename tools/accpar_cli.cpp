@@ -4,6 +4,9 @@
  * partitionings without writing C++.
  *
  * Subcommands:
+ *   models   [--json]
+ *            list the model catalog: every name `--model` accepts,
+ *            its family, and its build parameters
  *   info     --model NAME [--batch N]
  *            model summary (layers, weights, FLOPs) and DOT export
  *   plan     --model NAME [--batch N] [--array SPEC] [--jobs N]
@@ -51,6 +54,15 @@
  * accepts --log-level {debug,info,warn,error,off} (the
  * ACCPAR_LOG_LEVEL environment variable sets the default, else info).
  *
+ * Model selection (info, plan, simulate, sweep, diff, validate,
+ * audit): `--model NAME` picks a catalog entry (`accpar models` lists
+ * them) built with repeatable `--param key=value` flags — e.g.
+ * `--model bert-base --param depth=6 --param batch=16`; `--batch N`
+ * is shorthand for `--param batch=N`. `--import FILE` instead loads a
+ * model file: `.dot` in the graph::toDot dialect, an ONNX-as-JSON
+ * shape dump, or the native JSON description (`--model-file` is the
+ * older spelling that only accepts the native JSON format).
+ *
  * --jobs N runs the planning engine with N concurrency lanes (0 = all
  * hardware threads, default 1). Plans are bit-identical for any value.
  *
@@ -72,6 +84,8 @@
 #include "graph/dot_export.h"
 #include "hw/hierarchy.h"
 #include "hw/topology.h"
+#include "models/catalog.h"
+#include "models/import.h"
 #include "models/model_io.h"
 #include "models/summary.h"
 #include "models/zoo.h"
@@ -92,18 +106,41 @@ namespace {
 
 using namespace accpar;
 
+/** Build parameters from repeated --param flags, with --batch as
+ *  shorthand for batch=N (an explicit --param batch wins). */
+models::ModelParams
+modelParams(const util::Args &args)
+{
+    models::ModelParams params =
+        models::ModelParams::fromKeyValues(args.getAll("param"));
+    if (!params.has("batch") && args.has("batch"))
+        params.set("batch",
+                   std::to_string(args.getIntOr("batch", 512)));
+    return params;
+}
+
+/** Builds the --model catalog entry with the --param/--batch flags. */
+graph::Graph
+buildCatalogModel(const util::Args &args)
+{
+    return models::catalog().build(args.getOr("model", "vgg16"),
+                                   modelParams(args));
+}
+
 /**
- * Resolves the model under test: --model-file loads a JSON model
- * description (see models/model_io.h); otherwise --model picks a zoo
- * network built at --batch.
+ * Resolves the model under test: --import loads a model file (DOT,
+ * ONNX-as-JSON, or native JSON — see models/import.h), --model-file
+ * loads the native JSON description, and otherwise --model picks a
+ * catalog entry built with --param/--batch.
  */
 graph::Graph
 resolveModel(const util::Args &args)
 {
+    if (const auto path = args.get("import"))
+        return models::importModel(*path);
     if (const auto path = args.get("model-file"))
         return models::loadModelFile(*path);
-    return models::buildModel(args.getOr("model", "vgg16"),
-                              args.getIntOr("batch", 512));
+    return buildCatalogModel(args);
 }
 
 int
@@ -148,8 +185,8 @@ usage()
 {
     std::cerr
         << "usage: accpar "
-           "<info|plan|simulate|compare|sweep|diff|validate|audit|"
-           "serve|load> [flags]\n"
+           "<models|info|plan|simulate|compare|sweep|diff|validate|"
+           "audit|serve|load> [flags]\n"
         << "       accpar --version\n"
         << "run 'accpar' with a subcommand; see tools/accpar_cli.cpp "
            "header for flags\n";
@@ -157,10 +194,60 @@ usage()
 }
 
 int
+cmdModels(const util::Args &args)
+{
+    args.checkKnown({"json", "log-level"});
+    const std::vector<models::ModelEntry> &entries =
+        models::catalog().entries();
+    if (args.has("json")) {
+        util::Json::Array list;
+        for (const models::ModelEntry &e : entries) {
+            util::Json entry = util::Json::Object{};
+            entry["name"] = e.name;
+            entry["family"] = e.family;
+            entry["description"] = e.description;
+            util::Json::Array params;
+            for (const std::string &p : e.params)
+                params.push_back(p);
+            entry["params"] = std::move(params);
+            list.push_back(std::move(entry));
+        }
+        util::Json doc = util::Json::Object{};
+        doc["tool"] = "accpar";
+        doc["version"] = kAccParVersion;
+        doc["models"] = std::move(list);
+        std::cout << doc.dump(2) << '\n';
+        return 0;
+    }
+    std::size_t name_width = 0;
+    std::size_t family_width = 0;
+    for (const models::ModelEntry &e : entries) {
+        name_width = std::max(name_width, e.name.size());
+        family_width = std::max(family_width, e.family.size());
+    }
+    for (const models::ModelEntry &e : entries) {
+        std::cout << e.name
+                  << std::string(name_width - e.name.size() + 2, ' ')
+                  << e.family
+                  << std::string(family_width - e.family.size() + 2,
+                                 ' ')
+                  << e.description;
+        if (!e.params.empty())
+            std::cout << " [params: " << util::join(e.params, ", ")
+                      << "]";
+        std::cout << '\n';
+    }
+    std::cout << entries.size()
+              << " models; build one with `accpar plan --model NAME "
+                 "--param key=value`\n";
+    return 0;
+}
+
+int
 cmdInfo(const util::Args &args)
 {
-    args.checkKnown({"model", "model-file", "batch", "dot",
-                     "log-level"});
+    args.checkKnown({"model", "model-file", "import", "param",
+                     "batch", "dot", "log-level"});
     const graph::Graph model = resolveModel(args);
     std::cout << models::formatSummary(models::summarizeModel(model));
     if (const auto path = args.get("dot")) {
@@ -183,9 +270,9 @@ cmdInfo(const util::Args &args)
 int
 cmdPlan(const util::Args &args)
 {
-    args.checkKnown({"model", "model-file", "batch", "array",
-                     "strategy", "out", "cert", "jobs", "no-verify",
-                     "strict", "log-level"});
+    args.checkKnown({"model", "model-file", "import", "param",
+                     "batch", "array", "strategy", "out", "cert",
+                     "jobs", "no-verify", "strict", "log-level"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
 
@@ -219,9 +306,9 @@ cmdPlan(const util::Args &args)
 int
 cmdSimulate(const util::Args &args)
 {
-    args.checkKnown({"model", "model-file", "batch", "array",
-                     "strategy", "plan", "jobs", "optimizer",
-                     "log-level"});
+    args.checkKnown({"model", "model-file", "import", "param",
+                     "batch", "array", "strategy", "plan", "jobs",
+                     "optimizer", "log-level"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
     const hw::Hierarchy hierarchy(array);
@@ -272,8 +359,8 @@ cmdSimulate(const util::Args &args)
 int
 cmdCompare(const util::Args &args)
 {
-    args.checkKnown({"models", "batch", "array", "csv", "jobs",
-                     "optimizer", "log-level"});
+    args.checkKnown({"models", "param", "batch", "array", "csv",
+                     "jobs", "optimizer", "log-level"});
     std::vector<std::string> names;
     if (const auto list = args.get("models")) {
         for (const std::string &part : util::split(*list, ','))
@@ -283,7 +370,7 @@ cmdCompare(const util::Args &args)
     }
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
-    const std::int64_t batch = args.getIntOr("batch", 512);
+    const models::ModelParams params = modelParams(args);
 
     Planner planner;
     sim::SpeedupTable table;
@@ -293,7 +380,7 @@ cmdCompare(const util::Args &args)
 
     double solve_seconds = 0.0;
     for (const std::string &name : names) {
-        PlanRequest request(models::buildModel(name, batch), array);
+        PlanRequest request(name, params, array);
         request.jobs = jobsArg(args);
         request.sim = simConfig(args);
         const StrategyComparison comparison = planner.compare(request);
@@ -331,9 +418,8 @@ cmdCompare(const util::Args &args)
 int
 cmdSweep(const util::Args &args)
 {
-    args.checkKnown({"model", "batch", "min-levels", "max-levels",
-                     "jobs", "optimizer", "log-level"});
-    const std::int64_t batch = args.getIntOr("batch", 512);
+    args.checkKnown({"model", "param", "batch", "min-levels",
+                     "max-levels", "jobs", "optimizer", "log-level"});
     const std::string model_name = args.getOr("model", "vgg19");
     const auto min_levels =
         static_cast<int>(args.getIntOr("min-levels", 2));
@@ -350,7 +436,10 @@ cmdSweep(const util::Args &args)
     // and every (level, strategy) point shares one PartitionProblem
     // and the planner's warm cost cache, instead of rebuilding model,
     // problem and cache per level.
-    const graph::Graph model = models::buildModel(model_name, batch);
+    const graph::Graph model =
+        models::catalog().build(model_name, modelParams(args));
+    const std::int64_t batch =
+        model.layer(model.inputLayer()).outputShape.n;
     const sim::TrainingSimConfig sim_config = simConfig(args);
     std::vector<PlanRequest> requests;
     for (int levels = min_levels; levels <= max_levels; ++levels) {
@@ -398,9 +487,9 @@ cmdSweep(const util::Args &args)
 int
 cmdDiff(const util::Args &args)
 {
-    args.checkKnown({"model", "model-file", "batch", "array", "left",
-                     "right", "left-plan", "right-plan",
-                     "log-level"});
+    args.checkKnown({"model", "model-file", "import", "param",
+                     "batch", "array", "left", "right", "left-plan",
+                     "right-plan", "log-level"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
     const hw::Hierarchy hierarchy(array);
@@ -456,22 +545,24 @@ reportDiagnostics(analysis::DiagnosticSink &sink,
 int
 cmdValidate(const util::Args &args)
 {
-    args.checkKnown({"model", "model-file", "batch", "array", "plan",
-                     "strategy", "strict", "json", "log-level"});
+    args.checkKnown({"model", "model-file", "import", "param",
+                     "batch", "array", "plan", "strategy", "strict",
+                     "json", "log-level"});
     analysis::DiagnosticSink sink;
 
-    // Phase 1: the model itself, through the graph linter. A JSON
-    // description additionally passes the document-format checks.
+    // Phase 1: the model itself, through the graph linter. A model
+    // file additionally passes the format checks of its importer.
     std::optional<graph::Graph> model;
     std::string subject;
-    if (const auto path = args.get("model-file")) {
+    if (const auto path = args.get("import")) {
+        subject = *path;
+        model = models::importModel(*path, sink);
+    } else if (const auto path = args.get("model-file")) {
         subject = *path;
         model = models::loadModelFile(*path, sink);
     } else {
         subject = "model '" + args.getOr("model", "vgg16") + "'";
-        graph::Graph zoo_model =
-            models::buildModel(args.getOr("model", "vgg16"),
-                               args.getIntOr("batch", 512));
+        graph::Graph zoo_model = buildCatalogModel(args);
         if (analysis::lintGraph(zoo_model, sink))
             model = std::move(zoo_model);
     }
@@ -509,9 +600,10 @@ cmdValidate(const util::Args &args)
 int
 cmdAudit(const util::Args &args)
 {
-    args.checkKnown({"model", "model-file", "batch", "array", "plan",
-                     "cert", "exhaustive-max-layers", "alpha-eps",
-                     "strict", "json", "log-level"});
+    args.checkKnown({"model", "model-file", "import", "param",
+                     "batch", "array", "plan", "cert",
+                     "exhaustive-max-layers", "alpha-eps", "strict",
+                     "json", "log-level"});
     const auto cert_path = args.get("cert");
     if (!cert_path) {
         std::cerr << "error: audit requires --cert FILE\n";
@@ -594,9 +686,9 @@ int
 cmdLoad(const util::Args &args)
 {
     args.checkKnown({"host", "port", "loopback", "requests",
-                     "concurrency", "mix", "model", "batch", "array",
-                     "strategy", "shutdown", "jobs", "cache-entries",
-                     "max-queue", "log-level"});
+                     "concurrency", "mix", "model", "param", "batch",
+                     "array", "strategy", "shutdown", "jobs",
+                     "cache-entries", "max-queue", "log-level"});
 
     service::LoadGenConfig config;
     config.host = args.getOr("host", "127.0.0.1");
@@ -608,6 +700,9 @@ cmdLoad(const util::Args &args)
     config.mix = service::parseLoadMix(args.getOr("mix", "plan"));
     config.model = args.getOr("model", "lenet");
     config.batch = args.getIntOr("batch", 32);
+    config.params =
+        models::ModelParams::fromKeyValues(args.getAll("param"))
+            .values();
     config.array = args.getOr("array", "tpu-v3:2");
     config.strategy = args.getOr("strategy", "accpar");
     config.shutdownAfter = args.has("shutdown");
@@ -651,6 +746,8 @@ main(int argc, char **argv)
         const util::Args args(rest, {"strict", "json", "no-verify",
                                      "loopback", "shutdown"});
         applyLogLevel(args);
+        if (command == "models")
+            return cmdModels(args);
         if (command == "info")
             return cmdInfo(args);
         if (command == "plan")
