@@ -15,7 +15,8 @@
  *
  * Independence guarantee: this checker deliberately shares NO code
  * with the solver kernel — src/core/dp_kernel.h is not reachable from
- * these sources (tools/check_diag_codes.py lints the include graph),
+ * these sources (tools/accpar_lint.py rule ALINT05 lints the include
+ * graph),
  * so a kernel bug cannot hide by also corrupting its own audit.
  *
  * Rule catalog (see DESIGN.md §9):

@@ -11,7 +11,8 @@
  * (analysis::CertificateChecker) can then re-derive every cell from
  * PairCostModel and replay the recurrence without trusting — or even
  * including — the solver kernel (src/core/dp_kernel.h is deliberately
- * not reachable from this header; tools/check_diag_codes.py enforces
+ * not reachable from this header; tools/accpar_lint.py rule ALINT05
+ * enforces
  * the same for the checker).
  *
  * Certificates are pure data: emission lives in DpKernel and the

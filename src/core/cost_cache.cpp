@@ -68,7 +68,18 @@ CostCache::contextId(const GroupRates &left, const GroupRates &right,
                ctx.config.includeCompute == c.includeCompute &&
                bits(ctx.config.bytesPerElement) == bits(c.bytesPerElement);
     };
-    std::lock_guard<std::mutex> lock(_contextMutex);
+    {
+        // Fast path: every context after the first few solves is a
+        // re-registration, so concurrent solvers share the read lock.
+        const util::SharedLock lock(_contextMutex);
+        for (std::size_t i = 0; i < _contexts.size(); ++i) {
+            if (same(_contexts[i], left, right, config))
+                return static_cast<std::uint32_t>(i);
+        }
+    }
+    const util::LockGuard lock(_contextMutex);
+    // Re-scan: a concurrent writer may have registered it between the
+    // two locks (ids must stay unique per exact context value).
     for (std::size_t i = 0; i < _contexts.size(); ++i) {
         if (same(_contexts[i], left, right, config))
             return static_cast<std::uint32_t>(i);
@@ -87,7 +98,7 @@ bool
 CostCache::lookup(const CostKey &key, double &value) const
 {
     const Shard &shard = shardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::LockGuard lock(shard.mutex);
     const auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
         _misses.fetch_add(1, std::memory_order_relaxed);
@@ -103,7 +114,7 @@ CostCache::store(const CostKey &key, double value)
 {
     // const_cast-free: store through the same mutable shards.
     Shard &shard = const_cast<Shard &>(shardFor(key));
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::LockGuard lock(shard.mutex);
     shard.entries.emplace(key, value);
 }
 
@@ -121,7 +132,7 @@ CostCache::size() const
 {
     std::size_t total = 0;
     for (const Shard &shard : _shards) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        const util::LockGuard lock(shard.mutex);
         total += shard.entries.size();
     }
     return total;
@@ -131,7 +142,7 @@ void
 CostCache::clear()
 {
     for (Shard &shard : _shards) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        const util::LockGuard lock(shard.mutex);
         shard.entries.clear();
     }
     _hits.store(0);

@@ -25,12 +25,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/cost_model.h"
 #include "core/layer_dims.h"
+#include "util/sync.h"
 
 namespace accpar::core {
 
@@ -111,8 +111,9 @@ class CostCache
 
     struct Shard
     {
-        mutable std::mutex mutex;
-        std::unordered_map<CostKey, double, CostKeyHash> entries;
+        mutable util::Mutex mutex{"CostCache::Shard::mutex"};
+        std::unordered_map<CostKey, double, CostKeyHash> entries
+            ACCPAR_GUARDED_BY(mutex);
     };
 
     struct Context
@@ -127,8 +128,10 @@ class CostCache
     mutable Shard _shards[kShards];
     mutable std::atomic<std::uint64_t> _hits{0};
     mutable std::atomic<std::uint64_t> _misses{0};
-    mutable std::mutex _contextMutex;
-    std::vector<Context> _contexts;
+    /** Reader/writer split: contexts are registered once and then only
+     *  scanned, so concurrent solves take the shared side. */
+    mutable util::SharedMutex _contextMutex{"CostCache::_contextMutex"};
+    std::vector<Context> _contexts ACCPAR_GUARDED_BY(_contextMutex);
 };
 
 } // namespace accpar::core

@@ -42,9 +42,11 @@ LatencyHistogram::record(double seconds)
         seconds = 0.0;
     _buckets[bucketFor(seconds)].fetch_add(1,
                                            std::memory_order_relaxed);
-    _count.fetch_add(1, std::memory_order_relaxed);
     _sumNanos.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
                         std::memory_order_relaxed);
+    // Release-publishes the bucket (and sum) increments above; paired
+    // with the acquire load in count()/quantile().
+    _count.fetch_add(1, std::memory_order_release);
 }
 
 double
@@ -58,7 +60,7 @@ LatencyHistogram::totalSeconds() const
 double
 LatencyHistogram::quantile(double q) const
 {
-    const std::uint64_t total = _count.load(std::memory_order_relaxed);
+    const std::uint64_t total = _count.load(std::memory_order_acquire);
     if (total == 0)
         return 0.0;
     if (q < 0.0)
@@ -79,15 +81,6 @@ LatencyHistogram::quantile(double q) const
             return bucketUpperBound(i);
     }
     return bucketUpperBound(kBuckets - 1);
-}
-
-void
-LatencyHistogram::reset()
-{
-    for (auto &bucket : _buckets)
-        bucket.store(0, std::memory_order_relaxed);
-    _count.store(0, std::memory_order_relaxed);
-    _sumNanos.store(0, std::memory_order_relaxed);
 }
 
 MetricsSnapshot

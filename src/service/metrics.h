@@ -9,7 +9,10 @@
  * atomic histogram buckets) so recording from many worker and
  * connection threads never serializes the hot path; snapshots are
  * taken with relaxed loads and are allowed to be slightly torn across
- * counters (each counter is individually consistent).
+ * counters (each counter is individually consistent). The one
+ * cross-counter invariant — histogram buckets never lag the histogram
+ * count — is enforced with a release/acquire pair on the count (see
+ * LatencyHistogram).
  *
  * Snapshots render as JSON (the `stats` protocol request) and as a
  * human-readable text block (dumped on shutdown).
@@ -31,6 +34,16 @@ namespace accpar::service {
  * 100 seconds at 8 buckets per decade, plus an overflow bucket.
  * Quantiles are answered from the bucket counts (log-interpolated
  * within the winning bucket), so record() is a single atomic add.
+ *
+ * Consistency contract: record() publishes its bucket increment with a
+ * release increment of the total count, and quantile()/count() load the
+ * count with acquire. A reader that observes count == N therefore also
+ * observes at least N bucket increments, so a quantile walk can never
+ * run out of buckets and fall through to the overflow bound while
+ * writers are concurrent. The histogram is monotonically accumulating
+ * for the process lifetime — there is deliberately no reset(), which
+ * could not be made consistent against concurrent record() without
+ * putting a lock on the hot path.
  */
 class LatencyHistogram
 {
@@ -44,7 +57,7 @@ class LatencyHistogram
 
     std::uint64_t count() const
     {
-        return _count.load(std::memory_order_relaxed);
+        return _count.load(std::memory_order_acquire);
     }
 
     /** Sum of recorded values (seconds). */
@@ -56,15 +69,15 @@ class LatencyHistogram
      */
     double quantile(double q) const;
 
-    void reset();
-
   private:
     static int bucketFor(double seconds);
     static double bucketUpperBound(int bucket);
 
     std::atomic<std::uint64_t> _buckets[kBuckets] = {};
+    /** Incremented (release) after the bucket; see the class comment. */
     std::atomic<std::uint64_t> _count{0};
-    /** Accumulated nanoseconds; atomic so record() stays lock-free. */
+    /** Accumulated nanoseconds; atomic so record() stays lock-free.
+     *  Only the total-seconds read-out: allowed to tear vs _count. */
     std::atomic<std::uint64_t> _sumNanos{0};
 };
 

@@ -61,12 +61,12 @@ PlanService::shutdown()
 {
     _draining.store(true, std::memory_order_release);
     {
-        const std::lock_guard<std::mutex> lock(_queueMutex);
+        const util::LockGuard lock(_queueMutex);
         if (_stopWorkers)
             return;
         _stopWorkers = true;
     }
-    _queueReady.notify_all();
+    _queueReady.notifyAll();
     for (std::thread &worker : _workers)
         if (worker.joinable())
             worker.join();
@@ -130,7 +130,7 @@ PlanService::enqueue(const ServiceRequest &request)
     std::future<util::Json> future = job->promise.get_future();
 
     {
-        const std::lock_guard<std::mutex> lock(_queueMutex);
+        const util::LockGuard lock(_queueMutex);
         if (_draining.load(std::memory_order_acquire)) {
             _metrics.errors.fetch_add(1, std::memory_order_relaxed);
             return errorResponse(
@@ -152,7 +152,7 @@ PlanService::enqueue(const ServiceRequest &request)
         _queue.push_back(std::move(job));
         _metrics.queueDepth.fetch_add(1, std::memory_order_relaxed);
     }
-    _queueReady.notify_one();
+    _queueReady.notifyOne();
     return future.get();
 }
 
@@ -166,10 +166,9 @@ PlanService::workerLoop()
     while (true) {
         std::unique_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(_queueMutex);
-            _queueReady.wait(lock, [this] {
-                return !_queue.empty() || _stopWorkers;
-            });
+            util::UniqueLock lock(_queueMutex);
+            while (_queue.empty() && !_stopWorkers)
+                _queueReady.wait(lock);
             if (_queue.empty()) {
                 if (_stopWorkers)
                     return;

@@ -29,12 +29,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +41,7 @@
 #include "service/protocol.h"
 #include "service/result_cache.h"
 #include "util/json.h"
+#include "util/sync.h"
 
 namespace accpar {
 class Planner; // core facade (core/planner.h)
@@ -99,7 +98,7 @@ class PlanService
      * request, joins the workers. Idempotent; also run by the
      * destructor.
      */
-    void shutdown();
+    void shutdown() ACCPAR_EXCLUDES(_queueMutex);
 
     const ServiceConfig &config() const { return _config; }
     Metrics &metrics() { return _metrics; }
@@ -128,7 +127,8 @@ class PlanService
     util::Json executePlan(const ServiceRequest &request,
                            Planner &planner);
     util::Json executeValidate(const ServiceRequest &request);
-    util::Json enqueue(const ServiceRequest &request);
+    util::Json enqueue(const ServiceRequest &request)
+        ACCPAR_EXCLUDES(_queueMutex);
     util::Json finishResponse(util::Json response,
                               Clock::time_point started);
 
@@ -136,10 +136,11 @@ class PlanService
     Metrics _metrics;
     ResultCache _cache;
 
-    std::mutex _queueMutex;
-    std::condition_variable _queueReady;
-    std::deque<std::unique_ptr<Job>> _queue;
-    bool _stopWorkers = false;
+    util::Mutex _queueMutex{"PlanService::_queueMutex"};
+    util::CondVar _queueReady;
+    std::deque<std::unique_ptr<Job>> _queue
+        ACCPAR_GUARDED_BY(_queueMutex);
+    bool _stopWorkers ACCPAR_GUARDED_BY(_queueMutex) = false;
     std::atomic<bool> _draining{false};
     std::vector<std::thread> _workers;
 };

@@ -34,7 +34,7 @@ ResultCache::lookup(const std::string &key)
         return std::nullopt;
     }
     Shard &shard = shardFor(key);
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::LockGuard lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it == shard.index.end()) {
         _misses.fetch_add(1, std::memory_order_relaxed);
@@ -51,7 +51,7 @@ ResultCache::insert(const std::string &key, util::Json payload)
     if (_capacity == 0)
         return;
     Shard &shard = shardFor(key);
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::LockGuard lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
         it->second->payload = std::move(payload);
@@ -62,6 +62,12 @@ ResultCache::insert(const std::string &key, util::Json payload)
     shard.index[key] = shard.lru.begin();
     _insertions.fetch_add(1, std::memory_order_relaxed);
     _entries.fetch_add(1, std::memory_order_relaxed);
+    evictLocked(shard);
+}
+
+void
+ResultCache::evictLocked(Shard &shard)
+{
     while (shard.lru.size() > _shardCapacity) {
         shard.index.erase(shard.lru.back().key);
         shard.lru.pop_back();
@@ -97,7 +103,7 @@ void
 ResultCache::clear()
 {
     for (const auto &shard : _shards) {
-        const std::lock_guard<std::mutex> lock(shard->mutex);
+        const util::LockGuard lock(shard->mutex);
         _entries.fetch_sub(
             static_cast<std::int64_t>(shard->lru.size()),
             std::memory_order_relaxed);

@@ -22,13 +22,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "util/json.h"
+#include "util/sync.h"
 
 namespace accpar::service {
 
@@ -85,14 +85,16 @@ class ResultCache
 
     struct Shard
     {
-        mutable std::mutex mutex;
+        mutable util::Mutex mutex{"ResultCache::Shard::mutex"};
         /** Front = most recently used. */
-        std::list<Entry> lru;
+        std::list<Entry> lru ACCPAR_GUARDED_BY(mutex);
         std::unordered_map<std::string, std::list<Entry>::iterator>
-            index;
+            index ACCPAR_GUARDED_BY(mutex);
     };
 
     Shard &shardFor(const std::string &key);
+    /** Evicts LRU entries past the shard budget (shard lock held). */
+    void evictLocked(Shard &shard) ACCPAR_REQUIRES(shard.mutex);
 
     std::size_t _capacity;
     std::size_t _shardCapacity;

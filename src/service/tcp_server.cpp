@@ -102,7 +102,7 @@ TcpServer::~TcpServer()
     stop();
     if (_listenFd >= 0)
         ::close(_listenFd);
-    const std::lock_guard<std::mutex> lock(_threadsMutex);
+    const util::LockGuard lock(_threadsMutex);
     for (std::thread &thread : _threads)
         if (thread.joinable())
             thread.join();
@@ -130,7 +130,7 @@ TcpServer::serve()
         const int fd = ::accept(_listenFd, nullptr, nullptr);
         if (fd < 0)
             continue;
-        const std::lock_guard<std::mutex> lock(_threadsMutex);
+        const util::LockGuard lock(_threadsMutex);
         _threads.emplace_back(
             [this, fd] { connectionLoop(fd); });
     }
@@ -140,7 +140,7 @@ TcpServer::serve()
     // finish its in-flight request, then drain queued service work.
     _stop.store(true, std::memory_order_release);
     {
-        const std::lock_guard<std::mutex> lock(_threadsMutex);
+        const util::LockGuard lock(_threadsMutex);
         for (std::thread &thread : _threads)
             if (thread.joinable())
                 thread.join();

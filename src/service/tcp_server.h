@@ -16,10 +16,11 @@
 #define ACCPAR_SERVICE_TCP_SERVER_H
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace accpar::service {
 
@@ -77,8 +78,9 @@ class TcpServer
     int _listenFd = -1;
     int _port = 0;
     std::atomic<bool> _stop{false};
-    std::mutex _threadsMutex;
-    std::vector<std::thread> _threads;
+    util::Mutex _threadsMutex{"TcpServer::_threadsMutex"};
+    std::vector<std::thread> _threads
+        ACCPAR_GUARDED_BY(_threadsMutex);
 };
 
 } // namespace accpar::service

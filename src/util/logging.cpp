@@ -71,9 +71,16 @@ Logger::instance()
 }
 
 void
+Logger::setStream(std::ostream &os)
+{
+    const LockGuard lock(_writeMutex);
+    _stream = &os;
+}
+
+void
 Logger::write(LogLevel level, const std::string &message)
 {
-    const std::lock_guard<std::mutex> lock(_writeMutex);
+    const LockGuard lock(_writeMutex);
     (*_stream) << "[accpar " << logLevelName(level) << "] " << message
                << '\n';
 }

@@ -10,10 +10,12 @@
 #ifndef ACCPAR_UTIL_LOGGING_H
 #define ACCPAR_UTIL_LOGGING_H
 
-#include <mutex>
+#include <atomic>
 #include <ostream>
 #include <sstream>
 #include <string>
+
+#include "util/sync.h"
 
 namespace accpar::util {
 
@@ -34,8 +36,10 @@ LogLevel parseLogLevel(const std::string &name);
  * Process-wide logger configuration and sink.
  *
  * Emission is serialized by a mutex, so messages from concurrent solver
- * tasks never interleave mid-line. Configuration (setLevel, setStream)
- * is still expected to happen before parallel work starts.
+ * tasks never interleave mid-line. The severity threshold is an atomic
+ * so the ACCPAR_LOG fast path (level()) stays lock-free; the stream
+ * pointer is guarded by the emission mutex, making setStream safe even
+ * while other threads are writing.
  */
 class Logger
 {
@@ -44,21 +48,28 @@ class Logger
     static Logger &instance();
 
     /** Sets the minimum severity that will be emitted. */
-    void setLevel(LogLevel level) { _level = level; }
-    LogLevel level() const { return _level; }
+    void setLevel(LogLevel level)
+    {
+        _level.store(level, std::memory_order_relaxed);
+    }
+    LogLevel level() const
+    {
+        return _level.load(std::memory_order_relaxed);
+    }
 
     /** Redirects output; the stream must outlive the logger's use. */
-    void setStream(std::ostream &os) { _stream = &os; }
+    void setStream(std::ostream &os) ACCPAR_EXCLUDES(_writeMutex);
 
     /** Emits one message if @p level passes the threshold. */
-    void write(LogLevel level, const std::string &message);
+    void write(LogLevel level, const std::string &message)
+        ACCPAR_EXCLUDES(_writeMutex);
 
   private:
     Logger();
 
-    LogLevel _level;
-    std::ostream *_stream;
-    std::mutex _writeMutex;
+    std::atomic<LogLevel> _level;
+    Mutex _writeMutex{"Logger::_writeMutex"};
+    std::ostream *_stream ACCPAR_GUARDED_BY(_writeMutex);
 };
 
 } // namespace accpar::util

@@ -1,0 +1,219 @@
+#include "util/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <pthread.h>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace accpar::util {
+
+namespace {
+
+/** One recorded acquisition this thread currently holds. */
+struct Held
+{
+    const void *mutex;
+    const char *name;
+    std::source_location site;
+};
+
+/** First-seen evidence for one (held -> acquired) ordering edge. */
+struct Edge
+{
+    const char *heldName;
+    const char *acquiredName;
+    std::source_location heldSite;
+    std::source_location acquiredSite;
+};
+
+std::atomic<bool> g_checking{false};
+/** 0 = env not consulted yet, 1 = consulted. */
+std::atomic<int> g_envChecked{0};
+
+/**
+ * The registry's own guard must not be a util::Mutex (its acquisition
+ * would re-enter the registry) and must not reintroduce a raw standard
+ * mutex outside sync.h (ALINT01), so it is a plain POSIX mutex.
+ */
+pthread_mutex_t g_registryMutex = PTHREAD_MUTEX_INITIALIZER;
+
+/** Edge graph: ordered pairs of mutex identities, first evidence kept. */
+std::map<std::pair<const void *, const void *>, Edge> &
+edges()
+{
+    static std::map<std::pair<const void *, const void *>, Edge> graph;
+    return graph;
+}
+
+thread_local std::vector<Held> t_held;
+
+std::string
+renderSite(const std::source_location &site)
+{
+    return std::string(site.file_name()) + ":" +
+           std::to_string(site.line());
+}
+
+/** Depth-first: is @p target reachable from @p from over the edges? */
+bool
+reachable(const void *from, const void *target,
+          std::set<const void *> &visited)
+{
+    if (from == target)
+        return true;
+    if (!visited.insert(from).second)
+        return false;
+    const auto &graph = edges();
+    for (auto it = graph.lower_bound({from, nullptr});
+         it != graph.end() && it->first.first == from; ++it) {
+        if (reachable(it->first.second, target, visited))
+            return true;
+    }
+    return false;
+}
+
+/** The first recorded edge on a path @p from ->* @p target (exists). */
+const Edge *
+firstEdgeTowards(const void *from, const void *target)
+{
+    const auto &graph = edges();
+    for (auto it = graph.lower_bound({from, nullptr});
+         it != graph.end() && it->first.first == from; ++it) {
+        std::set<const void *> visited;
+        if (it->first.second == target ||
+            reachable(it->first.second, target, visited))
+            return &it->second;
+    }
+    return nullptr;
+}
+
+[[noreturn]] void
+reportCycle(const Held &held, const void *acquired,
+            const char *acquiredName, const std::source_location &site,
+            const Edge *reverse)
+{
+    // Single line on purpose: tests match the whole report with one
+    // regular expression, and log pipelines keep it intact.
+    std::string message =
+        std::string("accpar sync: lock-order cycle: acquiring ") +
+        acquiredName + " at " + renderSite(site) + " while holding " +
+        held.name + " acquired at " + renderSite(held.site);
+    if (reverse) {
+        message += std::string("; the reverse order ") +
+                   reverse->heldName + " -> " + reverse->acquiredName +
+                   " was established holding " + reverse->heldName +
+                   " at " + renderSite(reverse->heldSite) +
+                   " and acquiring " + reverse->acquiredName + " at " +
+                   renderSite(reverse->acquiredSite);
+    }
+    message += '\n';
+    std::fputs(message.c_str(), stderr);
+    std::fflush(stderr);
+    (void)acquired;
+    std::abort();
+}
+
+bool
+checkingEnabled()
+{
+    if (g_envChecked.load(std::memory_order_acquire) == 0) {
+        // First acquisition anywhere consults the environment once.
+        const char *env = std::getenv("ACCPAR_LOCK_ORDER_DEBUG");
+        if (env && env[0] == '1' && env[1] == '\0')
+            g_checking.store(true, std::memory_order_relaxed);
+        g_envChecked.store(1, std::memory_order_release);
+    }
+    return g_checking.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+setLockOrderChecking(bool enabled)
+{
+    g_envChecked.store(1, std::memory_order_release);
+    g_checking.store(enabled, std::memory_order_relaxed);
+    if (!enabled) {
+        pthread_mutex_lock(&g_registryMutex);
+        edges().clear();
+        pthread_mutex_unlock(&g_registryMutex);
+    }
+}
+
+bool
+lockOrderChecking()
+{
+    return g_checking.load(std::memory_order_relaxed);
+}
+
+namespace sync_detail {
+
+void
+noteAcquire(const void *mutex, const char *name,
+            const std::source_location &site)
+{
+    // Disabled mode records nothing at all (not even the held stack),
+    // which is why checking must be enabled before threads that hold
+    // locks across the switch are spawned.
+    if (!checkingEnabled())
+        return;
+    if (!t_held.empty()) {
+        pthread_mutex_lock(&g_registryMutex);
+        for (const Held &held : t_held) {
+            if (held.mutex == mutex)
+                continue; // UniqueLock re-entry is the caller's bug.
+            std::set<const void *> visited;
+            if (reachable(mutex, held.mutex, visited)) {
+                const Edge *reverse =
+                    firstEdgeTowards(mutex, held.mutex);
+                pthread_mutex_unlock(&g_registryMutex);
+                reportCycle(held, mutex, name, site, reverse);
+            }
+            edges().try_emplace({held.mutex, mutex},
+                                Edge{held.name, name, held.site, site});
+        }
+        pthread_mutex_unlock(&g_registryMutex);
+    }
+    t_held.push_back(Held{mutex, name, site});
+}
+
+void
+noteRelease(const void *mutex)
+{
+    if (t_held.empty())
+        return;
+    // Locks usually release in LIFO order; scan from the back so the
+    // common case is O(1).
+    for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+        if (it->mutex == mutex) {
+            t_held.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+void
+noteDestroy(const void *mutex)
+{
+    if (!g_checking.load(std::memory_order_relaxed))
+        return;
+    // Forget every edge touching the destroyed identity so a later
+    // allocation at the same address cannot inherit stale ordering.
+    pthread_mutex_lock(&g_registryMutex);
+    auto &graph = edges();
+    for (auto it = graph.begin(); it != graph.end();) {
+        if (it->first.first == mutex || it->first.second == mutex)
+            it = graph.erase(it);
+        else
+            ++it;
+    }
+    pthread_mutex_unlock(&g_registryMutex);
+}
+
+} // namespace sync_detail
+
+} // namespace accpar::util

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Capability-annotated synchronization primitives for the whole repo.
+ *
+ * Every mutex, shared mutex and condition variable in src/ goes through
+ * these wrappers instead of the raw standard-library types (enforced by
+ * ALINT01 in tools/accpar_lint.py). The wrappers carry Clang
+ * thread-safety capability attributes, so a Clang build with
+ * `-Wthread-safety -Werror` (the CI `thread-safety` job) rejects any
+ * unannotated access to shared state at compile time: a field declared
+ * `ACCPAR_GUARDED_BY(_mutex)` cannot be read or written without the
+ * analysis proving `_mutex` is held. On non-Clang compilers the
+ * attribute macros expand to nothing and the wrappers are zero-cost
+ * forwarding shims.
+ *
+ * Debug lock-order registry: with checking enabled (setLockOrderChecking
+ * or the ACCPAR_LOCK_ORDER_DEBUG=1 environment variable, read once at
+ * first acquisition) every acquisition records a (held -> acquired)
+ * edge keyed by mutex identity, with the std::source_location of both
+ * acquisitions. The first acquisition that would close a cycle in that
+ * edge graph — the classic A->B / B->A deadlock shape — aborts the
+ * process with a single-line report naming the two offending
+ * acquisition sites. Checking is off by default and costs one relaxed
+ * atomic load per acquisition when off.
+ */
+
+#ifndef ACCPAR_UTIL_SYNC_H
+#define ACCPAR_UTIL_SYNC_H
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <source_location>
+
+// ---------------------------------------------------------------------
+// Clang thread-safety capability attributes (no-ops elsewhere).
+// ---------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ACCPAR_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ACCPAR_THREAD_ANNOTATION
+#define ACCPAR_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability (named in diagnostics). */
+#define ACCPAR_CAPABILITY(x) ACCPAR_THREAD_ANNOTATION(capability(x))
+/** Marks an RAII type whose lifetime holds a capability. */
+#define ACCPAR_SCOPED_CAPABILITY ACCPAR_THREAD_ANNOTATION(scoped_lockable)
+/** Declares that a field may only be accessed with the capability held. */
+#define ACCPAR_GUARDED_BY(x) ACCPAR_THREAD_ANNOTATION(guarded_by(x))
+/** As GUARDED_BY, for the pointee of a pointer field. */
+#define ACCPAR_PT_GUARDED_BY(x) ACCPAR_THREAD_ANNOTATION(pt_guarded_by(x))
+/** The function acquires the capability exclusively. */
+#define ACCPAR_ACQUIRE(...) \
+    ACCPAR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/** The function acquires the capability shared (read-side). */
+#define ACCPAR_ACQUIRE_SHARED(...) \
+    ACCPAR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/** The function releases the capability. */
+#define ACCPAR_RELEASE(...) \
+    ACCPAR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/** The function releases a shared hold of the capability. */
+#define ACCPAR_RELEASE_SHARED(...) \
+    ACCPAR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/** Callers must hold the capability exclusively. */
+#define ACCPAR_REQUIRES(...) \
+    ACCPAR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/** Callers must hold the capability at least shared. */
+#define ACCPAR_REQUIRES_SHARED(...) \
+    ACCPAR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/** Callers must NOT hold the capability (deadlock prevention). */
+#define ACCPAR_EXCLUDES(...) \
+    ACCPAR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/** The function returns a reference to the named capability. */
+#define ACCPAR_RETURN_CAPABILITY(x) \
+    ACCPAR_THREAD_ANNOTATION(lock_returned(x))
+/** Opts one function out of the analysis (use sparingly, say why). */
+#define ACCPAR_NO_THREAD_SAFETY_ANALYSIS \
+    ACCPAR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace accpar::util {
+
+namespace sync_detail {
+
+/**
+ * Lock-order registry hooks. noteAcquire runs *before* blocking on the
+ * real lock, so a would-be deadlock is reported instead of hung; on a
+ * detected cycle it writes a single-line report with both acquisition
+ * sites to stderr and aborts. All three are no-ops (one relaxed atomic
+ * load) while checking is disabled.
+ */
+void noteAcquire(const void *mutex, const char *name,
+                 const std::source_location &site);
+void noteRelease(const void *mutex);
+void noteDestroy(const void *mutex);
+
+} // namespace sync_detail
+
+/**
+ * Enables/disables the debug lock-order registry at runtime. Enable it
+ * before spawning threads; disabling clears the recorded edge graph.
+ */
+void setLockOrderChecking(bool enabled);
+
+/** True when the lock-order registry is active. */
+bool lockOrderChecking();
+
+/** Exclusive mutex (wraps the standard one; adds capability + registry). */
+class ACCPAR_CAPABILITY("mutex") Mutex
+{
+  public:
+    /** @p name appears in lock-order cycle reports; keep it a literal. */
+    explicit Mutex(const char *name = "mutex") : _name(name) {}
+    ~Mutex() { sync_detail::noteDestroy(this); }
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock(const std::source_location &site =
+             std::source_location::current()) ACCPAR_ACQUIRE()
+    {
+        sync_detail::noteAcquire(this, _name, site);
+        _impl.lock();
+    }
+
+    void
+    unlock() ACCPAR_RELEASE()
+    {
+        _impl.unlock();
+        sync_detail::noteRelease(this);
+    }
+
+    /** The wrapped handle; only CondVar may wait on it. */
+    std::mutex &native() { return _impl; }
+
+    const char *name() const { return _name; }
+
+  private:
+    std::mutex _impl;
+    const char *_name;
+};
+
+/** Shared (reader/writer) mutex with the same capability semantics. */
+class ACCPAR_CAPABILITY("shared_mutex") SharedMutex
+{
+  public:
+    explicit SharedMutex(const char *name = "shared_mutex")
+        : _name(name)
+    {
+    }
+    ~SharedMutex() { sync_detail::noteDestroy(this); }
+
+    SharedMutex(const SharedMutex &) = delete;
+    SharedMutex &operator=(const SharedMutex &) = delete;
+
+    void
+    lock(const std::source_location &site =
+             std::source_location::current()) ACCPAR_ACQUIRE()
+    {
+        sync_detail::noteAcquire(this, _name, site);
+        _impl.lock();
+    }
+
+    void
+    unlock() ACCPAR_RELEASE()
+    {
+        _impl.unlock();
+        sync_detail::noteRelease(this);
+    }
+
+    void
+    lockShared(const std::source_location &site =
+                   std::source_location::current()) ACCPAR_ACQUIRE_SHARED()
+    {
+        sync_detail::noteAcquire(this, _name, site);
+        _impl.lock_shared();
+    }
+
+    void
+    unlockShared() ACCPAR_RELEASE_SHARED()
+    {
+        _impl.unlock_shared();
+        sync_detail::noteRelease(this);
+    }
+
+    const char *name() const { return _name; }
+
+  private:
+    std::shared_mutex _impl;
+    const char *_name;
+};
+
+/**
+ * Scoped exclusive lock over a Mutex or (exclusively) a SharedMutex.
+ * The drop-in replacement for the former std lock guard uses.
+ */
+class ACCPAR_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &mutex,
+                       const std::source_location &site =
+                           std::source_location::current())
+        ACCPAR_ACQUIRE(mutex)
+        : _mutex(&mutex)
+    {
+        _mutex->lock(site);
+    }
+
+    explicit LockGuard(SharedMutex &mutex,
+                       const std::source_location &site =
+                           std::source_location::current())
+        ACCPAR_ACQUIRE(mutex)
+        : _shared(&mutex)
+    {
+        _shared->lock(site);
+    }
+
+    ~LockGuard() ACCPAR_RELEASE()
+    {
+        if (_mutex)
+            _mutex->unlock();
+        else
+            _shared->unlock();
+    }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex *_mutex = nullptr;
+    SharedMutex *_shared = nullptr;
+};
+
+/** Scoped shared (read) lock over a SharedMutex. */
+class ACCPAR_SCOPED_CAPABILITY SharedLock
+{
+  public:
+    explicit SharedLock(SharedMutex &mutex,
+                        const std::source_location &site =
+                            std::source_location::current())
+        ACCPAR_ACQUIRE_SHARED(mutex)
+        : _mutex(mutex)
+    {
+        _mutex.lockShared(site);
+    }
+
+    ~SharedLock() ACCPAR_RELEASE()
+    {
+        _mutex.unlockShared();
+    }
+
+    SharedLock(const SharedLock &) = delete;
+    SharedLock &operator=(const SharedLock &) = delete;
+
+  private:
+    SharedMutex &_mutex;
+};
+
+/**
+ * Scoped exclusive lock that a CondVar can wait on. Always owns the
+ * mutex outside of CondVar::wait (wait re-acquires before returning),
+ * which is exactly how the capability analysis models it.
+ */
+class ACCPAR_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mutex,
+                        const std::source_location &site =
+                            std::source_location::current())
+        ACCPAR_ACQUIRE(mutex)
+        : _mutex(mutex)
+    {
+        _mutex.lock(site);
+        _lock = {_mutex.native(), std::adopt_lock};
+    }
+
+    ~UniqueLock() ACCPAR_RELEASE()
+    {
+        // The wrapped lock releases on destruction; mirror that in the
+        // registry first so the held stack never underflows.
+        sync_detail::noteRelease(&_mutex);
+    }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+  private:
+    friend class CondVar;
+    Mutex &_mutex;
+    std::unique_lock<std::mutex> _lock;
+};
+
+/**
+ * Condition variable bound to util::Mutex via UniqueLock. wait() has no
+ * capability annotation on purpose: the lock is held on entry and on
+ * return, so from the caller's scope the capability is continuously
+ * held — write waits as explicit `while (!condition) cv.wait(lock);`
+ * loops so the analysis sees the guarded reads under the lock.
+ */
+class CondVar
+{
+  public:
+    void wait(UniqueLock &lock) { _impl.wait(lock._lock); }
+    void notifyOne() { _impl.notify_one(); }
+    void notifyAll() { _impl.notify_all(); }
+
+  private:
+    std::condition_variable _impl;
+};
+
+} // namespace accpar::util
+
+#endif // ACCPAR_UTIL_SYNC_H

@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(int jobs)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        const LockGuard lock(_mutex);
         _stop = true;
     }
-    _wake.notify_all();
+    _wake.notifyAll();
     for (std::thread &worker : _workers)
         worker.join();
 }
@@ -35,10 +35,10 @@ ThreadPool::executeOne(Batch &batch, std::size_t index)
         batch.errors[index] = std::current_exception();
     }
     {
-        std::lock_guard<std::mutex> lock(batch.mutex);
+        const LockGuard lock(batch.mutex);
         ++batch.finished;
         if (batch.finished == batch.tasks.size())
-            batch.done.notify_all();
+            batch.done.notifyAll();
     }
 }
 
@@ -59,8 +59,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::shared_ptr<Batch> batch;
         {
-            std::unique_lock<std::mutex> lock(_mutex);
-            _wake.wait(lock, [this] { return _stop || !_queue.empty(); });
+            UniqueLock lock(_mutex);
+            while (!_stop && _queue.empty())
+                _wake.wait(lock);
             if (_stop)
                 return;
             batch = _queue.front();
@@ -92,17 +93,16 @@ ThreadPool::run(std::vector<std::function<void()>> tasks)
         helpWith(*batch);
     } else {
         {
-            std::lock_guard<std::mutex> lock(_mutex);
+            const LockGuard lock(_mutex);
             _queue.push_back(batch);
         }
-        _wake.notify_all();
+        _wake.notifyAll();
         // The caller works on its own batch; it never claims tasks of
         // other batches, which bounds stack growth and avoids deadlock.
         helpWith(*batch);
-        std::unique_lock<std::mutex> lock(batch->mutex);
-        batch->done.wait(lock, [&] {
-            return batch->finished == batch->tasks.size();
-        });
+        UniqueLock lock(batch->mutex);
+        while (batch->finished != batch->tasks.size())
+            batch->done.wait(lock);
     }
 
     for (const std::exception_ptr &error : batch->errors) {

@@ -22,14 +22,14 @@
 #define ACCPAR_UTIL_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace accpar::util {
 
@@ -59,7 +59,8 @@ class ThreadPool
      * failing task is rethrown (deterministic error reporting). Safe to
      * call from inside a pool task (nested fork/join).
      */
-    void run(std::vector<std::function<void()>> tasks);
+    void run(std::vector<std::function<void()>> tasks)
+        ACCPAR_EXCLUDES(_mutex);
 
     /**
      * Schedules @p fn for asynchronous execution and returns its future.
@@ -80,12 +81,14 @@ class ThreadPool
     /** One fork/join region: a vector of tasks claimed by index. */
     struct Batch
     {
+        /** Immutable after run() publishes the batch; slots in errors
+         *  are written only by the task that owns the index. */
         std::vector<std::function<void()>> tasks;
         std::atomic<std::size_t> next{0};
-        std::size_t finished = 0; ///< guarded by mutex
         std::vector<std::exception_ptr> errors;
-        std::mutex mutex;
-        std::condition_variable done;
+        Mutex mutex{"ThreadPool::Batch::mutex"};
+        CondVar done;
+        std::size_t finished ACCPAR_GUARDED_BY(mutex) = 0;
     };
 
     void workerLoop();
@@ -94,10 +97,10 @@ class ThreadPool
     static void helpWith(Batch &batch);
 
     std::vector<std::thread> _workers;
-    std::deque<std::shared_ptr<Batch>> _queue; ///< guarded by _mutex
-    std::mutex _mutex;
-    std::condition_variable _wake;
-    bool _stop = false;
+    Mutex _mutex{"ThreadPool::_mutex"};
+    CondVar _wake;
+    std::deque<std::shared_ptr<Batch>> _queue ACCPAR_GUARDED_BY(_mutex);
+    bool _stop ACCPAR_GUARDED_BY(_mutex) = false;
 };
 
 /**

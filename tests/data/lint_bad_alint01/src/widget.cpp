@@ -1,0 +1,16 @@
+// Fixture: raw standard-library locking outside util/sync.h.
+#include <mutex>
+
+namespace demo {
+
+std::mutex g_lock;
+int g_counter = 0;
+
+int
+bump()
+{
+    const std::lock_guard<std::mutex> lock(g_lock);
+    return ++g_counter;
+}
+
+} // namespace demo

@@ -1,0 +1,15 @@
+// Fixture: nondeterministic float emission.
+#include <cstdio>
+#include <string>
+
+namespace demo {
+
+std::string
+formatScore(double score)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", score);
+    return std::string(buf) + " / " + std::to_string(score * 0.5);
+}
+
+} // namespace demo

@@ -1,0 +1,11 @@
+// Fixture: this file is frozen in the manifest, but with a stale hash
+// — as if someone edited it without updating the manifest.
+namespace demo {
+
+int
+answer()
+{
+    return 42;
+}
+
+} // namespace demo

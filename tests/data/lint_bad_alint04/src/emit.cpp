@@ -1,0 +1,13 @@
+// Fixture: emits a stable diagnostic code that DESIGN.md does not
+// document (and its DESIGN.md documents one nothing emits).
+#include <string>
+
+namespace demo {
+
+std::string
+code()
+{
+    return "AZ01";
+}
+
+} // namespace demo

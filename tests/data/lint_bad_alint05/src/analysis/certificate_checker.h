@@ -1,0 +1,11 @@
+// Fixture: the checker root transitively includes the solver kernel.
+#ifndef DEMO_CERTIFICATE_CHECKER_H
+#define DEMO_CERTIFICATE_CHECKER_H
+
+#include "core/helper.h"
+
+namespace demo {
+bool check();
+}
+
+#endif

@@ -1,0 +1,8 @@
+#ifndef DEMO_DP_KERNEL_H
+#define DEMO_DP_KERNEL_H
+
+namespace demo {
+int solve();
+}
+
+#endif

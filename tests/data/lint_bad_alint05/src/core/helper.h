@@ -1,0 +1,10 @@
+#ifndef DEMO_HELPER_H
+#define DEMO_HELPER_H
+
+#include "core/dp_kernel.h"
+
+namespace demo {
+int helper();
+}
+
+#endif

@@ -1,0 +1,12 @@
+// Fixture checker root: includes a helper that does NOT reach the
+// solver kernel, so the independence walk (ALINT05) passes.
+#ifndef DEMO_CLEAN_CHECKER_H
+#define DEMO_CLEAN_CHECKER_H
+
+#include "core/types.h"
+
+namespace demo {
+bool check();
+}
+
+#endif

@@ -1,0 +1,10 @@
+#ifndef DEMO_TYPES_H
+#define DEMO_TYPES_H
+
+namespace demo {
+struct Cell {
+    long cost;
+};
+}
+
+#endif

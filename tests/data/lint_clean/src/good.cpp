@@ -1,0 +1,20 @@
+// Fixture: a clean tree — one documented diagnostic code, floats
+// serialized as integers-only strings, no raw locking, and a frozen
+// file whose manifest hash matches.
+#include <string>
+
+namespace demo {
+
+std::string
+diagnose()
+{
+    return "AG001";
+}
+
+std::string
+renderCount(int count)
+{
+    return std::to_string(count);
+}
+
+} // namespace demo

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The util::sync wrappers and the debug lock-order registry.
+ *
+ * The cycle tests use EXPECT_DEATH: the registry's whole point is to
+ * abort the process with both offending acquisition sites, so each
+ * death test runs the inversion in a forked child and matches the
+ * single-line report. Lock-order checking is process-global; tests
+ * that enable it switch it back off on exit so the rest of the suite
+ * (and gtest's own machinery) runs with the zero-overhead default.
+ */
+
+#include "util/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+using accpar::util::CondVar;
+using accpar::util::LockGuard;
+using accpar::util::Mutex;
+using accpar::util::SharedLock;
+using accpar::util::SharedMutex;
+using accpar::util::UniqueLock;
+using accpar::util::setLockOrderChecking;
+
+/** Scope guard: enable the registry, restore the default on exit. */
+class CheckingScope
+{
+  public:
+    CheckingScope() { setLockOrderChecking(true); }
+    ~CheckingScope() { setLockOrderChecking(false); }
+};
+
+TEST(UtilSync, MutexProtectsCounterAcrossThreads)
+{
+    Mutex mutex("test::counter");
+    int counter = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 1000; ++i) {
+                const LockGuard lock(mutex);
+                ++counter;
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter, 4000);
+}
+
+TEST(UtilSync, SharedMutexAllowsConcurrentReaders)
+{
+    SharedMutex mutex("test::shared");
+    int value = 7;
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            for (int i = 0; i < 100; ++i) {
+                const SharedLock lock(mutex);
+                EXPECT_EQ(value % 7, 0);
+            }
+        });
+    }
+    {
+        const LockGuard lock(mutex); // exclusive over a SharedMutex
+        value *= 2;
+    }
+    for (std::thread &thread : readers)
+        thread.join();
+    EXPECT_EQ(value % 7, 0);
+}
+
+TEST(UtilSync, CondVarWakesWaiter)
+{
+    Mutex mutex("test::cv");
+    CondVar ready;
+    bool flag = false;
+    std::thread waiter([&] {
+        UniqueLock lock(mutex);
+        while (!flag)
+            ready.wait(lock);
+    });
+    {
+        const LockGuard lock(mutex);
+        flag = true;
+    }
+    ready.notifyOne();
+    waiter.join();
+    EXPECT_TRUE(flag);
+}
+
+TEST(UtilSync, CleanNestingPassesWithCheckingOn)
+{
+    const CheckingScope checking;
+    Mutex outer("test::outer");
+    Mutex inner("test::inner");
+    // Consistent outer -> inner order on every path: no cycle, no
+    // abort, even across threads.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 50; ++i) {
+                const LockGuard first(outer);
+                const LockGuard second(inner);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    SUCCEED();
+}
+
+/**
+ * A -> B then B -> A in one thread must die with the single-line
+ * report naming both orders. The regex pins the load-bearing parts:
+ * the rule name, both mutex names, and this file appearing as both
+ * the acquiring and the held site.
+ */
+TEST(UtilSyncDeathTest, AbInversionAborts)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            setLockOrderChecking(true);
+            Mutex a("test::A");
+            Mutex b("test::B");
+            {
+                const LockGuard first(a);
+                const LockGuard second(b); // establishes A -> B
+            }
+            const LockGuard first(b);
+            const LockGuard second(a); // closes the cycle: aborts
+        },
+        "lock-order cycle: acquiring test::A at "
+        ".*util_sync_test\\.cpp:[0-9]+ while holding test::B acquired "
+        "at .*util_sync_test\\.cpp:[0-9]+.*reverse order "
+        "test::A -> test::B");
+}
+
+/** The inversion is caught even when the two orders come from
+ *  different threads (the edge graph is global, the held stack is
+ *  per-thread). */
+TEST(UtilSyncDeathTest, CrossThreadInversionAborts)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            setLockOrderChecking(true);
+            Mutex a("test::A");
+            Mutex b("test::B");
+            std::thread establisher([&] {
+                const LockGuard first(a);
+                const LockGuard second(b);
+            });
+            establisher.join();
+            const LockGuard first(b);
+            const LockGuard second(a);
+        },
+        "lock-order cycle: acquiring test::A .* while holding "
+        "test::B");
+}
+
+/** With checking off (the default), an inversion is not tracked and
+ *  must not abort — the registry is strictly opt-in. */
+TEST(UtilSync, InversionIgnoredWhenCheckingOff)
+{
+#if defined(__SANITIZE_THREAD__)
+    GTEST_SKIP() << "deliberate inversion trips TSan's own deadlock "
+                    "detector (the death tests cover it in children)";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+    GTEST_SKIP() << "deliberate inversion trips TSan's own deadlock "
+                    "detector (the death tests cover it in children)";
+#endif
+#endif
+    Mutex a("test::A");
+    Mutex b("test::B");
+    {
+        const LockGuard first(a);
+        const LockGuard second(b);
+    }
+    {
+        const LockGuard first(b);
+        const LockGuard second(a);
+    }
+    SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,423 @@
+#!/usr/bin/env python3
+"""accpar_lint — repo-invariant static lint for the AccPar tree.
+
+Grown out of check_diag_codes.py: the same diagnostic-catalog and
+checker-independence invariants, now one rule each in a multi-rule
+linter with stable codes, JSON output and self-test fixtures. Run by
+ctest (`accpar_lint` against the repo, `lint_selftest` against the
+fixtures) and as a standalone CI step.
+
+Rules (stable codes — never reuse or renumber):
+
+  ALINT01  Raw standard-library synchronization (std::mutex,
+           std::lock_guard, std::unique_lock, std::shared_mutex,
+           std::scoped_lock, std::shared_lock, std::condition_variable,
+           recursive/timed variants) appears in src/ outside
+           util/sync.h. All locking must go through the
+           capability-annotated util::sync wrappers so the Clang
+           -Wthread-safety build sees every acquisition.
+  ALINT02  Nondeterministic float emission: a printf-style float
+           conversion (%f/%e/%g/%a family) outside the deterministic
+           %.17g emitters (util/json.cpp, core/planner.cpp), a
+           non-%.17g float conversion inside one, or std::to_string of
+           a floating-point expression anywhere in src/. Serialized floats must round-trip
+           byte-identically (plans, certificates, fingerprints), which
+           only the shared %.17g emitter guarantees.
+  ALINT03  A frozen file (recorded in tools/frozen_manifest.json with
+           its SHA-256) was modified or deleted. The frozen set — the
+           pre-flattening legacy DP solver and the independent
+           certificate-recurrence checker — is the reference against
+           which bit-identity and audit guarantees are stated; changing
+           one is a deliberate act that must update the manifest in the
+           same commit.
+  ALINT04  Diagnostic-code catalog incoherence: a stable code (AG*,
+           AP*, APIO*, AMIO*, AC*, ACIO*, ASRV*, ADOT*, AONX*, ALINT*)
+           is emitted from a src/ string literal but undocumented in
+           DESIGN.md, documented but never emitted, or documented more
+           than once.
+  ALINT05  The certificate checker reaches the solver kernel: the
+           quoted-include graph from the checker roots reaches
+           core/dp_kernel.h, which would void the independence of the
+           audit.
+
+Usage:
+  accpar_lint.py [repo_root] [--json] [--rules ALINT01,ALINT03]
+  accpar_lint.py --self-test [fixtures_dir]
+
+Exit status: 0 clean, 1 findings (or a self-test mismatch), 2 usage.
+"""
+
+import argparse
+import hashlib
+import json
+import re
+import sys
+from pathlib import Path
+
+TOOL_VERSION = "1.0.0"
+
+CODE_RE = re.compile(r"\bA[A-Z]{1,6}[0-9]{2,3}\b")
+STRING_RE = re.compile(r'"((?:[^"\\\n]|\\.)*)"')
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+DESIGN_ROW_RE = re.compile(r"^\|\s*(A[A-Z]{1,6}[0-9]{2,3})\s*\|")
+
+RAW_SYNC_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_)?mutex\b"
+    r"|std::shared_(?:mutex|timed_mutex|lock)\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock)\b")
+# A printf conversion consuming a floating argument: %[flags][width]
+# [.precision](length)[aefgAEFG]. The space flag is deliberately not
+# matched: it is never used here and "% a" appears in prose literals.
+FLOAT_CONV_RE = re.compile(
+    r"%[-+#0']*[0-9*]*(?:\.[0-9*]+)?(?:[lLh]*)[aefgAEFG]")
+CANONICAL_FLOAT_CONV = "%.17g"
+TO_STRING_RE = re.compile(r"std::to_string\s*\(([^()]*(?:\([^()]*\))?[^()]*)\)")
+FLOAT_ARG_RE = re.compile(
+    r"\d\.\d|\d\.[fF]?\)|\de[-+]?\d"
+    r"|static_cast<\s*(?:double|float|long double)\s*>"
+    r"|\(\s*(?:double|float)\s*\)")
+
+# ALINT01: the one file allowed to name the raw primitives (it wraps
+# them). Its .cpp deliberately avoids them too (POSIX mutex inside), so
+# the allowlist is exactly what the acceptance `rg` exempts.
+SYNC_ALLOWED = {"src/util/sync.h"}
+# ALINT02: the deterministic emitters every serialized float goes
+# through (JSON output and the planner's cache-key fingerprint), and
+# the only conversion they may use.
+FLOAT_EMITTERS = {"src/util/json.cpp", "src/core/planner.cpp"}
+# ALINT05: roots of the independence walk (relative to src/) and the
+# header that must stay unreachable.
+CHECKER_ROOTS = [
+    "analysis/certificate_checker.h",
+    "analysis/certificate_checker.cpp",
+    "core/certificate.h",
+]
+FORBIDDEN_HEADER = "core/dp_kernel.h"
+
+MANIFEST_PATH = "tools/frozen_manifest.json"
+
+RULES = {
+    "ALINT01": "raw std synchronization primitive outside util/sync.h",
+    "ALINT02": "nondeterministic float emission outside the %.17g emitter",
+    "ALINT03": "frozen file modified without updating the manifest",
+    "ALINT04": "diagnostic-code catalog incoherent with DESIGN.md",
+    "ALINT05": "certificate checker reaches the solver kernel",
+}
+
+
+class Finding:
+    def __init__(self, code, path, line, message):
+        self.code = code
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def render(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"accpar_lint: {self.code} {where}: {self.message}"
+
+    def to_json(self):
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def iter_sources(src: Path):
+    for path in sorted(src.rglob("*")):
+        if path.suffix in (".h", ".cpp"):
+            yield path
+
+
+def strip_line_comment(line: str) -> str:
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def check_raw_sync(root: Path):
+    """ALINT01 — including comments: the invariant is checked with a
+    plain grep in CI docs, so the tool flags exactly what rg would."""
+    findings = []
+    src = root / "src"
+    for path in iter_sources(src):
+        rel = path.relative_to(root).as_posix()
+        if rel in SYNC_ALLOWED:
+            continue
+        for number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            match = RAW_SYNC_RE.search(line)
+            if match:
+                findings.append(Finding(
+                    "ALINT01", rel, number,
+                    f"raw {match.group(0)} — use the util::sync "
+                    f"wrappers (util/sync.h) so the thread-safety "
+                    f"analysis sees this acquisition"))
+    return findings
+
+
+def check_float_emission(root: Path):
+    """ALINT02 over string literals and std::to_string call sites."""
+    findings = []
+    src = root / "src"
+    for path in iter_sources(src):
+        rel = path.relative_to(root).as_posix()
+        is_emitter = rel in FLOAT_EMITTERS
+        for number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            code_part = strip_line_comment(line)
+            for literal in STRING_RE.findall(code_part):
+                for conv in FLOAT_CONV_RE.findall(literal):
+                    if is_emitter and conv == CANONICAL_FLOAT_CONV:
+                        continue
+                    if is_emitter:
+                        findings.append(Finding(
+                            "ALINT02", rel, number,
+                            f"emitter uses {conv}; the deterministic "
+                            f"emitter must only use "
+                            f"{CANONICAL_FLOAT_CONV}"))
+                    else:
+                        findings.append(Finding(
+                            "ALINT02", rel, number,
+                            f"printf float conversion {conv} outside "
+                            f"the deterministic emitter — serialize "
+                            f"doubles through util::json"))
+            for call in TO_STRING_RE.finditer(code_part):
+                if FLOAT_ARG_RE.search(call.group(1)):
+                    findings.append(Finding(
+                        "ALINT02", rel, number,
+                        "std::to_string of a floating-point "
+                        "expression is locale/precision-dependent — "
+                        "serialize doubles through util::json"))
+    return findings
+
+
+def check_frozen(root: Path):
+    """ALINT03 against tools/frozen_manifest.json (absent = no frozen
+    set, e.g. in fixture trees that exercise other rules)."""
+    manifest_file = root / MANIFEST_PATH
+    if not manifest_file.exists():
+        return []
+    findings = []
+    try:
+        manifest = json.loads(manifest_file.read_text(encoding="utf-8"))
+        entries = manifest["frozen"]
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        return [Finding("ALINT03", MANIFEST_PATH, 0,
+                        f"unreadable manifest: {error}")]
+    for entry in entries:
+        rel = entry["path"]
+        recorded = entry["sha256"]
+        target = root / rel
+        if not target.exists():
+            findings.append(Finding(
+                "ALINT03", rel, 0,
+                "frozen file deleted; remove its manifest entry only "
+                "with the change that retires the guarantee"))
+            continue
+        actual = hashlib.sha256(target.read_bytes()).hexdigest()
+        if actual != recorded:
+            findings.append(Finding(
+                "ALINT03", rel, 0,
+                f"frozen file changed (sha256 {actual[:12]}…, manifest "
+                f"records {recorded[:12]}…) — if intentional, update "
+                f"{MANIFEST_PATH} in the same commit and say why"))
+    return findings
+
+
+def source_codes(src: Path):
+    found = {}
+    for path in iter_sources(src):
+        text = path.read_text(encoding="utf-8")
+        for literal in STRING_RE.findall(text):
+            for code in CODE_RE.findall(literal):
+                found.setdefault(code, set()).add(
+                    str(path.relative_to(src.parent)))
+    return found
+
+
+def documented_codes(design: Path):
+    rows = {}
+    if not design.exists():
+        return rows
+    for number, line in enumerate(
+            design.read_text(encoding="utf-8").splitlines(), start=1):
+        match = DESIGN_ROW_RE.match(line)
+        if match:
+            rows.setdefault(match.group(1), []).append(number)
+    return rows
+
+
+def check_catalog(root: Path):
+    """ALINT04 — source literals vs DESIGN.md rows. When linting the
+    real repo (the tree that contains this tool) the linter's own rule
+    codes count as emitted, so ALINT* rows are required in DESIGN.md."""
+    findings = []
+    design = root / "DESIGN.md"
+    in_source = source_codes(root / "src")
+    if (root / "tools" / Path(__file__).name).exists():
+        for code in RULES:
+            in_source.setdefault(code, set()).add(
+                f"tools/{Path(__file__).name}")
+    in_design = documented_codes(design)
+
+    for code in sorted(set(in_source) - set(in_design)):
+        findings.append(Finding(
+            "ALINT04", "DESIGN.md", 0,
+            f"{code} is emitted from {sorted(in_source[code])} but has "
+            f"no catalog row"))
+    for code in sorted(set(in_design) - set(in_source)):
+        findings.append(Finding(
+            "ALINT04", "DESIGN.md", in_design[code][0],
+            f"{code} is documented but no source emits it (stale "
+            f"catalog entry)"))
+    for code, lines in sorted(in_design.items()):
+        if len(lines) > 1:
+            findings.append(Finding(
+                "ALINT04", "DESIGN.md", lines[1],
+                f"{code} is documented more than once (lines {lines})"))
+    return findings
+
+
+def check_independence(root: Path):
+    """ALINT05 — BFS the quoted-include graph from the checker roots."""
+    src = root / "src"
+    reached = {}
+    queue = []
+    for start in CHECKER_ROOTS:
+        if (src / start).exists():
+            reached[start] = "(root)"
+            queue.append(start)
+    while queue:
+        current = queue.pop()
+        text = (src / current).read_text(encoding="utf-8")
+        for include in INCLUDE_RE.findall(text):
+            if include in reached or not (src / include).exists():
+                continue
+            reached[include] = current
+            queue.append(include)
+    if FORBIDDEN_HEADER not in reached:
+        return []
+    chain = [FORBIDDEN_HEADER]
+    while reached[chain[-1]] != "(root)":
+        chain.append(reached[chain[-1]])
+    return [Finding(
+        "ALINT05", "src/" + chain[-1], 0,
+        "certificate checker reaches the solver kernel: "
+        + " <- ".join(chain)
+        + " — the audit must stay independent of dp_kernel.h")]
+
+
+CHECKS = {
+    "ALINT01": check_raw_sync,
+    "ALINT02": check_float_emission,
+    "ALINT03": check_frozen,
+    "ALINT04": check_catalog,
+    "ALINT05": check_independence,
+}
+
+
+def run_rules(root: Path, rules):
+    findings = []
+    for code in rules:
+        findings.extend(CHECKS[code](root))
+    findings.sort(key=lambda f: (f.code, f.path, f.line))
+    return findings
+
+
+def render_json(root: Path, rules, findings):
+    return json.dumps({
+        "tool": "accpar_lint",
+        "version": TOOL_VERSION,
+        "root": str(root),
+        "rules": {code: RULES[code] for code in rules},
+        "findings": [f.to_json() for f in findings],
+        "ok": not findings,
+    }, indent=2) + "\n"
+
+
+def self_test(fixtures: Path) -> int:
+    """Runs every lint_* fixture mini-tree and checks the verdicts:
+    each lint_bad_<code> tree must trip exactly that code (and nothing
+    else), lint_clean must pass every rule."""
+    failures = []
+    ran = 0
+    for tree in sorted(fixtures.glob("lint_*")):
+        if not tree.is_dir():
+            continue
+        ran += 1
+        findings = run_rules(tree, sorted(CHECKS))
+        got = sorted({f.code for f in findings})
+        name = tree.name
+        if name == "lint_clean":
+            if got:
+                failures.append(
+                    f"{name}: expected clean, got {got}: "
+                    + "; ".join(f.render() for f in findings))
+        elif name.startswith("lint_bad_"):
+            expected = name[len("lint_bad_"):].upper()
+            if got != [expected]:
+                failures.append(
+                    f"{name}: expected exactly [{expected}], got {got}")
+        else:
+            failures.append(f"{name}: unrecognized fixture naming")
+    if ran == 0:
+        failures.append(f"no lint_* fixtures under {fixtures}")
+    if failures:
+        for failure in failures:
+            print(f"accpar_lint self-test: FAIL {failure}",
+                  file=sys.stderr)
+        return 1
+    print(f"accpar_lint self-test: {ran} fixtures behave as recorded")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="accpar_lint.py",
+        description="Repo-invariant lint for the AccPar tree.")
+    parser.add_argument("root", nargs="?", default=None,
+                        help="repo root (default: the tool's parent)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report on stdout")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset, e.g. "
+                             "ALINT01,ALINT03 (default: all)")
+    parser.add_argument("--self-test", metavar="FIXTURES_DIR",
+                        nargs="?", const="", default=None,
+                        help="run the fixture mini-trees instead of a "
+                             "repo (default dir: tests/data)")
+    args = parser.parse_args()
+
+    tool_root = Path(__file__).resolve().parent.parent
+    if args.self_test is not None:
+        fixtures = Path(args.self_test) if args.self_test else \
+            tool_root / "tests" / "data"
+        return self_test(fixtures)
+
+    root = Path(args.root).resolve() if args.root else tool_root
+    if args.rules:
+        rules = sorted(set(args.rules.split(",")))
+        unknown = [code for code in rules if code not in CHECKS]
+        if unknown:
+            print(f"accpar_lint: unknown rule(s) {unknown}; have "
+                  f"{sorted(CHECKS)}", file=sys.stderr)
+            return 2
+    else:
+        rules = sorted(CHECKS)
+
+    findings = run_rules(root, rules)
+    if args.json:
+        sys.stdout.write(render_json(root, rules, findings))
+    else:
+        for finding in findings:
+            print(finding.render(), file=sys.stderr)
+        if not findings:
+            print(f"accpar_lint: {len(rules)} rules clean over {root}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
