@@ -12,7 +12,7 @@
 #include "exec/conv_partitioned.h"
 #include "exec/ops.h"
 #include "exec/partitioned.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

@@ -12,7 +12,7 @@
 #include "core/cost_model.h"
 #include "exec/conv_partitioned.h"
 #include "exec/partitioned.h"
-#include "util/random.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 #include "util/table.h"
 

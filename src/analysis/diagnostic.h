@@ -33,9 +33,11 @@ namespace accpar::analysis {
  * checks and ACIO certificate-loader rules; 3 = + AG009 (residual
  * region past the exact-fallback bound), ADOT/AONX importer rules, and
  * AG007 softened to a warning (the SP-tree solver plans non-chain
- * graphs).
+ * graphs); 4 = + AG010-AG012 (hierarchy-builder defects) and ASRV09
+ * (search request without a usable budget) for the outer-search
+ * subsystem (DESIGN.md §16).
  */
-inline constexpr int kRuleCatalogRevision = 3;
+inline constexpr int kRuleCatalogRevision = 4;
 
 /** How bad a finding is. */
 enum class Severity

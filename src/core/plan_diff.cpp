@@ -57,6 +57,50 @@ diffPlans(const PartitionPlan &left, const PartitionPlan &right,
     return diff;
 }
 
+PlanDiff
+diffPlansByLevel(const PartitionPlan &left,
+                 const hw::Hierarchy &leftHierarchy,
+                 const PartitionPlan &right,
+                 const hw::Hierarchy &rightHierarchy)
+{
+    ACCPAR_REQUIRE(left.nodeNames() == right.nodeNames(),
+                   "plans describe different models ("
+                       << left.modelName() << " vs "
+                       << right.modelName() << ")");
+
+    const std::vector<const NodePlan *> left_path =
+        left.leftmostPath(leftHierarchy);
+    const std::vector<const NodePlan *> right_path =
+        right.leftmostPath(rightHierarchy);
+    const std::size_t levels =
+        std::min(left_path.size(), right_path.size());
+
+    PlanDiff diff;
+    double alpha_delta_sum = 0.0;
+    for (std::size_t level = 0; level < levels; ++level) {
+        const NodePlan &l = *left_path[level];
+        const NodePlan &r = *right_path[level];
+
+        const double delta = std::abs(l.alpha - r.alpha);
+        diff.maxAlphaDelta = std::max(diff.maxAlphaDelta, delta);
+        alpha_delta_sum += delta;
+
+        for (std::size_t v = 0; v < l.types.size(); ++v) {
+            ++diff.decisions;
+            if (l.types[v] == r.types[v])
+                continue;
+            ++diff.typeDisagreements;
+            diff.disagreements.push_back(PlanDisagreement{
+                static_cast<hw::NodeId>(level),
+                static_cast<CNodeId>(v), left.nodeNames()[v],
+                l.types[v], r.types[v]});
+        }
+    }
+    diff.meanAlphaDelta =
+        levels ? alpha_delta_sum / static_cast<double>(levels) : 0.0;
+    return diff;
+}
+
 std::string
 formatPlanDiff(const PlanDiff &diff, const std::string &left_label,
                const std::string &right_label, std::size_t max_rows)

@@ -53,6 +53,22 @@ struct PlanDiff
 PlanDiff diffPlans(const PartitionPlan &left, const PartitionPlan &right,
                    const hw::Hierarchy &hierarchy);
 
+/**
+ * Compares two plans searched on *different* hierarchies of the same
+ * array — e.g. the baseline DP plan on the seed hierarchy vs the
+ * outer search's winner on its mutated one (`accpar compare
+ * --search-budget`). Node-by-node comparison is meaningless across
+ * trees, so this walks the leftmost root-to-leaf path of each
+ * hierarchy (the per-level view Figure 7 uses) and compares level i
+ * of one against level i of the other, over min(levels) levels.
+ * PlanDisagreement::hierNode holds the level index here. Throws
+ * ConfigError when the plans' layer sets differ.
+ */
+PlanDiff diffPlansByLevel(const PartitionPlan &left,
+                          const hw::Hierarchy &leftHierarchy,
+                          const PartitionPlan &right,
+                          const hw::Hierarchy &rightHierarchy);
+
 /** Renders the diff for terminal output. */
 std::string formatPlanDiff(const PlanDiff &diff,
                            const std::string &left_label,

@@ -10,6 +10,7 @@
 #include <variant>
 
 #include "analysis/plan_verifier.h"
+#include "search/annealing.h"
 #include "strategies/registry.h"
 #include "util/error.h"
 
@@ -144,6 +145,19 @@ planRequestCanonicalKey(const PlanRequest &request)
     key += request.options.verify ? '1' : '0';
     key += request.options.strict ? 'S' : '-';
 
+    // The outer-search budget changes the produced plan for every
+    // strategy that supports it, so it lives outside the "custom"-only
+    // opts block above.
+    if (request.options.search.enabled()) {
+        const PlanOptions::SearchBudget &s = request.options.search;
+        key += ";search=";
+        key += std::to_string(s.budgetIters);
+        key += ',';
+        appendDouble(key, s.budgetMs);
+        key += ",seed:";
+        key += std::to_string(s.seed);
+    }
+
     key += ";array=";
     for (const hw::GroupSlice &slice : request.array.slices()) {
         key += slice.spec.name;
@@ -248,6 +262,40 @@ Planner::planOne(const PlanRequest &request,
     const auto start = std::chrono::steady_clock::now();
 
     PlanResult result;
+
+    // Outer-loop search: anneal over hierarchy shapes and device
+    // assignments first, then let the request's strategy re-solve the
+    // winning hierarchy below — that final solve is the one that gets
+    // verified and certified, and it is bit-identical to the search's
+    // own evaluation of the winner.
+    const hw::Hierarchy *solve_hierarchy = &hierarchy;
+    if (request.options.search.enabled()) {
+        if (request.strategy != "accpar" && request.strategy != "custom")
+            throw util::ConfigError(
+                "outer search supports strategies 'accpar' and "
+                "'custom' only, got '" +
+                request.strategy + "'");
+        search::SearchOptions search_options;
+        search_options.seed = request.options.search.seed;
+        search_options.budgetIters = request.options.search.budgetIters;
+        search_options.budgetMs = request.options.search.budgetMs;
+        // Named "accpar" carries its canonical knobs; only "custom"
+        // honors the request's PlanOptions (mirrors the solve below).
+        search_options.solver =
+            (request.strategy == "custom" ? request.options
+                                          : PlanOptions())
+                .toSolverOptions(request.strategy);
+        search::SearchOutcome outcome =
+            search::AnnealingDriver(problem, request.array,
+                                    search_options)
+                .run(context);
+        result.searchedHierarchy = std::make_shared<hw::Hierarchy>(
+            std::move(outcome.bestHierarchy));
+        result.searchReport = std::make_shared<search::SearchReport>(
+            std::move(outcome.report));
+        solve_hierarchy = result.searchedHierarchy.get();
+    }
+
     core::SolveContext solve_context = context;
     if (request.options.emitCertificate) {
         result.certificate = std::make_shared<core::PlanCertificate>();
@@ -258,22 +306,22 @@ Planner::planOne(const PlanRequest &request,
         const core::SolverOptions opts =
             request.options.toSolverOptions(request.strategy);
         search_cost = opts.cost;
-        result.plan = core::solveHierarchy(problem, hierarchy, opts,
-                                           solve_context);
+        result.plan = core::solveHierarchy(problem, *solve_hierarchy,
+                                           opts, solve_context);
     } else {
         const strategies::StrategyPtr strategy =
             strategies::makeStrategy(request.strategy);
         search_cost = strategy->costConfig();
         result.plan =
-            strategy->plan(problem, hierarchy, solve_context);
+            strategy->plan(problem, *solve_hierarchy, solve_context);
     }
 
     if (request.options.verify) {
         analysis::DiagnosticSink sink;
         analysis::VerifyOptions verify;
         verify.cost = search_cost;
-        analysis::verifyPlan(problem, hierarchy, result.plan, verify,
-                             sink);
+        analysis::verifyPlan(problem, *solve_hierarchy, result.plan,
+                             verify, sink);
         sink.sort();
         result.diagnostics = sink.diagnostics();
         if (sink.failsStrict(request.options.strict)) {
@@ -286,10 +334,11 @@ Planner::planOne(const PlanRequest &request,
 
     result.strategy = result.plan.strategyName();
     result.model = request.model.name();
-    const hw::NodeId root = hierarchy.root();
+    const hw::NodeId root = solve_hierarchy->root();
     if (result.plan.hasNodePlan(root))
         result.rootCost = result.plan.nodePlan(root).cost;
-    for (const core::NodePlan *node : result.plan.leftmostPath(hierarchy))
+    for (const core::NodePlan *node :
+         result.plan.leftmostPath(*solve_hierarchy))
         result.levelCosts.push_back(node->cost);
     result.planSeconds = secondsSince(start);
     result.jobs = context.pool ? context.pool->concurrency() : 1;

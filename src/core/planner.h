@@ -41,8 +41,12 @@
 
 namespace accpar {
 
+namespace search {
+struct SearchReport;
+}
+
 /** Library version reported by `accpar --version`. */
-inline constexpr char kAccParVersion[] = "0.3.0";
+inline constexpr char kAccParVersion[] = "0.4.0";
 
 /**
  * The unified planning options: every knob of the cost model and the
@@ -96,6 +100,38 @@ struct PlanOptions
      * produced plan.
      */
     bool emitCertificate = false;
+
+    /**
+     * Budget of the outer-loop hierarchy/assignment search (src/
+     * search, DESIGN.md §16). Disabled by default (both budgets 0):
+     * the request plans on the seed bi-partition hierarchy exactly as
+     * before. With a budget set, a simulated-annealing search over
+     * tree shapes and device assignments runs first — evaluating
+     * candidates with the same inner DP — and the winning hierarchy
+     * (never costlier than the seed's) is what the request's strategy
+     * finally solves, verifies, and certifies. Only strategies
+     * "accpar" and "custom" support the outer search.
+     *
+     * budgetIters-only budgets are deterministic and fold into
+     * planRequestCanonicalKey; budgetMs makes the outcome wall-clock
+     * dependent, so such requests must not be cached (the service
+     * layer refuses to).
+     */
+    struct SearchBudget
+    {
+        /** Max annealing iterations; 0 = unbounded (budgetMs rules). */
+        int budgetIters = 0;
+        /** Wall-clock budget in milliseconds; 0 = iterations rule. */
+        double budgetMs = 0.0;
+        /** Seed of the search's deterministic util::Rng. */
+        std::uint64_t seed = 1;
+
+        bool enabled() const
+        {
+            return budgetIters > 0 || budgetMs > 0.0;
+        }
+    };
+    SearchBudget search;
 
     /** Expands to the solver layer's (deprecated) two-level view. */
     core::SolverOptions toSolverOptions(const std::string &strategy) const;
@@ -160,6 +196,14 @@ struct PlanResult
     /** The solve's evidence trail; null unless
      *  PlanOptions::emitCertificate was set. */
     std::shared_ptr<core::PlanCertificate> certificate;
+    /** The hierarchy the plan was actually solved on; null unless the
+     *  outer search ran (PlanOptions::search). When set, the plan's
+     *  node ids index this hierarchy, not hw::Hierarchy(array) —
+     *  rendering and serialization must use it. */
+    std::shared_ptr<hw::Hierarchy> searchedHierarchy;
+    /** The outer search's report (baseline vs best cost, anytime
+     *  curve); null unless the outer search ran. */
+    std::shared_ptr<search::SearchReport> searchReport;
 };
 
 /**
@@ -175,6 +219,12 @@ struct PlanResult
  * A request carrying a custom PlanOptions::allowedTypes callback is
  * marked opaque in the key (callbacks cannot be canonicalized); such
  * requests must not be cached across distinct callbacks.
+ *
+ * An enabled outer-search budget (PlanOptions::search) folds into the
+ * key for every strategy — it changes the produced plan. A wall-clock
+ * budget (budgetMs > 0) additionally makes the outcome run-to-run
+ * dependent; its key is still well-defined, but caching such entries
+ * is the caller's mistake (the service layer refuses to).
  */
 std::string planRequestCanonicalKey(const PlanRequest &request);
 

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace accpar::exec {
 

@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace accpar::exec {
 

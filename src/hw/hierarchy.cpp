@@ -63,6 +63,204 @@ Hierarchy::toString() const
     return os.str();
 }
 
+std::string
+HierarchyDefect::toString() const
+{
+    return code + " at " + location + ": " + message;
+}
+
+HierarchyBuilder::HierarchyBuilder(std::vector<AcceleratorSpec> devices,
+                                   LinkAggregation aggregation)
+    : _devices(std::move(devices)), _aggregation(aggregation)
+{
+}
+
+HierarchyBuilder::HierarchyBuilder(const AcceleratorGroup &array)
+    : _aggregation(array.linkAggregation())
+{
+    for (const GroupSlice &slice : array.slices())
+        for (int i = 0; i < slice.count; ++i)
+            _devices.push_back(slice.spec);
+}
+
+int
+HierarchyBuilder::leaf(int deviceId)
+{
+    const int id = static_cast<int>(_protos.size());
+    _protos.push_back(ProtoNode{deviceId, -1, -1});
+    return id;
+}
+
+int
+HierarchyBuilder::internal(int left, int right)
+{
+    const int id = static_cast<int>(_protos.size());
+    _protos.push_back(ProtoNode{-1, left, right});
+    return id;
+}
+
+namespace {
+
+std::string
+nodeLocation(const char *kind, int id)
+{
+    std::ostringstream os;
+    os << kind << ' ' << id;
+    return os.str();
+}
+
+} // namespace
+
+std::optional<Hierarchy>
+HierarchyBuilder::build(int root, std::vector<HierarchyDefect> &defects) const
+{
+    const int proto_count = static_cast<int>(_protos.size());
+    if (root < 0 || root >= proto_count) {
+        defects.push_back(HierarchyDefect{
+            "AG010", "root",
+            "root reference " + std::to_string(root) +
+                " names no node; the hierarchy would hold no devices"});
+        return std::nullopt;
+    }
+
+    // Validation walk. Children were necessarily created before their
+    // parent (leaf()/internal() hand out increasing references), so a
+    // child reference >= its parent's is ill-formed and rejecting it
+    // also rules out cycles.
+    std::vector<char> claimed(_protos.size(), 0);
+    std::vector<char> device_seen(_devices.size(), 0);
+    std::vector<int> stack{root};
+    claimed[static_cast<std::size_t>(root)] = 1;
+    int devices_in_tree = 0;
+    while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        const ProtoNode &proto = _protos[static_cast<std::size_t>(id)];
+        if (proto.left < 0 && proto.right < 0) {
+            if (proto.device < 0 ||
+                proto.device >= static_cast<int>(_devices.size())) {
+                defects.push_back(HierarchyDefect{
+                    "AG010", nodeLocation("leaf", id),
+                    "device id " + std::to_string(proto.device) +
+                        " is outside the table of " +
+                        std::to_string(_devices.size()) +
+                        " devices; the leaf's device subset is empty"});
+            } else if (device_seen[static_cast<std::size_t>(
+                           proto.device)]) {
+                defects.push_back(HierarchyDefect{
+                    "AG011", nodeLocation("leaf", id),
+                    "device id " + std::to_string(proto.device) +
+                        " already appears in another leaf"});
+            } else {
+                device_seen[static_cast<std::size_t>(proto.device)] = 1;
+                ++devices_in_tree;
+            }
+            continue;
+        }
+        bool children_ok = true;
+        for (const int child : {proto.left, proto.right}) {
+            if (child < 0 || child >= id) {
+                defects.push_back(HierarchyDefect{
+                    "AG012", nodeLocation("node", id),
+                    "child reference " + std::to_string(child) +
+                        " does not name an earlier node; an internal "
+                        "node must pair two existing subtrees"});
+                children_ok = false;
+            }
+        }
+        if (children_ok && proto.left == proto.right) {
+            defects.push_back(HierarchyDefect{
+                "AG012", nodeLocation("node", id),
+                "both children reference node " +
+                    std::to_string(proto.left) +
+                    "; a level must split into two distinct subtrees"});
+            children_ok = false;
+        }
+        if (!children_ok)
+            continue;
+        for (const int child : {proto.left, proto.right}) {
+            if (claimed[static_cast<std::size_t>(child)]) {
+                defects.push_back(HierarchyDefect{
+                    "AG012", nodeLocation("node", id),
+                    "child node " + std::to_string(child) +
+                        " is already claimed by another parent"});
+                continue;
+            }
+            claimed[static_cast<std::size_t>(child)] = 1;
+            stack.push_back(child);
+        }
+    }
+    if (defects.empty() && devices_in_tree < 2) {
+        defects.push_back(HierarchyDefect{
+            "AG010", "root",
+            "a hierarchy needs at least two devices, tree holds " +
+                std::to_string(devices_in_tree)});
+    }
+    if (!defects.empty())
+        return std::nullopt;
+
+    // Pre-order emission so parents precede children, matching
+    // Hierarchy(array). Each node's group merges its subtree's devices
+    // in ascending device-id order (the canonical slice order).
+    Hierarchy hierarchy;
+    struct Frame
+    {
+        int proto;
+        int level;
+        NodeId parent;
+        bool isLeft;
+    };
+    std::vector<Frame> frames{Frame{root, 0, kInvalidNode, false}};
+    // Device sets are small (≤ a few hundred); recompute per node.
+    auto subtreeDevices = [this](int start) {
+        std::vector<int> ids;
+        std::vector<int> work{start};
+        while (!work.empty()) {
+            const ProtoNode &p =
+                _protos[static_cast<std::size_t>(work.back())];
+            work.pop_back();
+            if (p.left < 0 && p.right < 0) {
+                ids.push_back(p.device);
+            } else {
+                work.push_back(p.left);
+                work.push_back(p.right);
+            }
+        }
+        std::sort(ids.begin(), ids.end());
+        return ids;
+    };
+    while (!frames.empty()) {
+        const Frame frame = frames.back();
+        frames.pop_back();
+        std::vector<GroupSlice> slices;
+        for (const int device : subtreeDevices(frame.proto))
+            slices.push_back(
+                GroupSlice{_devices[static_cast<std::size_t>(device)], 1});
+        AcceleratorGroup group(std::move(slices));
+        group.setLinkAggregation(_aggregation);
+        const NodeId id = static_cast<NodeId>(hierarchy._nodes.size());
+        hierarchy._nodes.push_back(HierarchyNode{
+            std::move(group), kInvalidNode, kInvalidNode, frame.level});
+        if (frame.parent != kInvalidNode) {
+            HierarchyNode &parent =
+                hierarchy._nodes[static_cast<std::size_t>(frame.parent)];
+            (frame.isLeft ? parent.left : parent.right) = id;
+        }
+        const ProtoNode &proto =
+            _protos[static_cast<std::size_t>(frame.proto)];
+        if (proto.left >= 0) {
+            hierarchy._levels =
+                std::max(hierarchy._levels, frame.level + 1);
+            // Push right first so the left child is emitted first
+            // (stack order), matching the recursive builder.
+            frames.push_back(Frame{proto.right, frame.level + 1, id, false});
+            frames.push_back(Frame{proto.left, frame.level + 1, id, true});
+        }
+    }
+    hierarchy._root = 0;
+    return hierarchy;
+}
+
 AcceleratorGroup
 heterogeneousTpuArray()
 {

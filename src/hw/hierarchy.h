@@ -12,6 +12,7 @@
 #ifndef ACCPAR_HW_HIERARCHY_H
 #define ACCPAR_HW_HIERARCHY_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,11 +64,100 @@ class Hierarchy
     std::string toString() const;
 
   private:
+    friend class HierarchyBuilder;
+    Hierarchy() = default;
+
     NodeId build(const AcceleratorGroup &group, int level);
 
     std::vector<HierarchyNode> _nodes;
     NodeId _root = kInvalidNode;
     int _levels = 0;
+};
+
+/**
+ * One validation finding of a HierarchyBuilder::build call. The hw
+ * layer cannot depend on the analysis subsystem, so defects are plain
+ * values; codes are stable and documented in DESIGN.md §9 (AG010
+ * empty/invalid device subset, AG011 duplicate device, AG012
+ * degenerate level).
+ */
+struct HierarchyDefect
+{
+    /** Stable code: "AG010", "AG011", or "AG012". */
+    std::string code;
+    /** Where: "leaf 3", "node 1", "root". */
+    std::string location;
+    /** What is wrong. */
+    std::string message;
+
+    /** Renders as "AG011 at node 1: …". */
+    std::string toString() const;
+};
+
+/**
+ * Constructs an explicit bi-partition tree over a device table instead
+ * of deriving one from AcceleratorGroup::split. This is how the outer
+ * search (src/search) materializes mutated hierarchy candidates: every
+ * tree shape it proposes goes through build(), which validates the
+ * description and reports defects as stable diagnostics instead of
+ * asserting, so an ill-formed candidate can never crash the search or
+ * produce a malformed Hierarchy.
+ *
+ * Usage: describe the tree bottom-up with leaf()/internal() (both
+ * return node references), then call build(root). Checks:
+ *
+ *   AG010  a leaf names no valid device (out-of-range id), i.e. the
+ *          subtree's device subset would be empty
+ *   AG011  one device appears in more than one leaf of the tree
+ *   AG012  degenerate level: an internal node whose two child
+ *          references are invalid, identical, or already claimed by
+ *          another parent (a single-child or shared-child "pair")
+ *
+ * On success the resulting Hierarchy stores nodes in pre-order (every
+ * parent precedes its children, matching Hierarchy(array)), each node
+ * carrying the AcceleratorGroup of its subtree's devices merged in
+ * device-id order and inheriting the builder's link aggregation.
+ */
+class HierarchyBuilder
+{
+  public:
+    /** The device table: spec of board i at index i. */
+    explicit HierarchyBuilder(
+        std::vector<AcceleratorSpec> devices,
+        LinkAggregation aggregation = LinkAggregation::SumOfLinks);
+
+    /** Device table of the flattened @p array, slice-major (device ids
+     *  0..n-1 run through slice 0 first, then slice 1, …). */
+    explicit HierarchyBuilder(const AcceleratorGroup &array);
+
+    /** Adds a leaf holding device @p deviceId; returns its reference. */
+    int leaf(int deviceId);
+
+    /** Adds an internal node over two earlier nodes; returns its
+     *  reference. */
+    int internal(int left, int right);
+
+    std::size_t deviceCount() const { return _devices.size(); }
+
+    /**
+     * Validates the tree rooted at @p root and builds the Hierarchy.
+     * On any defect, appends findings to @p defects and returns
+     * std::nullopt; never throws on a malformed description.
+     */
+    std::optional<Hierarchy>
+    build(int root, std::vector<HierarchyDefect> &defects) const;
+
+  private:
+    struct ProtoNode
+    {
+        int device = -1; ///< leaf payload; -1 for internal nodes
+        int left = -1;
+        int right = -1;
+    };
+
+    std::vector<AcceleratorSpec> _devices;
+    LinkAggregation _aggregation = LinkAggregation::SumOfLinks;
+    std::vector<ProtoNode> _protos;
 };
 
 /** The paper's Figure 5 array: 128 TPU-v2 boards + 128 TPU-v3 boards. */

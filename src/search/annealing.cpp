@@ -1,0 +1,244 @@
+#include "search/annealing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "analysis/plan_verifier.h"
+#include "core/plan_evaluator.h"
+#include "search/moves.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace accpar::search {
+
+namespace {
+
+double
+elapsedMs(std::chrono::steady_clock::time_point start)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+/** One inner-oracle evaluation: DP solve + worst-path recompute. */
+struct Evaluated
+{
+    core::PartitionPlan plan;
+    double cost = 0.0;
+};
+
+Evaluated
+evaluate(const core::PartitionProblem &problem,
+         const hw::Hierarchy &hierarchy,
+         const core::SolverOptions &solver,
+         const core::SolveContext &context)
+{
+    Evaluated out;
+    out.plan = core::solveHierarchy(problem, hierarchy, solver, context);
+    out.cost = core::evaluatePlan(problem, hierarchy, out.plan,
+                                  solver.cost)
+                   .worstPathCost;
+    return out;
+}
+
+bool
+verifierClean(const core::PartitionProblem &problem,
+              const hw::Hierarchy &hierarchy,
+              const core::PartitionPlan &plan,
+              const core::SolverOptions &solver)
+{
+    analysis::DiagnosticSink sink;
+    analysis::VerifyOptions verify;
+    verify.cost = solver.cost;
+    analysis::verifyPlan(problem, hierarchy, plan, verify, sink);
+    return !sink.failsStrict(/*strict=*/false);
+}
+
+} // namespace
+
+EffectiveBudget
+clampBudget(int budgetIters, double budgetMs, double remainingDeadlineMs)
+{
+    EffectiveBudget out;
+    out.budgetIters = std::max(budgetIters, 0);
+    out.budgetMs = std::max(budgetMs, 0.0);
+    const bool deadline = remainingDeadlineMs > 0.0;
+    if (deadline) {
+        out.budgetMs = out.budgetMs > 0.0
+                           ? std::min(out.budgetMs, remainingDeadlineMs)
+                           : remainingDeadlineMs;
+    }
+    out.usable = out.budgetIters > 0 || out.budgetMs > 0.0;
+    out.cacheable = out.usable && out.budgetMs == 0.0;
+    return out;
+}
+
+AnnealingDriver::AnnealingDriver(const core::PartitionProblem &problem,
+                                 const hw::AcceleratorGroup &array,
+                                 SearchOptions options)
+    : _problem(problem), _array(array), _options(std::move(options))
+{
+    if (_options.budgetIters <= 0 && _options.budgetMs <= 0.0)
+        throw util::ConfigError(
+            "outer search needs a budget: set budgetIters > 0 and/or "
+            "budgetMs > 0");
+}
+
+SearchOutcome
+AnnealingDriver::run(const core::SolveContext &context) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    // Candidate solves must not write into a caller's certificate.
+    core::SolveContext inner = context;
+    inner.certificate = nullptr;
+
+    util::Rng rng(_options.seed);
+
+    // Baseline: the DP solve of the seed hierarchy. The best-so-far
+    // starts here, which is what makes the driver never-worse by
+    // construction.
+    OuterState current = OuterState::seed(_array);
+    std::vector<hw::HierarchyDefect> defects;
+    std::optional<hw::Hierarchy> seed_hierarchy =
+        current.toHierarchy(defects);
+    ACCPAR_REQUIRE(seed_hierarchy.has_value(),
+                   "seed outer state failed hierarchy validation: "
+                       << (defects.empty()
+                               ? std::string("(no defects)")
+                               : defects.front().toString()));
+    Evaluated current_eval =
+        evaluate(_problem, *seed_hierarchy, _options.solver, inner);
+
+    SearchReport report;
+    report.seed = _options.seed;
+    report.proposedByKind.assign(kMoveKindCount, 0);
+    report.baselineCost = current_eval.cost;
+    report.bestCost = current_eval.cost;
+    report.anytime.push_back(AnytimePoint{0, current_eval.cost});
+
+    OuterState best = current;
+    hw::Hierarchy best_hierarchy = *seed_hierarchy;
+    core::PartitionPlan best_plan = current_eval.plan;
+    std::string current_signature = current.signature();
+    report.bestSignature = current_signature;
+
+    const bool timed = _options.budgetMs > 0.0;
+    auto withinBudget = [&](int iteration) {
+        if (_options.budgetIters > 0 &&
+            iteration >= _options.budgetIters)
+            return false;
+        if (timed && elapsedMs(start) >= _options.budgetMs)
+            return false;
+        return true;
+    };
+
+    // Adopt a strictly cheaper candidate as the new best, but only
+    // when the static verifier accepts its plan — the winner must
+    // always audit clean.
+    auto maybeAdoptBest = [&](const OuterState &state,
+                              const hw::Hierarchy &hierarchy,
+                              const Evaluated &eval, int iteration) {
+        if (eval.cost >= report.bestCost)
+            return;
+        if (!verifierClean(_problem, hierarchy, eval.plan,
+                           _options.solver)) {
+            ++report.rejected;
+            return;
+        }
+        best = state;
+        best_hierarchy = hierarchy;
+        best_plan = eval.plan;
+        report.bestCost = eval.cost;
+        report.bestSignature = best.signature();
+        ++report.improved;
+        report.anytime.push_back(AnytimePoint{iteration, eval.cost});
+    };
+
+    double temperature =
+        _options.initialTemperature * report.baselineCost;
+    int iteration = 0;
+    while (withinBudget(iteration)) {
+        ++iteration;
+        temperature *= _options.coolingRate;
+
+        MoveKind kind;
+        std::optional<OuterState> candidate =
+            proposeMove(current, rng, kind);
+        if (!candidate) {
+            ++report.rejected;
+            continue;
+        }
+        ++report.proposedByKind[static_cast<std::size_t>(kind)];
+        const std::string signature = candidate->signature();
+        if (signature == current_signature)
+            continue; // null move; nothing to evaluate
+
+        defects.clear();
+        std::optional<hw::Hierarchy> hierarchy =
+            candidate->toHierarchy(defects);
+        if (!hierarchy) {
+            ++report.rejected;
+            continue;
+        }
+        const Evaluated eval =
+            evaluate(_problem, *hierarchy, _options.solver, inner);
+
+        const double delta = eval.cost - current_eval.cost;
+        const bool accept =
+            delta < 0.0 ||
+            (temperature > 0.0 &&
+             rng.uniformDouble() < std::exp(-delta / temperature));
+        maybeAdoptBest(*candidate, *hierarchy, eval, iteration);
+        if (accept) {
+            current = std::move(*candidate);
+            current_signature = signature;
+            current_eval = eval;
+            ++report.accepted;
+        }
+    }
+
+    // Greedy polish: strictly-improving proposals from the best
+    // state. Bounded by polishIters and, for timed runs, the same
+    // wall clock.
+    for (int i = 0; i < _options.polishIters; ++i) {
+        if (timed && elapsedMs(start) >= _options.budgetMs)
+            break;
+        ++iteration;
+        MoveKind kind;
+        std::optional<OuterState> candidate =
+            proposeMove(best, rng, kind);
+        if (!candidate) {
+            ++report.rejected;
+            continue;
+        }
+        ++report.proposedByKind[static_cast<std::size_t>(kind)];
+        if (candidate->signature() == report.bestSignature)
+            continue;
+        defects.clear();
+        std::optional<hw::Hierarchy> hierarchy =
+            candidate->toHierarchy(defects);
+        if (!hierarchy) {
+            ++report.rejected;
+            continue;
+        }
+        const Evaluated eval =
+            evaluate(_problem, *hierarchy, _options.solver, inner);
+        maybeAdoptBest(*candidate, *hierarchy, eval, iteration);
+    }
+
+    report.iterations = iteration;
+    return SearchOutcome{std::move(best), std::move(best_hierarchy),
+                         std::move(best_plan), std::move(report)};
+}
+
+SearchOutcome
+anneal(const core::PartitionProblem &problem,
+       const hw::AcceleratorGroup &array, const SearchOptions &options,
+       const core::SolveContext &context)
+{
+    return AnnealingDriver(problem, array, options).run(context);
+}
+
+} // namespace accpar::search

@@ -1,0 +1,241 @@
+#include "search/moves.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.h"
+
+namespace accpar::search {
+
+namespace {
+
+/** Copies the subtree at @p node of @p src into @p dst, with leaves
+ *  relabeled through @p relabel (identity for plain copies). */
+int
+copySubtree(const OuterState &src, int node, OuterState &dst,
+            const std::function<int(int)> &relabel)
+{
+    const OuterNode &n = src.node(node);
+    if (n.isLeaf())
+        return dst.addLeaf(relabel(n.device));
+    const int left = copySubtree(src, n.left, dst, relabel);
+    const int right = copySubtree(src, n.right, dst, relabel);
+    return dst.addInternal(left, right);
+}
+
+/** Copies @p src into @p dst, substituting @p replace's result for the
+ *  subtree rooted at @p target. */
+int
+copyReplacing(const OuterState &src, int node, int target,
+              const std::function<int(OuterState &)> &replace,
+              OuterState &dst)
+{
+    if (node == target)
+        return replace(dst);
+    const OuterNode &n = src.node(node);
+    if (n.isLeaf())
+        return dst.addLeaf(n.device);
+    const int left =
+        copyReplacing(src, n.left, target, replace, dst);
+    const int right =
+        copyReplacing(src, n.right, target, replace, dst);
+    return dst.addInternal(left, right);
+}
+
+/** Discards candidates HierarchyBuilder would reject. By construction
+ *  the moves below only produce well-formed trees, so this is a
+ *  safety net, not a filter. */
+std::optional<OuterState>
+validated(OuterState candidate)
+{
+    std::vector<hw::HierarchyDefect> defects;
+    if (!candidate.toHierarchy(defects))
+        return std::nullopt;
+    return candidate;
+}
+
+std::optional<OuterState>
+swapDevices(const OuterState &state, util::Rng &rng)
+{
+    const std::vector<int> leaves = state.leafNodes();
+    const std::vector<hw::AcceleratorSpec> &devices = state.devices();
+    const int a =
+        leaves[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(leaves.size()) - 1))];
+    const int da = state.node(a).device;
+    std::vector<int> others;
+    for (const int leaf : leaves)
+        if (devices[static_cast<std::size_t>(state.node(leaf).device)]
+                .name !=
+            devices[static_cast<std::size_t>(da)].name)
+            others.push_back(leaf);
+    if (others.empty()) // homogeneous array: swapping is a no-op
+        return std::nullopt;
+    const int b =
+        others[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(others.size()) - 1))];
+    const int db = state.node(b).device;
+
+    OuterState out = state.shell();
+    out.setRoot(copySubtree(state, state.root(), out, [&](int d) {
+        return d == da ? db : (d == db ? da : d);
+    }));
+    return validated(std::move(out));
+}
+
+/** Rebuilds @p target as a canonical pair over (@p left, @p right). */
+std::optional<OuterState>
+rebuildSplit(const OuterState &state, int target,
+             const std::vector<int> &left, const std::vector<int> &right)
+{
+    OuterState out = state.shell();
+    out.setRoot(copyReplacing(
+        state, state.root(), target,
+        [&](OuterState &dst) {
+            const int l = canonicalSubtree(dst, left);
+            const int r = canonicalSubtree(dst, right);
+            return dst.addInternal(l, r);
+        },
+        out));
+    return validated(std::move(out));
+}
+
+std::optional<OuterState>
+moveDevice(const OuterState &state, util::Rng &rng)
+{
+    std::vector<int> eligible;
+    for (const int node : state.internalNodes())
+        if (state.subtreeDevices(node).size() >= 3)
+            eligible.push_back(node);
+    if (eligible.empty())
+        return std::nullopt;
+    const int target =
+        eligible[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(eligible.size()) - 1))];
+    const OuterNode &n = state.node(target);
+    std::vector<int> left = state.subtreeDevices(n.left);
+    std::vector<int> right = state.subtreeDevices(n.right);
+
+    const bool left_can_donate = left.size() >= 2;
+    const bool right_can_donate = right.size() >= 2;
+    const bool from_left =
+        left_can_donate &&
+        (!right_can_donate || rng.chance(0.5));
+    std::vector<int> &donor = from_left ? left : right;
+    std::vector<int> &taker = from_left ? right : left;
+    const std::size_t pick = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(donor.size()) - 1));
+    taker.push_back(donor[pick]);
+    donor.erase(donor.begin() + static_cast<std::ptrdiff_t>(pick));
+    std::sort(taker.begin(), taker.end());
+
+    return rebuildSplit(state, target, left, right);
+}
+
+std::optional<OuterState>
+resplit(const OuterState &state, int target, util::Rng &rng)
+{
+    const std::vector<int> ids = state.subtreeDevices(target);
+    if (ids.size() < 2)
+        return std::nullopt;
+    const std::size_t cut = static_cast<std::size_t>(rng.uniformInt(
+        1, static_cast<std::int64_t>(ids.size()) - 1));
+    const std::vector<int> left(ids.begin(),
+                                ids.begin() +
+                                    static_cast<std::ptrdiff_t>(cut));
+    const std::vector<int> right(
+        ids.begin() + static_cast<std::ptrdiff_t>(cut), ids.end());
+    return rebuildSplit(state, target, left, right);
+}
+
+std::optional<OuterState>
+resplitSubtree(const OuterState &state, util::Rng &rng)
+{
+    const std::vector<int> internals = state.internalNodes();
+    if (internals.empty())
+        return std::nullopt;
+    const int target =
+        internals[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(internals.size()) - 1))];
+    return resplit(state, target, rng);
+}
+
+} // namespace
+
+const char *
+moveKindName(MoveKind kind)
+{
+    switch (kind) {
+    case MoveKind::SwapDevices:
+        return "swap-devices";
+    case MoveKind::MoveDevice:
+        return "move-device";
+    case MoveKind::ResplitSubtree:
+        return "resplit-subtree";
+    case MoveKind::MoveCut:
+        return "move-cut";
+    }
+    return "unknown";
+}
+
+int
+canonicalSubtree(OuterState &out, const std::vector<int> &deviceIds)
+{
+    ACCPAR_REQUIRE(!deviceIds.empty(),
+                   "canonicalSubtree over an empty device set");
+    if (deviceIds.size() == 1)
+        return out.addLeaf(deviceIds.front());
+    const std::vector<hw::AcceleratorSpec> &devices = out.devices();
+    const std::string &first_spec =
+        devices[static_cast<std::size_t>(deviceIds.front())].name;
+    std::size_t cut = 1;
+    while (cut < deviceIds.size() &&
+           devices[static_cast<std::size_t>(deviceIds[cut])].name ==
+               first_spec)
+        ++cut;
+    if (cut == deviceIds.size()) // homogeneous: halve
+        cut = (deviceIds.size() + 1) / 2;
+    const std::vector<int> left(
+        deviceIds.begin(),
+        deviceIds.begin() + static_cast<std::ptrdiff_t>(cut));
+    const std::vector<int> right(
+        deviceIds.begin() + static_cast<std::ptrdiff_t>(cut),
+        deviceIds.end());
+    const int l = canonicalSubtree(out, left);
+    const int r = canonicalSubtree(out, right);
+    return out.addInternal(l, r);
+}
+
+std::optional<OuterState>
+applyMove(const OuterState &state, MoveKind kind, util::Rng &rng)
+{
+    switch (kind) {
+    case MoveKind::SwapDevices:
+        return swapDevices(state, rng);
+    case MoveKind::MoveDevice:
+        return moveDevice(state, rng);
+    case MoveKind::ResplitSubtree:
+        return resplitSubtree(state, rng);
+    case MoveKind::MoveCut:
+        return resplit(state, state.root(), rng);
+    }
+    return std::nullopt;
+}
+
+std::optional<OuterState>
+proposeMove(const OuterState &state, util::Rng &rng, MoveKind &kindOut,
+            int attempts)
+{
+    for (int i = 0; i < attempts; ++i) {
+        const MoveKind kind = static_cast<MoveKind>(
+            rng.uniformInt(0, kMoveKindCount - 1));
+        std::optional<OuterState> moved = applyMove(state, kind, rng);
+        if (moved) {
+            kindOut = kind;
+            return moved;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace accpar::search

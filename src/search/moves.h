@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The neighbor-move generator of the outer search (DESIGN.md §16).
+ *
+ * Four move kinds, each producing a fresh OuterState:
+ *
+ *   SwapDevices     relabel two leaves holding different-spec devices
+ *                   (device-subset assignment change, shape kept)
+ *   MoveDevice      move one device across an internal node's split
+ *                   and rebuild both children canonically (uneven
+ *                   split fractions via unbalanced subset sizes)
+ *   ResplitSubtree  re-cut an internal node's device set at a random
+ *                   point in canonical order (split/merge levels)
+ *   MoveCut         ResplitSubtree pinned to the root (moves the
+ *                   top-level pipeline cut)
+ *
+ * Rebuilt subtrees are *canonical*: a heterogeneous device set splits
+ * at its first spec boundary, a homogeneous one halves — the same
+ * shape the seed uses — so a move perturbs exactly the aspect it
+ * names. Every proposal still goes through HierarchyBuilder
+ * validation before it is evaluated; a move that cannot apply (e.g.
+ * SwapDevices on a homogeneous array) returns std::nullopt and the
+ * driver redraws.
+ */
+
+#ifndef ACCPAR_SEARCH_MOVES_H
+#define ACCPAR_SEARCH_MOVES_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/outer_state.h"
+#include "util/rng.h"
+
+namespace accpar::search {
+
+/** The move vocabulary; see the file comment. */
+enum class MoveKind { SwapDevices, MoveDevice, ResplitSubtree, MoveCut };
+
+inline constexpr int kMoveKindCount = 4;
+
+/** Stable lowercase name, e.g. "swap-devices". */
+const char *moveKindName(MoveKind kind);
+
+/**
+ * Rebuilds the canonical subtree over @p deviceIds (sorted ascending)
+ * into @p out, returning its node index: heterogeneous sets split at
+ * the first spec boundary, homogeneous sets halve (n+1)/2 vs n/2 —
+ * the recursion AcceleratorGroup::split would produce over the same
+ * multiset.
+ */
+int canonicalSubtree(OuterState &out, const std::vector<int> &deviceIds);
+
+/**
+ * Applies one @p kind move to @p state using draws from @p rng.
+ * Returns std::nullopt when the move does not apply (no eligible
+ * site) or when the mutated state fails HierarchyBuilder validation.
+ */
+std::optional<OuterState> applyMove(const OuterState &state,
+                                    MoveKind kind, util::Rng &rng);
+
+/**
+ * Draws a move kind and applies it; redraws up to @p attempts times
+ * over inapplicable kinds. Sets @p kindOut to the kind that produced
+ * the returned state.
+ */
+std::optional<OuterState> proposeMove(const OuterState &state,
+                                      util::Rng &rng, MoveKind &kindOut,
+                                      int attempts = 8);
+
+} // namespace accpar::search
+
+#endif // ACCPAR_SEARCH_MOVES_H

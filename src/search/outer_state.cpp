@@ -1,0 +1,194 @@
+#include "search/outer_state.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.h"
+
+namespace accpar::search {
+
+namespace {
+
+/**
+ * Recursively builds the seed tree over the contiguous device-id range
+ * [lo, hi), mirroring AcceleratorGroup::split: a range spanning more
+ * than one spec splits at the end of its first spec run
+ * (first-slice-vs-rest); a homogeneous range halves (n+1)/2 vs n/2.
+ */
+int
+buildSeedRange(OuterState &state, int lo, int hi)
+{
+    if (hi - lo == 1)
+        return state.addLeaf(lo);
+    const std::vector<hw::AcceleratorSpec> &devices = state.devices();
+    int cut = lo + 1;
+    while (cut < hi &&
+           devices[static_cast<std::size_t>(cut)].name ==
+               devices[static_cast<std::size_t>(lo)].name)
+        ++cut;
+    if (cut == hi) // homogeneous: halve, odd sizes split (n+1)/2 vs n/2
+        cut = lo + (hi - lo + 1) / 2;
+    const int left = buildSeedRange(state, lo, cut);
+    const int right = buildSeedRange(state, cut, hi);
+    return state.addInternal(left, right);
+}
+
+void
+appendSignature(const OuterState &state, int node, std::string &out)
+{
+    const OuterNode &n = state.node(node);
+    if (n.isLeaf()) {
+        out += std::to_string(n.device);
+        return;
+    }
+    out += '(';
+    appendSignature(state, n.left, out);
+    out += ' ';
+    appendSignature(state, n.right, out);
+    out += ')';
+}
+
+} // namespace
+
+OuterState
+OuterState::seed(const hw::AcceleratorGroup &array)
+{
+    ACCPAR_REQUIRE(array.size() >= 2,
+                   "outer search needs at least two boards, got "
+                       << array.size());
+    OuterState state;
+    state._aggregation = array.linkAggregation();
+    for (const hw::GroupSlice &slice : array.slices())
+        for (int i = 0; i < slice.count; ++i)
+            state._devices.push_back(slice.spec);
+    state._root = buildSeedRange(
+        state, 0, static_cast<int>(state._devices.size()));
+    return state;
+}
+
+OuterState
+OuterState::shell() const
+{
+    OuterState empty;
+    empty._devices = _devices;
+    empty._aggregation = _aggregation;
+    return empty;
+}
+
+const OuterNode &
+OuterState::node(int id) const
+{
+    ACCPAR_REQUIRE(id >= 0 &&
+                       static_cast<std::size_t>(id) < _nodes.size(),
+                   "invalid outer-state node id " << id);
+    return _nodes[static_cast<std::size_t>(id)];
+}
+
+int
+OuterState::addLeaf(int deviceId)
+{
+    const int id = static_cast<int>(_nodes.size());
+    _nodes.push_back(OuterNode{deviceId, -1, -1});
+    return id;
+}
+
+int
+OuterState::addInternal(int left, int right)
+{
+    const int id = static_cast<int>(_nodes.size());
+    _nodes.push_back(OuterNode{-1, left, right});
+    return id;
+}
+
+std::vector<int>
+OuterState::subtreeDevices(int node) const
+{
+    std::vector<int> ids;
+    std::vector<int> work{node};
+    while (!work.empty()) {
+        const OuterNode &n = this->node(work.back());
+        work.pop_back();
+        if (n.isLeaf()) {
+            ids.push_back(n.device);
+        } else {
+            work.push_back(n.left);
+            work.push_back(n.right);
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+std::vector<int>
+OuterState::leafNodes() const
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < _nodes.size(); ++i)
+        if (_nodes[i].isLeaf())
+            out.push_back(static_cast<int>(i));
+    return out;
+}
+
+std::vector<int>
+OuterState::internalNodes() const
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < _nodes.size(); ++i)
+        if (!_nodes[i].isLeaf())
+            out.push_back(static_cast<int>(i));
+    return out;
+}
+
+std::optional<hw::Hierarchy>
+OuterState::toHierarchy(std::vector<hw::HierarchyDefect> &defects) const
+{
+    if (_root < 0 || static_cast<std::size_t>(_root) >= _nodes.size()) {
+        defects.push_back(hw::HierarchyDefect{
+            "AG010", "root", "outer state has no root node"});
+        return std::nullopt;
+    }
+    hw::HierarchyBuilder builder(_devices, _aggregation);
+    // Post-order declaration so children get builder references
+    // before their parent. A visited marker bounds the walk even if
+    // the node table is not a tree (bad child index or node reuse);
+    // such a table is reported instead of recursed into forever.
+    std::vector<char> visited(_nodes.size(), 0);
+    bool malformed = false;
+    std::function<int(int)> declare = [&](int id) -> int {
+        if (id < 0 || static_cast<std::size_t>(id) >= _nodes.size() ||
+            visited[static_cast<std::size_t>(id)]) {
+            malformed = true;
+            return -1;
+        }
+        visited[static_cast<std::size_t>(id)] = 1;
+        const OuterNode &n = _nodes[static_cast<std::size_t>(id)];
+        if (n.isLeaf())
+            return builder.leaf(n.device);
+        const int left = declare(n.left);
+        const int right = declare(n.right);
+        if (malformed)
+            return -1;
+        return builder.internal(left, right);
+    };
+    const int root = declare(_root);
+    if (malformed) {
+        defects.push_back(hw::HierarchyDefect{
+            "AG012", "node table",
+            "outer state is not a tree (child reference outside the "
+            "table or node claimed twice)"});
+        return std::nullopt;
+    }
+    return builder.build(root, defects);
+}
+
+std::string
+OuterState::signature() const
+{
+    ACCPAR_REQUIRE(_root >= 0, "signature() on an empty outer state");
+    std::string out;
+    out.reserve(_nodes.size() * 4);
+    appendSignature(*this, _root, out);
+    return out;
+}
+
+} // namespace accpar::search

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * OuterState: the genome of the outer-loop search (DESIGN.md §16).
+ *
+ * The inner DP (core/) is exact for per-layer partition-type choice on
+ * a *fixed* bi-partition hierarchy; the outer space — tree shape,
+ * device-subset assignment, uneven split fractions, pipeline-stage
+ * cuts — is what src/search explores. An OuterState encodes one point
+ * of that space: an explicit binary tree whose leaves each hold one
+ * device id of a flat, slice-major device table. Uneven split
+ * fractions are implied rather than stored: moving a device across a
+ * split changes the two subtrees' aggregate compute/bandwidth, which
+ * the cost model and the ratio solver then price — there is no
+ * separate float genome to keep consistent.
+ *
+ * States materialize into hw::Hierarchy through the validated
+ * HierarchyBuilder, so an ill-formed candidate surfaces as AG01x
+ * defects, never as a crash.
+ */
+
+#ifndef ACCPAR_SEARCH_OUTER_STATE_H
+#define ACCPAR_SEARCH_OUTER_STATE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/hierarchy.h"
+
+namespace accpar::search {
+
+/** One node of the outer-state tree. Leaves hold a device id. */
+struct OuterNode
+{
+    int device = -1; ///< device id for leaves, -1 for internal nodes
+    int left = -1;
+    int right = -1;
+
+    bool isLeaf() const { return left < 0; }
+};
+
+/**
+ * One candidate of the outer search space. Immutable in spirit: moves
+ * (search/moves.h) construct fresh states rather than editing in
+ * place. States are built bottom-up (addInternal references earlier
+ * nodes), so children precede their parents and the root is the
+ * last-added node.
+ */
+class OuterState
+{
+  public:
+    /**
+     * The seed state: the same tree AcceleratorGroup::split derives
+     * (heterogeneous groups split first-slice-vs-rest, homogeneous
+     * groups halve (n+1)/2 vs n/2), over slice-major device ids —
+     * device 0..c0-1 are the first slice's boards, and so on.
+     * toHierarchy() of the seed is signature-identical to
+     * hw::Hierarchy(array). Requires at least two boards.
+     */
+    static OuterState seed(const hw::AcceleratorGroup &array);
+
+    /** An empty state sharing this state's device table (for moves). */
+    OuterState shell() const;
+
+    int root() const { return _root; }
+    const std::vector<OuterNode> &nodes() const { return _nodes; }
+    const OuterNode &node(int id) const;
+
+    /** The device table; index = device id. */
+    const std::vector<hw::AcceleratorSpec> &devices() const
+    {
+        return _devices;
+    }
+    hw::LinkAggregation aggregation() const { return _aggregation; }
+
+    /** Appends a leaf/internal node; returns its index. */
+    int addLeaf(int deviceId);
+    int addInternal(int left, int right);
+    void setRoot(int root) { _root = root; }
+
+    /** Sorted device ids of @p node's subtree. */
+    std::vector<int> subtreeDevices(int node) const;
+
+    /** Indices of all leaf nodes, in pre-order. */
+    std::vector<int> leafNodes() const;
+
+    /** Indices of all internal nodes, in pre-order. */
+    std::vector<int> internalNodes() const;
+
+    /**
+     * Materializes the state through hw::HierarchyBuilder. Returns
+     * std::nullopt and fills @p defects when the state is ill-formed
+     * (AG010/AG011/AG012).
+     */
+    std::optional<hw::Hierarchy>
+    toHierarchy(std::vector<hw::HierarchyDefect> &defects) const;
+
+    /**
+     * Canonical text encoding of the tree shape and assignment, e.g.
+     * "((0 1)(2 (3 4)))". Equal signatures mean equal candidates; the
+     * annealing driver uses it to skip re-evaluating a proposal that
+     * equals the current state, and tests use it to assert
+     * determinism.
+     */
+    std::string signature() const;
+
+  private:
+    std::vector<OuterNode> _nodes;
+    int _root = -1;
+    std::vector<hw::AcceleratorSpec> _devices;
+    hw::LinkAggregation _aggregation = hw::LinkAggregation::SumOfLinks;
+};
+
+} // namespace accpar::search
+
+#endif // ACCPAR_SEARCH_OUTER_STATE_H

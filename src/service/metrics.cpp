@@ -89,6 +89,8 @@ Metrics::snapshot() const
     MetricsSnapshot snap;
     snap.requestsTotal = requestsTotal.load(std::memory_order_relaxed);
     snap.planRequests = planRequests.load(std::memory_order_relaxed);
+    snap.searchRequests =
+        searchRequests.load(std::memory_order_relaxed);
     snap.validateRequests =
         validateRequests.load(std::memory_order_relaxed);
     snap.statsRequests = statsRequests.load(std::memory_order_relaxed);
@@ -116,6 +118,7 @@ MetricsSnapshot::toJson() const
     util::Json requests = util::Json::Object{};
     requests["total"] = static_cast<std::int64_t>(requestsTotal);
     requests["plan"] = static_cast<std::int64_t>(planRequests);
+    requests["search"] = static_cast<std::int64_t>(searchRequests);
     requests["validate"] = static_cast<std::int64_t>(validateRequests);
     requests["stats"] = static_cast<std::int64_t>(statsRequests);
     requests["shutdown"] = static_cast<std::int64_t>(shutdownRequests);
@@ -151,9 +154,10 @@ MetricsSnapshot::toText() const
     std::ostringstream os;
     os << "service metrics\n"
        << "  requests:         " << requestsTotal << " (plan "
-       << planRequests << ", validate " << validateRequests
-       << ", stats " << statsRequests << ", shutdown "
-       << shutdownRequests << ")\n"
+       << planRequests << ", search " << searchRequests
+       << ", validate " << validateRequests << ", stats "
+       << statsRequests << ", shutdown " << shutdownRequests
+       << ")\n"
        << "  errors:           " << errors << " (protocol "
        << protocolErrors << ", queue-full " << queueRejected
        << ", deadline " << deadlineExpired << ")\n"

@@ -86,6 +86,7 @@ struct MetricsSnapshot
 {
     std::uint64_t requestsTotal = 0;
     std::uint64_t planRequests = 0;
+    std::uint64_t searchRequests = 0;
     std::uint64_t validateRequests = 0;
     std::uint64_t statsRequests = 0;
     std::uint64_t shutdownRequests = 0;
@@ -120,6 +121,7 @@ class Metrics
   public:
     std::atomic<std::uint64_t> requestsTotal{0};
     std::atomic<std::uint64_t> planRequests{0};
+    std::atomic<std::uint64_t> searchRequests{0};
     std::atomic<std::uint64_t> validateRequests{0};
     std::atomic<std::uint64_t> statsRequests{0};
     std::atomic<std::uint64_t> shutdownRequests{0};
@@ -134,7 +136,7 @@ class Metrics
     /** Current admission-queue depth (gauge). */
     std::atomic<std::int64_t> queueDepth{0};
 
-    /** End-to-end latency of queued (plan/validate) requests. */
+    /** End-to-end latency of queued (plan/search/validate) requests. */
     LatencyHistogram latency;
 
     MetricsSnapshot snapshot() const;

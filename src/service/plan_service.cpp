@@ -1,6 +1,7 @@
 #include "service/plan_service.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "analysis/plan_verifier.h"
@@ -10,6 +11,7 @@
 #include "hw/topology.h"
 #include "models/catalog.h"
 #include "models/model_io.h"
+#include "search/annealing.h"
 #include "strategies/registry.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -106,6 +108,10 @@ PlanService::handle(const ServiceRequest &request)
       case RequestKind::Plan:
         _metrics.planRequests.fetch_add(1, std::memory_order_relaxed);
         break;
+      case RequestKind::Search:
+        _metrics.searchRequests.fetch_add(1,
+                                          std::memory_order_relaxed);
+        break;
       case RequestKind::Validate:
         _metrics.validateRequests.fetch_add(1,
                                             std::memory_order_relaxed);
@@ -201,9 +207,28 @@ PlanService::process(Job &job, Planner &planner)
 
     util::Json response;
     try {
-        response = request.kind == RequestKind::Plan
-                       ? executePlan(request, planner)
-                       : executeValidate(request);
+        switch (request.kind) {
+          case RequestKind::Plan:
+            response = executePlan(request, planner);
+            break;
+          case RequestKind::Search: {
+            // Wall clock left before this job's deadline, for the
+            // budget clamp. The expiry check above already ran, so a
+            // set deadline has strictly positive time left (modulo
+            // the microseconds since; floor at 1us so "deadline set"
+            // is never confused with "no deadline").
+            double remaining_ms = 0.0;
+            if (job.deadline != Clock::time_point{})
+                remaining_ms = std::max(
+                    1e-3,
+                    secondsBetween(Clock::now(), job.deadline) * 1e3);
+            response = executeSearch(request, planner, remaining_ms);
+            break;
+          }
+          default:
+            response = executeValidate(request);
+            break;
+        }
     } catch (const std::exception &e) {
         response = errorResponse(
             request.id, ServiceError{kErrPlanFailed, e.what()});
@@ -297,6 +322,126 @@ PlanService::executePlan(const ServiceRequest &request,
     _cache.insert(key, payload);
     util::Json response =
         okResponse(request.id, RequestKind::Plan, payload);
+    response["cached"] = false;
+    return response;
+}
+
+util::Json
+PlanService::executeSearch(const ServiceRequest &request,
+                           Planner &planner,
+                           double remainingDeadlineMs)
+{
+    // Budget first: a search without a usable budget is rejected
+    // before any artifact work (ASRV09). The clamp also caps the run
+    // by the request's remaining deadline.
+    const search::EffectiveBudget budget = search::clampBudget(
+        static_cast<int>(std::min<std::int64_t>(
+            request.budgetIters,
+            std::numeric_limits<int>::max())),
+        request.budgetMs, remainingDeadlineMs);
+    if (!budget.usable)
+        return errorResponse(
+            request.id,
+            ServiceError{kErrNoBudget,
+                         "search request needs budget_iters or "
+                         "budget_ms > 0"});
+
+    // Phase 1: resolve artifacts under the same rules as plan
+    // requests (failures are the client's fault: ASRV04).
+    std::unique_ptr<PlanRequest> plan_request;
+    try {
+        graph::Graph model = [&] {
+            if (request.modelDoc)
+                return models::modelFromJson(*request.modelDoc);
+            models::ModelParams params;
+            for (const auto &[key, value] : request.params)
+                params.set(key, value);
+            if (!params.has("batch"))
+                params.set("batch", std::to_string(request.batch));
+            return models::catalog().build(request.modelName, params);
+        }();
+        hw::AcceleratorGroup array = hw::parseArraySpec(request.array);
+        if (request.strategy != "accpar" &&
+            request.strategy != "custom")
+            throw util::ConfigError(
+                "outer search supports strategies 'accpar' and "
+                "'custom' only, got '" +
+                request.strategy + "'");
+        plan_request = std::make_unique<PlanRequest>(std::move(model),
+                                                     std::move(array));
+        plan_request->strategy = request.strategy;
+        plan_request->jobs = _config.plannerJobs;
+        plan_request->options.verify = request.verify;
+        plan_request->options.strict = request.strict;
+        plan_request->options.emitCertificate = true;
+        plan_request->options.search.budgetIters = budget.budgetIters;
+        plan_request->options.search.budgetMs = budget.budgetMs;
+        plan_request->options.search.seed = request.seed;
+    } catch (const std::exception &e) {
+        return errorResponse(request.id,
+                             ServiceError{kErrBadField, e.what()});
+    }
+
+    // Only iteration-budgeted, deadline-free searches may hit the
+    // result cache: they are pure functions of the request (the
+    // canonical key folds the search budget in). Wall-clock budgets
+    // truncate nondeterministically, so caching them would serve one
+    // run's luck as another run's answer.
+    const std::string key = planRequestCanonicalKey(*plan_request);
+    if (budget.cacheable) {
+        if (std::optional<util::Json> payload = _cache.lookup(key)) {
+            _metrics.cacheHits.fetch_add(1, std::memory_order_relaxed);
+            util::Json response =
+                okResponse(request.id, RequestKind::Search, *payload);
+            response["cached"] = true;
+            return response;
+        }
+        _metrics.cacheMisses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Phase 2: search + solve. Failures surface as ASRV07 via
+    // process(). The plan's node ids index the winning hierarchy, so
+    // serialization must use it, never the seed hierarchy.
+    const PlanResult result =
+        planner.planBatch({*plan_request}).front();
+    ACCPAR_REQUIRE(result.searchedHierarchy && result.searchReport,
+                   "search-enabled plan returned no searched "
+                   "hierarchy");
+    const hw::Hierarchy &hierarchy = *result.searchedHierarchy;
+    const search::SearchReport &report = *result.searchReport;
+
+    util::Json payload = util::Json::Object{};
+    payload["strategy"] = result.strategy;
+    payload["model"] = result.model;
+    payload["root_cost"] = result.rootCost;
+    payload["plan_seconds"] = result.planSeconds;
+    payload["plan"] = core::planToJson(result.plan, hierarchy);
+    payload["diagnostics"] = diagnosticsJson(result.diagnostics);
+    payload["certificate_fingerprint"] =
+        result.certificate
+            ? util::Json(core::certificateFingerprint(
+                  core::certificateToJson(*result.certificate,
+                                          hierarchy)))
+            : util::Json();
+    payload["baseline_cost"] = report.baselineCost;
+    payload["best_cost"] = report.bestCost;
+    payload["search_iterations"] =
+        static_cast<std::int64_t>(report.iterations);
+    payload["search_improved"] = report.improvedOverBaseline();
+    payload["hierarchy_signature"] = report.bestSignature;
+    util::Json anytime{util::Json::Array{}};
+    for (const search::AnytimePoint &point : report.anytime) {
+        util::Json entry = util::Json::Object{};
+        entry["iteration"] = static_cast<std::int64_t>(point.iteration);
+        entry["best_cost"] = point.bestCost;
+        anytime.push(std::move(entry));
+    }
+    payload["anytime"] = std::move(anytime);
+
+    if (budget.cacheable)
+        _cache.insert(key, payload);
+    util::Json response =
+        okResponse(request.id, RequestKind::Search, payload);
     response["cached"] = false;
     return response;
 }

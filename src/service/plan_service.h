@@ -15,7 +15,10 @@
  * Plan responses are additionally memoized in a sharded LRU
  * ResultCache keyed by core::planRequestCanonicalKey, so a repeated
  * (model, array, options) query is answered without re-running the
- * search and is byte-identical to the cold response.
+ * search and is byte-identical to the cold response. Search responses
+ * join the cache only when their budget is purely iteration-counted
+ * and no deadline applies — those runs are deterministic functions of
+ * the request, wall-clock-budgeted ones are not.
  *
  * `stats` and `shutdown` requests are handled inline (they must stay
  * responsive when the queue is busy). After a shutdown request the
@@ -126,6 +129,17 @@ class PlanService
     util::Json process(Job &job, Planner &planner);
     util::Json executePlan(const ServiceRequest &request,
                            Planner &planner);
+    /**
+     * Runs the outer-loop search (DESIGN.md §16) and plans on the
+     * winning hierarchy. @p remainingDeadlineMs is the wall clock left
+     * before the job's deadline (0 = no deadline); it caps the
+     * search's time budget via search::clampBudget. Only
+     * iteration-budgeted, deadline-free searches touch the result
+     * cache — wall-clock budgets are run-to-run dependent.
+     */
+    util::Json executeSearch(const ServiceRequest &request,
+                             Planner &planner,
+                             double remainingDeadlineMs);
     util::Json executeValidate(const ServiceRequest &request);
     util::Json enqueue(const ServiceRequest &request)
         ACCPAR_EXCLUDES(_queueMutex);

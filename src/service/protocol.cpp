@@ -58,6 +58,8 @@ requestKindName(RequestKind kind)
     switch (kind) {
       case RequestKind::Plan:
         return "plan";
+      case RequestKind::Search:
+        return "search";
       case RequestKind::Validate:
         return "validate";
       case RequestKind::Stats:
@@ -96,6 +98,8 @@ parseRequest(const std::string &line)
     const std::string &kind = doc.at("kind").asString();
     if (kind == "plan")
         request.kind = RequestKind::Plan;
+    else if (kind == "search")
+        request.kind = RequestKind::Search;
     else if (kind == "validate")
         request.kind = RequestKind::Validate;
     else if (kind == "stats")
@@ -167,6 +171,29 @@ parseRequest(const std::string &line)
             throw util::ConfigError(
                 "field 'deadline_ms' must be >= 0");
         request.deadlineSeconds = deadline_ms / 1e3;
+
+        const double budget_iters =
+            numberField(doc, "budget_iters", 0.0);
+        if (budget_iters < 0.0 ||
+            budget_iters !=
+                static_cast<double>(
+                    static_cast<std::int64_t>(budget_iters)))
+            throw util::ConfigError(
+                "field 'budget_iters' must be a non-negative integer");
+        request.budgetIters = static_cast<std::int64_t>(budget_iters);
+
+        request.budgetMs = numberField(doc, "budget_ms", 0.0);
+        if (request.budgetMs < 0.0)
+            throw util::ConfigError("field 'budget_ms' must be >= 0");
+
+        const double seed = numberField(
+            doc, "seed", static_cast<double>(request.seed));
+        if (seed < 0.0 ||
+            seed != static_cast<double>(
+                        static_cast<std::uint64_t>(seed)))
+            throw util::ConfigError(
+                "field 'seed' must be a non-negative integer");
+        request.seed = static_cast<std::uint64_t>(seed);
     } catch (const std::exception &e) {
         // Keep the id so the client can correlate the rejection.
         return ServiceError{kErrBadField, e.what(), request.id};

@@ -20,6 +20,21 @@
  *             certificate (see core/certificate_io.h), so a response —
  *             cached or fresh — can be matched to the certificate file
  *             that proves it
+ *   search    outer-loop hierarchy/assignment search, then plan
+ *             {"kind":"search", "id":…, model/batch/params/array/
+ *              strategy/verify/strict as for plan,
+ *              "budget_iters":64, "budget_ms":0, "seed":1,
+ *              "deadline_ms":0}
+ *             runs the simulated-annealing outer search (DESIGN.md
+ *             §16) before the inner solve; at least one budget must
+ *             be positive (else ASRV09). A wall-clock budget is
+ *             clamped to the request's remaining deadline; an
+ *             iteration-only budget under a deadline gains a
+ *             wall-clock cap the same way. The payload extends plan's
+ *             with "baseline_cost", "best_cost", "search_iterations"
+ *             and the "anytime" curve. Only iteration-budgeted,
+ *             deadline-free searches are served from the result cache
+ *             (wall-clock budgets are run-to-run dependent).
  *   validate  lint a model document and optionally verify a plan
  *             {"kind":"validate", "id":…, "model":{inline doc},
  *              ["plan":{plan doc}, "array":SPEC, "strategy":S],
@@ -41,11 +56,15 @@
  *   ASRV06  per-request deadline expired before planning started
  *   ASRV07  planning failed (solver/verifier rejected the request)
  *   ASRV08  server is draining; no new work accepted
+ *   ASRV09  search request without a usable budget (budget_iters and
+ *           budget_ms both unset/zero, or the deadline already
+ *           consumed the whole wall-clock budget)
  */
 
 #ifndef ACCPAR_SERVICE_PROTOCOL_H
 #define ACCPAR_SERVICE_PROTOCOL_H
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -65,10 +84,11 @@ inline constexpr char kErrQueueFull[] = "ASRV05";
 inline constexpr char kErrDeadline[] = "ASRV06";
 inline constexpr char kErrPlanFailed[] = "ASRV07";
 inline constexpr char kErrShuttingDown[] = "ASRV08";
+inline constexpr char kErrNoBudget[] = "ASRV09";
 /// @}
 
 /** What a request asks the service to do. */
-enum class RequestKind { Plan, Validate, Stats, Shutdown };
+enum class RequestKind { Plan, Search, Validate, Stats, Shutdown };
 
 /** Lowercase wire name of @p kind. */
 const char *requestKindName(RequestKind kind);
@@ -95,6 +115,13 @@ struct ServiceRequest
     std::optional<util::Json> planDoc;
     /** 0 = no deadline. */
     double deadlineSeconds = 0.0;
+
+    /// @name Outer-search budget (search requests only).
+    /// @{
+    std::int64_t budgetIters = 0;
+    double budgetMs = 0.0;
+    std::uint64_t seed = 1;
+    /// @}
 };
 
 /** A protocol-level failure with its stable code. */

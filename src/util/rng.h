@@ -1,12 +1,19 @@
 /**
  * @file
- * Deterministic random number generation for property tests and random
- * workload generators. A thin wrapper over a fixed-algorithm engine so
- * results are reproducible across standard library implementations.
+ * Deterministic random number generation — the repo's only randomness
+ * source. A thin wrapper over a fixed-algorithm engine so results are
+ * reproducible across standard library implementations.
+ *
+ * Policy (enforced by lint rule ALINT06, DESIGN.md §9): raw standard
+ * randomness (`std::rand`, `std::mt19937`, `std::random_device`,
+ * `std::default_random_engine`) must not appear in `src/` outside this
+ * header. Everything stochastic — the annealing search, property
+ * tests, fuzzers, synthetic workloads — draws from a seeded util::Rng,
+ * so any run is replayable from its seed alone.
  */
 
-#ifndef ACCPAR_UTIL_RANDOM_H
-#define ACCPAR_UTIL_RANDOM_H
+#ifndef ACCPAR_UTIL_RNG_H
+#define ACCPAR_UTIL_RNG_H
 
 #include <cstdint>
 
@@ -67,4 +74,4 @@ class Rng
 
 } // namespace accpar::util
 
-#endif // ACCPAR_UTIL_RANDOM_H
+#endif // ACCPAR_UTIL_RNG_H

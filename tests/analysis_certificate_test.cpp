@@ -27,7 +27,7 @@
 #include "hw/topology.h"
 #include "models/zoo.h"
 #include "support/graph_gen.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

@@ -29,7 +29,7 @@
 #include "models/zoo.h"
 #include "support/graph_gen.h"
 #include "support/legacy_dp.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

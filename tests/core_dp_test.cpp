@@ -15,7 +15,7 @@
 #include "core/condensed_graph.h"
 #include "core/segment.h"
 #include "graph/graph.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

@@ -13,7 +13,7 @@
 #include "hw/hierarchy.h"
 #include "sim/training_sim.h"
 #include "strategies/registry.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

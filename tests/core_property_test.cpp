@@ -14,7 +14,7 @@
 #include "sim/training_sim.h"
 #include "strategies/accpar_strategy.h"
 #include "strategies/registry.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

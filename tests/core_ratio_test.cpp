@@ -5,7 +5,7 @@
 #include "core/condensed_graph.h"
 #include "core/ratio_solver.h"
 #include "graph/graph.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

@@ -20,7 +20,7 @@
 #include "sim/training_sim.h"
 #include "strategies/registry.h"
 #include "util/error.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

@@ -1,0 +1,14 @@
+// Fixture: raw standard-library randomness outside util/rng.h.
+#include <random>
+
+namespace demo {
+
+int
+roll()
+{
+    std::random_device seed_source;
+    std::mt19937 engine(seed_source());
+    return static_cast<int>(engine() % 6u) + 1;
+}
+
+} // namespace demo

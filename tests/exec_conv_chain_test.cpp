@@ -10,7 +10,7 @@
 
 #include "core/cost_model.h"
 #include "exec/conv_chain.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

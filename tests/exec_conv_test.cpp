@@ -11,7 +11,7 @@
 
 #include "core/cost_model.h"
 #include "exec/conv_partitioned.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

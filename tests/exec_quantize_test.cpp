@@ -6,7 +6,7 @@
 
 #include "exec/partitioned.h"
 #include "exec/quantize.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

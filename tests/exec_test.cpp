@@ -16,7 +16,7 @@
 #include "exec/ops.h"
 #include "exec/partitioned.h"
 #include "exec/reference.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

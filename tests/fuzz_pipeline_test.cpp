@@ -18,7 +18,7 @@
 #include "models/zoo.h"
 #include "sim/training_sim.h"
 #include "strategies/registry.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

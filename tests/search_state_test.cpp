@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests of the outer-search state encoding (search/outer_state.h), the
+ * validated HierarchyBuilder it materializes through, and the
+ * canonical-subtree rebuild the move generator relies on.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hw/hierarchy.h"
+#include "hw/topology.h"
+#include "search/moves.h"
+#include "search/outer_state.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace accpar;
+
+/** Nested-paren rendering of a hierarchy: shape + leaf groups. */
+std::string
+hierSig(const hw::Hierarchy &hierarchy, hw::NodeId id)
+{
+    const hw::HierarchyNode &node = hierarchy.node(id);
+    if (node.isLeaf())
+        return node.group.toString();
+    return "(" + hierSig(hierarchy, node.left) + " " +
+           hierSig(hierarchy, node.right) + ")";
+}
+
+std::string
+hierSig(const hw::Hierarchy &hierarchy)
+{
+    return hierSig(hierarchy, hierarchy.root());
+}
+
+hw::Hierarchy
+materialize(const search::OuterState &state)
+{
+    std::vector<hw::HierarchyDefect> defects;
+    const std::optional<hw::Hierarchy> hierarchy =
+        state.toHierarchy(defects);
+    EXPECT_TRUE(hierarchy) << (defects.empty()
+                                   ? "no defects"
+                                   : defects.front().toString());
+    return *hierarchy;
+}
+
+TEST(OuterStateTest, SeedMatchesDerivedHierarchy)
+{
+    for (const hw::AcceleratorGroup &array :
+         {hw::heterogeneousTpuArrayForLevels(3),
+          hw::heterogeneousTpuArrayForLevels(4),
+          hw::parseArraySpec("tpu-v3:8"),
+          hw::parseArraySpec("tpu-v2:3+tpu-v3:5")}) {
+        const search::OuterState seed = search::OuterState::seed(array);
+        EXPECT_EQ(hierSig(materialize(seed)),
+                  hierSig(hw::Hierarchy(array)))
+            << array.toString();
+    }
+}
+
+TEST(OuterStateTest, SeedSignatureIsDeterministic)
+{
+    const hw::AcceleratorGroup array =
+        hw::heterogeneousTpuArrayForLevels(3);
+    EXPECT_EQ(search::OuterState::seed(array).signature(),
+              search::OuterState::seed(array).signature());
+    EXPECT_EQ(search::OuterState::seed(
+                  hw::parseArraySpec("tpu-v3:4"))
+                  .signature(),
+              "((0 1) (2 3))");
+}
+
+TEST(OuterStateTest, LeavesCoverEveryDeviceExactlyOnce)
+{
+    const hw::AcceleratorGroup array =
+        hw::heterogeneousTpuArrayForLevels(4);
+    const search::OuterState seed = search::OuterState::seed(array);
+    EXPECT_EQ(seed.leafNodes().size(), seed.devices().size());
+    const std::vector<int> all = seed.subtreeDevices(seed.root());
+    ASSERT_EQ(all.size(), seed.devices().size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i], static_cast<int>(i));
+}
+
+TEST(OuterStateTest, CanonicalSubtreeRebuildsTheSeedShape)
+{
+    const hw::AcceleratorGroup array =
+        hw::heterogeneousTpuArrayForLevels(4);
+    const search::OuterState seed = search::OuterState::seed(array);
+
+    search::OuterState rebuilt = seed.shell();
+    std::vector<int> ids;
+    for (std::size_t i = 0; i < seed.devices().size(); ++i)
+        ids.push_back(static_cast<int>(i));
+    rebuilt.setRoot(search::canonicalSubtree(rebuilt, ids));
+    EXPECT_EQ(rebuilt.signature(), seed.signature());
+}
+
+TEST(OuterStateTest, ProposedMovesStayValidAndPreserveDevices)
+{
+    const hw::AcceleratorGroup array =
+        hw::heterogeneousTpuArrayForLevels(4);
+    search::OuterState state = search::OuterState::seed(array);
+    util::Rng rng(7);
+    const std::vector<int> all_devices =
+        state.subtreeDevices(state.root());
+
+    int applied = 0;
+    for (int step = 0; step < 40; ++step) {
+        search::MoveKind kind;
+        const std::optional<search::OuterState> next =
+            search::proposeMove(state, rng, kind);
+        if (!next)
+            continue;
+        ++applied;
+        // Every proposal materializes cleanly and still covers the
+        // whole device table exactly once.
+        const hw::Hierarchy hierarchy = materialize(*next);
+        EXPECT_EQ(hierarchy.node(hierarchy.root()).group.size(),
+                  static_cast<int>(all_devices.size()));
+        EXPECT_EQ(next->subtreeDevices(next->root()), all_devices);
+        state = *next;
+    }
+    EXPECT_GT(applied, 0);
+}
+
+TEST(HierarchyBuilderTest, RejectsOutOfTableDevice)
+{
+    hw::HierarchyBuilder builder(
+        hw::parseArraySpec("tpu-v3:2"));
+    const int a = builder.leaf(0);
+    const int b = builder.leaf(7); // table has devices 0 and 1 only
+    const int root = builder.internal(a, b);
+    std::vector<hw::HierarchyDefect> defects;
+    EXPECT_FALSE(builder.build(root, defects));
+    ASSERT_FALSE(defects.empty());
+    EXPECT_EQ(defects.front().code, "AG010");
+}
+
+TEST(HierarchyBuilderTest, RejectsBadRootReference)
+{
+    hw::HierarchyBuilder builder(hw::parseArraySpec("tpu-v3:2"));
+    std::vector<hw::HierarchyDefect> defects;
+    EXPECT_FALSE(builder.build(3, defects));
+    ASSERT_FALSE(defects.empty());
+    EXPECT_EQ(defects.front().code, "AG010");
+}
+
+TEST(HierarchyBuilderTest, RejectsDuplicateDevice)
+{
+    hw::HierarchyBuilder builder(hw::parseArraySpec("tpu-v3:4"));
+    const int a = builder.leaf(0);
+    const int b = builder.leaf(0);
+    const int root = builder.internal(a, b);
+    std::vector<hw::HierarchyDefect> defects;
+    EXPECT_FALSE(builder.build(root, defects));
+    ASSERT_FALSE(defects.empty());
+    EXPECT_EQ(defects.front().code, "AG011");
+    // The rendering carries code and location for diagnostics.
+    EXPECT_NE(defects.front().toString().find("AG011"),
+              std::string::npos);
+}
+
+TEST(HierarchyBuilderTest, RejectsDegenerateLevel)
+{
+    hw::HierarchyBuilder builder(hw::parseArraySpec("tpu-v3:4"));
+    const int a = builder.leaf(0);
+    const int root = builder.internal(a, a);
+    std::vector<hw::HierarchyDefect> defects;
+    EXPECT_FALSE(builder.build(root, defects));
+    ASSERT_FALSE(defects.empty());
+    EXPECT_EQ(defects.front().code, "AG012");
+}
+
+TEST(HierarchyBuilderTest, RejectsChildClaimedTwice)
+{
+    hw::HierarchyBuilder builder(hw::parseArraySpec("tpu-v3:4"));
+    const int a = builder.leaf(0);
+    const int b = builder.leaf(1);
+    const int ab = builder.internal(a, b);
+    // `a` is already inside `ab`; pairing it again is degenerate.
+    const int root = builder.internal(ab, a);
+    std::vector<hw::HierarchyDefect> defects;
+    EXPECT_FALSE(builder.build(root, defects));
+    ASSERT_FALSE(defects.empty());
+    EXPECT_EQ(defects.front().code, "AG012");
+}
+
+TEST(HierarchyBuilderTest, ValidTreeMatchesDerivedHierarchy)
+{
+    const hw::AcceleratorGroup array = hw::parseArraySpec("tpu-v3:4");
+    hw::HierarchyBuilder builder(array);
+    const int a = builder.leaf(0);
+    const int b = builder.leaf(1);
+    const int c = builder.leaf(2);
+    const int d = builder.leaf(3);
+    const int ab = builder.internal(a, b);
+    const int cd = builder.internal(c, d);
+    const int root = builder.internal(ab, cd);
+    std::vector<hw::HierarchyDefect> defects;
+    const std::optional<hw::Hierarchy> built =
+        builder.build(root, defects);
+    ASSERT_TRUE(built) << (defects.empty()
+                               ? "no defects"
+                               : defects.front().toString());
+    EXPECT_TRUE(defects.empty());
+    EXPECT_EQ(hierSig(*built), hierSig(hw::Hierarchy(array)));
+}
+
+} // namespace

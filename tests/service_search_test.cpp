@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end tests of the "search" protocol kind (service/protocol.h,
+ * DESIGN.md §10): the search payload and its never-worse costs, the
+ * ASRV09 no-budget rejection, the cacheable-only caching policy
+ * (iteration budgets hit the result cache, wall-clock budgets never
+ * do), deadline clamping, and the search metrics counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/plan_service.h"
+#include "service/protocol.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace accpar;
+using service::PlanService;
+using service::ServiceConfig;
+
+std::string
+searchLine(int id, std::int64_t budget_iters, double budget_ms = 0.0,
+           std::uint64_t seed = 1)
+{
+    util::Json doc = util::Json::Object{};
+    doc["kind"] = "search";
+    doc["id"] = id;
+    doc["model"] = "lenet";
+    doc["batch"] = 32;
+    doc["array"] = "tpu-v2:2+tpu-v3:2";
+    if (budget_iters > 0)
+        doc["budget_iters"] = budget_iters;
+    if (budget_ms > 0.0)
+        doc["budget_ms"] = budget_ms;
+    doc["seed"] = static_cast<std::int64_t>(seed);
+    return doc.dump();
+}
+
+util::Json
+roundTrip(PlanService &plan_service, const std::string &line)
+{
+    return util::Json::parse(plan_service.handleLine(line));
+}
+
+TEST(ServiceSearchTest, SearchPayloadCarriesCostsAndAnytimeCurve)
+{
+    PlanService plan_service(ServiceConfig{});
+    const util::Json response =
+        roundTrip(plan_service, searchLine(1, 16));
+    ASSERT_TRUE(response.at("ok").asBool()) << response.dump();
+    EXPECT_EQ(response.at("kind").asString(), "search");
+    EXPECT_EQ(response.at("model").asString(), "lenet");
+    EXPECT_LE(response.at("best_cost").asNumber(),
+              response.at("baseline_cost").asNumber());
+    EXPECT_GE(response.at("search_iterations").asInt(), 16);
+    EXPECT_FALSE(
+        response.at("hierarchy_signature").asString().empty());
+    ASSERT_GE(response.at("anytime").asArray().size(), 1u);
+    EXPECT_EQ(response.at("anytime")
+                  .asArray()
+                  .front()
+                  .at("best_cost")
+                  .asNumber(),
+              response.at("baseline_cost").asNumber());
+    EXPECT_FALSE(response.at("certificate_fingerprint").isNull());
+    EXPECT_EQ(plan_service.metrics().searchRequests.load(), 1u);
+}
+
+TEST(ServiceSearchTest, NoBudgetIsRejectedWithAsrv09)
+{
+    PlanService plan_service(ServiceConfig{});
+    const util::Json response =
+        roundTrip(plan_service, searchLine(2, 0));
+    ASSERT_FALSE(response.at("ok").asBool());
+    EXPECT_EQ(response.at("error").at("code").asString(),
+              service::kErrNoBudget);
+}
+
+TEST(ServiceSearchTest, IterationBudgetedSearchIsCached)
+{
+    PlanService plan_service(ServiceConfig{});
+    const util::Json cold = roundTrip(plan_service, searchLine(3, 12));
+    ASSERT_TRUE(cold.at("ok").asBool()) << cold.dump();
+    EXPECT_FALSE(cold.at("cached").asBool());
+
+    const util::Json warm = roundTrip(plan_service, searchLine(4, 12));
+    ASSERT_TRUE(warm.at("ok").asBool());
+    EXPECT_TRUE(warm.at("cached").asBool());
+    EXPECT_EQ(warm.at("best_cost").asNumber(),
+              cold.at("best_cost").asNumber());
+    EXPECT_EQ(warm.at("hierarchy_signature").asString(),
+              cold.at("hierarchy_signature").asString());
+
+    // A different seed is a different request: no false sharing.
+    const util::Json other =
+        roundTrip(plan_service, searchLine(5, 12, 0.0, 9));
+    ASSERT_TRUE(other.at("ok").asBool());
+    EXPECT_FALSE(other.at("cached").asBool());
+}
+
+TEST(ServiceSearchTest, WallClockBudgetedSearchIsNeverCached)
+{
+    PlanService plan_service(ServiceConfig{});
+    const util::Json first =
+        roundTrip(plan_service, searchLine(6, 0, 150.0));
+    ASSERT_TRUE(first.at("ok").asBool()) << first.dump();
+    EXPECT_FALSE(first.at("cached").asBool());
+    const util::Json second =
+        roundTrip(plan_service, searchLine(7, 0, 150.0));
+    ASSERT_TRUE(second.at("ok").asBool());
+    EXPECT_FALSE(second.at("cached").asBool());
+    EXPECT_EQ(plan_service.metrics().cacheMisses.load(), 0u);
+}
+
+TEST(ServiceSearchTest, DeadlineCapsTheSearchAndSkipsTheCache)
+{
+    PlanService plan_service(ServiceConfig{});
+    util::Json doc = util::Json::Object{};
+    doc["kind"] = "search";
+    doc["id"] = 8;
+    doc["model"] = "lenet";
+    doc["batch"] = 32;
+    doc["array"] = "tpu-v2:2+tpu-v3:2";
+    doc["budget_iters"] = 1000000; // would run far past any deadline
+    doc["deadline_ms"] = 1500.0;
+    const util::Json response =
+        roundTrip(plan_service, doc.dump());
+    ASSERT_TRUE(response.at("ok").asBool()) << response.dump();
+    // The deadline clamps the run to a wall-clock cap, which also
+    // makes it non-cacheable.
+    EXPECT_FALSE(response.at("cached").asBool());
+    EXPECT_LT(response.at("search_iterations").asInt(), 1000000);
+    EXPECT_EQ(plan_service.metrics().cacheMisses.load(), 0u);
+}
+
+TEST(ServiceSearchTest, UnknownStrategyIsAClientError)
+{
+    PlanService plan_service(ServiceConfig{});
+    util::Json doc = util::Json::Object{};
+    doc["kind"] = "search";
+    doc["id"] = 9;
+    doc["model"] = "lenet";
+    doc["batch"] = 32;
+    doc["array"] = "tpu-v3:2";
+    doc["strategy"] = "dp"; // exact but frozen: no outer search
+    doc["budget_iters"] = 8;
+    const util::Json response = roundTrip(plan_service, doc.dump());
+    ASSERT_FALSE(response.at("ok").asBool());
+    EXPECT_EQ(response.at("error").at("code").asString(),
+              service::kErrBadField);
+}
+
+TEST(ServiceSearchTest, BadBudgetFieldIsRejectedAtParse)
+{
+    PlanService plan_service(ServiceConfig{});
+    const util::Json response = roundTrip(
+        plan_service,
+        R"({"kind":"search","id":10,"budget_iters":-3})");
+    ASSERT_FALSE(response.at("ok").asBool());
+    EXPECT_EQ(response.at("error").at("code").asString(),
+              service::kErrBadField);
+}
+
+} // namespace

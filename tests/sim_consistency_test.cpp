@@ -15,7 +15,7 @@
 #include "sim/trace_gen.h"
 #include "strategies/registry.h"
 #include "util/logging.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace {
 

@@ -17,7 +17,7 @@
 #include "core/chain_dp.h"
 #include "core/cost_model.h"
 #include "graph/graph.h"
-#include "util/random.h"
+#include "util/rng.h"
 
 namespace accpar::testsupport {
 

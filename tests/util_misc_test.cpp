@@ -9,7 +9,7 @@
 #include "util/bfloat16.h"
 #include "util/csv.h"
 #include "util/error.h"
-#include "util/random.h"
+#include "util/rng.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/units.h"

@@ -11,13 +11,32 @@
  *            model summary (layers, weights, FLOPs) and DOT export
  *   plan     --model NAME [--batch N] [--array SPEC] [--jobs N]
  *            [--strategy dp|owt|hypar|accpar] [--out plan.json]
- *            search a partition plan; print per-level types
+ *            [--search-budget N] [--search-ms MS] [--seed S]
+ *            search a partition plan; print per-level types. With a
+ *            search budget the outer-loop annealer (DESIGN.md §16)
+ *            optimizes the hierarchy first and the plan is reported
+ *            on the winning hierarchy
+ *   search   --model NAME (--budget-iters N | --budget-ms MS)
+ *            [--seed S] [--batch N] [--array SPEC] [--jobs N]
+ *            [--strategy accpar|custom] [--out plan.json]
+ *            [--cert cert.json]
+ *            anytime outer-loop search over hierarchy shapes and
+ *            device assignments with the exact DP as inner oracle;
+ *            prints baseline vs best cost, the anytime improvement
+ *            curve, and the winning plan. Never reports a plan worse
+ *            than `accpar plan`'s; --budget-iters runs are
+ *            deterministic for a fixed --seed (any --jobs)
  *   simulate --model NAME [--batch N] [--array SPEC] [--jobs N]
  *            (--strategy S | --plan plan.json) [--optimizer OPT]
  *            simulate one training step and report timing
  *   compare  [--models a,b,c] [--batch N] [--array SPEC] [--jobs N]
  *            [--optimizer OPT] [--csv FILE]
- *            the Figure 5/6 style strategy comparison
+ *            the Figure 5/6 style strategy comparison. With
+ *            --search-budget N (and optionally --search-ms/--seed) it
+ *            instead diffs the outer-searched plan against the
+ *            baseline DP plan per model: level-by-level type
+ *            disagreements (core/plan_diff.h) plus the total cost
+ *            delta
  *   sweep    --model NAME [--min-levels 2] [--max-levels 9] [--jobs N]
  *            [--optimizer OPT]
  *            the Figure 8 style hierarchy sweep
@@ -73,6 +92,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "analysis/certificate_checker.h"
 #include "analysis/graph_linter.h"
@@ -89,6 +109,7 @@
 #include "models/model_io.h"
 #include "models/summary.h"
 #include "models/zoo.h"
+#include "search/annealing.h"
 #include "service/load_gen.h"
 #include "service/plan_service.h"
 #include "service/tcp_server.h"
@@ -185,8 +206,8 @@ usage()
 {
     std::cerr
         << "usage: accpar "
-           "<models|info|plan|simulate|compare|sweep|diff|validate|"
-           "audit|serve|load> [flags]\n"
+           "<models|info|plan|search|simulate|compare|sweep|diff|"
+           "validate|audit|serve|load> [flags]\n"
         << "       accpar --version\n"
         << "run 'accpar' with a subcommand; see tools/accpar_cli.cpp "
            "header for flags\n";
@@ -267,12 +288,51 @@ cmdInfo(const util::Args &args)
     return 0;
 }
 
+/** One line summarizing what the outer search did. */
+void
+printSearchSummary(const search::SearchReport &report)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << "search: baseline " << report.baselineCost << " -> best "
+       << report.bestCost;
+    if (report.improvedOverBaseline()) {
+        os.precision(3);
+        os << " ("
+           << (1.0 - report.bestCost / report.baselineCost) * 100.0
+           << "% better)";
+    } else {
+        os << " (kept the seed hierarchy)";
+    }
+    os << " after " << report.iterations << " iteration(s), seed "
+       << report.seed << '\n';
+    std::cout << os.str();
+}
+
+/**
+ * Reads the outer-search flags into @p options. `plan` spells them
+ * --search-budget/--search-ms so a budget-less `accpar plan` stays
+ * the pure DP path; `search` spells them --budget-iters/--budget-ms
+ * and requires one to be set.
+ */
+void
+applySearchFlags(const util::Args &args, const char *iters_flag,
+                 const char *ms_flag, PlanOptions &options)
+{
+    options.search.budgetIters =
+        static_cast<int>(args.getIntOr(iters_flag, 0));
+    options.search.budgetMs = args.getDoubleOr(ms_flag, 0.0);
+    options.search.seed =
+        static_cast<std::uint64_t>(args.getIntOr("seed", 1));
+}
+
 int
 cmdPlan(const util::Args &args)
 {
     args.checkKnown({"model", "model-file", "import", "param",
                      "batch", "array", "strategy", "out", "cert",
-                     "jobs", "no-verify", "strict", "log-level"});
+                     "jobs", "no-verify", "strict", "search-budget",
+                     "search-ms", "seed", "log-level"});
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
 
@@ -282,13 +342,78 @@ cmdPlan(const util::Args &args)
     request.options.verify = !args.has("no-verify");
     request.options.strict = args.has("strict");
     request.options.emitCertificate = args.has("cert");
+    applySearchFlags(args, "search-budget", "search-ms",
+                     request.options);
 
     Planner planner;
     const PlanResult result = planner.plan(request);
 
-    const hw::Hierarchy hierarchy(array);
+    // A searched plan's node ids index the winning hierarchy, not the
+    // seed one — render and save against whichever produced the plan.
+    const hw::Hierarchy seed_hierarchy(array);
+    const hw::Hierarchy &hierarchy = result.searchedHierarchy
+                                         ? *result.searchedHierarchy
+                                         : seed_hierarchy;
     std::cout << "array: " << array.toString() << '\n';
     std::cout << result.plan.toString(hierarchy);
+    if (result.searchReport)
+        printSearchSummary(*result.searchReport);
+    std::cout << "planned in " << util::humanSeconds(result.planSeconds)
+              << " with " << result.jobs << " job(s) "
+              << cacheLine(result.cacheDelta) << '\n';
+    if (const auto path = args.get("out")) {
+        core::savePlan(result.plan, hierarchy, *path);
+        std::cout << "[plan written to " << *path << "]\n";
+    }
+    if (const auto path = args.get("cert")) {
+        core::saveCertificate(*result.certificate, hierarchy, *path);
+        std::cout << "[certificate written to " << *path << "]\n";
+    }
+    return 0;
+}
+
+int
+cmdSearch(const util::Args &args)
+{
+    args.checkKnown({"model", "model-file", "import", "param",
+                     "batch", "array", "strategy", "out", "cert",
+                     "jobs", "no-verify", "strict", "budget-iters",
+                     "budget-ms", "seed", "log-level"});
+    const hw::AcceleratorGroup array =
+        hw::parseArraySpec(args.getOr("array", "hetero"));
+
+    PlanRequest request(resolveModel(args), array);
+    request.strategy = args.getOr("strategy", "accpar");
+    request.jobs = jobsArg(args);
+    request.options.verify = !args.has("no-verify");
+    request.options.strict = args.has("strict");
+    request.options.emitCertificate = args.has("cert");
+    applySearchFlags(args, "budget-iters", "budget-ms",
+                     request.options);
+    if (!request.options.search.enabled()) {
+        std::cerr << "error: search needs --budget-iters N or "
+                     "--budget-ms MS\n";
+        return 2;
+    }
+
+    Planner planner;
+    const PlanResult result = planner.plan(request);
+    const hw::Hierarchy &hierarchy = *result.searchedHierarchy;
+    const search::SearchReport &report = *result.searchReport;
+
+    std::cout << "array:     " << array.toString() << '\n';
+    std::cout << "hierarchy: " << report.bestSignature << '\n';
+    std::cout << result.plan.toString(hierarchy);
+    printSearchSummary(report);
+    std::cout << "anytime curve (iteration -> best cost):\n";
+    {
+        std::ostringstream os;
+        os.precision(6);
+        for (const search::AnytimePoint &point : report.anytime)
+            os << "  " << point.iteration << " -> " << point.bestCost
+               << '\n';
+        std::cout << os.str();
+    }
     std::cout << "planned in " << util::humanSeconds(result.planSeconds)
               << " with " << result.jobs << " job(s) "
               << cacheLine(result.cacheDelta) << '\n';
@@ -356,18 +481,89 @@ cmdSimulate(const util::Args &args)
     return 0;
 }
 
+/**
+ * The --search-budget mode of `accpar compare`: for each model, plan
+ * the baseline DP on the seed hierarchy and the outer-searched plan,
+ * then report the level-by-level type disagreements and the total
+ * cost delta.
+ */
+int
+compareSearched(const util::Args &args,
+                const std::vector<std::string> &names)
+{
+    const hw::AcceleratorGroup array =
+        hw::parseArraySpec(args.getOr("array", "hetero"));
+    const hw::Hierarchy seed_hierarchy(array);
+    const models::ModelParams params = modelParams(args);
+
+    Planner planner;
+    int improved = 0;
+    for (const std::string &name : names) {
+        const graph::Graph model =
+            models::catalog().build(name, params);
+        PlanRequest baseline(model, array);
+        baseline.jobs = jobsArg(args);
+        PlanRequest searched(model, array);
+        searched.jobs = jobsArg(args);
+        applySearchFlags(args, "search-budget", "search-ms",
+                         searched.options);
+
+        const std::vector<PlanResult> results =
+            planner.planBatch({baseline, searched});
+        const PlanResult &base = results[0];
+        const PlanResult &best = results[1];
+        const hw::Hierarchy &best_hierarchy =
+            best.searchedHierarchy ? *best.searchedHierarchy
+                                   : seed_hierarchy;
+
+        const core::PlanDiff diff = core::diffPlansByLevel(
+            base.plan, seed_hierarchy, best.plan, best_hierarchy);
+        std::cout << name << ": "
+                  << core::formatPlanDiff(diff, "baseline dp",
+                                          "searched");
+        // The search objective is the worst root-to-leaf path cost
+        // (what SearchReport records for both sides), not the
+        // root-level DP cost — the two can move in opposite
+        // directions across different hierarchies.
+        const search::SearchReport &report = *best.searchReport;
+        std::ostringstream os;
+        os.precision(6);
+        os << name << ": worst-path cost " << report.baselineCost
+           << " -> " << report.bestCost;
+        if (report.improvedOverBaseline()) {
+            ++improved;
+            os.precision(3);
+            os << " ("
+               << (1.0 - report.bestCost / report.baselineCost) * 100.0
+               << "% better)";
+        } else {
+            os << " (no improvement)";
+        }
+        std::cout << os.str() << "\n\n";
+    }
+    std::cout << "search improved " << improved << " of "
+              << names.size() << " model(s) "
+              << cacheLine(planner.cacheStats()) << '\n';
+    return 0;
+}
+
 int
 cmdCompare(const util::Args &args)
 {
-    args.checkKnown({"models", "param", "batch", "array", "csv",
-                     "jobs", "optimizer", "log-level"});
+    args.checkKnown({"models", "model", "param", "batch", "array",
+                     "csv", "jobs", "optimizer", "search-budget",
+                     "search-ms", "seed", "log-level"});
     std::vector<std::string> names;
     if (const auto list = args.get("models")) {
         for (const std::string &part : util::split(*list, ','))
             names.push_back(util::trim(part));
+    } else if (const auto one = args.get("model")) {
+        names.push_back(*one);
     } else {
         names = models::modelNames();
     }
+    if (args.has("search-budget") || args.has("search-ms"))
+        return compareSearched(args, names);
     const hw::AcceleratorGroup array =
         hw::parseArraySpec(args.getOr("array", "hetero"));
     const models::ModelParams params = modelParams(args);
@@ -752,6 +948,8 @@ main(int argc, char **argv)
             return cmdInfo(args);
         if (command == "plan")
             return cmdPlan(args);
+        if (command == "search")
+            return cmdSearch(args);
         if (command == "simulate")
             return cmdSimulate(args);
         if (command == "compare")

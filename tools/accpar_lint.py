@@ -39,6 +39,14 @@ Rules (stable codes — never reuse or renumber):
            quoted-include graph from the checker roots reaches
            core/dp_kernel.h, which would void the independence of the
            audit.
+  ALINT06  Raw standard-library randomness (std::rand, std::srand,
+           std::mt19937/_64, std::minstd_rand/0, std::random_device,
+           std::default_random_engine) appears in src/ outside
+           util/rng.h. All stochastic code — the annealing search,
+           fuzzers, synthetic workloads — must draw from a seeded
+           util::Rng so every run is replayable from its seed and
+           results do not vary across standard-library
+           implementations.
 
 Usage:
   accpar_lint.py [repo_root] [--json] [--rules ALINT01,ALINT03]
@@ -82,6 +90,15 @@ FLOAT_ARG_RE = re.compile(
 # them). Its .cpp deliberately avoids them too (POSIX mutex inside), so
 # the allowlist is exactly what the acceptance `rg` exempts.
 SYNC_ALLOWED = {"src/util/sync.h"}
+RAW_RANDOM_RE = re.compile(
+    r"std::s?rand\b"
+    r"|std::mt19937(?:_64)?\b"
+    r"|std::minstd_rand0?\b"
+    r"|std::random_device\b"
+    r"|std::default_random_engine\b")
+# ALINT06: the one randomness source (the seeded SplitMix64 wrapper);
+# it may name the raw engines in its policy comment.
+RANDOM_ALLOWED = {"src/util/rng.h"}
 # ALINT02: the deterministic emitters every serialized float goes
 # through (JSON output and the planner's cache-key fingerprint), and
 # the only conversion they may use.
@@ -103,6 +120,7 @@ RULES = {
     "ALINT03": "frozen file modified without updating the manifest",
     "ALINT04": "diagnostic-code catalog incoherent with DESIGN.md",
     "ALINT05": "certificate checker reaches the solver kernel",
+    "ALINT06": "raw std randomness outside util/rng.h",
 }
 
 
@@ -310,12 +328,34 @@ def check_independence(root: Path):
         + " — the audit must stay independent of dp_kernel.h")]
 
 
+def check_raw_random(root: Path):
+    """ALINT06 — like ALINT01, including comments: the policy is stated
+    as a grep-checkable invariant, so the tool flags what rg would."""
+    findings = []
+    src = root / "src"
+    for path in iter_sources(src):
+        rel = path.relative_to(root).as_posix()
+        if rel in RANDOM_ALLOWED:
+            continue
+        for number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            match = RAW_RANDOM_RE.search(line)
+            if match:
+                findings.append(Finding(
+                    "ALINT06", rel, number,
+                    f"raw {match.group(0)} — draw from a seeded "
+                    f"util::Rng (util/rng.h) so the run is replayable "
+                    f"from its seed"))
+    return findings
+
+
 CHECKS = {
     "ALINT01": check_raw_sync,
     "ALINT02": check_float_emission,
     "ALINT03": check_frozen,
     "ALINT04": check_catalog,
     "ALINT05": check_independence,
+    "ALINT06": check_raw_random,
 }
 
 
