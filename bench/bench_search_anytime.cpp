@@ -124,6 +124,16 @@ main()
         metrics["improvements"] =
             static_cast<std::int64_t>(sa.improved);
         metrics["search_seconds"] = result.planSeconds;
+        // Oracle throughput: how many inner DP evaluations the
+        // speculative-lookahead batching (DESIGN.md §17) pushed
+        // through per wall-clock second of the whole plan call.
+        metrics["oracle_solves"] =
+            static_cast<std::int64_t>(sa.oracleSolves);
+        metrics["oracle_solves_per_sec"] =
+            result.planSeconds > 0.0
+                ? static_cast<double>(sa.oracleSolves) /
+                      result.planSeconds
+                : 0.0;
         for (std::size_t i = 0; i < sa.anytime.size(); ++i) {
             util::Json &point = report.addRow(
                 name + "/anytime/" + std::to_string(i));

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Scalar reference kernels, the NEON instantiation (baseline on
+ * AArch64, so it lives in this default-flags translation unit), and
+ * the runtime dispatcher. The AVX2 instantiation lives in
+ * core/batch_kernels_avx2.cpp under its own target flags; this file
+ * only consults it through avx2BatchKernelOps().
+ */
+
+#include "core/batch_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#if defined(ACCPAR_SIMD_ENABLED) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define ACCPAR_BATCH_KERNELS_NEON 1
+#include "core/batch_kernels_impl.h"
+#endif
+
+namespace accpar::core {
+
+namespace {
+
+/**
+ * Scalar candidates9: the reference operation sequence every vector
+ * lane must reproduce — (prev + trans) + node, left-associated, per
+ * (target, source) cell of the 3x3 transition block.
+ */
+void
+scalarCandidates9(const double *prev, const double *transT,
+                  const double *node, double *cand)
+{
+    for (int t = 0; t < 3; ++t) {
+        const double node_cost = node[t];
+        const double *column = transT + 3 * t;
+        double *out = cand + 3 * t;
+        out[0] = (prev[0] + column[0]) + node_cost;
+        out[1] = (prev[1] + column[1]) + node_cost;
+        out[2] = (prev[2] + column[2]) + node_cost;
+    }
+}
+
+/**
+ * Scalar ratioBothSides: term-major single pass with exactly n lanes
+ * (no padding), the output arrays doubling as the accumulators. Each
+ * lane sees the same per-term operation sequence as two sequential
+ * sideTotal() walks, so results are bit-identical per side.
+ */
+void
+scalarRatioBothSides(const RatioTermsView &view, const double *alphas,
+                     std::size_t n, double *outLeft, double *outRight)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        outLeft[k] = 0.0;
+        outRight[k] = 0.0;
+    }
+    for (std::size_t i = 0; i < view.count; ++i) {
+        switch (view.kind[i]) {
+          case RatioTermsView::NodeComm: {
+            const double a = view.a[i];
+            for (std::size_t k = 0; k < n; ++k) {
+                outLeft[k] += a;
+                outRight[k] += a;
+            }
+            break;
+          }
+          case RatioTermsView::NodeTime: {
+            const double a0 = view.aSide0[i];
+            const double a1 = view.aSide1[i];
+            if (view.includeCompute) {
+                const double flops = view.flops[i];
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double own_l = alphas[k];
+                    const double own_r = 1.0 - alphas[k];
+                    double cost_l = a0;
+                    cost_l += own_l * flops / view.compute[0];
+                    double cost_r = a1;
+                    cost_r += own_r * flops / view.compute[1];
+                    outLeft[k] += cost_l;
+                    outRight[k] += cost_r;
+                }
+            } else {
+                for (std::size_t k = 0; k < n; ++k) {
+                    outLeft[k] += a0;
+                    outRight[k] += a1;
+                }
+            }
+            break;
+          }
+          case RatioTermsView::EdgeBilinear: {
+            const double a = view.a[i];
+            for (std::size_t k = 0; k < n; ++k) {
+                const double own_l = alphas[k];
+                const double other_l = 1.0 - own_l;
+                const double own_r = 1.0 - alphas[k];
+                const double other_r = 1.0 - own_r;
+                const double x_l = own_l * other_l * a;
+                const double x_r = own_r * other_r * a;
+                const double elems_l = x_l + x_l;
+                const double elems_r = x_r + x_r;
+                outLeft[k] += view.time
+                                  ? elems_l * view.bpe / view.link[0]
+                                  : elems_l;
+                outRight[k] += view.time
+                                   ? elems_r * view.bpe / view.link[1]
+                                   : elems_r;
+            }
+            break;
+          }
+          case RatioTermsView::EdgeOther: {
+            const double a = view.a[i];
+            for (std::size_t k = 0; k < n; ++k) {
+                const double other_l = 1.0 - alphas[k];
+                const double other_r = 1.0 - (1.0 - alphas[k]);
+                const double elems_l = other_l * a;
+                const double elems_r = other_r * a;
+                outLeft[k] += view.time
+                                  ? elems_l * view.bpe / view.link[0]
+                                  : elems_l;
+                outRight[k] += view.time
+                                   ? elems_r * view.bpe / view.link[1]
+                                   : elems_r;
+            }
+            break;
+          }
+        }
+    }
+}
+
+constexpr BatchKernelOps kScalarOps = {"scalar", 1, &scalarCandidates9,
+                                       &scalarRatioBothSides};
+
+#if defined(ACCPAR_BATCH_KERNELS_NEON)
+constexpr BatchKernelOps kNeonOps = {
+    "neon", util::simd::kLanes,
+    &kernels::candidates9<util::simd::neon::Vec4>,
+    &kernels::ratioBothSides<util::simd::neon::Vec4>};
+#endif
+
+bool
+cpuSupportsAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+envForcesScalar()
+{
+    const char *env = std::getenv("ACCPAR_SIMD");
+    if (!env)
+        return false;
+    const std::string value(env);
+    return value == "scalar" || value == "off" || value == "OFF" ||
+           value == "0";
+}
+
+const BatchKernelOps *
+detectOps()
+{
+    if (envForcesScalar())
+        return &kScalarOps;
+    const BatchKernelOps *avx2 = avx2BatchKernelOps();
+    if (avx2 != nullptr && cpuSupportsAvx2())
+        return avx2;
+#if defined(ACCPAR_BATCH_KERNELS_NEON)
+    return &kNeonOps;
+#else
+    return &kScalarOps;
+#endif
+}
+
+std::atomic<bool> g_forceScalar{false};
+
+} // namespace
+
+const BatchKernelOps &
+scalarBatchKernelOps()
+{
+    return kScalarOps;
+}
+
+const BatchKernelOps &
+activeBatchKernelOps()
+{
+    // Detection is memoized; the force flag stays a per-call override
+    // so tests can flip backends within one process.
+    static const BatchKernelOps *const detected = detectOps();
+    return g_forceScalar.load(std::memory_order_relaxed) ? kScalarOps
+                                                         : *detected;
+}
+
+bool
+setBatchKernelForceScalar(bool force)
+{
+    return g_forceScalar.exchange(force, std::memory_order_relaxed);
+}
+
+const char *
+batchKernelVariantName()
+{
+    return activeBatchKernelOps().name;
+}
+
+int
+batchKernelLanes()
+{
+    return activeBatchKernelOps().lanes;
+}
+
+} // namespace accpar::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The AVX2 kernel table. This translation unit is the only one built
+ * with the AVX2 target flags (and with floating-point contraction
+ * disabled, so no mul+add pair ever fuses — see util/simd.h's
+ * bit-identity contract); builds without ACCPAR_SIMD, or for other
+ * architectures, compile the null stub instead and the dispatcher
+ * falls back to scalar or NEON.
+ */
+
+#include "core/batch_kernels.h"
+
+#if defined(ACCPAR_SIMD_ENABLED) && defined(__AVX2__)
+
+#include "core/batch_kernels_impl.h"
+
+namespace accpar::core {
+
+namespace {
+
+constexpr BatchKernelOps kAvx2Ops = {
+    "avx2", util::simd::kLanes,
+    &kernels::candidates9<util::simd::avx2::Vec4>,
+    &kernels::ratioBothSides<util::simd::avx2::Vec4>};
+
+} // namespace
+
+const BatchKernelOps *
+avx2BatchKernelOps()
+{
+    return &kAvx2Ops;
+}
+
+} // namespace accpar::core
+
+#else // !(ACCPAR_SIMD_ENABLED && __AVX2__)
+
+namespace accpar::core {
+
+const BatchKernelOps *
+avx2BatchKernelOps()
+{
+    return nullptr;
+}
+
+} // namespace accpar::core
+
+#endif

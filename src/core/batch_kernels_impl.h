@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Backend-generic kernel templates behind core/batch_kernels.h,
+ * instantiated once per vector backend in separate translation units
+ * (core/batch_kernels.cpp for scalar/NEON, core/batch_kernels_avx2.cpp
+ * under the AVX2 target flags).
+ *
+ * Bit-identity: each lane performs exactly the operation sequence of
+ * the scalar reference — same associativity, same order of terms, one
+ * IEEE binary64 operation per step (the instantiating translation
+ * units disable floating-point contraction, see util/simd.h). The
+ * batched sweep pads the tail group by repeating the last alpha; the
+ * padding lanes are computed and discarded, never stored.
+ */
+
+#ifndef ACCPAR_CORE_BATCH_KERNELS_IMPL_H
+#define ACCPAR_CORE_BATCH_KERNELS_IMPL_H
+
+#include <cstddef>
+
+#include "core/batch_kernels.h"
+#include "util/simd.h"
+
+namespace accpar::core::kernels {
+
+/** candidates9 over one vector backend; see BatchKernelOps. The three
+ *  4-wide column stores overlap by one lane; ascending target order
+ *  makes each overlapped slot end up with its correct value, and the
+ *  final store reaches cand[9], which callers must provide. */
+template <typename V>
+void
+candidates9(const double *prev, const double *transT, const double *node,
+            double *cand)
+{
+    const V p = V::loadu(prev);
+    for (int t = 0; t < 3; ++t) {
+        const V c = V::add(V::add(p, V::loadu(transT + 3 * t)),
+                           V::broadcast(node[t]));
+        c.storeu(cand + 3 * t);
+    }
+}
+
+/** One full group of util::simd::kLanes alphas through the term pass;
+ *  both side accumulators advance term-by-term exactly like two
+ *  sequential sideTotal() walks. */
+template <typename V>
+void
+ratioBothSidesGroup(const RatioTermsView &view, const double *alphas,
+                    double *outLeft, double *outRight)
+{
+    const V one = V::broadcast(1.0);
+    const V own_l = V::loadu(alphas);
+    const V other_l = V::sub(one, own_l);
+    // The right side's own share is 1 - alpha and its "other" is
+    // 1 - (1 - alpha), matching the sequential derivation bit for bit.
+    const V own_r = V::sub(one, own_l);
+    const V other_r = V::sub(one, own_r);
+
+    const V bpe = V::broadcast(view.bpe);
+    const V link0 = V::broadcast(view.link[0]);
+    const V link1 = V::broadcast(view.link[1]);
+    const V compute0 = V::broadcast(view.compute[0]);
+    const V compute1 = V::broadcast(view.compute[1]);
+
+    V acc_l = V::zero();
+    V acc_r = V::zero();
+    for (std::size_t i = 0; i < view.count; ++i) {
+        switch (view.kind[i]) {
+          case RatioTermsView::NodeComm: {
+            const V a = V::broadcast(view.a[i]);
+            acc_l = V::add(acc_l, a);
+            acc_r = V::add(acc_r, a);
+            break;
+          }
+          case RatioTermsView::NodeTime: {
+            V cost_l = V::broadcast(view.aSide0[i]);
+            V cost_r = V::broadcast(view.aSide1[i]);
+            if (view.includeCompute) {
+                const V flops = V::broadcast(view.flops[i]);
+                cost_l = V::add(
+                    cost_l, V::div(V::mul(own_l, flops), compute0));
+                cost_r = V::add(
+                    cost_r, V::div(V::mul(own_r, flops), compute1));
+            }
+            acc_l = V::add(acc_l, cost_l);
+            acc_r = V::add(acc_r, cost_r);
+            break;
+          }
+          case RatioTermsView::EdgeBilinear: {
+            const V a = V::broadcast(view.a[i]);
+            const V x_l = V::mul(V::mul(own_l, other_l), a);
+            const V x_r = V::mul(V::mul(own_r, other_r), a);
+            const V elems_l = V::add(x_l, x_l);
+            const V elems_r = V::add(x_r, x_r);
+            acc_l = V::add(acc_l,
+                           view.time
+                               ? V::div(V::mul(elems_l, bpe), link0)
+                               : elems_l);
+            acc_r = V::add(acc_r,
+                           view.time
+                               ? V::div(V::mul(elems_r, bpe), link1)
+                               : elems_r);
+            break;
+          }
+          case RatioTermsView::EdgeOther: {
+            const V a = V::broadcast(view.a[i]);
+            const V elems_l = V::mul(other_l, a);
+            const V elems_r = V::mul(other_r, a);
+            acc_l = V::add(acc_l,
+                           view.time
+                               ? V::div(V::mul(elems_l, bpe), link0)
+                               : elems_l);
+            acc_r = V::add(acc_r,
+                           view.time
+                               ? V::div(V::mul(elems_r, bpe), link1)
+                               : elems_r);
+            break;
+          }
+        }
+    }
+    acc_l.storeu(outLeft);
+    acc_r.storeu(outRight);
+}
+
+/** One alpha through the term pass in plain scalar arithmetic — the
+ *  identical per-lane operation sequence as the vector groups and the
+ *  scalar reference kernel, so routing a lane here never changes its
+ *  bits. */
+inline void
+ratioBothSidesLane(const RatioTermsView &view, double alpha,
+                   double *outLeft, double *outRight)
+{
+    const double own_l = alpha;
+    const double other_l = 1.0 - own_l;
+    const double own_r = 1.0 - alpha;
+    const double other_r = 1.0 - own_r;
+    double acc_l = 0.0;
+    double acc_r = 0.0;
+    for (std::size_t i = 0; i < view.count; ++i) {
+        switch (view.kind[i]) {
+          case RatioTermsView::NodeComm:
+            acc_l += view.a[i];
+            acc_r += view.a[i];
+            break;
+          case RatioTermsView::NodeTime: {
+            double cost_l = view.aSide0[i];
+            double cost_r = view.aSide1[i];
+            if (view.includeCompute) {
+                cost_l += own_l * view.flops[i] / view.compute[0];
+                cost_r += own_r * view.flops[i] / view.compute[1];
+            }
+            acc_l += cost_l;
+            acc_r += cost_r;
+            break;
+          }
+          case RatioTermsView::EdgeBilinear: {
+            const double x_l = own_l * other_l * view.a[i];
+            const double x_r = own_r * other_r * view.a[i];
+            const double elems_l = x_l + x_l;
+            const double elems_r = x_r + x_r;
+            acc_l += view.time ? elems_l * view.bpe / view.link[0]
+                               : elems_l;
+            acc_r += view.time ? elems_r * view.bpe / view.link[1]
+                               : elems_r;
+            break;
+          }
+          case RatioTermsView::EdgeOther: {
+            const double elems_l = other_l * view.a[i];
+            const double elems_r = other_r * view.a[i];
+            acc_l += view.time ? elems_l * view.bpe / view.link[0]
+                               : elems_l;
+            acc_r += view.time ? elems_r * view.bpe / view.link[1]
+                               : elems_r;
+            break;
+          }
+        }
+    }
+    *outLeft = acc_l;
+    *outRight = acc_r;
+}
+
+/** ratioBothSides over one vector backend: full groups straight from
+ *  the caller's (possibly unaligned) arrays. A tail that fills most of
+ *  a group is padded with the last alpha into a stack buffer (the
+ *  padding lanes are computed and discarded); a mostly-empty tail —
+ *  in particular solveRatioLinear's single-alpha pass — walks the
+ *  scalar lane kernel instead, which is cheaper than a padded group
+ *  and produces the same bits. */
+template <typename V>
+void
+ratioBothSides(const RatioTermsView &view, const double *alphas,
+               std::size_t n, double *outLeft, double *outRight)
+{
+    constexpr std::size_t kGroup =
+        static_cast<std::size_t>(util::simd::kLanes);
+    std::size_t i = 0;
+    for (; i + kGroup <= n; i += kGroup)
+        ratioBothSidesGroup<V>(view, alphas + i, outLeft + i,
+                               outRight + i);
+    if (i == n)
+        return;
+    const std::size_t rem = n - i;
+    if (rem * 2 <= kGroup) {
+        for (std::size_t k = 0; k < rem; ++k)
+            ratioBothSidesLane(view, alphas[i + k], outLeft + i + k,
+                               outRight + i + k);
+        return;
+    }
+    double pad[kGroup];
+    double left[kGroup];
+    double right[kGroup];
+    for (std::size_t k = 0; k < kGroup; ++k)
+        pad[k] = alphas[i + k < n ? i + k : n - 1];
+    ratioBothSidesGroup<V>(view, pad, left, right);
+    for (std::size_t k = 0; k < rem; ++k) {
+        outLeft[i + k] = left[k];
+        outRight[i + k] = right[k];
+    }
+}
+
+} // namespace accpar::core::kernels
+
+#endif // ACCPAR_CORE_BATCH_KERNELS_IMPL_H

@@ -14,14 +14,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 } // namespace
 
-DpKernel::DpKernel(const CondensedGraph &graph, const Chain &chain,
-                   const std::vector<LayerDims> &dims)
-    : _graph(graph), _dims(dims)
+DpStructure::DpStructure(const CondensedGraph &graph, const Chain &chain)
+    : _graph(graph)
 {
-    ACCPAR_REQUIRE(dims.size() == graph.size(),
-                   "dims size mismatch: " << dims.size() << " vs "
-                                          << graph.size());
-
     const std::size_t n = graph.size();
     _edgeStart.assign(n + 1, 0);
     for (std::size_t v = 0; v < n; ++v) {
@@ -31,17 +26,12 @@ DpKernel::DpKernel(const CondensedGraph &graph, const Chain &chain,
             Edge edge;
             edge.from = u;
             edge.to = static_cast<CNodeId>(v);
-            edge.boundary = std::min(dims[u].sizeOutput(),
-                                     dims[v].sizeInput());
             _edges.push_back(edge);
         }
     }
     _edgeStart[n] = static_cast<std::int32_t>(_edges.size());
 
     _root = compileChain(chain, kNoEntryNode);
-    _rootState = makeState(*_root);
-    _nodeTable.assign(n * 3, 0.0);
-    _edgeTable.assign(_edges.size() * 9, 0.0);
 
     // The chain must cover every condensed node, or backtracking would
     // leave nodes unassigned (the unflattened DP asserted this on every
@@ -57,10 +47,10 @@ DpKernel::DpKernel(const CondensedGraph &graph, const Chain &chain,
                           << " unassigned");
 }
 
-DpKernel::~DpKernel() = default;
+DpStructure::~DpStructure() = default;
 
 std::int32_t
-DpKernel::edgeIndex(CNodeId from, CNodeId to) const
+DpStructure::edgeIndex(CNodeId from, CNodeId to) const
 {
     for (std::int32_t e = _edgeStart[to]; e < _edgeStart[to + 1]; ++e) {
         if (_edges[e].from == from)
@@ -71,8 +61,8 @@ DpKernel::edgeIndex(CNodeId from, CNodeId to) const
                               std::to_string(to));
 }
 
-std::unique_ptr<DpKernel::CompiledChain>
-DpKernel::compileChain(const Chain &chain, CNodeId fork)
+std::unique_ptr<DpStructure::CompiledChain>
+DpStructure::compileChain(const Chain &chain, CNodeId fork)
 {
     ACCPAR_ASSERT(!chain.elements.empty(), "empty chain in DP");
     auto out = std::make_unique<CompiledChain>();
@@ -112,6 +102,49 @@ DpKernel::compileChain(const Chain &chain, CNodeId fork)
     }
     return out;
 }
+
+DpKernel::DpKernel(const CondensedGraph &graph, const Chain &chain,
+                   const std::vector<LayerDims> &dims)
+    : DpKernel(std::make_unique<DpStructure>(graph, chain), dims)
+{
+}
+
+DpKernel::DpKernel(std::unique_ptr<DpStructure> owned,
+                   const std::vector<LayerDims> &dims)
+    : _owned(std::move(owned)), _structure(*_owned), _dims(dims)
+{
+    init();
+}
+
+DpKernel::DpKernel(const DpStructure &structure,
+                   const std::vector<LayerDims> &dims)
+    : _structure(structure), _dims(dims)
+{
+    init();
+}
+
+void
+DpKernel::init()
+{
+    const CondensedGraph &graph = _structure._graph;
+    ACCPAR_REQUIRE(_dims.size() == graph.size(),
+                   "dims size mismatch: " << _dims.size() << " vs "
+                                          << graph.size());
+
+    const std::vector<Edge> &edges = _structure._edges;
+    _boundary.resize(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        _boundary[e] = std::min(_dims[edges[e].from].sizeOutput(),
+                                _dims[edges[e].to].sizeInput());
+
+    _rootState = makeState(*_structure._root);
+    _nodeTable.assign(graph.size() * 3, 0.0);
+    // One trailing pad element keeps the batch kernel's four-wide
+    // column loads of the last edge in bounds.
+    _edgeTableT.assign(edges.size() * 9 + 1, 0.0);
+}
+
+DpKernel::~DpKernel() = default;
 
 std::unique_ptr<DpKernel::ChainState>
 DpKernel::makeState(const CompiledChain &chain) const
@@ -177,14 +210,14 @@ DpKernel::parallelTransition(const CompiledElem &elem,
     for (std::size_t p = 0; p < elem.paths.size(); ++p) {
         const CompiledPath &path = elem.paths[p];
         if (!path.chain) {
-            total += _edgeTable[path.directEdge * 9 + tti * 3 + t];
+            total += _edgeTableT[path.directEdge * 9 + t * 3 + tti];
             continue;
         }
         const ChainState &sub = *par.paths[p][tti];
         const int best_s = bestPathExit(path, sub, t);
         const std::size_t last = path.chain->elems.size() - 1;
         total += sub.cost[last * 3 + best_s] +
-                 _edgeTable[path.exitEdge * 9 + best_s * 3 + t];
+                 _edgeTableT[path.exitEdge * 9 + t * 3 + best_s];
     }
     return total;
 }
@@ -203,7 +236,7 @@ DpKernel::bestPathExit(const CompiledPath &path, const ChainState &state,
         if (cost[si] == kInf)
             continue;
         const double cand =
-            cost[si] + _edgeTable[path.exitEdge * 9 + si * 3 + t];
+            cost[si] + _edgeTableT[path.exitEdge * 9 + t * 3 + si];
         if (cand < best) {
             best = cand;
             best_s = si;
@@ -222,14 +255,16 @@ void
 DpKernel::solveChain(const CompiledChain &chain, ChainState &state,
                      int entry_ti)
 {
+    const TypeRestrictions &allowed = *_allowed;
     const std::vector<CompiledElem> &elems = chain.elems;
     {
         const CompiledElem &elem = elems[0];
-        for (PartitionType t : (*_allowed)[elem.node]) {
+        for (PartitionType t : allowed[elem.node]) {
             const int ti = partitionTypeIndex(t);
             double cost = _nodeTable[elem.node * 3 + ti];
             if (entry_ti >= 0)
-                cost += _edgeTable[elem.edgePrev * 9 + entry_ti * 3 + ti];
+                cost +=
+                    _edgeTableT[elem.edgePrev * 9 + ti * 3 + entry_ti];
             state.cost[ti] = cost;
         }
     }
@@ -243,18 +278,52 @@ DpKernel::solveChain(const CompiledChain &chain, ChainState &state,
         ChainState::ParState *par =
             elem.paths.empty() ? nullptr : state.pars[i].get();
 
-        for (PartitionType t : (*_allowed)[elem.node]) {
+        if (!par) {
+            // Non-parallel element: all nine (target, source)
+            // candidates in one batched pass over the to-major 3x3
+            // transition block. The kernel computes the exact scalar
+            // expression (prev + trans) + node per lane; cells the
+            // reduction below never reads (disallowed types, infinite
+            // predecessors) are computed into the scratch but
+            // discarded. The reduction keeps the scalar allowed-type
+            // iteration order and strict-< first-wins tie-break.
+            double cand[12];
+            _ops->candidates9(prev_cost,
+                              _edgeTableT.data() + elem.edgePrev * 9,
+                              _nodeTable.data() + elem.node * 3, cand);
+            for (PartitionType t : allowed[elem.node]) {
+                const int ti = partitionTypeIndex(t);
+                double best = kInf;
+                int best_tt = -1;
+                for (PartitionType tt : allowed[prev.node]) {
+                    const int tti = partitionTypeIndex(tt);
+                    if (prev_cost[tti] == kInf)
+                        continue;
+                    const double c = cand[ti * 3 + tti];
+                    if (c < best) {
+                        best = c;
+                        best_tt = tti;
+                    }
+                }
+                if (best_tt < 0)
+                    continue;
+                cur_cost[ti] = best;
+                cur_parent[ti] = static_cast<std::int8_t>(best_tt);
+            }
+            continue;
+        }
+
+        for (PartitionType t : allowed[elem.node]) {
             const int ti = partitionTypeIndex(t);
             const double node_cost = _nodeTable[elem.node * 3 + ti];
             double best = kInf;
             int best_tt = -1;
-            for (PartitionType tt : (*_allowed)[prev.node]) {
+            for (PartitionType tt : allowed[prev.node]) {
                 const int tti = partitionTypeIndex(tt);
                 if (prev_cost[tti] == kInf)
                     continue;
                 const double trans =
-                    par ? parallelTransition(elem, *par, tti, ti)
-                        : _edgeTable[elem.edgePrev * 9 + tti * 3 + ti];
+                    parallelTransition(elem, *par, tti, ti);
                 const double cand = prev_cost[tti] + trans + node_cost;
                 if (cand < best) {
                     best = cand;
@@ -303,18 +372,20 @@ ChainDpResult
 DpKernel::solve(const PairCostModel &model,
                 const TypeRestrictions &allowed)
 {
-    ACCPAR_REQUIRE(allowed.size() == _graph.size(),
+    const CondensedGraph &graph = _structure._graph;
+    ACCPAR_REQUIRE(allowed.size() == graph.size(),
                    "type restriction size mismatch");
     _model = &model;
     _allowed = &allowed;
+    _ops = &activeBatchKernelOps();
 
     // Step 1: dense cost tables, restricted to the allowed types (the
     // DP never reads a disallowed entry). Same model entry points and
     // arguments as the unflattened path, so memoized or not the values
     // are bit-identical.
-    const std::size_t n = _graph.size();
+    const std::size_t n = graph.size();
     for (std::size_t v = 0; v < n; ++v) {
-        const CondensedNode &node = _graph.node(static_cast<CNodeId>(v));
+        const CondensedNode &node = graph.node(static_cast<CNodeId>(v));
         ACCPAR_ASSERT(!allowed[v].empty(),
                       "node " << node.name << " has no allowed types");
         for (PartitionType t : allowed[v]) {
@@ -322,24 +393,25 @@ DpKernel::solve(const PairCostModel &model,
                 static_cast<int>(v), _dims[v], node.junction, t);
         }
     }
-    for (std::size_t e = 0; e < _edges.size(); ++e) {
-        const Edge &edge = _edges[e];
+    const std::vector<Edge> &edges = _structure._edges;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        const Edge &edge = edges[e];
         for (PartitionType from : allowed[edge.from]) {
             const int fi = partitionTypeIndex(from);
             for (PartitionType to : allowed[edge.to]) {
-                _edgeTable[e * 9 + fi * 3 + partitionTypeIndex(to)] =
+                _edgeTableT[e * 9 + partitionTypeIndex(to) * 3 + fi] =
                     model.transitionCost(edge.from, from, to,
-                                         edge.boundary);
+                                         _boundary[e]);
             }
         }
     }
 
     // Step 2: the flat DP.
-    resetState(*_root, *_rootState);
-    solveChain(*_root, *_rootState, -1);
+    resetState(*_structure._root, *_rootState);
+    solveChain(*_structure._root, *_rootState, -1);
 
-    const std::size_t m = _root->elems.size();
-    const CNodeId last = _root->elems.back().node;
+    const std::size_t m = _structure._root->elems.size();
+    const CNodeId last = _structure._root->elems.back().node;
     const double *exit_cost = _rootState->cost.data() + (m - 1) * 3;
     double best = kInf;
     int best_t = -1;
@@ -356,7 +428,7 @@ DpKernel::solve(const PairCostModel &model,
     ChainDpResult result;
     result.cost = best;
     result.types.assign(n, PartitionType::TypeI);
-    backtrack(*_root, *_rootState, best_t, result.types);
+    backtrack(*_structure._root, *_rootState, best_t, result.types);
     return result;
 }
 
@@ -364,9 +436,10 @@ void
 DpKernel::extractCertificate(const TypeRestrictions &allowed,
                              NodeCertificate &cert) const
 {
-    ACCPAR_REQUIRE(allowed.size() == _graph.size(),
+    const CondensedGraph &graph = _structure._graph;
+    ACCPAR_REQUIRE(allowed.size() == graph.size(),
                    "type restriction size mismatch");
-    const std::size_t n = _graph.size();
+    const std::size_t n = graph.size();
     cert.allowed = allowed;
 
     cert.nodeTable.assign(n, {0.0, 0.0, 0.0});
@@ -378,27 +451,28 @@ DpKernel::extractCertificate(const TypeRestrictions &allowed,
         }
     }
 
+    const std::vector<Edge> &edges = _structure._edges;
     cert.edges.clear();
-    cert.edges.reserve(_edges.size());
-    for (std::size_t e = 0; e < _edges.size(); ++e) {
-        const Edge &edge = _edges[e];
+    cert.edges.reserve(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        const Edge &edge = edges[e];
         CertificateEdge ce;
         ce.from = edge.from;
         ce.to = edge.to;
-        ce.boundary = edge.boundary;
+        ce.boundary = _boundary[e];
         for (PartitionType from : allowed[edge.from]) {
             const int fi = partitionTypeIndex(from);
             for (PartitionType to : allowed[edge.to]) {
                 const int ti = partitionTypeIndex(to);
                 ce.cost[static_cast<std::size_t>(fi * 3 + ti)] =
-                    _edgeTable[e * 9 + static_cast<std::size_t>(fi) * 3 +
-                               static_cast<std::size_t>(ti)];
+                    _edgeTableT[e * 9 + static_cast<std::size_t>(ti) * 3 +
+                                static_cast<std::size_t>(fi)];
             }
         }
         cert.edges.push_back(ce);
     }
 
-    const std::vector<CompiledElem> &elems = _root->elems;
+    const std::vector<CompiledElem> &elems = _structure._root->elems;
     const std::size_t m = elems.size();
     cert.chainNodes.clear();
     cert.chainNodes.reserve(m);
@@ -431,17 +505,20 @@ double
 DpKernel::evaluate(const PairCostModel &model,
                    const std::vector<PartitionType> &types) const
 {
-    ACCPAR_REQUIRE(types.size() == _graph.size(),
+    const CondensedGraph &graph = _structure._graph;
+    ACCPAR_REQUIRE(types.size() == graph.size(),
                    "assignment size mismatch");
+    const std::vector<Edge> &edges = _structure._edges;
+    const std::vector<std::int32_t> &edgeStart = _structure._edgeStart;
     double total = 0.0;
-    for (std::size_t v = 0; v < _graph.size(); ++v) {
-        const CondensedNode &node = _graph.node(static_cast<CNodeId>(v));
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+        const CondensedNode &node = graph.node(static_cast<CNodeId>(v));
         total += model.nodeCost(static_cast<int>(v), _dims[v],
                                 node.junction, types[v]);
-        for (std::int32_t e = _edgeStart[v]; e < _edgeStart[v + 1]; ++e) {
-            total += model.transitionCost(_edges[e].from,
-                                          types[_edges[e].from], types[v],
-                                          _edges[e].boundary);
+        for (std::int32_t e = edgeStart[v]; e < edgeStart[v + 1]; ++e) {
+            total += model.transitionCost(edges[e].from,
+                                          types[edges[e].from], types[v],
+                                          _boundary[e]);
         }
     }
     return total;

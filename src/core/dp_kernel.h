@@ -6,19 +6,32 @@
  * through the PairCostModel at each DP visit, copied full assignment
  * vectors while backtracking (O(n^2) on deep chains) and re-solved each
  * parallel path for all nine (fork, join) type pairs even though the
- * sub-solve depends only on the three entry states. A DpKernel compiles
- * the alpha-independent structure of one (graph, chain, dims) triple
- * once — the condensed edge list with precomputed boundary element
- * counts, a mirror of the series-parallel chain with edge indices
- * resolved, and preallocated DP state — so each solve() is:
+ * sub-solve depends only on the three entry states. The compiled form
+ * is split in two layers:
  *
- *  1. fill a dense [node][type] node-cost table and a per-edge
- *     [from][to] transition table through the model (memoized when a
- *     CostCache is attached), restricted to the allowed types;
- *  2. run the DP as pure array arithmetic, recording per-(element,
- *     type) parent pointers instead of assignments, and solving each
- *     parallel path once per feasible entry type;
- *  3. reconstruct the winning assignment in one backtracking pass.
+ *  - DpStructure compiles the (graph, chain) pair once — the condensed
+ *    edge list in CSR form, a mirror of the series-parallel chain with
+ *    edge indices resolved, and the coverage check. It is immutable and
+ *    shareable: every DpKernel over the same problem (all hierarchy
+ *    candidates of a batched solve, every adaptive-ratio iteration)
+ *    borrows one structure instead of recompiling it.
+ *  - DpKernel adds what depends on the dims and the model: per-edge
+ *    boundary element counts, the preallocated DP state tree, and the
+ *    per-solve cost tables. Each solve() is:
+ *
+ *     1. fill a dense [node][type] node-cost table and a per-edge
+ *        to-major [to][from] transition table through the model
+ *        (memoized when a CostCache is attached), restricted to the
+ *        allowed types;
+ *     2. run the DP as pure array arithmetic — the relaxation step of
+ *        each chain element computes all nine (target, source)
+ *        candidates through the dispatched batch kernel
+ *        (structure-of-arrays over the 3x3 transition block, see
+ *        core/batch_kernels.h and DESIGN.md §17) and reduces them in
+ *        the scalar allowed-type order — recording per-(element, type)
+ *        parent pointers instead of assignments, and solving each
+ *        parallel path once per feasible entry type;
+ *     3. reconstruct the winning assignment in one backtracking pass.
  *
  * The adaptive-ratio loop of the hierarchical solver reuses one kernel
  * across all its (alpha, restriction) iterations; only step 1 repeats.
@@ -26,7 +39,9 @@
  * Every cost is obtained through the same PairCostModel entry points as
  * before (identical arguments, identical order of comparisons and
  * additions), so results are bit-identical to the original path — the
- * property tests assert this against the frozen legacy copy.
+ * property tests assert this against the frozen legacy copy, and the
+ * batch-kernel contract guarantees the vectorized candidates match the
+ * scalar relaxation bit for bit.
  */
 
 #ifndef ACCPAR_CORE_DP_KERNEL_H
@@ -37,6 +52,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/batch_kernels.h"
 #include "core/chain_dp.h"
 #include "core/condensed_graph.h"
 #include "core/cost_model.h"
@@ -46,17 +62,92 @@ namespace accpar::core {
 
 struct NodeCertificate;
 
+/**
+ * The dims- and model-independent compiled structure of one
+ * (graph, chain) pair: condensed edges in CSR form and the chain mirror
+ * with edge indices resolved. Immutable after construction, so any
+ * number of DpKernels (including concurrent ones on different threads)
+ * can borrow the same instance; @p graph and the chain's nodes must
+ * outlive it.
+ */
+class DpStructure
+{
+  public:
+    DpStructure(const CondensedGraph &graph, const Chain &chain);
+    DpStructure(const DpStructure &) = delete;
+    DpStructure &operator=(const DpStructure &) = delete;
+    ~DpStructure();
+
+    const CondensedGraph &graph() const { return _graph; }
+    std::size_t edgeCount() const { return _edges.size(); }
+
+  private:
+    friend class DpKernel;
+
+    struct CompiledPath;
+
+    /** One condensed edge (boundary sizes live in the DpKernel — they
+     *  depend on the dims). */
+    struct Edge
+    {
+        CNodeId from = kNoEntryNode;
+        CNodeId to = kNoEntryNode;
+    };
+
+    /** One chain element with incoming edges resolved to indices. */
+    struct CompiledElem
+    {
+        CNodeId node = kNoEntryNode;
+        /** Edge from the previous element (or entry edge for the first
+         *  element of a parallel path); -1 for the model's source. */
+        std::int32_t edgePrev = -1;
+        /** Non-empty for the join of a parallel region. */
+        std::vector<CompiledPath> paths;
+    };
+
+    struct CompiledChain
+    {
+        std::vector<CompiledElem> elems;
+    };
+
+    /** One branch between a fork and its join. */
+    struct CompiledPath
+    {
+        /** Null for an identity shortcut (empty path). */
+        std::unique_ptr<CompiledChain> chain;
+        CNodeId lastNode = kNoEntryNode; ///< last node of the branch
+        std::int32_t exitEdge = -1;      ///< lastNode -> join
+        std::int32_t directEdge = -1;    ///< fork -> join (identity)
+    };
+
+    std::int32_t edgeIndex(CNodeId from, CNodeId to) const;
+    std::unique_ptr<CompiledChain> compileChain(const Chain &chain,
+                                                CNodeId fork);
+
+    const CondensedGraph &_graph;
+    std::vector<Edge> _edges;
+    /** Incoming-edge range of node v: [_edgeStart[v], _edgeStart[v+1]). */
+    std::vector<std::int32_t> _edgeStart;
+    std::unique_ptr<CompiledChain> _root;
+};
+
 /** Reusable flattened solver for one (graph, chain, dims) triple. */
 class DpKernel
 {
   public:
     /**
-     * Compiles the structure: condensed edges with boundary element
-     * counts, the chain mirror with resolved edge indices, and the DP
-     * state tree. @p graph, @p chain and @p dims must outlive the
-     * kernel and stay unchanged.
+     * Compiles the structure and binds it to @p dims. @p graph,
+     * @p chain and @p dims must outlive the kernel and stay unchanged.
      */
     DpKernel(const CondensedGraph &graph, const Chain &chain,
+             const std::vector<LayerDims> &dims);
+
+    /**
+     * Borrows an already-compiled @p structure (shared across kernels;
+     * see DpStructure) and binds it to @p dims. @p structure and
+     * @p dims must outlive the kernel and stay unchanged.
+     */
+    DpKernel(const DpStructure &structure,
              const std::vector<LayerDims> &dims);
 
     DpKernel(const DpKernel &) = delete;
@@ -92,43 +183,10 @@ class DpKernel
                             NodeCertificate &cert) const;
 
   private:
-    struct CompiledPath;
-    struct CompiledChain;
-    struct ChainState;
-
-    /** One condensed edge with its precomputed boundary tensor size. */
-    struct Edge
-    {
-        CNodeId from = kNoEntryNode;
-        CNodeId to = kNoEntryNode;
-        double boundary = 0.0;
-    };
-
-    /** One chain element with incoming edges resolved to indices. */
-    struct CompiledElem
-    {
-        CNodeId node = kNoEntryNode;
-        /** Edge from the previous element (or entry edge for the first
-         *  element of a parallel path); -1 for the model's source. */
-        std::int32_t edgePrev = -1;
-        /** Non-empty for the join of a parallel region. */
-        std::vector<CompiledPath> paths;
-    };
-
-    struct CompiledChain
-    {
-        std::vector<CompiledElem> elems;
-    };
-
-    /** One branch between a fork and its join. */
-    struct CompiledPath
-    {
-        /** Null for an identity shortcut (empty path). */
-        std::unique_ptr<CompiledChain> chain;
-        CNodeId lastNode = kNoEntryNode; ///< last node of the branch
-        std::int32_t exitEdge = -1;      ///< lastNode -> join
-        std::int32_t directEdge = -1;    ///< fork -> join (identity)
-    };
+    using Edge = DpStructure::Edge;
+    using CompiledElem = DpStructure::CompiledElem;
+    using CompiledChain = DpStructure::CompiledChain;
+    using CompiledPath = DpStructure::CompiledPath;
 
     /** Preallocated DP state of one chain: costs, parent pointers and
      *  per-path sub-states of parallel elements. */
@@ -151,9 +209,10 @@ class DpKernel
         std::vector<std::unique_ptr<ParState>> pars;
     };
 
-    std::int32_t edgeIndex(CNodeId from, CNodeId to) const;
-    std::unique_ptr<CompiledChain> compileChain(const Chain &chain,
-                                                CNodeId fork);
+    DpKernel(std::unique_ptr<DpStructure> owned,
+             const std::vector<LayerDims> &dims);
+    void init();
+
     std::unique_ptr<ChainState>
     makeState(const CompiledChain &chain) const;
     void resetState(const CompiledChain &chain, ChainState &state) const;
@@ -167,21 +226,29 @@ class DpKernel
     void backtrack(const CompiledChain &chain, const ChainState &state,
                    int exit_ti, std::vector<PartitionType> &types) const;
 
-    const CondensedGraph &_graph;
+    /** Non-null only for the compatibility constructor that compiles
+     *  its own structure; _structure always refers to the one in use. */
+    std::unique_ptr<DpStructure> _owned;
+    const DpStructure &_structure;
     const std::vector<LayerDims> &_dims;
 
-    std::vector<Edge> _edges;
-    /** Incoming-edge range of node v: [_edgeStart[v], _edgeStart[v+1]). */
-    std::vector<std::int32_t> _edgeStart;
+    /** Boundary tensor size per structure edge (dims-dependent). */
+    std::vector<double> _boundary;
 
-    std::unique_ptr<CompiledChain> _root;
     std::unique_ptr<ChainState> _rootState;
 
     /** Scratch filled per solve(). */
     const PairCostModel *_model = nullptr;
     const TypeRestrictions *_allowed = nullptr;
+    const BatchKernelOps *_ops = nullptr;
     std::vector<double> _nodeTable; ///< [node * 3 + t]
-    std::vector<double> _edgeTable; ///< [edge * 9 + from * 3 + to]
+    /**
+     * To-major transition table: [edge * 9 + to * 3 + from], one extra
+     * trailing element so the batch kernel's four-wide column loads of
+     * the last edge stay in bounds (the pad is written by no one after
+     * init and read only as a discarded lane).
+     */
+    std::vector<double> _edgeTableT;
 };
 
 } // namespace accpar::core

@@ -18,6 +18,7 @@
 #define ACCPAR_CORE_HIERARCHICAL_SOLVER_H
 
 #include <functional>
+#include <memory>
 
 #include "core/chain_dp.h"
 #include "core/condensed_graph.h"
@@ -34,6 +35,7 @@
 namespace accpar::core {
 
 class PlanCertificate;
+class DpStructure;
 
 /** Per-node allowed-type policy; default allows all three types. */
 using AllowedTypesFn =
@@ -122,6 +124,13 @@ class PartitionProblem
   public:
     explicit PartitionProblem(const graph::Graph &model);
 
+    /** Non-copyable and non-movable: the compiled DP structure keeps a
+     *  reference into the condensed graph. Share problems by
+     *  reference (Planner::planBatch and solveHierarchyBatch do). */
+    PartitionProblem(const PartitionProblem &) = delete;
+    PartitionProblem &operator=(const PartitionProblem &) = delete;
+    ~PartitionProblem();
+
     const CondensedGraph &condensed() const { return _condensed; }
 
     /** True when the legacy chain decomposition applies (every zoo
@@ -130,6 +139,11 @@ class PartitionProblem
 
     /** The legacy chain view; ConfigError unless hasChain(). */
     const Chain &chain() const;
+
+    /** The compiled (graph, chain) structure every DpKernel over this
+     *  problem borrows — one compilation per problem instead of one
+     *  per hierarchy node. ConfigError unless hasChain(). */
+    const DpStructure &dpStructure() const;
 
     /** The general decomposition tree; ConfigError when hasChain()
      *  (chain-mode problems never build it). */
@@ -147,6 +161,10 @@ class PartitionProblem
     Chain _chain;
     graph::SpTree _spTree;
     std::vector<LayerDims> _baseDims;
+    /** Compiled once in the constructor for chain-mode problems; the
+     *  type stays incomplete here so the certificate checker's include
+     *  graph never reaches the DP kernel (ALINT05). */
+    std::unique_ptr<DpStructure> _dpStructure;
 };
 
 /** Solves the full hierarchy for @p problem. */
@@ -164,6 +182,24 @@ PartitionPlan solveHierarchy(const PartitionProblem &problem,
 PartitionPlan solveHierarchy(const graph::Graph &model,
                              const hw::Hierarchy &hierarchy,
                              const SolverOptions &options);
+
+/**
+ * Solves @p problem against several hierarchy candidates in one call,
+ * returning one plan per entry of @p hierarchies (in order). All
+ * solves share the problem's compiled DP structure and the context's
+ * memo cache; with a pool the candidates solve concurrently — each
+ * candidate's plan is bit-identical to its own solveHierarchy call, so
+ * batching only changes throughput. The search layer uses this to
+ * score a lookahead set of annealing neighbors per oracle call.
+ *
+ * Certificate emission is per-solve evidence and is not batched:
+ * @p context.certificate must be null (solve the winner again to emit).
+ */
+std::vector<PartitionPlan>
+solveHierarchyBatch(const PartitionProblem &problem,
+                    const std::vector<const hw::Hierarchy *> &hierarchies,
+                    const SolverOptions &options,
+                    const SolveContext &context);
 
 /** The dimension scale factors a node's choice hands to a child group. */
 struct DimScales

@@ -371,10 +371,12 @@ Planner::planBatch(const std::vector<PlanRequest> &requests)
     const core::SolveContext context{pool, &_cache};
 
     // Build each distinct model's PartitionProblem exactly once, up
-    // front and serially: condensation and the series-parallel
-    // decomposition are the per-request setup cost a sweep repeats,
-    // and the finished problems are read-only during the solves so
-    // requests sharing a model can safely share one instance.
+    // front and serially: condensation, the series-parallel
+    // decomposition and the compiled DP structure (DpStructure — the
+    // edge CSR and chain mirror every DpKernel borrows) are the
+    // per-request setup cost a sweep repeats, and the finished
+    // problems are read-only during the solves so requests sharing a
+    // model can safely share one instance across threads.
     std::vector<std::unique_ptr<core::PartitionProblem>> problems;
     std::vector<std::size_t> problem_of(requests.size());
     std::unordered_map<std::string, std::size_t> index;

@@ -13,9 +13,19 @@
  *    whenever the best improves; truncating the budget truncates the
  *    curve, it never invalidates earlier points.
  *  - Deterministic for iteration budgets: with budgetMs == 0 the run
- *    is a pure function of (problem, array, options) — the SA chain
- *    is sequential, draws come from one seeded util::Rng, and the
- *    inner solver is bit-identical for any thread-pool size.
+ *    is a pure function of (problem, array, options) — every
+ *    iteration draws from its own seeded util::Rng substream derived
+ *    from (seed, iteration), so a proposal and its acceptance draw
+ *    are a pure function of the current state and the iteration
+ *    number, and the inner solver is bit-identical for any
+ *    thread-pool size. That is what lets the driver speculate: it
+ *    gathers a lookahead window of proposals from the current state,
+ *    scores them in one batched oracle call
+ *    (core/solveHierarchyBatch), and replays the Metropolis decisions
+ *    sequentially, discarding and regathering everything after the
+ *    first acceptance — the chain, every counter and the winner are
+ *    bit-identical for any lookahead (including 1, the pre-batching
+ *    sequential driver) and any --jobs value.
  *    Wall-clock budgets (budgetMs > 0) bound the loop by elapsed
  *    time and are inherently run-to-run dependent; callers that
  *    cache results must not cache those (see
@@ -57,6 +67,15 @@ struct SearchOptions
     double coolingRate = 0.97;
     /** Greedy strictly-improving proposals after the SA loop. */
     int polishIters = 16;
+    /**
+     * Max speculative proposals scored per batched oracle call. The
+     * driver starts each window at 1, doubles it after a fully
+     * rejected window and resets it on acceptance, capped here — so
+     * speculation only widens when rejections make it profitable.
+     * Any value yields the identical chain and winner (see the file
+     * comment); 1 disables speculation outright.
+     */
+    int lookahead = 8;
     /** Inner-oracle options (cost model, ratio policy, …). */
     core::SolverOptions solver;
 };
@@ -86,6 +105,10 @@ struct SearchReport
     /** Proposals dropped: inapplicable move, builder defect, or a
      *  would-be-best that failed plan verification. */
     int rejected = 0;
+    /** Inner-oracle evaluations actually solved: the baseline, every
+     *  scored candidate, and speculative solves discarded after an
+     *  acceptance cut their window short. */
+    int oracleSolves = 0;
     std::uint64_t seed = 0;
     /** Proposals per move kind, indexed by MoveKind order (see
      *  search/moves.h). */

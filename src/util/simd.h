@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Fixed-width SIMD vector wrappers for the batch kernels
+ * (core/batch_kernels.h, DESIGN.md §17).
+ *
+ * Every backend exposes the same 4-lane double vector `Vec4` with the
+ * same operation set (unaligned load/store, broadcast, lane-wise
+ * add/sub/mul/div), so the kernel templates in
+ * core/batch_kernels_impl.h instantiate identically over any of them:
+ *
+ *  - simd::scalar — plain-array reference backend, always available;
+ *    the ACCPAR_SIMD=OFF build and the runtime fallback use it.
+ *  - simd::avx2   — x86-64 AVX2, compiled only into the translation
+ *    unit built with the AVX2 target flags (core/batch_kernels_avx2.cpp)
+ *    and selected at runtime only when the CPU reports AVX2.
+ *  - simd::neon   — AArch64 Advanced SIMD (two 128-bit halves), baseline
+ *    on that architecture, so no runtime detection is needed.
+ *
+ * Bit-identity contract: every operation here is a single IEEE-754
+ * binary64 add/sub/mul/div per lane — no fused multiply-add, no
+ * approximate reciprocals, no reassociation — so a lane computes
+ * exactly the bits the scalar backend computes for the same inputs.
+ * The translation units instantiating these templates are additionally
+ * compiled with floating-point contraction disabled so the compiler
+ * cannot fuse a mul+add pair on FMA-capable targets (CMake sets
+ * -ffp-contract=off on them).
+ *
+ * Policy (enforced by lint rule ALINT07, DESIGN.md §9): raw SIMD
+ * intrinsics and their headers (immintrin.h, arm_neon.h, the _mm*_ and
+ * v*q_f64 families) must not appear in src/ outside this header, so
+ * every lane-level operation is auditable in one place.
+ */
+
+#ifndef ACCPAR_UTIL_SIMD_H
+#define ACCPAR_UTIL_SIMD_H
+
+#include <cstddef>
+
+#if defined(ACCPAR_SIMD_ENABLED) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#if defined(ACCPAR_SIMD_ENABLED) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace accpar::util::simd {
+
+/** Lane count shared by every backend. */
+inline constexpr int kLanes = 4;
+
+/** Portable reference backend: four doubles, one scalar op per lane. */
+namespace scalar {
+
+struct Vec4
+{
+    double lane[kLanes];
+
+    static const char *name() { return "scalar"; }
+
+    static Vec4
+    loadu(const double *p)
+    {
+        return Vec4{{p[0], p[1], p[2], p[3]}};
+    }
+
+    void
+    storeu(double *p) const
+    {
+        p[0] = lane[0];
+        p[1] = lane[1];
+        p[2] = lane[2];
+        p[3] = lane[3];
+    }
+
+    static Vec4
+    broadcast(double x)
+    {
+        return Vec4{{x, x, x, x}};
+    }
+
+    static Vec4
+    zero()
+    {
+        return broadcast(0.0);
+    }
+
+    static Vec4
+    add(const Vec4 &a, const Vec4 &b)
+    {
+        return Vec4{{a.lane[0] + b.lane[0], a.lane[1] + b.lane[1],
+                     a.lane[2] + b.lane[2], a.lane[3] + b.lane[3]}};
+    }
+
+    static Vec4
+    sub(const Vec4 &a, const Vec4 &b)
+    {
+        return Vec4{{a.lane[0] - b.lane[0], a.lane[1] - b.lane[1],
+                     a.lane[2] - b.lane[2], a.lane[3] - b.lane[3]}};
+    }
+
+    static Vec4
+    mul(const Vec4 &a, const Vec4 &b)
+    {
+        return Vec4{{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1],
+                     a.lane[2] * b.lane[2], a.lane[3] * b.lane[3]}};
+    }
+
+    static Vec4
+    div(const Vec4 &a, const Vec4 &b)
+    {
+        return Vec4{{a.lane[0] / b.lane[0], a.lane[1] / b.lane[1],
+                     a.lane[2] / b.lane[2], a.lane[3] / b.lane[3]}};
+    }
+};
+
+} // namespace scalar
+
+#if defined(ACCPAR_SIMD_ENABLED) && defined(__AVX2__)
+
+/** x86-64 AVX2 backend: one 256-bit register holds all four lanes. */
+namespace avx2 {
+
+struct Vec4
+{
+    __m256d v;
+
+    static const char *name() { return "avx2"; }
+
+    static Vec4 loadu(const double *p) { return {_mm256_loadu_pd(p)}; }
+    void storeu(double *p) const { _mm256_storeu_pd(p, v); }
+    static Vec4 broadcast(double x) { return {_mm256_set1_pd(x)}; }
+    static Vec4 zero() { return {_mm256_setzero_pd()}; }
+
+    static Vec4
+    add(const Vec4 &a, const Vec4 &b)
+    {
+        return {_mm256_add_pd(a.v, b.v)};
+    }
+
+    static Vec4
+    sub(const Vec4 &a, const Vec4 &b)
+    {
+        return {_mm256_sub_pd(a.v, b.v)};
+    }
+
+    static Vec4
+    mul(const Vec4 &a, const Vec4 &b)
+    {
+        return {_mm256_mul_pd(a.v, b.v)};
+    }
+
+    static Vec4
+    div(const Vec4 &a, const Vec4 &b)
+    {
+        return {_mm256_div_pd(a.v, b.v)};
+    }
+};
+
+} // namespace avx2
+
+#endif // ACCPAR_SIMD_ENABLED && __AVX2__
+
+#if defined(ACCPAR_SIMD_ENABLED) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+
+/** AArch64 Advanced SIMD backend: two 128-bit halves per vector. */
+namespace neon {
+
+struct Vec4
+{
+    float64x2_t lo;
+    float64x2_t hi;
+
+    static const char *name() { return "neon"; }
+
+    static Vec4
+    loadu(const double *p)
+    {
+        return {vld1q_f64(p), vld1q_f64(p + 2)};
+    }
+
+    void
+    storeu(double *p) const
+    {
+        vst1q_f64(p, lo);
+        vst1q_f64(p + 2, hi);
+    }
+
+    static Vec4
+    broadcast(double x)
+    {
+        return {vdupq_n_f64(x), vdupq_n_f64(x)};
+    }
+
+    static Vec4 zero() { return broadcast(0.0); }
+
+    static Vec4
+    add(const Vec4 &a, const Vec4 &b)
+    {
+        return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+    }
+
+    static Vec4
+    sub(const Vec4 &a, const Vec4 &b)
+    {
+        return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+    }
+
+    static Vec4
+    mul(const Vec4 &a, const Vec4 &b)
+    {
+        return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+    }
+
+    static Vec4
+    div(const Vec4 &a, const Vec4 &b)
+    {
+        return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+    }
+};
+
+} // namespace neon
+
+#endif // ACCPAR_SIMD_ENABLED && __aarch64__ && __ARM_NEON
+
+} // namespace accpar::util::simd
+
+#endif // ACCPAR_UTIL_SIMD_H

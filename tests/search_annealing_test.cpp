@@ -99,6 +99,67 @@ TEST(AnnealingTest, IdenticalSeedsGiveByteIdenticalWinnersAcrossJobs)
     EXPECT_EQ(sequential, searched(1)); // and across repeated runs
 }
 
+TEST(AnnealingTest, LookaheadWindowDoesNotChangeTheChain)
+{
+    // Speculative lookahead is a pure throughput knob: every window
+    // size must replay the identical Metropolis chain — same winner,
+    // same counters, same anytime curve (see the annealing.h file
+    // comment). lookahead 1 is the pre-batching sequential driver.
+    const hw::AcceleratorGroup array =
+        hw::parseArraySpec("tpu-v2:2+tpu-v3:2");
+    const core::PartitionProblem problem(
+        models::buildModel("alexnet", 64));
+
+    auto run = [&](int lookahead) {
+        search::SearchOptions options;
+        options.seed = 5;
+        options.budgetIters = 24;
+        options.lookahead = lookahead;
+        return search::anneal(problem, array, options);
+    };
+
+    const search::SearchOutcome reference = run(1);
+    for (int lookahead : {2, 8, 64}) {
+        const search::SearchOutcome outcome = run(lookahead);
+        EXPECT_EQ(planBytes(reference.bestPlan,
+                            reference.bestHierarchy),
+                  planBytes(outcome.bestPlan, outcome.bestHierarchy))
+            << "lookahead " << lookahead;
+        EXPECT_EQ(reference.report.bestCost, outcome.report.bestCost)
+            << "lookahead " << lookahead;
+        EXPECT_EQ(reference.report.bestSignature,
+                  outcome.report.bestSignature)
+            << "lookahead " << lookahead;
+        EXPECT_EQ(reference.report.iterations,
+                  outcome.report.iterations)
+            << "lookahead " << lookahead;
+        EXPECT_EQ(reference.report.accepted, outcome.report.accepted)
+            << "lookahead " << lookahead;
+        EXPECT_EQ(reference.report.rejected, outcome.report.rejected)
+            << "lookahead " << lookahead;
+        EXPECT_EQ(reference.report.improved, outcome.report.improved)
+            << "lookahead " << lookahead;
+        EXPECT_EQ(reference.report.proposedByKind,
+                  outcome.report.proposedByKind)
+            << "lookahead " << lookahead;
+        ASSERT_EQ(reference.report.anytime.size(),
+                  outcome.report.anytime.size())
+            << "lookahead " << lookahead;
+        for (std::size_t i = 0; i < reference.report.anytime.size();
+             ++i) {
+            EXPECT_EQ(reference.report.anytime[i].iteration,
+                      outcome.report.anytime[i].iteration);
+            EXPECT_EQ(reference.report.anytime[i].bestCost,
+                      outcome.report.anytime[i].bestCost);
+        }
+        // Speculation may over-solve past an acceptance, never
+        // under-solve.
+        EXPECT_GE(outcome.report.oracleSolves,
+                  reference.report.oracleSolves)
+            << "lookahead " << lookahead;
+    }
+}
+
 TEST(AnnealingTest, PlannerWinnerCarriesCleanCertificate)
 {
     const hw::AcceleratorGroup array =

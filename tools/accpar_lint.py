@@ -47,6 +47,12 @@ Rules (stable codes — never reuse or renumber):
            util::Rng so every run is replayable from its seed and
            results do not vary across standard-library
            implementations.
+  ALINT07  Raw SIMD intrinsics (the x86 and NEON intrinsic headers,
+           or an intrinsic-family token) appear in src/ outside
+           util/simd.h. All vector code must go through the Vec4
+           wrapper so the bit-identity contract (no FMA contraction,
+           scalar-identical per-lane operation order) is enforced in
+           one place and the scalar/AVX2/NEON backends cannot drift.
 
 Usage:
   accpar_lint.py [repo_root] [--json] [--rules ALINT01,ALINT03]
@@ -99,6 +105,16 @@ RAW_RANDOM_RE = re.compile(
 # ALINT06: the one randomness source (the seeded SplitMix64 wrapper);
 # it may name the raw engines in its policy comment.
 RANDOM_ALLOWED = {"src/util/rng.h"}
+# ALINT07: the intrinsic headers and token families, matched including
+# comments like the other grep-stated invariants.
+RAW_SIMD_RE = re.compile(
+    r'[<"](?:[a-z0-9]*intrin|arm_neon|arm_sve)\.h[>"]'
+    r"|\b_mm(?:\d+)?_[a-z0-9_]+"
+    r"|\bv(?:ld|st)\d+q?_[a-z0-9_]+"
+    r"|\bv(?:add|sub|mul|div|fma|mla|dup|mov|get|set|combine)q?_"
+    r"(?:n_)?[fsu]\d+\b")
+# ALINT07: the one wrapper allowed to spell the intrinsics.
+SIMD_ALLOWED = {"src/util/simd.h"}
 # ALINT02: the deterministic emitters every serialized float goes
 # through (JSON output and the planner's cache-key fingerprint), and
 # the only conversion they may use.
@@ -121,6 +137,7 @@ RULES = {
     "ALINT04": "diagnostic-code catalog incoherent with DESIGN.md",
     "ALINT05": "certificate checker reaches the solver kernel",
     "ALINT06": "raw std randomness outside util/rng.h",
+    "ALINT07": "raw SIMD intrinsics outside util/simd.h",
 }
 
 
@@ -349,6 +366,28 @@ def check_raw_random(root: Path):
     return findings
 
 
+def check_raw_simd(root: Path):
+    """ALINT07 — like ALINT01/06, including comments: the policy is
+    stated as a grep-checkable invariant, so the tool flags what rg
+    would."""
+    findings = []
+    src = root / "src"
+    for path in iter_sources(src):
+        rel = path.relative_to(root).as_posix()
+        if rel in SIMD_ALLOWED:
+            continue
+        for number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            match = RAW_SIMD_RE.search(line)
+            if match:
+                findings.append(Finding(
+                    "ALINT07", rel, number,
+                    f"raw SIMD intrinsic {match.group(0)} — go through "
+                    f"util::simd::Vec4 (util/simd.h) so the "
+                    f"bit-identity contract is enforced in one place"))
+    return findings
+
+
 CHECKS = {
     "ALINT01": check_raw_sync,
     "ALINT02": check_float_emission,
@@ -356,6 +395,7 @@ CHECKS = {
     "ALINT04": check_catalog,
     "ALINT05": check_independence,
     "ALINT06": check_raw_random,
+    "ALINT07": check_raw_simd,
 }
 
 
