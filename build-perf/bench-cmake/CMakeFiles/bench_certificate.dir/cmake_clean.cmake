@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_certificate"
+  "../bench/bench_certificate.pdb"
+  "CMakeFiles/bench_certificate.dir/bench_certificate.cpp.o"
+  "CMakeFiles/bench_certificate.dir/bench_certificate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_certificate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dag_frontend"
+  "../bench/bench_dag_frontend.pdb"
+  "CMakeFiles/bench_dag_frontend.dir/bench_dag_frontend.cpp.o"
+  "CMakeFiles/bench_dag_frontend.dir/bench_dag_frontend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dag_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dp_kernel"
+  "../bench/bench_dp_kernel.pdb"
+  "CMakeFiles/bench_dp_kernel.dir/bench_dp_kernel.cpp.o"
+  "CMakeFiles/bench_dp_kernel.dir/bench_dp_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dp_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

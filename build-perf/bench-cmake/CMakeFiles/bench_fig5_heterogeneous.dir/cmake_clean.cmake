@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_heterogeneous"
+  "../bench/bench_fig5_heterogeneous.pdb"
+  "CMakeFiles/bench_fig5_heterogeneous.dir/bench_fig5_heterogeneous.cpp.o"
+  "CMakeFiles/bench_fig5_heterogeneous.dir/bench_fig5_heterogeneous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

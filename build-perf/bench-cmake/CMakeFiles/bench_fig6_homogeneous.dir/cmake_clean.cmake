@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_homogeneous"
+  "../bench/bench_fig6_homogeneous.pdb"
+  "CMakeFiles/bench_fig6_homogeneous.dir/bench_fig6_homogeneous.cpp.o"
+  "CMakeFiles/bench_fig6_homogeneous.dir/bench_fig6_homogeneous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

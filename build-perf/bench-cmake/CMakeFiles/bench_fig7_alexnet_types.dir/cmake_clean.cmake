@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_alexnet_types"
+  "../bench/bench_fig7_alexnet_types.pdb"
+  "CMakeFiles/bench_fig7_alexnet_types.dir/bench_fig7_alexnet_types.cpp.o"
+  "CMakeFiles/bench_fig7_alexnet_types.dir/bench_fig7_alexnet_types.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_alexnet_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_hierarchy_sweep"
+  "../bench/bench_fig8_hierarchy_sweep.pdb"
+  "CMakeFiles/bench_fig8_hierarchy_sweep.dir/bench_fig8_hierarchy_sweep.cpp.o"
+  "CMakeFiles/bench_fig8_hierarchy_sweep.dir/bench_fig8_hierarchy_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hierarchy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

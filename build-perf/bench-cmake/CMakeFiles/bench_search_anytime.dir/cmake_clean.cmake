@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_search_anytime"
+  "../bench/bench_search_anytime.pdb"
+  "CMakeFiles/bench_search_anytime.dir/bench_search_anytime.cpp.o"
+  "CMakeFiles/bench_search_anytime.dir/bench_search_anytime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

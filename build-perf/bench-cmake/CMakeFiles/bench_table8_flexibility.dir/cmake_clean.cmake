@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_flexibility"
+  "../bench/bench_table8_flexibility.pdb"
+  "CMakeFiles/bench_table8_flexibility.dir/bench_table8_flexibility.cpp.o"
+  "CMakeFiles/bench_table8_flexibility.dir/bench_table8_flexibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_flexibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tables_cost_model"
+  "../bench/bench_tables_cost_model.pdb"
+  "CMakeFiles/bench_tables_cost_model.dir/bench_tables_cost_model.cpp.o"
+  "CMakeFiles/bench_tables_cost_model.dir/bench_tables_cost_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

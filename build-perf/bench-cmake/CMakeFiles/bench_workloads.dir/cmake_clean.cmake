@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_workloads"
+  "../bench/bench_workloads.pdb"
+  "CMakeFiles/bench_workloads.dir/bench_workloads.cpp.o"
+  "CMakeFiles/bench_workloads.dir/bench_workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_validation.dir/numeric_validation.cpp.o"
+  "CMakeFiles/numeric_validation.dir/numeric_validation.cpp.o.d"
+  "numeric_validation"
+  "numeric_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_multipath.dir/resnet_multipath.cpp.o"
+  "CMakeFiles/resnet_multipath.dir/resnet_multipath.cpp.o.d"
+  "resnet_multipath"
+  "resnet_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accpar_legacy_dp.dir/support/legacy_dp.cpp.o"
+  "CMakeFiles/accpar_legacy_dp.dir/support/legacy_dp.cpp.o.d"
+  "libaccpar_legacy_dp.a"
+  "libaccpar_legacy_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accpar_legacy_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

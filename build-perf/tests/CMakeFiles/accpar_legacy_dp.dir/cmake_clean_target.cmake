@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaccpar_legacy_dp.a"
+)

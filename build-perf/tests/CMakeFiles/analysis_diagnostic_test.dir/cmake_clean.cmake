@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_diagnostic_test.dir/analysis_diagnostic_test.cpp.o"
+  "CMakeFiles/analysis_diagnostic_test.dir/analysis_diagnostic_test.cpp.o.d"
+  "analysis_diagnostic_test"
+  "analysis_diagnostic_test.pdb"
+  "analysis_diagnostic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_diagnostic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_io_fuzz_test.dir/analysis_io_fuzz_test.cpp.o"
+  "CMakeFiles/analysis_io_fuzz_test.dir/analysis_io_fuzz_test.cpp.o.d"
+  "analysis_io_fuzz_test"
+  "analysis_io_fuzz_test.pdb"
+  "analysis_io_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_io_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

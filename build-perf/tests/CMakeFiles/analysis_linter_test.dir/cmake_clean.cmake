@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_linter_test.dir/analysis_linter_test.cpp.o"
+  "CMakeFiles/analysis_linter_test.dir/analysis_linter_test.cpp.o.d"
+  "analysis_linter_test"
+  "analysis_linter_test.pdb"
+  "analysis_linter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_linter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

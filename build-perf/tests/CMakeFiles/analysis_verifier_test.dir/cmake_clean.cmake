@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_verifier_test.dir/analysis_verifier_test.cpp.o"
+  "CMakeFiles/analysis_verifier_test.dir/analysis_verifier_test.cpp.o.d"
+  "analysis_verifier_test"
+  "analysis_verifier_test.pdb"
+  "analysis_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_completeness_test.dir/core_completeness_test.cpp.o"
+  "CMakeFiles/core_completeness_test.dir/core_completeness_test.cpp.o.d"
+  "core_completeness_test"
+  "core_completeness_test.pdb"
+  "core_completeness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_completeness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

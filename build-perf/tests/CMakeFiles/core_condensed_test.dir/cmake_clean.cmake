@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_condensed_test.dir/core_condensed_test.cpp.o"
+  "CMakeFiles/core_condensed_test.dir/core_condensed_test.cpp.o.d"
+  "core_condensed_test"
+  "core_condensed_test.pdb"
+  "core_condensed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_condensed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

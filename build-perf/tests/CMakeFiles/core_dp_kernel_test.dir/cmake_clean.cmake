@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dp_kernel_test.dir/core_dp_kernel_test.cpp.o"
+  "CMakeFiles/core_dp_kernel_test.dir/core_dp_kernel_test.cpp.o.d"
+  "core_dp_kernel_test"
+  "core_dp_kernel_test.pdb"
+  "core_dp_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dp_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dp_test.dir/core_dp_test.cpp.o"
+  "CMakeFiles/core_dp_test.dir/core_dp_test.cpp.o.d"
+  "core_dp_test"
+  "core_dp_test.pdb"
+  "core_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

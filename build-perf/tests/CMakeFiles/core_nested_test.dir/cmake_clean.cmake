@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_nested_test.dir/core_nested_test.cpp.o"
+  "CMakeFiles/core_nested_test.dir/core_nested_test.cpp.o.d"
+  "core_nested_test"
+  "core_nested_test.pdb"
+  "core_nested_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_nested_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

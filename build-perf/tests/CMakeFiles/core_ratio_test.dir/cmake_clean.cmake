@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ratio_test.dir/core_ratio_test.cpp.o"
+  "CMakeFiles/core_ratio_test.dir/core_ratio_test.cpp.o.d"
+  "core_ratio_test"
+  "core_ratio_test.pdb"
+  "core_ratio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ratio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

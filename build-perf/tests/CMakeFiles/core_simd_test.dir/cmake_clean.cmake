@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_simd_test.dir/core_simd_test.cpp.o"
+  "CMakeFiles/core_simd_test.dir/core_simd_test.cpp.o.d"
+  "core_simd_test"
+  "core_simd_test.pdb"
+  "core_simd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_solver_test.dir/core_solver_test.cpp.o"
+  "CMakeFiles/core_solver_test.dir/core_solver_test.cpp.o.d"
+  "core_solver_test"
+  "core_solver_test.pdb"
+  "core_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sp_decomposition_test.dir/core_sp_decomposition_test.cpp.o"
+  "CMakeFiles/core_sp_decomposition_test.dir/core_sp_decomposition_test.cpp.o.d"
+  "core_sp_decomposition_test"
+  "core_sp_decomposition_test.pdb"
+  "core_sp_decomposition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sp_decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_conv_test.dir/exec_conv_test.cpp.o"
+  "CMakeFiles/exec_conv_test.dir/exec_conv_test.cpp.o.d"
+  "exec_conv_test"
+  "exec_conv_test.pdb"
+  "exec_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

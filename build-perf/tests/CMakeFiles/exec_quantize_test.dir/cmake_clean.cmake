@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_quantize_test.dir/exec_quantize_test.cpp.o"
+  "CMakeFiles/exec_quantize_test.dir/exec_quantize_test.cpp.o.d"
+  "exec_quantize_test"
+  "exec_quantize_test.pdb"
+  "exec_quantize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_quantize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_shape_test.dir/graph_shape_test.cpp.o"
+  "CMakeFiles/graph_shape_test.dir/graph_shape_test.cpp.o.d"
+  "graph_shape_test"
+  "graph_shape_test.pdb"
+  "graph_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

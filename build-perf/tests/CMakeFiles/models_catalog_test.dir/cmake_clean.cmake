@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_catalog_test.dir/models_catalog_test.cpp.o"
+  "CMakeFiles/models_catalog_test.dir/models_catalog_test.cpp.o.d"
+  "models_catalog_test"
+  "models_catalog_test.pdb"
+  "models_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

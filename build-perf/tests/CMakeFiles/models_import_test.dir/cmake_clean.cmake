@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_import_test.dir/models_import_test.cpp.o"
+  "CMakeFiles/models_import_test.dir/models_import_test.cpp.o.d"
+  "models_import_test"
+  "models_import_test.pdb"
+  "models_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

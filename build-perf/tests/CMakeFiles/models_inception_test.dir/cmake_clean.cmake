@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_inception_test.dir/models_inception_test.cpp.o"
+  "CMakeFiles/models_inception_test.dir/models_inception_test.cpp.o.d"
+  "models_inception_test"
+  "models_inception_test.pdb"
+  "models_inception_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_inception_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

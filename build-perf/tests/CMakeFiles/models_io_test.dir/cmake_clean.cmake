@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_io_test.dir/models_io_test.cpp.o"
+  "CMakeFiles/models_io_test.dir/models_io_test.cpp.o.d"
+  "models_io_test"
+  "models_io_test.pdb"
+  "models_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

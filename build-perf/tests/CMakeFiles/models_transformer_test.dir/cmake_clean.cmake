@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_transformer_test.dir/models_transformer_test.cpp.o"
+  "CMakeFiles/models_transformer_test.dir/models_transformer_test.cpp.o.d"
+  "models_transformer_test"
+  "models_transformer_test.pdb"
+  "models_transformer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_transformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_cache_test.dir/service_cache_test.cpp.o"
+  "CMakeFiles/service_cache_test.dir/service_cache_test.cpp.o.d"
+  "service_cache_test"
+  "service_cache_test.pdb"
+  "service_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

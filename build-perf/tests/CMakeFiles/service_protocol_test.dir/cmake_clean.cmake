@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_protocol_test.dir/service_protocol_test.cpp.o"
+  "CMakeFiles/service_protocol_test.dir/service_protocol_test.cpp.o.d"
+  "service_protocol_test"
+  "service_protocol_test.pdb"
+  "service_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_search_test.dir/service_search_test.cpp.o"
+  "CMakeFiles/service_search_test.dir/service_search_test.cpp.o.d"
+  "service_search_test"
+  "service_search_test.pdb"
+  "service_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

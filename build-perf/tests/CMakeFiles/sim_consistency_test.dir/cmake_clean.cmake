@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_consistency_test.dir/sim_consistency_test.cpp.o"
+  "CMakeFiles/sim_consistency_test.dir/sim_consistency_test.cpp.o.d"
+  "sim_consistency_test"
+  "sim_consistency_test.pdb"
+  "sim_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_level_test.dir/sim_level_test.cpp.o"
+  "CMakeFiles/sim_level_test.dir/sim_level_test.cpp.o.d"
+  "sim_level_test"
+  "sim_level_test.pdb"
+  "sim_level_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_level_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_report_test.dir/sim_report_test.cpp.o"
+  "CMakeFiles/sim_report_test.dir/sim_report_test.cpp.o.d"
+  "sim_report_test"
+  "sim_report_test.pdb"
+  "sim_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

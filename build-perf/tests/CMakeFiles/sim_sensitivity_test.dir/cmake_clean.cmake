@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sensitivity_test.dir/sim_sensitivity_test.cpp.o"
+  "CMakeFiles/sim_sensitivity_test.dir/sim_sensitivity_test.cpp.o.d"
+  "sim_sensitivity_test"
+  "sim_sensitivity_test.pdb"
+  "sim_sensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_sync_test.dir/util_sync_test.cpp.o"
+  "CMakeFiles/util_sync_test.dir/util_sync_test.cpp.o.d"
+  "util_sync_test"
+  "util_sync_test.pdb"
+  "util_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accpar_cli.dir/accpar_cli.cpp.o"
+  "CMakeFiles/accpar_cli.dir/accpar_cli.cpp.o.d"
+  "accpar"
+  "accpar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accpar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
