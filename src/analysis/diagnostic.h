@@ -35,9 +35,11 @@ namespace accpar::analysis {
  * AG007 softened to a warning (the SP-tree solver plans non-chain
  * graphs); 4 = + AG010-AG012 (hierarchy-builder defects) and ASRV09
  * (search request without a usable budget) for the outer-search
- * subsystem (DESIGN.md §16).
+ * subsystem (DESIGN.md §16); 5 = + ALINT08-ALINT12 rows in the §9
+ * catalog for the compiled architecture & determinism analyzer
+ * (accpar-analyze, DESIGN.md §18) and the tracked-build-tree lint.
  */
-inline constexpr int kRuleCatalogRevision = 4;
+inline constexpr int kRuleCatalogRevision = 5;
 
 /** How bad a finding is. */
 enum class Severity

@@ -11,15 +11,12 @@ namespace {
 double
 parseNumber(const std::string &token, const std::string &what)
 {
-    try {
-        std::size_t used = 0;
-        const double out = std::stod(token, &used);
-        ACCPAR_REQUIRE(used == token.size(), "trailing characters");
-        return out;
-    } catch (const std::exception &) {
+    // Locale-independent (ALINT10): whole-string parse, no LC_NUMERIC.
+    const std::optional<double> out = util::parseDouble(token);
+    if (!out)
         throw util::ConfigError("bad " + what + " '" + token +
                                 "' in array spec");
-    }
+    return *out;
 }
 
 GroupSlice

@@ -94,15 +94,12 @@ Args::getDoubleOr(const std::string &name, double fallback) const
     const auto value = get(name);
     if (!value)
         return fallback;
-    try {
-        std::size_t used = 0;
-        const double out = std::stod(*value, &used);
-        ACCPAR_REQUIRE(used == value->size(), "trailing characters");
-        return out;
-    } catch (const std::exception &) {
+    // Locale-independent (ALINT10): whole-string parse, no LC_NUMERIC.
+    const std::optional<double> out = parseDouble(*value);
+    if (!out)
         throw ConfigError("flag --" + name + " expects a number, got '" +
                           *value + "'");
-    }
+    return *out;
 }
 
 void

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "util/error.h"
+#include "util/string_util.h"
 
 namespace accpar::util {
 
@@ -485,16 +486,12 @@ class Parser
             ++_pos;
         ACCPAR_REQUIRE(_pos > start, "invalid json value at " << start);
         const std::string token = _text.substr(start, _pos - start);
-        std::size_t used = 0;
-        double value = 0.0;
-        try {
-            value = std::stod(token, &used);
-        } catch (const std::exception &) {
-            throw ConfigError("invalid json number '" + token + "'");
-        }
-        ACCPAR_REQUIRE(used == token.size(),
+        // Locale-independent (ALINT10): std::stod reads LC_NUMERIC
+        // and would misparse "3.14" under a comma locale.
+        const std::optional<double> value = parseDouble(token);
+        ACCPAR_REQUIRE(value.has_value(),
                        "invalid json number '" << token << "'");
-        return Json(value);
+        return Json(*value);
     }
 
     const std::string &_text;

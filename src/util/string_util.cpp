@@ -1,6 +1,7 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <sstream>
 
@@ -13,6 +14,24 @@ formatDouble(double value, int digits)
     os.precision(digits);
     os << value;
     return os.str();
+}
+
+std::optional<double>
+parseDouble(std::string_view text)
+{
+    // from_chars accepts a leading '-' but not '+'; strip one so CLI
+    // flags like --alpha=+0.5 keep working as they did under stod.
+    if (!text.empty() && text.front() == '+')
+        text.remove_prefix(1);
+    if (text.empty())
+        return std::nullopt;
+    double value = 0.0;
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last)
+        return std::nullopt;
+    return value;
 }
 
 namespace {

@@ -6,14 +6,25 @@
 #ifndef ACCPAR_UTIL_STRING_UTIL_H
 #define ACCPAR_UTIL_STRING_UTIL_H
 
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace accpar::util {
 
 /** Formats @p value with @p digits significant decimal digits. */
 std::string formatDouble(double value, int digits = 4);
+
+/** Locale-independent double parsing (std::from_chars underneath):
+ *  the whole of @p text must be one correctly-rounded IEEE binary64
+ *  number, else std::nullopt. `std::stod` and friends read
+ *  LC_NUMERIC, so "3.14" silently truncates to 3 under a comma
+ *  locale — every numeric parse in src/ goes through here instead
+ *  (rule ALINT10, DESIGN.md §18). An optional leading '+' is
+ *  accepted for CLI friendliness; hex floats are not. */
+std::optional<double> parseDouble(std::string_view text);
 
 /** Renders a byte amount with a binary-free decimal suffix (KB/MB/GB/TB). */
 std::string humanBytes(double bytes);

@@ -91,6 +91,10 @@ firstEdgeTowards(const void *from, const void *target)
     return nullptr;
 }
 
+// accpar-analyze: allow(ALINT11) deliberate: the lock-order debugger
+// aborts by design — it fires only under opt-in ACCPAR_LOCK_ORDER_DEBUG
+// and an inverted acquisition is already undefined behavior waiting to
+// deadlock; dying loudly at the first inversion is the feature.
 [[noreturn]] void
 reportCycle(const Held &held, const void *acquired,
             const char *acquiredName, const std::source_location &site,
@@ -114,6 +118,7 @@ reportCycle(const Held &held, const void *acquired,
     std::fputs(message.c_str(), stderr);
     std::fflush(stderr);
     (void)acquired;
+    // accpar-analyze: allow(ALINT11) deliberate: see reportCycle above.
     std::abort();
 }
 

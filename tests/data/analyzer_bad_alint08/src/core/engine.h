@@ -1,0 +1,10 @@
+#ifndef FIXTURE_CORE_ENGINE_H
+#define FIXTURE_CORE_ENGINE_H
+
+namespace fixture {
+
+int solve(int n);
+
+} // namespace fixture
+
+#endif // FIXTURE_CORE_ENGINE_H

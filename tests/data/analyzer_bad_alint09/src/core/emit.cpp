@@ -1,0 +1,19 @@
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+// The range-for iterates an unordered container and its body builds a
+// Json value: implementation-defined iteration order leaks into the
+// serialized bytes. (Fixture files are lexed, never compiled.)
+std::string
+renderMetrics(const std::unordered_map<std::string, double> &metrics)
+{
+    std::string out;
+    for (const auto &entry : metrics) {
+        out += Json(entry.first).dump();
+    }
+    return out;
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+#include <string>
+
+namespace fixture {
+
+// std::stod consults LC_NUMERIC: under a comma-decimal locale it
+// silently misparses "3.14". (Fixture files are lexed, never
+// compiled.)
+double
+parseRatio(const std::string &text)
+{
+    return std::stod(text);
+}
+
+} // namespace fixture

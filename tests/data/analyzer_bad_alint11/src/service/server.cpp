@@ -1,0 +1,13 @@
+#include <cstdlib>
+
+namespace fixture {
+
+// abort() in the service tier is a daemon-killer: the failure-path
+// audit inventories it. (Fixture files are lexed, never compiled.)
+void
+handleBadRequest()
+{
+    std::abort();
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+#ifndef FIXTURE_UTIL_STRINGS_H
+#define FIXTURE_UTIL_STRINGS_H
+
+#include <string>
+
+namespace fixture {
+
+std::string trimmed(const std::string &text);
+
+} // namespace fixture
+
+#endif // FIXTURE_UTIL_STRINGS_H

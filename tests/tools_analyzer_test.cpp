@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the accpar-analyze lexer and layer-map parser
+ * (tools/analyzer/). The lexer is the load-bearing part of the
+ * analyzer: every rule's soundness depends on comments, strings and
+ * includes being classified exactly as a C++ compiler would in
+ * translation phases 1-3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "layer_map.h"
+#include "lexer.h"
+
+namespace {
+
+using namespace accpar::analyzer;
+
+std::vector<std::string>
+tokenTexts(const LexResult &r)
+{
+    std::vector<std::string> out;
+    for (const Token &t : r.tokens)
+        out.push_back(t.text);
+    return out;
+}
+
+TEST(AnalyzerLexer, RawStringSwallowsCommentsAndIncludes)
+{
+    const LexResult r = lex("auto s = R\"x(// not a comment\n"
+                            "#include \"fake.h\"\n"
+                            ")x\"; int y;");
+    ASSERT_TRUE(r.comments.empty());
+    ASSERT_TRUE(r.includes.empty());
+    bool sawString = false;
+    for (const Token &t : r.tokens)
+        if (t.kind == TokKind::String) {
+            sawString = true;
+            EXPECT_EQ(t.text,
+                      "// not a comment\n#include \"fake.h\"\n");
+            EXPECT_EQ(t.line, 1);
+        }
+    EXPECT_TRUE(sawString);
+    // The raw string spans two newlines, so `y` sits on line 3.
+    EXPECT_EQ(r.tokens.back().text, ";");
+    EXPECT_EQ(r.tokens[r.tokens.size() - 2].text, "y");
+    EXPECT_EQ(r.tokens[r.tokens.size() - 2].line, 3);
+}
+
+TEST(AnalyzerLexer, RawStringBodyDoesNotSplice)
+{
+    // Phase-2 splicing must NOT happen inside a raw string body: the
+    // backslash-newline is literal content there.
+    const LexResult r = lex("auto s = R\"(a\\\nb)\";");
+    bool sawString = false;
+    for (const Token &t : r.tokens)
+        if (t.kind == TokKind::String) {
+            sawString = true;
+            EXPECT_EQ(t.text, "a\\\nb");
+        }
+    EXPECT_TRUE(sawString);
+}
+
+TEST(AnalyzerLexer, LineContinuationSplicesIdentifiers)
+{
+    const LexResult r = lex("int a\\\nb = 1;\nint c;");
+    const std::vector<std::string> texts = tokenTexts(r);
+    ASSERT_EQ(texts, (std::vector<std::string>{"int", "ab", "=", "1",
+                                               ";", "int", "c", ";"}));
+    EXPECT_EQ(r.tokens[1].text, "ab");
+    EXPECT_EQ(r.tokens[1].line, 1);
+    // Original line numbers survive the splice: `c` is physically on
+    // line 3.
+    EXPECT_EQ(r.tokens[6].text, "c");
+    EXPECT_EQ(r.tokens[6].line, 3);
+}
+
+TEST(AnalyzerLexer, LineContinuationExtendsLineComment)
+{
+    const LexResult r = lex("// first \\\nsecond\nint x;");
+    ASSERT_EQ(r.comments.size(), 1u);
+    EXPECT_EQ(r.comments[0].line, 1);
+    EXPECT_EQ(r.comments[0].endLine, 2);
+    const std::vector<std::string> texts = tokenTexts(r);
+    ASSERT_EQ(texts, (std::vector<std::string>{"int", "x", ";"}));
+    EXPECT_EQ(r.tokens[1].line, 3);
+}
+
+TEST(AnalyzerLexer, BlockCommentsDoNotNest)
+{
+    // C comments end at the FIRST */ — `int x;` is code, not comment.
+    const LexResult r = lex("/* a /* b */ int x; /* tail */");
+    ASSERT_EQ(r.comments.size(), 2u);
+    const std::vector<std::string> texts = tokenTexts(r);
+    ASSERT_EQ(texts, (std::vector<std::string>{"int", "x", ";"}));
+}
+
+TEST(AnalyzerLexer, DigraphsNormalize)
+{
+    const LexResult r = lex("a<:1:> <% %>");
+    const std::vector<std::string> texts = tokenTexts(r);
+    ASSERT_EQ(texts, (std::vector<std::string>{"a", "[", "1", "]", "{",
+                                               "}"}));
+}
+
+TEST(AnalyzerLexer, DigraphLessColonColonRule)
+{
+    // `<:` is NOT the [ digraph when followed by a second colon that
+    // does not itself continue as `::` or `:>`: `f<::g>` must parse as
+    // `f < :: g >` (the standard's template-argument carve-out).
+    const LexResult r = lex("f<::g::h>");
+    const std::vector<std::string> texts = tokenTexts(r);
+    ASSERT_EQ(texts, (std::vector<std::string>{"f", "<", "::", "g",
+                                               "::", "h", ">"}));
+}
+
+TEST(AnalyzerLexer, DigraphHashExtractsInclude)
+{
+    const LexResult r = lex("%:include \"util/a.h\"\nint x;");
+    ASSERT_EQ(r.includes.size(), 1u);
+    EXPECT_EQ(r.includes[0].path, "util/a.h");
+    EXPECT_FALSE(r.includes[0].angled);
+}
+
+TEST(AnalyzerLexer, DigitSeparatorsStayOneNumber)
+{
+    const LexResult r = lex("x = 1'000'000;");
+    ASSERT_EQ(r.tokens.size(), 4u);
+    EXPECT_EQ(r.tokens[2].kind, TokKind::Number);
+    EXPECT_EQ(r.tokens[2].text, "1'000'000");
+}
+
+TEST(AnalyzerLexer, ScopeAndArrowAreSingleTokens)
+{
+    const LexResult r = lex("a::b->c:d");
+    const std::vector<std::string> texts = tokenTexts(r);
+    ASSERT_EQ(texts, (std::vector<std::string>{"a", "::", "b", "->",
+                                               "c", ":", "d"}));
+}
+
+TEST(AnalyzerLexer, IncludeExtraction)
+{
+    const LexResult r = lex("#include \"util/a.h\"\n"
+                            "#  include <vector>\n"
+                            "int x; #include \"not.h\"\n"
+                            "// #include \"comment.h\"\n"
+                            "const char *s = \"#include \\\"str.h\\\"\";\n");
+    // Only the two real directives count: a `#` that is not the first
+    // token on its line is an ordinary punctuator, and occurrences in
+    // comments or string literals are not directives at all.
+    ASSERT_EQ(r.includes.size(), 2u);
+    EXPECT_EQ(r.includes[0].path, "util/a.h");
+    EXPECT_FALSE(r.includes[0].angled);
+    EXPECT_EQ(r.includes[0].line, 1);
+    EXPECT_EQ(r.includes[1].path, "vector");
+    EXPECT_TRUE(r.includes[1].angled);
+    EXPECT_EQ(r.includes[1].line, 2);
+}
+
+TEST(AnalyzerLexer, NonIncludeDirectivesLexNormally)
+{
+    const LexResult r = lex("#define FOO 1\nFOO");
+    const std::vector<std::string> texts = tokenTexts(r);
+    ASSERT_EQ(texts, (std::vector<std::string>{"#", "define", "FOO",
+                                               "1", "FOO"}));
+}
+
+TEST(AnalyzerLexer, EncodingPrefixes)
+{
+    const LexResult r = lex("u8\"hi\" L'x' uR\"(raw)\"");
+    ASSERT_EQ(r.tokens.size(), 3u);
+    EXPECT_EQ(r.tokens[0].kind, TokKind::String);
+    EXPECT_EQ(r.tokens[0].text, "hi");
+    EXPECT_EQ(r.tokens[1].kind, TokKind::CharLit);
+    EXPECT_EQ(r.tokens[1].text, "x");
+    EXPECT_EQ(r.tokens[2].kind, TokKind::String);
+    EXPECT_EQ(r.tokens[2].text, "raw");
+}
+
+TEST(AnalyzerLayerMap, ParsesLayersMapsAndForbids)
+{
+    const std::string design =
+        "# Title\n"
+        "prose before\n"
+        "```accpar-layers\n"
+        "layer util\n"
+        "layer core  # solver tier\n"
+        "map util/ util\n"
+        "map core/ core\n"
+        "map core/special.h util\n"
+        "forbid core/a.h -> core/b.h\n"
+        "```\n"
+        "prose after\n";
+    const LayerMapResult result = parseLayerMap(design);
+    ASSERT_TRUE(result.errors.empty());
+    EXPECT_EQ(result.map.rankOf("util"), 0);
+    EXPECT_EQ(result.map.rankOf("core"), 1);
+    EXPECT_EQ(result.map.rankOf("missing"), -1);
+    // Longest pattern wins; trailing '/' means prefix, else exact.
+    EXPECT_EQ(result.map.classify("core/x.cpp").value_or(""), "core");
+    EXPECT_EQ(result.map.classify("core/special.h").value_or(""),
+              "util");
+    EXPECT_EQ(result.map.classify("util/a.h").value_or(""), "util");
+    EXPECT_FALSE(result.map.classify("cli/main.cpp").has_value());
+    ASSERT_EQ(result.map.forbids.size(), 1u);
+    EXPECT_EQ(result.map.forbids[0].first, "core/a.h");
+    EXPECT_EQ(result.map.forbids[0].second, "core/b.h");
+}
+
+TEST(AnalyzerLayerMap, ReportsStructuralErrors)
+{
+    EXPECT_FALSE(parseLayerMap("no block here").errors.empty());
+    EXPECT_FALSE(
+        parseLayerMap("```accpar-layers\n```\n").errors.empty());
+    EXPECT_FALSE(parseLayerMap("```accpar-layers\nlayer a\nlayer a\n```")
+                     .errors.empty());
+    EXPECT_FALSE(
+        parseLayerMap("```accpar-layers\nlayer a\nmap x/ ghost\n```")
+            .errors.empty());
+    EXPECT_FALSE(
+        parseLayerMap("```accpar-layers\nlayer a\nforbid x y\n```")
+            .errors.empty());
+    EXPECT_FALSE(
+        parseLayerMap("```accpar-layers\nlayer a\nshout x\n```")
+            .errors.empty());
+}
+
+} // namespace

@@ -38,7 +38,12 @@ Rules (stable codes — never reuse or renumber):
   ALINT05  The certificate checker reaches the solver kernel: the
            quoted-include graph from the checker roots reaches
            core/dp_kernel.h, which would void the independence of the
-           audit.
+           audit. When ACCPAR_ANALYZE_BIN names the compiled
+           accpar-analyze binary, this rule is a thin shim over its
+           lexer-accurate include graph (`--rules ALINT08` forbid
+           reachability); without the binary it falls back to the
+           original regex include walk, so the build-free repo-lint CI
+           job and the fixture self-test still work.
   ALINT06  Raw standard-library randomness (std::rand, std::srand,
            std::mt19937/_64, std::minstd_rand/0, std::random_device,
            std::default_random_engine) appears in src/ outside
@@ -53,6 +58,18 @@ Rules (stable codes — never reuse or renumber):
            wrapper so the bit-identity contract (no FMA contraction,
            scalar-identical per-lane operation order) is enforced in
            one place and the scalar/AVX2/NEON backends cannot drift.
+  ALINT12  A build tree is tracked by git: `git ls-files` reports a
+           path under build*/ or Testing/. Build output is
+           machine-local state; committing it bloats history and
+           invites stale-artifact confusion (PR 10 purged two full
+           trees). The rule is skipped outside a git work tree
+           (fixture mini-trees).
+
+ALINT08-ALINT11 (layer-DAG architecture, unordered-iteration taint,
+wall-clock/locale determinism, failure-path audit) live in the
+compiled sibling `accpar-analyze` (tools/analyzer/, DESIGN.md §18):
+they need a real C++ lexer and a resolved include graph, which regexes
+cannot provide.
 
 Usage:
   accpar_lint.py [repo_root] [--json] [--rules ALINT01,ALINT03]
@@ -64,7 +81,9 @@ Exit status: 0 clean, 1 findings (or a self-test mismatch), 2 usage.
 import argparse
 import hashlib
 import json
+import os
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -138,7 +157,13 @@ RULES = {
     "ALINT05": "certificate checker reaches the solver kernel",
     "ALINT06": "raw std randomness outside util/rng.h",
     "ALINT07": "raw SIMD intrinsics outside util/simd.h",
+    "ALINT12": "a build tree (build*/, Testing/) is tracked by git",
 }
+
+# ALINT12: tracked paths that are build output. Anchored at the repo
+# root; build-*/ covers the multi-config trees (build-perf, build-scalar)
+# and Testing/ is ctest's dashboard scratch.
+TRACKED_BUILD_RE = re.compile(r"^(?:build[^/]*|Testing)/")
 
 
 class Finding:
@@ -296,6 +321,16 @@ def check_catalog(root: Path):
         for code in RULES:
             in_source.setdefault(code, set()).add(
                 f"tools/{Path(__file__).name}")
+    # The compiled analyzer emits ALINT08-11 from tools/analyzer/
+    # string literals; count those so its codes need catalog rows too.
+    analyzer_dir = root / "tools" / "analyzer"
+    if analyzer_dir.exists():
+        for path in iter_sources(analyzer_dir):
+            rel = path.relative_to(root).as_posix()
+            for literal in STRING_RE.findall(
+                    path.read_text(encoding="utf-8")):
+                for code in CODE_RE.findall(literal):
+                    in_source.setdefault(code, set()).add(rel)
     in_design = documented_codes(design)
 
     for code in sorted(set(in_source) - set(in_design)):
@@ -316,8 +351,45 @@ def check_catalog(root: Path):
     return findings
 
 
+def _independence_via_analyzer(root: Path, binary: str):
+    """Delegates ALINT05 to accpar-analyze's resolved include graph.
+
+    The analyzer's ALINT08 `forbid` statements (DESIGN.md §18) encode
+    the same checker-independence ban; any forbidden-reach finding that
+    names the solver kernel is re-badged ALINT05 so downstream
+    consumers see the historical stable code. Returns None when the
+    delegation cannot run (caller falls back to the regex walk)."""
+    try:
+        proc = subprocess.run(
+            [binary, str(root), "--rules", "ALINT08", "--json"],
+            capture_output=True, text=True, timeout=120, check=False)
+        report = json.loads(proc.stdout)
+    except (OSError, subprocess.TimeoutExpired,
+            json.JSONDecodeError):
+        return None
+    findings = []
+    for item in report.get("findings", []):
+        message = item.get("message", "")
+        if "forbidden reach" not in message:
+            continue
+        if FORBIDDEN_HEADER not in message:
+            continue
+        findings.append(Finding(
+            "ALINT05", item.get("path", ""), item.get("line", 0),
+            message + " (via accpar-analyze)"))
+    return findings
+
+
 def check_independence(root: Path):
-    """ALINT05 — BFS the quoted-include graph from the checker roots."""
+    """ALINT05 — the quoted-include graph from the checker roots must
+    not reach the solver kernel. Prefers the compiled analyzer's
+    lexer-accurate graph (ACCPAR_ANALYZE_BIN); falls back to the
+    original regex BFS when the binary is unavailable."""
+    binary = os.environ.get("ACCPAR_ANALYZE_BIN")
+    if binary and Path(binary).exists() and (root / "DESIGN.md").exists():
+        delegated = _independence_via_analyzer(root, binary)
+        if delegated is not None:
+            return delegated
     src = root / "src"
     reached = {}
     queue = []
@@ -388,6 +460,28 @@ def check_raw_simd(root: Path):
     return findings
 
 
+def check_no_tracked_build(root: Path):
+    """ALINT12 — no build output in the index. Skipped when the root
+    is not a git work tree (fixture mini-trees have no .git)."""
+    if not (root / ".git").exists():
+        return []
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), "ls-files"],
+            capture_output=True, text=True, timeout=60, check=True)
+    except (OSError, subprocess.TimeoutExpired,
+            subprocess.CalledProcessError):
+        return []
+    findings = []
+    for tracked in proc.stdout.splitlines():
+        if TRACKED_BUILD_RE.match(tracked):
+            findings.append(Finding(
+                "ALINT12", tracked, 0,
+                "build output is tracked by git — `git rm -r --cached` "
+                "it; build*/ and Testing/ are ignored by .gitignore"))
+    return findings
+
+
 CHECKS = {
     "ALINT01": check_raw_sync,
     "ALINT02": check_float_emission,
@@ -396,6 +490,7 @@ CHECKS = {
     "ALINT05": check_independence,
     "ALINT06": check_raw_random,
     "ALINT07": check_raw_simd,
+    "ALINT12": check_no_tracked_build,
 }
 
 

@@ -1,0 +1,105 @@
+#include "layer_map.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace accpar::analyzer {
+
+int
+LayerMap::rankOf(const std::string &layer) const
+{
+    const auto it = std::find(layers.begin(), layers.end(), layer);
+    return it == layers.end()
+               ? -1
+               : static_cast<int>(it - layers.begin());
+}
+
+std::optional<std::string>
+LayerMap::classify(const std::string &srcRel) const
+{
+    std::size_t bestLen = 0;
+    std::optional<std::string> best;
+    for (const auto &[pattern, layer] : maps) {
+        const bool prefix = !pattern.empty() && pattern.back() == '/';
+        const bool hit = prefix ? srcRel.rfind(pattern, 0) == 0
+                                : srcRel == pattern;
+        if (hit && pattern.size() >= bestLen) {
+            bestLen = pattern.size();
+            best = layer;
+        }
+    }
+    return best;
+}
+
+LayerMapResult
+parseLayerMap(const std::string &designText)
+{
+    LayerMapResult result;
+    std::istringstream in(designText);
+    std::string line;
+    bool inBlock = false;
+    bool sawBlock = false;
+    while (std::getline(in, line)) {
+        if (!inBlock) {
+            if (line.rfind("```accpar-layers", 0) == 0) {
+                inBlock = true;
+                sawBlock = true;
+            }
+            continue;
+        }
+        if (line.rfind("```", 0) == 0)
+            break;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream words(line);
+        std::string verb;
+        if (!(words >> verb))
+            continue;
+        if (verb == "layer") {
+            std::string name;
+            if (!(words >> name)) {
+                result.errors.push_back("layer statement without a name");
+                continue;
+            }
+            if (result.map.rankOf(name) >= 0) {
+                result.errors.push_back("layer '" + name +
+                                        "' declared twice");
+                continue;
+            }
+            result.map.layers.push_back(name);
+        } else if (verb == "map") {
+            std::string pattern, layer;
+            if (!(words >> pattern >> layer)) {
+                result.errors.push_back(
+                    "map statement needs PATTERN and LAYER");
+                continue;
+            }
+            if (result.map.rankOf(layer) < 0) {
+                result.errors.push_back("map '" + pattern +
+                                        "' names undeclared layer '" +
+                                        layer + "'");
+                continue;
+            }
+            result.map.maps.emplace_back(pattern, layer);
+        } else if (verb == "forbid") {
+            std::string from, arrow, target;
+            if (!(words >> from >> arrow >> target) || arrow != "->") {
+                result.errors.push_back(
+                    "forbid statement must read 'forbid FROM -> TARGET'");
+                continue;
+            }
+            result.map.forbids.emplace_back(from, target);
+        } else {
+            result.errors.push_back("unknown statement '" + verb + "'");
+        }
+    }
+    if (!sawBlock)
+        result.errors.push_back(
+            "no ```accpar-layers block found in DESIGN.md");
+    else if (result.map.layers.empty())
+        result.errors.push_back("accpar-layers block declares no layers");
+    return result;
+}
+
+} // namespace accpar::analyzer

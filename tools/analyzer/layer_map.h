@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The machine-readable architecture layer map.
+ *
+ * DESIGN.md §18 carries a fenced block tagged `accpar-layers`; that
+ * block — not this tool, not tribal knowledge — is the source of truth
+ * for which layer every file under `src/` belongs to and which
+ * include-direction is legal. Grammar (one statement per line, `#`
+ * comments):
+ *
+ *     layer NAME                  declare a layer; declaration order is
+ *                                 rank order, lowest first
+ *     map PATTERN NAME            assign files to a layer. PATTERN is a
+ *                                 src-relative directory prefix when it
+ *                                 ends in '/', else an exact file path;
+ *                                 the longest matching pattern wins
+ *     forbid FROM -> TARGET       TARGET must stay unreachable from
+ *                                 FROM over the quoted-include graph
+ *
+ * An include edge is legal when rank(includer) >= rank(includee):
+ * files may depend level-with or downward, never upward.
+ */
+
+#ifndef ACCPAR_TOOLS_ANALYZER_LAYER_MAP_H
+#define ACCPAR_TOOLS_ANALYZER_LAYER_MAP_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace accpar::analyzer {
+
+struct LayerMap {
+    std::vector<std::string> layers; ///< rank = index, lowest first
+    std::vector<std::pair<std::string, std::string>> maps;
+    std::vector<std::pair<std::string, std::string>> forbids;
+
+    /** Rank of a layer name; -1 when undeclared. */
+    int rankOf(const std::string &layer) const;
+
+    /** Layer of a src-relative path via longest-pattern match. */
+    std::optional<std::string> classify(const std::string &srcRel) const;
+};
+
+struct LayerMapResult {
+    LayerMap map;
+    std::vector<std::string> errors; ///< grammar problems, one per line
+};
+
+/** Parses the first ```accpar-layers fenced block out of a DESIGN.md
+ *  document. A missing block or malformed statement is reported in
+ *  `errors` (the architecture rule turns those into findings — an
+ *  unparseable map must fail loudly, not skip the rule). */
+LayerMapResult parseLayerMap(const std::string &designText);
+
+} // namespace accpar::analyzer
+
+#endif // ACCPAR_TOOLS_ANALYZER_LAYER_MAP_H

@@ -1,0 +1,410 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace accpar::analyzer {
+
+namespace {
+
+/** Splice-transparent cursor: phase-2 line splicing (backslash followed
+ *  by newline, optionally with a carriage return) happens here, so the
+ *  scanner above never sees a splice, while every character still knows
+ *  its original line. Raw-string bodies must *not* splice — the cursor
+ *  has a raw mode for that. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view text) : _text(text) { skipSplices(); }
+
+    bool eof() const { return _pos >= _text.size(); }
+    char peek() const { return _pos < _text.size() ? _text[_pos] : '\0'; }
+    char peekAt(std::size_t ahead) const
+    {
+        // Looks past splices: advance a scratch position `ahead` times.
+        std::size_t p = _pos;
+        int l = _line;
+        for (std::size_t i = 0; i < ahead; ++i)
+            step(p, l);
+        skip(p, l);
+        return p < _text.size() ? _text[p] : '\0';
+    }
+    int line() const { return _line; }
+
+    char next()
+    {
+        const char c = _text[_pos];
+        step(_pos, _line);
+        if (!_raw)
+            skip(_pos, _line);
+        return c;
+    }
+
+    /** Raw mode: no splicing (inside raw string literals). */
+    void setRaw(bool raw) { _raw = raw; }
+
+  private:
+    void step(std::size_t &p, int &l) const
+    {
+        if (p < _text.size() && _text[p] == '\n')
+            ++l;
+        ++p;
+    }
+    /** Consumes any run of splices at @p p. */
+    void skip(std::size_t &p, int &l) const
+    {
+        while (p < _text.size() && _text[p] == '\\') {
+            std::size_t q = p + 1;
+            if (q < _text.size() && _text[q] == '\r')
+                ++q;
+            if (q < _text.size() && _text[q] == '\n') {
+                p = q + 1;
+                ++l;
+            } else {
+                break;
+            }
+        }
+    }
+    void skipSplices() { skip(_pos, _line); }
+
+    std::string_view _text;
+    std::size_t _pos = 0;
+    int _line = 1;
+    bool _raw = false;
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view text) : _cur(text) {}
+
+    LexResult run()
+    {
+        while (!_cur.eof())
+            scanOne();
+        return std::move(_out);
+    }
+
+  private:
+    void scanOne()
+    {
+        const char c = _cur.peek();
+        if (c == '\n') {
+            _cur.next();
+            _lineHasToken = false;
+            return;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            _cur.next();
+            return;
+        }
+        if (c == '/' && _cur.peekAt(1) == '/') {
+            scanLineComment();
+            return;
+        }
+        if (c == '/' && _cur.peekAt(1) == '*') {
+            scanBlockComment();
+            return;
+        }
+        if (c == '"') {
+            scanString(_cur.line());
+            return;
+        }
+        if (c == '\'') {
+            scanCharLit(_cur.line());
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(
+                             _cur.peekAt(1))))) {
+            scanNumber();
+            return;
+        }
+        if (isIdentStart(c)) {
+            scanIdentifierOrLiteral();
+            return;
+        }
+        scanPunct();
+    }
+
+    void scanLineComment()
+    {
+        const int start = _cur.line();
+        _cur.next();
+        _cur.next();
+        std::string body;
+        // Splices were already removed, so a spliced // comment
+        // naturally continues onto the next physical line.
+        while (!_cur.eof() && _cur.peek() != '\n')
+            body.push_back(_cur.next());
+        _out.comments.push_back({std::move(body), start, _cur.line()});
+    }
+
+    void scanBlockComment()
+    {
+        const int start = _cur.line();
+        _cur.next();
+        _cur.next();
+        std::string body;
+        // C comments do not nest: the first */ ends the comment.
+        while (!_cur.eof()) {
+            if (_cur.peek() == '*' && _cur.peekAt(1) == '/') {
+                _cur.next();
+                _cur.next();
+                break;
+            }
+            body.push_back(_cur.next());
+        }
+        _out.comments.push_back({std::move(body), start, _cur.line()});
+    }
+
+    void scanString(int line)
+    {
+        _cur.next(); // opening quote
+        std::string body;
+        while (!_cur.eof()) {
+            const char c = _cur.next();
+            if (c == '\\' && !_cur.eof()) {
+                body.push_back(c);
+                body.push_back(_cur.next());
+                continue;
+            }
+            if (c == '"' || c == '\n')
+                break;
+            body.push_back(c);
+        }
+        emit(TokKind::String, std::move(body), line);
+    }
+
+    void scanRawString(int line)
+    {
+        _cur.next(); // opening quote
+        std::string delim;
+        while (!_cur.eof() && _cur.peek() != '(')
+            delim.push_back(_cur.next());
+        if (!_cur.eof())
+            _cur.next(); // '('
+        const std::string closer = ")" + delim + "\"";
+        std::string body;
+        _cur.setRaw(true); // no splicing inside a raw string body
+        while (!_cur.eof()) {
+            body.push_back(_cur.next());
+            if (body.size() >= closer.size() &&
+                body.compare(body.size() - closer.size(), closer.size(),
+                             closer) == 0) {
+                body.resize(body.size() - closer.size());
+                break;
+            }
+        }
+        _cur.setRaw(false);
+        emit(TokKind::String, std::move(body), line);
+    }
+
+    void scanCharLit(int line)
+    {
+        _cur.next();
+        std::string body;
+        while (!_cur.eof()) {
+            const char c = _cur.next();
+            if (c == '\\' && !_cur.eof()) {
+                body.push_back(c);
+                body.push_back(_cur.next());
+                continue;
+            }
+            if (c == '\'' || c == '\n')
+                break;
+            body.push_back(c);
+        }
+        emit(TokKind::CharLit, std::move(body), line);
+    }
+
+    void scanNumber()
+    {
+        const int line = _cur.line();
+        std::string body;
+        body.push_back(_cur.next());
+        while (!_cur.eof()) {
+            const char c = _cur.peek();
+            if (isIdentChar(c) || c == '.') {
+                body.push_back(_cur.next());
+                continue;
+            }
+            // Digit separator: 1'000'000 — a quote between digit-ish
+            // characters stays part of the number.
+            if (c == '\'' && isIdentChar(_cur.peekAt(1))) {
+                body.push_back(_cur.next());
+                body.push_back(_cur.next());
+                continue;
+            }
+            // Exponent signs: 1e+9, 0x1p-3.
+            if ((c == '+' || c == '-') && !body.empty()) {
+                const char prev = body.back();
+                if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                    prev == 'P') {
+                    body.push_back(_cur.next());
+                    continue;
+                }
+            }
+            break;
+        }
+        emit(TokKind::Number, std::move(body), line);
+    }
+
+    void scanIdentifierOrLiteral()
+    {
+        const int line = _cur.line();
+        std::string body;
+        while (!_cur.eof() && isIdentChar(_cur.peek()))
+            body.push_back(_cur.next());
+        // Encoding prefixes glued to a literal: R"..., u8"..., L'x'.
+        if (_cur.peek() == '"') {
+            const bool raw = body == "R" || body == "u8R" ||
+                             body == "uR" || body == "UR" || body == "LR";
+            const bool str = body == "u8" || body == "u" || body == "U" ||
+                             body == "L";
+            if (raw) {
+                scanRawString(line);
+                return;
+            }
+            if (str) {
+                scanString(line);
+                return;
+            }
+        }
+        if (_cur.peek() == '\'' &&
+            (body == "u8" || body == "u" || body == "U" || body == "L")) {
+            scanCharLit(line);
+            return;
+        }
+        emit(TokKind::Identifier, std::move(body), line);
+    }
+
+    void scanPunct()
+    {
+        const int line = _cur.line();
+        const char c = _cur.next();
+        // Digraphs normalize to their primary spelling. The `<::`
+        // rule: `<:` is NOT a digraph when followed by `:` unless that
+        // is followed by `:` or `>` (so `vector<::ns::T>` parses as
+        // `<` `::`).
+        if (c == '<' && _cur.peek() == '%') {
+            _cur.next();
+            emit(TokKind::Punct, "{", line);
+            return;
+        }
+        if (c == '%' && _cur.peek() == '>') {
+            _cur.next();
+            emit(TokKind::Punct, "}", line);
+            return;
+        }
+        if (c == '%' && _cur.peek() == ':') {
+            _cur.next();
+            handleHash(line);
+            return;
+        }
+        if (c == '<' && _cur.peek() == ':') {
+            if (!(_cur.peekAt(1) == ':' && _cur.peekAt(2) != ':' &&
+                  _cur.peekAt(2) != '>')) {
+                _cur.next();
+                emit(TokKind::Punct, "[", line);
+                return;
+            }
+            emit(TokKind::Punct, "<", line);
+            return;
+        }
+        if (c == ':' && _cur.peek() == ':') {
+            _cur.next();
+            emit(TokKind::Punct, "::", line);
+            return;
+        }
+        if (c == ':' && _cur.peek() == '>') {
+            _cur.next();
+            emit(TokKind::Punct, "]", line);
+            return;
+        }
+        if (c == '-' && _cur.peek() == '>') {
+            _cur.next();
+            emit(TokKind::Punct, "->", line);
+            return;
+        }
+        if (c == '#') {
+            handleHash(line);
+            return;
+        }
+        emit(TokKind::Punct, std::string(1, c), line);
+    }
+
+    /** A `#` token: when it starts a directive line and the directive
+     *  is `include`, extract the header-name and skip the rest of the
+     *  line (a header-name is not an ordinary token). Other directives
+     *  lex normally. */
+    void handleHash(int line)
+    {
+        if (_lineHasToken) {
+            emit(TokKind::Punct, "#", line);
+            return;
+        }
+        // Peek the directive word.
+        while (!_cur.eof() && (_cur.peek() == ' ' || _cur.peek() == '\t'))
+            _cur.next();
+        std::string word;
+        while (!_cur.eof() && isIdentChar(_cur.peek()))
+            word.push_back(_cur.next());
+        if (word != "include") {
+            emit(TokKind::Punct, "#", line);
+            if (!word.empty())
+                emit(TokKind::Identifier, std::move(word), line);
+            return;
+        }
+        while (!_cur.eof() && (_cur.peek() == ' ' || _cur.peek() == '\t'))
+            _cur.next();
+        const char open = _cur.peek();
+        if (open == '"' || open == '<') {
+            const char close = open == '"' ? '"' : '>';
+            _cur.next();
+            std::string path;
+            while (!_cur.eof() && _cur.peek() != close &&
+                   _cur.peek() != '\n')
+                path.push_back(_cur.next());
+            if (_cur.peek() == close)
+                _cur.next();
+            _out.includes.push_back({std::move(path), open == '<', line});
+        }
+        // Skip trailing junk (comments on the include line are lost —
+        // allow-directives belong on the construct they justify, not
+        // on includes).
+        while (!_cur.eof() && _cur.peek() != '\n')
+            _cur.next();
+    }
+
+    void emit(TokKind kind, std::string text, int line)
+    {
+        _lineHasToken = true;
+        _out.tokens.push_back({kind, std::move(text), line});
+    }
+
+    Cursor _cur;
+    LexResult _out;
+    bool _lineHasToken = false;
+};
+
+} // namespace
+
+LexResult
+lex(std::string_view source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace accpar::analyzer

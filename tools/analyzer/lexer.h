@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Comment/string/raw-string-aware C++ lexer for accpar-analyze.
+ *
+ * A deliberately small subset of translation phases 1-3: enough to walk
+ * real C++ without the false positives a regex scan produces (codes in
+ * comments, sinks named inside string literals, spliced lines). It is
+ * not a compiler front end — no preprocessing beyond `#include`
+ * extraction, no keyword table (keywords lex as identifiers), numbers
+ * as opaque pp-number tokens.
+ *
+ * Handled faithfully because rules depend on it:
+ *  - backslash-newline splices (anywhere, including inside `//`
+ *    comments and string literals), with original line numbers kept;
+ *  - `//` and non-nesting C-style comments, collected separately so
+ *    allow-directives can be read without polluting the token stream;
+ *  - string/char literals with escapes and encoding prefixes
+ *    (u8/u/U/L), raw strings `R"delim(...)delim"`;
+ *  - digit separators (`1'000'000` is one number, not a char literal);
+ *  - digraphs (`<%`, `%>`, `<:`, `:>`, `%:`) normalized to their
+ *    primary spelling, including the `<::` disambiguation rule;
+ *  - `#include` directives extracted as Include records (the rest of
+ *    the directive line is skipped — header-names are not ordinary
+ *    tokens), every other preprocessor line lexes normally.
+ */
+
+#ifndef ACCPAR_TOOLS_ANALYZER_LEXER_H
+#define ACCPAR_TOOLS_ANALYZER_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accpar::analyzer {
+
+enum class TokKind {
+    Identifier, ///< identifiers and keywords
+    Number,     ///< pp-numbers, digit separators included
+    String,     ///< string literal (text excludes quotes/prefix)
+    CharLit,    ///< character literal
+    Punct,      ///< punctuation; `::` and `->` are single tokens
+};
+
+struct Token {
+    TokKind kind;
+    std::string text;
+    int line; ///< 1-based line in the original (pre-splice) source
+};
+
+struct Comment {
+    std::string text; ///< body without the `//` or `/* */` markers
+    int line;         ///< first line
+    int endLine;      ///< last line (block comments can span)
+};
+
+struct Include {
+    std::string path; ///< header-name without quotes/brackets
+    bool angled;      ///< `<...>` rather than `"..."`
+    int line;
+};
+
+struct LexResult {
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    std::vector<Include> includes;
+};
+
+/** Lexes a whole translation unit's text. Never throws on malformed
+ *  input — an unterminated literal or comment simply ends the token
+ *  stream at end of file, matching how a lint tool must behave on
+ *  code it did not compile. */
+LexResult lex(std::string_view source);
+
+} // namespace accpar::analyzer
+
+#endif // ACCPAR_TOOLS_ANALYZER_LEXER_H

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * accpar-analyze — C++-aware architecture & determinism analyzer.
+ *
+ * The compiled sibling of tools/accpar_lint.py: the same stable-code +
+ * JSON-report discipline, but backed by a real lexer and the resolved
+ * include graph instead of regexes, so it can *prove* the layering and
+ * determinism invariants (DESIGN.md §18) rather than pattern-match
+ * them.
+ *
+ * Usage:
+ *   accpar-analyze [root] [--json] [--rules ALINT08,ALINT10]
+ *                  [--compile-commands build/compile_commands.json]
+ *   accpar-analyze --self-test [fixtures_dir]
+ *
+ * Exit status: 0 clean (warnings allowed), 1 error-severity findings
+ * (or a self-test mismatch), 2 usage.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace accpar;
+using namespace accpar::analyzer;
+
+constexpr char kToolVersion[] = "1.0.0";
+
+std::string
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::vector<Finding>
+analyzeTree(const std::filesystem::path &root,
+            const std::vector<std::filesystem::path> &includeDirs,
+            const std::vector<std::string> &rules)
+{
+    const SourceModel model = loadSourceModel(root, includeDirs);
+    const LayerMapResult layers =
+        parseLayerMap(readFile(root / "DESIGN.md"));
+    return runRules(model, layers, rules);
+}
+
+const char *
+severityName(Severity severity)
+{
+    return severity == Severity::Error ? "error" : "warning";
+}
+
+void
+renderText(const std::vector<Finding> &findings, std::ostream &out)
+{
+    for (const Finding &finding : findings) {
+        out << "accpar-analyze: " << finding.code << " "
+            << severityName(finding.severity) << " " << finding.path;
+        if (finding.line > 0)
+            out << ":" << finding.line;
+        out << ": " << finding.message << "\n";
+    }
+}
+
+std::string
+renderJson(const std::filesystem::path &root,
+           const std::vector<std::string> &rules,
+           const std::vector<Finding> &findings)
+{
+    util::Json::Object rulesDoc;
+    for (const std::string &rule : rules)
+        rulesDoc[rule] = ruleCatalog().at(rule);
+    util::Json doc{util::Json::Object{}};
+    doc["tool"] = "accpar-analyze";
+    doc["version"] = kToolVersion;
+    doc["root"] = root.string();
+    doc["rules"] = util::Json(std::move(rulesDoc));
+    int errors = 0;
+    int warnings = 0;
+    util::Json list{util::Json::Array{}};
+    for (const Finding &finding : findings) {
+        (finding.severity == Severity::Error ? errors : warnings) += 1;
+        util::Json item{util::Json::Object{}};
+        item["code"] = finding.code;
+        item["severity"] = severityName(finding.severity);
+        item["path"] = finding.path;
+        item["line"] = finding.line;
+        item["message"] = finding.message;
+        list.push(std::move(item));
+    }
+    doc["findings"] = std::move(list);
+    doc["errors"] = errors;
+    doc["warnings"] = warnings;
+    doc["ok"] = errors == 0;
+    return doc.dump(2) + "\n";
+}
+
+int
+countErrors(const std::vector<Finding> &findings)
+{
+    int errors = 0;
+    for (const Finding &finding : findings)
+        errors += finding.severity == Severity::Error;
+    return errors;
+}
+
+/** Runs every analyzer_* fixture mini-tree: analyzer_bad_<code> must
+ *  trip exactly that code (any severity, nothing else), analyzer_clean
+ *  must produce no findings at all. Mirrors accpar_lint.py
+ *  --self-test. */
+int
+selfTest(const std::filesystem::path &fixtures,
+         const std::vector<std::string> &allRules)
+{
+    namespace fs = std::filesystem;
+    int ran = 0;
+    std::vector<std::string> failures;
+    std::vector<fs::path> trees;
+    std::error_code ec;
+    for (fs::directory_iterator it(fixtures, ec), end; it != end && !ec;
+         it.increment(ec))
+        if (it->is_directory() &&
+            it->path().filename().string().rfind("analyzer_", 0) == 0)
+            trees.push_back(it->path());
+    std::sort(trees.begin(), trees.end());
+
+    for (const fs::path &tree : trees) {
+        ++ran;
+        const std::string name = tree.filename().string();
+        const std::vector<Finding> findings =
+            analyzeTree(tree, {}, allRules);
+        std::set<std::string> got;
+        for (const Finding &finding : findings)
+            got.insert(finding.code);
+        if (name == "analyzer_clean") {
+            if (!got.empty()) {
+                std::ostringstream os;
+                os << name << ": expected clean, got:\n";
+                renderText(findings, os);
+                failures.push_back(os.str());
+            }
+        } else if (name.rfind("analyzer_bad_", 0) == 0) {
+            std::string expected = name.substr(13);
+            for (char &c : expected)
+                c = static_cast<char>(std::toupper(
+                    static_cast<unsigned char>(c)));
+            if (got != std::set<std::string>{expected}) {
+                std::ostringstream os;
+                os << name << ": expected exactly [" << expected
+                   << "], got [";
+                for (const std::string &code : got)
+                    os << code << " ";
+                os << "]\n";
+                renderText(findings, os);
+                failures.push_back(os.str());
+            }
+        } else {
+            failures.push_back(name + ": unrecognized fixture naming");
+        }
+    }
+    if (ran == 0)
+        failures.push_back("no analyzer_* fixtures under " +
+                           fixtures.string());
+    for (const std::string &failure : failures)
+        std::cerr << "accpar-analyze self-test: FAIL " << failure
+                  << "\n";
+    if (failures.empty()) {
+        std::cout << "accpar-analyze self-test: " << ran
+                  << " fixtures behave as recorded\n";
+        return 0;
+    }
+    return 1;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: accpar-analyze [root] [--json]\n"
+           "                      [--rules ALINT08,ALINT09,...]\n"
+           "                      [--compile-commands FILE]\n"
+           "       accpar-analyze --self-test [fixtures_dir]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> positional;
+    bool json = false;
+    bool selfTestMode = false;
+    std::string rulesArg;
+    std::string compileCommands;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--self-test") {
+            selfTestMode = true;
+        } else if (arg == "--rules") {
+            if (++i >= argc)
+                return usage();
+            rulesArg = argv[i];
+        } else if (arg == "--compile-commands") {
+            if (++i >= argc)
+                return usage();
+            compileCommands = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() > 1)
+        return usage();
+
+    std::vector<std::string> allRules;
+    for (const auto &entry : ruleCatalog())
+        allRules.push_back(entry.first);
+
+    if (selfTestMode) {
+        const fs::path fixtures = positional.empty()
+                                      ? fs::path("tests/data")
+                                      : fs::path(positional[0]);
+        return selfTest(fixtures, allRules);
+    }
+
+    const fs::path root =
+        positional.empty() ? fs::current_path() : fs::path(positional[0]);
+    if (!fs::exists(root / "src")) {
+        std::cerr << "accpar-analyze: no src/ under " << root.string()
+                  << "\n";
+        return 2;
+    }
+
+    std::vector<std::string> rules;
+    if (rulesArg.empty()) {
+        rules = allRules;
+    } else {
+        std::istringstream in(rulesArg);
+        std::string rule;
+        while (std::getline(in, rule, ','))
+            if (!rule.empty())
+                rules.push_back(rule);
+        std::sort(rules.begin(), rules.end());
+        rules.erase(std::unique(rules.begin(), rules.end()),
+                    rules.end());
+        for (const std::string &rule : rules)
+            if (!ruleCatalog().count(rule)) {
+                std::cerr << "accpar-analyze: unknown rule " << rule
+                          << "\n";
+                return 2;
+            }
+    }
+
+    std::vector<fs::path> includeDirs;
+    if (!compileCommands.empty()) {
+        if (const auto dirs =
+                includeDirsFromCompileCommands(compileCommands)) {
+            includeDirs = *dirs;
+        } else {
+            std::cerr << "accpar-analyze: cannot read compile commands "
+                      << compileCommands << " (include resolution "
+                      << "falls back to src/-relative)\n";
+        }
+    }
+
+    const std::vector<Finding> findings =
+        analyzeTree(root, includeDirs, rules);
+    if (json) {
+        std::cout << renderJson(root, rules, findings);
+    } else {
+        renderText(findings, std::cerr);
+        if (findings.empty())
+            std::cout << "accpar-analyze: " << rules.size()
+                      << " rules clean over " << root.string() << "\n";
+    }
+    return countErrors(findings) > 0 ? 1 : 0;
+}

@@ -1,0 +1,496 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <set>
+#include <tuple>
+
+namespace accpar::analyzer {
+
+namespace {
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/** Serialization / fingerprint sinks (DESIGN.md §18): building a
+ *  util::Json value, emitting one, or feeding the canonical-key and
+ *  certificate fingerprints. Reaching one of these from an unordered
+ *  iteration leaks implementation-defined order into bytes the repo
+ *  promises are identical across libraries, backends and --jobs. */
+const std::set<std::string> kSinks = {
+    "Json", "dump", "push", "certificateFingerprint",
+    "planRequestCanonicalKey", "planRequestFingerprint"};
+
+/** Wall-clock / locale / locale-dependent-conversion tokens. */
+const std::set<std::string> kClockLocaleTokens = {
+    "system_clock", "localtime", "localtime_r", "gmtime", "gmtime_r",
+    "strftime", "asctime", "ctime", "mktime", "timegm", "tzset",
+    "setlocale", "imbue", "stod", "stof", "stold", "strtod", "strtof",
+    "strtold", "atof"};
+
+const std::set<std::string> kExitCalls = {"exit", "_exit", "_Exit",
+                                          "quick_exit"};
+
+std::string
+srcRelOf(const std::string &rel)
+{
+    return rel.rfind("src/", 0) == 0 ? rel.substr(4) : rel;
+}
+
+bool
+isIdent(const Token &token, const char *text)
+{
+    return token.kind == TokKind::Identifier && token.text == text;
+}
+
+bool
+isPunct(const Token &token, const char *text)
+{
+    return token.kind == TokKind::Punct && token.text == text;
+}
+
+/** Index just past the matching close of the bracket opened at
+ *  @p open (tokens[open] must be the opener). */
+std::size_t
+matchBracket(const std::vector<Token> &tokens, std::size_t open,
+             const char *opener, const char *closer)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+        if (isPunct(tokens[i], opener))
+            ++depth;
+        else if (isPunct(tokens[i], closer) && --depth == 0)
+            return i + 1;
+    }
+    return tokens.size();
+}
+
+} // namespace
+
+const std::map<std::string, std::string> &
+ruleCatalog()
+{
+    static const std::map<std::string, std::string> catalog = {
+        {"ALINT08",
+         "architecture: src/ include graph must respect the DESIGN.md "
+         "layer DAG (total map, downward-only edges, acyclic, forbid "
+         "reachability bans)"},
+        {"ALINT09",
+         "determinism: iteration over std::unordered_map/set must not "
+         "reach a serialization or fingerprint sink"},
+        {"ALINT10",
+         "determinism: no wall-clock, locale mutation, or "
+         "locale-dependent numeric conversion in src/"},
+        {"ALINT11",
+         "failure-path audit: assert/abort/exit/[[noreturn]] sites "
+         "reachable from service/ (warning-level inventory)"},
+    };
+    return catalog;
+}
+
+std::vector<Finding>
+checkArchitecture(const SourceModel &model, const LayerMapResult &layers)
+{
+    std::vector<Finding> findings;
+    for (const std::string &error : layers.errors)
+        findings.push_back({"ALINT08", Severity::Error, "DESIGN.md", 0,
+                            "layer map: " + error});
+    if (!layers.errors.empty())
+        return findings;
+    const LayerMap &map = layers.map;
+
+    // 1. Total mapping: every file must belong to a declared layer.
+    for (const auto &entry : model.files) {
+        if (!map.classify(srcRelOf(entry.first)))
+            findings.push_back(
+                {"ALINT08", Severity::Error, entry.first, 0,
+                 "no layer map entry covers this file — add a `map` "
+                 "statement to the DESIGN.md accpar-layers block"});
+    }
+
+    // 2. Downward-only edges.
+    for (const IncludeEdge &edge : model.edges) {
+        const auto fromLayer = map.classify(srcRelOf(edge.from));
+        const auto toLayer = map.classify(srcRelOf(edge.to));
+        if (!fromLayer || !toLayer)
+            continue; // already reported above
+        const int fromRank = map.rankOf(*fromLayer);
+        const int toRank = map.rankOf(*toLayer);
+        if (fromRank < toRank)
+            findings.push_back(
+                {"ALINT08", Severity::Error, edge.from, edge.line,
+                 "layer '" + *fromLayer + "' includes \"" +
+                     srcRelOf(edge.to) + "\" from higher layer '" +
+                     *toLayer +
+                     "' — dependencies must point level-with or "
+                     "downward in the DAG"});
+    }
+
+    // 3. Acyclicity of the file-level include graph (colors: 0 white,
+    // 1 on stack, 2 done); one cycle is reported with its full chain.
+    std::map<std::string, int> color;
+    std::vector<std::string> stack;
+    std::string cycleReport;
+    const std::function<void(const std::string &)> dfs =
+        [&](const std::string &node) {
+            color[node] = 1;
+            stack.push_back(node);
+            const auto it = model.adjacency.find(node);
+            if (it != model.adjacency.end()) {
+                for (const std::string &next : it->second) {
+                    if (!cycleReport.empty())
+                        break;
+                    const int c = color[next];
+                    if (c == 0) {
+                        dfs(next);
+                    } else if (c == 1) {
+                        std::string chain = next;
+                        for (auto jt = std::find(stack.begin(),
+                                                 stack.end(), next) + 1;
+                             jt != stack.end(); ++jt)
+                            chain += " -> " + *jt;
+                        chain += " -> " + next;
+                        cycleReport = chain;
+                    }
+                }
+            }
+            stack.pop_back();
+            color[node] = 2;
+        };
+    for (const auto &entry : model.files) {
+        if (!cycleReport.empty())
+            break;
+        if (color[entry.first] == 0)
+            dfs(entry.first);
+    }
+    if (!cycleReport.empty())
+        findings.push_back({"ALINT08", Severity::Error,
+                            cycleReport.substr(0, cycleReport.find(' ')),
+                            0,
+                            "include cycle: " + cycleReport});
+
+    // 4. Forbid reachability bans (BFS with parent chain for the
+    // report).
+    for (const auto &[from, target] : map.forbids) {
+        const std::string fromRel = "src/" + from;
+        const std::string targetRel = "src/" + target;
+        if (!model.files.count(fromRel))
+            continue;
+        std::map<std::string, std::string> parent;
+        std::deque<std::string> queue;
+        parent[fromRel] = "";
+        queue.push_back(fromRel);
+        while (!queue.empty()) {
+            const std::string node = queue.front();
+            queue.pop_front();
+            const auto it = model.adjacency.find(node);
+            if (it == model.adjacency.end())
+                continue;
+            for (const std::string &next : it->second) {
+                if (parent.count(next))
+                    continue;
+                parent[next] = node;
+                queue.push_back(next);
+            }
+        }
+        if (!parent.count(targetRel))
+            continue;
+        std::string chain = targetRel;
+        for (std::string node = parent[targetRel]; !node.empty();
+             node = parent[node])
+            chain = node + " -> " + chain;
+        findings.push_back(
+            {"ALINT08", Severity::Error, fromRel, 0,
+             "forbidden reach: " + chain + " — the layer map bans " +
+                 from + " from reaching " + target});
+    }
+    return findings;
+}
+
+std::vector<Finding>
+checkUnorderedTaint(const SourceModel &model)
+{
+    std::vector<Finding> findings;
+    for (const auto &entry : model.files) {
+        const std::vector<Token> &tokens = entry.second.lex.tokens;
+
+        // Pass 1: identifiers declared with an unordered container
+        // type (declarations and `using X = ...unordered...` aliases).
+        // Token-level taint-lite: typedef chains through other files
+        // are beyond it, by design (DESIGN.md §18).
+        std::set<std::string> tainted;
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            if (tokens[i].kind == TokKind::Identifier &&
+                kUnorderedTypes.count(tokens[i].text)) {
+                std::size_t j = i + 1;
+                if (j < tokens.size() && isPunct(tokens[j], "<"))
+                    j = matchBracket(tokens, j, "<", ">");
+                while (j < tokens.size() &&
+                       (isPunct(tokens[j], "*") ||
+                        isPunct(tokens[j], "&") ||
+                        isIdent(tokens[j], "const")))
+                    ++j;
+                if (j < tokens.size() &&
+                    tokens[j].kind == TokKind::Identifier)
+                    tainted.insert(tokens[j].text);
+            }
+            if (isIdent(tokens[i], "using") && i + 2 < tokens.size() &&
+                tokens[i + 1].kind == TokKind::Identifier &&
+                isPunct(tokens[i + 2], "=")) {
+                for (std::size_t j = i + 3;
+                     j < tokens.size() && !isPunct(tokens[j], ";"); ++j)
+                    if (tokens[j].kind == TokKind::Identifier &&
+                        kUnorderedTypes.count(tokens[j].text)) {
+                        tainted.insert(tokens[i + 1].text);
+                        break;
+                    }
+            }
+        }
+
+        // Pass 2: for-loops whose range (or iterator source) is
+        // tainted, with a sink call in the body.
+        for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+            if (!isIdent(tokens[i], "for") || !isPunct(tokens[i + 1], "("))
+                continue;
+            const std::size_t close =
+                matchBracket(tokens, i + 1, "(", ")");
+            // Range-for: the ':' at parenthesis depth 1 ('::' is a
+            // single distinct token, so a bare ':' is the range colon).
+            std::size_t colon = 0;
+            int depth = 0;
+            for (std::size_t j = i + 1; j < close; ++j) {
+                if (isPunct(tokens[j], "("))
+                    ++depth;
+                else if (isPunct(tokens[j], ")"))
+                    --depth;
+                else if (depth == 1 && isPunct(tokens[j], ":")) {
+                    colon = j;
+                    break;
+                }
+            }
+            std::string container;
+            if (colon != 0) {
+                for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+                    if (tokens[j].kind == TokKind::Identifier &&
+                        (tainted.count(tokens[j].text) ||
+                         kUnorderedTypes.count(tokens[j].text))) {
+                        container = tokens[j].text;
+                        break;
+                    }
+                }
+            } else {
+                // Iterator loop: `taintedIdent . begin` (or cbegin)
+                // in the header.
+                for (std::size_t j = i + 2; j + 2 < close; ++j) {
+                    if (tokens[j].kind == TokKind::Identifier &&
+                        tainted.count(tokens[j].text) &&
+                        isPunct(tokens[j + 1], ".") &&
+                        (isIdent(tokens[j + 2], "begin") ||
+                         isIdent(tokens[j + 2], "cbegin"))) {
+                        container = tokens[j].text;
+                        break;
+                    }
+                }
+            }
+            if (container.empty())
+                continue;
+            // Body span: a brace block or a single statement.
+            std::size_t bodyBegin = close;
+            std::size_t bodyEnd;
+            if (bodyBegin < tokens.size() &&
+                isPunct(tokens[bodyBegin], "{")) {
+                bodyEnd = matchBracket(tokens, bodyBegin, "{", "}");
+            } else {
+                bodyEnd = bodyBegin;
+                while (bodyEnd < tokens.size() &&
+                       !isPunct(tokens[bodyEnd], ";"))
+                    ++bodyEnd;
+            }
+            for (std::size_t j = bodyBegin; j < bodyEnd; ++j) {
+                if (tokens[j].kind == TokKind::Identifier &&
+                    kSinks.count(tokens[j].text)) {
+                    findings.push_back(
+                        {"ALINT09", Severity::Error, entry.first,
+                         tokens[i].line,
+                         "iteration over unordered container '" +
+                             container + "' reaches sink '" +
+                             tokens[j].text +
+                             "' — unordered iteration order is "
+                             "implementation-defined; sort into a "
+                             "vector or use an ordered container "
+                             "before serializing"});
+                    break;
+                }
+            }
+        }
+    }
+    return findings;
+}
+
+std::vector<Finding>
+checkWallClockLocale(const SourceModel &model)
+{
+    std::vector<Finding> findings;
+    for (const auto &entry : model.files) {
+        const std::vector<Token> &tokens = entry.second.lex.tokens;
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            const Token &token = tokens[i];
+            if (token.kind != TokKind::Identifier)
+                continue;
+            std::string what;
+            if (kClockLocaleTokens.count(token.text)) {
+                what = token.text;
+            } else if (token.text == "locale" && i > 0 &&
+                       isPunct(tokens[i - 1], "::")) {
+                what = "std::locale";
+            } else if (token.text == "time" && i + 1 < tokens.size() &&
+                       isPunct(tokens[i + 1], "(")) {
+                what = "time()";
+            }
+            if (what.empty())
+                continue;
+            findings.push_back(
+                {"ALINT10", Severity::Error, entry.first, token.line,
+                 "'" + what +
+                     "' is wall-clock or locale-dependent — plans, "
+                     "certificates and fingerprints must not depend "
+                     "on when or where the process runs (use "
+                     "steady_clock for durations, util::parseDouble "
+                     "for conversions)"});
+        }
+    }
+    return findings;
+}
+
+std::vector<Finding>
+checkFailurePaths(const SourceModel &model)
+{
+    // Reachability from the service tier: every service/ file is a
+    // root; a header is reachable through the quoted-include graph; a
+    // .cpp is charged when its own header is reachable (the TU is
+    // linked under the daemon's entry points).
+    std::set<std::string> reachable;
+    std::deque<std::string> queue;
+    for (const auto &entry : model.files)
+        if (entry.first.rfind("src/service/", 0) == 0) {
+            reachable.insert(entry.first);
+            queue.push_back(entry.first);
+        }
+    while (!queue.empty()) {
+        const std::string node = queue.front();
+        queue.pop_front();
+        const auto it = model.adjacency.find(node);
+        if (it == model.adjacency.end())
+            continue;
+        for (const std::string &next : it->second)
+            if (reachable.insert(next).second)
+                queue.push_back(next);
+    }
+
+    std::vector<Finding> findings;
+    for (const auto &entry : model.files) {
+        const std::string &rel = entry.first;
+        bool charged = reachable.count(rel) > 0;
+        if (!charged && rel.size() > 4 &&
+            rel.compare(rel.size() - 4, 4, ".cpp") == 0)
+            charged =
+                reachable.count(rel.substr(0, rel.size() - 4) + ".h") >
+                0;
+        if (!charged)
+            continue;
+        const std::vector<Token> &tokens = entry.second.lex.tokens;
+        int throwCount = 0;
+        int firstThrowLine = 0;
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            const Token &token = tokens[i];
+            if (token.kind != TokKind::Identifier)
+                continue;
+            const bool call = i + 1 < tokens.size() &&
+                              isPunct(tokens[i + 1], "(");
+            std::string what;
+            if (token.text == "assert" && call)
+                what = "raw assert() — compiled out under NDEBUG and "
+                       "fatal otherwise";
+            else if (token.text == "abort" && call)
+                what = "abort() terminates the daemon";
+            else if (token.text == "terminate" && call)
+                what = "std::terminate() terminates the daemon";
+            else if (kExitCalls.count(token.text) && call)
+                what = token.text + "() exits the daemon";
+            else if (token.text == "noreturn")
+                what = "[[noreturn]] function";
+            else if (token.text == "throw") {
+                if (++throwCount == 1)
+                    firstThrowLine = token.line;
+            }
+            if (what.empty())
+                continue;
+            findings.push_back(
+                {"ALINT11", Severity::Warning, rel, token.line,
+                 what + ", reachable from service/ entry points — a "
+                        "crash here kills a daemon serving live "
+                        "traffic; prefer ConfigError/InternalError, "
+                        "which the service boundary catches"});
+        }
+        if (throwCount > 0)
+            findings.push_back(
+                {"ALINT11", Severity::Warning, rel, firstThrowLine,
+                 std::to_string(throwCount) +
+                     " throw site(s) reachable from service/ — caught "
+                     "at the service boundary by the std::exception "
+                     "handlers; inventoried so new uncatchable paths "
+                     "stand out"});
+    }
+    return findings;
+}
+
+std::vector<Finding>
+runRules(const SourceModel &model, const LayerMapResult &layers,
+         const std::vector<std::string> &rules)
+{
+    std::vector<Finding> raw;
+    for (const std::string &rule : rules) {
+        std::vector<Finding> part;
+        if (rule == "ALINT08")
+            part = checkArchitecture(model, layers);
+        else if (rule == "ALINT09")
+            part = checkUnorderedTaint(model);
+        else if (rule == "ALINT10")
+            part = checkWallClockLocale(model);
+        else if (rule == "ALINT11")
+            part = checkFailurePaths(model);
+        raw.insert(raw.end(), part.begin(), part.end());
+    }
+
+    std::vector<Finding> findings;
+    for (Finding &finding : raw) {
+        const auto it = model.files.find(finding.path);
+        if (it == model.files.end()) {
+            findings.push_back(std::move(finding));
+            continue;
+        }
+        bool unjustified = false;
+        if (!allowCovers(it->second, finding.code, finding.line,
+                         unjustified)) {
+            findings.push_back(std::move(finding));
+            continue;
+        }
+        if (unjustified)
+            findings.push_back(
+                {finding.code, Severity::Error, finding.path,
+                 finding.line,
+                 "allow(" + finding.code +
+                     ") directive has no justification — every "
+                     "suppression must say why it is sound"});
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.code, a.path, a.line) <
+                         std::tie(b.code, b.path, b.line);
+              });
+    return findings;
+}
+
+} // namespace accpar::analyzer

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The accpar-analyze rule families (DESIGN.md §18).
+ *
+ *   ALINT08  architecture: every file under src/ must map to a layer
+ *            declared in the DESIGN.md layer block; include edges may
+ *            point level-with or downward only; the quoted-include
+ *            graph must be acyclic; `forbid` reachability bans hold.
+ *   ALINT09  determinism taint: iteration over std::unordered_map/set
+ *            whose loop body reaches a serialization/fingerprint sink
+ *            (util::Json construction/emission, certificateFingerprint,
+ *            planRequestCanonicalKey/Fingerprint) — iteration order is
+ *            implementation-defined and would leak into bytes we
+ *            promise are identical everywhere.
+ *   ALINT10  wall-clock and locale dependence: system_clock/time()/
+ *            strftime-family tokens, locale mutation (setlocale,
+ *            std::locale, imbue), and locale-dependent numeric
+ *            conversions (std::stod family, strtod, atof) anywhere in
+ *            src/. The %.17g emitters stay deterministic precisely
+ *            because nothing in src/ may touch the locale.
+ *   ALINT11  failure-path audit (warning): raw assert/abort/exit/
+ *            terminate/[[noreturn]] sites in code reachable from
+ *            service/ — a crash there kills a daemon serving live
+ *            traffic; throw sites are inventoried per file (those are
+ *            caught at the service boundary).
+ *
+ * Findings carry stable codes and a severity; `allow` directives
+ * (source_model.h) suppress individual findings with an in-code
+ * justification.
+ */
+
+#ifndef ACCPAR_TOOLS_ANALYZER_RULES_H
+#define ACCPAR_TOOLS_ANALYZER_RULES_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "layer_map.h"
+#include "source_model.h"
+
+namespace accpar::analyzer {
+
+enum class Severity { Warning, Error };
+
+struct Finding {
+    std::string code;
+    Severity severity;
+    std::string path; ///< root-relative; "DESIGN.md" for map errors
+    int line;
+    std::string message;
+};
+
+/** Stable code -> one-line description, for reports. */
+const std::map<std::string, std::string> &ruleCatalog();
+
+std::vector<Finding> checkArchitecture(const SourceModel &model,
+                                       const LayerMapResult &layers);
+std::vector<Finding> checkUnorderedTaint(const SourceModel &model);
+std::vector<Finding> checkWallClockLocale(const SourceModel &model);
+std::vector<Finding> checkFailurePaths(const SourceModel &model);
+
+/** Runs the requested rules, applies allow-directive suppression
+ *  (an allow with an empty justification surfaces as an error), and
+ *  returns findings sorted by (code, path, line). */
+std::vector<Finding> runRules(const SourceModel &model,
+                              const LayerMapResult &layers,
+                              const std::vector<std::string> &rules);
+
+} // namespace accpar::analyzer
+
+#endif // ACCPAR_TOOLS_ANALYZER_RULES_H

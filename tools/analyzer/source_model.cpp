@@ -1,0 +1,243 @@
+#include "source_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace accpar::analyzer {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Splits a shell-ish command string on whitespace. Quoting is not
+ *  honored — include paths with spaces do not occur in this tree, and
+ *  a wrong split only loses a search directory, never invents one
+ *  that resolves. */
+std::vector<std::string>
+splitCommand(const std::string &command)
+{
+    std::vector<std::string> parts;
+    std::istringstream in(command);
+    std::string part;
+    while (in >> part)
+        parts.push_back(part);
+    return parts;
+}
+
+void
+harvestArgs(const std::vector<std::string> &args, const fs::path &dir,
+            std::vector<fs::path> &out)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        std::string value;
+        if (arg.rfind("-I", 0) == 0 && arg.size() > 2) {
+            value = arg.substr(2);
+        } else if ((arg == "-I" || arg == "-isystem") &&
+                   i + 1 < args.size()) {
+            value = args[++i];
+        } else if (arg.rfind("-isystem", 0) == 0 && arg.size() > 8) {
+            value = arg.substr(8);
+        } else {
+            continue;
+        }
+        fs::path p(value);
+        if (p.is_relative())
+            p = dir / p;
+        out.push_back(p.lexically_normal());
+    }
+}
+
+const std::string kAllowMarker = "accpar-analyze:";
+
+void
+parseAllows(const std::vector<Comment> &rawComments,
+            std::vector<AllowDirective> &out)
+{
+    // Coalesce contiguous comment lines into one block first: a
+    // wrapped `// accpar-analyze: allow(...)` directive covers the
+    // line after its whole block, not after its first line.
+    std::vector<Comment> comments;
+    for (const Comment &comment : rawComments) {
+        if (!comments.empty() &&
+            comment.line <= comments.back().endLine + 1) {
+            comments.back().text += "\n" + comment.text;
+            comments.back().endLine = comment.endLine;
+        } else {
+            comments.push_back(comment);
+        }
+    }
+    for (const Comment &comment : comments) {
+        std::size_t pos = comment.text.find(kAllowMarker);
+        while (pos != std::string::npos) {
+            std::size_t cur = pos + kAllowMarker.size();
+            while (cur < comment.text.size() &&
+                   std::isspace(static_cast<unsigned char>(
+                       comment.text[cur])))
+                ++cur;
+            if (comment.text.compare(cur, 6, "allow(") == 0) {
+                cur += 6;
+                const std::size_t close = comment.text.find(')', cur);
+                if (close != std::string::npos) {
+                    std::string code =
+                        comment.text.substr(cur, close - cur);
+                    std::string why = comment.text.substr(close + 1);
+                    // Trim the justification.
+                    const auto notSpace = [](unsigned char c) {
+                        return !std::isspace(c);
+                    };
+                    why.erase(why.begin(),
+                              std::find_if(why.begin(), why.end(),
+                                           notSpace));
+                    why.erase(std::find_if(why.rbegin(), why.rend(),
+                                           notSpace)
+                                  .base(),
+                              why.end());
+                    out.push_back({std::move(code), std::move(why),
+                                   comment.line, comment.endLine});
+                }
+            }
+            pos = comment.text.find(kAllowMarker, pos + 1);
+        }
+    }
+}
+
+} // namespace
+
+std::optional<std::vector<fs::path>>
+includeDirsFromCompileCommands(const fs::path &path)
+{
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return std::nullopt;
+    util::Json doc;
+    try {
+        doc = util::Json::parse(readFile(path));
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+    if (doc.kind() != util::Json::Kind::Array)
+        return std::nullopt;
+    std::vector<fs::path> dirs;
+    for (const util::Json &entry : doc.asArray()) {
+        if (entry.kind() != util::Json::Kind::Object)
+            continue;
+        fs::path dir;
+        if (entry.contains("directory"))
+            dir = entry.at("directory").asString();
+        if (entry.contains("arguments") &&
+            entry.at("arguments").kind() == util::Json::Kind::Array) {
+            std::vector<std::string> args;
+            for (const util::Json &arg : entry.at("arguments").asArray())
+                args.push_back(arg.asString());
+            harvestArgs(args, dir, dirs);
+        } else if (entry.contains("command")) {
+            harvestArgs(splitCommand(entry.at("command").asString()), dir,
+                        dirs);
+        }
+    }
+    std::sort(dirs.begin(), dirs.end());
+    dirs.erase(std::unique(dirs.begin(), dirs.end()), dirs.end());
+    return dirs;
+}
+
+SourceModel
+loadSourceModel(const fs::path &root,
+                const std::vector<fs::path> &extraIncludeDirs)
+{
+    SourceModel model;
+    model.root = root;
+    const fs::path src = root / "src";
+
+    std::vector<fs::path> paths;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(src, ec), end;
+         it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file())
+            continue;
+        const fs::path &p = it->path();
+        if (p.extension() == ".h" || p.extension() == ".cpp")
+            paths.push_back(p);
+    }
+    std::sort(paths.begin(), paths.end());
+
+    for (const fs::path &path : paths) {
+        SourceFile file;
+        file.rel = fs::relative(path, root).generic_string();
+        file.lex = lex(readFile(path));
+        parseAllows(file.lex.comments, file.allows);
+        model.files.emplace(file.rel, std::move(file));
+    }
+
+    // Resolve includes. Quoted includes try src/ first (the repo
+    // convention: every include is src-relative), then the includer's
+    // directory, then the build's include dirs. Angled includes only
+    // count when a compile-command include dir maps them back inside
+    // the tree.
+    const auto toRel = [&](const fs::path &p) -> std::optional<std::string> {
+        std::error_code rec;
+        const fs::path canon = fs::weakly_canonical(p, rec);
+        if (rec)
+            return std::nullopt;
+        const std::string rel =
+            fs::relative(canon, root, rec).generic_string();
+        if (rec || rel.empty() || rel.rfind("..", 0) == 0)
+            return std::nullopt;
+        return rel;
+    };
+    for (auto &entry : model.files) {
+        const SourceFile &file = entry.second;
+        const fs::path ownDir = (root / file.rel).parent_path();
+        for (const Include &inc : file.lex.includes) {
+            std::vector<fs::path> candidates;
+            if (!inc.angled) {
+                candidates.push_back(src / inc.path);
+                candidates.push_back(ownDir / inc.path);
+            }
+            for (const fs::path &dir : extraIncludeDirs)
+                candidates.push_back(dir / inc.path);
+            for (const fs::path &candidate : candidates) {
+                std::error_code cec;
+                if (!fs::exists(candidate, cec))
+                    continue;
+                const auto rel = toRel(candidate);
+                if (!rel || !model.files.count(*rel))
+                    break; // resolved outside the model: external
+                model.edges.push_back({file.rel, *rel, inc.line});
+                model.adjacency[file.rel].push_back(*rel);
+                break;
+            }
+        }
+    }
+    return model;
+}
+
+bool
+allowCovers(const SourceFile &file, const std::string &code, int line,
+            bool &unjustified)
+{
+    for (const AllowDirective &allow : file.allows) {
+        if (allow.code != code)
+            continue;
+        if (line >= allow.line && line <= allow.endLine + 1) {
+            unjustified = allow.justification.empty();
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace accpar::analyzer

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Source model for accpar-analyze: the lexed file set under `src/`,
+ * the resolved quoted-include graph, and per-file allow-directives.
+ *
+ * Include resolution is preprocessor-lite: a quoted include is looked
+ * up (in order) against the repo's `src/` root, the includer's own
+ * directory, then any `-I`/`-isystem` directories harvested from
+ * `compile_commands.json` when one is supplied — so the graph the
+ * rules walk is the graph the real build resolves, not a guess.
+ * Angled includes resolving inside the tree count as edges too;
+ * everything else is treated as external and ignored.
+ */
+
+#ifndef ACCPAR_TOOLS_ANALYZER_SOURCE_MODEL_H
+#define ACCPAR_TOOLS_ANALYZER_SOURCE_MODEL_H
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace accpar::analyzer {
+
+/** One `// accpar-analyze: allow(CODE) justification` directive. A
+ *  directive suppresses findings of CODE on its own line span and on
+ *  the first line after it (so it can sit on the construct's line or
+ *  on its own line above). An empty justification is itself reported:
+ *  suppressions must say why. */
+struct AllowDirective {
+    std::string code;
+    std::string justification;
+    int line;     ///< directive's first line
+    int endLine;  ///< directive's last line
+};
+
+struct SourceFile {
+    std::string rel;    ///< path relative to the model root, POSIX
+    LexResult lex;
+    std::vector<AllowDirective> allows;
+};
+
+struct IncludeEdge {
+    std::string from;   ///< includer, root-relative
+    std::string to;     ///< resolved includee, root-relative
+    int line;
+};
+
+struct SourceModel {
+    std::filesystem::path root;
+    /** Root-relative path -> lexed file; std::map keeps every walk
+     *  over the model deterministic. */
+    std::map<std::string, SourceFile> files;
+    std::vector<IncludeEdge> edges;
+    /** Adjacency over `edges`, keyed by includer. */
+    std::map<std::string, std::vector<std::string>> adjacency;
+};
+
+/** Harvests -I/-isystem directories from a compile_commands.json
+ *  document (entries' "command" strings or "arguments" arrays,
+ *  resolved against each entry's "directory"). Returns std::nullopt
+ *  when the file is absent or unparseable. */
+std::optional<std::vector<std::filesystem::path>>
+includeDirsFromCompileCommands(const std::filesystem::path &path);
+
+/** Loads and lexes every .h/.cpp under root/src (sorted), resolves the
+ *  include graph, and parses allow-directives out of comments. */
+SourceModel loadSourceModel(
+    const std::filesystem::path &root,
+    const std::vector<std::filesystem::path> &extraIncludeDirs);
+
+/** True when an allow of @p code covers @p line in @p file. When the
+ *  match has an empty justification, sets @p unjustified. */
+bool allowCovers(const SourceFile &file, const std::string &code, int line,
+                 bool &unjustified);
+
+} // namespace accpar::analyzer
+
+#endif // ACCPAR_TOOLS_ANALYZER_SOURCE_MODEL_H
